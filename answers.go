@@ -1,0 +1,124 @@
+package repaircount
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/repairs"
+)
+
+// RankedAnswer is one candidate answer tuple with its repair support.
+type RankedAnswer struct {
+	// Tuple binds the query's free variables in sorted name order.
+	Tuple []Const
+	// Count is the number of repairs entailing the bound query.
+	Count *big.Int
+	// Frequency is Count / |rep(D,Σ)|, the tuple's relative frequency
+	// (paper §1.1).
+	Frequency *big.Rat
+}
+
+// RankAnswers evaluates a non-Boolean existential positive query under the
+// relative-frequency semantics motivating the paper: every candidate tuple
+// is scored by the fraction of repairs entailing it, and candidates are
+// returned sorted by decreasing frequency (ties broken lexicographically).
+// Tuples entailed by no repair are omitted.
+//
+// Candidates are the answers over the full (inconsistent) database:
+// existential positive queries are monotone, so an answer in any repair
+// D' ⊆ D is an answer in D. Arbitrary FO queries are rejected — their
+// possible answers need not appear in Q(D), and Theorem 3.3 puts exact
+// counting for them at #P-completeness anyway.
+func RankAnswers(db *Database, keys *KeySet, q Formula) ([]RankedAnswer, error) {
+	if !query.IsExistentialPositive(q) {
+		return nil, fmt.Errorf("repaircount: RankAnswers needs an existential positive query (monotone candidate extraction); got %s — bind tuples manually for FO", query.Classify(q))
+	}
+	free := query.FreeVars(q)
+	if len(free) == 0 {
+		return nil, fmt.Errorf("repaircount: query is Boolean; use NewCounter directly")
+	}
+	idx := eval.IndexDatabase(db)
+	candidates := eval.Answers(q, idx)
+	var out []RankedAnswer
+	var total *big.Int
+	for _, tuple := range candidates {
+		binding := make(map[query.Var]Const, len(free))
+		for i, v := range free {
+			binding[v] = tuple[i]
+		}
+		bound := query.Substitute(q, binding)
+		inst, err := repairs.NewInstance(db, keys, bound)
+		if err != nil {
+			return nil, err
+		}
+		if total == nil {
+			total = inst.TotalRepairs()
+		}
+		n, _, err := inst.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		if n.Sign() == 0 {
+			continue
+		}
+		out = append(out, RankedAnswer{
+			Tuple:     tuple,
+			Count:     n,
+			Frequency: new(big.Rat).SetFrac(n, total),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Frequency.Cmp(out[j].Frequency); c != 0 {
+			return c > 0
+		}
+		return lessTuple(out[i].Tuple, out[j].Tuple)
+	})
+	return out, nil
+}
+
+func lessTuple(a, b []Const) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// CertainAnswers returns the tuples entailed by every repair (frequency 1)
+// — the classical consistent-answer semantics of Arenas, Bertossi &
+// Chomicki that the paper's counting semantics refines.
+func CertainAnswers(db *Database, keys *KeySet, q Formula) ([][]Const, error) {
+	ranked, err := RankAnswers(db, keys, q)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]Const
+	one := big.NewRat(1, 1)
+	for _, r := range ranked {
+		if r.Frequency.Cmp(one) == 0 {
+			out = append(out, r.Tuple)
+		}
+	}
+	return out, nil
+}
+
+// PossibleAnswers returns the tuples entailed by at least one repair
+// (frequency > 0).
+func PossibleAnswers(db *Database, keys *KeySet, q Formula) ([][]Const, error) {
+	ranked, err := RankAnswers(db, keys, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Const, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, r.Tuple)
+	}
+	return out, nil
+}

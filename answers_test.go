@@ -1,0 +1,130 @@
+package repaircount
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestRankAnswersExample(t *testing.T) {
+	db, keys, err := ParseInstanceString(exampleInstanceText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Who works in IT, and how certain is each name?
+	q, err := ParseQuery("exists i . Employee(i, n, 'IT')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankAnswers(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates over D: Bob, Alice, Tim. Frequencies: Bob 1/2 (only when
+	// his IT tuple survives), Alice 1/2, Tim 1/2.
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	half := big.NewRat(1, 2)
+	for _, r := range ranked {
+		if r.Frequency.Cmp(half) != 0 {
+			t.Errorf("tuple %v frequency %s, want 1/2", r.Tuple, r.Frequency)
+		}
+		if r.Count.Cmp(big.NewInt(2)) != 0 {
+			t.Errorf("tuple %v count %s, want 2", r.Tuple, r.Count)
+		}
+	}
+	// Ties broken lexicographically: Alice, Bob, Tim.
+	if ranked[0].Tuple[0] != "Alice" || ranked[1].Tuple[0] != "Bob" || ranked[2].Tuple[0] != "Tim" {
+		t.Fatalf("tie-break order wrong: %v", ranked)
+	}
+}
+
+func TestRankAnswersSortsByFrequency(t *testing.T) {
+	db, keys, err := ParseInstanceString(`
+		key P 1
+		P(1, x)
+		P(1, y)
+		P(2, x)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("exists i . P(i, v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankAnswers(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v=x holds in both repairs (P(2,x) is certain): frequency 1.
+	// v=y holds only when P(1,y) survives: frequency 1/2.
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].Tuple[0] != "x" || ranked[0].Frequency.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("top answer wrong: %v", ranked[0])
+	}
+	if ranked[1].Tuple[0] != "y" || ranked[1].Frequency.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("second answer wrong: %v", ranked[1])
+	}
+	certain, err := CertainAnswers(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certain) != 1 || certain[0][0] != "x" {
+		t.Fatalf("certain answers = %v, want [x]", certain)
+	}
+	possible, err := PossibleAnswers(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(possible) != 2 {
+		t.Fatalf("possible answers = %v", possible)
+	}
+}
+
+func TestRankAnswersRejections(t *testing.T) {
+	db, keys, _ := ParseInstanceString(exampleInstanceText)
+	if _, err := RankAnswers(db, keys, MustParseQuery(t, "!Employee(1, n, 'IT')")); err == nil {
+		t.Fatalf("FO query accepted by RankAnswers")
+	}
+	if _, err := RankAnswers(db, keys, MustParseQuery(t, "exists i, n . Employee(i, n, 'IT')")); err == nil {
+		t.Fatalf("Boolean query accepted by RankAnswers")
+	}
+}
+
+func MustParseQuery(t *testing.T, src string) Formula {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestRankAnswersOmitsZeroSupport(t *testing.T) {
+	// R(1,a) conflicts with R(1,b); query asks for pairs (v,w) with
+	// R(i,v) & R(i,w): (a,b) is an answer over D but no repair holds both.
+	db, keys, err := ParseInstanceString(`
+		key R 1
+		R(1, a)
+		R(1, b)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(t, "exists i . (R(i, v) & R(i, w))")
+	ranked, err := RankAnswers(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranked {
+		if r.Tuple[0] != r.Tuple[1] {
+			t.Fatalf("cross tuple %v has support %s; conflicting facts cannot co-occur", r.Tuple, r.Count)
+		}
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("want exactly (a,a) and (b,b), got %v", ranked)
+	}
+}

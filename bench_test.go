@@ -1,0 +1,296 @@
+package repaircount
+
+// Benchmark harness: one benchmark per experiment of the reproduction's
+// suite (E01–E15, see DESIGN.md §4 and EXPERIMENTS.md), each timing the
+// same code path that cmd/cqabench uses to regenerate the corresponding
+// table, plus micro-benchmarks for the hot algorithmic kernels (block
+// decomposition, homomorphism search, union-of-boxes counting, the FPRAS
+// sampler, the NTT simulator).
+//
+// Regenerate every table with:   go run ./cmd/cqabench
+// Time everything with:          go test -bench=. -benchmem
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/experiments"
+	"repaircount/internal/ntt"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+	"repaircount/internal/workload"
+)
+
+// benchExperiment drives one experiment end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := experiments.Params{Seed: 7, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE01ExampleOneOne(b *testing.B)     { benchExperiment(b, "E01") }
+func BenchmarkE02DecisionVsExact(b *testing.B)   { benchExperiment(b, "E02") }
+func BenchmarkE03NTTSpan(b *testing.B)           { benchExperiment(b, "E03") }
+func BenchmarkE04CompactorUnfold(b *testing.B)   { benchExperiment(b, "E04") }
+func BenchmarkE05HardnessReduction(b *testing.B) { benchExperiment(b, "E05") }
+func BenchmarkE06FPRASAccuracy(b *testing.B)     { benchExperiment(b, "E06") }
+func BenchmarkE07SampleComplexity(b *testing.B)  { benchExperiment(b, "E07") }
+func BenchmarkE08FPRASComparison(b *testing.B)   { benchExperiment(b, "E08") }
+func BenchmarkE09SATReduction(b *testing.B)      { benchExperiment(b, "E09") }
+func BenchmarkE10LambdaProblems(b *testing.B)    { benchExperiment(b, "E10") }
+func BenchmarkE11KeywidthOne(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12SpanLL(b *testing.B)            { benchExperiment(b, "E12") }
+func BenchmarkE13GraphProblems(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14SafePlan(b *testing.B)          { benchExperiment(b, "E14") }
+func BenchmarkE15ProbDBReduction(b *testing.B)   { benchExperiment(b, "E15") }
+
+// --- micro-benchmarks on the algorithmic kernels ---
+
+func employeeWorkload(b *testing.B, n int) (*relational.Database, *relational.KeySet, query.Formula) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(11, uint64(n)))
+	db, ks := workload.Employee(rng, n, 5, 0.4)
+	return db, ks, workload.SameDeptQuery(1, 2)
+}
+
+func BenchmarkBlocksDecomposition(b *testing.B) {
+	db, ks, _ := employeeWorkload(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := relational.Blocks(db, ks); len(got) == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+func BenchmarkTotalRepairs(b *testing.B) {
+	db, ks, _ := employeeWorkload(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if relational.NumRepairs(db, ks).Sign() <= 0 {
+			b.Fatal("bad total")
+		}
+	}
+}
+
+func BenchmarkDecisionLemma35(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 2000)
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.HasRepairEntailing()
+	}
+}
+
+func BenchmarkCertificateEnumeration(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 500)
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range in.Certificates() {
+			n++
+		}
+	}
+}
+
+func BenchmarkCountIE(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 200)
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.CountIE(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSafePlanJoin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	db, ks, err := workload.Generate(rng, []workload.RelationSpec{
+		{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: 128, BlockSizes: workload.Fixed{N: 2}, NumValues: 3},
+		{Pred: "S", KeyWidth: 1, Arity: 2, NumBlocks: 128, BlockSizes: workload.Fixed{N: 2}, NumValues: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.MustParse("exists x, y, z . (R(x, y) & S(x, z))")
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := in.CountSafePlan(); !ok {
+			b.Fatal("unsafe")
+		}
+	}
+}
+
+func BenchmarkFPRASSample(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 500)
+	in := repairs.MustInstance(db, ks, q)
+	c, err := in.Compactor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	member := c.MemberFunc()
+	rng := rand.New(rand.NewPCG(15, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SampleOnce(c.Doms, member, rng)
+	}
+}
+
+func BenchmarkKarpLubySample(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 200)
+	in := repairs.MustInstance(db, ks, q)
+	rng := rand.New(rand.NewPCG(17, 18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.KarpLuby(64, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNTTSpanSmall(b *testing.B) {
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	)
+	ks := relational.Keys(map[string]int{"Employee": 1})
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ntt.Span(ntt.CQATransducer(in.UCQ, in.Keys, in.DB), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomomorphismSearch(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 1000)
+	in := repairs.MustInstance(db, ks, q)
+	cq := in.UCQ.Disjuncts[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.HasConsistentHom(cq, in.Idx, ks)
+	}
+}
+
+func BenchmarkFOEvaluation(b *testing.B) {
+	db, ks, _ := employeeWorkload(b, 300)
+	_ = ks
+	idx := eval.IndexDatabase(db)
+	q := query.MustParse("forall i, n, d . (Employee(i, n, d) -> exists m, e . Employee(i, m, e))")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.EvalBoolean(q, idx)
+	}
+}
+
+func BenchmarkUnionIE(b *testing.B) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	doms := make([]core.Domain, 24)
+	for i := range doms {
+		doms[i] = core.MustDomain("d", "e0", "e1", "e2")
+	}
+	var boxes []core.Selector
+	for j := 0; j < 14; j++ {
+		var pins []core.Pin
+		for _, i := range rng.Perm(len(doms))[:2] {
+			pins = append(pins, core.Pin{Index: i, Elem: core.Element("e" + string(rune('0'+rng.IntN(3))))})
+		}
+		boxes = append(boxes, core.MustSelector(doms, pins...))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CountUnionIE(doms, boxes, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairEnumeration(b *testing.B) {
+	db, ks := workload.PairsDatabase(16)
+	blocks := relational.Blocks(db, ks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range relational.Repairs(blocks) {
+			n++
+		}
+		if n != 1<<16 {
+			b.Fatalf("enumerated %d repairs", n)
+		}
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	src := "exists x, y, z . (Employee(1, x, y) & Employee(2, z, y) & !(Dept(y) -> Large(y)))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseInstance(b *testing.B) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	db, ks := workload.Employee(rng, 500, 5, 0.4)
+	var sb []byte
+	{
+		s := ks.String() + db.String()
+		sb = []byte(s)
+	}
+	b.SetBytes(int64(len(sb)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := relational.ParseInstanceString(string(sb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: estimates stay sane under the bench workloads (run as a test so
+// `go test` exercises the bench fixtures too).
+func TestBenchFixturesSane(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 500))
+	db, ks := workload.Employee(rng, 500, 5, 0.4)
+	in := repairs.MustInstance(db, ks, workload.SameDeptQuery(1, 2))
+	if in.TotalRepairs().Cmp(big.NewInt(0)) <= 0 {
+		t.Fatal("bad total")
+	}
+	c, err := in.Compactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Command cqabench runs the reproduction's experiment suite (E01–E15, see
+// DESIGN.md and EXPERIMENTS.md) and prints one table per experiment.
+//
+// Usage:
+//
+//	cqabench                  # run everything
+//	cqabench -experiment E06  # one experiment
+//	cqabench -quick           # smaller workloads
+//	cqabench -seed 42         # deterministic tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repaircount/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (e.g. E06); empty runs all")
+		seed       = flag.Uint64("seed", 7, "random seed driving all workloads")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	p := experiments.Params{Seed: *seed, Quick: *quick}
+	var tables []*experiments.Table
+	if *experiment != "" {
+		t, err := experiments.Run(*experiment, p)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, t)
+	} else {
+		var err error
+		tables, err = experiments.RunAll(p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Counting Database Repairs under Primary Keys Revisited — experiment run\n")
+	fmt.Fprintf(&b, "# seed=%d quick=%v\n\n", *seed, *quick)
+	for _, t := range tables {
+		t.Render(&b)
+	}
+	fmt.Print(b.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeExampleDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "example.db")
+	err := os.WriteFile(path, []byte(`
+key Employee 1
+Employee(1, Bob, HR)
+Employee(1, Bob, IT)
+Employee(2, Alice, IT)
+Employee(2, Tim, IT)
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const exampleQuery = "exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))"
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestTotalAndBlocks(t *testing.T) {
+	db := writeExampleDB(t)
+	if got := strings.TrimSpace(runCmd(t, "total", "-db", db)); got != "4" {
+		t.Fatalf("total = %q, want 4", got)
+	}
+	blocks := runCmd(t, "blocks", "-db", db)
+	if !strings.Contains(blocks, "size=2") || !strings.Contains(blocks, "Employee(1,Bob,HR)") {
+		t.Fatalf("blocks output wrong:\n%s", blocks)
+	}
+}
+
+func TestCountDecideFreq(t *testing.T) {
+	db := writeExampleDB(t)
+	count := runCmd(t, "count", "-db", db, "-query", exampleQuery)
+	if !strings.HasPrefix(count, "2\t") || !strings.Contains(count, "keywidth: 2") {
+		t.Fatalf("count output wrong: %q", count)
+	}
+	if got := strings.TrimSpace(runCmd(t, "decide", "-db", db, "-query", exampleQuery)); got != "true" {
+		t.Fatalf("decide = %q", got)
+	}
+	freq := runCmd(t, "freq", "-db", db, "-query", exampleQuery)
+	if !strings.HasPrefix(freq, "1/2\t") {
+		t.Fatalf("freq output wrong: %q", freq)
+	}
+}
+
+func TestApprox(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "approx", "-db", db, "-query", exampleQuery, "-eps", "0.2", "-delta", "0.1", "-seed", "5")
+	if !strings.Contains(out, "samples") {
+		t.Fatalf("approx output wrong: %q", out)
+	}
+	var est float64
+	if _, err := fmtSscanFirst(out, &est); err != nil {
+		t.Fatalf("cannot parse estimate from %q: %v", out, err)
+	}
+	if est < 1.5 || est > 2.5 {
+		t.Fatalf("estimate %.2f far from 2", est)
+	}
+}
+
+func TestTupleBinding(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "count", "-db", db, "-query", "exists n . Employee(1, n, d)", "-tuple", "HR")
+	if !strings.HasPrefix(out, "2\t") {
+		t.Fatalf("bound count = %q, want 2", out)
+	}
+}
+
+func TestRank(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "rank", "-db", db, "-query", "exists i . Employee(i, n, 'IT')")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rank output wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "Alice") || !strings.Contains(lines[0], "1/2") {
+		t.Fatalf("rank first line wrong: %q", lines[0])
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "analyze", "-db", db, "-query", exampleQuery)
+	for _, want := range []string{
+		"fragment:            CQ",
+		"keywidth kw(Q,Σ):    2",
+		"blocks:              2 total, 2 conflicting, max size m = 2",
+		"certificates:",
+		"decision #CQA>0:     true",
+		"FPRAS sample bound:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	// FO query: analyze reports the hardness facts instead of certificates.
+	foOut := runCmd(t, "analyze", "-db", db, "-query", "!Employee(1, 'Bob', 'HR')")
+	if !strings.Contains(foOut, "not existential positive") {
+		t.Errorf("FO analyze output wrong:\n%s", foOut)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := writeExampleDB(t)
+	var sb strings.Builder
+	cases := [][]string{
+		{},                                      // no command
+		{"bogus", "-db", db},                    // unknown command
+		{"count", "-db", db},                    // missing query
+		{"count"},                               // missing db
+		{"count", "-db", "/nonexistent"},        // unreadable db
+		{"count", "-db", db, "-query", "R(x))"}, // bad query
+		{"freq", "-db", db, "-query", "Employee(1, n, d)"}, // free vars unbound
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// fmtSscanFirst extracts the leading float from a line.
+func fmtSscanFirst(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
+	*v = f
+	return 1, err
+}

@@ -1,0 +1,66 @@
+// Command workloadgen emits synthetic inconsistent databases in the text
+// codec, for use with repairctl and external tooling.
+//
+// Usage:
+//
+//	workloadgen -kind employee -n 200 -conflict 0.3 -seed 7 > employees.db
+//	workloadgen -kind pairs -n 64 > pairs.db
+//	workloadgen -kind random -n 50 -blocksize-max 4 -zipf > random.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "employee", "workload kind: employee | pairs | random")
+		n        = flag.Int("n", 100, "scale (employees / blocks)")
+		conflict = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
+		depts    = flag.Int("depts", 4, "number of departments (employee kind)")
+		maxSize  = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
+		zipf     = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
+		values   = flag.Int("values", 5, "value alphabet size (random kind)")
+		seed     = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewPCG(*seed, 99))
+	var (
+		db  *relational.Database
+		ks  *relational.KeySet
+		err error
+	)
+	switch *kind {
+	case "employee":
+		db, ks = workload.Employee(rng, *n, *depts, *conflict)
+	case "pairs":
+		db, ks = workload.PairsDatabase(*n)
+	case "random":
+		var dist workload.Dist = workload.Uniform{Lo: 1, Hi: *maxSize}
+		if *zipf {
+			dist = workload.Zipf{S: 1.5, V: 1, Max: *maxSize}
+		}
+		db, ks, err = workload.Generate(rng, []workload.RelationSpec{
+			{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: *n, BlockSizes: dist, NumValues: *values},
+			{Pred: "S", KeyWidth: 1, Arity: 1, NumBlocks: *n / 2, BlockSizes: dist, NumValues: *values},
+		})
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# workloadgen -kind %s -n %d -seed %d\n", *kind, *n, *seed)
+	fmt.Printf("# facts=%d repairs=%s\n", db.Len(), relational.NumRepairs(db, ks))
+	if err := relational.WriteInstance(os.Stdout, db, ks); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}

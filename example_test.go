@@ -1,0 +1,93 @@
+package repaircount_test
+
+import (
+	"fmt"
+	"log"
+
+	"repaircount"
+)
+
+// The database of the paper's Example 1.1: employee 1 has two candidate
+// departments, employee 2 two candidate names — four repairs in total.
+const instanceText = `
+key Employee 1
+Employee(1, Bob, HR)
+Employee(1, Bob, IT)
+Employee(2, Alice, IT)
+Employee(2, Tim, IT)
+`
+
+func ExampleNewCounter() {
+	db, keys, err := repaircount.ParseInstanceString(instanceText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := repaircount.ParseQuery(
+		"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := repaircount.NewCounter(db, keys, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, _, err := c.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	freq, err := c.RelativeFrequency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total repairs:", c.Total())
+	fmt.Println("entailing Q:  ", count)
+	fmt.Println("frequency:    ", freq)
+	// Output:
+	// total repairs: 4
+	// entailing Q:   2
+	// frequency:     1/2
+}
+
+func ExampleCounter_Decide() {
+	db, keys, _ := repaircount.ParseInstanceString(instanceText)
+	// No repair can keep both conflicting Employee(1, ...) tuples.
+	q, _ := repaircount.ParseQuery(
+		"exists n, m . (Employee(1, n, 'HR') & Employee(1, m, 'IT'))")
+	c, err := repaircount.NewCounter(db, keys, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Decide())
+	// Output:
+	// false
+}
+
+func ExampleRankAnswers() {
+	db, keys, _ := repaircount.ParseInstanceString(instanceText)
+	q, _ := repaircount.ParseQuery("exists i . Employee(i, n, 'IT')")
+	ranked, err := repaircount.RankAnswers(db, keys, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ranked {
+		fmt.Printf("%s %s\n", r.Tuple[0], r.Frequency.RatString())
+	}
+	// Output:
+	// Alice 1/2
+	// Bob 1/2
+	// Tim 1/2
+}
+
+func ExampleBind() {
+	db, keys, _ := repaircount.ParseInstanceString(instanceText)
+	q, _ := repaircount.ParseQuery("exists n . Employee(1, n, d)")
+	bound, err := repaircount.Bind(q, "IT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, _ := repaircount.NewCounter(db, keys, bound)
+	count, _, _ := c.Count()
+	fmt.Println(count)
+	// Output:
+	// 2
+}

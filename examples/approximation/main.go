@@ -1,0 +1,89 @@
+// Approximation: tuning the Theorem 6.2 FPRAS on a realistic workload.
+//
+// A 40-employee database with 35% conflicting entities is too large for
+// repair enumeration to be comfortable, but the query's keywidth is 2, so
+// the FPRAS sample bound t = (2+ε)·m²/ε²·ln(2/δ) stays small. The program
+// sweeps ε, compares estimates against the exact count (computed by
+// certificate inclusion–exclusion), and contrasts the natural-space
+// sampler with the Karp–Luby estimator at the same budget.
+//
+// Run with: go run ./examples/approximation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand/v2"
+
+	"repaircount"
+	"repaircount/internal/core"
+	"repaircount/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	db, keys := workload.Employee(rng, 40, 5, 0.35)
+
+	// Find an id pair whose same-department status is genuinely uncertain:
+	// entailed by some but not all repairs.
+	var (
+		c     *repaircount.Counter
+		exact *big.Int
+		algo  string
+	)
+	found := false
+search:
+	for id1 := 1; id1 <= 10 && !found; id1++ {
+		for id2 := id1 + 1; id2 <= 20; id2++ {
+			q := workload.SameDeptQuery(id1, id2)
+			cand, err := repaircount.NewCounter(db, keys, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n, a, err := cand.Count()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if n.Sign() > 0 && n.Cmp(cand.Total()) < 0 {
+				c, exact, algo = cand, n, a
+				fmt.Printf("query: are employees %d and %d in the same department?\n", id1, id2)
+				found = true
+				break search
+			}
+		}
+	}
+	if !found {
+		log.Fatal("no uncertain id pair found; change the seed")
+	}
+	fmt.Printf("employee database: %d facts, %s repairs, query keywidth %d\n\n",
+		db.Len(), c.Total(), c.Keywidth())
+	fmt.Printf("exact count (%s): %s\n\n", algo, exact)
+
+	fmt.Println("ε sweep (δ = 0.05):")
+	fmt.Printf("%-8s %-10s %-14s %-10s\n", "ε", "samples t", "estimate", "rel err")
+	for _, eps := range []float64{0.5, 0.25, 0.1, 0.05} {
+		est, err := c.Approximate(eps, 0.05, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-10d %-14s %-10.4f\n",
+			eps, est.Samples, est.Value.Text('f', 1), core.RelativeError(est.Value, exact))
+	}
+
+	// Karp–Luby over the certificate boxes, at the ε=0.1 budget.
+	inst := c.Instance()
+	est, err := c.Approximate(0.1, 0.05, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kl, err := inst.KarpLuby(est.Samples, rand.New(rand.NewPCG(100, 1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nKarp–Luby at the same budget (%d samples): %s (rel err %.4f)\n",
+		kl.Samples, kl.Value.Text('f', 1), core.RelativeError(kl.Value, exact))
+	fmt.Println("\nboth estimators are FPRAS here; the paper's contribution is that the")
+	fmt.Println("natural-space sampler (top table) is conceptually simpler — it draws")
+	fmt.Println("repairs directly, one uniform pick per conflict block (Algorithm 3).")
+}

@@ -1,0 +1,69 @@
+// Quickstart: Example 1.1 of the paper, end to end.
+//
+// The Employee table is inconsistent: employee 1 has two departments and
+// employee 2 two names. Its four repairs each pick one tuple per conflict
+// block; the query "do employees 1 and 2 work in the same department?" is
+// entailed by two of the four repairs, so its relative frequency is 1/2 —
+// strictly more informative than certain answers (which say only "not
+// certain").
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repaircount"
+)
+
+func main() {
+	db, keys, err := repaircount.ParseInstanceString(`
+		key Employee 1
+		Employee(1, Bob, HR)
+		Employee(1, Bob, IT)
+		Employee(2, Alice, IT)
+		Employee(2, Tim, IT)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := repaircount.ParseQuery(
+		"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := repaircount.NewCounter(db, keys, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := c.Total()
+	count, algo, err := c.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	freq, err := c.RelativeFrequency()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("database: the Employee table of Example 1.1 (4 facts, 2 conflict blocks)")
+	fmt.Printf("query:    %s\n", q)
+	fmt.Printf("fragment: %s, keywidth: %d\n\n", c.Fragment(), c.Keywidth())
+	fmt.Printf("total repairs:        %s\n", total)
+	fmt.Printf("repairs entailing Q:  %s   (exact, via %s)\n", count, algo)
+	fmt.Printf("relative frequency:   %s\n", freq)
+	fmt.Printf("certain answer:       %v (entailed by every repair?)\n", count.Cmp(total) == 0)
+	fmt.Printf("possible answer:      %v (entailed by some repair?)\n\n", c.Decide())
+
+	// The same number, approximated by the paper's FPRAS (Theorem 6.2).
+	est, err := c.Approximate(0.1, 0.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FPRAS estimate:       %s  (ε=0.1, δ=0.05, t=%d samples)\n",
+		est.Value.Text('f', 3), est.Samples)
+}

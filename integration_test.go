@@ -1,0 +1,152 @@
+package repaircount
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repaircount/internal/ntt"
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+// TestEndToEndPipeline exercises the whole stack in one pass:
+// generate a workload → serialize → parse back → count with every exact
+// algorithm → validate the Algorithm 2 compactor → cross-check the
+// Algorithm 1 NTT → approximate with the FPRAS → rank answers.
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2025, 610))
+	gdb, gks := workload.Employee(rng, 12, 3, 0.5)
+
+	// Serialize and re-parse: the text codec must round-trip the instance.
+	var b strings.Builder
+	if err := relational.WriteInstance(&b, gdb, gks); err != nil {
+		t.Fatal(err)
+	}
+	db, keys, err := ParseInstanceString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != gdb.Len() {
+		t.Fatalf("codec round trip lost facts: %d vs %d", db.Len(), gdb.Len())
+	}
+
+	q := workload.SameDeptQuery(1, 2)
+	c, err := NewCounter(db, keys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := c.Instance()
+
+	// Every exact algorithm agrees.
+	enum, err := inst.CountEnumUCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := inst.CountIE(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := inst.CountCompactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := inst.CountEnumFO(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*big.Int{"ie": ie, "compactor": comp, "fo": fo} {
+		if got.Cmp(enum) != 0 {
+			t.Fatalf("%s = %s, enum = %s", name, got, enum)
+		}
+	}
+
+	// The compactor is structurally valid and the NTT span agrees.
+	cc, err := inst.Compactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	span, err := ntt.Span(ntt.CQATransducer(inst.UCQ, inst.Keys, inst.DB), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(enum) != 0 {
+		t.Fatalf("NTT span %s vs exact %s", span, enum)
+	}
+
+	// Decision consistency.
+	if c.Decide() != (enum.Sign() > 0) {
+		t.Fatalf("decision disagrees with count")
+	}
+
+	// FPRAS lands in the ε-band (when the count is non-trivial).
+	if enum.Sign() > 0 {
+		est, err := c.Approximate(0.2, 0.05, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := new(big.Float).Mul(new(big.Float).SetInt(enum), big.NewFloat(0.8))
+		hi := new(big.Float).Mul(new(big.Float).SetInt(enum), big.NewFloat(1.2))
+		if est.Value.Cmp(lo) < 0 || est.Value.Cmp(hi) > 0 {
+			t.Fatalf("FPRAS estimate %v outside [%v, %v]", est.Value, lo, hi)
+		}
+	}
+
+	// Answer ranking over a non-Boolean variant.
+	rq, err := ParseQuery("exists i, n . Employee(i, n, d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankAnswers(db, keys, rq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatalf("no departments ranked")
+	}
+	prev := big.NewRat(2, 1)
+	for _, r := range ranked {
+		if r.Frequency.Cmp(prev) > 0 {
+			t.Fatalf("ranking not sorted: %v", ranked)
+		}
+		prev = r.Frequency
+		if r.Frequency.Sign() <= 0 || r.Frequency.Cmp(big.NewRat(1, 1)) > 0 {
+			t.Fatalf("frequency %s out of (0,1]", r.Frequency)
+		}
+	}
+}
+
+// TestRobustnessNoPanics feeds malformed inputs through every parser: they
+// must return errors, never panic.
+func TestRobustnessNoPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	alphabet := `R(x,y)'"\&|!->.,exists forall key 123 #$%⋆ ` + "\n\t"
+	for i := 0; i < 3000; i++ {
+		n := rng.IntN(40)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.IntN(len(alphabet))])
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on query input %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseQuery(src)
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on instance input %q: %v", src, r)
+				}
+			}()
+			_, _, _ = ParseInstanceString(src)
+		}()
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"math/big"
+	"math/rand/v2"
+)
+
+// UniformBigInt draws a uniform random integer in [0, n) using rejection
+// sampling over the minimal number of random bits. n must be positive.
+func UniformBigInt(rng *rand.Rand, n *big.Int) *big.Int {
+	if n.Sign() <= 0 {
+		panic("core: UniformBigInt needs n > 0")
+	}
+	bits := n.BitLen()
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	mask := byte(0xFF >> (uint(bytes*8 - bits)))
+	out := new(big.Int)
+	for {
+		for i := 0; i < bytes; i += 8 {
+			v := rng.Uint64()
+			for j := 0; j < 8 && i+j < bytes; j++ {
+				buf[i+j] = byte(v >> (8 * uint(j)))
+			}
+		}
+		buf[0] &= mask
+		out.SetBytes(buf)
+		if out.Cmp(n) < 0 {
+			return out
+		}
+	}
+}

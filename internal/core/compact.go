@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the syntactic shape of compact representations
+// (paper §4.3): for non-empty sets S1,...,Sn and k ≥ 0, [[S1,...,Sn]]_k is
+//
+//	{ϵ} ∪ { s1$s2$...$sn | s_i ∈ S_i  or  s_i = #s_i^1$...$s_i^{ℓ_i}#,
+//	        and |{i : s_i ∈ S_i}| ≤ k }
+//
+// A pinned coordinate is written as the chosen element; an unpinned one as
+// the full listing of its domain between '#'. Elements are escaped so that
+// '$' and '#' inside elements cannot be confused with separators. The empty
+// string ϵ is the rejection output (unfolding(ϵ) = ∅).
+//
+// SpanLL (§7.2) uses the same shape without the ≤ k bound: pass k < 0 to
+// mean "unbounded" ([[S1,...,Sn]]).
+
+// Unbounded selects the SpanLL variant [[S1,...,Sn]] of the shape (no bound
+// on the number of selected coordinates).
+const Unbounded = -1
+
+// EncodeCompact renders the compact representation of the box [S1..Sn]_σ in
+// the paper's shape. With n = 0 the encoding is the empty concatenation;
+// use the (selector, ok) representation where the ε-ambiguity matters.
+func EncodeCompact(doms []Domain, sel Selector) string {
+	var b strings.Builder
+	j := 0
+	for i, d := range doms {
+		if i > 0 {
+			b.WriteByte('$')
+		}
+		if j < len(sel) && sel[j].Index == i {
+			b.WriteString(escElement(sel[j].Elem))
+			j++
+			continue
+		}
+		b.WriteByte('#')
+		for t, e := range d.Elems {
+			if t > 0 {
+				b.WriteByte('$')
+			}
+			b.WriteString(escElement(e))
+		}
+		b.WriteByte('#')
+	}
+	return b.String()
+}
+
+// ParseCompact parses a string against the shape [[S1,...,Sn]]_k and
+// returns the selector it represents. valid is false for ϵ (the rejection
+// output). It is an error if the string is not in the shape: wrong arity,
+// a full listing not equal to the domain, a pinned element outside its
+// domain, or more than k pinned coordinates (for k ≥ 0).
+func ParseCompact(doms []Domain, k int, s string) (sel Selector, valid bool, err error) {
+	if s == "" && len(doms) > 0 {
+		return nil, false, nil // ϵ
+	}
+	toks, err := splitCompact(s)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(doms) == 0 {
+		// The empty domain sequence: the only non-ϵ member is the empty
+		// concatenation, which is also "". We treat it as the valid empty
+		// selector (see package docs for this corner of the paper's shape).
+		if s != "" {
+			return nil, false, fmt.Errorf("core: compact string %q for empty domain sequence", s)
+		}
+		return Selector{}, true, nil
+	}
+	if len(toks) != len(doms) {
+		return nil, false, fmt.Errorf("core: compact string has %d coordinates, want %d", len(toks), len(doms))
+	}
+	for i, tok := range toks {
+		if tok.full {
+			if len(tok.list) != doms[i].Size() {
+				return nil, false, fmt.Errorf("core: coordinate %d lists %d elements, domain has %d", i, len(tok.list), doms[i].Size())
+			}
+			for t, e := range tok.list {
+				if doms[i].Elems[t] != e {
+					return nil, false, fmt.Errorf("core: coordinate %d full listing differs from domain at position %d: %q vs %q", i, t, e, doms[i].Elems[t])
+				}
+			}
+			continue
+		}
+		if doms[i].Index(tok.elem) < 0 {
+			return nil, false, fmt.Errorf("core: coordinate %d pinned to %q, not in domain %q", i, tok.elem, doms[i].Name)
+		}
+		sel = append(sel, Pin{Index: i, Elem: tok.elem})
+	}
+	if k >= 0 && len(sel) > k {
+		return nil, false, fmt.Errorf("core: compact string selects %d coordinates, exceeding k = %d", len(sel), k)
+	}
+	return sel, true, nil
+}
+
+// compactTok is one coordinate of a compact string: either a single pinned
+// element or a full-domain listing.
+type compactTok struct {
+	full bool
+	elem Element   // when !full
+	list []Element // when full
+}
+
+// splitCompact tokenizes a compact string on top-level '$' separators,
+// treating '#...#' groups as single full-listing tokens.
+func splitCompact(s string) ([]compactTok, error) {
+	var toks []compactTok
+	i := 0
+	for {
+		if i < len(s) && s[i] == '#' {
+			// Full listing: scan to the closing '#'.
+			j := strings.IndexByte(s[i+1:], '#')
+			if j < 0 {
+				return nil, fmt.Errorf("core: unterminated '#' listing in %q", s)
+			}
+			body := s[i+1 : i+1+j]
+			var list []Element
+			for _, part := range strings.Split(body, "$") {
+				e, err := unescElement(part)
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+			}
+			toks = append(toks, compactTok{full: true, list: list})
+			i += j + 2
+		} else {
+			// Pinned element: up to the next top-level '$' or end.
+			j := strings.IndexByte(s[i:], '$')
+			var part string
+			if j < 0 {
+				part = s[i:]
+				i = len(s)
+			} else {
+				part = s[i : i+j]
+				i += j
+			}
+			e, err := unescElement(part)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, compactTok{elem: e})
+		}
+		if i == len(s) {
+			return toks, nil
+		}
+		if s[i] != '$' {
+			return nil, fmt.Errorf("core: expected '$' at offset %d of %q", i, s)
+		}
+		i++
+		if i == len(s) {
+			// Trailing separator: final coordinate is an empty element,
+			// which domains forbid.
+			return nil, fmt.Errorf("core: trailing '$' in %q", s)
+		}
+	}
+}
+
+// ValidateCompact checks that s ∈ [[S1,...,Sn]]_k.
+func ValidateCompact(doms []Domain, k int, s string) error {
+	_, _, err := ParseCompact(doms, k, s)
+	return err
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file computes unfold_M(x) = |⋃_c unfolding(M(x,c))| exactly, in two
+// independent ways that cross-validate each other:
+//
+//  1. inclusion–exclusion over the distinct boxes (fast when the number of
+//     distinct boxes is moderate; exact for any domain sizes), and
+//  2. direct enumeration of the universe U = S1×...×Sn with a membership
+//     test (exponential in n; the ground truth for small instances).
+
+// DefaultIENodeBudget bounds the number of subset nodes the
+// inclusion–exclusion DFS may visit before giving up.
+const DefaultIENodeBudget = 8_000_000
+
+// ErrBudget is returned when an exact counter exceeds its work budget.
+var ErrBudget = fmt.Errorf("core: exact count exceeds work budget")
+
+// CountUnionIE computes |⋃_b [S1..Sn]_b| by inclusion–exclusion over the
+// boxes with empty-intersection pruning: the DFS enumerates exactly the
+// subsets of boxes with non-empty intersection (intersections of boxes are
+// boxes; incompatible merges prune whole subtrees soundly because
+// intersections only shrink). budget ≤ 0 selects DefaultIENodeBudget.
+func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error) {
+	if budget <= 0 {
+		budget = DefaultIENodeBudget
+	}
+	boxes = DedupeSelectors(boxes)
+	total := new(big.Int)
+	nodes := 0
+	var rec func(start int, cur Selector, sign int) error
+	rec = func(start int, cur Selector, sign int) error {
+		for i := start; i < len(boxes); i++ {
+			merged, ok := cur.Merge(boxes[i])
+			if !ok {
+				continue
+			}
+			nodes++
+			if nodes > budget {
+				return ErrBudget
+			}
+			sz := merged.BoxSize(doms)
+			if sign > 0 {
+				total.Add(total, sz)
+			} else {
+				total.Sub(total, sz)
+			}
+			if err := rec(i+1, merged, -sign); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil, 1); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// CountUnionEnum computes |⋃_b [S1..Sn]_b| by enumerating U and testing
+// membership; member defaults to a test against the boxes. It fails with
+// ErrBudget when |U| exceeds the budget (≤ 0 selects 4,000,000).
+func CountUnionEnum(doms []Domain, boxes []Selector, member func([]Element) bool, budget int) (*big.Int, error) {
+	if budget <= 0 {
+		budget = 4_000_000
+	}
+	u := UniverseSize(doms)
+	if u.Cmp(big.NewInt(int64(budget))) > 0 {
+		return nil, ErrBudget
+	}
+	if member == nil {
+		member = func(tuple []Element) bool {
+			for _, b := range boxes {
+				if b.ContainsTuple(tuple) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	for tuple := range EnumerateUniverse(doms) {
+		if member(tuple) {
+			count.Add(count, one)
+		}
+	}
+	return count, nil
+}
+
+// EnumerateUniverse iterates over U = S1×...×Sn in lexicographic order.
+// The yielded tuple is reused; copy it if retained. The empty domain
+// sequence yields exactly one empty tuple.
+func EnumerateUniverse(doms []Domain) func(yield func([]Element) bool) {
+	return func(yield func([]Element) bool) {
+		n := len(doms)
+		idx := make([]int, n)
+		tuple := make([]Element, n)
+		for {
+			for i := range doms {
+				tuple[i] = doms[i].Elems[idx[i]]
+			}
+			if !yield(tuple) {
+				return
+			}
+			i := n - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < doms[i].Size() {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+		}
+	}
+}
+
+// CountExact computes unfold_M(x) by inclusion–exclusion over the
+// compactor's distinct boxes.
+func (c *Compactor) CountExact() (*big.Int, error) {
+	return CountUnionIE(c.Doms, c.Boxes(), 0)
+}
+
+// CountExactEnum computes unfold_M(x) by universe enumeration, using the
+// compactor's membership predicate; ground truth for small instances.
+func (c *Compactor) CountExactEnum() (*big.Int, error) {
+	return CountUnionEnum(c.Doms, c.Boxes(), c.MemberFunc(), 0)
+}

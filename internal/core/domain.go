@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution in executable
+// form: the Λ-hierarchy machinery of Section 4 — ℓ-selectors, cartesian
+// products [S1,...,Sn]_σ ("boxes"), the compact-representation string shape
+// [[S1,...,Sn]]_k, logspace k-compactors (Definition 4.1), unfolding, and
+// exact counting of unfold_M — together with the approximation engine of
+// Section 6: the Sample routine (Algorithm 3), the Apx FPRAS with the
+// Chernoff sample bound t = (2+ε)·m^k/ε²·ln(2/δ) (Theorem 6.2), the
+// Karp–Luby estimator over the "complex sample space" used for SpanLL
+// functions (§7.2), and a naive Monte-Carlo baseline.
+//
+// Everything is generic over string-encoded solution domains, so the same
+// machinery counts repairs (#CQA), satisfying P-assignments (#DisjPoskDNF),
+// forbidden colorings (#kForbColoring) and the graph problems of §4.1.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Element is a member of a solution domain: a non-empty string encoding of
+// one choice (a fact, a variable set to 1, a colored vertex, ...).
+type Element string
+
+// Domain is a non-empty, duplicate-free, ordered set of elements — one of
+// the solution domains S1,...,Sn of the paper. The order is fixed and
+// canonical (it determines the #...# full-listing encoding and tuple
+// enumeration order).
+type Domain struct {
+	// Name identifies the domain for diagnostics (e.g. a block key).
+	Name string
+	// Elems are the members, in canonical order.
+	Elems []Element
+}
+
+// NewDomain builds a domain, validating non-emptiness, non-empty elements
+// and uniqueness.
+func NewDomain(name string, elems ...Element) (Domain, error) {
+	d := Domain{Name: name, Elems: elems}
+	if err := d.Validate(); err != nil {
+		return Domain{}, err
+	}
+	return d, nil
+}
+
+// MustDomain is NewDomain that panics on error.
+func MustDomain(name string, elems ...Element) Domain {
+	d, err := NewDomain(name, elems...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Validate checks the domain invariants: at least one element, no empty
+// elements (the compact-string codec relies on it), no duplicates.
+func (d Domain) Validate() error {
+	if len(d.Elems) == 0 {
+		return fmt.Errorf("core: domain %q is empty; the paper requires non-empty solution domains", d.Name)
+	}
+	seen := make(map[Element]bool, len(d.Elems))
+	for _, e := range d.Elems {
+		if e == "" {
+			return fmt.Errorf("core: domain %q contains an empty element", d.Name)
+		}
+		if seen[e] {
+			return fmt.Errorf("core: domain %q contains duplicate element %q", d.Name, e)
+		}
+		seen[e] = true
+	}
+	return nil
+}
+
+// Size returns |S_i|.
+func (d Domain) Size() int { return len(d.Elems) }
+
+// Index returns the position of e in the domain, or -1.
+func (d Domain) Index(e Element) int {
+	for i, x := range d.Elems {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValidateDomains validates a sequence of domains.
+func ValidateDomains(doms []Domain) error {
+	for i, d := range doms {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("core: domain %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// UniverseSize returns |U| = ∏ |S_i| (1 for the empty sequence).
+func UniverseSize(doms []Domain) *big.Int {
+	n := big.NewInt(1)
+	for _, d := range doms {
+		n.Mul(n, big.NewInt(int64(d.Size())))
+	}
+	return n
+}
+
+// MaxDomainSize returns m = max_i |S_i| (0 for the empty sequence): the
+// quantity in the FPRAS sample bound.
+func MaxDomainSize(doms []Domain) int {
+	m := 0
+	for _, d := range doms {
+		if d.Size() > m {
+			m = d.Size()
+		}
+	}
+	return m
+}
+
+// escElement escapes an element for the compact-string codec: '%', '$' and
+// '#' become %25, %24 and %23 so the separators of the paper's shape stay
+// unambiguous.
+func escElement(e Element) string {
+	if !strings.ContainsAny(string(e), "%$#") {
+		return string(e)
+	}
+	var b strings.Builder
+	for i := 0; i < len(e); i++ {
+		switch e[i] {
+		case '%':
+			b.WriteString("%25")
+		case '$':
+			b.WriteString("%24")
+		case '#':
+			b.WriteString("%23")
+		default:
+			b.WriteByte(e[i])
+		}
+	}
+	return b.String()
+}
+
+// unescElement inverts escElement.
+func unescElement(s string) (Element, error) {
+	if !strings.Contains(s, "%") {
+		return Element(s), nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("core: dangling escape in %q", s)
+		}
+		switch s[i : i+3] {
+		case "%25":
+			b.WriteByte('%')
+		case "%24":
+			b.WriteByte('$')
+		case "%23":
+			b.WriteByte('#')
+		default:
+			return "", fmt.Errorf("core: bad escape %q in %q", s[i:i+3], s)
+		}
+		i += 3
+	}
+	return Element(b.String()), nil
+}

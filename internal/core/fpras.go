@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand/v2"
+)
+
+// This file implements Section 6 of the paper: the Sample routine
+// (Algorithm 3) and the Apx fully polynomial-time randomized approximation
+// scheme of Theorem 6.2 for functions in Λ[k].
+//
+// Sample draws a tuple uniformly from the natural sample space
+// U = S1×...×Sn and reports whether it lies in some unfolding; the key
+// inequality f(x)/|U| ≥ 1/m^k (every valid certificate leaves at most k
+// coordinates pinned, so its box has at least |U|/m^k tuples) makes the
+// hit probability polynomially bounded below, so
+// t = (2+ε)·m^k/ε² · ln(2/δ) samples suffice by Chernoff's inequality.
+
+// Estimate is the outcome of a randomized counting run.
+type Estimate struct {
+	// Value approximates f(x).
+	Value *big.Float
+	// Samples is the number of trials t used.
+	Samples int
+	// Hits is the number of successful trials.
+	Hits int
+}
+
+// Float64 returns the estimate as a float64 (may overflow to +Inf for
+// astronomically large counts).
+func (e Estimate) Float64() float64 {
+	v, _ := e.Value.Float64()
+	return v
+}
+
+// SampleOnce is one trial of Algorithm 3: draw s_i ∈ S_i uniformly and
+// independently for every i, and report whether (s1,...,sn) belongs to
+// ⋃_c unfolding(M(x,c)).
+func SampleOnce(doms []Domain, member func([]Element) bool, rng *rand.Rand) bool {
+	tuple := make([]Element, len(doms))
+	for i, d := range doms {
+		tuple[i] = d.Elems[rng.IntN(d.Size())]
+	}
+	return member(tuple)
+}
+
+// SampleBound returns the paper's sample count
+//
+//	t = ⌈ (2+ε)·m^k / ε² · ln(2/δ) ⌉
+//
+// as a big integer (it grows like m^k).
+func SampleBound(m, k int, eps, delta float64) *big.Int {
+	mk := new(big.Float).SetInt(new(big.Int).Exp(big.NewInt(int64(m)), big.NewInt(int64(k)), nil))
+	factor := (2 + eps) / (eps * eps) * math.Log(2/delta)
+	t := new(big.Float).Mul(mk, big.NewFloat(factor))
+	out, _ := t.Int(nil)
+	return out.Add(out, big.NewInt(1)) // ceil
+}
+
+// MaxApxSamples caps the number of samples Apx will actually run; the
+// theoretical t is polynomial for fixed k but can still be impractically
+// large for big m^k.
+const MaxApxSamples = 50_000_000
+
+// Apx is the FPRAS of Theorem 6.2 applied to the compactor: it runs
+// t = (2+ε)·m^k/ε²·ln(2/δ) independent Sample trials and returns
+// |U| · (hits/t). The guarantee is Pr(|Apx − f(x)| ≤ ε·f(x)) ≥ 1−δ.
+// It fails if the compactor is unbounded (K = Unbounded; SpanLL functions
+// need the Karp–Luby sampler instead — see §7.2) or if t exceeds
+// MaxApxSamples.
+func (c *Compactor) Apx(eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return Estimate{}, err
+	}
+	if c.K < 0 {
+		return Estimate{}, fmt.Errorf("core: Apx needs a bounded k-compactor; %s is unbounded (SpanLL) — use KarpLuby", c.Name)
+	}
+	m := MaxDomainSize(c.Doms)
+	tBig := SampleBound(m, c.K, eps, delta)
+	if !tBig.IsInt64() || tBig.Int64() > MaxApxSamples {
+		return Estimate{}, fmt.Errorf("core: Apx sample bound %s exceeds cap %d (m=%d, k=%d)", tBig, MaxApxSamples, m, c.K)
+	}
+	return c.ApxWithSamples(int(tBig.Int64()), rng)
+}
+
+// ApxWithSamples runs the Algorithm 3 estimator with an explicit sample
+// budget (used by the benchmark harness to compare samplers at equal
+// budgets; the Theorem 6.2 guarantee holds only for t ≥ SampleBound).
+func (c *Compactor) ApxWithSamples(t int, rng *rand.Rand) (Estimate, error) {
+	if t <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample budget must be positive, got %d", t)
+	}
+	member := c.MemberFunc()
+	hits := 0
+	for i := 0; i < t; i++ {
+		if SampleOnce(c.Doms, member, rng) {
+			hits++
+		}
+	}
+	u := new(big.Float).SetInt(UniverseSize(c.Doms))
+	est := new(big.Float).Quo(
+		new(big.Float).Mul(u, big.NewFloat(float64(hits))),
+		big.NewFloat(float64(t)),
+	)
+	return Estimate{Value: est, Samples: t, Hits: hits}, nil
+}
+
+func checkEpsDelta(eps, delta float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("core: ε must be positive, got %g", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return fmt.Errorf("core: δ must be in (0,1), got %g", delta)
+	}
+	return nil
+}
+
+// RelativeError returns |est − truth| / truth for a positive exact count;
+// it returns +Inf when truth is zero and est is not.
+func RelativeError(est *big.Float, truth *big.Int) float64 {
+	t := new(big.Float).SetInt(truth)
+	if truth.Sign() == 0 {
+		if est.Sign() == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	diff := new(big.Float).Sub(est, t)
+	diff.Abs(diff)
+	rel, _ := new(big.Float).Quo(diff, t).Float64()
+	return rel
+}

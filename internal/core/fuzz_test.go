@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseCompact checks that the compact-representation parser of the
+// [[S1..Sn]]_k shape never panics and that accepted strings re-encode to
+// themselves (the shape has a canonical spelling per selector).
+func FuzzParseCompact(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"a1$b1$c1",
+		"#a1$a2#$b1$#c1$c2#",
+		"#a1$a2#$#b1$b2$b3#$#c1$c2#",
+		"a1$b1$",
+		"##",
+		"#a1",
+		"%24$b1$c1",
+		"%2x$b1$c1",
+		"a1$$c1",
+	} {
+		f.Add(seed)
+	}
+	doms := []Domain{
+		MustDomain("S1", "a1", "a2"),
+		MustDomain("S2", "b1", "b2", "b3"),
+		MustDomain("S3", "c1", "c2"),
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sel, valid, err := ParseCompact(doms, 2, s)
+		if err != nil || !valid {
+			return
+		}
+		enc := EncodeCompact(doms, sel)
+		if enc != s {
+			t.Fatalf("accepted %q but canonical spelling is %q", s, enc)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand/v2"
+)
+
+// This file implements the Karp–Luby union-of-sets estimator over the
+// "complex sample space" discussed at the end of §6 and in §7.2 of the
+// paper: pairs (box, tuple) rather than plain tuples. It is the estimator
+// one inherits from Dalvi–Suciu [5] for disjoint-independent probabilistic
+// databases, and the one that still works for SpanLL functions, where the
+// natural-sample-space FPRAS of Theorem 6.2 degrades (its m^k sample bound
+// is unbounded).
+//
+// Sampling: draw a box b with probability |box_b| / Σ|box|, then a tuple s
+// uniformly inside box_b. Every pair (b,s) has probability 1/W with
+// W = Σ|box|; the indicator "b is the first box (in canonical order)
+// containing s" succeeds exactly once per tuple in the union, so the hit
+// probability is |⋃ boxes| / W ≥ 1/(#boxes), and W·(hits/t) is unbiased.
+
+// KarpLubyBound returns the sample count t = ⌈(2+ε)·b/ε²·ln(2/δ)⌉ that
+// suffices for the (ε,δ) guarantee with b boxes (hit probability ≥ 1/b).
+func KarpLubyBound(numBoxes int, eps, delta float64) *big.Int {
+	if numBoxes == 0 {
+		return big.NewInt(1)
+	}
+	factor := (2 + eps) / (eps * eps) * math.Log(2/delta)
+	t := new(big.Float).Mul(big.NewFloat(float64(numBoxes)), big.NewFloat(factor))
+	out, _ := t.Int(nil)
+	return out.Add(out, big.NewInt(1))
+}
+
+// KarpLuby estimates |⋃ boxes| with t samples from the complex sample
+// space. Boxes are deduplicated and put in canonical order internally.
+func KarpLuby(doms []Domain, boxes []Selector, t int, rng *rand.Rand) (Estimate, error) {
+	if t <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample budget must be positive, got %d", t)
+	}
+	boxes = SortSelectors(DedupeSelectors(boxes))
+	if len(boxes) == 0 {
+		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
+	}
+	// Cumulative weights for box selection.
+	cum := make([]*big.Int, len(boxes))
+	w := new(big.Int)
+	for i, b := range boxes {
+		w.Add(w, b.BoxSize(doms))
+		cum[i] = new(big.Int).Set(w)
+	}
+	if w.Sign() == 0 {
+		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
+	}
+	tuple := make([]Element, len(doms))
+	hits := 0
+	for trial := 0; trial < t; trial++ {
+		r := UniformBigInt(rng, w)
+		// Binary search for the first cumulative weight exceeding r.
+		lo, hi := 0, len(boxes)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid].Cmp(r) > 0 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		b := boxes[lo]
+		// Uniform tuple inside box b.
+		j := 0
+		for i, d := range doms {
+			if j < len(b) && b[j].Index == i {
+				tuple[i] = b[j].Elem
+				j++
+				continue
+			}
+			tuple[i] = d.Elems[rng.IntN(d.Size())]
+		}
+		// Coverage test: is b the first box containing the tuple?
+		first := -1
+		for i, other := range boxes {
+			if other.ContainsTuple(tuple) {
+				first = i
+				break
+			}
+		}
+		if first == lo {
+			hits++
+		}
+	}
+	wf := new(big.Float).SetInt(w)
+	est := new(big.Float).Quo(
+		new(big.Float).Mul(wf, big.NewFloat(float64(hits))),
+		big.NewFloat(float64(t)),
+	)
+	return Estimate{Value: est, Samples: t, Hits: hits}, nil
+}
+
+// KarpLubyAuto runs KarpLuby with the (ε,δ) sample bound. It works for
+// unbounded (SpanLL) compactors, unlike Apx.
+func (c *Compactor) KarpLubyAuto(eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return Estimate{}, err
+	}
+	boxes := c.Boxes()
+	tBig := KarpLubyBound(len(boxes), eps, delta)
+	if !tBig.IsInt64() || tBig.Int64() > MaxApxSamples {
+		return Estimate{}, fmt.Errorf("core: Karp–Luby sample bound %s exceeds cap %d", tBig, MaxApxSamples)
+	}
+	return KarpLuby(c.Doms, boxes, int(tBig.Int64()), rng)
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file implements the executable content of Theorem 4.4(1):
+// Λ[1] ⊆ #L (⊆ FP). When every box pins at most one coordinate, the union
+// has a closed form: a tuple avoids all boxes iff, at every coordinate, it
+// avoids that coordinate's pinned elements, so
+//
+//	|⋃ boxes| = |U| − ∏_i (|S_i| − |P_i|),
+//
+// where P_i is the set of elements pinned at coordinate i by some box —
+// unless some box pins nothing, in which case the union is all of U.
+// Counting is a product of linear scans: the Λ[1] regime is genuinely
+// polynomial (E11 uses this as an ablation against inclusion–exclusion).
+
+// ErrNotOnePin is returned when a box pins more than one coordinate.
+var ErrNotOnePin = fmt.Errorf("core: box pins more than one coordinate; Λ[1] closed form does not apply")
+
+// CountUnionOnePin computes |⋃ boxes| in linear time for boxes with at
+// most one pin each (the Λ[1] shape).
+func CountUnionOnePin(doms []Domain, boxes []Selector) (*big.Int, error) {
+	pinned := make([]map[Element]bool, len(doms))
+	for _, b := range boxes {
+		switch b.Len() {
+		case 0:
+			// The empty selector's box is the whole universe.
+			return UniverseSize(doms), nil
+		case 1:
+			p := b[0]
+			if p.Index < 0 || p.Index >= len(doms) {
+				return nil, fmt.Errorf("core: pin index %d out of range", p.Index)
+			}
+			if pinned[p.Index] == nil {
+				pinned[p.Index] = map[Element]bool{}
+			}
+			pinned[p.Index][p.Elem] = true
+		default:
+			return nil, ErrNotOnePin
+		}
+	}
+	u := UniverseSize(doms)
+	avoid := big.NewInt(1)
+	for i, d := range doms {
+		avoid.Mul(avoid, big.NewInt(int64(d.Size()-len(pinned[i]))))
+	}
+	return u.Sub(u, avoid), nil
+}
+
+// CountExactLambda1 computes unfold_M via the closed form; it fails with
+// ErrNotOnePin when the compactor is not a 1-compactor in effect.
+func (c *Compactor) CountExactLambda1() (*big.Int, error) {
+	return CountUnionOnePin(c.Doms, c.Boxes())
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountUnionOnePinBasics(t *testing.T) {
+	ds := doms3()
+	// Pins a1 at coord 0 and b2 at coord 1:
+	// |U| = 12, avoid = (2−1)·(3−1)·2 = 4 → union = 8.
+	boxes := []Selector{
+		MustSelector(ds, Pin{0, "a1"}),
+		MustSelector(ds, Pin{1, "b2"}),
+	}
+	got, err := CountUnionOnePin(ds, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("closed form = %s, want 8", got)
+	}
+	ie, err := CountUnionIE(ds, boxes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(ie) != 0 {
+		t.Fatalf("closed form %s vs IE %s", got, ie)
+	}
+}
+
+func TestCountUnionOnePinEdgeCases(t *testing.T) {
+	ds := doms3()
+	// No boxes: empty union.
+	got, err := CountUnionOnePin(ds, nil)
+	if err != nil || got.Sign() != 0 {
+		t.Fatalf("empty union = %v %v", got, err)
+	}
+	// An empty selector swallows the universe.
+	got, err = CountUnionOnePin(ds, []Selector{nil})
+	if err != nil || got.Cmp(big.NewInt(12)) != 0 {
+		t.Fatalf("universe box = %v %v", got, err)
+	}
+	// Two pins in one box: out of scope.
+	if _, err := CountUnionOnePin(ds, []Selector{MustSelector(ds, Pin{0, "a1"}, Pin{1, "b1"})}); err != ErrNotOnePin {
+		t.Fatalf("want ErrNotOnePin, got %v", err)
+	}
+	// Pinning every element of a domain covers U entirely.
+	boxes := []Selector{
+		MustSelector(ds, Pin{0, "a1"}),
+		MustSelector(ds, Pin{0, "a2"}),
+	}
+	got, err = CountUnionOnePin(ds, boxes)
+	if err != nil || got.Cmp(big.NewInt(12)) != 0 {
+		t.Fatalf("full-domain pins = %v %v, want 12", got, err)
+	}
+}
+
+// Property: the Λ[1] closed form agrees with inclusion–exclusion on random
+// one-pin boxes.
+func TestOnePinAgreesWithIEProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 139))
+		n := 1 + rng.IntN(4)
+		ds := make([]Domain, n)
+		for i := range ds {
+			sz := 1 + rng.IntN(4)
+			elems := make([]Element, sz)
+			for j := range elems {
+				elems[j] = Element(string(rune('a'+i)) + string(rune('0'+j)))
+			}
+			ds[i] = MustDomain("D", elems...)
+		}
+		var boxes []Selector
+		for b := 0; b < rng.IntN(6); b++ {
+			if rng.IntN(8) == 0 {
+				boxes = append(boxes, nil) // occasional universe box
+				continue
+			}
+			i := rng.IntN(n)
+			boxes = append(boxes, MustSelector(ds, Pin{i, ds[i].Elems[rng.IntN(ds[i].Size())]}))
+		}
+		cf, err := CountUnionOnePin(ds, boxes)
+		if err != nil {
+			return false
+		}
+		ie, err := CountUnionIE(ds, boxes, 0)
+		if err != nil {
+			return false
+		}
+		return cf.Cmp(ie) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactorLambda1(t *testing.T) {
+	ds := doms3()
+	c := toyCompactor("l1", ds, 1, []Selector{
+		MustSelector(ds, Pin{0, "a1"}),
+		MustSelector(ds, Pin{2, "c2"}),
+	})
+	cf, err := c.CountExactLambda1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Cmp(ie) != 0 {
+		t.Fatalf("Λ[1] closed form %s vs IE %s", cf, ie)
+	}
+}

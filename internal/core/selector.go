@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Pin fixes coordinate Index of the domain sequence to Elem: one pair (i,e)
+// of an ℓ-selector.
+type Pin struct {
+	Index int
+	Elem  Element
+}
+
+// Selector is an ℓ-selector for a sequence of domains S1,...,Sn (paper
+// §4.1): a sequence of pairs (i1,e1),...,(iℓ,eℓ) with strictly increasing
+// indices and e_j ∈ S_{i_j}. It determines the box [S1,...,Sn]_σ: the
+// cartesian product with the pinned coordinates replaced by singletons.
+type Selector []Pin
+
+// NewSelector sorts the pins by index and validates against the domains:
+// indices in range and strictly increasing (no duplicates), elements
+// members of their domain.
+func NewSelector(doms []Domain, pins ...Pin) (Selector, error) {
+	s := make(Selector, len(pins))
+	copy(s, pins)
+	sort.Slice(s, func(i, j int) bool { return s[i].Index < s[j].Index })
+	for j, p := range s {
+		if p.Index < 0 || p.Index >= len(doms) {
+			return nil, fmt.Errorf("core: selector pin index %d out of range [0,%d)", p.Index, len(doms))
+		}
+		if j > 0 && s[j-1].Index == p.Index {
+			return nil, fmt.Errorf("core: selector pins coordinate %d twice", p.Index)
+		}
+		if doms[p.Index].Index(p.Elem) < 0 {
+			return nil, fmt.Errorf("core: selector pins coordinate %d to %q, not a member of domain %q", p.Index, p.Elem, doms[p.Index].Name)
+		}
+	}
+	return s, nil
+}
+
+// MustSelector is NewSelector that panics on error.
+func MustSelector(doms []Domain, pins ...Pin) Selector {
+	s, err := NewSelector(doms, pins...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns ℓ, the number of pinned coordinates.
+func (s Selector) Len() int { return len(s) }
+
+// Pinned returns the element coordinate i is pinned to, if any.
+func (s Selector) Pinned(i int) (Element, bool) {
+	for _, p := range s {
+		if p.Index == i {
+			return p.Elem, true
+		}
+		if p.Index > i {
+			break
+		}
+	}
+	return "", false
+}
+
+// Canonical returns an injective string encoding of the selector.
+func (s Selector) Canonical() string {
+	var b strings.Builder
+	for j, p := range s {
+		if j > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d=%s", p.Index, escElement(p.Elem))
+	}
+	return b.String()
+}
+
+// Merge intersects two boxes: the result selects the union of the pins.
+// ok is false when the boxes are disjoint (some coordinate pinned to two
+// different elements). Merging is the engine of the inclusion–exclusion
+// count: [S]_σ ∩ [S]_τ = [S]_{σ∪τ} when compatible, ∅ otherwise.
+func (s Selector) Merge(t Selector) (Selector, bool) {
+	out := make(Selector, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i].Index < t[j].Index:
+			out = append(out, s[i])
+			i++
+		case s[i].Index > t[j].Index:
+			out = append(out, t[j])
+			j++
+		default:
+			if s[i].Elem != t[j].Elem {
+				return nil, false
+			}
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out, true
+}
+
+// BoxSize returns |[S1,...,Sn]_σ| = ∏_{i unpinned} |S_i|.
+func (s Selector) BoxSize(doms []Domain) *big.Int {
+	n := big.NewInt(1)
+	j := 0
+	for i, d := range doms {
+		if j < len(s) && s[j].Index == i {
+			j++
+			continue
+		}
+		n.Mul(n, big.NewInt(int64(d.Size())))
+	}
+	return n
+}
+
+// ContainsTuple reports whether the tuple (one element per domain) lies in
+// the box [S1,...,Sn]_σ, i.e. agrees with every pin. The caller guarantees
+// tuple[i] ∈ S_i.
+func (s Selector) ContainsTuple(tuple []Element) bool {
+	for _, p := range s {
+		if tuple[p.Index] != p.Elem {
+			return false
+		}
+	}
+	return true
+}
+
+// DedupeSelectors drops duplicate selectors (same canonical form),
+// preserving first-seen order. Distinct certificates frequently induce the
+// same box; counting works on distinct boxes.
+func DedupeSelectors(sels []Selector) []Selector {
+	seen := make(map[string]bool, len(sels))
+	out := sels[:0:0]
+	for _, s := range sels {
+		c := s.Canonical()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// SortSelectors orders selectors by canonical form, establishing the fixed
+// order the Karp–Luby estimator uses for its "minimal covering box" test.
+func SortSelectors(sels []Selector) []Selector {
+	sort.Slice(sels, func(i, j int) bool { return sels[i].Canonical() < sels[j].Canonical() })
+	return sels
+}

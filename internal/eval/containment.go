@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// This file implements the Chandra–Merlin containment test for Boolean
+// conjunctive queries and UCQ minimization on top of it. Minimization
+// removes disjuncts subsumed by others, which shrinks the certificate
+// space of Algorithm 2 (fewer (disjunct, homomorphism) pairs) without
+// changing any count — the tests verify count preservation on random
+// instances.
+
+// CQContained reports whether q1 ⊆ q2 for Boolean CQs (every database
+// satisfying q1 satisfies q2): by the Chandra–Merlin theorem, iff there is
+// a homomorphism from q2 into the canonical database of q1 (q1's atoms
+// with variables frozen to fresh constants).
+func CQContained(q1, q2 query.CQ) bool {
+	frozen := make(map[query.Var]relational.Const)
+	for _, v := range q1.Vars() {
+		frozen[v] = relational.Const("⟨" + string(v) + "⟩")
+	}
+	facts := make([]relational.Fact, 0, len(q1.Atoms))
+	for _, a := range q1.Atoms {
+		fact, ok := query.GroundAtom(query.SubstituteAtom(a, frozen))
+		if !ok {
+			panic("eval: canonical database construction left a variable")
+		}
+		facts = append(facts, fact)
+	}
+	return HasHom(q2, NewIndex(facts))
+}
+
+// CQEquivalent reports whether the two Boolean CQs have the same models.
+func CQEquivalent(q1, q2 query.CQ) bool {
+	return CQContained(q1, q2) && CQContained(q2, q1)
+}
+
+// MinimizeUCQ removes every disjunct contained in another disjunct,
+// keeping one representative (the first) of each equivalence class. The
+// result is logically equivalent to the input: if qᵢ ⊆ qⱼ then
+// qᵢ ∨ qⱼ ≡ qⱼ.
+func MinimizeUCQ(u query.UCQ) query.UCQ {
+	n := len(u.Disjuncts)
+	keep := make([]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !keep[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || !keep[j] {
+				continue
+			}
+			if !CQContained(u.Disjuncts[i], u.Disjuncts[j]) {
+				continue
+			}
+			// q_i ⊆ q_j. Drop q_i unless they are equivalent and i is the
+			// earlier (representative) index.
+			if CQContained(u.Disjuncts[j], u.Disjuncts[i]) && i < j {
+				continue
+			}
+			keep[i] = false
+			break
+		}
+	}
+	var out query.UCQ
+	for i, q := range u.Disjuncts {
+		if keep[i] {
+			out.Disjuncts = append(out.Disjuncts, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+func cq(t *testing.T, src string) query.CQ {
+	t.Helper()
+	u := query.MustToUCQ(query.MustParse(src))
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("%q is not a single CQ", src)
+	}
+	return u.Disjuncts[0]
+}
+
+func TestCQContainedBasics(t *testing.T) {
+	// R(x,y) ∧ S(y) ⊆ R(x,y): dropping atoms enlarges the models.
+	q1 := cq(t, "exists x, y . (R(x, y) & S(y))")
+	q2 := cq(t, "exists x, y . R(x, y)")
+	if !CQContained(q1, q2) {
+		t.Fatalf("conjunction must be contained in its conjunct")
+	}
+	if CQContained(q2, q1) {
+		t.Fatalf("R(x,y) is not contained in R(x,y) ∧ S(y)")
+	}
+	// Specializing a variable to a constant shrinks the models.
+	q3 := cq(t, "exists x . R(x, 'a')")
+	if !CQContained(q3, q2) || CQContained(q2, q3) {
+		t.Fatalf("constant specialization containment wrong")
+	}
+	// Renamed variables are equivalent.
+	q4 := cq(t, "exists u, v . R(u, v)")
+	if !CQEquivalent(q2, q4) {
+		t.Fatalf("alpha-renamed CQs must be equivalent")
+	}
+	// R(x,x) ⊆ R(x,y) but not conversely.
+	q5 := cq(t, "exists x . R(x, x)")
+	if !CQContained(q5, q2) || CQContained(q2, q5) {
+		t.Fatalf("diagonal containment wrong")
+	}
+}
+
+func TestMinimizeUCQ(t *testing.T) {
+	u := query.MustToUCQ(query.MustParse(
+		"(exists x, y . (R(x, y) & S(y))) | (exists u, v . R(u, v)) | (exists x . R(x, 'a'))"))
+	min := MinimizeUCQ(u)
+	// Both the conjunction and the constant-specialized disjunct are
+	// contained in R(u,v); only that disjunct survives.
+	if len(min.Disjuncts) != 1 {
+		t.Fatalf("minimized to %d disjuncts: %v", len(min.Disjuncts), min)
+	}
+	if len(min.Disjuncts[0].Atoms) != 1 || min.Disjuncts[0].Atoms[0].Pred != "R" {
+		t.Fatalf("wrong survivor: %v", min)
+	}
+}
+
+func TestMinimizeUCQKeepsOneOfEquivalent(t *testing.T) {
+	u := query.MustToUCQ(query.MustParse(
+		"(exists x, y . R(x, y)) | (exists u, v . R(u, v))"))
+	min := MinimizeUCQ(u)
+	if len(min.Disjuncts) != 1 {
+		t.Fatalf("equivalent disjuncts not collapsed: %v", min)
+	}
+}
+
+func TestMinimizeUCQIncomparable(t *testing.T) {
+	u := query.MustToUCQ(query.MustParse("(exists x . R(x, 'a')) | (exists x . R(x, 'b'))"))
+	min := MinimizeUCQ(u)
+	if len(min.Disjuncts) != 2 {
+		t.Fatalf("incomparable disjuncts dropped: %v", min)
+	}
+}
+
+// Property: minimization preserves UCQ semantics on random databases.
+func TestMinimizeUCQPreservesSemanticsProperty(t *testing.T) {
+	corpus := []string{
+		"(exists x, y . (R(x, y) & S(y))) | (exists u, v . R(u, v))",
+		"(exists x . R(x, 'a')) | (exists x, y . R(x, y)) | (exists z . S(z))",
+		"(exists x . (R(x, x) & S(x))) | (exists x, y . (R(x, y) & S(x)))",
+		"(exists x . S(x)) | (exists y . S(y))",
+	}
+	prop := func(seed uint64, qi uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 151))
+		dom := []relational.Const{"a", "b"}
+		var facts []relational.Fact
+		for i := 0; i < rng.IntN(7); i++ {
+			facts = append(facts, relational.NewFact("R", dom[rng.IntN(2)], dom[rng.IntN(2)]))
+		}
+		for i := 0; i < rng.IntN(3); i++ {
+			facts = append(facts, relational.NewFact("S", dom[rng.IntN(2)]))
+		}
+		idx := NewIndex(facts)
+		u := query.MustToUCQ(query.MustParse(corpus[int(qi)%len(corpus)]))
+		return EvalUCQ(u, idx) == EvalUCQ(MinimizeUCQ(u), idx)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: containment is a preorder (reflexive, transitive) on a corpus.
+func TestContainmentPreorderProperty(t *testing.T) {
+	var cqs []query.CQ
+	for _, src := range []string{
+		"exists x, y . R(x, y)",
+		"exists x . R(x, x)",
+		"exists x . R(x, 'a')",
+		"exists x, y . (R(x, y) & S(y))",
+		"exists x . S(x)",
+		"R('a', 'a')",
+	} {
+		cqs = append(cqs, cq(t, src))
+	}
+	for _, q := range cqs {
+		if !CQContained(q, q) {
+			t.Fatalf("containment not reflexive on %v", q)
+		}
+	}
+	for _, a := range cqs {
+		for _, b := range cqs {
+			for _, c := range cqs {
+				if CQContained(a, b) && CQContained(b, c) && !CQContained(a, c) {
+					t.Fatalf("containment not transitive: %v ⊆ %v ⊆ %v", a, b, c)
+				}
+			}
+		}
+	}
+}

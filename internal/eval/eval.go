@@ -1,0 +1,326 @@
+// Package eval implements query evaluation over databases: first-order
+// model checking with active-domain semantics, conjunctive-query
+// homomorphism search, UCQ evaluation, and the Σ-consistent homomorphism
+// search that underlies Lemma 3.5 of the paper (the logspace decision
+// procedure for #CQA>0(∃FO⁺)).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Index is a read-only view of a set of facts with per-predicate access,
+// membership testing and the active domain, shared by all evaluators.
+type Index struct {
+	byPred map[string][]relational.Fact
+	member map[string]bool
+	dom    []relational.Const
+}
+
+// NewIndex builds an index over the given facts.
+func NewIndex(facts []relational.Fact) *Index {
+	idx := &Index{byPred: map[string][]relational.Fact{}, member: map[string]bool{}}
+	var dom []relational.Const
+	for _, f := range facts {
+		c := f.Canonical()
+		if idx.member[c] {
+			continue
+		}
+		idx.member[c] = true
+		idx.byPred[f.Pred] = append(idx.byPred[f.Pred], f)
+		dom = append(dom, f.Args...)
+	}
+	for p := range idx.byPred {
+		relational.SortFacts(idx.byPred[p])
+	}
+	idx.dom = relational.ConstSlice(dom)
+	return idx
+}
+
+// IndexDatabase builds an index over a database.
+func IndexDatabase(d *relational.Database) *Index {
+	return NewIndex(d.FactsUnsorted())
+}
+
+// Contains reports whether the fact is present.
+func (idx *Index) Contains(f relational.Fact) bool { return idx.member[f.Canonical()] }
+
+// FactsFor returns the facts with the given predicate, canonically sorted.
+// Callers must not mutate the result.
+func (idx *Index) FactsFor(pred string) []relational.Fact { return idx.byPred[pred] }
+
+// Dom returns the active domain, sorted. Callers must not mutate the result.
+func (idx *Index) Dom() []relational.Const { return idx.dom }
+
+// Len returns the number of facts indexed.
+func (idx *Index) Len() int { return len(idx.member) }
+
+// Binding maps variables to constants.
+type Binding map[query.Var]relational.Const
+
+// Clone copies a binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Canonical returns a canonical string for the binding (sorted by variable).
+func (b Binding) Canonical() string {
+	keys := make([]string, 0, len(b))
+	for v := range b {
+		keys = append(keys, string(v))
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + string(b[query.Var(k)]) + ";"
+	}
+	return s
+}
+
+// EvalFO model-checks an arbitrary first-order formula under active-domain
+// semantics: quantifiers range over the active domain of the indexed facts.
+// env binds the free variables; evaluating a formula with an unbound free
+// variable panics (callers substitute tuples first).
+func EvalFO(f query.Formula, idx *Index, env Binding) bool {
+	switch f := f.(type) {
+	case query.AtomF:
+		fact, ok := groundUnder(f.Atom, env)
+		if !ok {
+			panic(fmt.Sprintf("eval: unbound variable in atom %s", f.Atom))
+		}
+		return idx.Contains(fact)
+	case query.And:
+		for _, k := range f.Kids {
+			if !EvalFO(k, idx, env) {
+				return false
+			}
+		}
+		return true
+	case query.Or:
+		for _, k := range f.Kids {
+			if EvalFO(k, idx, env) {
+				return true
+			}
+		}
+		return false
+	case query.Not:
+		return !EvalFO(f.Kid, idx, env)
+	case query.Exists:
+		return evalExists(f.Vars, f.Kid, idx, env)
+	case query.Forall:
+		// ∀x̄ φ ≡ ¬∃x̄ ¬φ; pushing the negation one level exposes the
+		// guard atoms of the common shape ∀x̄ (R(x̄) → ψ) to the
+		// join-based existential evaluator.
+		return !evalExists(f.Vars, negate(f.Kid), idx, env)
+	case query.Truth:
+		return f.Val
+	default:
+		panic(fmt.Sprintf("eval: unknown formula type %T", f))
+	}
+}
+
+// negate builds ¬f, pushing the negation through one level of structure
+// (De Morgan) and cancelling double negations, so that implications under
+// universal quantifiers expose positive guard atoms.
+func negate(f query.Formula) query.Formula {
+	switch f := f.(type) {
+	case query.Not:
+		return f.Kid
+	case query.Truth:
+		return query.Truth{Val: !f.Val}
+	case query.And:
+		kids := make([]query.Formula, len(f.Kids))
+		for i, k := range f.Kids {
+			kids[i] = negate(k)
+		}
+		return query.Or{Kids: kids}
+	case query.Or:
+		kids := make([]query.Formula, len(f.Kids))
+		for i, k := range f.Kids {
+			kids[i] = negate(k)
+		}
+		return query.And{Kids: kids}
+	default:
+		return query.Not{Kid: f}
+	}
+}
+
+// evalExists evaluates ∃x̄ φ. When φ is a conjunction containing positive
+// atoms over quantified variables, the evaluator backtracks over matching
+// facts for those atoms (a join) instead of scanning dom(D)^|x̄|, and only
+// the remaining conjuncts are model-checked per binding. Atom arguments
+// are always database constants, so the join never leaves the active
+// domain; variables in no positive atom fall back to a domain scan. This
+// keeps first-order queries such as the Theorem 3.2/3.3 SAT encoding
+// (seven quantified variables, one guard atom) evaluable in linear rather
+// than |dom|⁷ time.
+func evalExists(vars []query.Var, kid query.Formula, idx *Index, env Binding) bool {
+	// Flatten the body into conjuncts.
+	var conjuncts []query.Formula
+	switch k := kid.(type) {
+	case query.And:
+		conjuncts = k.Kids
+	default:
+		conjuncts = []query.Formula{kid}
+	}
+	var atoms []query.Atom
+	var rest []query.Formula
+	for _, c := range conjuncts {
+		if a, ok := c.(query.AtomF); ok {
+			atoms = append(atoms, a.Atom)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	if len(atoms) == 0 {
+		return evalQuant(vars, kid, idx, env, false)
+	}
+	quantified := make(map[query.Var]bool, len(vars))
+	for _, v := range vars {
+		quantified[v] = true
+	}
+	// Backtrack over the guard atoms, then finish remaining variables and
+	// conjuncts.
+	var joined func(i int) bool
+	joined = func(i int) bool {
+		if i == len(atoms) {
+			var unbound []query.Var
+			for _, v := range vars {
+				if _, ok := env[v]; !ok {
+					unbound = append(unbound, v)
+				}
+			}
+			body := query.And{Kids: rest}
+			return evalQuant(unbound, body, idx, env, false)
+		}
+		a := atoms[i]
+		// If the atom has no quantified variables unbound it is just a
+		// membership test under the current binding.
+		for _, fact := range idx.FactsFor(a.Pred) {
+			newly, ok := unify(a, fact, env)
+			if !ok {
+				continue
+			}
+			// Quantified-variable discipline: unify may bind outer free
+			// variables only if they were already bound (checked by unify);
+			// newly bound variables must be quantified here.
+			legal := true
+			for _, v := range newly {
+				if !quantified[v] {
+					legal = false
+					break
+				}
+			}
+			if legal && joined(i+1) {
+				for _, v := range newly {
+					delete(env, v)
+				}
+				return true
+			}
+			for _, v := range newly {
+				delete(env, v)
+			}
+		}
+		return false
+	}
+	return joined(0)
+}
+
+// evalQuant evaluates a block of quantified variables. forall selects
+// universal semantics, otherwise existential.
+func evalQuant(vars []query.Var, kid query.Formula, idx *Index, env Binding, forall bool) bool {
+	if len(vars) == 0 {
+		return EvalFO(kid, idx, env)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := env[v]
+	defer func() {
+		if had {
+			env[v] = saved
+		} else {
+			delete(env, v)
+		}
+	}()
+	for _, c := range idx.dom {
+		env[v] = c
+		got := evalQuant(rest, kid, idx, env, forall)
+		if forall && !got {
+			return false
+		}
+		if !forall && got {
+			return true
+		}
+	}
+	return forall
+}
+
+// EvalBoolean model-checks a Boolean formula (no free variables).
+func EvalBoolean(f query.Formula, idx *Index) bool {
+	if fv := query.FreeVars(f); len(fv) > 0 {
+		panic(fmt.Sprintf("eval: formula has free variables %v; substitute a tuple first", fv))
+	}
+	return EvalFO(f, idx, Binding{})
+}
+
+// groundUnder applies the binding to the atom and converts it into a fact;
+// ok is false if a variable remains unbound.
+func groundUnder(a query.Atom, env Binding) (relational.Fact, bool) {
+	args := make([]relational.Const, len(a.Args))
+	for i, t := range a.Args {
+		switch t := t.(type) {
+		case query.ConstTerm:
+			args[i] = relational.Const(t)
+		case query.Var:
+			c, ok := env[t]
+			if !ok {
+				return relational.Fact{}, false
+			}
+			args[i] = c
+		}
+	}
+	return relational.Fact{Pred: a.Pred, Args: args}, true
+}
+
+// Answers computes Q(D) for a query with free variables x̄ (sorted order, as
+// returned by query.FreeVars): the set of tuples c̄ ∈ dom(D)^|x̄| with
+// D ⊨ φ(c̄), per the paper's definition of query answers. Tuples are
+// returned in lexicographic order.
+func Answers(f query.Formula, idx *Index) [][]relational.Const {
+	free := query.FreeVars(f)
+	if len(free) == 0 {
+		if EvalBoolean(f, idx) {
+			return [][]relational.Const{{}}
+		}
+		return nil
+	}
+	var out [][]relational.Const
+	tuple := make([]relational.Const, len(free))
+	env := Binding{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			if EvalFO(f, idx, env) {
+				cp := make([]relational.Const, len(tuple))
+				copy(cp, tuple)
+				out = append(out, cp)
+			}
+			return
+		}
+		for _, c := range idx.dom {
+			tuple[i] = c
+			env[free[i]] = c
+			rec(i + 1)
+		}
+		delete(env, free[i])
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+func exampleIndex() *Index {
+	return NewIndex([]relational.Fact{
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	})
+}
+
+func TestIndexBasics(t *testing.T) {
+	idx := exampleIndex()
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if !idx.Contains(relational.NewFact("Employee", "1", "Bob", "HR")) {
+		t.Fatalf("Contains failed")
+	}
+	if idx.Contains(relational.NewFact("Employee", "9", "X", "Y")) {
+		t.Fatalf("Contains false positive")
+	}
+	if got := len(idx.FactsFor("Employee")); got != 4 {
+		t.Fatalf("FactsFor = %d", got)
+	}
+	if got := len(idx.Dom()); got != 7 {
+		t.Fatalf("Dom = %v", idx.Dom())
+	}
+}
+
+func TestEvalFOOnExample(t *testing.T) {
+	idx := exampleIndex()
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	if !EvalBoolean(q, idx) {
+		t.Fatalf("query must hold on the full (inconsistent) database")
+	}
+	// On the repair where Bob is in HR, the query fails.
+	rep := NewIndex([]relational.Fact{
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+	})
+	if EvalBoolean(q, rep) {
+		t.Fatalf("query must fail on the HR repair")
+	}
+}
+
+func TestEvalFONegationAndUniversal(t *testing.T) {
+	idx := NewIndex([]relational.Fact{
+		relational.NewFact("R", "a"),
+		relational.NewFact("R", "b"),
+		relational.NewFact("S", "a"),
+	})
+	if !EvalBoolean(query.MustParse("exists x . (R(x) & !S(x))"), idx) {
+		t.Fatalf("b is in R but not S")
+	}
+	if EvalBoolean(query.MustParse("forall x . (R(x) -> S(x))"), idx) {
+		t.Fatalf("not all R are S")
+	}
+	if !EvalBoolean(query.MustParse("forall x . (S(x) -> R(x))"), idx) {
+		t.Fatalf("all S are R")
+	}
+	// Universal over empty domain is true; existential false.
+	empty := NewIndex(nil)
+	if !EvalBoolean(query.MustParse("forall x . R(x)"), empty) {
+		t.Fatalf("forall over empty domain must hold")
+	}
+	if EvalBoolean(query.MustParse("exists x . R(x)"), empty) {
+		t.Fatalf("exists over empty domain must fail")
+	}
+}
+
+func TestEvalTruthConstants(t *testing.T) {
+	idx := NewIndex(nil)
+	if !EvalBoolean(query.MustParse("true"), idx) || EvalBoolean(query.MustParse("false"), idx) {
+		t.Fatalf("truth constants broken")
+	}
+}
+
+func TestAnswers(t *testing.T) {
+	idx := exampleIndex()
+	// Who works in IT? One free variable n.
+	f := query.MustParse("exists i . Employee(i, n, 'IT')")
+	got := Answers(f, idx)
+	want := map[relational.Const]bool{"Alice": true, "Bob": true, "Tim": true}
+	if len(got) != len(want) {
+		t.Fatalf("answers = %v", got)
+	}
+	for _, tuple := range got {
+		if !want[tuple[0]] {
+			t.Fatalf("unexpected answer %v", tuple)
+		}
+	}
+	// Boolean query answers: the empty tuple iff true.
+	if n := len(Answers(query.MustParse("exists x,y,z . Employee(x,y,z)"), idx)); n != 1 {
+		t.Fatalf("boolean true must yield 1 empty tuple, got %d", n)
+	}
+}
+
+func TestHomsEnumeration(t *testing.T) {
+	idx := exampleIndex()
+	u := query.MustToUCQ(query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))"))
+	q := u.Disjuncts[0]
+	var all []Binding
+	for h := range Homs(q, idx) {
+		all = append(all, h.Clone())
+	}
+	// Matches: y must be a department shared by employee 1 and 2: only IT
+	// works (Bob-IT with Alice-IT and Tim-IT). So two homomorphisms.
+	if len(all) != 2 {
+		t.Fatalf("want 2 homomorphisms, got %d: %v", len(all), all)
+	}
+	for _, h := range all {
+		img := Image(q, h)
+		for _, f := range img {
+			if !idx.Contains(f) {
+				t.Fatalf("hom image not in database: %v", f)
+			}
+		}
+	}
+}
+
+func TestConsistentHomsRespectKeys(t *testing.T) {
+	// h(q) must itself satisfy Σ: mapping both atoms into the same block
+	// with different facts is rejected.
+	idx := NewIndex([]relational.Fact{
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+	})
+	ks := relational.Keys(map[string]int{"R": 1})
+	u := query.MustToUCQ(query.MustParse("exists x, y . (R(x, 'a') & R(y, 'b'))"))
+	q := u.Disjuncts[0]
+	if !HasHom(q, idx) {
+		t.Fatalf("plain homomorphism must exist")
+	}
+	if HasConsistentHom(q, idx, ks) {
+		t.Fatalf("consistent homomorphism must not exist: both atoms map into block R[1]")
+	}
+	// With a second block the query becomes consistently satisfiable.
+	idx2 := NewIndex([]relational.Fact{
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+		relational.NewFact("R", "2", "b"),
+	})
+	if !HasConsistentHom(q, idx2, ks) {
+		t.Fatalf("consistent homomorphism must exist via R(2,b)")
+	}
+}
+
+func TestConsistentHomSameFactTwice(t *testing.T) {
+	// Two atoms mapping to the SAME fact is consistent (h(q) is a set).
+	idx := NewIndex([]relational.Fact{relational.NewFact("R", "1", "a")})
+	ks := relational.Keys(map[string]int{"R": 1})
+	u := query.MustToUCQ(query.MustParse("exists x, y . (R(x, y) & R(x, 'a'))"))
+	if !HasConsistentHom(u.Disjuncts[0], idx, ks) {
+		t.Fatalf("mapping both atoms to the same fact must be consistent")
+	}
+}
+
+func TestEvalUCQ(t *testing.T) {
+	idx := exampleIndex()
+	u := query.MustToUCQ(query.MustParse("(exists x . Employee(x, 'Zed', 'HR')) | (exists x . Employee(x, 'Tim', 'IT'))"))
+	if !EvalUCQ(u, idx) {
+		t.Fatalf("second disjunct holds")
+	}
+	u2 := query.MustToUCQ(query.MustParse("exists x . Employee(x, 'Zed', 'HR')"))
+	if EvalUCQ(u2, idx) {
+		t.Fatalf("no Zed in the database")
+	}
+}
+
+func TestHomsWithRepeatedVariable(t *testing.T) {
+	idx := NewIndex([]relational.Fact{
+		relational.NewFact("E", "a", "a"),
+		relational.NewFact("E", "a", "b"),
+	})
+	u := query.MustToUCQ(query.MustParse("exists x . E(x, x)"))
+	n := 0
+	for range Homs(u.Disjuncts[0], idx) {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("want exactly the loop edge, got %d homs", n)
+	}
+}
+
+func TestHomsEarlyStop(t *testing.T) {
+	idx := exampleIndex()
+	u := query.MustToUCQ(query.MustParse("exists x, y, z . Employee(x, y, z)"))
+	n := 0
+	for range Homs(u.Disjuncts[0], idx) {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("early stop failed")
+	}
+}
+
+// Property: EvalUCQ agrees with EvalFO on the UCQ's formula, for random
+// small databases and a fixed query corpus.
+func TestUCQAgreesWithFOProperty(t *testing.T) {
+	queries := []string{
+		"exists x, y . (R(x, y) & S(y))",
+		"(exists x . R(x, x)) | (exists y . S(y))",
+		"exists x, y, z . (R(x, y) & R(y, z))",
+		"true",
+		"false",
+	}
+	prop := func(seed uint64, qi uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		var facts []relational.Fact
+		dom := []relational.Const{"a", "b", "c"}
+		for i := 0; i < rng.IntN(8); i++ {
+			facts = append(facts, relational.NewFact("R", dom[rng.IntN(3)], dom[rng.IntN(3)]))
+		}
+		for i := 0; i < rng.IntN(4); i++ {
+			facts = append(facts, relational.NewFact("S", dom[rng.IntN(3)]))
+		}
+		idx := NewIndex(facts)
+		f := query.MustParse(queries[int(qi)%len(queries)])
+		u := query.MustToUCQ(f)
+		return EvalUCQ(u, idx) == EvalBoolean(f, idx)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConsistentHoms is exactly Homs filtered by image consistency.
+func TestConsistentHomsFilterProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		var facts []relational.Fact
+		dom := []relational.Const{"a", "b"}
+		for i := 0; i < 2+rng.IntN(6); i++ {
+			facts = append(facts, relational.NewFact("R", dom[rng.IntN(2)], dom[rng.IntN(2)]))
+		}
+		idx := NewIndex(facts)
+		ks := relational.Keys(map[string]int{"R": 1})
+		u := query.MustToUCQ(query.MustParse("exists x, y, z . (R(x, y) & R(z, 'a'))"))
+		q := u.Disjuncts[0]
+		want := map[string]bool{}
+		for h := range Homs(q, idx) {
+			img := Image(q, h)
+			db := relational.Subset(img)
+			if db.Satisfies(ks) {
+				want[h.Canonical()] = true
+			}
+		}
+		got := map[string]bool{}
+		for h := range ConsistentHoms(q, idx, ks) {
+			got[h.Canonical()] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

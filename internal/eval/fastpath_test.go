@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// The optimized evaluator (join fast path for ∃ conjunctions, De Morgan
+// push for ∀) must agree with the naive active-domain evaluator on every
+// formula. The corpus mixes quantifier shapes, negation, implications,
+// repeated variables and constants — including the shapes the fast paths
+// rewrite.
+var fastPathCorpus = []string{
+	"exists x . R(x, x)",
+	"exists x, y . (R(x, y) & !S(y))",
+	"exists x, y . (R(x, y) & S(y))",
+	"forall x . (S(x) -> exists y . R(x, y))",
+	"forall x, y . (R(x, y) -> S(x))",
+	"!(exists x . (S(x) & !S(x)))",
+	"forall x . (R(x, 'a') | !R(x, 'a'))",
+	"exists x . (S(x) & (exists y . R(y, x)))",
+	"forall x . exists y . (R(x, y) | R(y, x) | !S(x))",
+	"(exists x . S(x)) -> (exists x, y . R(x, y))",
+	"forall c, u, v . (T(c, u, v) -> (S(u) | S(v)))",
+	"exists u, v . (T(u, u, v) & !(S(u) & S(v)))",
+	"true & (false | exists q . S(q))",
+}
+
+func randomFactsForFastPath(rng *rand.Rand) []relational.Fact {
+	dom := []relational.Const{"a", "b", "c"}
+	var facts []relational.Fact
+	for i := 0; i < rng.IntN(8); i++ {
+		facts = append(facts, relational.NewFact("R", dom[rng.IntN(3)], dom[rng.IntN(3)]))
+	}
+	for i := 0; i < rng.IntN(4); i++ {
+		facts = append(facts, relational.NewFact("S", dom[rng.IntN(3)]))
+	}
+	for i := 0; i < rng.IntN(3); i++ {
+		facts = append(facts, relational.NewFact("T", dom[rng.IntN(3)], dom[rng.IntN(3)], dom[rng.IntN(3)]))
+	}
+	return facts
+}
+
+// Property: optimized == naive on random databases across the corpus.
+func TestEvalFastPathsAgreeWithNaiveProperty(t *testing.T) {
+	prop := func(seed uint64, qi uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 131))
+		idx := NewIndex(randomFactsForFastPath(rng))
+		src := fastPathCorpus[int(qi)%len(fastPathCorpus)]
+		f := query.MustParse(src)
+		fast := EvalBoolean(f, idx)
+		naive := EvalFONaive(f, idx, Binding{})
+		if fast != naive {
+			t.Logf("seed %d query %q: fast=%v naive=%v db=%v", seed, src, fast, naive, idx.Dom())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The empty database exercises the empty-active-domain corner of both
+// paths.
+func TestEvalFastPathsEmptyDomain(t *testing.T) {
+	idx := NewIndex(nil)
+	for _, src := range fastPathCorpus {
+		f := query.MustParse(src)
+		if got, want := EvalBoolean(f, idx), EvalFONaive(f, idx, Binding{}); got != want {
+			t.Errorf("%q on empty db: fast=%v naive=%v", src, got, want)
+		}
+	}
+}
+
+// negate must be a semantic negation on arbitrary formulas.
+func TestNegateSemantics(t *testing.T) {
+	prop := func(seed uint64, qi uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 137))
+		idx := NewIndex(randomFactsForFastPath(rng))
+		f := query.MustParse(fastPathCorpus[int(qi)%len(fastPathCorpus)])
+		return EvalBoolean(negate(f), idx) == !EvalBoolean(f, idx)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"iter"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// This file implements homomorphism search for conjunctive queries: the
+// basis of UCQ evaluation, of the Lemma 3.5 decision procedure, and of the
+// certificate enumeration used by Algorithms 1 and 2 of the paper.
+//
+// A homomorphism for a Boolean CQ q over facts F is a mapping h from the
+// variables of q to constants with h(q) ⊆ F. The search is a backtracking
+// join: atoms are processed in order, candidate facts come from the
+// per-predicate index, and partial bindings prune inconsistent branches.
+
+// Homs enumerates every homomorphism h with h(q) ⊆ idx, in a deterministic
+// order (atom order × canonical fact order). The yielded binding is reused
+// across iterations; clone it if retained.
+func Homs(q query.CQ, idx *Index) iter.Seq[Binding] {
+	return homs(q, idx, nil)
+}
+
+// ConsistentHoms enumerates homomorphisms h with h(q) ⊆ idx and h(q) ⊨ Σ
+// (the image is consistent w.r.t. the keys). These are exactly the small
+// certificates of the paper's guess-check-expand algorithm for #CQA
+// (§4.1): a pair (disjunct, h) witnesses a repair entailing the query.
+func ConsistentHoms(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[Binding] {
+	return homs(q, idx, ks)
+}
+
+// homs is the shared backtracking engine; ks == nil disables the
+// image-consistency check.
+func homs(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[Binding] {
+	return func(yield func(Binding) bool) {
+		env := Binding{}
+		// image tracks key value -> chosen fact canonical, to enforce
+		// h(q) ⊨ Σ incrementally; counts allow backtracking.
+		type kvEntry struct {
+			fact  string
+			count int
+		}
+		image := map[string]*kvEntry{}
+		var rec func(i int) bool // returns false to stop enumeration
+		rec = func(i int) bool {
+			if i == len(q.Atoms) {
+				return yield(env)
+			}
+			a := q.Atoms[i]
+			for _, fact := range idx.FactsFor(a.Pred) {
+				newly, ok := unify(a, fact, env)
+				if !ok {
+					continue
+				}
+				var entry *kvEntry
+				if ks != nil {
+					kv := ks.KeyValue(fact).Canonical()
+					fc := fact.Canonical()
+					if e, exists := image[kv]; exists {
+						if e.fact != fc {
+							// Image would violate a key: two distinct facts
+							// with the same key value.
+							for _, v := range newly {
+								delete(env, v)
+							}
+							continue
+						}
+						e.count++
+						entry = e
+					} else {
+						entry = &kvEntry{fact: fc, count: 1}
+						image[kv] = entry
+					}
+				}
+				cont := rec(i + 1)
+				if ks != nil {
+					entry.count--
+					if entry.count == 0 {
+						delete(image, ks.KeyValue(fact).Canonical())
+					}
+				}
+				for _, v := range newly {
+					delete(env, v)
+				}
+				if !cont {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0)
+	}
+}
+
+// unify extends env so that the atom maps onto the fact; it returns the
+// variables newly bound (to undo on backtrack) and whether unification
+// succeeded. On failure env is left unchanged.
+func unify(a query.Atom, f relational.Fact, env Binding) ([]query.Var, bool) {
+	if len(a.Args) != len(f.Args) {
+		return nil, false
+	}
+	var newly []query.Var
+	undo := func() {
+		for _, v := range newly {
+			delete(env, v)
+		}
+	}
+	for i, t := range a.Args {
+		switch t := t.(type) {
+		case query.ConstTerm:
+			if relational.Const(t) != f.Args[i] {
+				undo()
+				return nil, false
+			}
+		case query.Var:
+			if c, ok := env[t]; ok {
+				if c != f.Args[i] {
+					undo()
+					return nil, false
+				}
+			} else {
+				env[t] = f.Args[i]
+				newly = append(newly, t)
+			}
+		}
+	}
+	return newly, true
+}
+
+// HasHom reports whether some homomorphism embeds q into idx.
+func HasHom(q query.CQ, idx *Index) bool {
+	for range Homs(q, idx) {
+		return true
+	}
+	return false
+}
+
+// HasConsistentHom reports whether some homomorphism embeds q into idx with
+// a Σ-consistent image. Together with iteration over UCQ disjuncts this is
+// Lemma 3.5: a repair entailing the UCQ exists iff some disjunct has a
+// consistent homomorphism.
+func HasConsistentHom(q query.CQ, idx *Index, ks *relational.KeySet) bool {
+	for range ConsistentHoms(q, idx, ks) {
+		return true
+	}
+	return false
+}
+
+// EvalUCQ reports whether the UCQ holds on the indexed facts (some disjunct
+// has a homomorphism).
+func EvalUCQ(u query.UCQ, idx *Index) bool {
+	for _, q := range u.Disjuncts {
+		if HasHom(q, idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Image applies h to the atoms of q, producing facts. It panics if h does
+// not bind every variable of q.
+func Image(q query.CQ, h Binding) []relational.Fact {
+	out := make([]relational.Fact, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		f, ok := groundUnder(a, h)
+		if !ok {
+			panic("eval: Image with incomplete binding")
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"fmt"
+
+	"repaircount/internal/query"
+)
+
+// EvalFONaive is the textbook active-domain evaluator with no join fast
+// paths: quantifier blocks always scan dom(D)^|x̄|. It exists as an
+// executable specification — EvalFO is property-tested against it, and the
+// eval benchmarks quantify the gap (orders of magnitude on guarded
+// quantifiers like the Theorem 3.2/3.3 SAT encoding). Prefer EvalFO.
+func EvalFONaive(f query.Formula, idx *Index, env Binding) bool {
+	switch f := f.(type) {
+	case query.AtomF:
+		fact, ok := groundUnder(f.Atom, env)
+		if !ok {
+			panic(fmt.Sprintf("eval: unbound variable in atom %s", f.Atom))
+		}
+		return idx.Contains(fact)
+	case query.And:
+		for _, k := range f.Kids {
+			if !EvalFONaive(k, idx, env) {
+				return false
+			}
+		}
+		return true
+	case query.Or:
+		for _, k := range f.Kids {
+			if EvalFONaive(k, idx, env) {
+				return true
+			}
+		}
+		return false
+	case query.Not:
+		return !EvalFONaive(f.Kid, idx, env)
+	case query.Exists:
+		return naiveQuant(f.Vars, f.Kid, idx, env, false)
+	case query.Forall:
+		return naiveQuant(f.Vars, f.Kid, idx, env, true)
+	case query.Truth:
+		return f.Val
+	default:
+		panic(fmt.Sprintf("eval: unknown formula type %T", f))
+	}
+}
+
+func naiveQuant(vars []query.Var, kid query.Formula, idx *Index, env Binding, forall bool) bool {
+	if len(vars) == 0 {
+		return EvalFONaive(kid, idx, env)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := env[v]
+	defer func() {
+		if had {
+			env[v] = saved
+		} else {
+			delete(env, v)
+		}
+	}()
+	for _, c := range idx.dom {
+		env[v] = c
+		got := naiveQuant(rest, kid, idx, env, forall)
+		if forall && !got {
+			return false
+		}
+		if !forall && got {
+			return true
+		}
+	}
+	return forall
+}

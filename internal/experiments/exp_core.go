@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"repaircount/internal/core"
+	"repaircount/internal/ntt"
+	"repaircount/internal/problems/graphs"
+	"repaircount/internal/query"
+	"repaircount/internal/reductions"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+	"repaircount/internal/workload"
+)
+
+func init() {
+	register("E01", runE01)
+	register("E03", runE03)
+	register("E04", runE04)
+	register("E05", runE05)
+}
+
+// exampleInstance is Example 1.1 of the paper.
+func exampleInstance() *repairs.Instance {
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	)
+	ks := relational.Keys(map[string]int{"Employee": 1})
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	return repairs.MustInstance(db, ks, q)
+}
+
+// E01 — Example 1.1: every algorithm reproduces total 4, count 2,
+// frequency 1/2.
+func runE01(p Params) (*Table, error) {
+	in := exampleInstance()
+	t := &Table{
+		ID:      "E01",
+		Title:   "Example 1.1 end to end",
+		Claim:   "relative frequency of the same-department query is 1/2 (paper §1.1)",
+		Columns: []string{"algorithm", "count", "time"},
+	}
+	algos := []struct {
+		name string
+		f    func() (*big.Int, error)
+	}{
+		{"block enumeration", func() (*big.Int, error) { return in.CountEnumUCQ(0) }},
+		{"certificate inclusion-exclusion", func() (*big.Int, error) { return in.CountIE(0) }},
+		{"Algorithm 2 compactor unfold", in.CountCompactor},
+		{"FO enumeration", func() (*big.Int, error) { return in.CountEnumFO(0) }},
+		{"Algorithm 1 NTT span", func() (*big.Int, error) {
+			return ntt.Span(ntt.CQATransducer(in.UCQ, in.Keys, in.DB), 0)
+		}},
+	}
+	for _, a := range algos {
+		var n *big.Int
+		d, err := timeIt(func() error {
+			var err error
+			n, err = a.f()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{a.name, bigStr(n), dur(d)})
+	}
+	freq, err := in.RelativeFrequency()
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("total repairs = %s, relative frequency = %s, decision = %v, kw = %d",
+			in.TotalRepairs(), freq, in.HasRepairEntailing(), in.Keywidth()))
+	return t, nil
+}
+
+// E03 — Theorem 3.7 / Algorithm 1: span(M(Q,Σ)) equals #CQA on random
+// instances; accepting paths may exceed the span.
+func runE03(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E03",
+		Title:   "Algorithm 1 NTT span vs exact count",
+		Claim:   "span of the logspace NTT M(Q,Σ) equals #CQA(Q,Σ) (Theorem 3.7)",
+		Columns: []string{"instance", "repairs", "span", "exact", "accepting paths", "match"},
+	}
+	n := 8
+	if p.Quick {
+		n = 4
+	}
+	corpus := []string{
+		"exists x, y . (R(x, y) & S(y))",
+		"exists x . R(x, 'v0')",
+		"(exists x . R(x, 'v1')) | (exists y . S(y))",
+	}
+	for i := 0; i < n; i++ {
+		r := rng(p, uint64(100+i))
+		db, ks, err := workload.Generate(r, []workload.RelationSpec{
+			{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: 1 + r.IntN(3), BlockSizes: workload.Uniform{Lo: 1, Hi: 3}, NumValues: 2},
+			{Pred: "S", KeyWidth: 1, Arity: 1, NumBlocks: r.IntN(2), BlockSizes: workload.Fixed{N: 1}, NumValues: 2},
+		})
+		if err != nil {
+			return nil, err
+		}
+		in := repairs.MustInstance(db, ks, query.MustParse(corpus[i%len(corpus)]))
+		exact, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return nil, err
+		}
+		m := ntt.CQATransducer(in.UCQ, in.Keys, in.DB)
+		span, err := ntt.Span(m, 0)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := ntt.CountAccepting(m, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("random-%d", i), bigStr(in.TotalRepairs()), bigStr(span),
+			bigStr(exact), bigStr(acc), boolMark(span.Cmp(exact) == 0),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"accepting paths ≥ span: distinct certificates can witness the same repair, which is why SpanL (distinct outputs), not #L (accepting paths), is the right semantics (§3.2).")
+	return t, nil
+}
+
+// E04 — Theorem 5.1 membership / Algorithm 2: the compactor is a valid
+// kw-compactor and its unfold equals #CQA, for kw = 0..4.
+func runE04(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E04",
+		Title:   "Algorithm 2 compactor: unfold = #CQA, selector length ≤ kw",
+		Claim:   "#CQA(Q,Σ) ∈ Λ[kw(Q,Σ)] via the Algorithm 2 k-compactor (Theorem 5.1 membership)",
+		Columns: []string{"kw", "blocks", "certificates", "distinct boxes", "unfold", "exact", "effective k", "match"},
+	}
+	maxK := 4
+	if p.Quick {
+		maxK = 2
+	}
+	for k := 0; k <= maxK; k++ {
+		r := rng(p, uint64(200+k))
+		q, ks := workload.KeywidthQuery(k)
+		db := workload.KeywidthDatabase(r, k, 3, 1)
+		in := repairs.MustInstance(db, ks, q)
+		c, err := in.Compactor()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		nCerts := 0
+		for range in.Certificates() {
+			nCerts++
+		}
+		boxes := c.Boxes()
+		unfold, err := c.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		exact, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k), fmt.Sprintf("%d", len(in.Blocks)),
+			fmt.Sprintf("%d", nCerts), fmt.Sprintf("%d", len(boxes)),
+			bigStr(unfold), bigStr(exact), fmt.Sprintf("%d", c.EffectiveK()),
+			boolMark(unfold.Cmp(exact) == 0 && c.EffectiveK() <= k),
+		})
+	}
+	return t, nil
+}
+
+// E05 — Theorem 5.1 hardness: the Selector/Element reduction maps Λ[k]
+// problem instances to #CQA(Q_k, Σ_k) preserving the count exactly.
+func runE05(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E05",
+		Title:   "Λ[k] hardness reduction into #CQA(Q_k, Σ_k)",
+		Claim:   "for every λ ∈ Λ[k], λ(x) = #CQA(Q_k,Σ_k)(D_x) (Theorem 5.1 hardness)",
+		Columns: []string{"source problem", "k", "source count", "#CQA on D_x", "|D_x|", "match"},
+	}
+	r := rng(p, 300)
+	nis, err := graphs.NonIndependentSets(workload.RandomGraph(r, 5, 0.5))
+	if err != nil {
+		return nil, err
+	}
+	sources := []struct {
+		name string
+		c    *core.Compactor
+	}{
+		{"#DisjPoskDNF", workload.RandomDisjDNF(r, 3, 3, 2, 4).Compactor()},
+		{"#NonIndependentSets", nis},
+		{"#kForbColoring", workload.RandomColoring(r, 4, 2, 2, 2, 2).Compactor()},
+	}
+	for _, s := range sources {
+		want, err := s.c.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		img, err := reductions.LambdaToCQA(s.c)
+		if err != nil {
+			return nil, err
+		}
+		in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+		got, _, err := in.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name, fmt.Sprintf("%d", s.c.K), bigStr(want), bigStr(got),
+			fmt.Sprintf("%d facts", img.DB.Len()), boolMark(got.Cmp(want) == 0),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"repaircount/internal/probdb"
+	"repaircount/internal/problems/graphs"
+	"repaircount/internal/query"
+	"repaircount/internal/reductions"
+	"repaircount/internal/repairs"
+	"repaircount/internal/workload"
+)
+
+func init() {
+	register("E09", runE09)
+	register("E10", runE10)
+	register("E13", runE13)
+}
+
+// E09 — Theorems 3.2/3.3: the 3SAT reduction into #CQA(FO) preserves
+// counts and decisions.
+func runE09(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E09",
+		Title:   "3SAT → #CQA(FO) reduction",
+		Claim:   "#CQA(FO) is #P-complete and #CQA>0(FO) NP-complete under ≤log_m via the SAT encoding (Theorems 3.2/3.3)",
+		Columns: []string{"vars", "clauses", "#SAT", "#CQA", "satisfiable", "decide", "match", "time"},
+	}
+	shapes := []struct{ vars, clauses int }{
+		{4, 6}, {6, 10}, {8, 14}, {10, 20},
+	}
+	if p.Quick {
+		shapes = shapes[:2]
+	}
+	for i, s := range shapes {
+		r := rng(p, uint64(900+i))
+		f := workload.RandomCNF(r, s.vars, s.clauses)
+		want := f.CountSatisfying()
+		img, err := reductions.SATToCQAFO(f)
+		if err != nil {
+			return nil, err
+		}
+		in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+		var got fmt.Stringer
+		d, err := timeIt(func() error {
+			n, _, err := in.CountExact()
+			got = n
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		decide := in.HasRepairEntailing()
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(s.vars), strconv.Itoa(s.clauses), want.String(), got.String(),
+			boolMark(f.Satisfiable()), boolMark(decide),
+			boolMark(got.String() == want.String() && decide == f.Satisfiable()), dur(d),
+		})
+	}
+	return t, nil
+}
+
+// E10 — Theorems 7.1/7.2: the Λ[k]-complete problems count correctly
+// through the compactor machinery and reduce into #CQA losslessly.
+func runE10(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Λ[k]-complete problems: #DisjPoskDNF and #kForbColoring",
+		Claim:   "both problems are Λ[k]-complete (Theorems 7.1/7.2); unfold = brute force = #CQA after reduction",
+		Columns: []string{"problem", "k", "unfold", "brute force", "#CQA via reduction", "match"},
+	}
+	reps := 3
+	if p.Quick {
+		reps = 1
+	}
+	for i := 0; i < reps; i++ {
+		r := rng(p, uint64(1000+i))
+		din := workload.RandomDisjDNF(r, 4, 3, 2+i%2, 4)
+		dc := din.Compactor()
+		unfold, err := dc.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		bf := din.CountBruteForce()
+		img, err := reductions.LambdaToCQA(dc)
+		if err != nil {
+			return nil, err
+		}
+		viaCQA, _, err := repairs.MustInstance(img.DB, img.Keys, img.Q).CountExact()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"#DisjPoskDNF", strconv.Itoa(dc.K), bigStr(unfold), bigStr(bf), bigStr(viaCQA),
+			boolMark(unfold.Cmp(bf) == 0 && unfold.Cmp(viaCQA) == 0),
+		})
+		cin := workload.RandomColoring(r, 4, 2, 3, 2, 2)
+		cc := cin.Compactor()
+		unfold, err = cc.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		bf = cin.CountBruteForce()
+		img, err = reductions.LambdaToCQA(cc)
+		if err != nil {
+			return nil, err
+		}
+		viaCQA, _, err = repairs.MustInstance(img.DB, img.Keys, img.Q).CountExact()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"#kForbColoring", strconv.Itoa(cc.K), bigStr(unfold), bigStr(bf), bigStr(viaCQA),
+			boolMark(unfold.Cmp(bf) == 0 && unfold.Cmp(viaCQA) == 0),
+		})
+	}
+	return t, nil
+}
+
+// E13 — §4.1's guess-check-expand problem list over graphs.
+func runE13(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E13",
+		Title:   "guess-check-expand graph problems (§4.1)",
+		Claim:   "non-independent sets, non-3-colorings and non-vertex-covers are Λ[2] problems solved by the same machinery",
+		Columns: []string{"problem", "n", "edges", "unfold", "brute force", "match"},
+	}
+	n := 10
+	if p.Quick {
+		n = 7
+	}
+	r := rng(p, 1300)
+	g := workload.RandomGraph(r, n, 0.35)
+	nis, err := graphs.NonIndependentSets(g)
+	if err != nil {
+		return nil, err
+	}
+	nvc, err := graphs.NonVertexCovers(g)
+	if err != nil {
+		return nil, err
+	}
+	n3c, err := graphs.NonColorings(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := nis.CountExact()
+	if err != nil {
+		return nil, err
+	}
+	want := graphs.BruteForceSubsets(g, func(in []bool) bool { return !graphs.IsIndependent(g, in) })
+	t.Rows = append(t.Rows, []string{"non-independent sets", strconv.Itoa(g.N),
+		strconv.Itoa(len(g.Edges)), bigStr(cnt), bigStr(want), boolMark(cnt.Cmp(want) == 0)})
+	cnt, err = nvc.CountExact()
+	if err != nil {
+		return nil, err
+	}
+	want = graphs.BruteForceSubsets(g, func(in []bool) bool { return !graphs.IsVertexCover(g, in) })
+	t.Rows = append(t.Rows, []string{"non-vertex-covers", strconv.Itoa(g.N),
+		strconv.Itoa(len(g.Edges)), bigStr(cnt), bigStr(want), boolMark(cnt.Cmp(want) == 0)})
+	cnt, err = n3c.CountExact()
+	if err != nil {
+		return nil, err
+	}
+	want = graphs.BruteForceColorings(g, 3)
+	t.Rows = append(t.Rows, []string{"non-3-colorings", strconv.Itoa(g.N),
+		strconv.Itoa(len(g.Edges)), bigStr(cnt), bigStr(want), boolMark(cnt.Cmp(want) == 0)})
+	return t, nil
+}
+
+// E15 — the DisjPDB connection: #CQA equals P(Q)·∏|B| on the uniform
+// probabilistic database (the approximation-preserving reduction after
+// Corollary 6.4), and the [5]-style Karp–Luby estimator approximates P(Q).
+func init() { register("E15", runE15) }
+
+func runE15(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "#CQA ↔ disjoint-independent probabilistic databases",
+		Claim:   "#CQA(Q,Σ)(D) = P(Q)·∏|B_i| over the uniform DisjPDB (reduction after Corollary 6.4)",
+		Columns: []string{"instance", "P(Q)", "P·total", "#CQA", "KL estimate of P", "match"},
+	}
+	reps := 3
+	if p.Quick {
+		reps = 1
+	}
+	q := query.MustParse("exists x, y . (R(x, y) & R(x, 'v0'))")
+	for i := 0; i < reps; i++ {
+		r := rng(p, uint64(1500+i))
+		db, ks, err := workload.Generate(r, []workload.RelationSpec{
+			{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: 4, BlockSizes: workload.Uniform{Lo: 1, Hi: 3}, NumValues: 2},
+		})
+		if err != nil {
+			return nil, err
+		}
+		in := repairs.MustInstance(db, ks, q)
+		exact, _, err := in.CountExact()
+		if err != nil {
+			return nil, err
+		}
+		pd := probdb.FromRepairInstance(db, ks)
+		prob, err := pd.QueryProbability(q)
+		if err != nil {
+			return nil, err
+		}
+		viaProb := new(big.Rat).Mul(prob, new(big.Rat).SetInt(in.TotalRepairs()))
+		kl, err := pd.KarpLubyUCQ(in.UCQ, 4000, rng(p, uint64(1510+i)))
+		if err != nil {
+			return nil, err
+		}
+		klF, _ := kl.Float64()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("random-%d", i), prob.RatString(), viaProb.RatString(), bigStr(exact),
+			f64(klF), boolMark(viaProb.IsInt() && viaProb.Num().Cmp(exact) == 0),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+// Package experiments implements the reproduction's experiment suite: one
+// experiment per algorithmic claim of the paper, as indexed in DESIGN.md
+// (E01–E14). The paper itself (PODS 2019 theory) contains no measurement
+// tables; its §8 explicitly defers implementation and experiments to
+// follow-up work, and this package is that experiment design. Each
+// experiment returns a Table that cmd/cqabench renders and EXPERIMENTS.md
+// records; bench_test.go at the repository root times the same code paths.
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim being exercised
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render prints the table in a fixed-width layout.
+func (t *Table) Render(w *strings.Builder) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "Claim: %s\n\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(w, "| %-*s ", widths[i], cell)
+		}
+		w.WriteString("|\n")
+	}
+	line(t.Columns)
+	for i, width := range widths {
+		if i == 0 {
+			w.WriteString("|")
+		}
+		w.WriteString(strings.Repeat("-", width+2))
+		w.WriteString("|")
+	}
+	w.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	w.WriteString("\n")
+}
+
+// Params tunes experiment sizes.
+type Params struct {
+	// Seed drives all randomness (deterministic tables for fixed seeds).
+	Seed uint64
+	// Quick shrinks the workloads (used by tests and -quick).
+	Quick bool
+}
+
+// Runner computes one experiment.
+type Runner func(p Params) (*Table, error)
+
+// registry maps experiment ids to runners, populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, p Params) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(p)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(p Params) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// helpers shared by the experiment files
+
+func rng(p Params, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(p.Seed, stream))
+}
+
+// timeIt measures one execution.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), nil2(err)
+}
+
+func nil2(err error) error { return err }
+
+func dur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func bigStr(n *big.Int) string {
+	if n == nil {
+		return "-"
+	}
+	s := n.String()
+	if len(s) > 24 {
+		f := new(big.Float).SetInt(n)
+		return f.Text('e', 3)
+	}
+	return s
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+func f64(v float64) string { return fmt.Sprintf("%.4g", v) }

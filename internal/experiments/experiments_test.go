@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and checks that (a) they complete, (b) every row that carries a "match"
+// column reports agreement, and (c) tables render.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables, err := RunAll(Params{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 14 {
+		t.Fatalf("only %d experiments registered", len(tables))
+	}
+	for _, tab := range tables {
+		matchCol := -1
+		for i, c := range tab.Columns {
+			if c == "match" {
+				matchCol = i
+			}
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row width %d vs %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+			if matchCol >= 0 && row[matchCol] != "yes" {
+				t.Errorf("%s: mismatch row %v", tab.ID, row)
+			}
+		}
+		var b strings.Builder
+		tab.Render(&b)
+		if !strings.Contains(b.String(), tab.ID) {
+			t.Errorf("%s: render missing id", tab.ID)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", Params{}); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ids not sorted: %v", ids)
+		}
+	}
+	want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
+		"E09", "E10", "E11", "E12", "E13", "E14", "E15"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package ntt
+
+import (
+	"strconv"
+	"strings"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// CQATransducer builds the logspace NTT M(Q,Σ) of Algorithm 1 for a UCQ
+// and an input database: guess a disjunct and a mapping h from its
+// variables to dom(D); reject unless h(Q_i) ⊆ D and h(Q_i) ⊨ Σ; then walk
+// the block sequence B1,...,Bn in ≺(D,Σ) order, emitting the forced fact
+// for keyed blocks hit by h(Q_i) and a guessed fact for every other block.
+//
+// Every accepting computation outputs a repair, facts from block i always
+// appear at position i of the output, and a repair is output by some
+// accepting computation iff it entails Q — so span(M) = #CQA(Q,Σ)(D)
+// (Theorem 3.7).
+func CQATransducer(u query.UCQ, ks *relational.KeySet, db *relational.Database) Machine {
+	blocks := relational.Blocks(db, ks)
+	idx := eval.IndexDatabase(db)
+	dom := idx.Dom()
+	blockIdx := relational.BlockIndex(blocks)
+	return MachineFunc(func(ch Chooser) (string, bool) {
+		if len(u.Disjuncts) == 0 {
+			return "", false
+		}
+		qi := ch.Choose(len(u.Disjuncts))
+		q := u.Disjuncts[qi]
+		// Guess h: var(Q_i) → dom(D), one choice per variable.
+		vars := q.Vars()
+		h := eval.Binding{}
+		for _, v := range vars {
+			if len(dom) == 0 {
+				return "", false
+			}
+			h[v] = dom[ch.Choose(len(dom))]
+		}
+		// Check: h(Q_i) ⊆ D and h(Q_i) ⊨ Σ.
+		img := eval.Image(q, h)
+		forced := map[int]relational.Fact{}
+		for _, f := range img {
+			if !idx.Contains(f) {
+				return "", false
+			}
+			if !ks.HasKey(f.Pred) {
+				continue
+			}
+			bi := blockIdx[ks.KeyValue(f).Canonical()]
+			if prev, ok := forced[bi]; ok && prev.Canonical() != f.Canonical() {
+				return "", false // h(Q_i) violates Σ
+			}
+			forced[bi] = f
+		}
+		// Expand: output one fact per block in canonical order.
+		var out strings.Builder
+		for i, b := range blocks {
+			if i > 0 {
+				out.WriteByte('\n')
+			}
+			if f, ok := forced[i]; ok {
+				out.WriteString(f.Canonical())
+				continue
+			}
+			g := b.Facts[ch.Choose(len(b.Facts))]
+			out.WriteString(g.Canonical())
+		}
+		return out.String(), true
+	})
+}
+
+// FORepairNTM builds the Theorem 3.3 NTM for an arbitrary FO query: guess
+// one fact per block (each computation builds a distinct repair, thanks to
+// the fixed block order), then accept iff the repair satisfies Q. The
+// number of accepting computations is #CQA(Q,Σ)(D), placing the problem in
+// #P under the paper's conventions.
+func FORepairNTM(q query.Formula, ks *relational.KeySet, db *relational.Database) Machine {
+	blocks := relational.Blocks(db, ks)
+	return MachineFunc(func(ch Chooser) (string, bool) {
+		facts := make([]relational.Fact, len(blocks))
+		for i, b := range blocks {
+			facts[i] = b.Facts[ch.Choose(len(b.Facts))]
+		}
+		if !eval.EvalBoolean(q, eval.NewIndex(facts)) {
+			return "", false
+		}
+		var out strings.Builder
+		for i, f := range facts {
+			if i > 0 {
+				out.WriteByte('\n')
+			}
+			out.WriteString(f.Canonical())
+		}
+		return out.String(), true
+	})
+}
+
+// GuessCheckExpand converts any compactor into an NTT following the
+// guess-check-expand paradigm of §4.1: guess a candidate certificate,
+// reject if invalid, then expand the compact representation by emitting
+// pinned elements and guessing the rest. Its span equals unfold_M, which
+// is the Λ ⊆ SpanL direction of Theorem 4.3.
+func GuessCheckExpand(c *core.Compactor) Machine {
+	// Materialize the candidate certificate list once (the paper's
+	// certificates are O(log)-bit strings, i.e. polynomially many).
+	var certs []core.Certificate
+	for cert := range c.Certificates() {
+		certs = append(certs, cert)
+	}
+	return MachineFunc(func(ch Chooser) (string, bool) {
+		if len(certs) == 0 {
+			return "", false
+		}
+		cert := certs[ch.Choose(len(certs))]
+		sel, ok := c.Compact(cert)
+		if !ok {
+			return "", false
+		}
+		var out strings.Builder
+		j := 0
+		for i, d := range c.Doms {
+			if i > 0 {
+				out.WriteByte('$')
+			}
+			if j < len(sel) && sel[j].Index == i {
+				out.WriteString(strconv.Quote(string(sel[j].Elem)))
+				j++
+				continue
+			}
+			out.WriteString(strconv.Quote(string(d.Elems[ch.Choose(d.Size())])))
+		}
+		return out.String(), true
+	})
+}

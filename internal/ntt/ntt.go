@@ -1,0 +1,145 @@
+// Package ntt simulates nondeterministic transducers (NTTs) and implements
+// the paper's machine constructions: Algorithm 1 (the logspace NTT M(Q,Σ)
+// whose span is #CQA(Q,Σ), Theorem 3.7), the Theorem 3.3 NTM whose
+// accepting computations count repairs entailing an FO query, and the
+// generic guess-check-expand transducer derived from any compactor
+// (the Λ ⊆ SpanL direction of Theorem 4.3).
+//
+// The simulator enumerates every computation path of a machine by replaying
+// recorded choice sequences and advancing them like an odometer. Span
+// semantics (SpanL) counts distinct accepting outputs; accept semantics
+// (#L/#P) counts accepting paths.
+package ntt
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+)
+
+// Chooser supplies nondeterministic choices to a running machine.
+type Chooser interface {
+	// Choose returns a branch index in [0,n); n must be at least 1.
+	Choose(n int) int
+}
+
+// Machine is a nondeterministic transducer presented operationally: Run
+// executes one computation, consulting the chooser at each branch point,
+// and returns the output-tape contents plus whether the machine halted
+// accepting. Run must be deterministic given the chooser's answers.
+type Machine interface {
+	Run(ch Chooser) (output string, accept bool)
+}
+
+// Computation is one complete run of a machine.
+type Computation struct {
+	Output string
+	Accept bool
+}
+
+// ErrBudget reports that path enumeration exceeded its work budget.
+var ErrBudget = fmt.Errorf("ntt: path enumeration exceeds budget")
+
+// replayChooser replays a fixed prefix of choices, then extends with 0s,
+// recording the fanout observed at every branch point.
+type replayChooser struct {
+	prefix  []int
+	choices []int
+	fanouts []int
+	pos     int
+}
+
+func (c *replayChooser) Choose(n int) int {
+	if n < 1 {
+		panic("ntt: Choose with fanout < 1")
+	}
+	var v int
+	if c.pos < len(c.prefix) {
+		v = c.prefix[c.pos]
+		if v >= n {
+			panic("ntt: machine fanout changed between replays")
+		}
+	} else {
+		v = 0
+	}
+	c.choices = append(c.choices, v)
+	c.fanouts = append(c.fanouts, n)
+	c.pos++
+	return v
+}
+
+// Paths enumerates every computation path of the machine in depth-first
+// order. Enumeration is exhaustive: the number of paths is the product of
+// fanouts along each branch, so callers bound their machines.
+func Paths(m Machine) iter.Seq[Computation] {
+	return func(yield func(Computation) bool) {
+		prefix := []int{}
+		for {
+			ch := &replayChooser{prefix: prefix}
+			out, acc := m.Run(ch)
+			if !yield(Computation{Output: out, Accept: acc}) {
+				return
+			}
+			// Advance the odometer over the recorded choice sequence.
+			i := len(ch.choices) - 1
+			for ; i >= 0; i-- {
+				if ch.choices[i]+1 < ch.fanouts[i] {
+					break
+				}
+			}
+			if i < 0 {
+				return
+			}
+			prefix = append(prefix[:0], ch.choices[:i]...)
+			prefix = append(prefix, ch.choices[i]+1)
+		}
+	}
+}
+
+// Span computes span_M: the number of distinct valid outputs over all
+// accepting computations (the SpanL counting semantics). budget ≤ 0 means
+// 4,000,000 paths.
+func Span(m Machine, budget int) (*big.Int, error) {
+	if budget <= 0 {
+		budget = 4_000_000
+	}
+	outputs := map[string]bool{}
+	paths := 0
+	for c := range Paths(m) {
+		paths++
+		if paths > budget {
+			return nil, ErrBudget
+		}
+		if c.Accept {
+			outputs[c.Output] = true
+		}
+	}
+	return big.NewInt(int64(len(outputs))), nil
+}
+
+// CountAccepting computes accept_M: the number of accepting computation
+// paths (the #P/#L counting semantics). budget ≤ 0 means 4,000,000 paths.
+func CountAccepting(m Machine, budget int) (*big.Int, error) {
+	if budget <= 0 {
+		budget = 4_000_000
+	}
+	n := new(big.Int)
+	one := big.NewInt(1)
+	paths := 0
+	for c := range Paths(m) {
+		paths++
+		if paths > budget {
+			return nil, ErrBudget
+		}
+		if c.Accept {
+			n.Add(n, one)
+		}
+	}
+	return n, nil
+}
+
+// MachineFunc adapts a function to the Machine interface.
+type MachineFunc func(ch Chooser) (string, bool)
+
+// Run implements Machine.
+func (f MachineFunc) Run(ch Chooser) (string, bool) { return f(ch) }

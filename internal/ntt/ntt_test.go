@@ -1,0 +1,322 @@
+package ntt
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/core"
+	"repaircount/internal/problems/dnf"
+	"repaircount/internal/problems/graphs"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+)
+
+// coinFlips is a toy machine: flip n coins, output them, accept if at
+// least one head. Span = 2^n − 1 (all-tails rejected); accepting paths
+// likewise 2^n − 1 (outputs distinct per path here).
+type coinFlips struct{ n int }
+
+func (m coinFlips) Run(ch Chooser) (string, bool) {
+	out := make([]byte, m.n)
+	heads := false
+	for i := 0; i < m.n; i++ {
+		if ch.Choose(2) == 1 {
+			out[i] = 'H'
+			heads = true
+		} else {
+			out[i] = 'T'
+		}
+	}
+	return string(out), heads
+}
+
+func TestPathsEnumeratesAll(t *testing.T) {
+	m := coinFlips{n: 3}
+	seen := map[string]bool{}
+	total := 0
+	for c := range Paths(m) {
+		total++
+		seen[c.Output] = true
+	}
+	if total != 8 {
+		t.Fatalf("paths = %d, want 8", total)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("distinct outputs = %d, want 8", len(seen))
+	}
+}
+
+func TestSpanAndAccept(t *testing.T) {
+	m := coinFlips{n: 4}
+	span, err := Span(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(big.NewInt(15)) != 0 {
+		t.Fatalf("span = %s, want 15", span)
+	}
+	acc, err := CountAccepting(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Cmp(big.NewInt(15)) != 0 {
+		t.Fatalf("accept = %s, want 15", acc)
+	}
+}
+
+// duplicated outputs: machine flips 2 coins but outputs only the first;
+// span = 2 while accepting paths = 4.
+type dupOutput struct{}
+
+func (dupOutput) Run(ch Chooser) (string, bool) {
+	a := ch.Choose(2)
+	ch.Choose(2)
+	if a == 1 {
+		return "one", true
+	}
+	return "zero", true
+}
+
+func TestSpanDeduplicates(t *testing.T) {
+	span, err := Span(dupOutput{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("span = %s, want 2", span)
+	}
+	acc, err := CountAccepting(dupOutput{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("accept = %s, want 4", acc)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	m := coinFlips{n: 10}
+	if _, err := Span(m, 100); err != ErrBudget {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestPathsEarlyStop(t *testing.T) {
+	n := 0
+	for range Paths(coinFlips{n: 5}) {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early stop failed")
+	}
+}
+
+func exampleInstance(t testing.TB) *repairs.Instance {
+	t.Helper()
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	)
+	ks := relational.Keys(map[string]int{"Employee": 1})
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	return repairs.MustInstance(db, ks, q)
+}
+
+func TestAlgorithmOneSpanOnExample(t *testing.T) {
+	in := exampleInstance(t)
+	m := CQATransducer(in.UCQ, in.Keys, in.DB)
+	span, err := Span(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("span(M(Q,Σ)) = %s, want #CQA = 2", span)
+	}
+	// Multiple certificates can witness one repair: accepting paths may
+	// exceed the span, which is exactly why span (not accept) semantics is
+	// needed (§3.2).
+	acc, err := CountAccepting(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Cmp(span) < 0 {
+		t.Fatalf("accepting paths %s < span %s", acc, span)
+	}
+}
+
+func TestTheorem33NTMOnFOQuery(t *testing.T) {
+	db := relational.MustDatabase(
+		relational.NewFact("Var", "x1", "0"),
+		relational.NewFact("Var", "x1", "1"),
+		relational.NewFact("Var", "x2", "0"),
+		relational.NewFact("Var", "x2", "1"),
+	)
+	ks := relational.Keys(map[string]int{"Var": 1})
+	q := query.MustParse("!(Var('x1', '0') & Var('x2', '0'))")
+	m := FORepairNTM(q, ks, db)
+	acc, err := CountAccepting(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("accept_M = %s, want 3", acc)
+	}
+	// For the NTM of Theorem 3.3, every accepting computation builds a
+	// distinct repair, so span equals accept here.
+	span, err := Span(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(acc) != 0 {
+		t.Fatalf("span %s != accept %s for the block-guessing NTM", span, acc)
+	}
+}
+
+func TestGuessCheckExpandSpanEqualsUnfold(t *testing.T) {
+	in := exampleInstance(t)
+	c, err := in.Compactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GuessCheckExpand(c)
+	span, err := Span(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(exact) != 0 {
+		t.Fatalf("GCE span = %s, unfold = %s", span, exact)
+	}
+}
+
+// Theorem 4.3's Λ ⊆ SpanL direction holds for every problem family: the
+// guess-check-expand machine of any compactor has span equal to its
+// unfold count.
+func TestGuessCheckExpandAcrossProblems(t *testing.T) {
+	din := dnf.MustInstance(
+		dnf.Formula{NumVars: 4, Width: 2, Clauses: []dnf.Clause{{0, 2}, {1}}},
+		dnf.Partition{{0, 1}, {2, 3}},
+	)
+	nis, err := graphs.NonIndependentSets(graphs.Graph{N: 4, Edges: [][2]int{{0, 1}, {2, 3}, {1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*core.Compactor{
+		"#DisjPoskDNF":        din.Compactor(),
+		"#NonIndependentSets": nis,
+	}
+	for name, c := range cases {
+		unfold, err := c.CountExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		span, err := Span(GuessCheckExpand(c), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span.Cmp(unfold) != 0 {
+			t.Errorf("%s: GCE span %s vs unfold %s", name, span, unfold)
+		}
+	}
+}
+
+// Theorem 7.3's SpanLL ⊆ SpanL direction: the guess-check-expand machine
+// of an unbounded compactor (arbitrary selector lengths) also realizes its
+// unfold as a span.
+func TestGuessCheckExpandSpanLL(t *testing.T) {
+	// One wide clause pinning all four classes plus one narrow clause:
+	// the SpanLL shape of §7.2.
+	in := dnf.MustInstance(
+		dnf.Formula{NumVars: 8, Width: -1, Clauses: []dnf.Clause{{0, 2, 4, 6}, {1, 3}}},
+		dnf.Partition{{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+	)
+	c := in.Compactor()
+	if c.K >= 0 {
+		t.Fatalf("instance must be unbounded, K = %d", c.K)
+	}
+	unfold, err := c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfold.Cmp(in.CountBruteForce()) != 0 {
+		t.Fatalf("unfold %s vs brute force %s", unfold, in.CountBruteForce())
+	}
+	span, err := Span(GuessCheckExpand(c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Cmp(unfold) != 0 {
+		t.Fatalf("SpanLL GCE span %s vs unfold %s", span, unfold)
+	}
+}
+
+// randomInstance builds small random #CQA instances (mirrors the repairs
+// package generator, kept small so path enumeration stays feasible).
+func randomInstance(rng *rand.Rand) *repairs.Instance {
+	db := relational.MustDatabase()
+	nBlocks := 1 + rng.IntN(3)
+	letters := []relational.Const{"a", "b"}
+	for b := 0; b < nBlocks; b++ {
+		sz := 1 + rng.IntN(2)
+		for j := 0; j < sz; j++ {
+			db.Add(relational.NewFact("R", relational.IntConst(b), letters[rng.IntN(2)]))
+		}
+	}
+	for b := 0; b < rng.IntN(2); b++ {
+		db.Add(relational.NewFact("S", letters[rng.IntN(2)]))
+	}
+	ks := relational.Keys(map[string]int{"R": 1, "S": 1})
+	corpus := []string{
+		"exists x, y . (R(x, y) & S(y))",
+		"exists x . R(x, 'a')",
+		"(exists x . R(x, 'b')) | (exists y . S(y))",
+		"exists x, y . (R(x, 'a') & R(y, 'b'))",
+	}
+	q := query.MustParse(corpus[rng.IntN(len(corpus))])
+	return repairs.MustInstance(db, ks, q)
+}
+
+// Property (Theorem 3.7 made executable): span of Algorithm 1 equals the
+// exact repair count, and equals the guess-check-expand span of the
+// Algorithm 2 compactor, on random instances.
+func TestSpanEqualsExactCountProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		in := randomInstance(rng)
+		exact, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return false
+		}
+		span, err := Span(CQATransducer(in.UCQ, in.Keys, in.DB), 0)
+		if err != nil {
+			return false
+		}
+		if span.Cmp(exact) != 0 {
+			t.Logf("seed %d: span=%s exact=%s q=%s db=\n%s", seed, span, exact, in.Q, in.DB)
+			return false
+		}
+		c, err := in.Compactor()
+		if err != nil {
+			return false
+		}
+		gce, err := Span(GuessCheckExpand(c), 0)
+		if err != nil {
+			return false
+		}
+		return gce.Cmp(exact) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package probdb implements disjoint-independent probabilistic databases —
+// the setting of Dalvi–Suciu [5] that the paper's Section 6 compares its
+// FPRAS against. Facts are partitioned into blocks; within a block the
+// facts are mutually exclusive alternatives whose probabilities sum to at
+// most 1 (the residual mass is "no fact from this block"); distinct blocks
+// are independent.
+//
+// Repairs under primary keys are the special case with uniform
+// probabilities 1/|B| and no residual mass, so
+// #CQA(Q,Σ)(D) = P(Q) · ∏|B_i| — the approximation-preserving reduction
+// #CQA ≤ DisjPDB mentioned after Corollary 6.4. The package provides exact
+// query probability by world enumeration and a Karp–Luby style FPRAS over
+// the complex sample space of (certificate, world) pairs.
+package probdb
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+	"math/rand/v2"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Choice is one alternative of a block: a fact with its probability.
+type Choice struct {
+	F relational.Fact
+	P *big.Rat
+}
+
+// Block is a set of mutually exclusive alternatives. If the probabilities
+// sum to p < 1, the block contributes no fact with probability 1−p.
+type Block struct {
+	Name    string
+	Choices []Choice
+}
+
+// Residual returns 1 − Σ P(choice).
+func (b Block) Residual() *big.Rat {
+	r := big.NewRat(1, 1)
+	for _, c := range b.Choices {
+		r.Sub(r, c.P)
+	}
+	return r
+}
+
+// ProbDatabase is a disjoint-independent probabilistic database.
+type ProbDatabase struct {
+	Blocks []Block
+}
+
+// Validate checks that probabilities are positive and sum to at most 1 per
+// block.
+func (pd *ProbDatabase) Validate() error {
+	for bi, b := range pd.Blocks {
+		sum := new(big.Rat)
+		for ci, c := range b.Choices {
+			if c.P.Sign() <= 0 {
+				return fmt.Errorf("probdb: block %d choice %d has non-positive probability %s", bi, ci, c.P)
+			}
+			sum.Add(sum, c.P)
+		}
+		if sum.Cmp(big.NewRat(1, 1)) > 0 {
+			return fmt.Errorf("probdb: block %d probabilities sum to %s > 1", bi, sum)
+		}
+	}
+	return nil
+}
+
+// World is one possible world: the chosen alternative per block (-1 means
+// the empty choice) with its probability.
+type World struct {
+	Choice []int
+	P      *big.Rat
+}
+
+// Facts materializes the world's facts.
+func (pd *ProbDatabase) Facts(w []int) []relational.Fact {
+	var out []relational.Fact
+	for bi, ci := range w {
+		if ci >= 0 {
+			out = append(out, pd.Blocks[bi].Choices[ci].F)
+		}
+	}
+	return out
+}
+
+// Worlds enumerates all possible worlds with their probabilities
+// (exponential; ground truth for small databases). Blocks with residual
+// mass zero never take the empty choice.
+func (pd *ProbDatabase) Worlds() iter.Seq[World] {
+	return func(yield func(World) bool) {
+		n := len(pd.Blocks)
+		choice := make([]int, n)
+		// start: all blocks at first alternative, or -1 when a block allows
+		// emptiness... simpler: options per block = choices plus empty when
+		// residual > 0; iterate odometer over option counts.
+		type opt struct {
+			indices []int // choice index per option, -1 = empty
+			probs   []*big.Rat
+		}
+		opts := make([]opt, n)
+		for bi, b := range pd.Blocks {
+			var o opt
+			for ci := range b.Choices {
+				o.indices = append(o.indices, ci)
+				o.probs = append(o.probs, b.Choices[ci].P)
+			}
+			if r := b.Residual(); r.Sign() > 0 {
+				o.indices = append(o.indices, -1)
+				o.probs = append(o.probs, r)
+			}
+			if len(o.indices) == 0 {
+				// A block with no choices and no residual is impossible;
+				// Validate rejects sums > 1, and an empty block has
+				// residual 1, so this cannot happen.
+				panic("probdb: block with no options")
+			}
+			opts[bi] = opt{indices: o.indices, probs: o.probs}
+		}
+		pos := make([]int, n)
+		for {
+			p := big.NewRat(1, 1)
+			for bi := range pd.Blocks {
+				choice[bi] = opts[bi].indices[pos[bi]]
+				p.Mul(p, opts[bi].probs[pos[bi]])
+			}
+			cp := make([]int, n)
+			copy(cp, choice)
+			if !yield(World{Choice: cp, P: p}) {
+				return
+			}
+			i := n - 1
+			for ; i >= 0; i-- {
+				pos[i]++
+				if pos[i] < len(opts[i].indices) {
+					break
+				}
+				pos[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+		}
+	}
+}
+
+// QueryProbability computes P(Q) = Σ_W P(W)·[W ⊨ Q] exactly by world
+// enumeration. Q must be Boolean; arbitrary FO is supported.
+func (pd *ProbDatabase) QueryProbability(q query.Formula) (*big.Rat, error) {
+	if fv := query.FreeVars(q); len(fv) > 0 {
+		return nil, fmt.Errorf("probdb: query has free variables %v", fv)
+	}
+	total := new(big.Rat)
+	for w := range pd.Worlds() {
+		if eval.EvalBoolean(q, eval.NewIndex(pd.Facts(w.Choice))) {
+			total.Add(total, w.P)
+		}
+	}
+	return total, nil
+}
+
+// FromRepairInstance renders a database with primary keys as the uniform
+// disjoint-independent probabilistic database whose possible worlds are
+// exactly the repairs: each block's facts get probability 1/|B|, leaving
+// no residual mass.
+func FromRepairInstance(db *relational.Database, ks *relational.KeySet) *ProbDatabase {
+	var out ProbDatabase
+	for _, b := range relational.Blocks(db, ks) {
+		pb := Block{Name: b.Key.Canonical()}
+		for _, f := range b.Facts {
+			pb.Choices = append(pb.Choices, Choice{F: f, P: big.NewRat(1, int64(b.Size()))})
+		}
+		out.Blocks = append(out.Blocks, pb)
+	}
+	return &out
+}
+
+// KarpLubyUCQ estimates P(Q) for a UCQ with t samples over the complex
+// sample space of (certificate, world) pairs, where a certificate is a
+// consistent homomorphism image of some disjunct with positive
+// probability. This is the estimator the paper contrasts with its simpler
+// natural-space FPRAS: sampling possible worlds directly needs
+// exponentially many samples when P(Q) is tiny, whereas conditioning on a
+// certificate keeps the hit probability at least 1/#certificates.
+func (pd *ProbDatabase) KarpLubyUCQ(u query.UCQ, t int, rng *rand.Rand) (*big.Rat, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("probdb: sample budget must be positive, got %d", t)
+	}
+	certs, err := pd.certificates(u)
+	if err != nil {
+		return nil, err
+	}
+	if len(certs) == 0 {
+		return new(big.Rat), nil
+	}
+	// w_i = P(certificate facts all present); W = Σ w_i.
+	weights := make([]*big.Rat, len(certs))
+	W := new(big.Rat)
+	for i, c := range certs {
+		weights[i] = c.prob(pd)
+		W.Add(W, weights[i])
+	}
+	// Sample certificates proportionally using float64 cumulative weights
+	// (estimator remains unbiased in expectation up to float rounding of
+	// the sampling distribution; weights here are ratios of small ints).
+	cum := make([]float64, len(certs))
+	acc := 0.0
+	wf, _ := W.Float64()
+	for i := range certs {
+		v, _ := weights[i].Float64()
+		acc += v / wf
+		cum[i] = acc
+	}
+	hits := 0
+	for trial := 0; trial < t; trial++ {
+		r := rng.Float64()
+		ci := 0
+		for ci < len(cum)-1 && cum[ci] <= r {
+			ci++
+		}
+		world := pd.sampleWorldGiven(certs[ci], rng)
+		// Coverage: is ci the first certificate contained in the world?
+		first := -1
+		for j, c := range certs {
+			if c.containedIn(pd, world) {
+				first = j
+				break
+			}
+		}
+		if first == ci {
+			hits++
+		}
+	}
+	est := new(big.Rat).Mul(W, big.NewRat(int64(hits), int64(t)))
+	return est, nil
+}
+
+// MonteCarlo estimates P(Q) by sampling possible worlds directly — the
+// natural sample space the paper's §6 discussion warns about: when P(Q) is
+// tiny, exponentially many samples are needed for a relative-error
+// guarantee. It exists as the baseline that motivates both the paper's
+// natural-space FPRAS (whose m^k bound fixes the problem for bounded
+// keywidth) and the Karp–Luby complex space. Q may be arbitrary FO.
+func (pd *ProbDatabase) MonteCarlo(q query.Formula, t int, rng *rand.Rand) (*big.Rat, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("probdb: sample budget must be positive, got %d", t)
+	}
+	if fv := query.FreeVars(q); len(fv) > 0 {
+		return nil, fmt.Errorf("probdb: query has free variables %v", fv)
+	}
+	hits := 0
+	for trial := 0; trial < t; trial++ {
+		world := pd.sampleWorldGiven(certificate{}, rng)
+		if eval.EvalBoolean(q, eval.NewIndex(pd.Facts(world))) {
+			hits++
+		}
+	}
+	return big.NewRat(int64(hits), int64(t)), nil
+}
+
+// certificate is a Σ-consistent disjunct image: per-block forced choices.
+type certificate struct {
+	forced map[int]int // block index -> choice index
+	key    string
+}
+
+// prob returns ∏ P(forced choices).
+func (c certificate) prob(pd *ProbDatabase) *big.Rat {
+	p := big.NewRat(1, 1)
+	for bi, ci := range c.forced {
+		p.Mul(p, pd.Blocks[bi].Choices[ci].P)
+	}
+	return p
+}
+
+// containedIn reports whether every forced choice is taken in the world.
+func (c certificate) containedIn(pd *ProbDatabase, world []int) bool {
+	for bi, ci := range c.forced {
+		if world[bi] != ci {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleWorldGiven draws a world conditioned on the certificate: forced
+// blocks are fixed; every other block samples by its own distribution.
+func (pd *ProbDatabase) sampleWorldGiven(c certificate, rng *rand.Rand) []int {
+	world := make([]int, len(pd.Blocks))
+	for bi, b := range pd.Blocks {
+		if ci, ok := c.forced[bi]; ok {
+			world[bi] = ci
+			continue
+		}
+		r := rng.Float64()
+		acc := 0.0
+		world[bi] = -1 // falls through to empty when residual mass remains
+		for ci, ch := range b.Choices {
+			v, _ := ch.P.Float64()
+			acc += v
+			if r < acc {
+				world[bi] = ci
+				break
+			}
+		}
+	}
+	return world
+}
+
+// certificates enumerates the distinct certificates of the UCQ over the
+// probabilistic database: homomorphism images of disjuncts that are
+// consistent (at most one fact per block).
+func (pd *ProbDatabase) certificates(u query.UCQ) ([]certificate, error) {
+	// Index all facts with block+choice provenance.
+	var facts []relational.Fact
+	loc := map[string][2]int{}
+	for bi, b := range pd.Blocks {
+		for ci, ch := range b.Choices {
+			facts = append(facts, ch.F)
+			loc[ch.F.Canonical()] = [2]int{bi, ci}
+		}
+	}
+	idx := eval.NewIndex(facts)
+	seen := map[string]bool{}
+	var out []certificate
+	for _, q := range u.Disjuncts {
+		for h := range eval.Homs(q, idx) {
+			img := eval.Image(q, h)
+			forced := map[int]int{}
+			ok := true
+			for _, f := range img {
+				bc := loc[f.Canonical()]
+				if prev, dup := forced[bc[0]]; dup && prev != bc[1] {
+					ok = false // two alternatives of one block: impossible
+					break
+				}
+				forced[bc[0]] = bc[1]
+			}
+			if !ok {
+				continue
+			}
+			key := certKey(forced)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, certificate{forced: forced, key: key})
+		}
+	}
+	return out, nil
+}
+
+func certKey(forced map[int]int) string {
+	// Deterministic encoding of the forced map.
+	max := -1
+	for bi := range forced {
+		if bi > max {
+			max = bi
+		}
+	}
+	key := ""
+	for bi := 0; bi <= max; bi++ {
+		if ci, ok := forced[bi]; ok {
+			key += fmt.Sprintf("%d=%d;", bi, ci)
+		}
+	}
+	return key
+}

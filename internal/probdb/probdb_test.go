@@ -1,0 +1,189 @@
+package probdb
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+)
+
+func employeeDB() (*relational.Database, *relational.KeySet) {
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	)
+	return db, relational.Keys(map[string]int{"Employee": 1})
+}
+
+func TestFromRepairInstanceUniform(t *testing.T) {
+	db, ks := employeeDB()
+	pd := FromRepairInstance(db, ks)
+	if err := pd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(pd.Blocks))
+	}
+	for _, b := range pd.Blocks {
+		if b.Residual().Sign() != 0 {
+			t.Fatalf("repair blocks must have no residual mass, got %s", b.Residual())
+		}
+	}
+}
+
+func TestQueryProbabilityMatchesRelativeFrequency(t *testing.T) {
+	db, ks := employeeDB()
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	pd := FromRepairInstance(db, ks)
+	p, err := pd.QueryProbability(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("P(Q) = %s, want 1/2", p)
+	}
+	// #CQA = P(Q) · ∏|B| — the approximation-preserving reduction.
+	in := repairs.MustInstance(db, ks, q)
+	count := new(big.Rat).Mul(p, new(big.Rat).SetInt(in.TotalRepairs()))
+	if !count.IsInt() || count.Num().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("P·total = %s, want 2", count)
+	}
+}
+
+func TestWorldsWithResidualMass(t *testing.T) {
+	// One block {A: 1/2, B: 1/4}: worlds A, B, empty with probs 1/2, 1/4,
+	// 1/4.
+	pd := &ProbDatabase{Blocks: []Block{{
+		Name: "b",
+		Choices: []Choice{
+			{F: relational.NewFact("R", "a"), P: big.NewRat(1, 2)},
+			{F: relational.NewFact("R", "b"), P: big.NewRat(1, 4)},
+		},
+	}}}
+	if err := pd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := new(big.Rat)
+	worlds := 0
+	for w := range pd.Worlds() {
+		worlds++
+		total.Add(total, w.P)
+	}
+	if worlds != 3 {
+		t.Fatalf("worlds = %d, want 3", worlds)
+	}
+	if total.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("world probabilities sum to %s, want 1", total)
+	}
+	p, err := pd.QueryProbability(query.MustParse("exists x . R(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cmp(big.NewRat(3, 4)) != 0 {
+		t.Fatalf("P(∃R) = %s, want 3/4", p)
+	}
+}
+
+func TestValidateRejectsBadProbabilities(t *testing.T) {
+	pd := &ProbDatabase{Blocks: []Block{{
+		Choices: []Choice{
+			{F: relational.NewFact("R", "a"), P: big.NewRat(3, 4)},
+			{F: relational.NewFact("R", "b"), P: big.NewRat(1, 2)},
+		},
+	}}}
+	if err := pd.Validate(); err == nil {
+		t.Fatalf("block probabilities summing to 5/4 accepted")
+	}
+	pd2 := &ProbDatabase{Blocks: []Block{{
+		Choices: []Choice{{F: relational.NewFact("R", "a"), P: big.NewRat(0, 1)}},
+	}}}
+	if err := pd2.Validate(); err == nil {
+		t.Fatalf("zero probability accepted")
+	}
+}
+
+func TestKarpLubyUCQAccuracy(t *testing.T) {
+	db, ks := employeeDB()
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	pd := FromRepairInstance(db, ks)
+	u := query.MustToUCQ(q)
+	rng := rand.New(rand.NewPCG(21, 22))
+	est, err := pd.KarpLubyUCQ(u, 6000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := est.Float64()
+	if v < 0.4 || v > 0.6 {
+		t.Fatalf("Karp–Luby P(Q) estimate %.3f far from 1/2", v)
+	}
+	// No certificates → estimate 0.
+	zero, err := pd.KarpLubyUCQ(query.MustToUCQ(query.MustParse("exists x . Missing(x)")), 10, rng)
+	if err != nil || zero.Sign() != 0 {
+		t.Fatalf("estimate for unsatisfiable query = %v %v", zero, err)
+	}
+}
+
+func TestMonteCarloPossibleWorlds(t *testing.T) {
+	db, ks := employeeDB()
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	pd := FromRepairInstance(db, ks)
+	rng := rand.New(rand.NewPCG(31, 32))
+	est, err := pd.MonteCarlo(q, 8000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := est.Float64()
+	if v < 0.42 || v > 0.58 {
+		t.Fatalf("naive MC estimate %.3f far from 1/2", v)
+	}
+	if _, err := pd.MonteCarlo(q, 0, rng); err == nil {
+		t.Fatalf("zero budget accepted")
+	}
+	if _, err := pd.MonteCarlo(query.MustParse("Employee(1, n, 'IT')"), 5, rng); err == nil {
+		t.Fatalf("free variables accepted")
+	}
+}
+
+// Property: on uniform repair databases, P(Q)·∏|B| equals the exact repair
+// count for random instances.
+func TestReductionCountPreservingProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		db := relational.MustDatabase()
+		nBlocks := 1 + rng.IntN(3)
+		letters := []relational.Const{"a", "b"}
+		for b := 0; b < nBlocks; b++ {
+			sz := 1 + rng.IntN(2)
+			for j := 0; j < sz; j++ {
+				db.Add(relational.NewFact("R", relational.IntConst(b), letters[rng.IntN(2)]))
+			}
+		}
+		ks := relational.Keys(map[string]int{"R": 1})
+		corpus := []string{
+			"exists x . R(x, 'a')",
+			"exists x, y . (R(x, 'a') & R(y, 'b'))",
+			"(exists x . R(x, 'b')) | R(0, 'a')",
+		}
+		q := query.MustParse(corpus[rng.IntN(len(corpus))])
+		in := repairs.MustInstance(db, ks, q)
+		exact, _, err := in.CountExact()
+		if err != nil {
+			return false
+		}
+		p, err := FromRepairInstance(db, ks).QueryProbability(q)
+		if err != nil {
+			return false
+		}
+		viaProb := new(big.Rat).Mul(p, new(big.Rat).SetInt(in.TotalRepairs()))
+		return viaProb.IsInt() && viaProb.Num().Cmp(exact) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package coloring implements #kForbColoring (paper §7.1): counting the
+// forbidden C-colorings of a k-uniform hypergraph H w.r.t. per-edge sets of
+// forbidden partial assignments. Theorem 7.2 shows the problem is
+// Λ[k]-complete for every k ≥ 0; the unbounded variant #ForbColoring is
+// SpanLL-complete (Theorem 7.5). It generalizes counting non-list-colorings
+// of hypergraphs.
+package coloring
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+	"strconv"
+
+	"repaircount/internal/core"
+)
+
+// Hypergraph is a hypergraph over vertices 0..N-1; k-uniform when every
+// edge has exactly k vertices (K < 0 disables the uniformity check, the
+// unbounded SpanLL variant).
+type Hypergraph struct {
+	N     int
+	Edges [][]int
+	K     int
+}
+
+// Validate checks vertex indices, uniformity and edge simplicity (no
+// repeated vertex within an edge).
+func (h Hypergraph) Validate() error {
+	for ei, e := range h.Edges {
+		if h.K >= 0 && len(e) != h.K {
+			return fmt.Errorf("coloring: edge %d has %d vertices, hypergraph is %d-uniform", ei, len(e), h.K)
+		}
+		seen := map[int]bool{}
+		for _, v := range e {
+			if v < 0 || v >= h.N {
+				return fmt.Errorf("coloring: edge %d mentions vertex %d, out of range [0,%d)", ei, v, h.N)
+			}
+			if seen[v] {
+				return fmt.Errorf("coloring: edge %d repeats vertex %d", ei, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Color names a color.
+type Color string
+
+// Forbidden is one forbidden partial assignment ν ∈ F_e: colors for the
+// vertices of edge e, in edge order.
+type Forbidden []Color
+
+// Instance is one #kForbColoring input: the hypergraph, the color lists
+// C = {C_v}, and per-edge forbidden assignment sets F = {F_e}.
+type Instance struct {
+	H        Hypergraph
+	Colors   [][]Color
+	ForbSets [][]Forbidden
+}
+
+// NewInstance validates and builds an instance: every vertex needs a
+// non-empty color list (duplicates rejected), every forbidden assignment
+// matches its edge's length and uses colors from the vertices' lists.
+func NewInstance(h Hypergraph, colors [][]Color, forb [][]Forbidden) (*Instance, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(colors) != h.N {
+		return nil, fmt.Errorf("coloring: %d color lists for %d vertices", len(colors), h.N)
+	}
+	for v, cs := range colors {
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("coloring: vertex %d has an empty color list", v)
+		}
+		seen := map[Color]bool{}
+		for _, c := range cs {
+			if seen[c] {
+				return nil, fmt.Errorf("coloring: vertex %d lists color %q twice", v, c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(forb) != len(h.Edges) {
+		return nil, fmt.Errorf("coloring: %d forbidden sets for %d edges", len(forb), len(h.Edges))
+	}
+	for ei, fs := range forb {
+		for fi, nu := range fs {
+			if len(nu) != len(h.Edges[ei]) {
+				return nil, fmt.Errorf("coloring: forbidden assignment %d of edge %d has %d colors for %d vertices", fi, ei, len(nu), len(h.Edges[ei]))
+			}
+		}
+	}
+	return &Instance{H: h, Colors: colors, ForbSets: forb}, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(h Hypergraph, colors [][]Color, forb [][]Forbidden) *Instance {
+	in, err := NewInstance(h, colors, forb)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// IsForbidden reports whether the full coloring (one color per vertex) is
+// forbidden: it extends some ν ∈ F_e.
+func (in *Instance) IsForbidden(coloring []Color) bool {
+	for ei, e := range in.H.Edges {
+		for _, nu := range in.ForbSets[ei] {
+			match := true
+			for j, v := range e {
+				if coloring[v] != nu[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Colorings enumerates all C-assignments for V (reused slice; copy to
+// retain).
+func (in *Instance) Colorings() iter.Seq[[]Color] {
+	return func(yield func([]Color) bool) {
+		n := in.H.N
+		choice := make([]int, n)
+		cur := make([]Color, n)
+		for {
+			for v := 0; v < n; v++ {
+				cur[v] = in.Colors[v][choice[v]]
+			}
+			if !yield(cur) {
+				return
+			}
+			i := n - 1
+			for ; i >= 0; i-- {
+				choice[i]++
+				if choice[i] < len(in.Colors[i]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+		}
+	}
+}
+
+// CountBruteForce counts forbidden colorings by enumeration (ground truth;
+// exponential in |V|).
+func (in *Instance) CountBruteForce() *big.Int {
+	count := new(big.Int)
+	one := big.NewInt(1)
+	for coloring := range in.Colorings() {
+		if in.IsForbidden(coloring) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}
+
+// TotalColorings returns ∏ |C_v|.
+func (in *Instance) TotalColorings() *big.Int {
+	n := big.NewInt(1)
+	for _, cs := range in.Colors {
+		n.Mul(n, big.NewInt(int64(len(cs))))
+	}
+	return n
+}
+
+// Compactor renders the instance as a k-compactor (the Theorem 7.2
+// membership construction): solution domains are the per-vertex color
+// lists, candidate certificates are pairs (edge, forbidden assignment),
+// and a certificate compacts to the selector pinning each vertex of the
+// edge to the assignment's color — or ϵ if some color is outside the
+// vertex's list.
+func (in *Instance) Compactor() *core.Compactor {
+	doms := make([]core.Domain, in.H.N)
+	for v, cs := range in.Colors {
+		elems := make([]core.Element, len(cs))
+		for j, c := range cs {
+			elems[j] = core.Element(c)
+		}
+		doms[v] = core.Domain{Name: "v" + strconv.Itoa(v), Elems: elems}
+	}
+	type cert struct{ edge, forb int }
+	return &core.Compactor{
+		Name: "#kForbColoring",
+		Doms: doms,
+		K:    in.H.K,
+		Certificates: func() iter.Seq[core.Certificate] {
+			return func(yield func(core.Certificate) bool) {
+				for ei := range in.H.Edges {
+					for fi := range in.ForbSets[ei] {
+						if !yield(cert{ei, fi}) {
+							return
+						}
+					}
+				}
+			}
+		},
+		Compact: func(c core.Certificate) (core.Selector, bool) {
+			ct := c.(cert)
+			e := in.H.Edges[ct.edge]
+			nu := in.ForbSets[ct.edge][ct.forb]
+			var pins []core.Pin
+			for j, v := range e {
+				if doms[v].Index(core.Element(nu[j])) < 0 {
+					return nil, false // color outside C_v: unrealizable
+				}
+				pins = append(pins, core.Pin{Index: v, Elem: core.Element(nu[j])})
+			}
+			s, err := core.NewSelector(doms, pins...)
+			if err != nil {
+				panic("coloring: invalid selector: " + err.Error())
+			}
+			return s, true
+		},
+		Member: func(tuple []core.Element) bool {
+			coloring := make([]Color, len(tuple))
+			for v, e := range tuple {
+				coloring[v] = Color(e)
+			}
+			return in.IsForbidden(coloring)
+		},
+	}
+}
+
+// Count computes #kForbColoring exactly through the compactor machinery.
+func (in *Instance) Count() (*big.Int, error) {
+	return in.Compactor().CountExact()
+}

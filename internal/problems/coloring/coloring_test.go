@@ -1,0 +1,148 @@
+package coloring
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func triangle() Hypergraph {
+	return Hypergraph{N: 3, Edges: [][]int{{0, 1}, {1, 2}, {0, 2}}, K: 2}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Hypergraph{N: 2, Edges: [][]int{{0, 1, 1}}, K: 3}).Validate(); err == nil {
+		t.Fatalf("repeated vertex in edge accepted")
+	}
+	if err := (Hypergraph{N: 2, Edges: [][]int{{0, 5}}, K: 2}).Validate(); err == nil {
+		t.Fatalf("out-of-range vertex accepted")
+	}
+	if err := (Hypergraph{N: 3, Edges: [][]int{{0, 1, 2}}, K: 2}).Validate(); err == nil {
+		t.Fatalf("non-uniform edge accepted")
+	}
+	h := triangle()
+	if _, err := NewInstance(h, [][]Color{{"r"}, {"r"}}, nil); err == nil {
+		t.Fatalf("wrong number of color lists accepted")
+	}
+	if _, err := NewInstance(h, [][]Color{{"r"}, {"r"}, {}}, [][]Forbidden{nil, nil, nil}); err == nil {
+		t.Fatalf("empty color list accepted")
+	}
+	if _, err := NewInstance(h, [][]Color{{"r", "r"}, {"r"}, {"r"}}, [][]Forbidden{nil, nil, nil}); err == nil {
+		t.Fatalf("duplicate color accepted")
+	}
+	if _, err := NewInstance(h, [][]Color{{"r"}, {"r"}, {"r"}}, [][]Forbidden{{{"r"}}, nil, nil}); err == nil {
+		t.Fatalf("wrong-length forbidden assignment accepted")
+	}
+}
+
+func TestMonochromaticTriangle(t *testing.T) {
+	// Forbid monochromatic edges over palette {r,g}: forbidden colorings of
+	// a triangle = 2^3 − (proper 2-colorings of a triangle = 0) = 8.
+	h := triangle()
+	colors := [][]Color{{"r", "g"}, {"r", "g"}, {"r", "g"}}
+	forb := make([][]Forbidden, 3)
+	for e := range forb {
+		forb[e] = []Forbidden{{"r", "r"}, {"g", "g"}}
+	}
+	in := MustInstance(h, colors, forb)
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("count = %s, want 8 (triangle has no proper 2-coloring)", cnt)
+	}
+	if bf := in.CountBruteForce(); bf.Cmp(cnt) != 0 {
+		t.Fatalf("brute force %s vs compactor %s", bf, cnt)
+	}
+	if err := in.Compactor().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForbiddenColorOutsideList(t *testing.T) {
+	// A forbidden assignment using a color not in C_v is unrealizable: ϵ.
+	h := Hypergraph{N: 2, Edges: [][]int{{0, 1}}, K: 2}
+	in := MustInstance(h,
+		[][]Color{{"r"}, {"r", "g"}},
+		[][]Forbidden{{{"blue", "r"}}},
+	)
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Sign() != 0 {
+		t.Fatalf("count = %s, want 0", cnt)
+	}
+}
+
+func TestPathTwoForbiddenPattern(t *testing.T) {
+	// Path 0-1 with lists C0={a,b}, C1={a,b,c}; forbid ν = (a,c) on the
+	// edge: exactly one coloring extends it (µ(0)=a, µ(1)=c) → count 1.
+	h := Hypergraph{N: 2, Edges: [][]int{{0, 1}}, K: 2}
+	in := MustInstance(h,
+		[][]Color{{"a", "b"}, {"a", "b", "c"}},
+		[][]Forbidden{{{"a", "c"}}},
+	)
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("count = %s, want 1", cnt)
+	}
+}
+
+func randomInstance(rng *rand.Rand) *Instance {
+	k := 1 + rng.IntN(3)
+	n := k + rng.IntN(4)
+	palette := []Color{"r", "g", "b"}
+	colors := make([][]Color, n)
+	for v := range colors {
+		sz := 1 + rng.IntN(3)
+		colors[v] = append([]Color{}, palette[:sz]...)
+	}
+	var edges [][]int
+	nEdges := rng.IntN(4)
+	for e := 0; e < nEdges; e++ {
+		perm := rng.Perm(n)[:k]
+		edges = append(edges, perm)
+	}
+	h := Hypergraph{N: n, Edges: edges, K: k}
+	forb := make([][]Forbidden, len(edges))
+	for ei := range forb {
+		nf := rng.IntN(3)
+		for f := 0; f < nf; f++ {
+			nu := make(Forbidden, k)
+			for j := range nu {
+				nu[j] = palette[rng.IntN(3)] // may fall outside C_v: tests ϵ
+			}
+			forb[ei] = append(forb[ei], nu)
+		}
+	}
+	return MustInstance(h, colors, forb)
+}
+
+// Property: compactor count equals brute force; compactor structurally
+// valid; count bounded by total colorings.
+func TestCompactorAgreesWithBruteForceProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		in := randomInstance(rng)
+		cnt, err := in.Count()
+		if err != nil {
+			return false
+		}
+		if in.Compactor().Validate() != nil {
+			return false
+		}
+		if cnt.Cmp(in.CountBruteForce()) != 0 {
+			return false
+		}
+		return cnt.Cmp(in.TotalColorings()) <= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package dnf implements #DisjPoskDNF (paper §7.1): counting the
+// P-assignments of a partitioned variable set that satisfy a positive kDNF
+// formula. Theorem 7.1 shows the problem is Λ[k]-complete for every k ≥ 0;
+// its unbounded variant #DisjPosDNF is SpanLL-complete (Theorem 7.5).
+//
+// The problem generalizes counting satisfying assignments of a positive
+// kDNF (FromStandard embeds the standard problem), and #Pos2DNF is the
+// Λ[2] function that is ≤p_T-complete for #P used in Theorem 4.4(2).
+package dnf
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+	"strconv"
+
+	"repaircount/internal/core"
+)
+
+// Clause is a conjunction of variables occurring positively, by index.
+type Clause []int
+
+// Formula is a positive DNF formula C1 ∨ ... ∨ Cm over variables
+// 0..NumVars-1. Width bounds the clause size (the k of kDNF); a negative
+// Width means unbounded (the SpanLL variant #DisjPosDNF of §7.2).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+	Width   int
+}
+
+// Validate checks indices in range and clause sizes within Width.
+func (f Formula) Validate() error {
+	for ci, c := range f.Clauses {
+		if f.Width >= 0 && len(c) > f.Width {
+			return fmt.Errorf("dnf: clause %d has %d literals, width is %d", ci, len(c), f.Width)
+		}
+		for _, v := range c {
+			if v < 0 || v >= f.NumVars {
+				return fmt.Errorf("dnf: clause %d mentions variable %d, out of range [0,%d)", ci, v, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment (one bool per variable) satisfies
+// the formula: some clause has all its variables true.
+func (f Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := true
+		for _, v := range c {
+			if !assign[v] {
+				ok = false
+				break
+			}
+		}
+		if ok && len(c) > 0 {
+			return true
+		}
+		if ok && len(c) == 0 {
+			return true // the empty clause is true
+		}
+	}
+	return false
+}
+
+// Partition groups the variables into disjoint non-empty classes covering
+// 0..NumVars-1. A P-assignment sets exactly one variable per class to 1.
+type Partition [][]int
+
+// Validate checks that the classes partition 0..n-1.
+func (p Partition) Validate(n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for ci, class := range p {
+		if len(class) == 0 {
+			return fmt.Errorf("dnf: class %d is empty", ci)
+		}
+		for _, v := range class {
+			if v < 0 || v >= n {
+				return fmt.Errorf("dnf: class %d mentions variable %d, out of range [0,%d)", ci, v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("dnf: variable %d appears in two classes", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("dnf: partition covers %d of %d variables", total, n)
+	}
+	return nil
+}
+
+// Instance is one #DisjPoskDNF input.
+type Instance struct {
+	F Formula
+	P Partition
+}
+
+// NewInstance validates and builds an instance.
+func NewInstance(f Formula, p Partition) (*Instance, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(f.NumVars); err != nil {
+		return nil, err
+	}
+	return &Instance{F: f, P: p}, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(f Formula, p Partition) *Instance {
+	in, err := NewInstance(f, p)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// classOf maps each variable to its class index.
+func (in *Instance) classOf() []int {
+	out := make([]int, in.F.NumVars)
+	for ci, class := range in.P {
+		for _, v := range class {
+			out[v] = ci
+		}
+	}
+	return out
+}
+
+// Assignments enumerates all P-assignments as bool vectors (reused across
+// iterations; copy to retain).
+func (in *Instance) Assignments() iter.Seq[[]bool] {
+	return func(yield func([]bool) bool) {
+		n := len(in.P)
+		choice := make([]int, n)
+		assign := make([]bool, in.F.NumVars)
+		for {
+			for i := range assign {
+				assign[i] = false
+			}
+			for ci, class := range in.P {
+				assign[class[choice[ci]]] = true
+			}
+			if !yield(assign) {
+				return
+			}
+			i := n - 1
+			for ; i >= 0; i-- {
+				choice[i]++
+				if choice[i] < len(in.P[i]) {
+					break
+				}
+				choice[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+		}
+	}
+}
+
+// CountBruteForce counts satisfying P-assignments by enumeration (ground
+// truth; exponential in the number of classes).
+func (in *Instance) CountBruteForce() *big.Int {
+	count := new(big.Int)
+	one := big.NewInt(1)
+	for assign := range in.Assignments() {
+		if in.F.Eval(assign) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}
+
+// TotalAssignments returns the number of P-assignments, ∏ |class|.
+func (in *Instance) TotalAssignments() *big.Int {
+	n := big.NewInt(1)
+	for _, class := range in.P {
+		n.Mul(n, big.NewInt(int64(len(class))))
+	}
+	return n
+}
+
+// Compactor renders the instance as a k-compactor (the Theorem 7.1
+// membership construction): solution domains are the classes (one element
+// per variable), candidate certificates are the clauses, and a clause
+// compacts to the selector pinning, for each of its variables, the
+// variable's class to that variable. A clause with two distinct variables
+// in one class is unsatisfiable under P-assignments and compacts to ϵ.
+// Pass width < 0 to build the SpanLL (unbounded) variant.
+func (in *Instance) Compactor() *core.Compactor {
+	classOf := in.classOf()
+	doms := make([]core.Domain, len(in.P))
+	for ci, class := range in.P {
+		elems := make([]core.Element, len(class))
+		for j, v := range class {
+			elems[j] = varElem(v)
+		}
+		doms[ci] = core.Domain{Name: "class" + strconv.Itoa(ci), Elems: elems}
+	}
+	return &core.Compactor{
+		Name: "#DisjPoskDNF",
+		Doms: doms,
+		K:    in.F.Width,
+		Certificates: func() iter.Seq[core.Certificate] {
+			return func(yield func(core.Certificate) bool) {
+				for ci := range in.F.Clauses {
+					if !yield(ci) {
+						return
+					}
+				}
+			}
+		},
+		Compact: func(cert core.Certificate) (core.Selector, bool) {
+			clause := in.F.Clauses[cert.(int)]
+			pinned := map[int]int{} // class -> variable
+			for _, v := range clause {
+				c := classOf[v]
+				if prev, ok := pinned[c]; ok && prev != v {
+					return nil, false // two distinct variables of one class
+				}
+				pinned[c] = v
+			}
+			var sel core.Selector
+			for c, v := range pinned {
+				sel = append(sel, core.Pin{Index: c, Elem: varElem(v)})
+			}
+			s, err := core.NewSelector(doms, sel...)
+			if err != nil {
+				panic("dnf: invalid selector: " + err.Error())
+			}
+			return s, true
+		},
+		Member: func(tuple []core.Element) bool {
+			assign := make([]bool, in.F.NumVars)
+			for _, e := range tuple {
+				v, err := strconv.Atoi(string(e[1:]))
+				if err != nil {
+					panic("dnf: bad element " + string(e))
+				}
+				assign[v] = true
+			}
+			return in.F.Eval(assign)
+		},
+	}
+}
+
+func varElem(v int) core.Element { return core.Element("x" + strconv.Itoa(v)) }
+
+// Count computes #DisjPoskDNF exactly through the compactor machinery.
+func (in *Instance) Count() (*big.Int, error) {
+	return in.Compactor().CountExact()
+}
+
+// FromStandard embeds the standard problem "count satisfying assignments
+// of a positive kDNF over n Boolean variables" into #DisjPoskDNF: each
+// variable x becomes a two-element class {x⁺, x⁻}; setting x⁺ to 1 encodes
+// x = 1. Clause variables map to the x⁺ copies. The counts agree exactly.
+func FromStandard(f Formula) *Instance {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	nf := Formula{NumVars: 2 * f.NumVars, Width: f.Width}
+	for _, c := range f.Clauses {
+		nc := make(Clause, len(c))
+		for i, v := range c {
+			nc[i] = 2 * v // x⁺ copies sit at even indices
+		}
+		nf.Clauses = append(nf.Clauses, nc)
+	}
+	p := make(Partition, f.NumVars)
+	for v := 0; v < f.NumVars; v++ {
+		p[v] = []int{2 * v, 2*v + 1}
+	}
+	return MustInstance(nf, p)
+}
+
+// CountStandardBruteForce counts satisfying 0/1 assignments of a positive
+// DNF by enumeration (ground truth for FromStandard).
+func CountStandardBruteForce(f Formula) *big.Int {
+	if f.NumVars > 24 {
+		panic("dnf: brute force beyond 24 variables")
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 0; v < f.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v)) != 0
+		}
+		if f.Eval(assign) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}

@@ -1,0 +1,219 @@
+package dnf
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if err := (Formula{NumVars: 2, Width: 1, Clauses: []Clause{{0, 1}}}).Validate(); err == nil {
+		t.Fatalf("overwide clause accepted")
+	}
+	if err := (Formula{NumVars: 2, Width: 2, Clauses: []Clause{{5}}}).Validate(); err == nil {
+		t.Fatalf("out-of-range variable accepted")
+	}
+	if err := (Partition{{0}, {0, 1}}).Validate(2); err == nil {
+		t.Fatalf("overlapping partition accepted")
+	}
+	if err := (Partition{{0}}).Validate(2); err == nil {
+		t.Fatalf("incomplete partition accepted")
+	}
+	if err := (Partition{{0}, {}}).Validate(1); err == nil {
+		t.Fatalf("empty class accepted")
+	}
+	// Unbounded width (SpanLL variant) is legal.
+	if err := (Formula{NumVars: 3, Width: -1, Clauses: []Clause{{0, 1, 2}}}).Validate(); err != nil {
+		t.Fatalf("unbounded width rejected: %v", err)
+	}
+}
+
+func TestSmallInstanceByHand(t *testing.T) {
+	// X = {x0,x1,x2,x3}, P = {{x0,x1},{x2,x3}}, φ = x0 ∨ (x1 ∧ x2).
+	// P-assignments: (x0|x1) × (x2|x3) = 4.
+	// Satisfying: x0 picked (2 assignments) ∪ x1∧x2 picked (1) = 3.
+	in := MustInstance(
+		Formula{NumVars: 4, Width: 2, Clauses: []Clause{{0}, {1, 2}}},
+		Partition{{0, 1}, {2, 3}},
+	)
+	if got := in.TotalAssignments(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("total = %s, want 4", got)
+	}
+	bf := in.CountBruteForce()
+	if bf.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("brute force = %s, want 3", bf)
+	}
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(bf) != 0 {
+		t.Fatalf("compactor count %s vs brute force %s", cnt, bf)
+	}
+	if err := in.Compactor().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClauseWithTwoVarsFromOneClass(t *testing.T) {
+	// x0 and x1 share a class: the clause x0 ∧ x1 is unsatisfiable under
+	// P-assignments and must compact to ϵ.
+	in := MustInstance(
+		Formula{NumVars: 2, Width: 2, Clauses: []Clause{{0, 1}}},
+		Partition{{0, 1}},
+	)
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Sign() != 0 {
+		t.Fatalf("count = %s, want 0", cnt)
+	}
+	if in.Compactor().HasSolution() {
+		t.Fatalf("HasSolution must be false")
+	}
+}
+
+func TestEmptyClauseAndEmptyFormula(t *testing.T) {
+	// The empty clause is true: every P-assignment satisfies φ.
+	in := MustInstance(
+		Formula{NumVars: 2, Width: 2, Clauses: []Clause{{}}},
+		Partition{{0}, {1}},
+	)
+	cnt, err := in.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(in.TotalAssignments()) != 0 {
+		t.Fatalf("count = %s, want all %s", cnt, in.TotalAssignments())
+	}
+	// No clauses: nothing satisfies.
+	in2 := MustInstance(Formula{NumVars: 2, Width: 2}, Partition{{0}, {1}})
+	cnt2, err := in2.Count()
+	if err != nil || cnt2.Sign() != 0 {
+		t.Fatalf("count = %v %v, want 0", cnt2, err)
+	}
+}
+
+func randomInstance(rng *rand.Rand, maxClasses, maxClassSize, width int) *Instance {
+	nClasses := 1 + rng.IntN(maxClasses)
+	var p Partition
+	n := 0
+	for c := 0; c < nClasses; c++ {
+		sz := 1 + rng.IntN(maxClassSize)
+		var class []int
+		for j := 0; j < sz; j++ {
+			class = append(class, n)
+			n++
+		}
+		p = append(p, class)
+	}
+	f := Formula{NumVars: n, Width: width}
+	nClauses := rng.IntN(5)
+	for c := 0; c < nClauses; c++ {
+		sz := 1 + rng.IntN(width)
+		clause := make(Clause, 0, sz)
+		for j := 0; j < sz; j++ {
+			clause = append(clause, rng.IntN(n))
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return MustInstance(f, p)
+}
+
+// Property: compactor count equals brute force on random instances, and
+// the compactor is structurally valid.
+func TestCompactorAgreesWithBruteForceProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		in := randomInstance(rng, 4, 3, 3)
+		cnt, err := in.Count()
+		if err != nil {
+			return false
+		}
+		if in.Compactor().Validate() != nil {
+			return false
+		}
+		return cnt.Cmp(in.CountBruteForce()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromStandardEmbedding(t *testing.T) {
+	// φ = x0 ∨ (x1 ∧ x2) over 3 Boolean variables: satisfying assignments
+	// = 4 (x0=1: 4) ∪ (x1=x2=1: 2) minus overlap 1 → total 5.
+	f := Formula{NumVars: 3, Width: 2, Clauses: []Clause{{0}, {1, 2}}}
+	std := CountStandardBruteForce(f)
+	if std.Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("standard brute force = %s, want 5", std)
+	}
+	emb := FromStandard(f)
+	cnt, err := emb.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(std) != 0 {
+		t.Fatalf("embedded count %s vs standard %s", cnt, std)
+	}
+}
+
+// Property: the FromStandard embedding is count-preserving.
+func TestFromStandardProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		n := 1 + rng.IntN(6)
+		f := Formula{NumVars: n, Width: 3}
+		for c := 0; c < rng.IntN(5); c++ {
+			sz := 1 + rng.IntN(3)
+			clause := make(Clause, 0, sz)
+			for j := 0; j < sz; j++ {
+				clause = append(clause, rng.IntN(n))
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		cnt, err := FromStandard(f).Count()
+		if err != nil {
+			return false
+		}
+		return cnt.Cmp(CountStandardBruteForce(f)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedSpanLLVariant(t *testing.T) {
+	// Width unbounded: Apx must refuse, Karp–Luby must work.
+	in := MustInstance(
+		Formula{NumVars: 4, Width: -1, Clauses: []Clause{{0, 1, 2, 3}}},
+		Partition{{0, 2}, {1, 3}},
+	)
+	c := in.Compactor()
+	if c.K >= 0 {
+		t.Fatalf("K = %d, want unbounded", c.K)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	if _, err := c.Apx(0.2, 0.2, rng); err == nil {
+		t.Fatalf("Apx accepted an unbounded compactor")
+	}
+	exact, err := c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.KarpLubyAuto(0.2, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sign() > 0 {
+		rel := new(big.Float).Sub(est.Value, new(big.Float).SetInt(exact))
+		rel.Abs(rel)
+		rel.Quo(rel, new(big.Float).SetInt(exact))
+		r, _ := rel.Float64()
+		if r > 0.2 {
+			t.Fatalf("Karp–Luby error %.3f > 0.2", r)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package graphs implements the guess-check-expand example problems of
+// paper §4.1 over undirected graphs, each as a 2-compactor whose unfold is
+// the answer:
+//
+//   - non-independent sets: vertex subsets containing at least one edge;
+//   - non-c-colorings: colorings with at least one monochromatic edge
+//     (non-3-colorings for c = 3);
+//   - non-vertex-covers: subsets missing both endpoints of some edge.
+//
+// Each comes with a brute-force counter for cross-validation.
+package graphs
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+	"strconv"
+
+	"repaircount/internal/core"
+)
+
+// Graph is an undirected graph over vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks vertex ranges and rejects self-loops (the three problems
+// are standard for simple graphs).
+func (g Graph) Validate() error {
+	for ei, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			return fmt.Errorf("graphs: edge %d = %v out of range [0,%d)", ei, e, g.N)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("graphs: edge %d is a self-loop", ei)
+		}
+	}
+	return nil
+}
+
+const (
+	inSet  core.Element = "in"
+	outSet core.Element = "out"
+)
+
+// binaryDomains builds one {in,out} domain per vertex.
+func binaryDomains(n int) []core.Domain {
+	doms := make([]core.Domain, n)
+	for v := 0; v < n; v++ {
+		doms[v] = core.Domain{Name: "v" + strconv.Itoa(v), Elems: []core.Element{inSet, outSet}}
+	}
+	return doms
+}
+
+// edgeCerts enumerates edge indices as certificates.
+func edgeCerts(g Graph) func() iter.Seq[core.Certificate] {
+	return func() iter.Seq[core.Certificate] {
+		return func(yield func(core.Certificate) bool) {
+			for ei := range g.Edges {
+				if !yield(ei) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// NonIndependentSets builds the 2-compactor counting vertex subsets that
+// are not independent: a certificate is an edge, pinning both endpoints in.
+func NonIndependentSets(g Graph) (*core.Compactor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	doms := binaryDomains(g.N)
+	return &core.Compactor{
+		Name:         "#NonIndependentSets",
+		Doms:         doms,
+		K:            2,
+		Certificates: edgeCerts(g),
+		Compact: func(c core.Certificate) (core.Selector, bool) {
+			e := g.Edges[c.(int)]
+			return core.MustSelector(doms,
+				core.Pin{Index: e[0], Elem: inSet},
+				core.Pin{Index: e[1], Elem: inSet}), true
+		},
+		Member: func(tuple []core.Element) bool {
+			for _, e := range g.Edges {
+				if tuple[e[0]] == inSet && tuple[e[1]] == inSet {
+					return true
+				}
+			}
+			return false
+		},
+	}, nil
+}
+
+// NonVertexCovers builds the 2-compactor counting vertex subsets that are
+// not vertex covers: a certificate is an edge, pinning both endpoints out.
+func NonVertexCovers(g Graph) (*core.Compactor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	doms := binaryDomains(g.N)
+	return &core.Compactor{
+		Name:         "#NonVertexCovers",
+		Doms:         doms,
+		K:            2,
+		Certificates: edgeCerts(g),
+		Compact: func(c core.Certificate) (core.Selector, bool) {
+			e := g.Edges[c.(int)]
+			return core.MustSelector(doms,
+				core.Pin{Index: e[0], Elem: outSet},
+				core.Pin{Index: e[1], Elem: outSet}), true
+		},
+		Member: func(tuple []core.Element) bool {
+			for _, e := range g.Edges {
+				if tuple[e[0]] == outSet && tuple[e[1]] == outSet {
+					return true
+				}
+			}
+			return false
+		},
+	}, nil
+}
+
+// NonColorings builds the 2-compactor counting c-colorings with a
+// monochromatic edge: a certificate is a pair (edge, color), pinning both
+// endpoints to the color. c = 3 gives non-3-colorings.
+func NonColorings(g Graph, c int) (*core.Compactor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("graphs: need at least one color, got %d", c)
+	}
+	palette := make([]core.Element, c)
+	for i := range palette {
+		palette[i] = core.Element("c" + strconv.Itoa(i))
+	}
+	doms := make([]core.Domain, g.N)
+	for v := 0; v < g.N; v++ {
+		doms[v] = core.Domain{Name: "v" + strconv.Itoa(v), Elems: palette}
+	}
+	type cert struct{ edge, color int }
+	return &core.Compactor{
+		Name: fmt.Sprintf("#Non%dColorings", c),
+		Doms: doms,
+		K:    2,
+		Certificates: func() iter.Seq[core.Certificate] {
+			return func(yield func(core.Certificate) bool) {
+				for ei := range g.Edges {
+					for col := 0; col < c; col++ {
+						if !yield(cert{ei, col}) {
+							return
+						}
+					}
+				}
+			}
+		},
+		Compact: func(ct core.Certificate) (core.Selector, bool) {
+			cc := ct.(cert)
+			e := g.Edges[cc.edge]
+			return core.MustSelector(doms,
+				core.Pin{Index: e[0], Elem: palette[cc.color]},
+				core.Pin{Index: e[1], Elem: palette[cc.color]}), true
+		},
+		Member: func(tuple []core.Element) bool {
+			for _, e := range g.Edges {
+				if tuple[e[0]] == tuple[e[1]] {
+					return true
+				}
+			}
+			return false
+		},
+	}, nil
+}
+
+// BruteForceSubsets counts subsets satisfying pred by enumerating all 2^N
+// subsets (membership vector indexed by vertex).
+func BruteForceSubsets(g Graph, pred func(in []bool) bool) *big.Int {
+	if g.N > 24 {
+		panic("graphs: brute force beyond 24 vertices")
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	in := make([]bool, g.N)
+	for mask := 0; mask < 1<<uint(g.N); mask++ {
+		for v := 0; v < g.N; v++ {
+			in[v] = mask&(1<<uint(v)) != 0
+		}
+		if pred(in) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}
+
+// IsIndependent reports whether the subset is independent in g.
+func IsIndependent(g Graph, in []bool) bool {
+	for _, e := range g.Edges {
+		if in[e[0]] && in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVertexCover reports whether the subset covers every edge of g.
+func IsVertexCover(g Graph, in []bool) bool {
+	for _, e := range g.Edges {
+		if !in[e[0]] && !in[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForceColorings counts c-colorings with a monochromatic edge by
+// enumeration.
+func BruteForceColorings(g Graph, c int) *big.Int {
+	count := new(big.Int)
+	one := big.NewInt(1)
+	coloring := make([]int, g.N)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == g.N {
+			for _, e := range g.Edges {
+				if coloring[e[0]] == coloring[e[1]] {
+					count.Add(count, one)
+					return
+				}
+			}
+			return
+		}
+		for col := 0; col < c; col++ {
+			coloring[v] = col
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return count
+}

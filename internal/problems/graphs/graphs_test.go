@@ -1,0 +1,160 @@
+package graphs
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/core"
+)
+
+func triangle() Graph {
+	return Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Graph{N: 2, Edges: [][2]int{{0, 0}}}).Validate(); err == nil {
+		t.Fatalf("self-loop accepted")
+	}
+	if err := (Graph{N: 2, Edges: [][2]int{{0, 5}}}).Validate(); err == nil {
+		t.Fatalf("out-of-range vertex accepted")
+	}
+}
+
+func TestTriangleCounts(t *testing.T) {
+	g := triangle()
+	// Independent sets of a triangle: {}, {0}, {1}, {2} → 4; non-independent
+	// = 8 − 4 = 4.
+	nis, err := NonIndependentSets(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := nis.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("non-independent sets = %s, want 4", cnt)
+	}
+	// Vertex covers of a triangle: all pairs and the full set → 4;
+	// non-covers = 8 − 4 = 4.
+	nvc, err := NonVertexCovers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err = nvc.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("non-vertex-covers = %s, want 4", cnt)
+	}
+	// Proper 3-colorings of a triangle: 3! = 6; non-3-colorings = 27 − 6 = 21.
+	n3c, err := NonColorings(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err = n3c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Cmp(big.NewInt(21)) != 0 {
+		t.Fatalf("non-3-colorings = %s, want 21", cnt)
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := Graph{N: 3}
+	for _, build := range []func(Graph) (*core.Compactor, error){NonIndependentSets, NonVertexCovers} {
+		c, err := build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := c.CountExact()
+		if err != nil || cnt.Sign() != 0 {
+			t.Fatalf("edgeless graph count = %v %v, want 0", cnt, err)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, maxN int) Graph {
+	n := 2 + rng.IntN(maxN-1)
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.IntN(3) == 0 {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return Graph{N: n, Edges: edges}
+}
+
+// Property: all three compactors agree with brute force and validate.
+func TestGraphProblemsAgreeWithBruteForceProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		g := randomGraph(rng, 8)
+		nis, err := NonIndependentSets(g)
+		if err != nil {
+			return false
+		}
+		cnt, err := nis.CountExact()
+		if err != nil || nis.Validate() != nil {
+			return false
+		}
+		want := BruteForceSubsets(g, func(in []bool) bool { return !IsIndependent(g, in) })
+		if cnt.Cmp(want) != 0 {
+			return false
+		}
+		nvc, err := NonVertexCovers(g)
+		if err != nil {
+			return false
+		}
+		cnt, err = nvc.CountExact()
+		if err != nil {
+			return false
+		}
+		want = BruteForceSubsets(g, func(in []bool) bool { return !IsVertexCover(g, in) })
+		if cnt.Cmp(want) != 0 {
+			return false
+		}
+		c := 2 + rng.IntN(2)
+		ncc, err := NonColorings(g, c)
+		if err != nil {
+			return false
+		}
+		cnt, err = ncc.CountExact()
+		if err != nil {
+			return false
+		}
+		return cnt.Cmp(BruteForceColorings(g, c)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPRASOnGraphProblem(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewPCG(7, 8)), 10)
+	nis, err := NonIndependentSets(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := nis.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sign() == 0 {
+		t.Skip("degenerate random graph")
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	est, err := nis.Apx(0.1, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := core.RelativeError(est.Value, exact); rel > 0.1 {
+		t.Fatalf("FPRAS error %.4f > ε", rel)
+	}
+}

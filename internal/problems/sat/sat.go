@@ -1,0 +1,86 @@
+// Package sat implements 3CNF formulas, satisfiability and #3SAT by
+// exhaustive search. It is the source problem of the paper's Theorem 3.2
+// (3SAT ≤log_m #CQA>0(FO)) and Theorem 3.3 (#3SAT ≤log_m #CQA(FO));
+// the reductions themselves live in internal/reductions.
+package sat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Literal is a possibly negated variable (variables are 0-based).
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// String renders the literal as x3 or !x3.
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("!x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// CNF is a 3CNF formula over variables 0..NumVars-1.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks variable ranges.
+func (f CNF) Validate() error {
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("sat: clause %d mentions variable %d, out of range [0,%d)", ci, l.Var, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment satisfies the formula.
+func (f CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountSatisfying computes #3SAT by enumeration (up to 24 variables).
+func (f CNF) CountSatisfying() *big.Int {
+	if f.NumVars > 24 {
+		panic("sat: brute force beyond 24 variables")
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 0; v < f.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v)) != 0
+		}
+		if f.Eval(assign) {
+			count.Add(count, one)
+		}
+	}
+	return count
+}
+
+// Satisfiable decides 3SAT by enumeration.
+func (f CNF) Satisfiable() bool {
+	return f.CountSatisfying().Sign() > 0
+}

@@ -1,0 +1,58 @@
+package sat
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestEvalAndCount(t *testing.T) {
+	// (x0 ∨ x1 ∨ x2) ∧ (!x0 ∨ !x1 ∨ !x2): all assignments except 000 and
+	// 111 → 6.
+	f := CNF{NumVars: 3, Clauses: []Clause{
+		{Literal{0, false}, Literal{1, false}, Literal{2, false}},
+		{Literal{0, true}, Literal{1, true}, Literal{2, true}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CountSatisfying(); got.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("#SAT = %s, want 6", got)
+	}
+	if !f.Satisfiable() {
+		t.Fatalf("formula is satisfiable")
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	// x0 ∧ !x0 via duplicated literals in 3-clauses.
+	f := CNF{NumVars: 1, Clauses: []Clause{
+		{Literal{0, false}, Literal{0, false}, Literal{0, false}},
+		{Literal{0, true}, Literal{0, true}, Literal{0, true}},
+	}}
+	if f.Satisfiable() {
+		t.Fatalf("contradiction is satisfiable?")
+	}
+	if got := f.CountSatisfying(); got.Sign() != 0 {
+		t.Fatalf("#SAT = %s, want 0", got)
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	f := CNF{NumVars: 3}
+	if got := f.CountSatisfying(); got.Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("#SAT of empty formula = %s, want 8", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := CNF{NumVars: 1, Clauses: []Clause{{Literal{5, false}, Literal{0, false}, Literal{0, false}}}}
+	if err := f.Validate(); err == nil {
+		t.Fatalf("out-of-range variable accepted")
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if (Literal{3, true}).String() != "!x3" || (Literal{0, false}).String() != "x0" {
+		t.Fatalf("literal rendering broken")
+	}
+}

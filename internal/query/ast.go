@@ -1,0 +1,436 @@
+// Package query implements the query substrate of the paper (§2.1): a
+// first-order query AST over relational atoms, a parser for a small surface
+// syntax, fragment classification (CQ, UCQ, ∃FO⁺, FO), rewriting of
+// existential positive queries into unions of conjunctive queries, and the
+// keywidth covering function kw(Q,Σ) of §5.1.
+//
+// Surface syntax (one formula; quantifiers bind as far right as possible):
+//
+//	exists x, y, z . (Employee(1, x, 'HR') & Employee(2, z, y))
+//	forall c . (Clause(c) -> Sat(c))
+//	!phi    phi & psi    phi | psi    phi -> psi    true    false
+//
+// In query atoms, a bare token starting with a letter is a variable; tokens
+// starting with a digit and quoted tokens are constants. (Databases have no
+// variables, so the database codec treats all bare tokens as constants.)
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repaircount/internal/relational"
+)
+
+// Var is a first-order variable.
+type Var string
+
+// Term is either a Var or a relational.Const.
+type Term interface{ isTerm() }
+
+func (Var) isTerm() {}
+
+// ConstTerm wraps a database constant as a term.
+type ConstTerm relational.Const
+
+func (ConstTerm) isTerm() {}
+
+// Atom is a predicate applied to terms, R(t1,...,tn).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom; arguments are copied.
+func NewAtom(pred string, args ...Term) Atom {
+	cp := make([]Term, len(args))
+	copy(cp, args)
+	return Atom{Pred: pred, Args: cp}
+}
+
+// C converts a constant into a term.
+func C(c relational.Const) Term { return ConstTerm(c) }
+
+// V converts a name into a variable term.
+func V(name string) Term { return Var(name) }
+
+// Vars returns the variables of the atom in order of occurrence, possibly
+// with duplicates.
+func (a Atom) Vars() []Var {
+	var out []Var
+	for _, t := range a.Args {
+		if v, ok := t.(Var); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsGround reports whether the atom has no variables.
+func (a Atom) IsGround() bool { return len(a.Vars()) == 0 }
+
+// Canonical returns an injective string encoding of the atom, used for
+// computing sets of atoms (e.g. in the keywidth function).
+func (a Atom) Canonical() string { return a.String() }
+
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(termString(t))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func termString(t Term) string {
+	switch t := t.(type) {
+	case Var:
+		return string(t)
+	case ConstTerm:
+		return renderQueryConst(relational.Const(t))
+	default:
+		panic(fmt.Sprintf("query: unknown term type %T", t))
+	}
+}
+
+// renderQueryConst renders a constant so it re-parses as a constant: bare
+// only when it starts with a digit (identifier-looking constants must be
+// quoted to avoid being read back as variables).
+func renderQueryConst(c relational.Const) string {
+	s := string(c)
+	if s != "" && s[0] >= '0' && s[0] <= '9' && isBareNoLeadingLetter(s) {
+		return s
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+func isBareNoLeadingLetter(s string) bool {
+	for _, r := range s {
+		ok := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') ||
+			r == '_' || r == '-' || r == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Formula is a first-order formula built from atoms with ∧, ∨, ¬, ∃, ∀ and
+// the truth constants.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// AtomF is an atomic formula.
+type AtomF struct{ Atom Atom }
+
+// And is an n-ary conjunction; And{} (no children) is ⊤.
+type And struct{ Kids []Formula }
+
+// Or is an n-ary disjunction; Or{} (no children) is ⊥.
+type Or struct{ Kids []Formula }
+
+// Not is negation.
+type Not struct{ Kid Formula }
+
+// Exists binds variables existentially.
+type Exists struct {
+	Vars []Var
+	Kid  Formula
+}
+
+// Forall binds variables universally.
+type Forall struct {
+	Vars []Var
+	Kid  Formula
+}
+
+// Truth is the constant true/false formula.
+type Truth struct{ Val bool }
+
+func (AtomF) isFormula()  {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Not) isFormula()    {}
+func (Exists) isFormula() {}
+func (Forall) isFormula() {}
+func (Truth) isFormula()  {}
+
+func (f AtomF) String() string { return f.Atom.String() }
+
+func (f And) String() string {
+	if len(f.Kids) == 0 {
+		return "true"
+	}
+	return joinFormulas(f.Kids, " & ")
+}
+
+func (f Or) String() string {
+	if len(f.Kids) == 0 {
+		return "false"
+	}
+	return joinFormulas(f.Kids, " | ")
+}
+
+func (f Not) String() string { return "!" + parenthesize(f.Kid) }
+
+func (f Exists) String() string { return quantString("exists", f.Vars, f.Kid) }
+func (f Forall) String() string { return quantString("forall", f.Vars, f.Kid) }
+
+func (f Truth) String() string {
+	if f.Val {
+		return "true"
+	}
+	return "false"
+}
+
+func quantString(q string, vars []Var, kid Formula) string {
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = string(v)
+	}
+	return fmt.Sprintf("%s %s . %s", q, strings.Join(names, ", "), parenthesize(kid))
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = parenthesize(f)
+	}
+	return strings.Join(parts, sep)
+}
+
+func parenthesize(f Formula) string {
+	switch f.(type) {
+	case AtomF, Truth, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Conj builds an n-ary conjunction, flattening nested Ands.
+func Conj(fs ...Formula) Formula {
+	var kids []Formula
+	for _, f := range fs {
+		if a, ok := f.(And); ok {
+			kids = append(kids, a.Kids...)
+		} else {
+			kids = append(kids, f)
+		}
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return And{Kids: kids}
+}
+
+// Disj builds an n-ary disjunction, flattening nested Ors.
+func Disj(fs ...Formula) Formula {
+	var kids []Formula
+	for _, f := range fs {
+		if o, ok := f.(Or); ok {
+			kids = append(kids, o.Kids...)
+		} else {
+			kids = append(kids, f)
+		}
+	}
+	if len(kids) == 1 {
+		return kids[0]
+	}
+	return Or{Kids: kids}
+}
+
+// FreeVars returns the free variables of the formula, sorted by name.
+func FreeVars(f Formula) []Var {
+	seen := map[Var]bool{}
+	var walk func(Formula, map[Var]bool)
+	walk = func(f Formula, bound map[Var]bool) {
+		switch f := f.(type) {
+		case AtomF:
+			for _, v := range f.Atom.Vars() {
+				if !bound[v] {
+					seen[v] = true
+				}
+			}
+		case And:
+			for _, k := range f.Kids {
+				walk(k, bound)
+			}
+		case Or:
+			for _, k := range f.Kids {
+				walk(k, bound)
+			}
+		case Not:
+			walk(f.Kid, bound)
+		case Exists:
+			walk(f.Kid, withBound(bound, f.Vars))
+		case Forall:
+			walk(f.Kid, withBound(bound, f.Vars))
+		case Truth:
+		default:
+			panic(fmt.Sprintf("query: unknown formula type %T", f))
+		}
+	}
+	walk(f, map[Var]bool{})
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func withBound(bound map[Var]bool, vars []Var) map[Var]bool {
+	out := make(map[Var]bool, len(bound)+len(vars))
+	for v := range bound {
+		out[v] = true
+	}
+	for _, v := range vars {
+		out[v] = true
+	}
+	return out
+}
+
+// Atoms returns every atom occurring in the formula, in syntactic order
+// (with duplicates).
+func Atoms(f Formula) []Atom {
+	var out []Atom
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case AtomF:
+			out = append(out, f.Atom)
+		case And:
+			for _, k := range f.Kids {
+				walk(k)
+			}
+		case Or:
+			for _, k := range f.Kids {
+				walk(k)
+			}
+		case Not:
+			walk(f.Kid)
+		case Exists:
+			walk(f.Kid)
+		case Forall:
+			walk(f.Kid)
+		case Truth:
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Substitute replaces free occurrences of variables per the binding. Bound
+// variables shadow the binding. The result shares structure where possible.
+func Substitute(f Formula, binding map[Var]relational.Const) Formula {
+	if len(binding) == 0 {
+		return f
+	}
+	switch f := f.(type) {
+	case AtomF:
+		args := make([]Term, len(f.Atom.Args))
+		for i, t := range f.Atom.Args {
+			if v, ok := t.(Var); ok {
+				if c, hit := binding[v]; hit {
+					args[i] = ConstTerm(c)
+					continue
+				}
+			}
+			args[i] = t
+		}
+		return AtomF{Atom: Atom{Pred: f.Atom.Pred, Args: args}}
+	case And:
+		kids := make([]Formula, len(f.Kids))
+		for i, k := range f.Kids {
+			kids[i] = Substitute(k, binding)
+		}
+		return And{Kids: kids}
+	case Or:
+		kids := make([]Formula, len(f.Kids))
+		for i, k := range f.Kids {
+			kids[i] = Substitute(k, binding)
+		}
+		return Or{Kids: kids}
+	case Not:
+		return Not{Kid: Substitute(f.Kid, binding)}
+	case Exists:
+		return Exists{Vars: f.Vars, Kid: Substitute(f.Kid, shadow(binding, f.Vars))}
+	case Forall:
+		return Forall{Vars: f.Vars, Kid: Substitute(f.Kid, shadow(binding, f.Vars))}
+	case Truth:
+		return f
+	default:
+		panic(fmt.Sprintf("query: unknown formula type %T", f))
+	}
+}
+
+func shadow(binding map[Var]relational.Const, vars []Var) map[Var]relational.Const {
+	needsCopy := false
+	for _, v := range vars {
+		if _, ok := binding[v]; ok {
+			needsCopy = true
+			break
+		}
+	}
+	if !needsCopy {
+		return binding
+	}
+	out := make(map[Var]relational.Const, len(binding))
+	for k, c := range binding {
+		out[k] = c
+	}
+	for _, v := range vars {
+		delete(out, v)
+	}
+	return out
+}
+
+// SubstituteAtom applies a variable binding to a single atom.
+func SubstituteAtom(a Atom, binding map[Var]relational.Const) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		if v, ok := t.(Var); ok {
+			if c, hit := binding[v]; hit {
+				args[i] = ConstTerm(c)
+				continue
+			}
+		}
+		args[i] = t
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// GroundAtom converts a fully-ground atom into a fact; ok is false if any
+// variable remains.
+func GroundAtom(a Atom) (relational.Fact, bool) {
+	args := make([]relational.Const, len(a.Args))
+	for i, t := range a.Args {
+		ct, ok := t.(ConstTerm)
+		if !ok {
+			return relational.Fact{}, false
+		}
+		args[i] = relational.Const(ct)
+	}
+	return relational.Fact{Pred: a.Pred, Args: args}, true
+}

@@ -1,0 +1,406 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fragment identifies the smallest standard query class containing a
+// formula, per the paper's hierarchy CQ ⊆ UCQ ⊆ ∃FO⁺ ⊆ FO.
+type Fragment int
+
+const (
+	// FragmentCQ: atoms, conjunction and existential quantification only.
+	FragmentCQ Fragment = iota
+	// FragmentUCQ: a disjunction of conjunctive queries.
+	FragmentUCQ
+	// FragmentEP: existential positive (∃FO⁺) — atoms, ∧, ∨, ∃.
+	FragmentEP
+	// FragmentFO: arbitrary first-order.
+	FragmentFO
+)
+
+func (f Fragment) String() string {
+	switch f {
+	case FragmentCQ:
+		return "CQ"
+	case FragmentUCQ:
+		return "UCQ"
+	case FragmentEP:
+		return "∃FO+"
+	default:
+		return "FO"
+	}
+}
+
+// Classify returns the smallest fragment containing the formula.
+func Classify(f Formula) Fragment {
+	switch {
+	case isCQ(f):
+		return FragmentCQ
+	case isUCQShape(f):
+		return FragmentUCQ
+	case IsExistentialPositive(f):
+		return FragmentEP
+	default:
+		return FragmentFO
+	}
+}
+
+// IsExistentialPositive reports whether the formula is in ∃FO⁺: built from
+// atoms and truth constants with ∧, ∨ and ∃ only.
+func IsExistentialPositive(f Formula) bool {
+	switch f := f.(type) {
+	case AtomF, Truth:
+		return true
+	case And:
+		for _, k := range f.Kids {
+			if !IsExistentialPositive(k) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, k := range f.Kids {
+			if !IsExistentialPositive(k) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsExistentialPositive(f.Kid)
+	default:
+		return false
+	}
+}
+
+// isCQ: ∃* over a conjunction of atoms.
+func isCQ(f Formula) bool {
+	for {
+		if e, ok := f.(Exists); ok {
+			f = e.Kid
+			continue
+		}
+		break
+	}
+	switch f := f.(type) {
+	case AtomF:
+		return true
+	case Truth:
+		return f.Val // true is the empty CQ
+	case And:
+		for _, k := range f.Kids {
+			if !isCQ(k) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// isUCQShape: a disjunction (possibly under ∃*) of CQs.
+func isUCQShape(f Formula) bool {
+	for {
+		if e, ok := f.(Exists); ok {
+			f = e.Kid
+			continue
+		}
+		break
+	}
+	if t, ok := f.(Truth); ok {
+		return !t.Val || isCQ(f) // false is the empty union; true is a CQ
+	}
+	if o, ok := f.(Or); ok {
+		for _, k := range o.Kids {
+			if !isCQ(k) && !isUCQShape(k) {
+				return false
+			}
+		}
+		return true
+	}
+	return isCQ(f)
+}
+
+// CQ is a Boolean conjunctive query represented as its set of atoms; all
+// variables are implicitly existentially quantified.
+type CQ struct {
+	Atoms []Atom
+}
+
+// Vars returns the distinct variables of the CQ, sorted.
+func (q CQ) Vars() []Var {
+	seen := map[Var]bool{}
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsSelfJoinFree reports whether every predicate occurs in at most one atom.
+// The Maslowski–Wijsen dichotomy (and our safe-plan counter) applies to
+// self-join-free CQs.
+func (q CQ) IsSelfJoinFree() bool {
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if seen[a.Pred] {
+			return false
+		}
+		seen[a.Pred] = true
+	}
+	return true
+}
+
+// Canonical returns a canonical string for the CQ: its atoms sorted.
+func (q CQ) Canonical() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.Canonical()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " & ")
+}
+
+func (q CQ) String() string {
+	if len(q.Atoms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Formula converts the CQ back into an AST formula (∃* ⋀ atoms).
+func (q CQ) Formula() Formula {
+	kids := make([]Formula, len(q.Atoms))
+	for i, a := range q.Atoms {
+		kids[i] = AtomF{Atom: a}
+	}
+	body := Conj(kids...)
+	vars := q.Vars()
+	if len(vars) == 0 {
+		return body
+	}
+	return Exists{Vars: vars, Kid: body}
+}
+
+// UCQ is a Boolean union of conjunctive queries ⋁ᵢ Qᵢ.
+type UCQ struct {
+	Disjuncts []CQ
+}
+
+func (u UCQ) String() string {
+	if len(u.Disjuncts) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		parts[i] = "(" + q.String() + ")"
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Formula converts the UCQ back into an AST formula.
+func (u UCQ) Formula() Formula {
+	kids := make([]Formula, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		kids[i] = q.Formula()
+	}
+	return Disj(kids...)
+}
+
+// Predicates returns the distinct predicates mentioned by the UCQ, sorted.
+func (u UCQ) Predicates() []string {
+	seen := map[string]bool{}
+	for _, q := range u.Disjuncts {
+		for _, a := range q.Atoms {
+			seen[a.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ToUCQ rewrites a Boolean existential positive formula into an equivalent
+// UCQ (paper §3.2: "Q can be equivalently rewritten ... as a query Q' ∈ UCQ
+// of the form ⋁ᵢ Qᵢ"). Bound variables are standardized apart first so
+// that merging conjuncts cannot capture variables. It fails if the formula
+// is not in ∃FO⁺ or is not Boolean (has free variables).
+func ToUCQ(f Formula) (UCQ, error) {
+	if !IsExistentialPositive(f) {
+		return UCQ{}, fmt.Errorf("query: %s is not existential positive", f)
+	}
+	if fv := FreeVars(f); len(fv) > 0 {
+		return UCQ{}, fmt.Errorf("query: formula is not Boolean; free variables %v (bind them or substitute a tuple first)", fv)
+	}
+	renamed := StandardizeApart(f)
+	sets := dnf(renamed)
+	// Deduplicate identical disjuncts (same atom multiset up to order).
+	var out UCQ
+	seen := map[string]bool{}
+	for _, atoms := range sets {
+		q := CQ{Atoms: dedupeAtoms(atoms)}
+		key := q.Canonical()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Disjuncts = append(out.Disjuncts, q)
+	}
+	return out, nil
+}
+
+// MustToUCQ is ToUCQ that panics on error.
+func MustToUCQ(f Formula) UCQ {
+	u, err := ToUCQ(f)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func dedupeAtoms(atoms []Atom) []Atom {
+	seen := map[string]bool{}
+	var out []Atom
+	for _, a := range atoms {
+		k := a.Canonical()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// dnf computes the disjunctive normal form of an ∃FO⁺ formula as a list of
+// atom conjunctions; quantifiers are dropped (all variables of a Boolean
+// ∃FO⁺ formula are existential).
+func dnf(f Formula) [][]Atom {
+	switch f := f.(type) {
+	case AtomF:
+		return [][]Atom{{f.Atom}}
+	case Truth:
+		if f.Val {
+			return [][]Atom{{}} // one empty conjunction: true
+		}
+		return nil // no disjuncts: false
+	case Exists:
+		return dnf(f.Kid)
+	case Or:
+		var out [][]Atom
+		for _, k := range f.Kids {
+			out = append(out, dnf(k)...)
+		}
+		return out
+	case And:
+		out := [][]Atom{{}}
+		for _, k := range f.Kids {
+			kd := dnf(k)
+			var next [][]Atom
+			for _, left := range out {
+				for _, right := range kd {
+					merged := make([]Atom, 0, len(left)+len(right))
+					merged = append(merged, left...)
+					merged = append(merged, right...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("query: dnf on non-∃FO⁺ node %T", f))
+	}
+}
+
+// StandardizeApart renames quantified variables so that no two quantifiers
+// bind the same name and no bound name collides with a free name. It works
+// for arbitrary FO formulas.
+func StandardizeApart(f Formula) Formula {
+	counter := 0
+	used := map[Var]bool{}
+	for _, v := range FreeVars(f) {
+		used[v] = true
+	}
+	fresh := func(base Var) Var {
+		for {
+			counter++
+			v := Var(fmt.Sprintf("%s_%d", base, counter))
+			if !used[v] {
+				used[v] = true
+				return v
+			}
+		}
+	}
+	var walk func(Formula, map[Var]Var) Formula
+	renameVars := func(vars []Var, env map[Var]Var) ([]Var, map[Var]Var) {
+		out := make([]Var, len(vars))
+		newEnv := make(map[Var]Var, len(env)+len(vars))
+		for k, v := range env {
+			newEnv[k] = v
+		}
+		for i, v := range vars {
+			nv := fresh(v)
+			out[i] = nv
+			newEnv[v] = nv
+		}
+		return out, newEnv
+	}
+	walk = func(f Formula, env map[Var]Var) Formula {
+		switch f := f.(type) {
+		case AtomF:
+			args := make([]Term, len(f.Atom.Args))
+			for i, t := range f.Atom.Args {
+				if v, ok := t.(Var); ok {
+					if nv, hit := env[v]; hit {
+						args[i] = nv
+						continue
+					}
+				}
+				args[i] = t
+			}
+			return AtomF{Atom: Atom{Pred: f.Atom.Pred, Args: args}}
+		case And:
+			kids := make([]Formula, len(f.Kids))
+			for i, k := range f.Kids {
+				kids[i] = walk(k, env)
+			}
+			return And{Kids: kids}
+		case Or:
+			kids := make([]Formula, len(f.Kids))
+			for i, k := range f.Kids {
+				kids[i] = walk(k, env)
+			}
+			return Or{Kids: kids}
+		case Not:
+			return Not{Kid: walk(f.Kid, env)}
+		case Exists:
+			vars, newEnv := renameVars(f.Vars, env)
+			return Exists{Vars: vars, Kid: walk(f.Kid, newEnv)}
+		case Forall:
+			vars, newEnv := renameVars(f.Vars, env)
+			return Forall{Vars: vars, Kid: walk(f.Kid, newEnv)}
+		case Truth:
+			return f
+		default:
+			panic(fmt.Sprintf("query: unknown formula type %T", f))
+		}
+	}
+	return walk(f, map[Var]Var{})
+}

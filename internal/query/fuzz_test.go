@@ -1,0 +1,50 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the query parser never panics and that every
+// formula it accepts survives a print/parse round trip to a fixpoint.
+// The seed corpus covers all syntactic constructs; `go test` runs the
+// corpus, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))",
+		"forall c . (Clause(c) -> Sat(c))",
+		"!(R(x) | S(y)) & T('Bob')",
+		"true",
+		"R() | exists q . S(q, 'with space', 42)",
+		"R(x) -> S(x) -> T(x)",
+		"exists x . (R(x)",
+		"key R 1",
+		"R('unterminated",
+		"((((",
+		"exists . broken",
+		"R(x) & & S(y)",
+		"⋆(⋆)",
+		"forall forall . x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("print/parse not a fixpoint: %q -> %q", printed, q2.String())
+		}
+		// Simplify must stay parseable and idempotent.
+		s := Simplify(q)
+		s2 := Simplify(s)
+		if s.String() != s2.String() {
+			t.Fatalf("Simplify not idempotent on %q", src)
+		}
+	})
+}

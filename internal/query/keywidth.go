@@ -1,0 +1,74 @@
+package query
+
+import (
+	"repaircount/internal/relational"
+)
+
+// Keywidth computes the covering function kw(Q,Σ) of the paper (§5.1): the
+// number of distinct atoms occurring in Q whose predicate has a key in Σ.
+// It is the parameter k for which #CQA(Q,Σ) ∈ Λ[k] (Theorem 5.1).
+func Keywidth(f Formula, ks *relational.KeySet) int {
+	seen := map[string]bool{}
+	n := 0
+	for _, a := range Atoms(f) {
+		if !ks.HasKey(a.Pred) {
+			continue
+		}
+		c := a.Canonical()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		n++
+	}
+	return n
+}
+
+// KeywidthUCQ computes kw over a UCQ: the number of distinct keyed atoms
+// across all disjuncts.
+func KeywidthUCQ(u UCQ, ks *relational.KeySet) int {
+	seen := map[string]bool{}
+	n := 0
+	for _, q := range u.Disjuncts {
+		for _, a := range q.Atoms {
+			if !ks.HasKey(a.Pred) {
+				continue
+			}
+			c := a.Canonical()
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}
+
+// KeywidthMaxDisjunct returns the maximum, over the disjuncts of a UCQ, of
+// the number of distinct keyed atoms in that disjunct. This is the bound ℓ
+// on selector length used by Algorithm 2's compactor (§4.1: "ℓ is bounded
+// by the maximum number of atoms with a predicate that has a key over all
+// disjuncts of Q"); it never exceeds KeywidthUCQ.
+func KeywidthMaxDisjunct(u UCQ, ks *relational.KeySet) int {
+	max := 0
+	for _, q := range u.Disjuncts {
+		seen := map[string]bool{}
+		n := 0
+		for _, a := range q.Atoms {
+			if !ks.HasKey(a.Pred) {
+				continue
+			}
+			c := a.Canonical()
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			n++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,371 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a formula in the surface syntax. Operator precedence, from
+// tightest to loosest: ! , & , | , -> (right associative). Quantifiers
+// (exists/forall) extend as far right as possible.
+func Parse(src string) (Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: trailing input at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for fixed, hand-written queries.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tEOF     tokKind = iota
+	tIdent           // predicate, variable, or keyword
+	tNumber          // numeric constant
+	tQuoted          // quoted constant
+	tLParen          // (
+	tRParen          // )
+	tComma           // ,
+	tDot             // .
+	tAnd             // &
+	tOr              // |
+	tNot             // !
+	tImplies         // ->
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		r, size := utf8.DecodeRuneInString(src[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case r == '(':
+			toks = append(toks, token{tLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tRParen, ")", i})
+			i++
+		case r == ',':
+			toks = append(toks, token{tComma, ",", i})
+			i++
+		case r == '.':
+			toks = append(toks, token{tDot, ".", i})
+			i++
+		case r == '&':
+			toks = append(toks, token{tAnd, "&", i})
+			i++
+		case r == '|':
+			toks = append(toks, token{tOr, "|", i})
+			i++
+		case r == '!':
+			toks = append(toks, token{tNot, "!", i})
+			i++
+		case r == '-':
+			if strings.HasPrefix(src[i:], "->") {
+				toks = append(toks, token{tImplies, "->", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '-' at offset %d", i)
+			}
+		case r == '\'' || r == '"':
+			text, n, err := lexQuoted(src[i:], byte(r))
+			if err != nil {
+				return nil, fmt.Errorf("query: %w at offset %d", err, i)
+			}
+			toks = append(toks, token{tQuoted, text, i})
+			i += n
+		case r >= '0' && r <= '9':
+			start := i
+			for i < len(src) && isWordByte(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tNumber, src[start:i], start})
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(src) {
+				r2, sz := utf8.DecodeRuneInString(src[i:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+					break
+				}
+				i += sz
+			}
+			toks = append(toks, token{tIdent, src[start:i], start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", r, i)
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func isWordByte(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+		b == '_' || b == '.' || b == '-'
+}
+
+func lexQuoted(src string, q byte) (string, int, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(src) {
+		switch src[i] {
+		case q:
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(src) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch src[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(src[i])
+			}
+			i++
+		default:
+			b.WriteByte(src[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted constant")
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tEOF }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: expected %s at offset %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+// implies := or ('->' implies)?         (right associative)
+func (p *parser) implies() (Formula, error) {
+	lhs, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tImplies {
+		p.next()
+		rhs, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		// φ -> ψ is sugar for ¬φ ∨ ψ.
+		return Disj(Not{Kid: lhs}, rhs), nil
+	}
+	return lhs, nil
+}
+
+// or := and ('|' and)*
+func (p *parser) or() (Formula, error) {
+	lhs, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Formula{lhs}
+	for p.peek().kind == tOr {
+		p.next()
+		rhs, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, rhs)
+	}
+	if len(kids) == 1 {
+		return lhs, nil
+	}
+	return Disj(kids...), nil
+}
+
+// and := unary ('&' unary)*
+func (p *parser) and() (Formula, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Formula{lhs}
+	for p.peek().kind == tAnd {
+		p.next()
+		rhs, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, rhs)
+	}
+	if len(kids) == 1 {
+		return lhs, nil
+	}
+	return Conj(kids...), nil
+}
+
+// unary := '!' unary | quantifier | primary
+func (p *parser) unary() (Formula, error) {
+	switch t := p.peek(); {
+	case t.kind == tNot:
+		p.next()
+		kid, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Kid: kid}, nil
+	case t.kind == tIdent && (t.text == "exists" || t.text == "forall"):
+		return p.quantifier()
+	default:
+		return p.primary()
+	}
+}
+
+// quantifier := ('exists'|'forall') var (',' var)* '.' implies
+func (p *parser) quantifier() (Formula, error) {
+	q := p.next() // exists / forall
+	var vars []Var
+	for {
+		t, err := p.expect(tIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(t.text) {
+			return nil, fmt.Errorf("query: keyword %q used as variable at offset %d", t.text, t.pos)
+		}
+		vars = append(vars, Var(t.text))
+		if p.peek().kind == tComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tDot, "'.' after quantified variables"); err != nil {
+		return nil, err
+	}
+	kid, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	if q.text == "exists" {
+		return Exists{Vars: vars, Kid: kid}, nil
+	}
+	return Forall{Vars: vars, Kid: kid}, nil
+}
+
+// primary := 'true' | 'false' | '(' implies ')' | atom
+func (p *parser) primary() (Formula, error) {
+	switch t := p.peek(); {
+	case t.kind == tLParen:
+		p.next()
+		f, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tIdent && t.text == "true":
+		p.next()
+		return Truth{Val: true}, nil
+	case t.kind == tIdent && t.text == "false":
+		p.next()
+		return Truth{Val: false}, nil
+	case t.kind == tIdent:
+		return p.atom()
+	default:
+		return nil, fmt.Errorf("query: expected formula at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+// atom := pred '(' (term (',' term)*)? ')'
+func (p *parser) atom() (Formula, error) {
+	pred, err := p.expect(tIdent, "predicate")
+	if err != nil {
+		return nil, err
+	}
+	if isKeyword(pred.text) {
+		return nil, fmt.Errorf("query: keyword %q used as predicate at offset %d", pred.text, pred.pos)
+	}
+	if _, err := p.expect(tLParen, "'(' after predicate"); err != nil {
+		return nil, err
+	}
+	var args []Term
+	if p.peek().kind == tRParen {
+		p.next()
+		return AtomF{Atom: Atom{Pred: pred.text, Args: args}}, nil
+	}
+	for {
+		t := p.next()
+		switch t.kind {
+		case tIdent:
+			if isKeyword(t.text) {
+				return nil, fmt.Errorf("query: keyword %q used as term at offset %d", t.text, t.pos)
+			}
+			args = append(args, Var(t.text))
+		case tNumber:
+			args = append(args, ConstTerm(t.text))
+		case tQuoted:
+			args = append(args, ConstTerm(t.text))
+		default:
+			return nil, fmt.Errorf("query: expected term at offset %d, got %q", t.pos, t.text)
+		}
+		if p.peek().kind == tComma {
+			p.next()
+			continue
+		}
+		if _, err := p.expect(tRParen, "',' or ')'"); err != nil {
+			return nil, err
+		}
+		return AtomF{Atom: Atom{Pred: pred.text, Args: args}}, nil
+	}
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "exists", "forall", "true", "false":
+		return true
+	}
+	return false
+}

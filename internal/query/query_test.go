@@ -1,0 +1,366 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/relational"
+)
+
+func TestParseExampleQuery(t *testing.T) {
+	// The query of Example 1.1.
+	f, err := Parse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := f.(Exists)
+	if !ok {
+		t.Fatalf("want Exists at top, got %T", f)
+	}
+	if len(ex.Vars) != 3 {
+		t.Fatalf("want 3 quantified vars, got %v", ex.Vars)
+	}
+	atoms := Atoms(f)
+	if len(atoms) != 2 || atoms[0].Pred != "Employee" {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	// First argument of first atom must be the constant 1, not a variable.
+	if _, ok := atoms[0].Args[0].(ConstTerm); !ok {
+		t.Fatalf("1 parsed as %T, want constant", atoms[0].Args[0])
+	}
+	if _, ok := atoms[0].Args[1].(Var); !ok {
+		t.Fatalf("x parsed as %T, want variable", atoms[0].Args[1])
+	}
+	if got := Classify(f); got != FragmentCQ {
+		t.Fatalf("Classify = %v, want CQ", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := MustParse("R(x) & S(x) | T(x)")
+	or, ok := f.(Or)
+	if !ok || len(or.Kids) != 2 {
+		t.Fatalf("& must bind tighter than |: %v", f)
+	}
+	f2 := MustParse("R(x) -> S(x) -> T(x)")
+	// -> desugars to ¬∨ (flattened): !R(x) | !S(x) | T(x).
+	top, ok := f2.(Or)
+	if !ok || len(top.Kids) != 3 {
+		t.Fatalf("-> desugar broken: %#v", f2)
+	}
+	if _, ok := top.Kids[0].(Not); !ok {
+		t.Fatalf("-> desugar broken, lhs %T", top.Kids[0])
+	}
+	if _, ok := top.Kids[2].(AtomF); !ok {
+		t.Fatalf("-> desugar broken, final consequent %T", top.Kids[2])
+	}
+	f3 := MustParse("!R(x) & S(y)")
+	if _, ok := f3.(And); !ok {
+		t.Fatalf("! must bind tighter than &: %T", f3)
+	}
+}
+
+func TestParseQuantifierScope(t *testing.T) {
+	f := MustParse("exists x . R(x) & S(x)")
+	// Quantifier extends as far right as possible: S(x) is bound.
+	if fv := FreeVars(f); len(fv) != 0 {
+		t.Fatalf("want no free vars, got %v", fv)
+	}
+	g := MustParse("(exists x . R(x)) & S(x)")
+	if fv := FreeVars(g); len(fv) != 1 || fv[0] != "x" {
+		t.Fatalf("want free x, got %v", fv)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R(x",
+		"R(x))",
+		"exists . R(x)",
+		"exists x R(x)",
+		"R(x) &",
+		"R(x) - S(x)",
+		"R('abc)",
+		"exists true . R(x)",
+		"true(x)",
+		"R(x) R(y)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))",
+		"forall c . (Clause(c) -> Sat(c))",
+		"!(R(x) | S(y)) & T('Bob')",
+		"true",
+		"false",
+		"R() | exists q . S(q, 'with space', 42)",
+	}
+	for _, src := range cases {
+		f1 := MustParse(src)
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q failed: %v", src, f1.String(), err)
+		}
+		if f1.String() != f2.String() {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", f1.String(), f2.String())
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Fragment
+	}{
+		{"exists x . R(x)", FragmentCQ},
+		{"R('a') & S('b')", FragmentCQ},
+		{"true", FragmentCQ},
+		{"(exists x . R(x)) | (exists y . S(y))", FragmentUCQ},
+		{"exists x . (R(x) & (S(x) | T(x)))", FragmentEP},
+		{"false", FragmentUCQ}, // empty union
+		{"!R('a')", FragmentFO},
+		{"forall x . R(x)", FragmentFO},
+		{"R(x) -> S(x)", FragmentFO},
+	}
+	for _, c := range cases {
+		if got := Classify(MustParse(c.src)); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestToUCQBasic(t *testing.T) {
+	f := MustParse("exists x . (R(x) & (S(x) | T(x)))")
+	u, err := ToUCQ(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 2 {
+		t.Fatalf("want 2 disjuncts, got %v", u)
+	}
+	for _, q := range u.Disjuncts {
+		if len(q.Atoms) != 2 {
+			t.Fatalf("each disjunct has 2 atoms: %v", q)
+		}
+	}
+}
+
+func TestToUCQStandardizesApart(t *testing.T) {
+	// The two x's are different variables; conflating them would force the
+	// same witness in both atoms.
+	f := MustParse("(exists x . R(x)) & (exists x . S(x))")
+	u, err := ToUCQ(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("want 1 disjunct, got %d", len(u.Disjuncts))
+	}
+	q := u.Disjuncts[0]
+	if len(q.Vars()) != 2 {
+		t.Fatalf("bound variables were conflated: vars = %v in %v", q.Vars(), q)
+	}
+}
+
+func TestToUCQRejects(t *testing.T) {
+	if _, err := ToUCQ(MustParse("!R('a')")); err == nil {
+		t.Fatalf("negation accepted by ToUCQ")
+	}
+	if _, err := ToUCQ(MustParse("R(x)")); err == nil {
+		t.Fatalf("free variables accepted by ToUCQ")
+	}
+}
+
+func TestToUCQTruthConstants(t *testing.T) {
+	u := MustToUCQ(MustParse("true"))
+	if len(u.Disjuncts) != 1 || len(u.Disjuncts[0].Atoms) != 0 {
+		t.Fatalf("true must become the single empty disjunct: %v", u)
+	}
+	u = MustToUCQ(MustParse("false"))
+	if len(u.Disjuncts) != 0 {
+		t.Fatalf("false must become the empty union: %v", u)
+	}
+	// x & (true | R('a')) simplifies: true disjunct absorbs.
+	u = MustToUCQ(MustParse("S('b') & (true | R('a'))"))
+	if len(u.Disjuncts) != 2 {
+		t.Fatalf("want 2 disjuncts, got %v", u)
+	}
+}
+
+func TestToUCQDeduplicates(t *testing.T) {
+	u := MustToUCQ(MustParse("R('a') | R('a')"))
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("duplicate disjuncts kept: %v", u)
+	}
+	// Duplicate atoms within one conjunction collapse too.
+	u = MustToUCQ(MustParse("R('a') & R('a')"))
+	if len(u.Disjuncts[0].Atoms) != 1 {
+		t.Fatalf("duplicate atoms kept: %v", u)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := MustParse("R(x) & (exists x . S(x, y))")
+	g := Substitute(f, map[Var]relational.Const{"x": "1", "y": "2"})
+	atoms := Atoms(g)
+	// Free x replaced, bound x untouched, y replaced.
+	if _, ok := atoms[0].Args[0].(ConstTerm); !ok {
+		t.Fatalf("free x not substituted: %v", atoms[0])
+	}
+	if _, ok := atoms[1].Args[0].(Var); !ok {
+		t.Fatalf("bound x wrongly substituted: %v", atoms[1])
+	}
+	if ct, ok := atoms[1].Args[1].(ConstTerm); !ok || relational.Const(ct) != "2" {
+		t.Fatalf("y not substituted: %v", atoms[1])
+	}
+	if fv := FreeVars(g); len(fv) != 0 {
+		t.Fatalf("substituted formula still has free vars %v", fv)
+	}
+}
+
+func TestKeywidth(t *testing.T) {
+	ks := relational.Keys(map[string]int{"Employee": 1, "Element": 1})
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))", 2},
+		{"exists x . Unkeyed(x)", 0},
+		{"exists x . (Employee(1, x, 'HR') & Unkeyed(x))", 1},
+		// The same atom occurring twice counts once (a set of atoms).
+		{"Employee(1, 'a', 'b') | Employee(1, 'a', 'b')", 1},
+		{"true", 0},
+	}
+	for _, c := range cases {
+		if got := Keywidth(MustParse(c.src), ks); got != c.want {
+			t.Errorf("Keywidth(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestKeywidthUCQAndMaxDisjunct(t *testing.T) {
+	ks := relational.Keys(map[string]int{"R": 1, "S": 1})
+	u := MustToUCQ(MustParse("(exists x . (R(x) & S(x))) | (exists y . R(y))"))
+	if got := KeywidthUCQ(u, ks); got != 3 {
+		t.Errorf("KeywidthUCQ = %d, want 3 (R(x),S(x),R(y) distinct atoms)", got)
+	}
+	if got := KeywidthMaxDisjunct(u, ks); got != 2 {
+		t.Errorf("KeywidthMaxDisjunct = %d, want 2", got)
+	}
+}
+
+func TestSelfJoinFree(t *testing.T) {
+	sjf := MustToUCQ(MustParse("exists x, y . (R(x, y) & S(y))")).Disjuncts[0]
+	if !sjf.IsSelfJoinFree() {
+		t.Fatalf("R,S query must be self-join-free")
+	}
+	sj := MustToUCQ(MustParse("exists x, y . (R(x) & R(y))")).Disjuncts[0]
+	if sj.IsSelfJoinFree() {
+		t.Fatalf("R,R query must not be self-join-free")
+	}
+}
+
+func TestGroundAtom(t *testing.T) {
+	a := NewAtom("R", C("1"), C("b"))
+	f, ok := GroundAtom(a)
+	if !ok || f.Pred != "R" || f.Args[1] != "b" {
+		t.Fatalf("GroundAtom = %v %v", f, ok)
+	}
+	if _, ok := GroundAtom(NewAtom("R", V("x"))); ok {
+		t.Fatalf("GroundAtom accepted a variable")
+	}
+}
+
+func TestStandardizeApartNoCollisions(t *testing.T) {
+	f := MustParse("(exists x . R(x)) & (exists x . S(x)) & (forall x . T(x) -> R(x))")
+	g := StandardizeApart(f)
+	// Collect all quantified variable names; they must be pairwise distinct.
+	var names []Var
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case Exists:
+			names = append(names, f.Vars...)
+			walk(f.Kid)
+		case Forall:
+			names = append(names, f.Vars...)
+			walk(f.Kid)
+		case And:
+			for _, k := range f.Kids {
+				walk(k)
+			}
+		case Or:
+			for _, k := range f.Kids {
+				walk(k)
+			}
+		case Not:
+			walk(f.Kid)
+		}
+	}
+	walk(g)
+	seen := map[Var]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate bound name %q after standardize-apart: %v", n, g)
+		}
+		seen[n] = true
+	}
+}
+
+// Property: every parseable formula prints to a string that re-parses to an
+// identical print (printer/parser fixpoint) across a corpus of shapes.
+func TestPrintParseFixpointProperty(t *testing.T) {
+	shapes := []string{
+		"R(x)", "R('c')", "R(x) & S(y)", "R(x) | S(y)", "!R(x)",
+		"exists v . R(v)", "forall v . R(v)", "R(x) -> S(x)",
+		"exists a, b . (R(a, b) & (S(a) | !T(b)))",
+	}
+	prop := func(i, j uint8) bool {
+		a := shapes[int(i)%len(shapes)]
+		b := shapes[int(j)%len(shapes)]
+		src := "(" + a + ") & ((" + b + ") | !(" + a + "))"
+		f1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			return false
+		}
+		return f1.String() == f2.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderQueryConstQuoting(t *testing.T) {
+	// Identifier-looking constants must round-trip as constants.
+	f := AtomF{Atom: NewAtom("R", C("HR"), C("123"), C("it's"))}
+	g, err := Parse(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := Atoms(g)
+	for i, a := range atoms[0].Args {
+		ct, ok := a.(ConstTerm)
+		if !ok {
+			t.Fatalf("arg %d re-parsed as %T, want constant (text %q)", i, a, f.String())
+		}
+		want := f.Atom.Args[i].(ConstTerm)
+		if ct != want {
+			t.Fatalf("arg %d = %q, want %q", i, ct, want)
+		}
+	}
+	if !strings.Contains(f.String(), "'HR'") {
+		t.Fatalf("HR must be quoted in query rendering: %s", f.String())
+	}
+}

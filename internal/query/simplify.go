@@ -1,0 +1,110 @@
+package query
+
+// Simplify performs semantics-preserving constant folding and structural
+// cleanup on a formula, under the active-domain semantics used throughout
+// (quantifiers range over dom(D)):
+//
+//   - truth constants propagate through ∧, ∨, ¬;
+//   - nested conjunctions/disjunctions flatten; singletons unwrap;
+//   - double negations cancel;
+//   - quantified variables not occurring in the body are dropped — except
+//     that one variable is kept when none are used, because ∃x̄ φ asserts
+//     dom(D) ≠ ∅ even when φ ignores x̄, and that assertion must survive.
+//
+// Quantifiers over truth constants are NOT folded for the same reason:
+// ∃x true is false on the empty database.
+func Simplify(f Formula) Formula {
+	switch f := f.(type) {
+	case AtomF, Truth:
+		return f
+	case And:
+		var kids []Formula
+		for _, k := range f.Kids {
+			s := Simplify(k)
+			if t, ok := s.(Truth); ok {
+				if !t.Val {
+					return Truth{Val: false}
+				}
+				continue // drop neutral true
+			}
+			if a, ok := s.(And); ok {
+				kids = append(kids, a.Kids...)
+				continue
+			}
+			kids = append(kids, s)
+		}
+		switch len(kids) {
+		case 0:
+			return Truth{Val: true}
+		case 1:
+			return kids[0]
+		}
+		return And{Kids: kids}
+	case Or:
+		var kids []Formula
+		for _, k := range f.Kids {
+			s := Simplify(k)
+			if t, ok := s.(Truth); ok {
+				if t.Val {
+					return Truth{Val: true}
+				}
+				continue // drop neutral false
+			}
+			if o, ok := s.(Or); ok {
+				kids = append(kids, o.Kids...)
+				continue
+			}
+			kids = append(kids, s)
+		}
+		switch len(kids) {
+		case 0:
+			return Truth{Val: false}
+		case 1:
+			return kids[0]
+		}
+		return Or{Kids: kids}
+	case Not:
+		kid := Simplify(f.Kid)
+		switch k := kid.(type) {
+		case Truth:
+			return Truth{Val: !k.Val}
+		case Not:
+			return k.Kid
+		}
+		return Not{Kid: kid}
+	case Exists:
+		kid := Simplify(f.Kid)
+		return Exists{Vars: pruneVars(f.Vars, kid), Kid: kid}
+	case Forall:
+		kid := Simplify(f.Kid)
+		return Forall{Vars: pruneVars(f.Vars, kid), Kid: kid}
+	default:
+		return f
+	}
+}
+
+// pruneVars drops quantified variables unused by the body, keeping at
+// least one (see Simplify's doc for why dom(D) ≠ ∅ must stay asserted).
+// Duplicate names in the block collapse to the innermost occurrence, which
+// for a single block is just a single binder.
+func pruneVars(vars []Var, kid Formula) []Var {
+	if len(vars) == 0 {
+		return vars
+	}
+	used := map[Var]bool{}
+	for _, v := range FreeVars(kid) {
+		used[v] = true
+	}
+	var out []Var
+	seen := map[Var]bool{}
+	for _, v := range vars {
+		if used[v] && !seen[v] {
+			out = append(out, v)
+			seen[v] = true
+		}
+	}
+	if len(out) == 0 {
+		out = vars[:1]
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestSimplifyFolding(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"R(x) & true", "R(x)"},
+		{"R(x) & false", "false"},
+		{"R(x) | true", "true"},
+		{"R(x) | false", "R(x)"},
+		{"!!R(x)", "R(x)"},
+		{"!true", "false"},
+		{"(R(x) & S(x)) & T(x)", "R(x) & S(x) & T(x)"},
+		{"true & true", "true"},
+		{"false | false", "false"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		want := MustParse(c.want).String()
+		if got != want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, want)
+		}
+	}
+}
+
+func TestSimplifyPrunesUnusedVars(t *testing.T) {
+	f := Simplify(MustParse("exists x, y . R(x)"))
+	ex, ok := f.(Exists)
+	if !ok || len(ex.Vars) != 1 || ex.Vars[0] != "x" {
+		t.Fatalf("unused var not pruned: %v", f)
+	}
+	// All vars unused: one survives, because ∃x̄ φ asserts dom ≠ ∅.
+	f2 := Simplify(MustParse("exists x, y . R('c')"))
+	ex2, ok := f2.(Exists)
+	if !ok || len(ex2.Vars) != 1 {
+		t.Fatalf("dom≠∅ assertion lost: %v", f2)
+	}
+	// Quantifier over a truth constant must NOT fold away.
+	f3 := Simplify(MustParse("exists x . true"))
+	if _, ok := f3.(Exists); !ok {
+		t.Fatalf("∃x true folded to %v; it is false on the empty database", f3)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	srcs := []string{
+		"exists x, y . (R(x) & (true | S(y)))",
+		"forall x . (R(x) -> !(false & S(x)))",
+		"!(R(x) | !S(y)) & true",
+	}
+	for _, src := range srcs {
+		once := Simplify(MustParse(src))
+		twice := Simplify(once)
+		if once.String() != twice.String() {
+			t.Errorf("Simplify not idempotent on %q: %q vs %q", src, once, twice)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package reductions
+
+import (
+	"repaircount/internal/problems/dnf"
+	"repaircount/internal/problems/graphs"
+)
+
+// GraphToPos2DNF implements the Provan–Ball bridge behind Theorem 4.4(2):
+// #Pos2DNF is ≤p_T-complete for #P, witnessed by the reduction from
+// counting non-independent sets. Each edge (u,v) becomes the clause
+// x_u ∧ x_v, so the satisfying 0/1 assignments of the positive 2DNF are
+// exactly the vertex subsets containing an edge:
+//
+//	#SAT(φ_G) = 2^|V| − #IndependentSets(G).
+//
+// Together with dnf.FromStandard this places the #P-hard function inside
+// Λ[2], which is the executable content of FP^Λ[2] = FP^#P.
+func GraphToPos2DNF(g graphs.Graph) (dnf.Formula, error) {
+	if err := g.Validate(); err != nil {
+		return dnf.Formula{}, err
+	}
+	f := dnf.Formula{NumVars: g.N, Width: 2}
+	for _, e := range g.Edges {
+		f.Clauses = append(f.Clauses, dnf.Clause{e[0], e[1]})
+	}
+	return f, nil
+}

@@ -1,0 +1,174 @@
+// Package reductions implements the paper's many-one reductions in
+// executable form:
+//
+//   - LambdaToCQA — the Theorem 5.1 hardness construction: any function
+//     given as a k-compactor reduces to #CQA(Q_k, Σ_k) for the fixed
+//     conjunctive query Q_k = ∃z,x̄,ȳ (Selector(z,x1,y1,...,xk,yk) ∧
+//     ⋀ᵢ Element(xᵢ,yᵢ)) and Σ_k = {key(Element) = {1}}. The database D_x
+//     stores the compactor's solution-domain elements and its ℓ-selectors.
+//   - SATToCQAFO — the Theorem 3.2/3.3 construction: a 3CNF formula maps to
+//     a database whose repairs are truth assignments, with a fixed FO query
+//     (with negation) holding exactly on satisfying assignments; so
+//     #3SAT = #CQA and 3SAT = #CQA>0.
+//
+// Every reduction is count-preserving and is verified mechanically in the
+// tests by comparing exact counts on both sides.
+package reductions
+
+import (
+	"fmt"
+	"strconv"
+
+	"repaircount/internal/core"
+	"repaircount/internal/problems/sat"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// CQAInstance is the image of a reduction into #CQA: a database, keys and
+// a Boolean query, ready for the repairs package.
+type CQAInstance struct {
+	DB   *relational.Database
+	Keys *relational.KeySet
+	Q    query.Formula
+}
+
+// LambdaQuery builds the fixed conjunctive query Q_k of the Theorem 5.1
+// reduction. kw(Q_k, Σ_k) = k: the k Element atoms are keyed, Selector is
+// not.
+func LambdaQuery(k int) query.Formula {
+	vars := []query.Var{"z"}
+	selArgs := []query.Term{query.Var("z")}
+	var conj []query.Formula
+	for i := 1; i <= k; i++ {
+		x := query.Var("x" + strconv.Itoa(i))
+		y := query.Var("y" + strconv.Itoa(i))
+		vars = append(vars, x, y)
+		selArgs = append(selArgs, x, y)
+		conj = append(conj, query.AtomF{Atom: query.NewAtom("Element", x, y)})
+	}
+	body := query.Conj(append([]query.Formula{
+		query.AtomF{Atom: query.Atom{Pred: "Selector", Args: selArgs}},
+	}, conj...)...)
+	return query.Exists{Vars: vars, Kid: body}
+}
+
+// LambdaKeys builds Σ_k = {key(Element) = {1}}.
+func LambdaKeys() *relational.KeySet {
+	return relational.Keys(map[string]int{"Element": 1})
+}
+
+// LambdaToCQA maps a k-compactor instance to the database D_x of the
+// Theorem 5.1 reduction, so that
+//
+//	unfold_M(x) = #CQA(Q_k, Σ_k)(D_x).
+//
+// D_element holds Element(⋆,⋆) plus Element(i, s) for every element s of
+// domain i appearing in some compactor output (the pinned element for
+// pinned coordinates; the whole domain for unpinned ones). D_selector
+// holds, per distinct valid certificate output, a Selector fact listing
+// its ℓ ≤ k pins padded with ⋆ to arity 1+2k.
+func LambdaToCQA(c *core.Compactor) (*CQAInstance, error) {
+	if c.K < 0 {
+		return nil, fmt.Errorf("reductions: LambdaToCQA needs a bounded k-compactor; %s is unbounded", c.Name)
+	}
+	boxes := c.Boxes()
+	db := relational.MustDatabase()
+	if err := db.Add(relational.NewFact("Element", relational.Star, relational.Star)); err != nil {
+		return nil, err
+	}
+	// Collect the elements appearing in outputs, per coordinate.
+	appearing := make([]map[core.Element]bool, len(c.Doms))
+	for i := range appearing {
+		appearing[i] = map[core.Element]bool{}
+	}
+	for _, b := range boxes {
+		j := 0
+		for i := range c.Doms {
+			if j < len(b) && b[j].Index == i {
+				appearing[i][b[j].Elem] = true
+				j++
+				continue
+			}
+			for _, e := range c.Doms[i].Elems {
+				appearing[i][e] = true
+			}
+		}
+	}
+	for i, set := range appearing {
+		for e := range set {
+			if err := db.Add(relational.NewFact("Element", posConst(i), relational.Const(e))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// One Selector fact per distinct box, padded to arity 1 + 2k.
+	for bi, b := range boxes {
+		args := make([]relational.Const, 0, 1+2*c.K)
+		args = append(args, relational.Const("c"+strconv.Itoa(bi)))
+		for _, p := range b {
+			args = append(args, posConst(p.Index), relational.Const(p.Elem))
+		}
+		for len(args) < 1+2*c.K {
+			args = append(args, relational.Star)
+		}
+		if err := db.Add(relational.Fact{Pred: "Selector", Args: args}); err != nil {
+			return nil, err
+		}
+	}
+	return &CQAInstance{DB: db, Keys: LambdaKeys(), Q: LambdaQuery(c.K)}, nil
+}
+
+func posConst(i int) relational.Const {
+	return relational.Const("p" + strconv.Itoa(i))
+}
+
+// SATToCQAFO maps a 3CNF formula to a #CQA(Q,Σ) instance over the fixed FO
+// query SATQuery and Σ = {key(Var) = {1}}: each variable becomes a block
+// {Var(v,0), Var(v,1)}, so repairs are exactly truth assignments, and each
+// clause becomes an unkeyed fact Clause(c, v1,t1, v2,t2, v3,t3) listing,
+// per literal, the variable and the truth value that satisfies the
+// literal. The query holds on a repair iff no clause has all three
+// satisfying values missing — iff the assignment satisfies the formula.
+func SATToCQAFO(f sat.CNF) (*CQAInstance, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	db := relational.MustDatabase()
+	for v := 0; v < f.NumVars; v++ {
+		name := relational.Const("v" + strconv.Itoa(v))
+		if err := db.Add(relational.NewFact("Var", name, "0")); err != nil {
+			return nil, err
+		}
+		if err := db.Add(relational.NewFact("Var", name, "1")); err != nil {
+			return nil, err
+		}
+	}
+	for ci, c := range f.Clauses {
+		args := []relational.Const{relational.Const("cl" + strconv.Itoa(ci))}
+		for _, l := range c {
+			val := relational.Const("1")
+			if l.Neg {
+				val = "0"
+			}
+			args = append(args, relational.Const("v"+strconv.Itoa(l.Var)), val)
+		}
+		if err := db.Add(relational.Fact{Pred: "Clause", Args: args}); err != nil {
+			return nil, err
+		}
+	}
+	return &CQAInstance{
+		DB:   db,
+		Keys: relational.Keys(map[string]int{"Var": 1}),
+		Q:    SATQuery(),
+	}, nil
+}
+
+// SATQuery is the fixed FO query of the Theorem 3.2/3.3 reduction: no
+// violated clause exists.
+func SATQuery() query.Formula {
+	return query.MustParse(
+		"!(exists c, v1, t1, v2, t2, v3, t3 . (" +
+			"Clause(c, v1, t1, v2, t2, v3, t3) & " +
+			"!Var(v1, t1) & !Var(v2, t2) & !Var(v3, t3)))")
+}

@@ -1,0 +1,283 @@
+package reductions
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/core"
+	"repaircount/internal/problems/coloring"
+	"repaircount/internal/problems/dnf"
+	"repaircount/internal/problems/graphs"
+	"repaircount/internal/problems/sat"
+	"repaircount/internal/query"
+	"repaircount/internal/repairs"
+)
+
+func TestLambdaQueryShape(t *testing.T) {
+	q2 := LambdaQuery(2)
+	if got := query.Keywidth(q2, LambdaKeys()); got != 2 {
+		t.Fatalf("kw(Q_2, Σ) = %d, want 2", got)
+	}
+	if !query.IsExistentialPositive(q2) {
+		t.Fatalf("Q_k must be existential positive")
+	}
+	u := query.MustToUCQ(q2)
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("Q_k must be a single CQ")
+	}
+	q0 := LambdaQuery(0)
+	if got := query.Keywidth(q0, LambdaKeys()); got != 0 {
+		t.Fatalf("kw(Q_0, Σ) = %d, want 0", got)
+	}
+}
+
+// reduceAndCount applies LambdaToCQA and counts repairs entailing Q_k.
+func reduceAndCount(t *testing.T, c *core.Compactor) *big.Int {
+	t.Helper()
+	img, err := LambdaToCQA(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+	n, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLambdaToCQAOnDNF(t *testing.T) {
+	in := dnf.MustInstance(
+		dnf.Formula{NumVars: 4, Width: 2, Clauses: []dnf.Clause{{0}, {1, 2}}},
+		dnf.Partition{{0, 1}, {2, 3}},
+	)
+	c := in.Compactor()
+	want, err := c.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reduceAndCount(t, c)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("reduction changed count: %s vs %s", got, want)
+	}
+}
+
+func TestLambdaToCQANoCertificates(t *testing.T) {
+	in := dnf.MustInstance(dnf.Formula{NumVars: 2, Width: 2}, dnf.Partition{{0}, {1}})
+	got := reduceAndCount(t, in.Compactor())
+	if got.Sign() != 0 {
+		t.Fatalf("count = %s, want 0", got)
+	}
+}
+
+func TestLambdaToCQARejectsUnbounded(t *testing.T) {
+	in := dnf.MustInstance(
+		dnf.Formula{NumVars: 2, Width: -1, Clauses: []dnf.Clause{{0, 1}}},
+		dnf.Partition{{0}, {1}},
+	)
+	if _, err := LambdaToCQA(in.Compactor()); err == nil {
+		t.Fatalf("unbounded compactor accepted")
+	}
+}
+
+// Property (Theorem 5.1 hardness, mechanically verified): for random
+// Λ[k]-problem instances across three problem families, the reduction
+// preserves the exact count.
+func TestLambdaToCQACountPreservingProperty(t *testing.T) {
+	prop := func(seed uint64, family uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 83))
+		var c *core.Compactor
+		switch family % 3 {
+		case 0: // #DisjPoskDNF
+			nClasses := 1 + rng.IntN(3)
+			var p dnf.Partition
+			n := 0
+			for ci := 0; ci < nClasses; ci++ {
+				sz := 1 + rng.IntN(2)
+				var class []int
+				for j := 0; j < sz; j++ {
+					class = append(class, n)
+					n++
+				}
+				p = append(p, class)
+			}
+			f := dnf.Formula{NumVars: n, Width: 2}
+			for ci := 0; ci < rng.IntN(4); ci++ {
+				sz := 1 + rng.IntN(2)
+				clause := make(dnf.Clause, 0, sz)
+				for j := 0; j < sz; j++ {
+					clause = append(clause, rng.IntN(n))
+				}
+				f.Clauses = append(f.Clauses, clause)
+			}
+			c = dnf.MustInstance(f, p).Compactor()
+		case 1: // graph non-independent sets
+			n := 2 + rng.IntN(3)
+			var edges [][2]int
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if rng.IntN(2) == 0 {
+						edges = append(edges, [2]int{u, v})
+					}
+				}
+			}
+			var err error
+			c, err = graphs.NonIndependentSets(graphs.Graph{N: n, Edges: edges})
+			if err != nil {
+				return false
+			}
+		default: // hypergraph forbidden colorings
+			n := 2 + rng.IntN(2)
+			palette := []coloring.Color{"r", "g"}
+			colors := make([][]coloring.Color, n)
+			for v := range colors {
+				colors[v] = palette[:1+rng.IntN(2)]
+			}
+			h := coloring.Hypergraph{N: n, K: 2, Edges: [][]int{{0, 1}}}
+			forb := [][]coloring.Forbidden{{{palette[rng.IntN(2)], palette[rng.IntN(2)]}}}
+			c = coloring.MustInstance(h, colors, forb).Compactor()
+		}
+		want, err := c.CountExact()
+		if err != nil {
+			return false
+		}
+		img, err := LambdaToCQA(c)
+		if err != nil {
+			return false
+		}
+		in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+		got, _, err := in.CountExact()
+		if err != nil {
+			return false
+		}
+		if got.Cmp(want) != 0 {
+			t.Logf("seed %d family %d: got %s want %s", seed, family%3, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 4.4(2)'s hardness witness: #Pos2DNF ∈ Λ[2] is #P-hard via the
+// Provan–Ball reduction from counting (non-)independent sets. Verified by
+// comparing the Λ[2]-machinery count of the edge-DNF against the graph
+// brute force.
+func TestProvanBallBridgeProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 167))
+		n := 2 + rng.IntN(6)
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.IntN(2) == 0 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		g := graphs.Graph{N: n, Edges: edges}
+		f, err := GraphToPos2DNF(g)
+		if err != nil {
+			return false
+		}
+		// Count satisfying assignments through the Λ[2] compactor.
+		viaLambda, err := dnf.FromStandard(f).Count()
+		if err != nil {
+			return false
+		}
+		want := graphs.BruteForceSubsets(g, func(in []bool) bool {
+			return !graphs.IsIndependent(g, in)
+		})
+		return viaLambda.Cmp(want) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSATToCQAFOSmall(t *testing.T) {
+	// (x0 ∨ x1 ∨ x2) ∧ (!x0 ∨ !x1 ∨ !x2): #SAT = 6.
+	f := sat.CNF{NumVars: 3, Clauses: []sat.Clause{
+		{sat.Literal{Var: 0}, sat.Literal{Var: 1}, sat.Literal{Var: 2}},
+		{sat.Literal{Var: 0, Neg: true}, sat.Literal{Var: 1, Neg: true}, sat.Literal{Var: 2, Neg: true}},
+	}}
+	img, err := SATToCQAFO(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+	n, algo, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != "fo-enumeration" {
+		t.Fatalf("the SAT query must take the FO path, got %s", algo)
+	}
+	if n.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("#CQA = %s, want #SAT = 6", n)
+	}
+	if !in.HasRepairEntailing() {
+		t.Fatalf("decision: formula is satisfiable")
+	}
+}
+
+func TestSATToCQAFOUnsat(t *testing.T) {
+	f := sat.CNF{NumVars: 1, Clauses: []sat.Clause{
+		{sat.Literal{Var: 0}, sat.Literal{Var: 0}, sat.Literal{Var: 0}},
+		{sat.Literal{Var: 0, Neg: true}, sat.Literal{Var: 0, Neg: true}, sat.Literal{Var: 0, Neg: true}},
+	}}
+	img, err := SATToCQAFO(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+	n, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Sign() != 0 {
+		t.Fatalf("#CQA = %s, want 0 for unsatisfiable formula", n)
+	}
+	if in.HasRepairEntailing() {
+		t.Fatalf("decision must be false")
+	}
+}
+
+// Property (Theorems 3.2/3.3 mechanically verified): #CQA equals #3SAT on
+// random 3CNF formulas, and the decision versions agree.
+func TestSATReductionCountPreservingProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 91))
+		n := 2 + rng.IntN(3)
+		f := sat.CNF{NumVars: n}
+		for c := 0; c < 1+rng.IntN(4); c++ {
+			var cl sat.Clause
+			for j := 0; j < 3; j++ {
+				cl[j] = sat.Literal{Var: rng.IntN(n), Neg: rng.IntN(2) == 0}
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		want := f.CountSatisfying()
+		img, err := SATToCQAFO(f)
+		if err != nil {
+			return false
+		}
+		in := repairs.MustInstance(img.DB, img.Keys, img.Q)
+		got, _, err := in.CountExact()
+		if err != nil {
+			return false
+		}
+		if got.Cmp(want) != 0 {
+			t.Logf("seed %d: got %s want %s formula %+v", seed, got, want, f)
+			return false
+		}
+		return in.HasRepairEntailing() == f.Satisfiable()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

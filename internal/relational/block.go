@@ -1,0 +1,102 @@
+package relational
+
+import (
+	"sort"
+)
+
+// Block is a conflict block block_Σ(α, D): the set of facts of D sharing one
+// key value (paper §2.1). Facts is sorted in the canonical fact order, and a
+// repair keeps exactly one fact from each block.
+type Block struct {
+	Key   KeyValue
+	Facts []Fact
+}
+
+// Size returns the number of facts in the block.
+func (b Block) Size() int { return len(b.Facts) }
+
+// Index returns the position of f in the block, or -1.
+func (b Block) Index(f Fact) int {
+	c := f.Canonical()
+	for i, g := range b.Facts {
+		if g.Canonical() == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Blocks partitions D into its conflict blocks and returns them in the
+// lexicographic order ≺(D,Σ) over key values. This sequence B1,...,Bn is the
+// canonical block sequence used by Algorithms 1 and 2 of the paper; fixing
+// it is what makes distinct NTT computations produce distinct outputs.
+func Blocks(d *Database, ks *KeySet) []Block {
+	byKey := map[string]*Block{}
+	var order []string
+	for _, f := range d.FactsUnsorted() {
+		kv := ks.KeyValue(f)
+		ck := kv.Canonical()
+		blk, ok := byKey[ck]
+		if !ok {
+			blk = &Block{Key: kv}
+			byKey[ck] = blk
+			order = append(order, ck)
+		}
+		blk.Facts = append(blk.Facts, f)
+	}
+	out := make([]Block, 0, len(order))
+	for _, ck := range order {
+		blk := byKey[ck]
+		SortFacts(blk.Facts)
+		out = append(out, *blk)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out
+}
+
+// BlockOf returns the block of D containing facts with the same key value as
+// f (block_Σ(f, D)); the boolean is false when no fact of D has that key
+// value.
+func BlockOf(blocks []Block, ks *KeySet, f Fact) (Block, bool) {
+	target := ks.KeyValue(f).Canonical()
+	for _, b := range blocks {
+		if b.Key.Canonical() == target {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// BlockIndex builds a map from canonical key value to position in the block
+// sequence, for O(1) lookups in counting algorithms.
+func BlockIndex(blocks []Block) map[string]int {
+	idx := make(map[string]int, len(blocks))
+	for i, b := range blocks {
+		idx[b.Key.Canonical()] = i
+	}
+	return idx
+}
+
+// ConflictingFacts returns the facts of D that are in a conflict, i.e. whose
+// block has size greater than one.
+func ConflictingFacts(d *Database, ks *KeySet) []Fact {
+	var out []Fact
+	for _, b := range Blocks(d, ks) {
+		if b.Size() > 1 {
+			out = append(out, b.Facts...)
+		}
+	}
+	return out
+}
+
+// MaxBlockSize returns max_i |B_i| (0 for an empty database). This is the
+// quantity m in the paper's FPRAS sample bound t = (2+ε)m^k/ε²·ln(2/δ).
+func MaxBlockSize(blocks []Block) int {
+	m := 0
+	for _, b := range blocks {
+		if b.Size() > m {
+			m = b.Size()
+		}
+	}
+	return m
+}

@@ -1,0 +1,204 @@
+package relational
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// The text codec reads and writes databases plus key sets in a small
+// line-oriented format:
+//
+//	# comment
+//	key Employee 1
+//	Employee(1, Bob, HR)
+//	Employee(1, Bob, IT)
+//
+// Constants are bare identifiers/numbers or single-quoted strings with
+// backslash escapes. "key R m" declares key(R) = {1,...,m}.
+
+// ParseInstance reads a key set and database from r.
+func ParseInstance(r io.Reader) (*Database, *KeySet, error) {
+	db := MustDatabase()
+	ks := NewKeySet()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "key "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("relational: line %d: want 'key <pred> <width>', got %q", lineNo, line)
+			}
+			var w int
+			if _, err := fmt.Sscanf(fields[1], "%d", &w); err != nil {
+				return nil, nil, fmt.Errorf("relational: line %d: bad key width %q: %w", lineNo, fields[1], err)
+			}
+			if err := ks.Add(fields[0], w); err != nil {
+				return nil, nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		f, err := ParseFact(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+		}
+		if err := db.Add(f); err != nil {
+			return nil, nil, fmt.Errorf("relational: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("relational: read: %w", err)
+	}
+	if err := ks.Validate(db.Schema()); err != nil {
+		return nil, nil, err
+	}
+	return db, ks, nil
+}
+
+// ParseInstanceString is ParseInstance over a string.
+func ParseInstanceString(s string) (*Database, *KeySet, error) {
+	return ParseInstance(strings.NewReader(s))
+}
+
+// WriteInstance writes the key set followed by the database in the text
+// codec format; the output round-trips through ParseInstance.
+func WriteInstance(w io.Writer, d *Database, ks *KeySet) error {
+	if _, err := io.WriteString(w, ks.String()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, d.String())
+	return err
+}
+
+// ParseFact parses a single fact such as Employee(1, 'Bob Smith', HR).
+func ParseFact(s string) (Fact, error) {
+	p := &termParser{src: s}
+	f, err := p.fact()
+	if err != nil {
+		return Fact{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Fact{}, fmt.Errorf("relational: trailing input %q in fact %q", p.src[p.pos:], s)
+	}
+	return f, nil
+}
+
+// termParser is a tiny recursive-descent parser shared by the fact codec.
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *termParser) fact() (Fact, error) {
+	p.skipSpace()
+	pred, err := p.ident()
+	if err != nil {
+		return Fact{}, err
+	}
+	p.skipSpace()
+	if !p.eat('(') {
+		return Fact{}, fmt.Errorf("relational: expected '(' after predicate %s", pred)
+	}
+	var args []Const
+	p.skipSpace()
+	if p.eat(')') {
+		return Fact{Pred: pred, Args: args}, nil
+	}
+	for {
+		c, err := p.constant()
+		if err != nil {
+			return Fact{}, err
+		}
+		args = append(args, c)
+		p.skipSpace()
+		if p.eat(',') {
+			p.skipSpace()
+			continue
+		}
+		if p.eat(')') {
+			return Fact{Pred: pred, Args: args}, nil
+		}
+		return Fact{}, fmt.Errorf("relational: expected ',' or ')' at offset %d of %q", p.pos, p.src)
+	}
+}
+
+func (p *termParser) eat(b byte) bool {
+	if p.pos < len(p.src) && p.src[p.pos] == b {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *termParser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isBareRune(r) {
+			break
+		}
+		p.pos += size
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("relational: expected identifier at offset %d of %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *termParser) constant() (Const, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && (p.src[p.pos] == '\'' || p.src[p.pos] == '"') {
+		return p.quoted(p.src[p.pos])
+	}
+	s, err := p.ident()
+	if err != nil {
+		return "", fmt.Errorf("relational: expected constant at offset %d of %q", p.pos, p.src)
+	}
+	return Const(s), nil
+}
+
+func (p *termParser) quoted(q byte) (Const, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case q:
+			p.pos++
+			return Const(b.String()), nil
+		case '\\':
+			p.pos++
+			if p.pos >= len(p.src) {
+				return "", fmt.Errorf("relational: dangling escape in %q", p.src)
+			}
+			switch p.src[p.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(p.src[p.pos])
+			}
+			p.pos++
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", fmt.Errorf("relational: unterminated quoted constant in %q", p.src)
+}

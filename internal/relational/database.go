@@ -1,0 +1,165 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// Database is a finite set of facts over a schema (paper §2.1). Insertion
+// order is not significant; iteration helpers expose the canonical order.
+// The zero value is not ready to use; call NewDatabase.
+type Database struct {
+	facts []Fact
+	index map[string]int // Canonical() -> position in facts
+	arity Schema
+}
+
+// NewDatabase builds a database from the given facts, de-duplicating them.
+// It fails if a predicate is used with two different arities.
+func NewDatabase(facts ...Fact) (*Database, error) {
+	d := &Database{index: map[string]int{}, arity: Schema{}}
+	for _, f := range facts {
+		if err := d.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MustDatabase is NewDatabase that panics on error; for fixed test fixtures.
+func MustDatabase(facts ...Fact) *Database {
+	d, err := NewDatabase(facts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Add inserts a fact (a no-op if already present). It fails on an arity
+// clash with earlier facts of the same predicate.
+func (d *Database) Add(f Fact) error {
+	if ar, ok := d.arity[f.Pred]; ok && ar != len(f.Args) {
+		return fmt.Errorf("relational: predicate %s used with arities %d and %d", f.Pred, ar, len(f.Args))
+	}
+	k := f.Canonical()
+	if _, dup := d.index[k]; dup {
+		return nil
+	}
+	d.arity[f.Pred] = len(f.Args)
+	d.index[k] = len(d.facts)
+	d.facts = append(d.facts, f)
+	return nil
+}
+
+// Contains reports whether the fact is in the database.
+func (d *Database) Contains(f Fact) bool {
+	_, ok := d.index[f.Canonical()]
+	return ok
+}
+
+// Len returns the number of facts.
+func (d *Database) Len() int { return len(d.facts) }
+
+// Facts returns a copy of the facts in canonical sorted order.
+func (d *Database) Facts() []Fact {
+	out := make([]Fact, len(d.facts))
+	copy(out, d.facts)
+	return SortFacts(out)
+}
+
+// FactsUnsorted returns the facts in insertion order without copying.
+// Callers must not mutate the result.
+func (d *Database) FactsUnsorted() []Fact { return d.facts }
+
+// FactsFor returns the facts with the given predicate, canonically sorted.
+func (d *Database) FactsFor(pred string) []Fact {
+	var out []Fact
+	for _, f := range d.facts {
+		if f.Pred == pred {
+			out = append(out, f)
+		}
+	}
+	return SortFacts(out)
+}
+
+// Schema returns the inferred schema (predicate → arity). The result is a
+// copy.
+func (d *Database) Schema() Schema {
+	out := make(Schema, len(d.arity))
+	for p, a := range d.arity {
+		out[p] = a
+	}
+	return out
+}
+
+// Dom returns the active domain dom(D): the constants occurring in D, sorted
+// and de-duplicated.
+func (d *Database) Dom() []Const {
+	var cs []Const
+	for _, f := range d.facts {
+		cs = append(cs, f.Args...)
+	}
+	return ConstSlice(cs)
+}
+
+// Satisfies reports whether D is consistent with the key constraints
+// (D ⊨ Σ): no two distinct facts agree on a key value.
+func (d *Database) Satisfies(ks *KeySet) bool {
+	seen := make(map[string]string, len(d.facts))
+	for _, f := range d.facts {
+		kv := ks.KeyValue(f).Canonical()
+		if prev, ok := seen[kv]; ok && prev != f.Canonical() {
+			return false
+		}
+		seen[kv] = f.Canonical()
+	}
+	return true
+}
+
+// Clone returns an independent copy of the database.
+func (d *Database) Clone() *Database {
+	out := &Database{
+		facts: make([]Fact, len(d.facts)),
+		index: make(map[string]int, len(d.index)),
+		arity: make(Schema, len(d.arity)),
+	}
+	copy(out.facts, d.facts)
+	for k, v := range d.index {
+		out.index[k] = v
+	}
+	for p, a := range d.arity {
+		out.arity[p] = a
+	}
+	return out
+}
+
+// Union returns a new database containing the facts of both databases.
+func (d *Database) Union(other *Database) (*Database, error) {
+	out := d.Clone()
+	for _, f := range other.facts {
+		if err := out.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Subset builds a database from a subset of facts; it assumes the facts are
+// arity-consistent (they come from an existing database).
+func Subset(facts []Fact) *Database {
+	d, err := NewDatabase(facts...)
+	if err != nil {
+		panic(fmt.Sprintf("relational: Subset on inconsistent facts: %v", err))
+	}
+	return d
+}
+
+// String renders the database in the text codec format, facts in canonical
+// order, one per line.
+func (d *Database) String() string {
+	var b []byte
+	for _, f := range d.Facts() {
+		b = append(b, f.Canonical()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,146 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fact is an expression R(c1,...,cn) over a schema: a predicate applied to
+// constants (an atom without variables, paper §2.1).
+type Fact struct {
+	Pred string
+	Args []Const
+}
+
+// NewFact builds a fact. The arguments are copied.
+func NewFact(pred string, args ...Const) Fact {
+	cp := make([]Const, len(args))
+	copy(cp, args)
+	return Fact{Pred: pred, Args: cp}
+}
+
+// Arity returns the number of arguments of the fact.
+func (f Fact) Arity() int { return len(f.Args) }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Pred != g.Pred || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns an injective string encoding of the fact, suitable as a
+// map key. Quoting makes the encoding unambiguous for arbitrary constants.
+func (f Fact) Canonical() string {
+	var b strings.Builder
+	b.WriteString(f.Pred)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quoteConst(a))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the fact in the text codec format, e.g. Employee(1,Bob,HR).
+func (f Fact) String() string { return f.Canonical() }
+
+// Less imposes the canonical total order on facts: by predicate, then
+// argument-wise. It is used to order facts within a block deterministically,
+// which the paper's output-uniqueness argument for Algorithm 1 relies on.
+func (f Fact) Less(g Fact) bool {
+	if f.Pred != g.Pred {
+		return f.Pred < g.Pred
+	}
+	n := min(len(f.Args), len(g.Args))
+	for i := 0; i < n; i++ {
+		if f.Args[i] != g.Args[i] {
+			return f.Args[i] < g.Args[i]
+		}
+	}
+	return len(f.Args) < len(g.Args)
+}
+
+// SortFacts sorts facts into the canonical order in place and returns the
+// slice.
+func SortFacts(fs []Fact) []Fact {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	return fs
+}
+
+// FactsEqual reports whether two fact slices contain the same facts,
+// regardless of order.
+func FactsEqual(a, b []Fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	for _, f := range a {
+		seen[f.Canonical()]++
+	}
+	for _, f := range b {
+		k := f.Canonical()
+		seen[k]--
+		if seen[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyValue is the key value key_Σ(α) of a fact α (paper §2.1): the predicate
+// together with the key prefix of the arguments (the full argument list when
+// the predicate has no key in Σ). Facts with equal key values conflict.
+type KeyValue struct {
+	Pred string
+	Vals []Const
+}
+
+// Canonical returns an injective string encoding of the key value.
+func (k KeyValue) Canonical() string {
+	var b strings.Builder
+	b.WriteString(k.Pred)
+	b.WriteByte('[')
+	for i, v := range k.Vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quoteConst(v))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String renders the key value as ⟨R,⟨c1,...,cm⟩⟩ style text.
+func (k KeyValue) String() string {
+	parts := make([]string, len(k.Vals))
+	for i, v := range k.Vals {
+		parts[i] = quoteConst(v)
+	}
+	return fmt.Sprintf("<%s,<%s>>", k.Pred, strings.Join(parts, ","))
+}
+
+// Less imposes the lexicographic order ≺(D,Σ) on key values (paper §2.1):
+// by predicate name, then value-wise.
+func (k KeyValue) Less(other KeyValue) bool {
+	if k.Pred != other.Pred {
+		return k.Pred < other.Pred
+	}
+	n := min(len(k.Vals), len(other.Vals))
+	for i := 0; i < n; i++ {
+		if k.Vals[i] != other.Vals[i] {
+			return k.Vals[i] < other.Vals[i]
+		}
+	}
+	return len(k.Vals) < len(other.Vals)
+}

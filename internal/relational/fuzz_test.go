@@ -1,0 +1,63 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseInstance checks that the instance codec never panics and that
+// accepted instances round-trip through serialization.
+func FuzzParseInstance(f *testing.F) {
+	for _, seed := range []string{
+		"key Employee 1\nEmployee(1, Bob, HR)\nEmployee(1, Bob, IT)",
+		"# comment\nR(1)\n\nS('quoted value', 2)",
+		"key R 0\nR(a)\nR(b)",
+		"key R -1",
+		"R(",
+		"R(1) trailing",
+		"key R 1\nkey R 2",
+		"R('esc\\'aped')",
+		"R(⋆)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, ks, err := ParseInstanceString(src)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteInstance(&b, db, ks); err != nil {
+			t.Fatalf("serialize accepted instance: %v", err)
+		}
+		db2, ks2, err := ParseInstanceString(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of serialized instance failed: %v\n%s", err, b.String())
+		}
+		if db.String() != db2.String() || ks.String() != ks2.String() {
+			t.Fatalf("round trip changed instance:\n%q\nvs\n%q", db.String(), db2.String())
+		}
+	})
+}
+
+// FuzzParseFact checks fact parsing in isolation.
+func FuzzParseFact(f *testing.F) {
+	for _, seed := range []string{
+		"R(1,Bob,HR)", "R()", "R('a,b', 'c)d')", "R(⋆,⋆)", "R((", "R", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fact, err := ParseFact(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseFact(fact.Canonical())
+		if err != nil {
+			t.Fatalf("canonical form of accepted fact rejected: %q -> %q: %v", src, fact.Canonical(), err)
+		}
+		if !fact.Equal(back) {
+			t.Fatalf("canonical round trip changed fact: %v vs %v", fact, back)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KeySet is a set Σ of primary keys: at most one key per predicate, each of
+// the prefix form key(R) = {1,...,m} (paper §2.1, w.l.o.g.).
+type KeySet struct {
+	widths map[string]int
+}
+
+// NewKeySet builds an empty set of primary keys.
+func NewKeySet() *KeySet { return &KeySet{widths: map[string]int{}} }
+
+// Keys constructs a KeySet from predicate → key-width pairs. It is the
+// literal counterpart of writing Σ = { key(R) = {1,...,m}, ... }.
+func Keys(pairs map[string]int) *KeySet {
+	ks := NewKeySet()
+	for pred, w := range pairs {
+		ks.MustAdd(pred, w)
+	}
+	return ks
+}
+
+// Add declares key(pred) = {1,...,width}. It fails if the predicate already
+// has a key (Σ must be a set of *primary* keys) or if width is negative.
+func (ks *KeySet) Add(pred string, width int) error {
+	if width < 0 {
+		return fmt.Errorf("relational: key width for %s must be non-negative, got %d", pred, width)
+	}
+	if _, dup := ks.widths[pred]; dup {
+		return fmt.Errorf("relational: duplicate key for predicate %s (primary keys allow at most one key per predicate)", pred)
+	}
+	ks.widths[pred] = width
+	return nil
+}
+
+// MustAdd is Add that panics on error; intended for fixed, hand-written key
+// sets where a failure is a programming error.
+func (ks *KeySet) MustAdd(pred string, width int) {
+	if err := ks.Add(pred, width); err != nil {
+		panic(err)
+	}
+}
+
+// Width returns the key width of pred and whether Σ has a key for pred.
+func (ks *KeySet) Width(pred string) (int, bool) {
+	if ks == nil {
+		return 0, false
+	}
+	w, ok := ks.widths[pred]
+	return w, ok
+}
+
+// HasKey reports whether Σ contains an R-key for pred.
+func (ks *KeySet) HasKey(pred string) bool {
+	_, ok := ks.Width(pred)
+	return ok
+}
+
+// Predicates returns the predicates with a key, sorted.
+func (ks *KeySet) Predicates() []string {
+	if ks == nil {
+		return nil
+	}
+	out := make([]string, 0, len(ks.widths))
+	for p := range ks.widths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of key constraints in Σ.
+func (ks *KeySet) Len() int {
+	if ks == nil {
+		return 0
+	}
+	return len(ks.widths)
+}
+
+// Clone returns an independent copy of the key set.
+func (ks *KeySet) Clone() *KeySet {
+	out := NewKeySet()
+	if ks != nil {
+		for p, w := range ks.widths {
+			out.widths[p] = w
+		}
+	}
+	return out
+}
+
+// KeyValue returns key_Σ(f): the predicate plus the key prefix of the
+// arguments, or the full argument list when Σ has no key for the predicate
+// (paper §2.1).
+func (ks *KeySet) KeyValue(f Fact) KeyValue {
+	if w, ok := ks.Width(f.Pred); ok && w <= len(f.Args) {
+		return KeyValue{Pred: f.Pred, Vals: f.Args[:w]}
+	}
+	return KeyValue{Pred: f.Pred, Vals: f.Args}
+}
+
+// Conflict reports whether two facts violate Σ together: same key value but
+// not identical.
+func (ks *KeySet) Conflict(f, g Fact) bool {
+	if f.Pred != g.Pred {
+		return false
+	}
+	kf, kg := ks.KeyValue(f), ks.KeyValue(g)
+	if kf.Canonical() != kg.Canonical() {
+		return false
+	}
+	return !f.Equal(g)
+}
+
+// Validate checks the key set against a schema: every keyed predicate must
+// exist with arity at least the key width. (A key wider than the arity would
+// be vacuous; we reject it to surface specification bugs.)
+func (ks *KeySet) Validate(s Schema) error {
+	for _, p := range ks.Predicates() {
+		w, _ := ks.Width(p)
+		ar, ok := s[p]
+		if !ok {
+			continue // keys over predicates absent from the data are harmless
+		}
+		if w > ar {
+			return fmt.Errorf("relational: key(%s) = {1..%d} exceeds arity %d", p, w, ar)
+		}
+	}
+	return nil
+}
+
+// String renders Σ in the text codec format, one "key R m" line per key.
+func (ks *KeySet) String() string {
+	var b strings.Builder
+	for _, p := range ks.Predicates() {
+		w, _ := ks.Width(p)
+		fmt.Fprintf(&b, "key %s %d\n", p, w)
+	}
+	return b.String()
+}
+
+// Schema maps predicate names to arities. Schemas are inferred from data; a
+// predicate used with two different arities is a codec error.
+type Schema map[string]int

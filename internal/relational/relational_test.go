@@ -1,0 +1,520 @@
+package relational
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// employeeDB builds the database of Example 1.1 of the paper.
+func employeeDB(t testing.TB) (*Database, *KeySet) {
+	t.Helper()
+	db := MustDatabase(
+		NewFact("Employee", "1", "Bob", "HR"),
+		NewFact("Employee", "1", "Bob", "IT"),
+		NewFact("Employee", "2", "Alice", "IT"),
+		NewFact("Employee", "2", "Tim", "IT"),
+	)
+	ks := Keys(map[string]int{"Employee": 1})
+	return db, ks
+}
+
+func TestFactEqualityAndOrder(t *testing.T) {
+	a := NewFact("R", "1", "x")
+	b := NewFact("R", "1", "x")
+	c := NewFact("R", "1", "y")
+	if !a.Equal(b) {
+		t.Fatalf("equal facts reported unequal")
+	}
+	if a.Equal(c) {
+		t.Fatalf("distinct facts reported equal")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatalf("fact order broken: want %v < %v", a, c)
+	}
+	if a.Less(b) || b.Less(a) {
+		t.Fatalf("Less must be irreflexive on equal facts")
+	}
+	d := NewFact("Q", "9")
+	if !d.Less(a) {
+		t.Fatalf("predicate order broken: want Q < R")
+	}
+}
+
+func TestFactCanonicalInjective(t *testing.T) {
+	// Constants with separators must not collide in the canonical encoding.
+	a := NewFact("R", "a,b", "c")
+	b := NewFact("R", "a", "b,c")
+	if a.Canonical() == b.Canonical() {
+		t.Fatalf("canonical encoding is ambiguous: %q", a.Canonical())
+	}
+	c := NewFact("R", "a'b")
+	d := NewFact("R", `a\'b`)
+	if c.Canonical() == d.Canonical() {
+		t.Fatalf("canonical encoding is ambiguous under escapes: %q", c.Canonical())
+	}
+}
+
+func TestDatabaseDedupAndArity(t *testing.T) {
+	db := MustDatabase()
+	f := NewFact("R", "1")
+	if err := db.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("dedup failed: len=%d", db.Len())
+	}
+	if err := db.Add(NewFact("R", "1", "2")); err == nil {
+		t.Fatalf("arity clash not detected")
+	}
+}
+
+func TestKeySetBasics(t *testing.T) {
+	ks := NewKeySet()
+	if err := ks.Add("R", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Add("R", 2); err == nil {
+		t.Fatalf("duplicate key accepted; primary keys allow one key per predicate")
+	}
+	if err := ks.Add("S", -1); err == nil {
+		t.Fatalf("negative key width accepted")
+	}
+	if w, ok := ks.Width("R"); !ok || w != 1 {
+		t.Fatalf("Width(R) = %d,%v", w, ok)
+	}
+	if ks.HasKey("S") {
+		t.Fatalf("S should have no key")
+	}
+}
+
+func TestKeyValueAndConflict(t *testing.T) {
+	ks := Keys(map[string]int{"Employee": 1})
+	f := NewFact("Employee", "1", "Bob", "HR")
+	g := NewFact("Employee", "1", "Bob", "IT")
+	h := NewFact("Employee", "2", "Alice", "IT")
+	if kv := ks.KeyValue(f); kv.Pred != "Employee" || len(kv.Vals) != 1 || kv.Vals[0] != "1" {
+		t.Fatalf("key value wrong: %v", kv)
+	}
+	if !ks.Conflict(f, g) {
+		t.Fatalf("f and g must conflict")
+	}
+	if ks.Conflict(f, h) {
+		t.Fatalf("f and h must not conflict")
+	}
+	if ks.Conflict(f, f) {
+		t.Fatalf("a fact does not conflict with itself")
+	}
+	// Unkeyed predicate: key value is the whole tuple, so no conflicts.
+	unk := NewKeySet()
+	if unk.Conflict(f, g) {
+		t.Fatalf("unkeyed facts must not conflict")
+	}
+	if kv := unk.KeyValue(f); len(kv.Vals) != 3 {
+		t.Fatalf("unkeyed key value must be full tuple, got %v", kv)
+	}
+}
+
+func TestBlocksExampleOneOne(t *testing.T) {
+	db, ks := employeeDB(t)
+	blocks := Blocks(db, ks)
+	if len(blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(blocks))
+	}
+	if blocks[0].Size() != 2 || blocks[1].Size() != 2 {
+		t.Fatalf("want block sizes 2,2, got %d,%d", blocks[0].Size(), blocks[1].Size())
+	}
+	// Block order must follow key value order: Employee[1] before Employee[2].
+	if blocks[0].Key.Vals[0] != "1" || blocks[1].Key.Vals[0] != "2" {
+		t.Fatalf("blocks not in ≺ order: %v, %v", blocks[0].Key, blocks[1].Key)
+	}
+	if MaxBlockSize(blocks) != 2 {
+		t.Fatalf("MaxBlockSize = %d", MaxBlockSize(blocks))
+	}
+	if got := NumRepairsOfBlocks(blocks); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("want 4 repairs, got %s", got)
+	}
+}
+
+func TestRepairsEnumeration(t *testing.T) {
+	db, ks := employeeDB(t)
+	blocks := Blocks(db, ks)
+	seen := map[string]bool{}
+	for r := range Repairs(blocks) {
+		cp := make([]Fact, len(r))
+		copy(cp, r)
+		rd := Subset(cp)
+		if !rd.Satisfies(ks) {
+			t.Fatalf("repair %v violates Σ", rd)
+		}
+		if !IsRepairOf(rd, db, ks) {
+			t.Fatalf("enumerated repair %v is not a repair of D", rd)
+		}
+		seen[rd.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("want 4 distinct repairs, got %d", len(seen))
+	}
+}
+
+func TestRepairsEarlyStop(t *testing.T) {
+	db, ks := employeeDB(t)
+	blocks := Blocks(db, ks)
+	n := 0
+	for range Repairs(blocks) {
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("early break failed, n=%d", n)
+	}
+}
+
+func TestIsRepairOfRejectsNonMaximal(t *testing.T) {
+	db, ks := employeeDB(t)
+	// Only one fact: consistent but misses the Employee[2] block entirely.
+	sub := MustDatabase(NewFact("Employee", "1", "Bob", "HR"))
+	if IsRepairOf(sub, db, ks) {
+		t.Fatalf("non-maximal subset accepted as repair")
+	}
+	// A fact outside D is not a repair either.
+	out := MustDatabase(
+		NewFact("Employee", "1", "Bob", "Sales"),
+		NewFact("Employee", "2", "Tim", "IT"),
+	)
+	if IsRepairOf(out, db, ks) {
+		t.Fatalf("subset relation not enforced")
+	}
+}
+
+func TestConsistentDatabaseSingleRepair(t *testing.T) {
+	db := MustDatabase(
+		NewFact("R", "1", "a"),
+		NewFact("R", "2", "b"),
+	)
+	ks := Keys(map[string]int{"R": 1})
+	if !db.Satisfies(ks) {
+		t.Fatalf("consistent database reported inconsistent")
+	}
+	if got := NumRepairs(db, ks); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("consistent database must have exactly 1 repair, got %s", got)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := MustDatabase()
+	ks := NewKeySet()
+	if got := NumRepairs(db, ks); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty database has the empty repair only; got %s", got)
+	}
+	n := 0
+	for range Repairs(Blocks(db, ks)) {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("want exactly one (empty) repair, got %d", n)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	src := `
+# Example 1.1
+key Employee 1
+Employee(1, Bob, HR)
+Employee(1, Bob, IT)
+Employee(2, Alice, IT)
+Employee(2, 'Tim O''s friend', IT)
+`
+	// note: '' is not an escape; use backslash form instead
+	src = strings.ReplaceAll(src, "Tim O''s", `Tim O\'s`)
+	db, ks, err := ParseInstanceString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 4 {
+		t.Fatalf("want 4 facts, got %d", db.Len())
+	}
+	if w, ok := ks.Width("Employee"); !ok || w != 1 {
+		t.Fatalf("key lost in parse: %d %v", w, ok)
+	}
+	var b strings.Builder
+	if err := WriteInstance(&b, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	db2, ks2, err := ParseInstanceString(b.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\ntext:\n%s", err, b.String())
+	}
+	if db.String() != db2.String() || ks.String() != ks2.String() {
+		t.Fatalf("round trip changed instance:\n%s\nvs\n%s", db.String(), db2.String())
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	cases := []string{
+		"key R",            // missing width
+		"key R x",          // bad width
+		"R(1",              // unterminated
+		"R(1) extra",       // trailing
+		"key R 1\nkey R 2", // duplicate key
+		"R('abc)",          // unterminated quote
+	}
+	for _, src := range cases {
+		if _, _, err := ParseInstanceString(src); err == nil {
+			t.Errorf("ParseInstanceString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseFactQuoting(t *testing.T) {
+	f := NewFact("R", "a b", "c'd", `e\f`, "⋆")
+	g, err := ParseFact(f.Canonical())
+	if err != nil {
+		t.Fatalf("parse %q: %v", f.Canonical(), err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("round trip changed fact: %v vs %v", f, g)
+	}
+}
+
+// Property: for random databases, the number of enumerated repairs equals
+// ∏|B_i|, every repair is consistent and maximal, and all are distinct.
+func TestRepairInvariantsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		db := MustDatabase()
+		nBlocks := 1 + rng.IntN(5)
+		for b := 0; b < nBlocks; b++ {
+			sz := 1 + rng.IntN(3)
+			for j := 0; j < sz; j++ {
+				db.Add(NewFact("R", IntConst(b), IntConst(j)))
+			}
+		}
+		// A second, unkeyed predicate: always certain.
+		for j := 0; j < rng.IntN(3); j++ {
+			db.Add(NewFact("S", IntConst(j)))
+		}
+		ks := Keys(map[string]int{"R": 1})
+		blocks := Blocks(db, ks)
+		want := NumRepairsOfBlocks(blocks)
+		seen := map[string]bool{}
+		for r := range Repairs(blocks) {
+			cp := make([]Fact, len(r))
+			copy(cp, r)
+			rd := Subset(cp)
+			if !IsRepairOf(rd, db, ks) {
+				return false
+			}
+			seen[rd.String()] = true
+		}
+		return big.NewInt(int64(len(seen))).Cmp(want) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fact canonical encoding is injective on random facts.
+func TestCanonicalInjectiveProperty(t *testing.T) {
+	prop := func(p1, p2 string, a1, a2 []string) bool {
+		if p1 == "" || p2 == "" {
+			return true
+		}
+		toFact := func(p string, args []string) Fact {
+			cs := make([]Const, len(args))
+			for i, s := range args {
+				cs[i] = Const(s)
+			}
+			return Fact{Pred: p, Args: cs}
+		}
+		f, g := toFact(p1, a1), toFact(p2, a2)
+		if f.Equal(g) {
+			return f.Canonical() == g.Canonical()
+		}
+		return f.Canonical() != g.Canonical()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRepairUniform(t *testing.T) {
+	db, ks := employeeDB(t)
+	blocks := Blocks(db, ks)
+	rng := rand.New(rand.NewPCG(7, 9))
+	counts := map[string]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		r := RandomRepair(blocks, func(_, n int) int { return rng.IntN(n) })
+		cp := make([]Fact, len(r))
+		copy(cp, r)
+		counts[Subset(cp).String()]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("want 4 distinct repairs sampled, got %d", len(counts))
+	}
+	for k, c := range counts {
+		// Each repair has probability 1/4; allow generous slack.
+		if c < trials/8 || c > trials/2 {
+			t.Fatalf("repair %q sampled %d/%d times; far from uniform", k, c, trials)
+		}
+	}
+}
+
+func TestDomAndSchema(t *testing.T) {
+	db, _ := employeeDB(t)
+	dom := db.Dom()
+	want := []Const{"1", "2", "Alice", "Bob", "HR", "IT", "Tim"}
+	if len(dom) != len(want) {
+		t.Fatalf("dom = %v", dom)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("dom[%d] = %q, want %q", i, dom[i], want[i])
+		}
+	}
+	sch := db.Schema()
+	if sch["Employee"] != 3 {
+		t.Fatalf("schema arity wrong: %v", sch)
+	}
+}
+
+func TestBlockOfAndIndex(t *testing.T) {
+	db, ks := employeeDB(t)
+	blocks := Blocks(db, ks)
+	f := NewFact("Employee", "2", "Zed", "X") // same key value as block 2
+	b, ok := BlockOf(blocks, ks, f)
+	if !ok || b.Key.Vals[0] != "2" {
+		t.Fatalf("BlockOf failed: %v %v", b, ok)
+	}
+	if _, ok := BlockOf(blocks, ks, NewFact("Employee", "3", "q", "r")); ok {
+		t.Fatalf("BlockOf found a block for an absent key value")
+	}
+	idx := BlockIndex(blocks)
+	if len(idx) != 2 {
+		t.Fatalf("BlockIndex size %d", len(idx))
+	}
+	if b.Index(NewFact("Employee", "2", "Alice", "IT")) == -1 {
+		t.Fatalf("Block.Index failed to find member")
+	}
+	if b.Index(NewFact("Employee", "2", "Nobody", "IT")) != -1 {
+		t.Fatalf("Block.Index found a non-member")
+	}
+}
+
+func TestDatabaseCloneAndUnion(t *testing.T) {
+	db, ks := employeeDB(t)
+	cp := db.Clone()
+	if cp.Len() != db.Len() {
+		t.Fatalf("clone lost facts")
+	}
+	if err := cp.Add(NewFact("Employee", "3", "Zed", "Ops")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Contains(NewFact("Employee", "3", "Zed", "Ops")) {
+		t.Fatalf("clone aliases the original")
+	}
+	other := MustDatabase(NewFact("Dept", "HR"), NewFact("Employee", "1", "Bob", "HR"))
+	u, err := db.Union(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != db.Len()+1 { // the shared fact deduplicates
+		t.Fatalf("union size %d, want %d", u.Len(), db.Len()+1)
+	}
+	// Arity clash across the union fails.
+	bad := MustDatabase(NewFact("Employee", "1"))
+	if _, err := db.Union(bad); err == nil {
+		t.Fatalf("arity clash in union not detected")
+	}
+	// Clone of key set is independent too.
+	kcp := ks.Clone()
+	kcp.MustAdd("Dept", 1)
+	if ks.HasKey("Dept") {
+		t.Fatalf("key set clone aliases the original")
+	}
+	if ks.Len() != 1 || kcp.Len() != 2 {
+		t.Fatalf("key set lens wrong: %d %d", ks.Len(), kcp.Len())
+	}
+}
+
+func TestFactsForAndAccessors(t *testing.T) {
+	db, _ := employeeDB(t)
+	fs := db.FactsFor("Employee")
+	if len(fs) != 4 {
+		t.Fatalf("FactsFor = %d facts", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Less(fs[i-1]) {
+			t.Fatalf("FactsFor not sorted")
+		}
+	}
+	if len(db.FactsFor("Missing")) != 0 {
+		t.Fatalf("FactsFor on absent predicate")
+	}
+	f := fs[0]
+	if f.Arity() != 3 {
+		t.Fatalf("Arity = %d", f.Arity())
+	}
+	if f.String() != f.Canonical() {
+		t.Fatalf("String and Canonical diverge")
+	}
+	kv := Keys(map[string]int{"Employee": 1}).KeyValue(f)
+	if kv.String() != "<Employee,<1>>" {
+		t.Fatalf("KeyValue.String = %q", kv.String())
+	}
+}
+
+func TestFactsEqual(t *testing.T) {
+	a := []Fact{NewFact("R", "1"), NewFact("R", "2")}
+	b := []Fact{NewFact("R", "2"), NewFact("R", "1")}
+	if !FactsEqual(a, b) {
+		t.Fatalf("order must not matter")
+	}
+	if FactsEqual(a, a[:1]) {
+		t.Fatalf("length mismatch accepted")
+	}
+	if FactsEqual(a, []Fact{NewFact("R", "1"), NewFact("R", "3")}) {
+		t.Fatalf("different facts accepted")
+	}
+	// Multiset semantics: duplicates must be matched one-for-one.
+	if FactsEqual([]Fact{NewFact("R", "1"), NewFact("R", "1")}, a) {
+		t.Fatalf("multiset semantics violated")
+	}
+}
+
+func TestRepairDatabases(t *testing.T) {
+	db, ks := employeeDB(t)
+	n := 0
+	for rd := range RepairDatabases(db, ks) {
+		n++
+		if !IsRepairOf(rd, db, ks) {
+			t.Fatalf("RepairDatabases yielded non-repair")
+		}
+		if n == 3 {
+			break // early stop works
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early stop failed, n=%d", n)
+	}
+}
+
+func TestConflictingFacts(t *testing.T) {
+	db, ks := employeeDB(t)
+	if got := len(ConflictingFacts(db, ks)); got != 4 {
+		t.Fatalf("all 4 facts are in conflicts, got %d", got)
+	}
+	db2 := MustDatabase(NewFact("R", "1", "a"), NewFact("R", "2", "b"))
+	if got := len(ConflictingFacts(db2, Keys(map[string]int{"R": 1}))); got != 0 {
+		t.Fatalf("consistent database has no conflicts, got %d", got)
+	}
+}

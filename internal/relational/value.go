@@ -1,0 +1,97 @@
+// Package relational implements the relational substrate of the paper
+// "Counting Database Repairs under Primary Keys Revisited" (PODS 2019):
+// constants, facts, schemas, primary-key constraints, databases, conflict
+// blocks and repairs.
+//
+// Terminology follows the paper (§2.1). A database is a finite set of facts.
+// A key constraint key(R) = {1,...,m} states that the first m attributes of R
+// form the key (the paper's w.l.o.g. prefix form). A set of primary keys has
+// at most one key per predicate. A repair of an inconsistent database D is a
+// maximal subset of D that is consistent; under primary keys a repair keeps
+// exactly one fact from each conflict block.
+package relational
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Const is a database constant, drawn from the countably infinite set C of
+// the paper. Constants compare by string value.
+type Const string
+
+// Star is the auxiliary padding constant "⋆" used by the Theorem 5.1
+// hardness reduction (Section 5.1 of the paper).
+const Star Const = "⋆"
+
+// quoteConst renders a constant in the text codec: bare if it is a plain
+// identifier or number, single-quoted otherwise.
+func quoteConst(c Const) string {
+	if isBareConst(string(c)) {
+		return string(c)
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range string(c) {
+		switch r {
+		case '\'', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// isBareConst reports whether s can appear unquoted in the text codec.
+func isBareConst(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isBareRune(r) {
+			return false
+		}
+	}
+	// Avoid collisions with keywords of the query surface syntax so that the
+	// same term lexer can be reused for databases and queries.
+	switch s {
+	case "exists", "forall", "not", "and", "or", "true", "false":
+		return false
+	}
+	return true
+}
+
+func isBareRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '_', r == '-', r == '.', r == '⋆':
+		return true
+	}
+	return false
+}
+
+// ConstSlice sorts and de-duplicates a slice of constants in place and
+// returns it. It is used for canonical active-domain computations.
+func ConstSlice(cs []Const) []Const {
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	out := cs[:0]
+	for i, c := range cs {
+		if i == 0 || cs[i-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IntConst converts an integer into a constant, e.g. IntConst(7) == "7".
+// Workload generators and reductions use it for synthetic domains.
+func IntConst(i int) Const { return Const(strconv.Itoa(i)) }

@@ -1,0 +1,130 @@
+package repairs
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// This file implements the small certificates of the guess-check-expand
+// view of #CQA (paper §4.1): a certificate is a pair (Q', h) where Q' is a
+// disjunct of the UCQ and h a homomorphism with h(Q') ⊆ D and h(Q') ⊨ Σ.
+// Each certificate determines an ℓ-selector over the block sequence: block
+// B_i is pinned to R(t̄) iff h(Q') ∩ B_i = {R(t̄)} and Σ has an R-key.
+
+// Certificate is one (disjunct, homomorphism) witness.
+type Certificate struct {
+	Disjunct int
+	H        eval.Binding
+}
+
+// Certificates enumerates all certificates of the instance in a
+// deterministic order (disjunct order × homomorphism order). The binding in
+// the yielded certificate is cloned and safe to retain.
+func (in *Instance) Certificates() iter.Seq[Certificate] {
+	return func(yield func(Certificate) bool) {
+		if !in.IsEP {
+			return
+		}
+		for qi, q := range in.UCQ.Disjuncts {
+			for h := range eval.ConsistentHoms(q, in.Idx, in.Keys) {
+				if !yield(Certificate{Disjunct: qi, H: h.Clone()}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// BlockDomains renders the block sequence B1,...,Bn as core solution
+// domains: domain i is block i, its elements the canonical fact encodings
+// in block order.
+func BlockDomains(blocks []relational.Block) []core.Domain {
+	doms := make([]core.Domain, len(blocks))
+	for i, b := range blocks {
+		elems := make([]core.Element, len(b.Facts))
+		for j, f := range b.Facts {
+			elems[j] = core.Element(f.Canonical())
+		}
+		doms[i] = core.Domain{Name: b.Key.Canonical(), Elems: elems}
+	}
+	return doms
+}
+
+// Domains memoizes the block domains of the instance.
+func (in *Instance) Domains() []core.Domain {
+	if in.domsMemo == nil {
+		in.domsMemo = BlockDomains(in.Blocks)
+	}
+	return in.domsMemo
+}
+
+// SelectorFor computes the ℓ-selector σ_(Q',h) over the block sequence for
+// a certificate: the pairs (i, R(t̄)) with h(Q') ∩ B_i = {R(t̄)} and Σ
+// having an R-key.
+func (in *Instance) SelectorFor(c Certificate) core.Selector {
+	blockIdx := in.blockIndex()
+	q := in.UCQ.Disjuncts[c.Disjunct]
+	img := eval.Image(q, c.H)
+	var sel core.Selector
+	seen := map[int]bool{}
+	for _, f := range img {
+		if !in.Keys.HasKey(f.Pred) {
+			continue
+		}
+		i := blockIdx[in.Keys.KeyValue(f).Canonical()]
+		if seen[i] {
+			// h(Q') ⊨ Σ guarantees at most one fact per block, so a repeat
+			// is necessarily the same fact.
+			continue
+		}
+		seen[i] = true
+		sel = append(sel, core.Pin{Index: i, Elem: core.Element(f.Canonical())})
+	}
+	s, err := core.NewSelector(in.Domains(), sel...)
+	if err != nil {
+		panic("repairs: certificate produced invalid selector: " + err.Error())
+	}
+	return s
+}
+
+// blockIndex memoizes the key-value → block-position map.
+func (in *Instance) blockIndex() map[string]int {
+	if in.blockIdxMemo == nil {
+		in.blockIdxMemo = relational.BlockIndex(in.Blocks)
+	}
+	return in.blockIdxMemo
+}
+
+// CertificateBoxes materializes the distinct boxes of all certificates.
+func (in *Instance) CertificateBoxes() []core.Selector {
+	var sels []core.Selector
+	for c := range in.Certificates() {
+		sels = append(sels, in.SelectorFor(c))
+	}
+	return core.SortSelectors(core.DedupeSelectors(sels))
+}
+
+// CountIE computes #CQA by inclusion–exclusion over the certificate boxes:
+// the number of repairs entailing Q is |⋃_(Q',h) [B1..Bn]_σ(Q',h)| (§4.1).
+func (in *Instance) CountIE(budget int) (*big.Int, error) {
+	if !in.IsEP {
+		return nil, fmt.Errorf("repairs: CountIE needs an existential positive query, have %s", in.Q)
+	}
+	return core.CountUnionIE(in.Domains(), in.CertificateBoxes(), budget)
+}
+
+// CountLambda1 computes #CQA through the Λ[1] closed form (Theorem 4.4(1)
+// made executable): for keywidth ≤ 1 every certificate box pins at most
+// one block, and the union is |U| − ∏(|B_i| − #pinned facts of B_i),
+// a linear-time product. It fails when some box pins several blocks.
+func (in *Instance) CountLambda1() (*big.Int, error) {
+	if !in.IsEP {
+		return nil, fmt.Errorf("repairs: CountLambda1 needs an existential positive query, have %s", in.Q)
+	}
+	return core.CountUnionOnePin(in.Domains(), in.CertificateBoxes())
+}

@@ -1,0 +1,61 @@
+package repairs
+
+import (
+	"math/rand/v2"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// HasRepairEntailing decides #CQA>0: is there a repair entailing Q?
+//
+// For existential positive queries this is the logspace procedure of
+// Theorem 3.4, justified by Lemma 3.5: a repair entailing the UCQ exists
+// iff some disjunct Q_i has a homomorphism h with h(Q_i) ⊆ D and
+// h(Q_i) ⊨ Σ. Only the polynomial certificate space is searched.
+//
+// For arbitrary FO queries the problem is NP-complete (Theorem 3.2); we
+// fall back to exhaustive search over repairs.
+func (in *Instance) HasRepairEntailing() bool {
+	if in.IsEP {
+		for _, q := range in.UCQ.Disjuncts {
+			if eval.HasConsistentHom(q, in.Idx, in.Keys) {
+				return true
+			}
+		}
+		return false
+	}
+	for facts := range relational.Repairs(in.Blocks) {
+		if eval.EvalBoolean(in.Q, eval.NewIndex(facts)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apx runs the Theorem 6.2 FPRAS on the instance via the Algorithm 2
+// compactor: Pr(|Apx − #CQA| ≤ ε·#CQA) ≥ 1−δ.
+func (in *Instance) Apx(eps, delta float64, rng *rand.Rand) (core.Estimate, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return c.Apx(eps, delta, rng)
+}
+
+// ApxWithSamples runs the Algorithm 3 estimator with an explicit budget.
+func (in *Instance) ApxWithSamples(t int, rng *rand.Rand) (core.Estimate, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return c.ApxWithSamples(t, rng)
+}
+
+// KarpLuby runs the [5]-style estimator over the certificate boxes (the
+// complex sample space discussed at the end of §6).
+func (in *Instance) KarpLuby(t int, rng *rand.Rand) (core.Estimate, error) {
+	boxes := in.CertificateBoxes()
+	return core.KarpLuby(in.Domains(), boxes, t, rng)
+}

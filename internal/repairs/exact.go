@@ -1,0 +1,83 @@
+package repairs
+
+import (
+	"fmt"
+	"math/big"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// This file implements the brute-force exact counters. They are
+// exponential in the number of (relevant) blocks — which is exactly what
+// the paper's hardness results predict for the general case — and serve as
+// ground truth for every other algorithm in the repository.
+
+// ErrBudget is returned when an exact counter would exceed its work budget.
+var ErrBudget = fmt.Errorf("repairs: exact count exceeds work budget")
+
+// DefaultEnumBudget bounds the number of (partial) repairs an enumeration
+// counter will evaluate.
+const DefaultEnumBudget = 4_000_000
+
+// CountEnumUCQ counts repairs entailing the UCQ by enumerating choices over
+// the *relevant* blocks only — blocks whose predicate occurs in the query —
+// and multiplying by the number of choices over irrelevant blocks. UCQ
+// truth depends only on facts whose predicate occurs in the query, so the
+// factoring is exact. budget ≤ 0 selects DefaultEnumBudget.
+func (in *Instance) CountEnumUCQ(budget int) (*big.Int, error) {
+	if !in.IsEP {
+		return nil, fmt.Errorf("repairs: CountEnumUCQ needs an existential positive query, have %s", in.Q)
+	}
+	if budget <= 0 {
+		budget = DefaultEnumBudget
+	}
+	relevant := map[string]bool{}
+	for _, p := range in.UCQ.Predicates() {
+		relevant[p] = true
+	}
+	var relBlocks, irrBlocks []relational.Block
+	for _, b := range in.Blocks {
+		if relevant[b.Key.Pred] {
+			relBlocks = append(relBlocks, b)
+		} else {
+			irrBlocks = append(irrBlocks, b)
+		}
+	}
+	outer := relational.NumRepairsOfBlocks(irrBlocks)
+	inner := relational.NumRepairsOfBlocks(relBlocks)
+	if !inner.IsInt64() || inner.Int64() > int64(budget) {
+		return nil, ErrBudget
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	for facts := range relational.Repairs(relBlocks) {
+		idx := eval.NewIndex(facts)
+		if eval.EvalUCQ(in.UCQ, idx) {
+			count.Add(count, one)
+		}
+	}
+	return count.Mul(count, outer), nil
+}
+
+// CountEnumFO counts repairs entailing an arbitrary FO query by exhaustive
+// enumeration of rep(D,Σ), evaluating Q on each repair under active-domain
+// semantics. budget ≤ 0 selects DefaultEnumBudget.
+func (in *Instance) CountEnumFO(budget int) (*big.Int, error) {
+	if budget <= 0 {
+		budget = DefaultEnumBudget
+	}
+	total := in.TotalRepairs()
+	if !total.IsInt64() || total.Int64() > int64(budget) {
+		return nil, ErrBudget
+	}
+	count := new(big.Int)
+	one := big.NewInt(1)
+	for facts := range relational.Repairs(in.Blocks) {
+		idx := eval.NewIndex(facts)
+		if eval.EvalBoolean(in.Q, idx) {
+			count.Add(count, one)
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,85 @@
+package repairs
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+func TestParallelMatchesSequentialExample(t *testing.T) {
+	in := exampleInstance(t)
+	seq, err := in.CountEnumUCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		par, err := in.CountEnumUCQParallel(0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Cmp(seq) != 0 {
+			t.Fatalf("workers=%d: parallel %s vs sequential %s", workers, par, seq)
+		}
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	// No relevant blocks at all: the UCQ is false on the empty index.
+	db := relational.MustDatabase(
+		relational.NewFact("Noise", "1", "a"),
+		relational.NewFact("Noise", "1", "b"),
+	)
+	ks := relational.Keys(map[string]int{"Noise": 1, "R": 1})
+	in := MustInstance(db, ks, query.MustParse("exists x . R(x, 'a')"))
+	par, err := in.CountEnumUCQParallel(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Sign() != 0 {
+		t.Fatalf("count = %s, want 0", par)
+	}
+	// FO query is rejected.
+	foIn := MustInstance(db, ks, query.MustParse("!Noise('1', 'a')"))
+	if _, err := foIn.CountEnumUCQParallel(0, 2); err == nil {
+		t.Fatalf("FO query accepted by parallel UCQ counter")
+	}
+	// Budget applies.
+	big1, ks1 := bigPairs(14)
+	bin := MustInstance(big1, ks1, query.MustParse("exists x . P(x, 'a')"))
+	if _, err := bin.CountEnumUCQParallel(100, 2); err != ErrBudget {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func bigPairs(n int) (*relational.Database, *relational.KeySet) {
+	db := relational.MustDatabase()
+	for i := 0; i < n; i++ {
+		db.Add(relational.NewFact("P", relational.IntConst(i), "a"))
+		db.Add(relational.NewFact("P", relational.IntConst(i), "b"))
+	}
+	return db, relational.Keys(map[string]int{"P": 1})
+}
+
+// Property: parallel and sequential enumeration agree on random instances
+// and random worker counts.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	prop := func(seed uint64, w uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 163))
+		in := randomEPInstance(rng)
+		seq, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return false
+		}
+		par, err := in.CountEnumUCQParallel(0, 1+int(w%7))
+		if err != nil {
+			return false
+		}
+		return par.Cmp(seq) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

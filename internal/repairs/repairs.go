@@ -1,0 +1,163 @@
+// Package repairs implements the paper's central problem #CQA(Q,Σ):
+// counting the repairs of a database D w.r.t. a set Σ of primary keys that
+// entail a Boolean query Q. It provides:
+//
+//   - two independent exact counters (block enumeration with
+//     irrelevant-block factoring, and inclusion–exclusion over certificate
+//     boxes), plus a full-FO enumeration counter;
+//   - the logspace decision procedure for #CQA>0(∃FO⁺) via Lemma 3.5;
+//   - Algorithm 2: the k-compactor M(Q,Σ) placing #CQA(Q,Σ) in Λ[kw(Q,Σ)]
+//     (Theorem 5.1 membership), which also plugs into the Section 6 FPRAS;
+//   - a safe-plan polynomial-time counter for the tractable side of the
+//     Maslowski–Wijsen dichotomy on self-join-free conjunctive queries;
+//   - relative frequency (the motivation of §1.1).
+package repairs
+
+import (
+	"fmt"
+	"iter"
+	"math/big"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Instance bundles one #CQA(Q,Σ) input: the fixed query and keys plus the
+// input database, with derived structures (blocks, index) computed once.
+type Instance struct {
+	DB     *relational.Database
+	Keys   *relational.KeySet
+	Q      query.Formula
+	Blocks []relational.Block
+	Idx    *eval.Index
+
+	// UCQ is the rewriting of Q when Q ∈ ∃FO⁺ (nil disjuncts slice is a
+	// valid UCQ: false); IsEP records whether the rewriting applies.
+	UCQ  query.UCQ
+	IsEP bool
+
+	blockIdxMemo map[string]int
+	domsMemo     []core.Domain
+}
+
+// NewInstance prepares an instance. Boolean queries only; substitute the
+// tuple t̄ into a non-Boolean query first (the paper reduces to the Boolean
+// case the same way).
+func NewInstance(db *relational.Database, ks *relational.KeySet, q query.Formula) (*Instance, error) {
+	if fv := query.FreeVars(q); len(fv) > 0 {
+		return nil, fmt.Errorf("repairs: query has free variables %v; substitute a tuple first", fv)
+	}
+	if err := ks.Validate(db.Schema()); err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		DB:     db,
+		Keys:   ks,
+		Q:      q,
+		Blocks: relational.Blocks(db, ks),
+		Idx:    eval.IndexDatabase(db),
+	}
+	if query.IsExistentialPositive(q) {
+		u, err := query.ToUCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		// Minimization drops subsumed disjuncts, shrinking the certificate
+		// space of Algorithm 2 without changing any count.
+		inst.UCQ = eval.MinimizeUCQ(u)
+		inst.IsEP = true
+	}
+	return inst, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(db *relational.Database, ks *relational.KeySet, q query.Formula) *Instance {
+	inst, err := NewInstance(db, ks, q)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// TotalRepairs returns |rep(D,Σ)| = ∏|B_i| (computable in FP, §1.1).
+func (in *Instance) TotalRepairs() *big.Int {
+	return relational.NumRepairsOfBlocks(in.Blocks)
+}
+
+// Keywidth returns kw(Q,Σ) for the instance's query (over the UCQ rewriting
+// when it exists, else over the formula).
+func (in *Instance) Keywidth() int {
+	if in.IsEP {
+		return query.KeywidthUCQ(in.UCQ, in.Keys)
+	}
+	return query.Keywidth(in.Q, in.Keys)
+}
+
+// CountExact computes #CQA(Q,Σ)(D) with the best available exact
+// algorithm: the safe plan when it applies, else certificate
+// inclusion–exclusion, else block enumeration; UCQ inputs avoid full FO
+// evaluation. It returns the algorithm used for reporting.
+func (in *Instance) CountExact() (*big.Int, string, error) {
+	if in.IsEP {
+		if n, ok := in.CountSafePlan(); ok {
+			return n, "safeplan", nil
+		}
+		if in.Keywidth() <= 1 {
+			if n, err := in.CountLambda1(); err == nil {
+				return n, "lambda1-closed-form", nil
+			}
+		}
+		if n, err := in.CountIE(0); err == nil {
+			return n, "inclusion-exclusion", nil
+		}
+		n, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return nil, "", err
+		}
+		return n, "enumeration", nil
+	}
+	n, err := in.CountEnumFO(0)
+	if err != nil {
+		return nil, "", err
+	}
+	return n, "fo-enumeration", nil
+}
+
+// EntailingRepairs iterates the repairs that entail Q, in the canonical
+// block order, as fact slices (one fact per block, reused across
+// iterations — copy to retain). It enumerates the full repair space and is
+// meant for inspection of small instances; counting uses the dedicated
+// algorithms.
+func (in *Instance) EntailingRepairs() iter.Seq[[]relational.Fact] {
+	return func(yield func([]relational.Fact) bool) {
+		for facts := range relational.Repairs(in.Blocks) {
+			idx := eval.NewIndex(facts)
+			var holds bool
+			if in.IsEP {
+				holds = eval.EvalUCQ(in.UCQ, idx)
+			} else {
+				holds = eval.EvalBoolean(in.Q, idx)
+			}
+			if holds && !yield(facts) {
+				return
+			}
+		}
+	}
+}
+
+// RelativeFrequency returns #CQA / |rep| as an exact rational (the measure
+// motivating the counting problem, §1.1). The boolean is false when the
+// database has no repairs (impossible: every database has ≥ 1 repair).
+func (in *Instance) RelativeFrequency() (*big.Rat, error) {
+	n, _, err := in.CountExact()
+	if err != nil {
+		return nil, err
+	}
+	total := in.TotalRepairs()
+	if total.Sign() == 0 {
+		return nil, fmt.Errorf("repairs: database has no repairs")
+	}
+	return new(big.Rat).SetFrac(n, total), nil
+}

@@ -1,0 +1,500 @@
+package repairs
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// exampleInstance is Example 1.1 of the paper: 4 facts, 2 blocks, 4
+// repairs, 2 of which entail the "same department" query.
+func exampleInstance(t testing.TB) *Instance {
+	t.Helper()
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+		relational.NewFact("Employee", "2", "Alice", "IT"),
+		relational.NewFact("Employee", "2", "Tim", "IT"),
+	)
+	ks := relational.Keys(map[string]int{"Employee": 1})
+	q := query.MustParse("exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+	return MustInstance(db, ks, q)
+}
+
+func TestExampleOneOne(t *testing.T) {
+	in := exampleInstance(t)
+	if got := in.TotalRepairs(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("total repairs = %s, want 4", got)
+	}
+	n, algo, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("#CQA = %s (algo %s), want 2", n, algo)
+	}
+	freq, err := in.RelativeFrequency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("relative frequency = %s, want 1/2", freq)
+	}
+	if !in.HasRepairEntailing() {
+		t.Fatalf("decision must be true")
+	}
+	if in.Keywidth() != 2 {
+		t.Fatalf("kw = %d, want 2", in.Keywidth())
+	}
+}
+
+func TestExampleAllExactAlgorithmsAgree(t *testing.T) {
+	in := exampleInstance(t)
+	want := big.NewInt(2)
+	enum, err := in.CountEnumUCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie, err := in.CountIE(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := in.CountCompactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := in.CountEnumFO(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*big.Int{"enum": enum, "ie": ie, "compactor": comp, "fo": fo} {
+		if got.Cmp(want) != 0 {
+			t.Errorf("%s = %s, want 2", name, got)
+		}
+	}
+}
+
+func TestCompactorIsValidKCompactor(t *testing.T) {
+	in := exampleInstance(t)
+	c, err := in.Compactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 {
+		t.Fatalf("compactor K = %d, want kw = 2", c.K)
+	}
+	if c.EffectiveK() > c.K {
+		t.Fatalf("effective selector length %d exceeds K", c.EffectiveK())
+	}
+}
+
+func TestNonBooleanRejected(t *testing.T) {
+	db := relational.MustDatabase(relational.NewFact("R", "1"))
+	if _, err := NewInstance(db, relational.NewKeySet(), query.MustParse("R(x)")); err == nil {
+		t.Fatalf("free variable accepted")
+	}
+}
+
+func TestTupleSubstitutionWorkflow(t *testing.T) {
+	// Non-Boolean query answered per tuple, as the paper reduces it.
+	db := relational.MustDatabase(
+		relational.NewFact("Employee", "1", "Bob", "HR"),
+		relational.NewFact("Employee", "1", "Bob", "IT"),
+	)
+	ks := relational.Keys(map[string]int{"Employee": 1})
+	q := query.MustParse("exists n . Employee(1, n, d)")
+	for _, tc := range []struct {
+		dept relational.Const
+		want int64
+	}{{"HR", 1}, {"IT", 1}, {"Sales", 0}} {
+		bound := query.Substitute(q, map[query.Var]relational.Const{"d": tc.dept})
+		in := MustInstance(db, ks, bound)
+		n, _, err := in.CountExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("#CQA(d=%s) = %s, want %d", tc.dept, n, tc.want)
+		}
+	}
+}
+
+func TestDecisionMatchesLemma35(t *testing.T) {
+	// Inconsistent image: plain hom exists, consistent hom does not, so no
+	// repair entails the query.
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+	)
+	ks := relational.Keys(map[string]int{"R": 1})
+	q := query.MustParse("exists x, y . (R(x, 'a') & R(y, 'b'))")
+	in := MustInstance(db, ks, q)
+	if in.HasRepairEntailing() {
+		t.Fatalf("no repair can contain both R(1,a) and R(1,b)")
+	}
+	n, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Sign() != 0 {
+		t.Fatalf("count = %s, want 0", n)
+	}
+}
+
+func TestCountFOWithNegation(t *testing.T) {
+	// Repairs pick a truth value per variable; Q asks that no clause is
+	// violated: a 1-clause 2SAT instance (x1 ∨ x2) has 3 satisfying
+	// assignments out of 4.
+	db := relational.MustDatabase(
+		relational.NewFact("Var", "x1", "0"),
+		relational.NewFact("Var", "x1", "1"),
+		relational.NewFact("Var", "x2", "0"),
+		relational.NewFact("Var", "x2", "1"),
+	)
+	ks := relational.Keys(map[string]int{"Var": 1})
+	q := query.MustParse("!(Var('x1', '0') & Var('x2', '0'))")
+	in := MustInstance(db, ks, q)
+	n, algo, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != "fo-enumeration" {
+		t.Fatalf("algo = %s, want fo-enumeration", algo)
+	}
+	if n.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("count = %s, want 3", n)
+	}
+	if !in.HasRepairEntailing() {
+		t.Fatalf("decision must be true")
+	}
+}
+
+func TestSafePlanSimpleQueries(t *testing.T) {
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+		relational.NewFact("R", "2", "a"),
+		relational.NewFact("R", "3", "c"),
+		relational.NewFact("R", "3", "a"),
+	)
+	ks := relational.Keys(map[string]int{"R": 1})
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		// Some R fact always exists: all 4 repairs.
+		{"exists x, y . R(x, y)", 4},
+		// R(x,'a'): blocks 1 (P=1/2), 2 (P=1), 3 (P=1/2) → always true.
+		{"exists x . R(x, 'a')", 4},
+		// R(x,'b'): only block 1 has b, P = 1/2 → 2 repairs.
+		{"exists x . R(x, 'b')", 2},
+		// Ground fact in block of size 2.
+		{"R(1, 'b')", 2},
+		// Absent fact.
+		{"R(2, 'zzz')", 0},
+		// Key value not in the database.
+		{"R(9, 'a')", 0},
+	}
+	for _, tc := range cases {
+		in := MustInstance(db, ks, query.MustParse(tc.src))
+		got, ok := in.CountSafePlan()
+		if !ok {
+			t.Errorf("CountSafePlan(%q) reported unsafe", tc.src)
+			continue
+		}
+		if got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("CountSafePlan(%q) = %s, want %d", tc.src, got, tc.want)
+		}
+		// Cross-check against enumeration.
+		enum, err := in.CountEnumUCQ(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(enum) != 0 {
+			t.Errorf("safe plan %s vs enumeration %s for %q", got, enum, tc.src)
+		}
+	}
+}
+
+func TestSafePlanIndependentJoin(t *testing.T) {
+	// Conjunction over two keyed predicates: T(1,'b') ∧ W(3,'c'), each a
+	// size-2 block with one match → P = 1/2 · 1/2 of 2·2·(extra W block 2) =
+	// 8 repairs → 2.
+	db := relational.MustDatabase(
+		relational.NewFact("T", "1", "a"),
+		relational.NewFact("T", "1", "b"),
+		relational.NewFact("W", "3", "c"),
+		relational.NewFact("W", "3", "d"),
+		relational.NewFact("W", "4", "e"),
+		relational.NewFact("W", "4", "f"),
+	)
+	ks := relational.Keys(map[string]int{"T": 1, "W": 1})
+	in := MustInstance(db, ks, query.MustParse("T(1, 'b') & W(3, 'c')"))
+	got, ok := in.CountSafePlan()
+	if !ok {
+		t.Fatalf("independent join reported unsafe")
+	}
+	if got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("safe plan = %s, want 2", got)
+	}
+	enum, err := in.CountEnumUCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(enum) != 0 {
+		t.Fatalf("safe plan %s vs enumeration %s", got, enum)
+	}
+}
+
+func TestSafePlanUnsafeQuery(t *testing.T) {
+	// ∃x∃y R(x,y) ∧ S(y) with keys on the first attributes is the classic
+	// #P-hard pattern: y is a nonkey join variable. The planner must refuse.
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("S", "a"),
+	)
+	ks := relational.Keys(map[string]int{"R": 1, "S": 1})
+	in := MustInstance(db, ks, query.MustParse("exists x, y . (R(x, y) & S(y))"))
+	if _, ok := in.CountSafePlan(); ok {
+		t.Fatalf("unsafe query accepted by safe planner")
+	}
+	// The self-join query is refused as well (outside sjf).
+	in2 := MustInstance(db, ks, query.MustParse("exists x, y . (R(x, 'a') & R(y, 'a'))"))
+	if _, ok := in2.CountSafePlan(); ok {
+		t.Fatalf("self-join accepted by safe planner")
+	}
+}
+
+func TestSafePlanWithUnkeyedAtom(t *testing.T) {
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+		relational.NewFact("Cert", "ok"),
+	)
+	ks := relational.Keys(map[string]int{"R": 1})
+	// Cert is unkeyed: certain. Component splits: P = 1 · 1/2.
+	in := MustInstance(db, ks, query.MustParse("Cert('ok') & R(1, 'a')"))
+	got, ok := in.CountSafePlan()
+	if !ok || got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("safe plan = %v %v, want 1", got, ok)
+	}
+	in2 := MustInstance(db, ks, query.MustParse("Cert('missing') & R(1, 'a')"))
+	got2, ok := in2.CountSafePlan()
+	if !ok || got2.Sign() != 0 {
+		t.Fatalf("safe plan = %v %v, want 0", got2, ok)
+	}
+}
+
+func TestFalseAndTrueQueries(t *testing.T) {
+	in := exampleInstance(t)
+	fin := MustInstance(in.DB, in.Keys, query.MustParse("false"))
+	n, _, err := fin.CountExact()
+	if err != nil || n.Sign() != 0 {
+		t.Fatalf("false query count = %v %v", n, err)
+	}
+	if fin.HasRepairEntailing() {
+		t.Fatalf("false query has no entailing repair")
+	}
+	tin := MustInstance(in.DB, in.Keys, query.MustParse("true"))
+	n2, _, err := tin.CountExact()
+	if err != nil || n2.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("true query count = %v %v, want 4", n2, err)
+	}
+}
+
+func TestEntailingRepairs(t *testing.T) {
+	in := exampleInstance(t)
+	n := 0
+	for facts := range in.EntailingRepairs() {
+		n++
+		rd := relational.Subset(append([]relational.Fact{}, facts...))
+		if !relational.IsRepairOf(rd, in.DB, in.Keys) {
+			t.Fatalf("yielded non-repair %v", rd)
+		}
+		// Each must actually entail Q: both employees in IT.
+		if !rd.Contains(relational.NewFact("Employee", "1", "Bob", "IT")) {
+			t.Fatalf("repair %v cannot entail the same-department query", rd)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("entailing repairs = %d, want 2", n)
+	}
+	// Early stop.
+	n = 0
+	for range in.EntailingRepairs() {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("early stop failed")
+	}
+	// FO query path.
+	foIn := MustInstance(in.DB, in.Keys, query.MustParse("!Employee(1, 'Bob', 'HR')"))
+	n = 0
+	for range foIn.EntailingRepairs() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("FO entailing repairs = %d, want 2", n)
+	}
+}
+
+func TestApxOnExample(t *testing.T) {
+	in := exampleInstance(t)
+	rng := rand.New(rand.NewPCG(11, 13))
+	est, err := in.Apx(0.15, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := est.Value.Float64()
+	if v < 2*(1-0.15) || v > 2*(1+0.15) {
+		t.Fatalf("Apx estimate %.3f outside ε-band around 2", v)
+	}
+	kl, err := in.KarpLuby(4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := kl.Value.Float64()
+	if kv < 1.7 || kv > 2.3 {
+		t.Fatalf("Karp–Luby estimate %.3f far from 2", kv)
+	}
+}
+
+// randomEPInstance builds a random database over R/2 (keyed), S/1 (keyed)
+// and U/1 (unkeyed), plus a random ∃FO⁺ query from a small corpus.
+func randomEPInstance(rng *rand.Rand) *Instance {
+	db := relational.MustDatabase()
+	nBlocks := 1 + rng.IntN(4)
+	letters := []relational.Const{"a", "b", "c"}
+	for b := 0; b < nBlocks; b++ {
+		sz := 1 + rng.IntN(3)
+		for j := 0; j < sz; j++ {
+			db.Add(relational.NewFact("R", relational.IntConst(b), letters[rng.IntN(3)]))
+		}
+	}
+	for b := 0; b < rng.IntN(3); b++ {
+		db.Add(relational.NewFact("S", letters[rng.IntN(3)]))
+	}
+	for b := 0; b < rng.IntN(2); b++ {
+		db.Add(relational.NewFact("U", letters[rng.IntN(3)]))
+	}
+	ks := relational.Keys(map[string]int{"R": 1, "S": 1})
+	corpus := []string{
+		"exists x, y . (R(x, y) & S(y))",
+		"exists x . R(x, 'a')",
+		"(exists x . R(x, 'b')) | (exists y . S(y))",
+		"exists x, y . (R(x, 'a') & R(y, 'b'))",
+		"exists x . (R(x, 'a') & U(x))",
+		"exists x, y, z . (R(x, y) & R(z, 'c'))",
+	}
+	q := query.MustParse(corpus[rng.IntN(len(corpus))])
+	return MustInstance(db, ks, q)
+}
+
+// Property: the four exact counters agree on random ∃FO⁺ instances, the
+// decision procedure matches count > 0, and the count never exceeds the
+// total number of repairs.
+func TestExactCountersAgreeProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		in := randomEPInstance(rng)
+		enum, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return false
+		}
+		ie, err := in.CountIE(0)
+		if err != nil {
+			return false
+		}
+		comp, err := in.CountCompactor()
+		if err != nil {
+			return false
+		}
+		fo, err := in.CountEnumFO(0)
+		if err != nil {
+			return false
+		}
+		if enum.Cmp(ie) != 0 || enum.Cmp(comp) != 0 || enum.Cmp(fo) != 0 {
+			t.Logf("seed %d: enum=%s ie=%s comp=%s fo=%s q=%s db=\n%s", seed, enum, ie, comp, fo, in.Q, in.DB)
+			return false
+		}
+		if (enum.Sign() > 0) != in.HasRepairEntailing() {
+			return false
+		}
+		return enum.Cmp(in.TotalRepairs()) <= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whenever the safe plan succeeds it matches enumeration.
+func TestSafePlanAgreesWithEnumProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		in := randomEPInstance(rng)
+		sp, ok := in.CountSafePlan()
+		if !ok {
+			return true // fallback path; nothing to check
+		}
+		enum, err := in.CountEnumUCQ(0)
+		if err != nil {
+			return false
+		}
+		if sp.Cmp(enum) != 0 {
+			t.Logf("seed %d: safeplan=%s enum=%s q=%s db=\n%s", seed, sp, enum, in.Q, in.DB)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Algorithm 2 compactor is a valid kw-compactor on random
+// instances (selector lengths within kw, compact strings in shape).
+func TestCompactorValidProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 123))
+		in := randomEPInstance(rng)
+		c, err := in.Compactor()
+		if err != nil {
+			return false
+		}
+		return c.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountEnumUCQFactorsIrrelevantBlocks(t *testing.T) {
+	// 20 irrelevant blocks of size 2 multiply the count by 2^20 without
+	// blowing the enumeration budget.
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+	)
+	for i := 0; i < 20; i++ {
+		db.Add(relational.NewFact("Noise", relational.IntConst(i), "x"))
+		db.Add(relational.NewFact("Noise", relational.IntConst(i), "y"))
+	}
+	ks := relational.Keys(map[string]int{"R": 1, "Noise": 1})
+	in := MustInstance(db, ks, query.MustParse("R(1, 'a')"))
+	got, err := in.CountEnumUCQ(100) // tiny budget: only R's blocks enumerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 20) // 1 · 2^20
+	if got.Cmp(want) != 0 {
+		t.Fatalf("count = %s, want 2^20", got)
+	}
+}

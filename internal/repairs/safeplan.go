@@ -1,0 +1,340 @@
+package repairs
+
+import (
+	"math/big"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// This file implements polynomial-time exact counting for the tractable
+// side of the Maslowski–Wijsen dichotomy [8] on self-join-free conjunctive
+// queries, via safe plans in the style of Dalvi–Suciu evaluated over the
+// block-disjoint structure of repairs. Repairs drawn uniformly at random
+// pick one fact per block independently, so #CQA = P(Q) · ∏|B_i| where
+// P(Q) is the probability that a random repair satisfies Q. The planner
+// computes P(Q) with exact rational arithmetic using four rules, each
+// locally correct:
+//
+//	(independent join)     variable-disjoint components use disjoint
+//	                       predicates (self-join-freeness), hence disjoint
+//	                       blocks, hence independent events: multiply.
+//	(certain atom)         a component that is a single unkeyed atom is
+//	                       deterministic: every repair contains all facts
+//	                       of an unkeyed predicate.
+//	(disjoint project)     an atom whose key positions are all constants
+//	                       addresses one block; the block's choices are
+//	                       mutually exclusive, and the rest of the query
+//	                       touches other predicates only: sum over the
+//	                       block's facts of (1/|B|)·P(rest under unifier).
+//	(independent project)  a variable occurring in every atom of a
+//	                       connected component and in a key position of
+//	                       every keyed atom partitions the event across
+//	                       disjoint block sets for different values:
+//	                       P = 1 − ∏_v (1 − P(q[x→v])).
+//
+// Queries on which no rule applies are reported unsafe and the caller
+// falls back to an exponential exact counter or the FPRAS; tests verify
+// that whenever the plan succeeds it matches brute-force enumeration.
+
+// CountSafePlan attempts the safe-plan count. ok is false when the query
+// is not a self-join-free conjunctive query or no rule sequence applies.
+func (in *Instance) CountSafePlan() (*big.Int, bool) {
+	if !in.IsEP {
+		return nil, false
+	}
+	total := in.TotalRepairs()
+	switch len(in.UCQ.Disjuncts) {
+	case 0:
+		return big.NewInt(0), true // the empty union: no repair entails false
+	case 1:
+	default:
+		return nil, false // dichotomy machinery is for single CQs
+	}
+	q := in.UCQ.Disjuncts[0]
+	if !q.IsSelfJoinFree() {
+		return nil, false
+	}
+	sp := &safePlanner{in: in}
+	p, ok := sp.prob(q.Atoms)
+	if !ok {
+		return nil, false
+	}
+	count := new(big.Rat).Mul(p, new(big.Rat).SetInt(total))
+	if !count.IsInt() {
+		panic("repairs: safe plan produced a non-integer count; planner invariant violated")
+	}
+	return new(big.Int).Set(count.Num()), true
+}
+
+type safePlanner struct {
+	in *Instance
+}
+
+// prob computes P(random repair ⊨ ∃* ⋀ atoms), or ok=false when unsafe.
+func (sp *safePlanner) prob(atoms []query.Atom) (*big.Rat, bool) {
+	if len(atoms) == 0 {
+		return big.NewRat(1, 1), true
+	}
+	comps := components(atoms)
+	if len(comps) > 1 {
+		out := big.NewRat(1, 1)
+		for _, comp := range comps {
+			p, ok := sp.probComponent(comp)
+			if !ok {
+				return nil, false
+			}
+			out.Mul(out, p)
+		}
+		return out, true
+	}
+	return sp.probComponent(comps[0])
+}
+
+// probComponent handles one variable-connected component.
+func (sp *safePlanner) probComponent(atoms []query.Atom) (*big.Rat, bool) {
+	in := sp.in
+	// Certain atom: a single unkeyed atom is deterministic.
+	if len(atoms) == 1 && !in.Keys.HasKey(atoms[0].Pred) {
+		for _, f := range in.Idx.FactsFor(atoms[0].Pred) {
+			if _, ok := unifyAtomFact(atoms[0], f); ok {
+				return big.NewRat(1, 1), true
+			}
+		}
+		return big.NewRat(0, 1), true
+	}
+	// Disjoint project: an atom whose key prefix is fully constant.
+	for i, a := range atoms {
+		w, keyed := in.Keys.Width(a.Pred)
+		if !keyed || w > len(a.Args) {
+			continue
+		}
+		keyVals, ground := keyPrefixConsts(a, w)
+		if !ground {
+			continue
+		}
+		kv := relational.KeyValue{Pred: a.Pred, Vals: keyVals}
+		bi, exists := in.blockIndex()[kv.Canonical()]
+		if !exists {
+			// The atom can never hold: no repair contains a fact with this
+			// key value.
+			return big.NewRat(0, 1), true
+		}
+		block := in.Blocks[bi]
+		rest := removeAtom(atoms, i)
+		sum := big.NewRat(0, 1)
+		per := big.NewRat(1, int64(block.Size()))
+		ok := true
+		for _, f := range block.Facts {
+			theta, unifies := unifyAtomFact(a, f)
+			if !unifies {
+				continue
+			}
+			p, pok := sp.prob(substituteAtoms(rest, theta))
+			if !pok {
+				ok = false
+				break
+			}
+			sum.Add(sum, new(big.Rat).Mul(per, p))
+		}
+		if ok {
+			return sum, true
+		}
+		// This projection got stuck downstream; try other rules.
+	}
+	// Independent project: a root variable in every atom, in the key of
+	// every keyed atom.
+	for _, x := range componentVars(atoms) {
+		if !isRootVariable(atoms, x, in.Keys) {
+			continue
+		}
+		values := candidateValues(atoms, x, in)
+		fail := big.NewRat(1, 1)
+		ok := true
+		for _, v := range values {
+			p, pok := sp.prob(substituteAtoms(atoms, map[query.Var]relational.Const{x: v}))
+			if !pok {
+				ok = false
+				break
+			}
+			one := big.NewRat(1, 1)
+			fail.Mul(fail, one.Sub(one, p))
+		}
+		if ok {
+			one := big.NewRat(1, 1)
+			return one.Sub(one, fail), true
+		}
+	}
+	return nil, false
+}
+
+// components splits atoms into variable-connected components (ground atoms
+// are singletons), preserving atom order within components.
+func components(atoms []query.Atom) [][]query.Atom {
+	n := len(atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byVar := map[query.Var]int{}
+	for i, a := range atoms {
+		for _, v := range a.Vars() {
+			if j, seen := byVar[v]; seen {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := map[int][]query.Atom{}
+	var order []int
+	for i, a := range atoms {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]query.Atom, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// componentVars returns the distinct variables of the atoms, in first-seen
+// order (a deterministic rule-application order).
+func componentVars(atoms []query.Atom) []query.Var {
+	seen := map[query.Var]bool{}
+	var out []query.Var
+	for _, a := range atoms {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// isRootVariable reports whether x occurs in every atom and in a key
+// position of every keyed atom.
+func isRootVariable(atoms []query.Atom, x query.Var, ks *relational.KeySet) bool {
+	for _, a := range atoms {
+		inAtom, inKey := false, false
+		w, keyed := ks.Width(a.Pred)
+		for pos, t := range a.Args {
+			if v, ok := t.(query.Var); ok && v == x {
+				inAtom = true
+				if pos < w {
+					inKey = true
+				}
+			}
+		}
+		if !inAtom {
+			return false
+		}
+		if keyed && !inKey {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateValues returns the constants v for which q[x→v] can possibly
+// hold: the intersection over atoms of the values occurring, in some
+// position where x occurs, in facts of the atom's predicate. Values
+// outside the intersection give P(q[x→v]) = 0 and are skipped soundly.
+func candidateValues(atoms []query.Atom, x query.Var, in *Instance) []relational.Const {
+	var result map[relational.Const]bool
+	for _, a := range atoms {
+		vals := map[relational.Const]bool{}
+		for pos, t := range a.Args {
+			v, ok := t.(query.Var)
+			if !ok || v != x {
+				continue
+			}
+			for _, f := range in.Idx.FactsFor(a.Pred) {
+				vals[f.Args[pos]] = true
+			}
+		}
+		if result == nil {
+			result = vals
+			continue
+		}
+		for c := range result {
+			if !vals[c] {
+				delete(result, c)
+			}
+		}
+	}
+	var out []relational.Const
+	for c := range result {
+		out = append(out, c)
+	}
+	return relational.ConstSlice(out)
+}
+
+// keyPrefixConsts extracts the key prefix of an atom if fully constant.
+func keyPrefixConsts(a query.Atom, w int) ([]relational.Const, bool) {
+	out := make([]relational.Const, w)
+	for i := 0; i < w; i++ {
+		ct, ok := a.Args[i].(query.ConstTerm)
+		if !ok {
+			return nil, false
+		}
+		out[i] = relational.Const(ct)
+	}
+	return out, true
+}
+
+// unifyAtomFact matches an atom against a fact: constants must agree and
+// repeated variables must bind consistently; returns the binding.
+func unifyAtomFact(a query.Atom, f relational.Fact) (map[query.Var]relational.Const, bool) {
+	if a.Pred != f.Pred || len(a.Args) != len(f.Args) {
+		return nil, false
+	}
+	theta := map[query.Var]relational.Const{}
+	for i, t := range a.Args {
+		switch t := t.(type) {
+		case query.ConstTerm:
+			if relational.Const(t) != f.Args[i] {
+				return nil, false
+			}
+		case query.Var:
+			if c, ok := theta[t]; ok {
+				if c != f.Args[i] {
+					return nil, false
+				}
+			} else {
+				theta[t] = f.Args[i]
+			}
+		}
+	}
+	return theta, true
+}
+
+func removeAtom(atoms []query.Atom, i int) []query.Atom {
+	out := make([]query.Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	out = append(out, atoms[i+1:]...)
+	return out
+}
+
+func substituteAtoms(atoms []query.Atom, theta map[query.Var]relational.Const) []query.Atom {
+	out := make([]query.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = query.SubstituteAtom(a, theta)
+	}
+	return out
+}

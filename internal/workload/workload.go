@@ -1,0 +1,305 @@
+// Package workload generates the synthetic inputs used by the test suite,
+// the examples and the benchmark harness: random inconsistent databases
+// with controlled block-size distributions, the Employee scenario of the
+// paper's Example 1.1 scaled up, query families of prescribed keywidth,
+// random positive kDNF instances, hypergraph coloring instances, random
+// graphs and random 3CNF formulas. All generators are deterministic given
+// the caller's *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"repaircount/internal/problems/coloring"
+	"repaircount/internal/problems/dnf"
+	"repaircount/internal/problems/graphs"
+	"repaircount/internal/problems/sat"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Dist samples positive integers (block sizes).
+type Dist interface {
+	Sample(rng *rand.Rand) int
+	String() string
+}
+
+// Fixed always returns N.
+type Fixed struct{ N int }
+
+// Sample implements Dist.
+func (d Fixed) Sample(*rand.Rand) int { return d.N }
+func (d Fixed) String() string        { return fmt.Sprintf("fixed(%d)", d.N) }
+
+// Uniform returns integers uniformly in [Lo, Hi].
+type Uniform struct{ Lo, Hi int }
+
+// Sample implements Dist.
+func (d Uniform) Sample(rng *rand.Rand) int {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	return d.Lo + rng.IntN(d.Hi-d.Lo+1)
+}
+func (d Uniform) String() string { return fmt.Sprintf("uniform(%d..%d)", d.Lo, d.Hi) }
+
+// Zipf returns 1 + a Zipf(s, v)-distributed value capped at Max: a few
+// heavy blocks, a long tail of small ones — the shape of real dirty data.
+type Zipf struct {
+	S, V float64
+	Max  int
+}
+
+// Sample implements Dist.
+func (d Zipf) Sample(rng *rand.Rand) int {
+	z := rand.NewZipf(rng, d.S, d.V, uint64(d.Max-1))
+	return 1 + int(z.Uint64())
+}
+func (d Zipf) String() string { return fmt.Sprintf("zipf(s=%g,max=%d)", d.S, d.Max) }
+
+// RelationSpec describes one generated relation.
+type RelationSpec struct {
+	Pred string
+	// KeyWidth 0 declares no key (all facts certain). The generated key is
+	// always the first attribute when KeyWidth = 1 (the common case).
+	KeyWidth int
+	// Arity is the total number of attributes (≥ KeyWidth, ≥ 1).
+	Arity int
+	// NumBlocks is the number of distinct key values (or facts when
+	// unkeyed).
+	NumBlocks int
+	// BlockSizes samples the number of conflicting facts per block.
+	BlockSizes Dist
+	// NumValues is the size of the non-key value alphabet.
+	NumValues int
+}
+
+// Generate builds a random database and key set from the specs.
+func Generate(rng *rand.Rand, specs []RelationSpec) (*relational.Database, *relational.KeySet, error) {
+	db := relational.MustDatabase()
+	ks := relational.NewKeySet()
+	for _, s := range specs {
+		if s.Arity < 1 || s.KeyWidth < 0 || s.KeyWidth > s.Arity {
+			return nil, nil, fmt.Errorf("workload: bad spec %+v", s)
+		}
+		if s.KeyWidth > 0 {
+			if err := ks.Add(s.Pred, s.KeyWidth); err != nil {
+				return nil, nil, err
+			}
+		}
+		for b := 0; b < s.NumBlocks; b++ {
+			size := s.BlockSizes.Sample(rng)
+			if size < 1 {
+				size = 1
+			}
+			if s.KeyWidth == 0 {
+				size = 1 // unkeyed facts have no conflicts by construction
+			}
+			seen := map[string]bool{}
+			for j := 0; j < size; j++ {
+				args := make([]relational.Const, s.Arity)
+				for a := 0; a < s.KeyWidth; a++ {
+					args[a] = relational.Const("k" + strconv.Itoa(b))
+				}
+				for a := s.KeyWidth; a < s.Arity; a++ {
+					args[a] = valueConst(rng.IntN(max(1, s.NumValues)))
+				}
+				if s.KeyWidth == 0 && s.Arity > 0 {
+					// Make unkeyed facts distinct per block index.
+					args[0] = relational.Const("u" + strconv.Itoa(b))
+				}
+				f := relational.Fact{Pred: s.Pred, Args: args}
+				if seen[f.Canonical()] {
+					continue // duplicate within block: block ends up smaller
+				}
+				seen[f.Canonical()] = true
+				if err := db.Add(f); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return db, ks, nil
+}
+
+func valueConst(i int) relational.Const {
+	return relational.Const("v" + strconv.Itoa(i))
+}
+
+// PairsDatabase builds the scaling workload of experiments E2/E11: n
+// blocks R(ki, 'a'|'b') of size 2 each, so the database has exactly 2^n
+// repairs.
+func PairsDatabase(n int) (*relational.Database, *relational.KeySet) {
+	db := relational.MustDatabase()
+	for i := 0; i < n; i++ {
+		k := relational.Const("k" + strconv.Itoa(i))
+		db.Add(relational.Fact{Pred: "R", Args: []relational.Const{k, "a"}})
+		db.Add(relational.Fact{Pred: "R", Args: []relational.Const{k, "b"}})
+	}
+	return db, relational.Keys(map[string]int{"R": 1})
+}
+
+// Employee is the Example 1.1 scenario scaled: Employee(id, name, dept)
+// with key(Employee) = {1}. A conflictRate fraction of employees have 2–3
+// conflicting tuples (uncertain name or department).
+func Employee(rng *rand.Rand, nEmployees, nDepts int, conflictRate float64) (*relational.Database, *relational.KeySet) {
+	db := relational.MustDatabase()
+	names := []relational.Const{"Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Tim"}
+	for id := 1; id <= nEmployees; id++ {
+		idc := relational.IntConst(id)
+		name := names[rng.IntN(len(names))]
+		dept := deptConst(rng.IntN(nDepts))
+		db.Add(relational.NewFact("Employee", idc, name, dept))
+		if rng.Float64() < conflictRate {
+			// A conflicting tuple: same id, different name or department.
+			n2, d2 := name, dept
+			if rng.IntN(2) == 0 {
+				d2 = deptConst(rng.IntN(nDepts))
+			} else {
+				n2 = names[rng.IntN(len(names))]
+			}
+			if n2 != name || d2 != dept {
+				db.Add(relational.NewFact("Employee", idc, n2, d2))
+			}
+			if rng.IntN(4) == 0 {
+				db.Add(relational.NewFact("Employee", idc, names[rng.IntN(len(names))], deptConst(rng.IntN(nDepts))))
+			}
+		}
+	}
+	return db, relational.Keys(map[string]int{"Employee": 1})
+}
+
+func deptConst(i int) relational.Const {
+	depts := []relational.Const{"HR", "IT", "Sales", "Legal", "R&D", "Ops"}
+	return depts[i%len(depts)]
+}
+
+// SameDeptQuery asks whether employees id1 and id2 work in the same
+// department (the query of Example 1.1).
+func SameDeptQuery(id1, id2 int) query.Formula {
+	src := fmt.Sprintf(
+		"exists x, y, z . (Employee(%d, x, y) & Employee(%d, z, y))", id1, id2)
+	return query.MustParse(src)
+}
+
+// KeywidthQuery builds, together with its key set, a query of keywidth
+// exactly k: ⋀ᵢ Ri('k0', 'hit') over k distinct keyed relations — each
+// atom is satisfied only by the repair picking the designated witness fact
+// of block k0, so on KeywidthDatabase instances the entailment probability
+// is exactly blockSize^-k (the worst case driving the FPRAS sample bound).
+func KeywidthQuery(k int) (query.Formula, *relational.KeySet) {
+	ks := relational.NewKeySet()
+	var conj []query.Formula
+	for i := 1; i <= k; i++ {
+		pred := "R" + strconv.Itoa(i)
+		ks.MustAdd(pred, 1)
+		conj = append(conj, query.AtomF{Atom: query.NewAtom(pred, query.C("k0"), query.C("hit"))})
+	}
+	if k == 0 {
+		return query.Truth{Val: true}, ks
+	}
+	return query.Conj(conj...), ks
+}
+
+// KeywidthDatabase builds a database for KeywidthQuery(k): each Ri has
+// extraBlocks+1 blocks of the given size; in block 'k0' exactly one fact
+// carries the matching witness value 'hit'.
+func KeywidthDatabase(rng *rand.Rand, k, blockSize, extraBlocks int) *relational.Database {
+	db := relational.MustDatabase()
+	for i := 1; i <= k; i++ {
+		pred := "R" + strconv.Itoa(i)
+		for b := 0; b <= extraBlocks; b++ {
+			key := relational.Const("k" + strconv.Itoa(b))
+			for j := 0; j < blockSize; j++ {
+				val := relational.Const("miss" + strconv.Itoa(j))
+				if b == 0 && j == 0 {
+					val = "hit"
+				}
+				db.Add(relational.Fact{Pred: pred, Args: []relational.Const{key, val}})
+			}
+		}
+	}
+	return db
+}
+
+// RandomCNF builds a random 3CNF formula.
+func RandomCNF(rng *rand.Rand, nVars, nClauses int) sat.CNF {
+	f := sat.CNF{NumVars: nVars}
+	for c := 0; c < nClauses; c++ {
+		var cl sat.Clause
+		for j := 0; j < 3; j++ {
+			cl[j] = sat.Literal{Var: rng.IntN(nVars), Neg: rng.IntN(2) == 0}
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// RandomDisjDNF builds a random #DisjPoskDNF instance with the given
+// number of classes, maximum class size, clause width and clause count.
+func RandomDisjDNF(rng *rand.Rand, nClasses, maxClassSize, width, nClauses int) *dnf.Instance {
+	var p dnf.Partition
+	n := 0
+	for c := 0; c < nClasses; c++ {
+		sz := 1 + rng.IntN(maxClassSize)
+		var class []int
+		for j := 0; j < sz; j++ {
+			class = append(class, n)
+			n++
+		}
+		p = append(p, class)
+	}
+	f := dnf.Formula{NumVars: n, Width: width}
+	for c := 0; c < nClauses; c++ {
+		sz := 1 + rng.IntN(max(1, width))
+		clause := make(dnf.Clause, 0, sz)
+		for j := 0; j < sz; j++ {
+			clause = append(clause, rng.IntN(n))
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return dnf.MustInstance(f, p)
+}
+
+// RandomGraph builds a G(n, p)-style random graph.
+func RandomGraph(rng *rand.Rand, n int, p float64) graphs.Graph {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return graphs.Graph{N: n, Edges: edges}
+}
+
+// RandomColoring builds a random #kForbColoring instance.
+func RandomColoring(rng *rand.Rand, nVertices, k, nEdges, nColors, maxForbidden int) *coloring.Instance {
+	palette := make([]coloring.Color, nColors)
+	for i := range palette {
+		palette[i] = coloring.Color("col" + strconv.Itoa(i))
+	}
+	colors := make([][]coloring.Color, nVertices)
+	for v := range colors {
+		colors[v] = append([]coloring.Color{}, palette[:1+rng.IntN(nColors)]...)
+	}
+	var edges [][]int
+	for e := 0; e < nEdges; e++ {
+		edges = append(edges, rng.Perm(nVertices)[:k])
+	}
+	h := coloring.Hypergraph{N: nVertices, K: k, Edges: edges}
+	forb := make([][]coloring.Forbidden, len(edges))
+	for ei := range forb {
+		for f := 0; f < 1+rng.IntN(max(1, maxForbidden)); f++ {
+			nu := make(coloring.Forbidden, k)
+			for j := range nu {
+				nu[j] = palette[rng.IntN(nColors)]
+			}
+			forb[ei] = append(forb[ei], nu)
+		}
+	}
+	return coloring.MustInstance(h, colors, forb)
+}

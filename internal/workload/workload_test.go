@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+)
+
+func TestGenerateRespectsSpec(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	db, ks, err := Generate(rng, []RelationSpec{
+		{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: 5, BlockSizes: Fixed{N: 3}, NumValues: 10},
+		{Pred: "U", KeyWidth: 0, Arity: 1, NumBlocks: 4, BlockSizes: Fixed{N: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := relational.Blocks(db, ks)
+	rBlocks := 0
+	for _, b := range blocks {
+		if b.Key.Pred == "R" {
+			rBlocks++
+			if b.Size() > 3 || b.Size() < 1 {
+				t.Fatalf("R block size %d outside [1,3]", b.Size())
+			}
+		}
+		if b.Key.Pred == "U" && b.Size() != 1 {
+			t.Fatalf("unkeyed block size %d, want 1", b.Size())
+		}
+	}
+	if rBlocks != 5 {
+		t.Fatalf("R blocks = %d, want 5", rBlocks)
+	}
+	if !ks.HasKey("R") || ks.HasKey("U") {
+		t.Fatalf("key set wrong: %v", ks)
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	if _, _, err := Generate(rng, []RelationSpec{{Pred: "R", KeyWidth: 3, Arity: 2, NumBlocks: 1, BlockSizes: Fixed{N: 1}}}); err == nil {
+		t.Fatalf("key wider than arity accepted")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	if (Fixed{N: 7}).Sample(rng) != 7 {
+		t.Fatalf("Fixed broken")
+	}
+	for i := 0; i < 100; i++ {
+		v := (Uniform{Lo: 2, Hi: 5}).Sample(rng)
+		if v < 2 || v > 5 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+		z := (Zipf{S: 1.5, V: 1, Max: 8}).Sample(rng)
+		if z < 1 || z > 8 {
+			t.Fatalf("Zipf out of range: %d", z)
+		}
+	}
+}
+
+func TestPairsDatabase(t *testing.T) {
+	db, ks := PairsDatabase(10)
+	if got := relational.NumRepairs(db, ks); got.Cmp(new(big.Int).Lsh(big.NewInt(1), 10)) != 0 {
+		t.Fatalf("pairs database must have 2^10 repairs, got %s", got)
+	}
+}
+
+func TestEmployeeScenario(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	db, ks := Employee(rng, 50, 4, 0.4)
+	if db.Len() < 50 {
+		t.Fatalf("employee database too small: %d", db.Len())
+	}
+	q := SameDeptQuery(1, 2)
+	in := repairs.MustInstance(db, ks, q)
+	n, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(in.TotalRepairs()) > 0 {
+		t.Fatalf("count exceeds total")
+	}
+}
+
+func TestKeywidthFamily(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for k := 0; k <= 4; k++ {
+		q, ks := KeywidthQuery(k)
+		db := KeywidthDatabase(rng, k, 3, 2)
+		in := repairs.MustInstance(db, ks, q)
+		if got := in.Keywidth(); got != k {
+			t.Fatalf("kw = %d, want %d", got, k)
+		}
+		n, _, err := in.CountExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 0 && n.Sign() == 0 {
+			t.Fatalf("k=%d: count must be positive (hit witness present)", k)
+		}
+		// Each Ri has a hit in exactly 1 of 3 facts of block k0:
+		// P(Q) = (1/3)^k, total = 3^(3k) → count = 3^(3k)·3^-k = 3^(2k).
+		want := new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(2*k)), nil)
+		if n.Cmp(want) != 0 {
+			t.Fatalf("k=%d: count = %s, want %s", k, n, want)
+		}
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	f := RandomCNF(rng, 5, 8)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 8 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	d := RandomDisjDNF(rng, 4, 3, 2, 5)
+	if _, err := d.Count(); err != nil {
+		t.Fatal(err)
+	}
+	g := RandomGraph(rng, 8, 0.4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := RandomColoring(rng, 5, 2, 3, 3, 2)
+	if _, err := c.Count(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package repaircount counts database repairs under primary keys: a
+// complete, executable implementation of Calautti, Console & Pieris,
+// "Counting Database Repairs under Primary Keys Revisited" (PODS 2019).
+//
+// Given a database D, a set Σ of primary keys and a Boolean query Q, the
+// package computes:
+//
+//   - the total number of repairs |rep(D,Σ)| (polynomial time);
+//   - #CQA(Q,Σ)(D): the number of repairs entailing Q — exactly (safe
+//     plans for tractable self-join-free CQs, certificate
+//     inclusion–exclusion or enumeration otherwise) or approximately (the
+//     paper's Theorem 6.2 FPRAS);
+//   - the decision #CQA>0 (logspace-style certificate search for ∃FO⁺,
+//     Lemma 3.5);
+//   - the relative frequency #CQA / |rep| motivating the whole problem.
+//
+// Quickstart:
+//
+//	db, keys, _ := repaircount.ParseInstanceString(`
+//	    key Employee 1
+//	    Employee(1, Bob, HR)
+//	    Employee(1, Bob, IT)
+//	    Employee(2, Alice, IT)
+//	    Employee(2, Tim, IT)`)
+//	q, _ := repaircount.ParseQuery(
+//	    "exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))")
+//	c, _ := repaircount.NewCounter(db, keys, q)
+//	total := c.Total()                  // 4
+//	count, algo, _ := c.Count()         // 2, via certificate machinery
+//	freq, _ := c.RelativeFrequency()    // 1/2
+//
+// The deeper machinery — the Λ-hierarchy compactors of Definition 4.1,
+// the Algorithm 1 transducer, the Theorem 5.1 reduction, the Λ[k]-complete
+// problems of Section 7 — lives in the internal packages and is exercised
+// by the examples, the test suite and the benchmark harness.
+package repaircount
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand/v2"
+
+	"repaircount/internal/core"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+)
+
+// Re-exported substrate types; see the internal packages for full API.
+type (
+	// Database is a finite set of facts.
+	Database = relational.Database
+	// KeySet is a set of primary keys.
+	KeySet = relational.KeySet
+	// Fact is a predicate applied to constants.
+	Fact = relational.Fact
+	// Const is a database constant.
+	Const = relational.Const
+	// Formula is a first-order query.
+	Formula = query.Formula
+	// Estimate is the outcome of a randomized approximation.
+	Estimate = core.Estimate
+)
+
+// NewFact builds a fact.
+func NewFact(pred string, args ...Const) Fact { return relational.NewFact(pred, args...) }
+
+// NewDatabase builds a database from facts.
+func NewDatabase(facts ...Fact) (*Database, error) { return relational.NewDatabase(facts...) }
+
+// Keys builds a key set from predicate → key-width pairs (key(R) =
+// {1,...,width}).
+func Keys(pairs map[string]int) *KeySet { return relational.Keys(pairs) }
+
+// ParseInstance reads a "key R m" + facts instance from r.
+func ParseInstance(r io.Reader) (*Database, *KeySet, error) { return relational.ParseInstance(r) }
+
+// ParseInstanceString is ParseInstance over a string.
+func ParseInstanceString(s string) (*Database, *KeySet, error) {
+	return relational.ParseInstanceString(s)
+}
+
+// ParseQuery parses a first-order query in the surface syntax, e.g.
+// "exists x . (R(x, 'a') | S(x))". Bare identifiers are variables; quoted
+// strings and numbers are constants.
+func ParseQuery(src string) (Formula, error) { return query.Parse(src) }
+
+// Counter answers repair-counting questions for one (D, Σ, Q) instance.
+type Counter struct {
+	inst *repairs.Instance
+}
+
+// NewCounter validates and prepares an instance. Q must be Boolean; use
+// Bind to substitute a tuple into a query with free variables.
+func NewCounter(db *Database, keys *KeySet, q Formula) (*Counter, error) {
+	inst, err := repairs.NewInstance(db, keys, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{inst: inst}, nil
+}
+
+// Bind substitutes constants for free variables of a query, in the sorted
+// order of the free variable names, turning Q(x̄) plus a tuple t̄ into a
+// Boolean query — the reduction the paper applies to non-Boolean queries.
+func Bind(q Formula, tuple ...Const) (Formula, error) {
+	free := query.FreeVars(q)
+	if len(free) != len(tuple) {
+		return nil, fmt.Errorf("repaircount: query has %d free variables %v, got %d constants", len(free), free, len(tuple))
+	}
+	binding := make(map[query.Var]Const, len(free))
+	for i, v := range free {
+		binding[v] = tuple[i]
+	}
+	return query.Substitute(q, binding), nil
+}
+
+// Total returns |rep(D,Σ)| = ∏ |B_i|.
+func (c *Counter) Total() *big.Int { return c.inst.TotalRepairs() }
+
+// Count computes #CQA(Q,Σ)(D) exactly and reports which algorithm decided
+// it ("safeplan", "inclusion-exclusion", "enumeration" or
+// "fo-enumeration").
+func (c *Counter) Count() (*big.Int, string, error) { return c.inst.CountExact() }
+
+// Decide answers #CQA>0: does some repair entail Q?
+func (c *Counter) Decide() bool { return c.inst.HasRepairEntailing() }
+
+// RelativeFrequency returns #CQA / |rep| as an exact rational.
+func (c *Counter) RelativeFrequency() (*big.Rat, error) { return c.inst.RelativeFrequency() }
+
+// Approximate runs the paper's FPRAS (Theorem 6.2):
+// Pr(|estimate − #CQA| ≤ ε·#CQA) ≥ 1−δ. Only existential positive
+// queries are supported (Theorem 6.1: no FPRAS for FO unless RP = NP).
+// The seed makes runs reproducible.
+func (c *Counter) Approximate(eps, delta float64, seed uint64) (Estimate, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return c.inst.Apx(eps, delta, rng)
+}
+
+// ApproximateWithSamples runs the Algorithm 3 estimator with an explicit
+// sample budget (no (ε,δ) guarantee unless the budget meets the paper's
+// bound).
+func (c *Counter) ApproximateWithSamples(samples int, seed uint64) (Estimate, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return c.inst.ApxWithSamples(samples, rng)
+}
+
+// Keywidth returns kw(Q,Σ), the paper's covering function: #CQA(Q,Σ) is
+// Λ[kw]-complete (Theorem 5.1).
+func (c *Counter) Keywidth() int { return c.inst.Keywidth() }
+
+// Fragment names the smallest standard query class containing Q (CQ, UCQ,
+// ∃FO+, FO).
+func (c *Counter) Fragment() string { return query.Classify(c.inst.Q).String() }
+
+// Instance exposes the underlying repairs.Instance for advanced use (the
+// compactor, certificate boxes, Karp–Luby sampler, safe-plan internals).
+func (c *Counter) Instance() *repairs.Instance { return c.inst }
