@@ -155,6 +155,20 @@ func BenchmarkFPRASSample(b *testing.B) {
 	}
 }
 
+func BenchmarkFPRASParallel(b *testing.B) {
+	db, ks, q := employeeWorkload(b, 500)
+	in := repairs.MustInstance(db, ks, q)
+	const samples = 20_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.ApxParallelWithSamples(samples, 0, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*samples), "ns/sample")
+}
+
 func BenchmarkKarpLubySample(b *testing.B) {
 	db, ks, q := employeeWorkload(b, 200)
 	in := repairs.MustInstance(db, ks, q)

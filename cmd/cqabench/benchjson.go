@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+	"repaircount/internal/workload"
+)
+
+// This file implements `cqabench -json`: it times the hot algorithmic
+// kernels (the same workloads as the go-test benchmarks of the repository
+// root) via testing.Benchmark and writes the results as BENCH_<n>.json,
+// picking the next free n in the current directory, so the performance
+// trajectory of the interned-ID substrate is tracked across PRs.
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func kernelBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	employee := func(n int) (*relational.Database, *relational.KeySet, query.Formula) {
+		rng := rand.New(rand.NewPCG(11, uint64(n)))
+		db, ks := workload.Employee(rng, n, 5, 0.4)
+		return db, ks, workload.SameDeptQuery(1, 2)
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BlocksDecomposition", func(b *testing.B) {
+			db, ks, _ := employee(2000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := relational.Blocks(db, ks); len(got) == 0 {
+					b.Fatal("no blocks")
+				}
+			}
+		}},
+		{"DecisionLemma35", func(b *testing.B) {
+			db, ks, q := employee(2000)
+			in := repairs.MustInstance(db, ks, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.HasRepairEntailing()
+			}
+		}},
+		{"HomomorphismSearch", func(b *testing.B) {
+			db, ks, q := employee(1000)
+			in := repairs.MustInstance(db, ks, q)
+			cq := in.UCQ.Disjuncts[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.HasConsistentHom(cq, in.Idx, ks)
+			}
+		}},
+		{"FPRASSample", func(b *testing.B) {
+			db, ks, q := employee(500)
+			in := repairs.MustInstance(db, ks, q)
+			c, err := in.Compactor()
+			if err != nil {
+				b.Fatal(err)
+			}
+			member := c.MemberFunc()
+			rng := rand.New(rand.NewPCG(15, 16))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.SampleOnce(c.Doms, member, rng)
+			}
+		}},
+		{"FPRASParallel20k", func(b *testing.B) {
+			db, ks, q := employee(500)
+			in := repairs.MustInstance(db, ks, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.ApxParallelWithSamples(20_000, 0, 42); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// writeBenchJSON runs the kernel benchmarks and writes BENCH_<n>.json.
+func writeBenchJSON() (string, error) {
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range kernelBenchmarks() {
+		r := testing.Benchmark(k.fn)
+		report.Benchmarks = append(report.Benchmarks, benchRecord{
+			Name:        k.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	path, err := nextBenchPath()
+	if err != nil {
+		return "", err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// nextBenchPath returns BENCH_<n>.json for the smallest n ≥ 1 not yet
+// present in the current directory.
+func nextBenchPath() (string, error) {
+	for n := 1; n < 10_000; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("cqabench: no free BENCH_<n>.json slot")
+}

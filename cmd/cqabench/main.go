@@ -7,6 +7,7 @@
 //	cqabench -experiment E06  # one experiment
 //	cqabench -quick           # smaller workloads
 //	cqabench -seed 42         # deterministic tables
+//	cqabench -json            # benchmark the hot kernels, write BENCH_<n>.json
 package main
 
 import (
@@ -24,12 +25,21 @@ func main() {
 		seed       = flag.Uint64("seed", 7, "random seed driving all workloads")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut    = flag.Bool("json", false, "benchmark the hot kernels and write BENCH_<n>.json (next free n) in the current directory")
 	)
 	flag.Parse()
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *jsonOut {
+		path, err := writeBenchJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
 		return
 	}
 	p := experiments.Params{Seed: *seed, Quick: *quick}

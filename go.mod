@@ -1,0 +1,3 @@
+module repaircount
+
+go 1.24

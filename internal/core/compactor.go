@@ -39,6 +39,12 @@ type Compactor struct {
 	// ⋃_c unfolding(M(x,c)) directly (e.g. "does this repair entail Q").
 	// When nil, membership is decided against the materialized boxes.
 	Member func(tuple []Element) bool
+	// MemberFactory, if non-nil, returns a fresh membership predicate that
+	// shares no mutable state with any other; parallel samplers call it
+	// once per worker. A Member built from scratch state (a compiled
+	// matcher) must come with a factory; a stateless Member may leave it
+	// nil.
+	MemberFactory func() func(tuple []Element) bool
 }
 
 // Validate checks structural invariants: domains valid, every certificate's

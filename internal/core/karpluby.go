@@ -43,50 +43,14 @@ func KarpLuby(doms []Domain, boxes []Selector, t int, rng *rand.Rand) (Estimate,
 	if len(boxes) == 0 {
 		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
 	}
-	// Cumulative weights for box selection.
-	cum := make([]*big.Int, len(boxes))
-	w := new(big.Int)
-	for i, b := range boxes {
-		w.Add(w, b.BoxSize(doms))
-		cum[i] = new(big.Int).Set(w)
-	}
+	cum, w := cumulativeBoxWeights(doms, boxes)
 	if w.Sign() == 0 {
 		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
 	}
 	tuple := make([]Element, len(doms))
 	hits := 0
 	for trial := 0; trial < t; trial++ {
-		r := UniformBigInt(rng, w)
-		// Binary search for the first cumulative weight exceeding r.
-		lo, hi := 0, len(boxes)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid].Cmp(r) > 0 {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		b := boxes[lo]
-		// Uniform tuple inside box b.
-		j := 0
-		for i, d := range doms {
-			if j < len(b) && b[j].Index == i {
-				tuple[i] = b[j].Elem
-				j++
-				continue
-			}
-			tuple[i] = d.Elems[rng.IntN(d.Size())]
-		}
-		// Coverage test: is b the first box containing the tuple?
-		first := -1
-		for i, other := range boxes {
-			if other.ContainsTuple(tuple) {
-				first = i
-				break
-			}
-		}
-		if first == lo {
+		if karpLubyTrial(doms, boxes, cum, w, tuple, rng) {
 			hits++
 		}
 	}
@@ -96,6 +60,56 @@ func KarpLuby(doms []Domain, boxes []Selector, t int, rng *rand.Rand) (Estimate,
 		big.NewFloat(float64(t)),
 	)
 	return Estimate{Value: est, Samples: t, Hits: hits}, nil
+}
+
+// cumulativeBoxWeights returns the running box-size sums used for weighted
+// box selection, plus the total weight W = Σ|box|.
+func cumulativeBoxWeights(doms []Domain, boxes []Selector) ([]*big.Int, *big.Int) {
+	cum := make([]*big.Int, len(boxes))
+	w := new(big.Int)
+	for i, b := range boxes {
+		w.Add(w, b.BoxSize(doms))
+		cum[i] = new(big.Int).Set(w)
+	}
+	return cum, w
+}
+
+// karpLubyTrial runs one trial of the complex-sample-space estimator: draw
+// a box with probability proportional to its size, a tuple uniformly
+// inside it (written into the reused tuple buffer), and report whether the
+// drawn box is the first box (in canonical order) containing the tuple.
+func karpLubyTrial(doms []Domain, boxes []Selector, cum []*big.Int, w *big.Int, tuple []Element, rng *rand.Rand) bool {
+	r := UniformBigInt(rng, w)
+	// Binary search for the first cumulative weight exceeding r.
+	lo, hi := 0, len(boxes)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid].Cmp(r) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	b := boxes[lo]
+	// Uniform tuple inside box b.
+	j := 0
+	for i, d := range doms {
+		if j < len(b) && b[j].Index == i {
+			tuple[i] = b[j].Elem
+			j++
+			continue
+		}
+		tuple[i] = d.Elems[rng.IntN(d.Size())]
+	}
+	// Coverage test: is b the first box containing the tuple?
+	first := -1
+	for i, other := range boxes {
+		if other.ContainsTuple(tuple) {
+			first = i
+			break
+		}
+	}
+	return first == lo
 }
 
 // KarpLubyAuto runs KarpLuby with the (ε,δ) sample bound. It works for

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the sharded parallel sampling loop for the
+// Theorem 6.2 FPRAS and the Karp–Luby estimator. The sample budget is
+// split into a fixed number of shards; each shard owns an independent PCG
+// stream seeded deterministically from the user seed and the shard number,
+// and workers drain shards from a queue. Because the shard → stream and
+// shard → sample-count assignments are fixed, the total hit count — and
+// therefore the estimate — is identical for every worker count and every
+// scheduling, so parallel runs stay exactly reproducible.
+
+// sampleShards is the number of independent PCG streams a parallel
+// sampling run is split into. It bounds usable parallelism and is fixed
+// (rather than derived from the worker count) so results do not depend on
+// GOMAXPROCS.
+const sampleShards = 64
+
+// shardStream returns the deterministic RNG of one shard.
+func shardStream(seed uint64, shard int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15+uint64(shard)))
+}
+
+// shardSize returns the sample budget of one shard: t split as evenly as
+// possible across shards (the first t%shards shards take one extra).
+func shardSize(t, shards, shard int) int {
+	n := t / shards
+	if shard < t%shards {
+		n++
+	}
+	return n
+}
+
+// memberFactory returns a per-worker membership predicate: MemberFactory
+// when set, the boxes fallback otherwise (stateless, shared safely), and
+// Member itself as a last resort for callers that set only Member and
+// guarantee it is safe for concurrent use.
+func (c *Compactor) memberFactory() func() func([]Element) bool {
+	if c.MemberFactory != nil {
+		return c.MemberFactory
+	}
+	if c.Member == nil {
+		boxes := c.Boxes()
+		shared := func(tuple []Element) bool {
+			for _, b := range boxes {
+				if b.ContainsTuple(tuple) {
+					return true
+				}
+			}
+			return false
+		}
+		return func() func([]Element) bool { return shared }
+	}
+	return func() func([]Element) bool { return c.Member }
+}
+
+// ApxParallel is Apx with the sampling loop sharded across worker
+// goroutines. workers ≤ 0 selects GOMAXPROCS. The result for a fixed seed
+// is identical across runs and worker counts.
+func (c *Compactor) ApxParallel(eps, delta float64, workers int, seed uint64) (Estimate, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return Estimate{}, err
+	}
+	if c.K < 0 {
+		return Estimate{}, fmt.Errorf("core: ApxParallel needs a bounded k-compactor; %s is unbounded (SpanLL) — use KarpLubyParallel", c.Name)
+	}
+	m := MaxDomainSize(c.Doms)
+	tBig := SampleBound(m, c.K, eps, delta)
+	if !tBig.IsInt64() || tBig.Int64() > MaxApxSamples {
+		return Estimate{}, fmt.Errorf("core: Apx sample bound %s exceeds cap %d (m=%d, k=%d)", tBig, MaxApxSamples, m, c.K)
+	}
+	return c.ApxParallelWithSamples(int(tBig.Int64()), workers, seed)
+}
+
+// ApxParallelWithSamples runs the Algorithm 3 estimator with an explicit
+// sample budget, sharded across worker goroutines with deterministic
+// per-shard PCG streams. workers ≤ 0 selects GOMAXPROCS.
+func (c *Compactor) ApxParallelWithSamples(t, workers int, seed uint64) (Estimate, error) {
+	if t <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample budget must be positive, got %d", t)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := sampleShards
+	if t < shards {
+		shards = t
+	}
+	factory := c.memberFactory()
+	jobs := make(chan int)
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			member := factory()
+			tuple := make([]Element, len(c.Doms))
+			local := int64(0)
+			for shard := range jobs {
+				rng := shardStream(seed, shard)
+				for i := shardSize(t, shards, shard); i > 0; i-- {
+					for j, d := range c.Doms {
+						tuple[j] = d.Elems[rng.IntN(d.Size())]
+					}
+					if member(tuple) {
+						local++
+					}
+				}
+			}
+			hits.Add(local)
+		}()
+	}
+	for shard := 0; shard < shards; shard++ {
+		jobs <- shard
+	}
+	close(jobs)
+	wg.Wait()
+	u := new(big.Float).SetInt(UniverseSize(c.Doms))
+	est := new(big.Float).Quo(
+		new(big.Float).Mul(u, big.NewFloat(float64(hits.Load()))),
+		big.NewFloat(float64(t)),
+	)
+	return Estimate{Value: est, Samples: t, Hits: int(hits.Load())}, nil
+}
+
+// KarpLubyParallel estimates |⋃ boxes| with t samples from the complex
+// sample space, sharded across worker goroutines with deterministic
+// per-shard PCG streams. workers ≤ 0 selects GOMAXPROCS. The result for a
+// fixed seed is identical across runs and worker counts.
+func KarpLubyParallel(doms []Domain, boxes []Selector, t, workers int, seed uint64) (Estimate, error) {
+	if t <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample budget must be positive, got %d", t)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	boxes = SortSelectors(DedupeSelectors(boxes))
+	if len(boxes) == 0 {
+		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
+	}
+	cum, w := cumulativeBoxWeights(doms, boxes)
+	if w.Sign() == 0 {
+		return Estimate{Value: big.NewFloat(0), Samples: t}, nil
+	}
+	shards := sampleShards
+	if t < shards {
+		shards = t
+	}
+	jobs := make(chan int)
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tuple := make([]Element, len(doms))
+			local := int64(0)
+			for shard := range jobs {
+				rng := shardStream(seed, shard)
+				for i := shardSize(t, shards, shard); i > 0; i-- {
+					if karpLubyTrial(doms, boxes, cum, w, tuple, rng) {
+						local++
+					}
+				}
+			}
+			hits.Add(local)
+		}()
+	}
+	for shard := 0; shard < shards; shard++ {
+		jobs <- shard
+	}
+	close(jobs)
+	wg.Wait()
+	wf := new(big.Float).SetInt(w)
+	est := new(big.Float).Quo(
+		new(big.Float).Mul(wf, big.NewFloat(float64(hits.Load()))),
+		big.NewFloat(float64(t)),
+	)
+	return Estimate{Value: est, Samples: t, Hits: int(hits.Load())}, nil
+}

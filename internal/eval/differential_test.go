@@ -1,0 +1,267 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Differential tests: the interned, posting-list-driven homomorphism
+// engine must agree bit-for-bit with a straightforward string-canonical
+// reference — the algorithm the engine replaced: atoms in query order,
+// candidates by scanning every fact of the predicate, image consistency
+// via canonical key-value strings.
+
+// referenceHoms enumerates homomorphisms the old way and returns the set
+// of their canonical encodings. ks == nil disables the consistency check.
+func referenceHoms(q query.CQ, idx *Index, ks *relational.KeySet) map[string]bool {
+	out := map[string]bool{}
+	env := Binding{}
+	image := map[string]string{} // key value canonical -> fact canonical
+	counts := map[string]int{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Atoms) {
+			out[env.Canonical()] = true
+			return
+		}
+		a := q.Atoms[i]
+		for _, fact := range idx.FactsFor(a.Pred) {
+			newly, ok := unify(a, fact, env)
+			if !ok {
+				continue
+			}
+			undone := false
+			if ks != nil {
+				kv := ks.KeyValue(fact).Canonical()
+				fc := fact.Canonical()
+				if prev, exists := image[kv]; exists && prev != fc {
+					for _, v := range newly {
+						delete(env, v)
+					}
+					continue
+				}
+				image[kv] = fc
+				counts[kv]++
+				rec(i + 1)
+				counts[kv]--
+				if counts[kv] == 0 {
+					delete(image, kv)
+					delete(counts, kv)
+				}
+				undone = true
+			}
+			if !undone {
+				rec(i + 1)
+			}
+			for _, v := range newly {
+				delete(env, v)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+func collectHoms(q query.CQ, idx *Index, ks *relational.KeySet) map[string]bool {
+	out := map[string]bool{}
+	if ks == nil {
+		for h := range Homs(q, idx) {
+			out[h.Canonical()] = true
+		}
+	} else {
+		for h := range ConsistentHoms(q, idx, ks) {
+			out[h.Canonical()] = true
+		}
+	}
+	return out
+}
+
+func sameSet(t *testing.T, label string, want, got map[string]bool) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: reference found %d homs, engine found %d", label, len(want), len(got))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("%s: engine missed hom %q", label, k)
+		}
+	}
+}
+
+// randomEmployeeFacts builds an Example-1.1-shaped instance directly (the
+// workload package cannot be imported here without a cycle through query).
+func randomEmployeeFacts(rng *rand.Rand, n int) []relational.Fact {
+	names := []relational.Const{"Alice", "Bob", "Carol", "Dan"}
+	depts := []relational.Const{"HR", "IT", "Sales"}
+	var facts []relational.Fact
+	for id := 1; id <= n; id++ {
+		idc := relational.IntConst(id)
+		facts = append(facts, relational.NewFact("Employee",
+			idc, names[rng.IntN(len(names))], depts[rng.IntN(len(depts))]))
+		if rng.IntN(2) == 0 {
+			facts = append(facts, relational.NewFact("Employee",
+				idc, names[rng.IntN(len(names))], depts[rng.IntN(len(depts))]))
+		}
+	}
+	return facts
+}
+
+func TestHomsDifferentialEmployee(t *testing.T) {
+	queries := []string{
+		"exists x, y, z . (Employee(1, x, y) & Employee(2, z, y))",
+		"exists x, y . (Employee(x, 'Alice', y) & Employee(x, 'Bob', y))",
+		"exists x, y, z, w . (Employee(x, y, 'IT') & Employee(z, w, 'IT'))",
+		"exists x . Employee(x, 'Carol', 'HR')",
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		idx := NewIndex(randomEmployeeFacts(rng, 2+rng.IntN(12)))
+		ks := relational.Keys(map[string]int{"Employee": 1})
+		for qi, src := range queries {
+			q := query.MustToUCQ(query.MustParse(src)).Disjuncts[0]
+			label := "seed " + strconv.FormatUint(seed, 10) + " query " + strconv.Itoa(qi)
+			sameSet(t, label+" plain", referenceHoms(q, idx, nil), collectHoms(q, idx, nil))
+			sameSet(t, label+" consistent", referenceHoms(q, idx, ks), collectHoms(q, idx, ks))
+		}
+	}
+}
+
+// Random multi-relation instances with repeated variables, constants that
+// may be absent from the data, and a wider-key relation.
+func TestHomsDifferentialRandom(t *testing.T) {
+	queries := []string{
+		"exists x, y . (R(x, y) & S(y))",
+		"exists x . (R(x, x) & S(x))",
+		"exists x, y, z . (R(x, y) & R(y, z) & T(x, y, z))",
+		"exists x, y . (T(x, 'a', y) & R(y, 'b'))",
+		"exists x . R(x, 'zzz-not-present')",
+	}
+	dom := []relational.Const{"a", "b", "c", "d"}
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		var facts []relational.Fact
+		for i := 0; i < 3+rng.IntN(15); i++ {
+			facts = append(facts, relational.NewFact("R",
+				dom[rng.IntN(len(dom))], dom[rng.IntN(len(dom))]))
+		}
+		for i := 0; i < rng.IntN(5); i++ {
+			facts = append(facts, relational.NewFact("S", dom[rng.IntN(len(dom))]))
+		}
+		for i := 0; i < rng.IntN(6); i++ {
+			facts = append(facts, relational.NewFact("T",
+				dom[rng.IntN(len(dom))], dom[rng.IntN(len(dom))], dom[rng.IntN(len(dom))]))
+		}
+		idx := NewIndex(facts)
+		ks := relational.Keys(map[string]int{"R": 1, "T": 2})
+		for qi, src := range queries {
+			q := query.MustToUCQ(query.MustParse(src)).Disjuncts[0]
+			label := "seed " + strconv.FormatUint(seed, 10) + " query " + strconv.Itoa(qi)
+			sameSet(t, label+" plain", referenceHoms(q, idx, nil), collectHoms(q, idx, nil))
+			sameSet(t, label+" consistent", referenceHoms(q, idx, ks), collectHoms(q, idx, ks))
+		}
+	}
+}
+
+// The filtered matcher restricted to a subset of facts must agree with
+// rebuilding an index over that subset — the exact operation the FPRAS
+// member predicate replaced.
+func TestUCQMatcherFilterDifferential(t *testing.T) {
+	dom := []relational.Const{"a", "b", "c"}
+	u := query.MustToUCQ(query.MustParse(
+		"exists x, y . (R(x, y) & S(y)) | exists z . R(z, z)"))
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		var facts []relational.Fact
+		for i := 0; i < 4+rng.IntN(10); i++ {
+			facts = append(facts, relational.NewFact("R",
+				dom[rng.IntN(len(dom))], dom[rng.IntN(len(dom))]))
+		}
+		for i := 0; i < rng.IntN(4); i++ {
+			facts = append(facts, relational.NewFact("S", dom[rng.IntN(len(dom))]))
+		}
+		idx := NewIndex(facts)
+		m := NewUCQMatcher(u, idx)
+		for trial := 0; trial < 8; trial++ {
+			allowed := make([]bool, idx.NumFacts())
+			var subset []relational.Fact
+			for ord := range allowed {
+				if rng.IntN(2) == 0 {
+					allowed[ord] = true
+					subset = append(subset, idx.FactAt(ord))
+				}
+			}
+			got := m.HasHomWhere(func(ord int32) bool { return allowed[ord] })
+			want := EvalUCQ(u, NewIndex(subset))
+			if got != want {
+				t.Fatalf("seed %d trial %d: filtered matcher = %v, subset index = %v (subset %v)",
+					seed, trial, got, want, subset)
+			}
+		}
+	}
+}
+
+// A query atom whose arity disagrees with the indexed facts must simply
+// never match (the behavior of the unify-based reference), not panic or
+// prefix-match.
+func TestHomsArityMismatch(t *testing.T) {
+	idx := NewIndex([]relational.Fact{
+		relational.NewFact("R", "a", "b"),
+		relational.NewFact("R", "b", "b"),
+	})
+	ks := relational.Keys(map[string]int{"R": 1})
+	for _, src := range []string{
+		"exists x . R(x)",
+		"exists x, y, z . R(x, y, z)",
+		"exists x, y . (R(x, y) & R(x))",
+	} {
+		q := query.MustToUCQ(query.MustParse(src)).Disjuncts[0]
+		if HasHom(q, idx) {
+			t.Fatalf("%s: HasHom = true across an arity mismatch", src)
+		}
+		if HasConsistentHom(q, idx, ks) {
+			t.Fatalf("%s: HasConsistentHom = true across an arity mismatch", src)
+		}
+		for h := range Homs(q, idx) {
+			t.Fatalf("%s: Homs yielded %v across an arity mismatch", src, h)
+		}
+	}
+}
+
+// Index accessors must present the same canonical view as the previous
+// string-keyed implementation.
+func TestIndexCanonicalView(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	facts := randomEmployeeFacts(rng, 20)
+	facts = append(facts, facts[0], facts[3]) // duplicates must collapse
+	idx := NewIndex(facts)
+	sorted := relational.SortFacts(append([]relational.Fact(nil), facts...))
+	uniq := sorted[:0]
+	for i, f := range sorted {
+		if i == 0 || !sorted[i-1].Equal(f) {
+			uniq = append(uniq, f)
+		}
+	}
+	if idx.Len() != len(uniq) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(uniq))
+	}
+	for i, f := range uniq {
+		if !idx.FactAt(i).Equal(f) {
+			t.Fatalf("FactAt(%d) = %s, want %s", i, idx.FactAt(i), f)
+		}
+		if !idx.Contains(f) {
+			t.Fatalf("Contains(%s) = false", f)
+		}
+	}
+	ff := idx.FactsFor("Employee")
+	if !sort.SliceIsSorted(ff, func(i, j int) bool { return ff[i].Less(ff[j]) }) {
+		t.Fatal("FactsFor not canonically sorted")
+	}
+	if idx.Contains(relational.NewFact("Employee", "1", "Nobody", "Nowhere")) {
+		t.Fatal("Contains on absent fact")
+	}
+}

@@ -3,6 +3,12 @@
 // homomorphism search, UCQ evaluation, and the Σ-consistent homomorphism
 // search that underlies Lemma 3.5 of the paper (the logspace decision
 // procedure for #CQA>0(∃FO⁺)).
+//
+// Evaluation runs over an interned fact Index (see index.go): constants
+// and predicates are dense uint32 IDs, membership is an integer-keyed hash
+// probe, and joins probe (predicate × position × constant) posting lists
+// ordered by bound-variable selectivity instead of scanning every fact of
+// a predicate.
 package eval
 
 import (
@@ -12,52 +18,6 @@ import (
 	"repaircount/internal/query"
 	"repaircount/internal/relational"
 )
-
-// Index is a read-only view of a set of facts with per-predicate access,
-// membership testing and the active domain, shared by all evaluators.
-type Index struct {
-	byPred map[string][]relational.Fact
-	member map[string]bool
-	dom    []relational.Const
-}
-
-// NewIndex builds an index over the given facts.
-func NewIndex(facts []relational.Fact) *Index {
-	idx := &Index{byPred: map[string][]relational.Fact{}, member: map[string]bool{}}
-	var dom []relational.Const
-	for _, f := range facts {
-		c := f.Canonical()
-		if idx.member[c] {
-			continue
-		}
-		idx.member[c] = true
-		idx.byPred[f.Pred] = append(idx.byPred[f.Pred], f)
-		dom = append(dom, f.Args...)
-	}
-	for p := range idx.byPred {
-		relational.SortFacts(idx.byPred[p])
-	}
-	idx.dom = relational.ConstSlice(dom)
-	return idx
-}
-
-// IndexDatabase builds an index over a database.
-func IndexDatabase(d *relational.Database) *Index {
-	return NewIndex(d.FactsUnsorted())
-}
-
-// Contains reports whether the fact is present.
-func (idx *Index) Contains(f relational.Fact) bool { return idx.member[f.Canonical()] }
-
-// FactsFor returns the facts with the given predicate, canonically sorted.
-// Callers must not mutate the result.
-func (idx *Index) FactsFor(pred string) []relational.Fact { return idx.byPred[pred] }
-
-// Dom returns the active domain, sorted. Callers must not mutate the result.
-func (idx *Index) Dom() []relational.Const { return idx.dom }
-
-// Len returns the number of facts indexed.
-func (idx *Index) Len() int { return len(idx.member) }
 
 // Binding maps variables to constants.
 type Binding map[query.Var]relational.Const
@@ -153,15 +113,59 @@ func negate(f query.Formula) query.Formula {
 	}
 }
 
+// candidatesFor returns the candidate fact set for an atom under the
+// current binding: the shortest posting list among positions carrying a
+// constant or an already-bound variable, or the atom's full predicate
+// range when no position is bound. An atom mentioning a predicate or
+// constant unknown to the index has no candidates.
+func (idx *Index) candidatesFor(a query.Atom, env Binding) candSet {
+	pid, ok := idx.in.LookupPred(a.Pred)
+	if !ok {
+		return candSet{}
+	}
+	r, ok := idx.predRange[pid]
+	if !ok {
+		return candSet{}
+	}
+	best := candSet{lo: r[0], hi: r[1]}
+	for pos, t := range a.Args {
+		var c relational.Const
+		switch t := t.(type) {
+		case query.ConstTerm:
+			c = relational.Const(t)
+		case query.Var:
+			bound, ok := env[t]
+			if !ok {
+				continue
+			}
+			c = bound
+		default:
+			continue
+		}
+		cid, ok := idx.in.LookupConst(c)
+		if !ok {
+			return candSet{} // constant absent from the index: no match
+		}
+		idx.ensurePostings()
+		list := idx.postings[postingKey{pred: pid, pos: uint16(pos), cid: cid}]
+		if int32(len(list)) < best.size() {
+			best = candSet{list: list}
+		}
+	}
+	return best
+}
+
 // evalExists evaluates ∃x̄ φ. When φ is a conjunction containing positive
 // atoms over quantified variables, the evaluator backtracks over matching
 // facts for those atoms (a join) instead of scanning dom(D)^|x̄|, and only
-// the remaining conjuncts are model-checked per binding. Atom arguments
-// are always database constants, so the join never leaves the active
-// domain; variables in no positive atom fall back to a domain scan. This
-// keeps first-order queries such as the Theorem 3.2/3.3 SAT encoding
-// (seven quantified variables, one guard atom) evaluable in linear rather
-// than |dom|⁷ time.
+// the remaining conjuncts are model-checked per binding. Guard atoms are
+// chosen dynamically by bound-variable selectivity: at every depth the
+// pending atom with the fewest candidate facts (per the posting lists) is
+// matched next. Atom arguments are always database constants, so the join
+// never leaves the active domain; variables in no positive atom fall back
+// to a domain scan. This keeps first-order queries such as the Theorem
+// 3.2/3.3 SAT encoding (seven quantified variables, one guard atom)
+// evaluable in linear rather than |dom|⁷ time.
 func evalExists(vars []query.Var, kid query.Formula, idx *Index, env Binding) bool {
 	// Flatten the body into conjuncts.
 	var conjuncts []query.Formula
@@ -187,11 +191,12 @@ func evalExists(vars []query.Var, kid query.Formula, idx *Index, env Binding) bo
 	for _, v := range vars {
 		quantified[v] = true
 	}
-	// Backtrack over the guard atoms, then finish remaining variables and
-	// conjuncts.
-	var joined func(i int) bool
-	joined = func(i int) bool {
-		if i == len(atoms) {
+	used := make([]bool, len(atoms))
+	// Backtrack over the guard atoms (most selective first), then finish
+	// remaining variables and conjuncts.
+	var joined func(nUsed int) bool
+	joined = func(nUsed int) bool {
+		if nUsed == len(atoms) {
 			var unbound []query.Var
 			for _, v := range vars {
 				if _, ok := env[v]; !ok {
@@ -201,10 +206,23 @@ func evalExists(vars []query.Var, kid query.Formula, idx *Index, env Binding) bo
 			body := query.And{Kids: rest}
 			return evalQuant(unbound, body, idx, env, false)
 		}
-		a := atoms[i]
-		// If the atom has no quantified variables unbound it is just a
-		// membership test under the current binding.
-		for _, fact := range idx.FactsFor(a.Pred) {
+		// Select the pending atom with the fewest candidates.
+		best := -1
+		var bestC candSet
+		for i := range atoms {
+			if used[i] {
+				continue
+			}
+			c := idx.candidatesFor(atoms[i], env)
+			if best < 0 || c.size() < bestC.size() {
+				best, bestC = i, c
+			}
+		}
+		a := atoms[best]
+		used[best] = true
+		defer func() { used[best] = false }()
+		for k := int32(0); k < bestC.size(); k++ {
+			fact := idx.facts[bestC.at(k)]
 			newly, ok := unify(a, fact, env)
 			if !ok {
 				continue
@@ -219,7 +237,7 @@ func evalExists(vars []query.Var, kid query.Formula, idx *Index, env Binding) bo
 					break
 				}
 			}
-			if legal && joined(i+1) {
+			if legal && joined(nUsed+1) {
 				for _, v := range newly {
 					delete(env, v)
 				}

@@ -13,14 +13,354 @@ import (
 //
 // A homomorphism for a Boolean CQ q over facts F is a mapping h from the
 // variables of q to constants with h(q) ⊆ F. The search is a backtracking
-// join: atoms are processed in order, candidate facts come from the
-// per-predicate index, and partial bindings prune inconsistent branches.
+// join over the interned index: atoms are compiled to (predicate ID, term)
+// sequences once per search, candidate facts come from the argument-
+// position posting lists, and at every depth the pending atom with the
+// fewest candidates under the current partial binding is matched next
+// (bound-variable selectivity ordering). Environments are flat int32
+// slices, so the inner loop performs no allocation and no string work.
+
+// cterm is one compiled atom argument: a variable slot or a constant ID.
+type cterm struct {
+	slot int32  // ≥ 0: variable slot; < 0: constant
+	cid  uint32 // constant ID when slot < 0; unused otherwise
+}
+
+// catom is one compiled atom.
+type catom struct {
+	pred  uint32
+	terms []cterm
+}
+
+// homSearch is the reusable backtracking state for one CQ over one index.
+// It is not safe for concurrent use; parallel callers build one per worker.
+type homSearch struct {
+	idx   *Index
+	atoms []catom
+	vars  []query.Var // slot → variable name, in first-occurrence order
+	dead  bool        // some atom can never match: the CQ has no homomorphisms
+
+	env   []int32 // slot → constant ID, -1 when unbound
+	used  []bool
+	trail []int32 // stack of bound slots, unwound on backtrack
+
+	// Σ-consistency state (nil ks disables the image check): the facts
+	// chosen for the homomorphic image, grouped by the key partition under
+	// ks. The image pins at most one group per atom, so a small parallel
+	// vector beats a block-count-sized table.
+	ks       *relational.KeySet
+	part     *keyPartition
+	imgGroup []int32 // pinned group ordinals (≤ len(atoms) entries)
+	imgFact  []int32 // chosen fact ordinal per pinned group
+	imgCount []int32 // how many atoms currently pin that fact
+
+	// allowed, when non-nil, restricts candidate facts to a subset of the
+	// index (e.g. the facts of one repair).
+	allowed func(ord int32) bool
+
+	binding Binding // reused yield map
+
+	// yield receives complete homomorphisms during rec; nil selects the
+	// existence-only mode, which records found and stops at the first hit.
+	// Keeping both on the struct lets rec be a plain method — no closure
+	// allocation per search, which matters when the FPRAS runs one search
+	// per sample.
+	yield func(Binding) bool
+	found bool
+}
+
+// newHomSearch compiles q against the index.
+func newHomSearch(q query.CQ, idx *Index, ks *relational.KeySet) *homSearch {
+	s := &homSearch{idx: idx, ks: ks}
+	nTerms := 0
+	for _, a := range q.Atoms {
+		nTerms += len(a.Args)
+	}
+	termArena := make([]cterm, 0, nTerms)
+	var slots map[query.Var]int32
+	s.atoms = make([]catom, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		pid, ok := idx.in.LookupPred(a.Pred)
+		if !ok {
+			s.dead = true
+		}
+		start := len(termArena)
+		for _, t := range a.Args {
+			switch t := t.(type) {
+			case query.ConstTerm:
+				cid, ok := idx.in.LookupConst(relational.Const(t))
+				if !ok {
+					s.dead = true
+				}
+				termArena = append(termArena, cterm{slot: -1, cid: cid})
+			case query.Var:
+				slot, ok := slots[t]
+				if !ok {
+					if slots == nil {
+						slots = make(map[query.Var]int32, 8)
+					}
+					slot = int32(len(s.vars))
+					slots[t] = slot
+					s.vars = append(s.vars, t)
+				}
+				termArena = append(termArena, cterm{slot: slot})
+			}
+		}
+		s.atoms = append(s.atoms, catom{pred: pid, terms: termArena[start:len(termArena):len(termArena)]})
+	}
+	// One shared int32 arena backs the environment, the trail and the
+	// image vectors, so a search costs a handful of allocations total.
+	nv, na := len(s.vars), len(s.atoms)
+	arenaLen := 2 * nv // env + trail
+	if ks != nil {
+		arenaLen += 3 * na
+	}
+	arena := make([]int32, arenaLen)
+	s.env = arena[:nv:nv]
+	s.trail = arena[nv : nv : 2*nv]
+	if ks != nil {
+		base := 2 * nv
+		s.imgGroup = arena[base : base : base+na]
+		s.imgFact = arena[base+na : base+na : base+2*na]
+		s.imgCount = arena[base+2*na : base+2*na : base+3*na]
+	}
+	s.used = make([]bool, na)
+	if ks != nil {
+		s.part = idx.keyPartition(ks)
+	}
+	s.reset()
+	return s
+}
+
+// reset restores the pristine search state (needed when a search is reused
+// after an early stop, which leaves bindings on the trail).
+func (s *homSearch) reset() {
+	for i := range s.env {
+		s.env[i] = -1
+	}
+	for i := range s.used {
+		s.used[i] = false
+	}
+	s.trail = s.trail[:0]
+	if s.imgGroup != nil {
+		s.imgGroup = s.imgGroup[:0]
+		s.imgFact = s.imgFact[:0]
+		s.imgCount = s.imgCount[:0]
+	}
+}
+
+// pinImage records that the homomorphic image uses fact ord, which lies in
+// key-partition group grp. It returns false when the image would contain
+// two distinct facts of the same group (a key violation).
+func (s *homSearch) pinImage(grp, ord int32) bool {
+	for i, g := range s.imgGroup {
+		if g != grp {
+			continue
+		}
+		if s.imgFact[i] != ord {
+			return false
+		}
+		s.imgCount[i]++
+		return true
+	}
+	s.imgGroup = append(s.imgGroup, grp)
+	s.imgFact = append(s.imgFact, ord)
+	s.imgCount = append(s.imgCount, 1)
+	return true
+}
+
+// unpinImage undoes one pinImage of fact ord in group grp.
+func (s *homSearch) unpinImage(grp int32) {
+	for i, g := range s.imgGroup {
+		if g != grp {
+			continue
+		}
+		s.imgCount[i]--
+		if s.imgCount[i] == 0 {
+			last := len(s.imgGroup) - 1
+			s.imgGroup[i] = s.imgGroup[last]
+			s.imgFact[i] = s.imgFact[last]
+			s.imgCount[i] = s.imgCount[last]
+			s.imgGroup = s.imgGroup[:last]
+			s.imgFact = s.imgFact[:last]
+			s.imgCount = s.imgCount[:last]
+		}
+		return
+	}
+}
+
+// candidates returns the candidate fact set for a compiled atom: the
+// shortest posting list among positions whose term is a constant or a
+// bound variable, or the predicate's full range.
+func (s *homSearch) candidates(a catom) candSet {
+	idx := s.idx
+	r, ok := idx.predRange[a.pred]
+	if !ok {
+		return candSet{}
+	}
+	best := candSet{lo: r[0], hi: r[1]}
+	for pos, t := range a.terms {
+		cid := t.cid
+		if t.slot >= 0 {
+			if s.env[t.slot] < 0 {
+				continue
+			}
+			cid = uint32(s.env[t.slot])
+		}
+		idx.ensurePostings()
+		list := idx.postings[postingKey{pred: a.pred, pos: uint16(pos), cid: cid}]
+		if int32(len(list)) < best.size() {
+			best = candSet{list: list}
+		}
+	}
+	return best
+}
+
+// match extends the environment so the atom maps onto fact ordinal ord; it
+// returns the number of slots newly pushed on the trail and whether the
+// match succeeded. On failure the environment is left unchanged.
+func (s *homSearch) match(a catom, ord int32) (int, bool) {
+	args := s.idx.argsOf(ord)
+	if len(a.terms) != len(args) {
+		return 0, false
+	}
+	pushed := 0
+	for i, t := range a.terms {
+		c := int32(args[i])
+		if t.slot < 0 {
+			if uint32(c) != t.cid {
+				s.unwind(pushed)
+				return 0, false
+			}
+			continue
+		}
+		switch b := s.env[t.slot]; {
+		case b < 0:
+			s.env[t.slot] = c
+			s.trail = append(s.trail, t.slot)
+			pushed++
+		case b != c:
+			s.unwind(pushed)
+			return 0, false
+		}
+	}
+	return pushed, true
+}
+
+// unwind pops n bindings off the trail.
+func (s *homSearch) unwind(n int) {
+	for ; n > 0; n-- {
+		s.env[s.trail[len(s.trail)-1]] = -1
+		s.trail = s.trail[:len(s.trail)-1]
+	}
+}
+
+// run enumerates the homomorphisms, calling yield with a reused Binding.
+// It returns false when yield stopped the enumeration (leaving partial
+// state behind; call reset before reusing the search).
+func (s *homSearch) run(yield func(Binding) bool) bool {
+	if s.dead {
+		return true
+	}
+	s.yield = yield
+	cont := s.rec(0)
+	s.yield = nil
+	return cont
+}
+
+// exists reports whether at least one homomorphism exists. It allocates
+// nothing in steady state and leaves partial search state behind; call
+// reset before reusing the search.
+func (s *homSearch) exists() bool {
+	if s.dead {
+		return false
+	}
+	s.found = false
+	s.rec(0)
+	return s.found
+}
+
+// rec is the backtracking core: match one more atom, chosen by bound-
+// variable selectivity, against its posting-list candidates. It returns
+// false to stop the enumeration.
+func (s *homSearch) rec(nUsed int) bool {
+	if nUsed == len(s.atoms) {
+		if s.yield == nil {
+			s.found = true
+			return false
+		}
+		return s.yield(s.fillBinding())
+	}
+	part := s.part
+	// Selectivity ordering: match the pending atom with the fewest
+	// candidate facts under the current partial binding.
+	best := -1
+	var bestC candSet
+	for i, a := range s.atoms {
+		if s.used[i] {
+			continue
+		}
+		c := s.candidates(a)
+		if best < 0 || c.size() < bestC.size() {
+			best, bestC = i, c
+		}
+	}
+	a := s.atoms[best]
+	s.used[best] = true
+	for k := int32(0); k < bestC.size(); k++ {
+		ord := bestC.at(k)
+		if s.allowed != nil && !s.allowed(ord) {
+			continue
+		}
+		pushed, ok := s.match(a, ord)
+		if !ok {
+			continue
+		}
+		grp := int32(-1)
+		if part != nil {
+			grp = part.factBlock[ord]
+			if !s.pinImage(grp, ord) {
+				// Image would violate a key: two distinct facts with the
+				// same key value.
+				s.unwind(pushed)
+				continue
+			}
+		}
+		cont := s.rec(nUsed + 1)
+		if part != nil {
+			s.unpinImage(grp)
+		}
+		s.unwind(pushed)
+		if !cont {
+			return false
+		}
+	}
+	s.used[best] = false
+	return true
+}
+
+// fillBinding refreshes the reused Binding map from the flat environment.
+// The map is allocated on first yield, so pure existence checks never
+// build one.
+func (s *homSearch) fillBinding() Binding {
+	if s.binding == nil {
+		s.binding = make(Binding, len(s.vars))
+	} else {
+		clear(s.binding)
+	}
+	for slot, v := range s.vars {
+		s.binding[v] = s.idx.in.ConstAt(uint32(s.env[slot]))
+	}
+	return s.binding
+}
 
 // Homs enumerates every homomorphism h with h(q) ⊆ idx, in a deterministic
-// order (atom order × canonical fact order). The yielded binding is reused
-// across iterations; clone it if retained.
+// order (selectivity-driven atom order × ascending fact order). The yielded
+// binding is reused across iterations; clone it if retained.
 func Homs(q query.CQ, idx *Index) iter.Seq[Binding] {
-	return homs(q, idx, nil)
+	return func(yield func(Binding) bool) {
+		newHomSearch(q, idx, nil).run(yield)
+	}
 }
 
 // ConsistentHoms enumerates homomorphisms h with h(q) ⊆ idx and h(q) ⊨ Σ
@@ -28,75 +368,15 @@ func Homs(q query.CQ, idx *Index) iter.Seq[Binding] {
 // certificates of the paper's guess-check-expand algorithm for #CQA
 // (§4.1): a pair (disjunct, h) witnesses a repair entailing the query.
 func ConsistentHoms(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[Binding] {
-	return homs(q, idx, ks)
-}
-
-// homs is the shared backtracking engine; ks == nil disables the
-// image-consistency check.
-func homs(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[Binding] {
 	return func(yield func(Binding) bool) {
-		env := Binding{}
-		// image tracks key value -> chosen fact canonical, to enforce
-		// h(q) ⊨ Σ incrementally; counts allow backtracking.
-		type kvEntry struct {
-			fact  string
-			count int
-		}
-		image := map[string]*kvEntry{}
-		var rec func(i int) bool // returns false to stop enumeration
-		rec = func(i int) bool {
-			if i == len(q.Atoms) {
-				return yield(env)
-			}
-			a := q.Atoms[i]
-			for _, fact := range idx.FactsFor(a.Pred) {
-				newly, ok := unify(a, fact, env)
-				if !ok {
-					continue
-				}
-				var entry *kvEntry
-				if ks != nil {
-					kv := ks.KeyValue(fact).Canonical()
-					fc := fact.Canonical()
-					if e, exists := image[kv]; exists {
-						if e.fact != fc {
-							// Image would violate a key: two distinct facts
-							// with the same key value.
-							for _, v := range newly {
-								delete(env, v)
-							}
-							continue
-						}
-						e.count++
-						entry = e
-					} else {
-						entry = &kvEntry{fact: fc, count: 1}
-						image[kv] = entry
-					}
-				}
-				cont := rec(i + 1)
-				if ks != nil {
-					entry.count--
-					if entry.count == 0 {
-						delete(image, ks.KeyValue(fact).Canonical())
-					}
-				}
-				for _, v := range newly {
-					delete(env, v)
-				}
-				if !cont {
-					return false
-				}
-			}
-			return true
-		}
-		rec(0)
+		newHomSearch(q, idx, ks).run(yield)
 	}
 }
 
 // unify extends env so that the atom maps onto the fact; it returns the
 // variables newly bound (to undo on backtrack) and whether unification
-// succeeded. On failure env is left unchanged.
+// succeeded. On failure env is left unchanged. The first-order evaluator
+// uses it for guard atoms; the CQ engines use the compiled matcher above.
 func unify(a query.Atom, f relational.Fact, env Binding) ([]query.Var, bool) {
 	if len(a.Args) != len(f.Args) {
 		return nil, false
@@ -131,10 +411,7 @@ func unify(a query.Atom, f relational.Fact, env Binding) ([]query.Var, bool) {
 
 // HasHom reports whether some homomorphism embeds q into idx.
 func HasHom(q query.CQ, idx *Index) bool {
-	for range Homs(q, idx) {
-		return true
-	}
-	return false
+	return newHomSearch(q, idx, nil).exists()
 }
 
 // HasConsistentHom reports whether some homomorphism embeds q into idx with
@@ -142,10 +419,7 @@ func HasHom(q query.CQ, idx *Index) bool {
 // Lemma 3.5: a repair entailing the UCQ exists iff some disjunct has a
 // consistent homomorphism.
 func HasConsistentHom(q query.CQ, idx *Index, ks *relational.KeySet) bool {
-	for range ConsistentHoms(q, idx, ks) {
-		return true
-	}
-	return false
+	return newHomSearch(q, idx, ks).exists()
 }
 
 // EvalUCQ reports whether the UCQ holds on the indexed facts (some disjunct
@@ -153,6 +427,53 @@ func HasConsistentHom(q query.CQ, idx *Index, ks *relational.KeySet) bool {
 func EvalUCQ(u query.UCQ, idx *Index) bool {
 	for _, q := range u.Disjuncts {
 		if HasHom(q, idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// UCQMatcher is a compiled UCQ evaluator over one index, reusable across
+// many membership probes. HasHomWhere restricts the search to a subset of
+// the indexed facts, which is how the FPRAS tests "does the repair encoded
+// by this tuple entail Q" without building a per-sample index. A matcher
+// holds scratch state and is not safe for concurrent use; build one per
+// worker.
+type UCQMatcher struct {
+	searches []*homSearch
+}
+
+// NewUCQMatcher compiles the UCQ against the index.
+func NewUCQMatcher(u query.UCQ, idx *Index) *UCQMatcher {
+	return NewConsistentUCQMatcher(u, idx, nil)
+}
+
+// NewConsistentUCQMatcher compiles the UCQ against the index with the
+// Σ-consistent image check enabled: matches report homomorphisms whose
+// image satisfies the keys, i.e. Lemma 3.5 certificates. ks == nil
+// disables the check (plain UCQ evaluation).
+func NewConsistentUCQMatcher(u query.UCQ, idx *Index, ks *relational.KeySet) *UCQMatcher {
+	m := &UCQMatcher{}
+	for _, q := range u.Disjuncts {
+		m.searches = append(m.searches, newHomSearch(q, idx, ks))
+	}
+	return m
+}
+
+// HasHom reports whether some disjunct has a (consistent, when enabled)
+// homomorphism into the index.
+func (m *UCQMatcher) HasHom() bool { return m.HasHomWhere(nil) }
+
+// HasHomWhere reports whether some disjunct has a homomorphism whose image
+// uses only facts allowed by the filter (nil allows every fact). Fact
+// ordinals follow Index.FactAt.
+func (m *UCQMatcher) HasHomWhere(allowed func(ord int32) bool) bool {
+	for _, s := range m.searches {
+		s.reset()
+		s.allowed = allowed
+		found := s.exists()
+		s.allowed = nil
+		if found {
 			return true
 		}
 	}

@@ -1,0 +1,296 @@
+package eval
+
+import (
+	"sync"
+
+	"repaircount/internal/relational"
+)
+
+// This file implements the interned fact index shared by all evaluators.
+// Facts are stored once in canonical order; every constant and predicate is
+// mapped to a dense uint32 ID; and three integer-keyed access paths replace
+// the former canonical-string maps:
+//
+//   - membership: fact hash → ordinals, verified structurally (ID compare);
+//   - per-predicate ranges: the canonical order groups facts by predicate,
+//     so each predicate owns one contiguous ordinal range;
+//   - posting lists: (predicate, argument position, constant ID) → ascending
+//     ordinals of the facts carrying that constant in that position. The
+//     join engines probe these instead of scanning all facts of a predicate.
+
+// postingKey addresses one posting list: predicate × argument position ×
+// constant ID.
+type postingKey struct {
+	pred uint32
+	pos  uint16
+	cid  uint32
+}
+
+// Index is a read-only view of a set of facts with per-predicate access,
+// membership testing, argument-position posting lists and the active
+// domain, shared by all evaluators. Safe for concurrent use after
+// construction.
+type Index struct {
+	in    *relational.Interner
+	facts []relational.Fact // canonical order; position = fact ordinal
+	// arena and offs hold the interned arguments of every fact: fact i's
+	// argument IDs are arena[offs[i]:offs[i+1]].
+	arena []uint32
+	offs  []int32
+	fpred []uint32 // interned predicate per ordinal
+
+	byPred    map[string][]relational.Fact // subslices of facts
+	predRange map[uint32][2]int32          // pred ID → [start, end) ordinals
+	buckets   map[uint64][]int32           // fact hash → ordinals
+	dom       []relational.Const
+
+	postOnce sync.Once
+	postings map[postingKey][]int32
+
+	mu       sync.Mutex
+	keyParts map[*relational.KeySet]*keyPartition
+}
+
+// NewIndex builds an index over the given facts (de-duplicating them).
+func NewIndex(facts []relational.Fact) *Index {
+	idx := &Index{
+		in:      relational.NewInterner(),
+		buckets: make(map[uint64][]int32, len(facts)),
+		offs:    make([]int32, 1, len(facts)+1),
+	}
+	// Intern and de-duplicate in insertion order.
+	for _, f := range facts {
+		start := len(idx.arena)
+		pid, arena := idx.in.InternFact(f, idx.arena)
+		args := arena[start:]
+		h := hashFact(pid, args)
+		dup := false
+		for _, ord := range idx.buckets[h] {
+			if idx.fpred[ord] == pid && u32SliceEqual(idx.argsOf(ord), args) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			idx.arena = arena[:start]
+			continue
+		}
+		ord := int32(len(idx.facts))
+		idx.arena = arena
+		idx.offs = append(idx.offs, int32(len(arena)))
+		idx.facts = append(idx.facts, f)
+		idx.fpred = append(idx.fpred, pid)
+		idx.buckets[h] = append(idx.buckets[h], ord)
+	}
+	idx.sortCanonical()
+	idx.buildPredAccess()
+	dom := make([]relational.Const, 0, idx.in.NumConsts())
+	dom = append(dom, idx.in.Consts()...)
+	idx.dom = relational.ConstSlice(dom)
+	return idx
+}
+
+// sortCanonical permutes the fact arrays into canonical fact order and
+// remaps the membership buckets accordingly.
+func (idx *Index) sortCanonical() {
+	n := len(idx.facts)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	relational.SortOrdinalsByFact(perm, idx.facts)
+	inv := make([]int32, n)
+	for newOrd, oldOrd := range perm {
+		inv[oldOrd] = int32(newOrd)
+	}
+	facts := make([]relational.Fact, n)
+	fpred := make([]uint32, n)
+	arena := make([]uint32, 0, len(idx.arena))
+	offs := make([]int32, 1, n+1)
+	for _, oldOrd := range perm {
+		facts[len(offs)-1] = idx.facts[oldOrd]
+		fpred[len(offs)-1] = idx.fpred[oldOrd]
+		arena = append(arena, idx.argsOf(oldOrd)...)
+		offs = append(offs, int32(len(arena)))
+	}
+	idx.facts, idx.fpred, idx.arena, idx.offs = facts, fpred, arena, offs
+	for h, ords := range idx.buckets {
+		for i, o := range ords {
+			ords[i] = inv[o]
+		}
+		idx.buckets[h] = ords
+	}
+}
+
+// buildPredAccess computes the per-predicate ordinal ranges and the
+// byPred subslices from the canonically sorted fact array.
+func (idx *Index) buildPredAccess() {
+	idx.byPred = map[string][]relational.Fact{}
+	idx.predRange = map[uint32][2]int32{}
+	for s := 0; s < len(idx.facts); {
+		e := s + 1
+		for e < len(idx.facts) && idx.fpred[e] == idx.fpred[s] {
+			e++
+		}
+		idx.byPred[idx.facts[s].Pred] = idx.facts[s:e:e]
+		idx.predRange[idx.fpred[s]] = [2]int32{int32(s), int32(e)}
+		s = e
+	}
+}
+
+// ensurePostings builds the argument-position posting lists on first use.
+func (idx *Index) ensurePostings() {
+	idx.postOnce.Do(func() {
+		posts := make(map[postingKey][]int32, len(idx.arena))
+		for ord := range idx.facts {
+			args := idx.argsOf(int32(ord))
+			pred := idx.fpred[ord]
+			for pos, cid := range args {
+				k := postingKey{pred: pred, pos: uint16(pos), cid: cid}
+				posts[k] = append(posts[k], int32(ord))
+			}
+		}
+		idx.postings = posts
+	})
+}
+
+// argsOf returns the interned argument IDs of a fact ordinal.
+func (idx *Index) argsOf(ord int32) []uint32 {
+	return idx.arena[idx.offs[ord]:idx.offs[ord+1]]
+}
+
+// IndexDatabase builds an index over a database.
+func IndexDatabase(d *relational.Database) *Index {
+	return NewIndex(d.FactsUnsorted())
+}
+
+// Contains reports whether the fact is present. The probe is read-only and
+// allocation-free for facts of arity ≤ 16.
+func (idx *Index) Contains(f relational.Fact) bool {
+	pid, ok := idx.in.LookupPred(f.Pred)
+	if !ok {
+		return false
+	}
+	var buf [16]uint32
+	args := buf[:0]
+	if len(f.Args) > len(buf) {
+		args = make([]uint32, 0, len(f.Args))
+	}
+	for _, a := range f.Args {
+		id, ok := idx.in.LookupConst(a)
+		if !ok {
+			return false
+		}
+		args = append(args, id)
+	}
+	h := hashFact(pid, args)
+	for _, ord := range idx.buckets[h] {
+		if idx.fpred[ord] == pid && u32SliceEqual(idx.argsOf(ord), args) {
+			return true
+		}
+	}
+	return false
+}
+
+// FactsFor returns the facts with the given predicate, canonically sorted.
+// Callers must not mutate the result.
+func (idx *Index) FactsFor(pred string) []relational.Fact { return idx.byPred[pred] }
+
+// Dom returns the active domain, sorted. Callers must not mutate the result.
+func (idx *Index) Dom() []relational.Const { return idx.dom }
+
+// Len returns the number of facts indexed.
+func (idx *Index) Len() int { return len(idx.facts) }
+
+// NumFacts returns the number of facts indexed (alias of Len, named for
+// ordinal-based callers).
+func (idx *Index) NumFacts() int { return len(idx.facts) }
+
+// FactAt returns the fact with the given ordinal (position in canonical
+// order). Ordinals are stable for the lifetime of the index.
+func (idx *Index) FactAt(ord int) relational.Fact { return idx.facts[ord] }
+
+// Interner exposes the index's symbol table (read-only use).
+func (idx *Index) Interner() *relational.Interner { return idx.in }
+
+// keyPartition groups the indexed facts by key value under one Σ: facts
+// with equal key values share a group ordinal. It is the integer-keyed
+// form of the conflict-block structure, memoized per KeySet.
+type keyPartition struct {
+	factBlock []int32 // fact ordinal → group ordinal
+	numBlocks int
+}
+
+// keyPartition returns (building it on first use) the key partition of the
+// indexed facts under ks.
+func (idx *Index) keyPartition(ks *relational.KeySet) *keyPartition {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	if p, ok := idx.keyParts[ks]; ok {
+		return p
+	}
+	p := &keyPartition{factBlock: make([]int32, len(idx.facts))}
+	type group struct {
+		rep int32
+		kw  int
+	}
+	var groups []group
+	buckets := make(map[uint64][]int32, len(idx.facts))
+	for i := range idx.facts {
+		ord := int32(i)
+		kw := len(idx.facts[i].Args)
+		if w, ok := ks.Width(idx.facts[i].Pred); ok && w <= kw {
+			kw = w
+		}
+		pid := idx.fpred[i]
+		key := idx.argsOf(ord)[:kw]
+		h := hashFact(pid, key) ^ uint64(kw)
+		found := int32(-1)
+		for _, gi := range buckets[h] {
+			g := groups[gi]
+			if idx.fpred[g.rep] == pid && g.kw == kw && u32SliceEqual(idx.argsOf(g.rep)[:g.kw], key) {
+				found = gi
+				break
+			}
+		}
+		if found < 0 {
+			found = int32(len(groups))
+			groups = append(groups, group{rep: ord, kw: kw})
+			buckets[h] = append(buckets[h], found)
+		}
+		p.factBlock[ord] = found
+	}
+	p.numBlocks = len(groups)
+	if idx.keyParts == nil {
+		idx.keyParts = map[*relational.KeySet]*keyPartition{}
+	}
+	idx.keyParts[ks] = p
+	return p
+}
+
+// candSet is a candidate fact set for one atom: either an explicit posting
+// list or a contiguous ordinal range.
+type candSet struct {
+	list   []int32
+	lo, hi int32
+}
+
+func (c candSet) size() int32 {
+	if c.list != nil {
+		return int32(len(c.list))
+	}
+	return c.hi - c.lo
+}
+
+func (c candSet) at(i int32) int32 {
+	if c.list != nil {
+		return c.list[i]
+	}
+	return c.lo + i
+}
+
+// hashFact and u32SliceEqual alias the relational layer's shared hash and
+// equality helpers, so one definition covers the whole repository.
+func hashFact(pred uint32, args []uint32) uint64 { return relational.HashIDs(pred, args) }
+
+func u32SliceEqual(a, b []uint32) bool { return relational.U32Equal(a, b) }

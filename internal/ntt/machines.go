@@ -24,7 +24,7 @@ func CQATransducer(u query.UCQ, ks *relational.KeySet, db *relational.Database) 
 	blocks := relational.Blocks(db, ks)
 	idx := eval.IndexDatabase(db)
 	dom := idx.Dom()
-	blockIdx := relational.BlockIndex(blocks)
+	blockIdx := relational.NewBlockIndex(blocks)
 	return MachineFunc(func(ch Chooser) (string, bool) {
 		if len(u.Disjuncts) == 0 {
 			return "", false
@@ -50,8 +50,11 @@ func CQATransducer(u query.UCQ, ks *relational.KeySet, db *relational.Database) 
 			if !ks.HasKey(f.Pred) {
 				continue
 			}
-			bi := blockIdx[ks.KeyValue(f).Canonical()]
-			if prev, ok := forced[bi]; ok && prev.Canonical() != f.Canonical() {
+			bi, inBlocks := blockIdx.Find(ks, f)
+			if !inBlocks {
+				return "", false // cannot happen: f ∈ D implies a block exists
+			}
+			if prev, ok := forced[bi]; ok && !prev.Equal(f) {
 				return "", false // h(Q_i) violates Σ
 			}
 			forced[bi] = f

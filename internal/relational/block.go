@@ -17,9 +17,8 @@ func (b Block) Size() int { return len(b.Facts) }
 
 // Index returns the position of f in the block, or -1.
 func (b Block) Index(f Fact) int {
-	c := f.Canonical()
 	for i, g := range b.Facts {
-		if g.Canonical() == c {
+		if g.Equal(f) {
 			return i
 		}
 	}
@@ -30,52 +29,188 @@ func (b Block) Index(f Fact) int {
 // lexicographic order ≺(D,Σ) over key values. This sequence B1,...,Bn is the
 // canonical block sequence used by Algorithms 1 and 2 of the paper; fixing
 // it is what makes distinct NTT computations produce distinct outputs.
+//
+// Grouping runs on the database's interned fact encodings: key values are
+// hashed from integer IDs and verified structurally, so no canonical
+// strings are built. The decomposition is near-linear in |D|.
 func Blocks(d *Database, ks *KeySet) []Block {
-	byKey := map[string]*Block{}
-	var order []string
-	for _, f := range d.FactsUnsorted() {
-		kv := ks.KeyValue(f)
-		ck := kv.Canonical()
-		blk, ok := byKey[ck]
-		if !ok {
-			blk = &Block{Key: kv}
-			byKey[ck] = blk
-			order = append(order, ck)
+	n := len(d.facts)
+	// Pass 1: assign each fact a group ordinal by hashing its interned key
+	// value. Collision chains live in the groups slice (next links), so the
+	// bucket map holds plain int32 values and needs no per-key slices.
+	type group struct {
+		rep  int32 // ordinal of the first fact seen with this key
+		kw   int32 // effective key width of the representative
+		next int32 // next group with the same hash, -1 at chain end
+		size int32
+	}
+	buckets := make(map[uint64]int32, n)
+	groups := make([]group, 0, n)
+	gid := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pid, kw := d.keyOf(ks, i)
+		key := d.iargs[i][:kw]
+		h := hashWord(hashIDs(pid, key), uint32(kw))
+		found := int32(-1)
+		head, ok := buckets[h]
+		if ok {
+			for g := head; g >= 0; g = groups[g].next {
+				rep := groups[g].rep
+				if d.ipred[rep] == pid && int(groups[g].kw) == kw && u32Equal(d.iargs[rep][:kw], key) {
+					found = g
+					break
+				}
+			}
 		}
-		blk.Facts = append(blk.Facts, f)
+		if found < 0 {
+			found = int32(len(groups))
+			next := int32(-1)
+			if ok {
+				next = head
+			}
+			groups = append(groups, group{rep: int32(i), kw: int32(kw), next: next})
+			buckets[h] = found
+		}
+		gid[i] = found
+		groups[found].size++
 	}
-	out := make([]Block, 0, len(order))
-	for _, ck := range order {
-		blk := byKey[ck]
-		SortFacts(blk.Facts)
-		out = append(out, *blk)
+	// Pass 2: lay the fact ordinals of each group contiguously in one
+	// shared arena, then order everything through the memoized symbol
+	// ranks — integer compares instead of string compares.
+	rankConst, rankPred := d.ranks()
+	ordArena := make([]int32, n)
+	offs := make([]int32, len(groups)+1)
+	for g := range groups {
+		offs[g+1] = offs[g] + groups[g].size
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	fill := append([]int32(nil), offs[:len(groups)]...)
+	for i := 0; i < n; i++ {
+		g := gid[i]
+		ordArena[fill[g]] = int32(i)
+		fill[g]++
+	}
+	// factLess is the canonical fact order (Fact.Less) through the ranks.
+	factLess := func(a, b int32) bool {
+		pa, pb := d.ipred[a], d.ipred[b]
+		if pa != pb {
+			return rankPred[pa] < rankPred[pb]
+		}
+		aa, ba := d.iargs[a], d.iargs[b]
+		m := min(len(aa), len(ba))
+		for i := 0; i < m; i++ {
+			if aa[i] != ba[i] {
+				return rankConst[aa[i]] < rankConst[ba[i]]
+			}
+		}
+		return len(aa) < len(ba)
+	}
+	for g := range groups {
+		ords := ordArena[offs[g]:offs[g+1]]
+		if len(ords) > 32 {
+			sort.Slice(ords, func(i, j int) bool { return factLess(ords[i], ords[j]) })
+			continue
+		}
+		for i := 1; i < len(ords); i++ {
+			for j := i; j > 0 && factLess(ords[j], ords[j-1]); j-- {
+				ords[j], ords[j-1] = ords[j-1], ords[j]
+			}
+		}
+	}
+	// Order the groups by the lexicographic key-value order ≺(D,Σ). Key
+	// values of distinct groups differ, so comparing the representatives'
+	// key prefixes is a total order.
+	perm := make([]int32, len(groups))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		ga, gb := groups[perm[i]], groups[perm[j]]
+		pa, pb := d.ipred[ga.rep], d.ipred[gb.rep]
+		if pa != pb {
+			return rankPred[pa] < rankPred[pb]
+		}
+		ka := d.iargs[ga.rep][:ga.kw]
+		kb := d.iargs[gb.rep][:gb.kw]
+		m := min(len(ka), len(kb))
+		for i := 0; i < m; i++ {
+			if ka[i] != kb[i] {
+				return rankConst[ka[i]] < rankConst[kb[i]]
+			}
+		}
+		return len(ka) < len(kb)
+	})
+	// Materialize the blocks in final order, facts in one shared arena.
+	factArena := make([]Fact, n)
+	out := make([]Block, len(groups))
+	pos := int32(0)
+	for i, g := range perm {
+		start := pos
+		for _, ord := range ordArena[offs[g]:offs[g+1]] {
+			factArena[pos] = d.facts[ord]
+			pos++
+		}
+		facts := factArena[start:pos:pos]
+		out[i] = Block{Key: ks.KeyValue(d.facts[groups[g].rep]), Facts: facts}
+	}
 	return out
 }
 
 // BlockOf returns the block of D containing facts with the same key value as
 // f (block_Σ(f, D)); the boolean is false when no fact of D has that key
-// value.
+// value. The scan compares key values structurally (no canonical strings);
+// for repeated lookups build a BlockIndex instead.
 func BlockOf(blocks []Block, ks *KeySet, f Fact) (Block, bool) {
-	target := ks.KeyValue(f).Canonical()
+	target := ks.KeyValue(f)
 	for _, b := range blocks {
-		if b.Key.Canonical() == target {
+		if b.Key.Equal(target) {
 			return b, true
 		}
 	}
 	return Block{}, false
 }
 
-// BlockIndex builds a map from canonical key value to position in the block
-// sequence, for O(1) lookups in counting algorithms.
-func BlockIndex(blocks []Block) map[string]int {
-	idx := make(map[string]int, len(blocks))
-	for i, b := range blocks {
-		idx[b.Key.Canonical()] = i
-	}
-	return idx
+// BlockIndex maps key values to positions in a block sequence for O(1)
+// lookups in counting algorithms. Lookups hash the key value structurally
+// and verify against the stored blocks, so no canonical strings are built.
+type BlockIndex struct {
+	blocks  []Block
+	buckets map[uint64][]int32
 }
+
+// NewBlockIndex builds the index over a block sequence. The blocks slice is
+// retained (not copied); callers must not mutate it while the index is in
+// use.
+func NewBlockIndex(blocks []Block) *BlockIndex {
+	bi := &BlockIndex{
+		blocks:  blocks,
+		buckets: make(map[uint64][]int32, len(blocks)),
+	}
+	for i, b := range blocks {
+		h := hashKeyValue(b.Key)
+		bi.buckets[h] = append(bi.buckets[h], int32(i))
+	}
+	return bi
+}
+
+// FindKey returns the position of the block with the given key value, or
+// ok=false when no block has it.
+func (bi *BlockIndex) FindKey(kv KeyValue) (int, bool) {
+	for _, i := range bi.buckets[hashKeyValue(kv)] {
+		if bi.blocks[i].Key.Equal(kv) {
+			return int(i), true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the position of the block containing facts with the same key
+// value as f under Σ.
+func (bi *BlockIndex) Find(ks *KeySet, f Fact) (int, bool) {
+	return bi.FindKey(ks.KeyValue(f))
+}
+
+// Len returns the number of indexed blocks.
+func (bi *BlockIndex) Len() int { return len(bi.blocks) }
 
 // ConflictingFacts returns the facts of D that are in a conflict, i.e. whose
 // block has size greater than one.

@@ -1,0 +1,92 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"testing"
+)
+
+// Regression guards for the interned block decomposition: the former
+// implementation built a canonical string per fact (O(n) allocations) and
+// looked blocks up by linear scan (O(n²) overall). The rewrite must keep
+// Blocks at a constant number of allocations regardless of instance size,
+// and keep the lookup paths allocation-free.
+
+func syntheticDB(n int, rng *rand.Rand) (*Database, *KeySet) {
+	db := MustDatabase()
+	for b := 0; b < n; b++ {
+		key := Const("k" + strconv.Itoa(b))
+		for j := 0; j <= rng.IntN(3); j++ {
+			db.Add(Fact{Pred: "R", Args: []Const{key, Const("v" + strconv.Itoa(rng.IntN(5)))}})
+		}
+	}
+	return db, Keys(map[string]int{"R": 1})
+}
+
+func TestBlocksAllocsConstant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	small, ksS := syntheticDB(500, rng)
+	big, ksB := syntheticDB(4000, rng)
+	// Warm the memoized rank tables so AllocsPerRun measures steady state.
+	Blocks(small, ksS)
+	Blocks(big, ksB)
+	allocsSmall := testing.AllocsPerRun(5, func() { Blocks(small, ksS) })
+	allocsBig := testing.AllocsPerRun(5, func() { Blocks(big, ksB) })
+	// A handful of arena and header allocations, independent of n up to
+	// map-growth noise. The old path allocated ~5 per fact.
+	if allocsBig > 200 {
+		t.Fatalf("Blocks(4000 blocks) = %v allocs/run; decomposition is allocating per fact again", allocsBig)
+	}
+	if allocsBig > 8*allocsSmall+64 {
+		t.Fatalf("Blocks allocations scale with instance size: %v (n=500) vs %v (n=4000)", allocsSmall, allocsBig)
+	}
+}
+
+func TestBlockLookupNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	db, ks := syntheticDB(1000, rng)
+	blocks := Blocks(db, ks)
+	bi := NewBlockIndex(blocks)
+	probe := NewFact("R", "k500", "vX")
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := bi.Find(ks, probe); !ok {
+			t.Fatal("block not found")
+		}
+	}); allocs > 0 {
+		t.Fatalf("BlockIndex.Find allocates %v per lookup", allocs)
+	}
+	member := blocks[0].Facts[0]
+	if allocs := testing.AllocsPerRun(100, func() {
+		if blocks[0].Index(member) < 0 {
+			t.Fatal("member not found")
+		}
+	}); allocs > 0 {
+		t.Fatalf("Block.Index allocates %v per lookup", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !db.Contains(member) {
+			t.Fatal("member not found")
+		}
+	}); allocs > 0 {
+		t.Fatalf("Database.Contains allocates %v per probe", allocs)
+	}
+}
+
+// BenchmarkBlocksScaling records the decomposition's growth curve so a
+// regression back to super-linear behavior is visible in the numbers.
+func BenchmarkBlocksScaling(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(11, uint64(n)))
+			db, ks := syntheticDB(n, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := Blocks(db, ks); len(got) != n {
+					b.Fatalf("got %d blocks", len(got))
+				}
+			}
+		})
+	}
+}

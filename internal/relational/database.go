@@ -2,21 +2,46 @@ package relational
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Database is a finite set of facts over a schema (paper §2.1). Insertion
 // order is not significant; iteration helpers expose the canonical order.
+// Facts are interned on insertion: every constant and predicate gets a
+// dense uint32 ID from the database's symbol table, and membership tests
+// run against an integer-keyed hash index instead of canonical strings.
 // The zero value is not ready to use; call NewDatabase.
 type Database struct {
 	facts []Fact
-	index map[string]int // Canonical() -> position in facts
-	arity Schema
+	// ipred and iargs hold the interned encoding of facts[i]: the predicate
+	// ID and the argument IDs, aligned with facts.
+	ipred []uint32
+	iargs [][]uint32
+	// buckets maps the fact hash to the ordinals of facts with that hash;
+	// probes verify structurally, so hash collisions are harmless.
+	buckets map[uint64][]int32
+	in      *Interner
+	arity   Schema
+
+	// Memoized order ranks of the interned symbols: rankConst[id] is the
+	// position of constant id in the sorted constant set (likewise for
+	// predicates). They turn the lexicographic comparisons of block
+	// decomposition into integer compares, and are invalidated whenever the
+	// interner grows. Guarded by rankMu so concurrent readers are safe.
+	rankMu    sync.Mutex
+	rankConst []int32
+	rankPred  []int32
 }
 
 // NewDatabase builds a database from the given facts, de-duplicating them.
 // It fails if a predicate is used with two different arities.
 func NewDatabase(facts ...Fact) (*Database, error) {
-	d := &Database{index: map[string]int{}, arity: Schema{}}
+	d := &Database{
+		buckets: map[uint64][]int32{},
+		in:      NewInterner(),
+		arity:   Schema{},
+	}
 	for _, f := range facts {
 		if err := d.Add(f); err != nil {
 			return nil, err
@@ -34,27 +59,62 @@ func MustDatabase(facts ...Fact) *Database {
 	return d
 }
 
+// Interner returns the database's symbol table. Callers must not mutate it
+// concurrently with Add.
+func (d *Database) Interner() *Interner { return d.in }
+
 // Add inserts a fact (a no-op if already present). It fails on an arity
 // clash with earlier facts of the same predicate.
 func (d *Database) Add(f Fact) error {
 	if ar, ok := d.arity[f.Pred]; ok && ar != len(f.Args) {
 		return fmt.Errorf("relational: predicate %s used with arities %d and %d", f.Pred, ar, len(f.Args))
 	}
-	k := f.Canonical()
-	if _, dup := d.index[k]; dup {
-		return nil
+	pid, args := d.in.InternFact(f, make([]uint32, 0, len(f.Args)))
+	h := hashIDs(pid, args)
+	for _, ord := range d.buckets[h] {
+		if d.ipred[ord] == pid && u32Equal(d.iargs[ord], args) {
+			return nil // duplicate
+		}
 	}
 	d.arity[f.Pred] = len(f.Args)
-	d.index[k] = len(d.facts)
+	d.buckets[h] = append(d.buckets[h], int32(len(d.facts)))
 	d.facts = append(d.facts, f)
+	d.ipred = append(d.ipred, pid)
+	d.iargs = append(d.iargs, args)
 	return nil
 }
 
-// Contains reports whether the fact is in the database.
+// Contains reports whether the fact is in the database. The probe is
+// read-only: it does not grow the symbol table.
 func (d *Database) Contains(f Fact) bool {
-	_, ok := d.index[f.Canonical()]
-	return ok
+	pid, ok := d.in.LookupPred(f.Pred)
+	if !ok {
+		return false
+	}
+	var buf [maxStackArity]uint32
+	args := buf[:0]
+	if len(f.Args) > maxStackArity {
+		args = make([]uint32, 0, len(f.Args))
+	}
+	for _, a := range f.Args {
+		id, ok := d.in.LookupConst(a)
+		if !ok {
+			return false
+		}
+		args = append(args, id)
+	}
+	h := hashIDs(pid, args)
+	for _, ord := range d.buckets[h] {
+		if d.ipred[ord] == pid && u32Equal(d.iargs[ord], args) {
+			return true
+		}
+	}
+	return false
 }
+
+// maxStackArity bounds the argument count for which read-only probes avoid
+// heap allocation of the scratch ID buffer.
+const maxStackArity = 16
 
 // Len returns the number of facts.
 func (d *Database) Len() int { return len(d.facts) }
@@ -94,37 +154,89 @@ func (d *Database) Schema() Schema {
 // Dom returns the active domain dom(D): the constants occurring in D, sorted
 // and de-duplicated.
 func (d *Database) Dom() []Const {
-	var cs []Const
-	for _, f := range d.facts {
-		cs = append(cs, f.Args...)
-	}
+	// The interner already de-duplicates, so copy-and-sort suffices.
+	cs := make([]Const, 0, d.in.NumConsts())
+	cs = append(cs, d.in.Consts()...)
 	return ConstSlice(cs)
 }
 
 // Satisfies reports whether D is consistent with the key constraints
-// (D ⊨ Σ): no two distinct facts agree on a key value.
+// (D ⊨ Σ): no two distinct facts agree on a key value. Facts are
+// de-duplicated, so any two facts sharing a key value are distinct.
 func (d *Database) Satisfies(ks *KeySet) bool {
-	seen := make(map[string]string, len(d.facts))
-	for _, f := range d.facts {
-		kv := ks.KeyValue(f).Canonical()
-		if prev, ok := seen[kv]; ok && prev != f.Canonical() {
-			return false
+	seen := make(map[uint64][]int32, len(d.facts))
+	for i := range d.facts {
+		pid, kw := d.keyOf(ks, i)
+		key := d.iargs[i][:kw]
+		h := hashWord(hashIDs(pid, key), uint32(kw))
+		for _, ord := range seen[h] {
+			opid, okw := d.keyOf(ks, int(ord))
+			if opid == pid && okw == kw && u32Equal(d.iargs[ord][:okw], key) {
+				return false
+			}
 		}
-		seen[kv] = f.Canonical()
+		seen[h] = append(seen[h], int32(i))
 	}
 	return true
+}
+
+// ranks returns (computing and memoizing on first use) the order ranks of
+// the interned constants and predicates.
+func (d *Database) ranks() (rankConst, rankPred []int32) {
+	d.rankMu.Lock()
+	defer d.rankMu.Unlock()
+	if len(d.rankConst) != d.in.NumConsts() {
+		d.rankConst = symbolRanks(d.in.NumConsts(), func(i, j int) bool {
+			return d.in.ConstAt(uint32(i)) < d.in.ConstAt(uint32(j))
+		})
+	}
+	if len(d.rankPred) != d.in.NumPreds() {
+		d.rankPred = symbolRanks(d.in.NumPreds(), func(i, j int) bool {
+			return d.in.PredAt(uint32(i)) < d.in.PredAt(uint32(j))
+		})
+	}
+	return d.rankConst, d.rankPred
+}
+
+// symbolRanks computes rank[id] = position of symbol id under the order.
+func symbolRanks(n int, less func(i, j int) bool) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(i, j int) bool { return less(int(perm[i]), int(perm[j])) })
+	rank := make([]int32, n)
+	for pos, id := range perm {
+		rank[id] = int32(pos)
+	}
+	return rank
+}
+
+// keyOf returns the interned predicate ID and effective key width of fact
+// ordinal i under Σ (the full arity when the predicate is unkeyed).
+func (d *Database) keyOf(ks *KeySet, i int) (uint32, int) {
+	f := d.facts[i]
+	if w, ok := ks.Width(f.Pred); ok && w <= len(f.Args) {
+		return d.ipred[i], w
+	}
+	return d.ipred[i], len(f.Args)
 }
 
 // Clone returns an independent copy of the database.
 func (d *Database) Clone() *Database {
 	out := &Database{
-		facts: make([]Fact, len(d.facts)),
-		index: make(map[string]int, len(d.index)),
-		arity: make(Schema, len(d.arity)),
+		facts:   append([]Fact(nil), d.facts...),
+		ipred:   append([]uint32(nil), d.ipred...),
+		iargs:   make([][]uint32, len(d.iargs)),
+		buckets: make(map[uint64][]int32, len(d.buckets)),
+		in:      d.in.Clone(),
+		arity:   make(Schema, len(d.arity)),
 	}
-	copy(out.facts, d.facts)
-	for k, v := range d.index {
-		out.index[k] = v
+	for i, a := range d.iargs {
+		out.iargs[i] = append([]uint32(nil), a...)
+	}
+	for h, ords := range d.buckets {
+		out.buckets[h] = append([]int32(nil), ords...)
 	}
 	for p, a := range d.arity {
 		out.arity[p] = a

@@ -78,6 +78,13 @@ func SortFacts(fs []Fact) []Fact {
 	return fs
 }
 
+// SortOrdinalsByFact sorts a slice of positions into facts by the canonical
+// order of the facts they point at. Index builders use it to establish
+// ordinal numbering without copying facts twice.
+func SortOrdinalsByFact(ords []int32, facts []Fact) {
+	sort.Slice(ords, func(i, j int) bool { return facts[ords[i]].Less(facts[ords[j]]) })
+}
+
 // FactsEqual reports whether two fact slices contain the same facts,
 // regardless of order.
 func FactsEqual(a, b []Fact) bool {
@@ -128,6 +135,19 @@ func (k KeyValue) String() string {
 		parts[i] = quoteConst(v)
 	}
 	return fmt.Sprintf("<%s,<%s>>", k.Pred, strings.Join(parts, ","))
+}
+
+// Equal reports whether two key values are identical.
+func (k KeyValue) Equal(other KeyValue) bool {
+	if k.Pred != other.Pred || len(k.Vals) != len(other.Vals) {
+		return false
+	}
+	for i := range k.Vals {
+		if k.Vals[i] != other.Vals[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Less imposes the lexicographic order ≺(D,Σ) on key values (paper §2.1):

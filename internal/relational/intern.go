@@ -1,0 +1,172 @@
+package relational
+
+// This file implements the interned-ID substrate: a symbol table mapping
+// constants and predicate names to dense uint32 IDs, plus the FNV-style
+// hashing helpers used for integer-keyed fact and key-value lookups. Hot
+// kernels (block decomposition, membership tests, homomorphism joins)
+// operate on these IDs instead of building canonical strings, which removes
+// an allocation per probe and turns string comparisons into word compares.
+//
+// IDs are dense and stable: the i-th distinct symbol interned gets ID i, so
+// an Interner also serves as a bijection ID ↔ symbol for decode paths.
+
+// Interner assigns dense uint32 IDs to constants and predicate names.
+// Constants and predicates are numbered independently. The zero value is
+// not ready to use; call NewInterner. An Interner only grows; IDs never
+// change once assigned. It is not safe for concurrent mutation.
+type Interner struct {
+	constIDs map[Const]uint32
+	consts   []Const
+	predIDs  map[string]uint32
+	preds    []string
+}
+
+// NewInterner builds an empty symbol table.
+func NewInterner() *Interner {
+	return &Interner{
+		constIDs: make(map[Const]uint32),
+		predIDs:  make(map[string]uint32),
+	}
+}
+
+// ConstID interns a constant, assigning the next dense ID on first sight.
+func (t *Interner) ConstID(c Const) uint32 {
+	if id, ok := t.constIDs[c]; ok {
+		return id
+	}
+	id := uint32(len(t.consts))
+	t.constIDs[c] = id
+	t.consts = append(t.consts, c)
+	return id
+}
+
+// LookupConst returns the ID of a constant without interning it; ok is
+// false when the constant has never been seen. Read-only probes (membership
+// tests against facts that may mention foreign constants) use this so the
+// table does not grow on misses.
+func (t *Interner) LookupConst(c Const) (uint32, bool) {
+	id, ok := t.constIDs[c]
+	return id, ok
+}
+
+// ConstAt returns the constant with the given ID.
+func (t *Interner) ConstAt(id uint32) Const { return t.consts[id] }
+
+// NumConsts returns the number of interned constants.
+func (t *Interner) NumConsts() int { return len(t.consts) }
+
+// Consts returns the interned constants in ID order. Callers must not
+// mutate the result.
+func (t *Interner) Consts() []Const { return t.consts }
+
+// PredID interns a predicate name.
+func (t *Interner) PredID(p string) uint32 {
+	if id, ok := t.predIDs[p]; ok {
+		return id
+	}
+	id := uint32(len(t.preds))
+	t.predIDs[p] = id
+	t.preds = append(t.preds, p)
+	return id
+}
+
+// LookupPred returns the ID of a predicate without interning it.
+func (t *Interner) LookupPred(p string) (uint32, bool) {
+	id, ok := t.predIDs[p]
+	return id, ok
+}
+
+// PredAt returns the predicate name with the given ID.
+func (t *Interner) PredAt(id uint32) string { return t.preds[id] }
+
+// NumPreds returns the number of interned predicates.
+func (t *Interner) NumPreds() int { return len(t.preds) }
+
+// Clone returns an independent copy of the symbol table (same IDs).
+func (t *Interner) Clone() *Interner {
+	out := &Interner{
+		constIDs: make(map[Const]uint32, len(t.constIDs)),
+		consts:   append([]Const(nil), t.consts...),
+		predIDs:  make(map[string]uint32, len(t.predIDs)),
+		preds:    append([]string(nil), t.preds...),
+	}
+	for c, id := range t.constIDs {
+		out.constIDs[c] = id
+	}
+	for p, id := range t.predIDs {
+		out.predIDs[p] = id
+	}
+	return out
+}
+
+// InternFact interns the predicate and arguments of a fact, appending the
+// argument IDs to buf (which may be nil or a reused scratch slice) and
+// returning the predicate ID and the extended buffer.
+func (t *Interner) InternFact(f Fact, buf []uint32) (uint32, []uint32) {
+	pid := t.PredID(f.Pred)
+	for _, a := range f.Args {
+		buf = append(buf, t.ConstID(a))
+	}
+	return pid, buf
+}
+
+// FNV-1a-style hashing over uint32 words. Hash equality is never trusted:
+// every bucket probe verifies with a structural comparison, so the hash
+// only needs to spread well. HashIDs and U32Equal are exported for the
+// evaluation layer's interned index, so the whole repository shares one
+// hash definition.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashWord folds one 32-bit word into a running hash.
+func hashWord(h uint64, w uint32) uint64 {
+	return (h ^ uint64(w)) * fnvPrime64
+}
+
+// HashIDs hashes a predicate ID and a slice of argument IDs.
+func HashIDs(pred uint32, args []uint32) uint64 {
+	h := hashWord(fnvOffset64, pred)
+	for _, a := range args {
+		h = hashWord(h, a)
+	}
+	return h
+}
+
+// hashIDs is the package-internal alias of HashIDs.
+func hashIDs(pred uint32, args []uint32) uint64 { return HashIDs(pred, args) }
+
+// hashString folds a string into a running hash byte-wise, with a
+// terminator so adjacent components cannot run together.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return (h ^ 0xff) * fnvPrime64
+}
+
+// hashKeyValue hashes a key value structurally (no canonical string).
+func hashKeyValue(kv KeyValue) uint64 {
+	h := hashString(fnvOffset64, kv.Pred)
+	for _, v := range kv.Vals {
+		h = hashString(h, string(v))
+	}
+	return h
+}
+
+// U32Equal reports whether two ID slices are identical.
+func U32Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// u32Equal is the package-internal alias of U32Equal.
+func u32Equal(a, b []uint32) bool { return U32Equal(a, b) }

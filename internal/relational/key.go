@@ -110,7 +110,7 @@ func (ks *KeySet) Conflict(f, g Fact) bool {
 		return false
 	}
 	kf, kg := ks.KeyValue(f), ks.KeyValue(g)
-	if kf.Canonical() != kg.Canonical() {
+	if !kf.Equal(kg) {
 		return false
 	}
 	return !f.Equal(g)

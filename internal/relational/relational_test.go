@@ -398,9 +398,15 @@ func TestBlockOfAndIndex(t *testing.T) {
 	if _, ok := BlockOf(blocks, ks, NewFact("Employee", "3", "q", "r")); ok {
 		t.Fatalf("BlockOf found a block for an absent key value")
 	}
-	idx := BlockIndex(blocks)
-	if len(idx) != 2 {
-		t.Fatalf("BlockIndex size %d", len(idx))
+	idx := NewBlockIndex(blocks)
+	if idx.Len() != 2 {
+		t.Fatalf("BlockIndex size %d", idx.Len())
+	}
+	if i, ok := idx.Find(ks, f); !ok || blocks[i].Key.Vals[0] != "2" {
+		t.Fatalf("BlockIndex.Find = %d, %v", i, ok)
+	}
+	if _, ok := idx.FindKey(ks.KeyValue(NewFact("Employee", "3", "q", "r"))); ok {
+		t.Fatalf("BlockIndex.FindKey found an absent key value")
 	}
 	if b.Index(NewFact("Employee", "2", "Alice", "IT")) == -1 {
 		t.Fatalf("Block.Index failed to find member")

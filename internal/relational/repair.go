@@ -85,14 +85,20 @@ func IsRepairOf(r, d *Database, ks *KeySet) bool {
 	}
 	// One fact per block of d: count distinct key values present in r.
 	blocks := Blocks(d, ks)
-	present := map[string]bool{}
+	bi := NewBlockIndex(blocks)
+	present := make([]bool, len(blocks))
+	n := 0
 	for _, f := range r.FactsUnsorted() {
-		present[ks.KeyValue(f).Canonical()] = true
+		i, ok := bi.Find(ks, f)
+		if !ok {
+			return false
+		}
+		if !present[i] {
+			present[i] = true
+			n++
+		}
 	}
-	if len(present) != len(blocks) {
-		return false
-	}
-	return true
+	return n == len(blocks)
 }
 
 // RandomRepair draws a repair uniformly at random: an independent uniform

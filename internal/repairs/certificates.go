@@ -76,7 +76,10 @@ func (in *Instance) SelectorFor(c Certificate) core.Selector {
 		if !in.Keys.HasKey(f.Pred) {
 			continue
 		}
-		i := blockIdx[in.Keys.KeyValue(f).Canonical()]
+		i, ok := blockIdx.Find(in.Keys, f)
+		if !ok {
+			panic("repairs: certificate image fact outside every block")
+		}
 		if seen[i] {
 			// h(Q') ⊨ Σ guarantees at most one fact per block, so a repeat
 			// is necessarily the same fact.
@@ -92,10 +95,10 @@ func (in *Instance) SelectorFor(c Certificate) core.Selector {
 	return s
 }
 
-// blockIndex memoizes the key-value → block-position map.
-func (in *Instance) blockIndex() map[string]int {
+// blockIndex memoizes the key-value → block-position index.
+func (in *Instance) blockIndex() *relational.BlockIndex {
 	if in.blockIdxMemo == nil {
-		in.blockIdxMemo = relational.BlockIndex(in.Blocks)
+		in.blockIdxMemo = relational.NewBlockIndex(in.Blocks)
 	}
 	return in.blockIdxMemo
 }

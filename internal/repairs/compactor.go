@@ -8,7 +8,6 @@ import (
 	"repaircount/internal/core"
 	"repaircount/internal/eval"
 	"repaircount/internal/query"
-	"repaircount/internal/relational"
 )
 
 // Compactor builds the k-compactor M(Q,Σ) of Algorithm 2 for the instance:
@@ -18,22 +17,48 @@ import (
 // unfold equals #CQA(Q,Σ)(D), which is the membership half of Theorem 5.1:
 // #CQA(Q,Σ) ∈ Λ[kw(Q,Σ)].
 //
-// The compactor's Member predicate decodes a tuple back into a repair and
-// evaluates the UCQ on it — the cross-check that ⋃ unfoldings is exactly
-// the set of repairs entailing Q.
+// The compactor's Member predicate decides whether the repair encoded by a
+// tuple entails the UCQ — the cross-check that ⋃ unfoldings is exactly the
+// set of repairs entailing Q. It runs a compiled homomorphism search over
+// the instance's interned index, restricted to the facts the tuple chose,
+// so no per-sample index is built and a sample costs roughly one small
+// join. MemberFactory hands independent copies of the predicate to
+// parallel samplers (the compiled matcher holds per-worker scratch state).
 func (in *Instance) Compactor() (*core.Compactor, error) {
 	if !in.IsEP {
 		return nil, fmt.Errorf("repairs: the Algorithm 2 compactor needs an existential positive query, have %s", in.Q)
 	}
 	doms := in.Domains()
-	// Decode table: element string -> fact.
-	decode := make(map[core.Element]relational.Fact)
-	for _, b := range in.Blocks {
-		for _, f := range b.Facts {
-			decode[core.Element(f.Canonical())] = f
+	// Per fact ordinal of the instance index: the position of its block in
+	// the domain sequence, and its element encoding within that domain.
+	// "Fact chosen by tuple" is then one slot load and one string compare.
+	nf := in.Idx.NumFacts()
+	blockPos := make([]int32, nf)
+	elemOf := make([]core.Element, nf)
+	bi := in.blockIndex()
+	for ord := 0; ord < nf; ord++ {
+		f := in.Idx.FactAt(ord)
+		p, ok := bi.Find(in.Keys, f)
+		if !ok {
+			return nil, fmt.Errorf("repairs: fact %s outside every block", f)
 		}
+		blockPos[ord] = int32(p)
+		elemOf[ord] = core.Element(f.Canonical())
 	}
 	ucq := in.UCQ
+	idx := in.Idx
+	memberFactory := func() func([]core.Element) bool {
+		m := eval.NewUCQMatcher(ucq, idx)
+		// The filter closure is hoisted out of the per-sample call and reads
+		// the current tuple through cur, so a membership probe allocates
+		// nothing.
+		var cur []core.Element
+		filter := func(ord int32) bool { return cur[blockPos[ord]] == elemOf[ord] }
+		return func(tuple []core.Element) bool {
+			cur = tuple
+			return m.HasHomWhere(filter)
+		}
+	}
 	k := query.KeywidthUCQ(ucq, in.Keys)
 	return &core.Compactor{
 		Name: fmt.Sprintf("#CQA(%s)", in.Q),
@@ -54,17 +79,8 @@ func (in *Instance) Compactor() (*core.Compactor, error) {
 			// every candidate compacts successfully.
 			return in.SelectorFor(c.(Certificate)), true
 		},
-		Member: func(tuple []core.Element) bool {
-			facts := make([]relational.Fact, len(tuple))
-			for i, e := range tuple {
-				f, ok := decode[e]
-				if !ok {
-					panic(fmt.Sprintf("repairs: unknown element %q in tuple", e))
-				}
-				facts[i] = f
-			}
-			return eval.EvalUCQ(ucq, eval.NewIndex(facts))
-		},
+		Member:        memberFactory(),
+		MemberFactory: memberFactory,
 	}, nil
 }
 

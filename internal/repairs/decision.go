@@ -19,12 +19,10 @@ import (
 // fall back to exhaustive search over repairs.
 func (in *Instance) HasRepairEntailing() bool {
 	if in.IsEP {
-		for _, q := range in.UCQ.Disjuncts {
-			if eval.HasConsistentHom(q, in.Idx, in.Keys) {
-				return true
-			}
+		if in.decisionMemo == nil {
+			in.decisionMemo = eval.NewConsistentUCQMatcher(in.UCQ, in.Idx, in.Keys)
 		}
-		return false
+		return in.decisionMemo.HasHom()
 	}
 	for facts := range relational.Repairs(in.Blocks) {
 		if eval.EvalBoolean(in.Q, eval.NewIndex(facts)) {
@@ -58,4 +56,32 @@ func (in *Instance) ApxWithSamples(t int, rng *rand.Rand) (core.Estimate, error)
 func (in *Instance) KarpLuby(t int, rng *rand.Rand) (core.Estimate, error) {
 	boxes := in.CertificateBoxes()
 	return core.KarpLuby(in.Domains(), boxes, t, rng)
+}
+
+// ApxParallel runs the Theorem 6.2 FPRAS with the sampling loop sharded
+// across worker goroutines (workers ≤ 0 selects GOMAXPROCS). For a fixed
+// seed the estimate is identical across runs and worker counts.
+func (in *Instance) ApxParallel(eps, delta float64, workers int, seed uint64) (core.Estimate, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return c.ApxParallel(eps, delta, workers, seed)
+}
+
+// ApxParallelWithSamples runs the Algorithm 3 estimator with an explicit
+// sample budget, sharded across worker goroutines.
+func (in *Instance) ApxParallelWithSamples(t, workers int, seed uint64) (core.Estimate, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return c.ApxParallelWithSamples(t, workers, seed)
+}
+
+// KarpLubyParallel runs the Karp–Luby estimator over the certificate boxes
+// with a sharded parallel sampling loop.
+func (in *Instance) KarpLubyParallel(t, workers int, seed uint64) (core.Estimate, error) {
+	boxes := in.CertificateBoxes()
+	return core.KarpLubyParallel(in.Domains(), boxes, t, workers, seed)
 }

@@ -1,0 +1,235 @@
+package repairs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+func mustQuery(t *testing.T, src string) query.Formula {
+	t.Helper()
+	return query.MustParse(src)
+}
+
+// Differential tests pitting the interned, ID-indexed paths (Lemma 3.5
+// decision matcher, posting-list certificate enumeration, filtered-matcher
+// FPRAS membership) against the string-canonical reference semantics:
+// brute-force enumeration of repairs with a fresh index per repair.
+
+func randomInstances(t *testing.T, seed uint64) []*Instance {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 21))
+	var out []*Instance
+	// Example 1.1 scaled down so brute force stays cheap.
+	db, ks := workload.Employee(rng, 4+rng.IntN(6), 3, 0.6)
+	out = append(out, MustInstance(db, ks, workload.SameDeptQuery(1, 2)))
+	// Two keyed relations with a join query.
+	db2, ks2, err := workload.Generate(rng, []workload.RelationSpec{
+		{Pred: "R", KeyWidth: 1, Arity: 2, NumBlocks: 2 + rng.IntN(4),
+			BlockSizes: workload.Uniform{Lo: 1, Hi: 3}, NumValues: 2},
+		{Pred: "S", KeyWidth: 1, Arity: 2, NumBlocks: 2 + rng.IntN(3),
+			BlockSizes: workload.Uniform{Lo: 1, Hi: 2}, NumValues: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := mustQuery(t, "exists x, y, z . (R(x, y) & S(x, z))")
+	out = append(out, MustInstance(db2, ks2, q2))
+	// Self-join with a constant.
+	q3 := mustQuery(t, "exists x, y . (R(x, 'v0') & R(y, 'v1'))")
+	out = append(out, MustInstance(db2, ks2, q3))
+	return out
+}
+
+// bruteCount is the reference counter: enumerate every repair, evaluate
+// the query on a fresh index (the old string path end to end).
+func bruteCount(in *Instance) int64 {
+	var n int64
+	for facts := range relational.Repairs(in.Blocks) {
+		if eval.EvalUCQ(in.UCQ, eval.NewIndex(facts)) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDecisionAndCountsDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for ii, in := range randomInstances(t, seed) {
+			want := bruteCount(in)
+			if got := in.HasRepairEntailing(); got != (want > 0) {
+				t.Fatalf("seed %d instance %d: decision = %v, brute count = %d", seed, ii, got, want)
+			}
+			n, algo, err := in.CountExact()
+			if err != nil {
+				t.Fatalf("seed %d instance %d: CountExact: %v", seed, ii, err)
+			}
+			if n.Int64() != want {
+				t.Fatalf("seed %d instance %d: CountExact (%s) = %s, brute = %d", seed, ii, algo, n, want)
+			}
+			if ie, err := in.CountIE(0); err != nil {
+				t.Fatalf("seed %d instance %d: CountIE: %v", seed, ii, err)
+			} else if ie.Int64() != want {
+				t.Fatalf("seed %d instance %d: CountIE = %s, brute = %d", seed, ii, ie, want)
+			}
+			if cc, err := in.CountCompactor(); err != nil {
+				t.Fatalf("seed %d instance %d: CountCompactor: %v", seed, ii, err)
+			} else if cc.Int64() != want {
+				t.Fatalf("seed %d instance %d: CountCompactor = %s, brute = %d", seed, ii, cc, want)
+			}
+		}
+	}
+}
+
+// The certificate sets of the ID-indexed enumeration must coincide with a
+// string-canonical reference: every (disjunct, binding) whose image is in
+// D and key-consistent, found by exhaustive scan.
+func TestCertificateSetDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for ii, in := range randomInstances(t, seed) {
+			got := map[string]bool{}
+			for c := range in.Certificates() {
+				got[certKey(c)] = true
+			}
+			want := map[string]bool{}
+			for qi, q := range in.UCQ.Disjuncts {
+				for h := range eval.Homs(q, in.Idx) {
+					img := eval.Image(q, h)
+					if relational.Subset(img).Satisfies(in.Keys) {
+						want[certKey(Certificate{Disjunct: qi, H: h.Clone()})] = true
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d instance %d: %d certificates, reference has %d", seed, ii, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("seed %d instance %d: missing certificate %s", seed, ii, k)
+				}
+			}
+		}
+	}
+}
+
+func certKey(c Certificate) string {
+	return string(rune('0'+c.Disjunct)) + "|" + c.H.Canonical()
+}
+
+// The compactor's filtered-matcher Member must agree with decoding the
+// tuple into a repair and evaluating the UCQ on a fresh index — the
+// implementation it replaced — on every repair of small instances.
+func TestCompactorMemberDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for ii, in := range randomInstances(t, seed) {
+			c, err := in.Compactor()
+			if err != nil {
+				t.Fatalf("seed %d instance %d: %v", seed, ii, err)
+			}
+			member := c.MemberFunc()
+			tuple := make([]core.Element, len(in.Blocks))
+			var rec func(i int)
+			rec = func(i int) {
+				if i == len(in.Blocks) {
+					facts := make([]relational.Fact, 0, len(tuple))
+					for bi, b := range in.Blocks {
+						for _, f := range b.Facts {
+							if core.Element(f.Canonical()) == tuple[bi] {
+								facts = append(facts, f)
+							}
+						}
+					}
+					want := eval.EvalUCQ(in.UCQ, eval.NewIndex(facts))
+					if got := member(tuple); got != want {
+						t.Fatalf("seed %d instance %d: member = %v, reference = %v for %v", seed, ii, got, want, tuple)
+					}
+					return
+				}
+				for _, f := range in.Blocks[i].Facts {
+					tuple[i] = core.Element(f.Canonical())
+					rec(i + 1)
+				}
+			}
+			rec(0)
+		}
+	}
+}
+
+// Parallel FPRAS determinism: for a fixed seed the estimate is identical
+// across repeated runs and across worker counts, and matches a generous
+// accuracy window around the exact count.
+func TestParallelFPRASDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	db, ks := workload.Employee(rng, 60, 4, 0.5)
+	in := MustInstance(db, ks, workload.SameDeptQuery(1, 2))
+	const samples = 6000
+	const seed = 1234
+	var first core.Estimate
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{1, 2, 3, 8} {
+			est, err := in.ApxParallelWithSamples(samples, workers, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run == 0 && workers == 1 {
+				first = est
+				continue
+			}
+			if est.Hits != first.Hits || est.Value.Cmp(first.Value) != 0 {
+				t.Fatalf("run %d workers %d: hits %d value %v, want hits %d value %v",
+					run, workers, est.Hits, est.Value, first.Hits, first.Value)
+			}
+		}
+	}
+	// Different seeds must (in general) draw different samples.
+	other, err := in.ApxParallelWithSamples(samples, 4, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Hits == first.Hits && other.Value.Cmp(first.Value) == 0 {
+		t.Log("distinct seeds produced identical estimates (possible but unlikely)")
+	}
+	exact, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := core.RelativeError(first.Value, exact); rel > 0.5 {
+		t.Fatalf("parallel estimate %v vs exact %s: relative error %g", first.Value, exact, rel)
+	}
+}
+
+func TestParallelKarpLubyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	db, ks := workload.Employee(rng, 50, 4, 0.5)
+	in := MustInstance(db, ks, workload.SameDeptQuery(1, 2))
+	const samples = 4000
+	const seed = 99
+	var first core.Estimate
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{1, 3, 8} {
+			est, err := in.KarpLubyParallel(samples, workers, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run == 0 && workers == 1 {
+				first = est
+				continue
+			}
+			if est.Hits != first.Hits || est.Value.Cmp(first.Value) != 0 {
+				t.Fatalf("run %d workers %d: hits %d, want %d", run, workers, est.Hits, first.Hits)
+			}
+		}
+	}
+	exact, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := core.RelativeError(first.Value, exact); rel > 0.5 {
+		t.Fatalf("parallel Karp–Luby estimate %v vs exact %s: relative error %g", first.Value, exact, rel)
+	}
+}

@@ -38,8 +38,9 @@ type Instance struct {
 	UCQ  query.UCQ
 	IsEP bool
 
-	blockIdxMemo map[string]int
+	blockIdxMemo *relational.BlockIndex
 	domsMemo     []core.Domain
+	decisionMemo *eval.UCQMatcher
 }
 
 // NewInstance prepares an instance. Boolean queries only; substitute the

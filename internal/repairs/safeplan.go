@@ -114,7 +114,7 @@ func (sp *safePlanner) probComponent(atoms []query.Atom) (*big.Rat, bool) {
 			continue
 		}
 		kv := relational.KeyValue{Pred: a.Pred, Vals: keyVals}
-		bi, exists := in.blockIndex()[kv.Canonical()]
+		bi, exists := in.blockIndex().FindKey(kv)
 		if !exists {
 			// The atom can never hold: no repair contains a fact with this
 			// key value.

@@ -33,6 +33,43 @@
 // the Algorithm 1 transducer, the Theorem 5.1 reduction, the Λ[k]-complete
 // problems of Section 7 — lives in the internal packages and is exercised
 // by the examples, the test suite and the benchmark harness.
+//
+// # Architecture: the interned-ID substrate
+//
+// Every hot kernel runs on dense integer IDs rather than strings. The
+// relational layer interns each constant and predicate into a symbol table
+// (internal/relational.Interner, Const ↔ uint32), stores the interned
+// encoding of every fact alongside the fact itself, and resolves
+// membership, de-duplication, consistency checks and conflict-block
+// decomposition through integer-keyed hash probes that verify
+// structurally — a canonical string is never built on these paths, and
+// block decomposition performs a constant number of allocations however
+// large the database. The evaluation layer (internal/eval.Index) numbers
+// the indexed facts with stable ordinals in canonical order and maintains
+// posting lists keyed by (predicate, argument position, constant ID).
+// Homomorphism search — the engine behind Lemma 3.5 decisions, UCQ
+// evaluation, and certificate enumeration — compiles each conjunctive
+// query against the symbol table once, then backtracks with flat int32
+// environments, choosing at every depth the pending atom with the fewest
+// candidate facts under the current partial binding (bound-variable
+// selectivity) and probing the posting lists instead of scanning every
+// fact of a predicate. The FPRAS membership test reuses the same engine
+// through a compiled matcher restricted to the facts a sampled tuple
+// chose, so one Algorithm 3 sample costs one small indexed join and zero
+// allocations rather than building a fresh index per repair.
+//
+// # Parallel sampling and reproducibility
+//
+// The Theorem 6.2 FPRAS and the Karp–Luby estimator offer sharded
+// parallel sampling loops (Counter.ApproximateParallel, and ApxParallel /
+// KarpLubyParallel on the internal instance). A sample budget t is split
+// across a fixed number of shards (64, independent of the worker count);
+// shard s draws its samples from its own PCG stream seeded as
+// (userSeed, golden-ratio-constant + s), and workers drain shards from a
+// queue. Because both the shard → stream and shard → sample-count
+// assignments are fixed, the total hit count — and hence the estimate —
+// is bit-for-bit identical for every worker count and scheduling, while
+// still scaling across cores.
 package repaircount
 
 import (
@@ -145,6 +182,15 @@ func (c *Counter) Approximate(eps, delta float64, seed uint64) (Estimate, error)
 func (c *Counter) ApproximateWithSamples(samples int, seed uint64) (Estimate, error) {
 	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 	return c.inst.ApxWithSamples(samples, rng)
+}
+
+// ApproximateParallel runs the FPRAS with the sampling loop sharded across
+// worker goroutines (workers ≤ 0 selects GOMAXPROCS). The sample budget is
+// split into a fixed number of shards, each with its own PCG stream seeded
+// deterministically from the user seed, so for a fixed seed the estimate
+// is identical across runs and worker counts.
+func (c *Counter) ApproximateParallel(eps, delta float64, workers int, seed uint64) (Estimate, error) {
+	return c.inst.ApxParallel(eps, delta, workers, seed)
 }
 
 // Keywidth returns kw(Q,Σ), the paper's covering function: #CQA(Q,Σ) is
