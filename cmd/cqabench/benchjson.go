@@ -108,11 +108,98 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"ExactEnum", func(b *testing.B) {
+			db, ks, q := workload.MultiComponent(8, 2, 2)
+			in := repairs.MustInstance(db, ks, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.CountEnumUCQ(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ExactFactorized", func(b *testing.B) {
+			db, ks, q := workload.MultiComponent(8, 2, 2)
+			in := repairs.MustInstance(db, ks, q)
+			if _, err := in.CountFactorized(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.CountFactorized(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"FactorizedDeltaStep64k", func(b *testing.B) {
+			db, ks, q := workload.MultiComponent(1, 16, 2)
+			in := repairs.MustInstance(db, ks, q)
+			if _, err := in.CountFactorized(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.CountFactorized(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 }
 
-// writeBenchJSON runs the kernel benchmarks and writes BENCH_<n>.json.
-func writeBenchJSON() (string, error) {
+// checkBaseline guards the factorized counter against performance
+// regressions: it compares the ExactEnum / ExactFactorized speedup of this
+// run against the committed snapshot and fails when the speedup halves
+// (i.e. the factorized counter regressed > 2× relative to the enumeration
+// reference on the same host — a host-speed-independent measure) or drops
+// below the 10× floor the engine is required to clear.
+func checkBaseline(report benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	speedup := func(r benchReport, where string) (float64, error) {
+		var enum, fact float64
+		for _, b := range r.Benchmarks {
+			switch b.Name {
+			case "ExactEnum":
+				enum = b.NsPerOp
+			case "ExactFactorized":
+				fact = b.NsPerOp
+			}
+		}
+		if enum == 0 || fact == 0 {
+			return 0, fmt.Errorf("%s is missing the ExactEnum/ExactFactorized benchmarks", where)
+		}
+		return enum / fact, nil
+	}
+	now, err := speedup(report, "this run")
+	if err != nil {
+		return err
+	}
+	snap, err := speedup(base, path)
+	if err != nil {
+		return err
+	}
+	if now < 10 {
+		return fmt.Errorf("ExactFactorized speedup %.1fx over ExactEnum is below the required 10x", now)
+	}
+	if now < snap/2 {
+		return fmt.Errorf("ExactFactorized regressed: speedup %.1fx vs %.1fx in %s (> 2x regression)", now, snap, path)
+	}
+	fmt.Printf("baseline ok: ExactFactorized speedup %.1fx (snapshot %.1fx)\n", now, snap)
+	return nil
+}
+
+// runKernels times every kernel benchmark into a report.
+func runKernels() benchReport {
 	report := benchReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -130,6 +217,11 @@ func writeBenchJSON() (string, error) {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
+	return report
+}
+
+// writeBenchJSON writes a kernel report as BENCH_<n>.json.
+func writeBenchJSON(report benchReport) (string, error) {
 	path, err := nextBenchPath()
 	if err != nil {
 		return "", err

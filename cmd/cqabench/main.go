@@ -8,6 +8,7 @@
 //	cqabench -quick           # smaller workloads
 //	cqabench -seed 42         # deterministic tables
 //	cqabench -json            # benchmark the hot kernels, write BENCH_<n>.json
+//	cqabench -baseline BENCH_2.json   # fail if ExactFactorized regressed > 2x
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast pass")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut    = flag.Bool("json", false, "benchmark the hot kernels and write BENCH_<n>.json (next free n) in the current directory")
+		baseline   = flag.String("baseline", "", "benchmark the hot kernels and fail if ExactFactorized regresses > 2x against this BENCH_<n>.json snapshot")
 	)
 	flag.Parse()
 	if *list {
@@ -34,12 +36,20 @@ func main() {
 		}
 		return
 	}
-	if *jsonOut {
-		path, err := writeBenchJSON()
-		if err != nil {
-			fatal(err)
+	if *jsonOut || *baseline != "" {
+		report := runKernels()
+		if *jsonOut {
+			path, err := writeBenchJSON(report)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(path)
 		}
-		fmt.Println(path)
+		if *baseline != "" {
+			if err := checkBaseline(report, *baseline); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 	p := experiments.Params{Seed: *seed, Quick: *quick}

@@ -11,6 +11,11 @@
 //
 //	repairctl total  -db employees.db
 //	repairctl count  -db employees.db -query "exists x,y,z . (Employee(1,x,y) & Employee(2,z,y))"
+//	repairctl count  -db employees.db -query "..." -exact factorized   # or: enum
+//
+// count picks the best algorithm by default; -exact pins the factorized
+// engine or the plain enumeration ground truth so the two are comparable.
+//
 //	repairctl decide -db employees.db -query "..."
 //	repairctl freq   -db employees.db -query "..."
 //	repairctl approx -db employees.db -query "..." -eps 0.1 -delta 0.05 -seed 1
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
 	"os"
 	"strings"
 
@@ -56,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 		eps      = fs.Float64("eps", 0.1, "FPRAS relative error ε")
 		delta    = fs.Float64("delta", 0.05, "FPRAS failure probability δ")
 		seed     = fs.Uint64("seed", 1, "FPRAS random seed")
+		exact    = fs.String("exact", "auto", "exact algorithm for count: auto, factorized or enum")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -128,7 +135,20 @@ func run(args []string, stdout io.Writer) error {
 
 	switch cmd {
 	case "count":
-		n, algo, err := counter.Count()
+		var n *big.Int
+		var algo string
+		switch *exact {
+		case "", "auto":
+			n, algo, err = counter.Count()
+		case "factorized":
+			n, err = counter.CountFactorized()
+			algo = "factorized"
+		case "enum":
+			n, err = counter.CountEnum()
+			algo = "enumeration"
+		default:
+			return fmt.Errorf("unknown -exact %q (want auto, factorized or enum)", *exact)
+		}
 		if err != nil {
 			return err
 		}

@@ -61,6 +61,32 @@ func TestCountDecideFreq(t *testing.T) {
 	}
 }
 
+// The two pinnable exact paths must agree with each other and with auto.
+func TestCountExactFlag(t *testing.T) {
+	db := writeExampleDB(t)
+	factorized := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "factorized")
+	if !strings.HasPrefix(factorized, "2\t") || !strings.Contains(factorized, "algorithm: factorized") {
+		t.Fatalf("factorized count output wrong: %q", factorized)
+	}
+	enum := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "enum")
+	if !strings.HasPrefix(enum, "2\t") || !strings.Contains(enum, "algorithm: enumeration") {
+		t.Fatalf("enum count output wrong: %q", enum)
+	}
+	var sb strings.Builder
+	if err := run([]string{"count", "-db", db, "-query", exampleQuery, "-exact", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown -exact value accepted")
+	}
+	// enum falls back to FO enumeration on non-EP queries; factorized
+	// rejects them.
+	fo := runCmd(t, "count", "-db", db, "-query", "!Employee(1, 'Bob', 'HR')", "-exact", "enum")
+	if !strings.HasPrefix(fo, "2\t") {
+		t.Fatalf("FO enum count output wrong: %q", fo)
+	}
+	if err := run([]string{"count", "-db", db, "-query", "!Employee(1, 'Bob', 'HR')", "-exact", "factorized"}, &sb); err == nil {
+		t.Fatal("factorized accepted an FO query")
+	}
+}
+
 func TestApprox(t *testing.T) {
 	db := writeExampleDB(t)
 	out := runCmd(t, "approx", "-db", db, "-query", exampleQuery, "-eps", "0.2", "-delta", "0.1", "-seed", "5")

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"sync/atomic"
+)
+
+// This file provides the two shared building blocks of the work-stealing
+// exact counters: an atomic shard queue (workers steal the next unclaimed
+// shard index instead of being assigned a fixed partition up front) and an
+// accumulator that stays a machine word until it overflows, so hot counting
+// loops never touch big.Int.
+
+// ShardQueue hands out the shard indices 0..n−1 exactly once, in order,
+// to any number of concurrent callers. The zero value is an empty queue.
+type ShardQueue struct {
+	n    int64
+	next atomic.Int64
+}
+
+// NewShardQueue returns a queue over n shards.
+func NewShardQueue(n int) *ShardQueue { return &ShardQueue{n: int64(n)} }
+
+// Next claims the next unclaimed shard; ok is false when the queue is
+// drained. Safe for concurrent use.
+func (q *ShardQueue) Next() (shard int, ok bool) {
+	i := q.next.Add(1) - 1
+	if i >= q.n {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Accum is an unsigned counter that lives in a uint64 until it would
+// overflow, spilling into a big.Int only then (and at the final read). The
+// zero value is 0 and ready to use. Not safe for concurrent use; keep one
+// per worker and Merge at the end.
+type Accum struct {
+	lo uint64
+	hi *big.Int // nil until the first spill
+}
+
+// Inc adds 1.
+func (a *Accum) Inc() { a.Add(1) }
+
+// Add adds n.
+func (a *Accum) Add(n uint64) {
+	if n > math.MaxUint64-a.lo {
+		a.spill()
+	}
+	a.lo += n
+}
+
+// spill moves the machine word into the big part.
+func (a *Accum) spill() {
+	if a.hi == nil {
+		a.hi = new(big.Int)
+	}
+	var w big.Int
+	a.hi.Add(a.hi, w.SetUint64(a.lo))
+	a.lo = 0
+}
+
+// Merge adds b into a (b is left unchanged).
+func (a *Accum) Merge(b *Accum) {
+	if b.hi != nil {
+		if a.hi == nil {
+			a.hi = new(big.Int)
+		}
+		a.hi.Add(a.hi, b.hi)
+	}
+	a.Add(b.lo)
+}
+
+// Big returns the current total as a fresh big.Int.
+func (a *Accum) Big() *big.Int {
+	var w big.Int
+	w.SetUint64(a.lo)
+	if a.hi == nil {
+		return &w
+	}
+	return new(big.Int).Add(a.hi, &w)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+func TestShardQueueDrainsOnceConcurrently(t *testing.T) {
+	const n = 1000
+	q := NewShardQueue(n)
+	var mu sync.Mutex
+	claimed := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, ok := q.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				claimed[s]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for s, c := range claimed {
+		if c != 1 {
+			t.Fatalf("shard %d claimed %d times", s, c)
+		}
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("drained queue yielded a shard")
+	}
+}
+
+func TestShardQueueEmpty(t *testing.T) {
+	var q ShardQueue
+	if _, ok := q.Next(); ok {
+		t.Fatal("zero-value queue yielded a shard")
+	}
+}
+
+func TestAccumMatchesBigInt(t *testing.T) {
+	var a Accum
+	ref := new(big.Int)
+	add := func(n uint64) {
+		a.Add(n)
+		ref.Add(ref, new(big.Int).SetUint64(n))
+	}
+	add(0)
+	add(1)
+	add(math.MaxUint64) // forces a spill
+	add(math.MaxUint64)
+	add(12345)
+	for i := 0; i < 100; i++ {
+		add(math.MaxUint64 / 3)
+	}
+	if a.Big().Cmp(ref) != 0 {
+		t.Fatalf("accum %s, reference %s", a.Big(), ref)
+	}
+
+	var b Accum
+	for i := 0; i < 10; i++ {
+		b.Inc()
+	}
+	b.Merge(&a)
+	ref.Add(ref, big.NewInt(10))
+	if b.Big().Cmp(ref) != 0 {
+		t.Fatalf("merged accum %s, reference %s", b.Big(), ref)
+	}
+	// Merge leaves the argument unchanged and Big is a fresh value.
+	ref.Sub(ref, big.NewInt(10))
+	if a.Big().Cmp(ref) != 0 {
+		t.Fatalf("merge mutated its argument: %s vs %s", a.Big(), ref)
+	}
+	a.Big().SetInt64(0)
+	if a.Big().Cmp(ref) != 0 {
+		t.Fatal("Big returned aliased state")
+	}
+}

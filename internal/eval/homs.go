@@ -58,6 +58,12 @@ type homSearch struct {
 	// index (e.g. the facts of one repair).
 	allowed func(ord int32) bool
 
+	// allowedBits is the mask form of allowed (bit ord set ⇔ fact ord is
+	// usable). The factorized counters mutate one shared mask between probes
+	// — two bit flips per enumerated repair — instead of rebuilding any
+	// per-repair state, so the check must be branch-cheap.
+	allowedBits []uint64
+
 	binding Binding // reused yield map
 
 	// yield receives complete homomorphisms during rec; nil selects the
@@ -67,6 +73,13 @@ type homSearch struct {
 	// per sample.
 	yield func(Binding) bool
 	found bool
+
+	// yieldOrds, when non-nil, receives the fact ordinal matched by each
+	// atom (index-aligned with atoms) on every complete homomorphism. The
+	// factorized counters use it to read off homomorphic images as sets of
+	// interned ordinals without materializing bindings or facts.
+	yieldOrds func([]int32) bool
+	matched   []int32 // atom → matched fact ordinal (yieldOrds mode only)
 }
 
 // newHomSearch compiles q against the index.
@@ -285,6 +298,9 @@ func (s *homSearch) exists() bool {
 // false to stop the enumeration.
 func (s *homSearch) rec(nUsed int) bool {
 	if nUsed == len(s.atoms) {
+		if s.yieldOrds != nil {
+			return s.yieldOrds(s.matched)
+		}
 		if s.yield == nil {
 			s.found = true
 			return false
@@ -309,12 +325,18 @@ func (s *homSearch) rec(nUsed int) bool {
 	s.used[best] = true
 	for k := int32(0); k < bestC.size(); k++ {
 		ord := bestC.at(k)
+		if s.allowedBits != nil && s.allowedBits[ord>>6]&(1<<(uint32(ord)&63)) == 0 {
+			continue
+		}
 		if s.allowed != nil && !s.allowed(ord) {
 			continue
 		}
 		pushed, ok := s.match(a, ord)
 		if !ok {
 			continue
+		}
+		if s.matched != nil {
+			s.matched[best] = ord
 		}
 		grp := int32(-1)
 		if part != nil {
@@ -370,6 +392,27 @@ func Homs(q query.CQ, idx *Index) iter.Seq[Binding] {
 func ConsistentHoms(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[Binding] {
 	return func(yield func(Binding) bool) {
 		newHomSearch(q, idx, ks).run(yield)
+	}
+}
+
+// ConsistentHomImageOrds enumerates, for every homomorphism h of q into idx
+// with a Σ-consistent image, the fact ordinals matched by the atoms of q
+// (index-aligned with q.Atoms; duplicates occur when two atoms map onto the
+// same fact). This is the component probe of the factorized exact counters:
+// the set of blocks touched by one image is exactly the set of blocks a
+// single homomorphism couples, and the union of these couplings is the
+// block interaction graph. The yielded slice is reused across iterations;
+// copy to retain.
+func ConsistentHomImageOrds(q query.CQ, idx *Index, ks *relational.KeySet) iter.Seq[[]int32] {
+	return func(yield func([]int32) bool) {
+		s := newHomSearch(q, idx, ks)
+		if s.dead {
+			return
+		}
+		s.matched = make([]int32, len(s.atoms))
+		s.yieldOrds = yield
+		s.rec(0)
+		s.yieldOrds = nil
 	}
 }
 
@@ -473,6 +516,25 @@ func (m *UCQMatcher) HasHomWhere(allowed func(ord int32) bool) bool {
 		s.allowed = allowed
 		found := s.exists()
 		s.allowed = nil
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// HasHomMasked reports whether some disjunct has a homomorphism whose image
+// uses only facts whose bit is set in mask (bit i of mask[i/64] governs
+// fact ordinal i). It is HasHomWhere with the filter inlined to a bit
+// probe: callers that flip a couple of bits between probes — the factorized
+// counters flip exactly two per enumerated repair — pay no closure call on
+// the match path. The mask must cover every ordinal of the index.
+func (m *UCQMatcher) HasHomMasked(mask []uint64) bool {
+	for _, s := range m.searches {
+		s.reset()
+		s.allowedBits = mask
+		found := s.exists()
+		s.allowedBits = nil
 		if found {
 			return true
 		}

@@ -167,9 +167,17 @@ func IndexDatabase(d *relational.Database) *Index {
 // Contains reports whether the fact is present. The probe is read-only and
 // allocation-free for facts of arity ≤ 16.
 func (idx *Index) Contains(f relational.Fact) bool {
+	_, ok := idx.OrdinalOf(f)
+	return ok
+}
+
+// OrdinalOf returns the ordinal of the fact in canonical order, or ok=false
+// when the fact is not indexed. Like Contains, the probe is read-only and
+// allocation-free for facts of arity ≤ 16.
+func (idx *Index) OrdinalOf(f relational.Fact) (int32, bool) {
 	pid, ok := idx.in.LookupPred(f.Pred)
 	if !ok {
-		return false
+		return 0, false
 	}
 	var buf [16]uint32
 	args := buf[:0]
@@ -179,17 +187,17 @@ func (idx *Index) Contains(f relational.Fact) bool {
 	for _, a := range f.Args {
 		id, ok := idx.in.LookupConst(a)
 		if !ok {
-			return false
+			return 0, false
 		}
 		args = append(args, id)
 	}
 	h := hashFact(pid, args)
 	for _, ord := range idx.buckets[h] {
 		if idx.fpred[ord] == pid && u32SliceEqual(idx.argsOf(ord), args) {
-			return true
+			return ord, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // FactsFor returns the facts with the given predicate, canonically sorted.

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// Tests for the factorized-counter probes: ordinal lookup, ordinal-image
+// enumeration, and the masked matcher — each pinned to an existing path.
+
+func probeFixture(t *testing.T, seed uint64) (*Index, *relational.KeySet, query.UCQ) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 77))
+	var facts []relational.Fact
+	vals := []relational.Const{"a", "b", "c"}
+	for i := 0; i < 3+rng.IntN(4); i++ {
+		for j := 0; j < 1+rng.IntN(3); j++ {
+			facts = append(facts, relational.NewFact("R", relational.IntConst(i), vals[rng.IntN(len(vals))]))
+		}
+	}
+	for i := 0; i < 2+rng.IntN(3); i++ {
+		facts = append(facts, relational.NewFact("S", relational.IntConst(i), vals[rng.IntN(len(vals))]))
+	}
+	ks := relational.Keys(map[string]int{"R": 1, "S": 1})
+	u := query.MustToUCQ(query.MustParse(
+		"(exists x, y . (R(x, 'a') & R(y, 'b'))) | (exists x, y . (R(x, y) & S(x, y)))"))
+	return NewIndex(facts), ks, u
+}
+
+func TestOrdinalOf(t *testing.T) {
+	idx, _, _ := probeFixture(t, 1)
+	for ord := 0; ord < idx.NumFacts(); ord++ {
+		got, ok := idx.OrdinalOf(idx.FactAt(ord))
+		if !ok || got != int32(ord) {
+			t.Fatalf("OrdinalOf(FactAt(%d)) = %d, %v", ord, got, ok)
+		}
+	}
+	if _, ok := idx.OrdinalOf(relational.NewFact("R", "999", "zz")); ok {
+		t.Fatal("OrdinalOf found an absent fact")
+	}
+	if _, ok := idx.OrdinalOf(relational.NewFact("T", "1")); ok {
+		t.Fatal("OrdinalOf found an absent predicate")
+	}
+}
+
+// The ordinal images must be exactly the images of ConsistentHoms, read
+// through OrdinalOf.
+func TestConsistentHomImageOrdsDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		idx, ks, u := probeFixture(t, seed)
+		for _, q := range u.Disjuncts {
+			var got []string
+			for ords := range ConsistentHomImageOrds(q, idx, ks) {
+				if len(ords) != len(q.Atoms) {
+					t.Fatalf("seed %d: image has %d ordinals for %d atoms", seed, len(ords), len(q.Atoms))
+				}
+				got = append(got, ordsKey(ords))
+			}
+			var want []string
+			for h := range ConsistentHoms(q, idx, ks) {
+				ords := make([]int32, 0, len(q.Atoms))
+				for _, f := range Image(q, h) {
+					ord, ok := idx.OrdinalOf(f)
+					if !ok {
+						t.Fatalf("seed %d: image fact %s not indexed", seed, f)
+					}
+					ords = append(ords, ord)
+				}
+				want = append(want, ordsKey(ords))
+			}
+			sort.Strings(got)
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: %d ordinal images, reference has %d", seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: image %q, reference %q", seed, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func ordsKey(ords []int32) string {
+	cp := append([]int32(nil), ords...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := make([]byte, 0, 2*len(cp))
+	for _, o := range cp {
+		out = append(out, byte('A'+o/64), byte(' '+o%64))
+	}
+	return string(out)
+}
+
+// HasHomMasked must agree with HasHomWhere over random masks.
+func TestHasHomMaskedDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		idx, ks, u := probeFixture(t, seed)
+		m := NewUCQMatcher(u, idx)
+		cm := NewConsistentUCQMatcher(u, idx, ks)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		mask := make([]uint64, (idx.NumFacts()+63)/64)
+		for trial := 0; trial < 50; trial++ {
+			allowed := make([]bool, idx.NumFacts())
+			for i := range mask {
+				mask[i] = 0
+			}
+			for ord := range allowed {
+				if rng.IntN(3) > 0 {
+					allowed[ord] = true
+					mask[ord/64] |= 1 << (uint(ord) % 64)
+				}
+			}
+			filter := func(ord int32) bool { return allowed[ord] }
+			if got, want := m.HasHomMasked(mask), m.HasHomWhere(filter); got != want {
+				t.Fatalf("seed %d trial %d: plain HasHomMasked = %v, HasHomWhere = %v", seed, trial, got, want)
+			}
+			if got, want := cm.HasHomMasked(mask), cm.HasHomWhere(filter); got != want {
+				t.Fatalf("seed %d trial %d: consistent HasHomMasked = %v, HasHomWhere = %v", seed, trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package relational
+
+// This file implements the mixed-radix reflected Gray-code odometer used by
+// the factorized exact counters: it enumerates the cartesian product
+// Π_i {0,...,radix_i−1} so that consecutive states differ in exactly one
+// digit by exactly one. The counters exploit this to maintain match
+// viability incrementally — one fact swap per enumerated repair instead of
+// rebuilding evaluation state from scratch.
+
+// GrayOdometer enumerates a mixed-radix space in reflected Gray-code order
+// (Knuth 7.2.1.1, Algorithm H — loopless: every step is O(1)). Digit 0
+// varies fastest. All radices must be ≥ 2; fixed coordinates (radix 1)
+// carry no information and must be excluded by the caller.
+type GrayOdometer struct {
+	radix []int32
+	a     []int32 // current digits
+	o     []int32 // direction of each digit (+1 / −1)
+	f     []int32 // focus pointers (len = len(radix)+1)
+}
+
+// NewGrayOdometer returns an odometer over the given radices, positioned at
+// the all-zero state (which counts as the first state: callers visit the
+// current state, then Step).
+func NewGrayOdometer(radix []int32) *GrayOdometer {
+	g := &GrayOdometer{}
+	g.Reset(radix)
+	return g
+}
+
+// Reset repositions the odometer at the all-zero state of a (possibly new)
+// radix vector, reusing the backing arrays when they are large enough.
+func (g *GrayOdometer) Reset(radix []int32) {
+	n := len(radix)
+	for _, r := range radix {
+		if r < 2 {
+			panic("relational: GrayOdometer radix < 2")
+		}
+	}
+	if cap(g.f) < n+1 {
+		g.a = make([]int32, n)
+		g.o = make([]int32, n)
+		g.f = make([]int32, n+1)
+	}
+	g.radix, g.a, g.o, g.f = radix, g.a[:n], g.o[:n], g.f[:n+1]
+	for i := 0; i < n; i++ {
+		g.a[i] = 0
+		g.o[i] = 1
+		g.f[i] = int32(i)
+	}
+	g.f[n] = int32(n)
+}
+
+// Digits returns the current state. Callers must not mutate the result; it
+// is updated in place by Step.
+func (g *GrayOdometer) Digits() []int32 { return g.a }
+
+// Step advances to the next state, reporting which digit changed and its
+// old and new values. ok is false when the space is exhausted (the odometer
+// is then spent; Reset before reuse).
+func (g *GrayOdometer) Step() (digit int, old, new int32, ok bool) {
+	j := g.f[0]
+	g.f[0] = 0
+	if int(j) == len(g.a) {
+		return 0, 0, 0, false
+	}
+	old = g.a[j]
+	g.a[j] += g.o[j]
+	new = g.a[j]
+	if new == 0 || new == g.radix[j]-1 {
+		g.o[j] = -g.o[j]
+		g.f[j] = g.f[j+1]
+		g.f[j+1] = j + 1
+	}
+	return int(j), old, new, true
+}

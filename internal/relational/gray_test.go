@@ -1,0 +1,128 @@
+package relational
+
+import (
+	"testing"
+)
+
+func grayStates(t *testing.T, radix []int32) [][]int32 {
+	t.Helper()
+	g := NewGrayOdometer(radix)
+	var out [][]int32
+	for {
+		out = append(out, append([]int32(nil), g.Digits()...))
+		digit, old, new, ok := g.Step()
+		if !ok {
+			break
+		}
+		if old == new {
+			t.Fatalf("step reported no change at digit %d", digit)
+		}
+		if d := old - new; d != 1 && d != -1 {
+			t.Fatalf("digit %d jumped from %d to %d", digit, old, new)
+		}
+		if g.Digits()[digit] != new {
+			t.Fatalf("digit %d is %d, step reported %d", digit, g.Digits()[digit], new)
+		}
+	}
+	return out
+}
+
+func TestGrayOdometerCoversProduct(t *testing.T) {
+	for _, radix := range [][]int32{
+		{2}, {3}, {2, 2}, {2, 3}, {3, 2}, {4, 3, 2}, {2, 2, 2, 2, 2}, {5, 4},
+	} {
+		states := grayStates(t, radix)
+		want := 1
+		for _, r := range radix {
+			want *= int(r)
+		}
+		if len(states) != want {
+			t.Fatalf("radix %v: %d states, want %d", radix, len(states), want)
+		}
+		seen := map[string]bool{}
+		for si, s := range states {
+			key := ""
+			for i, d := range s {
+				if d < 0 || d >= radix[i] {
+					t.Fatalf("radix %v: digit %d out of range in state %v", radix, i, s)
+				}
+				key += string(rune('0' + d))
+			}
+			if seen[key] {
+				t.Fatalf("radix %v: state %v repeated at %d", radix, s, si)
+			}
+			seen[key] = true
+			if si > 0 {
+				diff := 0
+				for i := range s {
+					if s[i] != states[si-1][i] {
+						diff++
+					}
+				}
+				if diff != 1 {
+					t.Fatalf("radix %v: states %v -> %v differ in %d digits", radix, states[si-1], s, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestGrayOdometerEmptyAndReset(t *testing.T) {
+	g := NewGrayOdometer(nil)
+	if _, _, _, ok := g.Step(); ok {
+		t.Fatal("empty odometer stepped")
+	}
+	// Reset reuses the backing arrays and restarts from all-zero.
+	g.Reset([]int32{2, 2})
+	n := 1
+	for {
+		if _, _, _, ok := g.Step(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("reset odometer visited %d states, want 4", n)
+	}
+	g.Reset([]int32{3})
+	for _, d := range g.Digits() {
+		if d != 0 {
+			t.Fatalf("reset state %v not all-zero", g.Digits())
+		}
+	}
+}
+
+func TestGrayOdometerRejectsFixedDigits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("radix 1 accepted")
+		}
+	}()
+	NewGrayOdometer([]int32{2, 1})
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(7)
+	u.Union(0, 3)
+	u.Union(3, 5)
+	u.Union(1, 2)
+	u.Union(2, 1) // no-op
+	comps := u.Components()
+	want := [][]int32{{0, 3, 5}, {1, 2}, {4}, {6}}
+	if len(comps) != len(want) {
+		t.Fatalf("components %v, want %v", comps, want)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("components %v, want %v", comps, want)
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("components %v, want %v", comps, want)
+			}
+		}
+	}
+	if u.Find(0) != u.Find(5) || u.Find(0) == u.Find(4) {
+		t.Fatal("find disagrees with unions")
+	}
+}

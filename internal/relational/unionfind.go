@@ -1,0 +1,66 @@
+package relational
+
+// UnionFind is a classic disjoint-set forest with union by rank and path
+// halving, used to compute the connected components of the block
+// interaction graph: blocks that can co-occur in the image of one
+// homomorphism are merged, and each resulting component can be counted
+// independently by the factorized exact counters.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns n singleton sets {0}, ..., {n−1}.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	p := int32(x)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]] // path halving
+		p = u.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets of x and y.
+func (u *UnionFind) Union(x, y int) {
+	rx, ry := int32(u.Find(x)), int32(u.Find(y))
+	if rx == ry {
+		return
+	}
+	switch {
+	case u.rank[rx] < u.rank[ry]:
+		u.parent[rx] = ry
+	case u.rank[rx] > u.rank[ry]:
+		u.parent[ry] = rx
+	default:
+		u.parent[ry] = rx
+		u.rank[rx]++
+	}
+}
+
+// Components returns the sets as slices of their members in ascending
+// order; the sets themselves are ordered by smallest member, so the
+// decomposition is deterministic.
+func (u *UnionFind) Components() [][]int32 {
+	order := map[int]int{} // representative → component position
+	var out [][]int32
+	for i := range u.parent {
+		r := u.Find(i)
+		ci, ok := order[r]
+		if !ok {
+			ci = len(out)
+			order[r] = ci
+			out = append(out, nil)
+		}
+		out[ci] = append(out[ci], int32(i))
+	}
+	return out
+}

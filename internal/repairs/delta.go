@@ -1,0 +1,320 @@
+package repairs
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repaircount/internal/core"
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// This file implements the delta-maintained enumeration engines behind
+// CountFactorized. Each component's choice space is walked in mixed-radix
+// Gray-code order — consecutive repairs differ by exactly one fact swap —
+// against the single shared instance index, so per-repair work is the delta
+// update alone and the inner loop allocates nothing:
+//
+//   - box engine: every homomorphic image is a box of (block, choice)
+//     requirements; a per-box miss counter tracks how many requirements the
+//     current choice violates, and a swap only touches the boxes pinning
+//     the swapped slots. The repair fails the query iff no box has zero
+//     misses. O(boxes touching the two slots) per repair.
+//   - mask engine (fallback when the boxes could not be materialized): the
+//     swap flips two bits in an allowed-ordinal mask and the compiled
+//     UCQMatcher is probed through it — one small indexed join per repair,
+//     still no per-repair index construction.
+//
+// Components are independent, so their odometer spaces are split into
+// prefix shards (the high digits are fixed per shard, the low digits
+// Gray-enumerated) served from an atomic work-stealing queue; workers count
+// into uint64 accumulators that spill to big.Int only on overflow and at
+// the final merge.
+
+// deltaScratch is the reusable per-worker state of both engines.
+type deltaScratch struct {
+	gray    relational.GrayOdometer
+	cur     []int32
+	miss    []int32
+	mask    []uint64         // mask engine: mutable copy of the base mask
+	matcher *eval.UCQMatcher // mask engine: per-worker compiled matcher
+}
+
+func (in *Instance) newDeltaScratch(f *factorization) *deltaScratch {
+	sc := &deltaScratch{}
+	maxDigits, maxBoxes := 0, 0
+	for _, c := range f.comps {
+		maxDigits = max(maxDigits, len(c.sizes))
+		maxBoxes = max(maxBoxes, c.numBoxes)
+	}
+	sc.cur = make([]int32, maxDigits)
+	sc.miss = make([]int32, maxBoxes)
+	if f.masked {
+		sc.mask = append([]uint64(nil), f.baseMask...)
+		sc.matcher = eval.NewUCQMatcher(in.UCQ, in.Idx)
+	}
+	return sc
+}
+
+// shardPlan splits a component's odometer space into prefix shards: the
+// highest prefixDigits digits are fixed per shard (shards = their product)
+// and the rest are Gray-enumerated. The prefix grows until the component
+// offers at least `target` shards or the per-shard suffix space would drop
+// below minSuffixSpace (per-shard init costs O(boxes + digits); suffixes
+// must stay large enough to amortize it).
+const minSuffixSpace = 1024
+
+func shardPlan(c *component, target int64) (prefixDigits int, shards int64) {
+	shards = 1
+	suffix := c.space
+	for prefixDigits < len(c.sizes) && shards < target {
+		s := int64(c.sizes[len(c.sizes)-1-prefixDigits])
+		if suffix/s < minSuffixSpace {
+			break
+		}
+		shards *= s
+		suffix /= s
+		prefixDigits++
+	}
+	return prefixDigits, shards
+}
+
+// decodeShard fixes the prefix digits of cur according to the shard id and
+// zeroes the suffix digits.
+func decodeShard(c *component, prefixDigits int, shard int64, cur []int32) {
+	m := len(c.sizes)
+	for d := 0; d < m-prefixDigits; d++ {
+		cur[d] = 0
+	}
+	for d := m - prefixDigits; d < m; d++ {
+		cur[d] = int32(shard % int64(c.sizes[d]))
+		shard /= int64(c.sizes[d])
+	}
+}
+
+// runBoxShard counts the non-entailing choices of one shard with the
+// per-box miss counters. Allocation-free given warm scratch.
+func runBoxShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) uint64 {
+	m := len(c.sizes)
+	cur := sc.cur[:m]
+	decodeShard(c, prefixDigits, shard, cur)
+	miss := sc.miss[:c.numBoxes]
+	active := 0
+	for b := 0; b < c.numBoxes; b++ {
+		miss[b] = 0
+		for r := c.boxOff[b]; r < c.boxOff[b+1]; r++ {
+			if cur[c.reqDigit[r]] != c.reqChoice[r] {
+				miss[b]++
+			}
+		}
+		if miss[b] == 0 {
+			active++
+		}
+	}
+	var n uint64
+	if active == 0 {
+		n++
+	}
+	sc.gray.Reset(c.sizes[:m-prefixDigits])
+	for {
+		d, old, new, ok := sc.gray.Step()
+		if !ok {
+			return n
+		}
+		slot := c.slotOff[d]
+		for _, b := range c.touch[slot+old] {
+			if miss[b] == 0 {
+				active--
+			}
+			miss[b]++
+		}
+		for _, b := range c.touch[slot+new] {
+			miss[b]--
+			if miss[b] == 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			n++
+		}
+	}
+}
+
+// runMaskShard counts the non-entailing choices of one shard by probing the
+// compiled matcher through the allowed-ordinal mask. sc.mask must equal the
+// factorization's base mask on entry; the invariant is restored on return.
+func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) uint64 {
+	m := len(c.sizes)
+	cur := sc.cur[:m]
+	decodeShard(c, prefixDigits, shard, cur)
+	mask := sc.mask
+	for d := 0; d < m; d++ {
+		ord := c.ords[c.slotOff[d]+cur[d]]
+		mask[ord/64] |= 1 << (uint(ord) % 64)
+	}
+	var n uint64
+	if !sc.matcher.HasHomMasked(mask) {
+		n++
+	}
+	sc.gray.Reset(c.sizes[:m-prefixDigits])
+	for {
+		d, old, new, ok := sc.gray.Step()
+		if !ok {
+			break
+		}
+		ord := c.ords[c.slotOff[d]+old]
+		mask[ord/64] &^= 1 << (uint(ord) % 64)
+		ord = c.ords[c.slotOff[d]+new]
+		mask[ord/64] |= 1 << (uint(ord) % 64)
+		cur[d] = new
+		if !sc.matcher.HasHomMasked(mask) {
+			n++
+		}
+	}
+	for d := 0; d < m; d++ {
+		ord := c.ords[c.slotOff[d]+cur[d]]
+		mask[ord/64] &^= 1 << (uint(ord) % 64)
+	}
+	return n
+}
+
+// CountFactorized counts repairs entailing the UCQ with the factorized
+// engine, sequentially: blocks are partitioned into components of the
+// query-interaction graph, each component's choices are enumerated once in
+// Gray-code order with delta-maintained match state, and the non-entailment
+// counts multiply. The budget bounds Σ_c Π|B_i| — the factorized work — so
+// instances whose full product space is astronomically large stay countable
+// as long as every component is small. budget ≤ 0 selects
+// DefaultEnumBudget. The result is identical to CountEnumUCQ.
+func (in *Instance) CountFactorized(budget int) (*big.Int, error) {
+	return in.countFactorized(budget, 1, 0)
+}
+
+// CountFactorizedParallel is CountFactorized with the component shards
+// served to worker goroutines from a work-stealing queue. workers ≤ 0
+// selects GOMAXPROCS. The count is exact and independent of the worker
+// count and scheduling.
+func (in *Instance) CountFactorizedParallel(budget, workers int) (*big.Int, error) {
+	return in.countFactorized(budget, workers, 0)
+}
+
+func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, error) {
+	if !in.IsEP {
+		return nil, fmt.Errorf("repairs: CountFactorized needs an existential positive query, have %s", in.Q)
+	}
+	if budget <= 0 {
+		budget = DefaultEnumBudget
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	f := in.factorization(homBudget)
+	if f.alwaysTrue {
+		return in.TotalRepairs(), nil
+	}
+	work := int64(0)
+	for i := range f.comps {
+		work = addSat(work, f.comps[i].space)
+	}
+	if work > int64(budget) {
+		return nil, ErrBudget
+	}
+
+	// Shard every component against the worker-scaled target and serve the
+	// flattened (component, shard) job space from one atomic queue.
+	plans := make([]struct {
+		prefixDigits int
+		shards       int64
+	}, len(f.comps))
+	jobOff := make([]int64, len(f.comps)+1)
+	target := int64(4 * workers)
+	for i := range f.comps {
+		p, s := shardPlan(&f.comps[i], target)
+		plans[i] = struct {
+			prefixDigits int
+			shards       int64
+		}{p, s}
+		jobOff[i+1] = jobOff[i] + s
+	}
+	totalJobs := jobOff[len(f.comps)]
+
+	perComp := make([]core.Accum, len(f.comps))
+	runWorker := func(sc *deltaScratch, q *core.ShardQueue, acc []core.Accum) {
+		for {
+			job, ok := q.Next()
+			if !ok {
+				return
+			}
+			ci := sort.Search(len(f.comps), func(i int) bool { return jobOff[i+1] > int64(job) })
+			shard := int64(job) - jobOff[ci]
+			c := &f.comps[ci]
+			var n uint64
+			if f.masked {
+				n = runMaskShard(c, plans[ci].prefixDigits, shard, sc)
+			} else {
+				n = runBoxShard(c, plans[ci].prefixDigits, shard, sc)
+			}
+			acc[ci].Add(n)
+		}
+	}
+
+	queue := core.NewShardQueue(int(totalJobs))
+	if workers == 1 || totalJobs <= 1 {
+		// Inline on the caller's goroutine with instance-memoized scratch:
+		// steady-state sequential counting allocates only the result words.
+		// Scratch is sized for one factorization, so the memo serves only
+		// the default (memoized) one; non-default factorizations get a
+		// fresh scratch and leave the memo alone.
+		var sc *deltaScratch
+		if homBudget != 0 {
+			sc = in.newDeltaScratch(f)
+		} else {
+			if in.deltaMemo == nil {
+				in.deltaMemo = in.newDeltaScratch(f)
+			}
+			sc = in.deltaMemo
+		}
+		runWorker(sc, queue, perComp)
+	} else {
+		nw := workers
+		if int64(nw) > totalJobs {
+			nw = int(totalJobs)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := in.newDeltaScratch(f)
+				local := make([]core.Accum, len(f.comps))
+				runWorker(sc, queue, local)
+				mu.Lock()
+				for i := range perComp {
+					perComp[i].Merge(&local[i])
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+
+	nonent := new(big.Int).Set(f.untouched)
+	for i := range perComp {
+		nonent.Mul(nonent, perComp[i].Big())
+	}
+	count := new(big.Int).Sub(f.split.inner, nonent)
+	return count.Mul(count, f.split.outer), nil
+}
+
+// addSat adds non-negative int64s, saturating at MaxInt64.
+func addSat(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
+}

@@ -11,7 +11,8 @@ import (
 // This file implements the brute-force exact counters. They are
 // exponential in the number of (relevant) blocks — which is exactly what
 // the paper's hardness results predict for the general case — and serve as
-// ground truth for every other algorithm in the repository.
+// ground truth for every other algorithm in the repository, including the
+// factorized engine in delta.go that supersedes them on real workloads.
 
 // ErrBudget is returned when an exact counter would exceed its work budget.
 var ErrBudget = fmt.Errorf("repairs: exact count exceeds work budget")
@@ -32,32 +33,19 @@ func (in *Instance) CountEnumUCQ(budget int) (*big.Int, error) {
 	if budget <= 0 {
 		budget = DefaultEnumBudget
 	}
-	relevant := map[string]bool{}
-	for _, p := range in.UCQ.Predicates() {
-		relevant[p] = true
-	}
-	var relBlocks, irrBlocks []relational.Block
-	for _, b := range in.Blocks {
-		if relevant[b.Key.Pred] {
-			relBlocks = append(relBlocks, b)
-		} else {
-			irrBlocks = append(irrBlocks, b)
-		}
-	}
-	outer := relational.NumRepairsOfBlocks(irrBlocks)
-	inner := relational.NumRepairsOfBlocks(relBlocks)
-	if !inner.IsInt64() || inner.Int64() > int64(budget) {
+	split := in.relevant()
+	if !split.inner.IsInt64() || split.inner.Int64() > int64(budget) {
 		return nil, ErrBudget
 	}
 	count := new(big.Int)
 	one := big.NewInt(1)
-	for facts := range relational.Repairs(relBlocks) {
+	for facts := range relational.Repairs(split.rel) {
 		idx := eval.NewIndex(facts)
 		if eval.EvalUCQ(in.UCQ, idx) {
 			count.Add(count, one)
 		}
 	}
-	return count.Mul(count, outer), nil
+	return count.Mul(count, split.outer), nil
 }
 
 // CountEnumFO counts repairs entailing an arbitrary FO query by exhaustive

@@ -1,0 +1,386 @@
+package repairs
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// This file builds the component factorization behind CountFactorized: the
+// decomposition of the relevant conflict blocks into connected components
+// of the query-interaction graph. A repair entails the UCQ iff some
+// homomorphism of some disjunct lands inside it, and every homomorphic
+// image lives inside one component, so the non-entailment predicate ¬Q
+// factorizes over components:
+//
+//	#¬Q = Π_c #¬Q_c      and      #Q = Π_i |B_i| − Π_c #¬Q_c.
+//
+// The enumeration cost drops from Π_c 2^{n_c} (one odometer over every
+// block) to Σ_c 2^{n_c} (one odometer per component) — the decomposition
+// exploited by Calautti–Livshits–Pieris for practical exact counting.
+//
+// Two interaction graphs are available. The precise one connects the blocks
+// co-occurring in the image of one Σ-consistent homomorphism (enumerated
+// over the shared interned index); as a by-product every image becomes a
+// "box": the set of (block, choice) pairs a repair must pick for that
+// homomorphism to land inside it, which feeds the counter-based delta
+// engine in delta.go. When the homomorphism space is too large to
+// materialize, a coarser sound over-approximation is used instead — blocks
+// whose predicates co-occur in one disjunct are connected — and the delta
+// engine falls back to probing the compiled matcher through a mutable
+// allowed-ordinal mask.
+
+// relevantSplit classifies the canonical block sequence by query relevance:
+// UCQ truth depends only on facts whose predicate occurs in the query, so
+// counts over the irrelevant blocks factor out as Π|B_i|. Computed once per
+// instance and shared by the exact, parallel and factorized counters.
+type relevantSplit struct {
+	rel, irr []relational.Block
+	inner    *big.Int // Π sizes over rel
+	outer    *big.Int // Π sizes over irr
+}
+
+// relevant memoizes the relevant/irrelevant block split. Valid only for
+// existential positive instances (the UCQ rewriting names the predicates).
+func (in *Instance) relevant() *relevantSplit {
+	if in.relSplitMemo == nil {
+		pred := map[string]bool{}
+		for _, p := range in.UCQ.Predicates() {
+			pred[p] = true
+		}
+		s := &relevantSplit{}
+		for _, b := range in.Blocks {
+			if pred[b.Key.Pred] {
+				s.rel = append(s.rel, b)
+			} else {
+				s.irr = append(s.irr, b)
+			}
+		}
+		s.inner = relational.NumRepairsOfBlocks(s.rel)
+		s.outer = relational.NumRepairsOfBlocks(s.irr)
+		in.relSplitMemo = s
+	}
+	return in.relSplitMemo
+}
+
+// defaultHomBudget caps how many Σ-consistent homomorphisms the box
+// extraction will materialize before falling back to the masked engine.
+const defaultHomBudget = 1 << 20
+
+// component is one connected component of the block interaction graph,
+// ready for delta enumeration. Digits index the component's conflicting
+// blocks; digit d has radix sizes[d] and its choices own the slot range
+// [slotOff[d], slotOff[d+1]).
+type component struct {
+	sizes   []int32 // per-digit block size (every size ≥ 2)
+	slotOff []int32 // digit → first slot; slot = slotOff[d] + choice
+	ords    []int32 // slot → fact ordinal in the instance index
+	space   int64   // Π sizes, saturated at MaxInt64
+
+	// Box-engine tables (nil on the masked path): box b requires the
+	// (digit, choice) pairs reqDigit/reqChoice[boxOff[b]:boxOff[b+1]], and
+	// touch[slot] lists the boxes requiring that slot.
+	numBoxes  int
+	boxOff    []int32
+	reqDigit  []int32
+	reqChoice []int32
+	touch     [][]int32
+}
+
+// factorization is the memoized component decomposition of one instance.
+type factorization struct {
+	split      *relevantSplit
+	conf       []relational.Block // relevant blocks with ≥ 2 facts
+	alwaysTrue bool               // some homomorphism uses only always-present facts
+	masked     bool               // hom budget exceeded: predicate-level components + matcher-mask engine
+	comps      []component
+	untouched  *big.Int // Π sizes of conflicting blocks in no box (they never affect Q)
+	baseMask   []uint64 // all facts allowed except those of conflicting relevant blocks
+}
+
+// factorization returns (building and memoizing on first use) the component
+// decomposition. homBudget 0 selects defaultHomBudget (memoized); any other
+// value bypasses the memo, and a negative value skips box extraction
+// entirely, forcing the masked engine (used by tests).
+func (in *Instance) factorization(homBudget int) *factorization {
+	if homBudget != 0 {
+		return newFactorization(in, homBudget)
+	}
+	if in.factMemo == nil {
+		in.factMemo = newFactorization(in, defaultHomBudget)
+	}
+	return in.factMemo
+}
+
+func newFactorization(in *Instance, homBudget int) *factorization {
+	f := &factorization{split: in.relevant(), untouched: big.NewInt(1)}
+	for _, b := range f.split.rel {
+		if b.Size() > 1 {
+			f.conf = append(f.conf, b)
+		}
+	}
+	// Map fact ordinals of conflicting relevant facts to (block, choice);
+	// every other fact is present in every repair.
+	nOrd := in.Idx.NumFacts()
+	ordBlock := make([]int32, nOrd)
+	ordChoice := make([]int32, nOrd)
+	for i := range ordBlock {
+		ordBlock[i] = -1
+	}
+	for ci, b := range f.conf {
+		for j, fact := range b.Facts {
+			ord, ok := in.Idx.OrdinalOf(fact)
+			if !ok {
+				panic(fmt.Sprintf("repairs: block fact %s missing from instance index", fact))
+			}
+			ordBlock[ord] = int32(ci)
+			ordChoice[ord] = int32(j)
+		}
+	}
+	f.baseMask = make([]uint64, (nOrd+63)/64)
+	for i := range f.baseMask {
+		f.baseMask[i] = ^uint64(0)
+	}
+	for ord, ci := range ordBlock {
+		if ci >= 0 {
+			f.baseMask[ord/64] &^= 1 << (uint(ord) % 64)
+		}
+	}
+
+	// Extract one box per distinct Σ-consistent homomorphic image: the
+	// (block, choice) pairs the image pins among the conflicting relevant
+	// blocks. An image pinning nothing lies inside the always-present facts,
+	// so every repair entails the query.
+	type box struct {
+		blocks  []int32 // global conflicting-block positions, ascending
+		choices []int32
+	}
+	var boxes []box
+	dedup := map[uint64][]int32{} // req hash → box ids
+	var req [][2]int32
+	homs := 0
+	if homBudget < 0 {
+		f.masked = true
+	}
+	for _, q := range in.UCQ.Disjuncts {
+		if f.masked {
+			break
+		}
+		for ords := range eval.ConsistentHomImageOrds(q, in.Idx, in.Keys) {
+			homs++
+			if homs > homBudget {
+				f.masked = true
+				break
+			}
+			req = req[:0]
+			for _, ord := range ords {
+				if ci := ordBlock[ord]; ci >= 0 {
+					req = append(req, [2]int32{ci, ordChoice[ord]})
+				}
+			}
+			if len(req) == 0 {
+				f.alwaysTrue = true
+				break
+			}
+			sort.Slice(req, func(i, j int) bool {
+				if req[i][0] != req[j][0] {
+					return req[i][0] < req[j][0]
+				}
+				return req[i][1] < req[j][1]
+			})
+			w := 1
+			for i := 1; i < len(req); i++ {
+				if req[i] != req[i-1] {
+					req[w] = req[i]
+					w++
+				}
+			}
+			req = req[:w]
+			h := uint64(14695981039346656037)
+			for _, r := range req {
+				h = (h ^ uint64(uint32(r[0]))) * 1099511628211
+				h = (h ^ uint64(uint32(r[1]))) * 1099511628211
+			}
+			found := false
+			for _, bi := range dedup[h] {
+				if boxEqual(boxes[bi].blocks, boxes[bi].choices, req) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b := box{blocks: make([]int32, len(req)), choices: make([]int32, len(req))}
+				for i, r := range req {
+					b.blocks[i] = r[0]
+					b.choices[i] = r[1]
+				}
+				dedup[h] = append(dedup[h], int32(len(boxes)))
+				boxes = append(boxes, b)
+			}
+		}
+		if f.alwaysTrue || f.masked {
+			break
+		}
+	}
+	if f.alwaysTrue {
+		return f
+	}
+
+	if f.masked {
+		// Coarse components: blocks whose predicates co-occur in a disjunct
+		// interact. Sound because a homomorphism of one disjunct only uses
+		// facts of that disjunct's predicates. First probe whether the
+		// always-present facts alone entail the query (the masked analogue
+		// of an empty box).
+		if eval.NewUCQMatcher(in.UCQ, in.Idx).HasHomMasked(f.baseMask) {
+			f.alwaysTrue = true
+			return f
+		}
+		predID := map[string]int{}
+		for _, b := range f.conf {
+			if _, ok := predID[b.Key.Pred]; !ok {
+				predID[b.Key.Pred] = len(predID)
+			}
+		}
+		uf := relational.NewUnionFind(len(predID))
+		for _, q := range in.UCQ.Disjuncts {
+			first := -1
+			for _, a := range q.Atoms {
+				id, ok := predID[a.Pred]
+				if !ok {
+					continue
+				}
+				if first < 0 {
+					first = id
+				} else {
+					uf.Union(first, id)
+				}
+			}
+		}
+		predComps := uf.Components()
+		compOf := make([]int32, len(predID))
+		for ci, preds := range predComps {
+			for _, p := range preds {
+				compOf[p] = int32(ci)
+			}
+		}
+		groups := make([][]int32, len(predComps))
+		for ci, b := range f.conf {
+			g := compOf[predID[b.Key.Pred]]
+			groups[g] = append(groups[g], int32(ci))
+		}
+		for _, g := range groups {
+			f.comps = append(f.comps, f.buildComponent(in, g))
+		}
+		return f
+	}
+
+	// Precise components: union the blocks of every box, then lay each
+	// component out with its boxes remapped to local digits. Blocks are
+	// only ever unioned through boxes, so a box-free component is a single
+	// block the query never inspects: its choices multiply directly into
+	// the non-entailment product.
+	uf := relational.NewUnionFind(len(f.conf))
+	for _, b := range boxes {
+		for _, ci := range b.blocks {
+			uf.Union(int(b.blocks[0]), int(ci))
+		}
+	}
+	members := uf.Components()
+	blockComp := make([]int32, len(f.conf))
+	for id, blocks := range members {
+		for _, ci := range blocks {
+			blockComp[ci] = int32(id)
+		}
+	}
+	compBoxes := make([][]int32, len(members))
+	for bi, b := range boxes {
+		id := blockComp[b.blocks[0]]
+		compBoxes[id] = append(compBoxes[id], int32(bi))
+	}
+	for id := range members {
+		if len(compBoxes[id]) == 0 {
+			for _, ci := range members[id] {
+				f.untouched.Mul(f.untouched, big.NewInt(int64(f.conf[ci].Size())))
+			}
+			continue
+		}
+		local := make(map[int32]int32, len(members[id])) // global block → digit
+		for d, ci := range members[id] {
+			local[ci] = int32(d)
+		}
+		c := f.buildComponent(in, members[id])
+		c.numBoxes = len(compBoxes[id])
+		c.boxOff = make([]int32, c.numBoxes+1)
+		nReq := 0
+		for _, bi := range compBoxes[id] {
+			nReq += len(boxes[bi].blocks)
+		}
+		c.reqDigit = make([]int32, 0, nReq)
+		c.reqChoice = make([]int32, 0, nReq)
+		c.touch = make([][]int32, c.slotOff[len(c.sizes)])
+		for k, bi := range compBoxes[id] {
+			b := boxes[bi]
+			for i := range b.blocks {
+				d := local[b.blocks[i]]
+				c.reqDigit = append(c.reqDigit, d)
+				c.reqChoice = append(c.reqChoice, b.choices[i])
+				slot := c.slotOff[d] + b.choices[i]
+				c.touch[slot] = append(c.touch[slot], int32(k))
+			}
+			c.boxOff[k+1] = int32(len(c.reqDigit))
+		}
+		f.comps = append(f.comps, c)
+	}
+	return f
+}
+
+// buildComponent lays out the digits, slots and fact ordinals of one
+// component over the given conflicting-block positions.
+func (f *factorization) buildComponent(in *Instance, blocks []int32) component {
+	c := component{
+		sizes:   make([]int32, len(blocks)),
+		slotOff: make([]int32, len(blocks)+1),
+		space:   1,
+	}
+	for d, ci := range blocks {
+		c.sizes[d] = int32(f.conf[ci].Size())
+		c.slotOff[d+1] = c.slotOff[d] + c.sizes[d]
+		c.space = mulSat(c.space, int64(c.sizes[d]))
+	}
+	c.ords = make([]int32, c.slotOff[len(blocks)])
+	for d, ci := range blocks {
+		for j, fact := range f.conf[ci].Facts {
+			ord, _ := in.Idx.OrdinalOf(fact)
+			c.ords[c.slotOff[d]+int32(j)] = ord
+		}
+	}
+	return c
+}
+
+func boxEqual(blocks, choices []int32, req [][2]int32) bool {
+	if len(blocks) != len(req) {
+		return false
+	}
+	for i, r := range req {
+		if blocks[i] != r[0] || choices[i] != r[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// mulSat multiplies non-negative int64s, saturating at MaxInt64.
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

@@ -6,17 +6,22 @@ import (
 	"runtime"
 	"sync"
 
+	"repaircount/internal/core"
 	"repaircount/internal/eval"
 	"repaircount/internal/relational"
 )
 
 // CountEnumUCQParallel is CountEnumUCQ with the enumeration fanned out
-// across worker goroutines: the choices of the first relevant block are
-// partitioned among workers, each enumerating the remaining blocks
-// independently and reporting a partial count; partial counts are summed.
-// The result is exact and identical to the sequential counter; workers ≤ 0
-// selects GOMAXPROCS. Useful when the (relevant-block) repair space is in
-// the millions — beyond that, the paper says to approximate instead.
+// across worker goroutines. The choice space of the relevant blocks is
+// split into prefix ranges — the first blocks' choices are fixed per job,
+// giving several jobs per worker — and workers steal jobs from an atomic
+// queue, so a skewed job costs one worker, not the whole run. Each worker
+// reuses one fact buffer across all its jobs and counts into a machine-word
+// accumulator, promoted to big.Int only at the final merge. The result is
+// exact and identical to the sequential counter (it deliberately keeps the
+// per-repair index evaluation of the ground-truth path; CountFactorized is
+// the fast engine); workers ≤ 0 selects GOMAXPROCS. budget ≤ 0 selects
+// DefaultEnumBudget.
 func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) {
 	if !in.IsEP {
 		return nil, fmt.Errorf("repairs: CountEnumUCQParallel needs an existential positive query, have %s", in.Q)
@@ -27,70 +32,70 @@ func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	relevant := map[string]bool{}
-	for _, p := range in.UCQ.Predicates() {
-		relevant[p] = true
-	}
-	var relBlocks, irrBlocks []relational.Block
-	for _, b := range in.Blocks {
-		if relevant[b.Key.Pred] {
-			relBlocks = append(relBlocks, b)
-		} else {
-			irrBlocks = append(irrBlocks, b)
-		}
-	}
-	outer := relational.NumRepairsOfBlocks(irrBlocks)
-	inner := relational.NumRepairsOfBlocks(relBlocks)
-	if !inner.IsInt64() || inner.Int64() > int64(budget) {
+	split := in.relevant()
+	if !split.inner.IsInt64() || split.inner.Int64() > int64(budget) {
 		return nil, ErrBudget
 	}
-	if len(relBlocks) == 0 {
+	rel := split.rel
+	if len(rel) == 0 {
 		if eval.EvalUCQ(in.UCQ, eval.NewIndex(nil)) {
-			return outer, nil
+			return new(big.Int).Set(split.outer), nil
 		}
 		return big.NewInt(0), nil
 	}
 
-	// Partition the first block's choices across workers; each worker owns
-	// a disjoint slice of the product space, so no locking beyond the
-	// final sum is needed.
-	first, rest := relBlocks[0], relBlocks[1:]
-	type job struct{ fact relational.Fact }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
+	// Fix the choices of the first `prefix` blocks per job: enough jobs to
+	// keep every worker busy (≥ 4× workers when the space allows), few
+	// enough that the per-job suffix enumeration amortizes job dispatch.
+	prefix, jobs := 1, int64(rel[0].Size())
+	for prefix < len(rel) && jobs < int64(4*workers) {
+		jobs *= int64(rel[prefix].Size())
+		prefix++
+	}
+	suffix := rel[prefix:]
+
+	queue := core.NewShardQueue(int(jobs))
 	var mu sync.Mutex
-	total := new(big.Int)
-	one := big.NewInt(1)
+	total := new(core.Accum)
+	var wg sync.WaitGroup
+	if int64(workers) > jobs {
+		workers = int(jobs)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := new(big.Int)
-			for j := range jobs {
-				facts := make([]relational.Fact, 0, len(rest)+1)
-				facts = append(facts, j.fact)
-				if len(rest) == 0 {
+			facts := make([]relational.Fact, len(rel))
+			var local core.Accum
+			for {
+				job, ok := queue.Next()
+				if !ok {
+					break
+				}
+				rem := int64(job)
+				for i := prefix - 1; i >= 0; i-- {
+					n := int64(rel[i].Size())
+					facts[i] = rel[i].Facts[rem%n]
+					rem /= n
+				}
+				if len(suffix) == 0 {
 					if eval.EvalUCQ(in.UCQ, eval.NewIndex(facts)) {
-						local.Add(local, one)
+						local.Inc()
 					}
 					continue
 				}
-				for tail := range relational.Repairs(rest) {
-					all := append(facts[:1], tail...)
-					if eval.EvalUCQ(in.UCQ, eval.NewIndex(all)) {
-						local.Add(local, one)
+				for tail := range relational.Repairs(suffix) {
+					copy(facts[prefix:], tail)
+					if eval.EvalUCQ(in.UCQ, eval.NewIndex(facts)) {
+						local.Inc()
 					}
 				}
 			}
 			mu.Lock()
-			total.Add(total, local)
+			total.Merge(&local)
 			mu.Unlock()
 		}()
 	}
-	for _, f := range first.Facts {
-		jobs <- job{fact: f}
-	}
-	close(jobs)
 	wg.Wait()
-	return total.Mul(total, outer), nil
+	return new(big.Int).Mul(total.Big(), split.outer), nil
 }

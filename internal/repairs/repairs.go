@@ -41,6 +41,9 @@ type Instance struct {
 	blockIdxMemo *relational.BlockIndex
 	domsMemo     []core.Domain
 	decisionMemo *eval.UCQMatcher
+	relSplitMemo *relevantSplit
+	factMemo     *factorization
+	deltaMemo    *deltaScratch
 }
 
 // NewInstance prepares an instance. Boolean queries only; substitute the
@@ -112,6 +115,12 @@ func (in *Instance) CountExact() (*big.Int, string, error) {
 		}
 		if n, err := in.CountIE(0); err == nil {
 			return n, "inclusion-exclusion", nil
+		}
+		// Factorized enumeration succeeds whenever plain enumeration would
+		// (its budget bounds Σ_c Π|B_i| ≤ Π|B_i|) and on many instances
+		// where it would not; plain enumeration stays as the last resort.
+		if n, err := in.CountFactorized(0); err == nil {
+			return n, "factorized", nil
 		}
 		n, err := in.CountEnumUCQ(0)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"strconv"
+	"strings"
 
 	"repaircount/internal/problems/coloring"
 	"repaircount/internal/problems/dnf"
@@ -182,6 +183,36 @@ func SameDeptQuery(id1, id2 int) query.Formula {
 	src := fmt.Sprintf(
 		"exists x, y, z . (Employee(%d, x, y) & Employee(%d, z, y))", id1, id2)
 	return query.MustParse(src)
+}
+
+// MultiComponent builds a structured instance whose query-interaction
+// graph has exactly nComponents independent components: predicates
+// C0..C{n−1}, each with blocksPer conflict blocks of blockSize facts, and a
+// query whose i-th disjunct joins two Ci blocks on their chosen values. The
+// full repair space is blockSize^(nComponents·blocksPer) but each component
+// couples only its own blocksPer blocks — the workload the factorized exact
+// counter is built for, used by its benchmarks and differential tests.
+func MultiComponent(nComponents, blocksPer, blockSize int) (*relational.Database, *relational.KeySet, query.Formula) {
+	if blockSize < 2 {
+		panic("workload: MultiComponent needs blockSize ≥ 2")
+	}
+	db := relational.MustDatabase()
+	keys := map[string]int{}
+	var disjuncts []string
+	for c := 0; c < nComponents; c++ {
+		pred := "C" + strconv.Itoa(c)
+		keys[pred] = 1
+		for b := 0; b < blocksPer; b++ {
+			k := relational.Const("k" + strconv.Itoa(b))
+			for v := 0; v < blockSize; v++ {
+				db.Add(relational.Fact{Pred: pred, Args: []relational.Const{k, valueConst(v)}})
+			}
+		}
+		disjuncts = append(disjuncts,
+			fmt.Sprintf("(exists x, y . (%s(x, 'v0') & %s(y, 'v1')))", pred, pred))
+	}
+	q := query.MustParse(strings.Join(disjuncts, " | "))
+	return db, relational.Keys(keys), q
 }
 
 // KeywidthQuery builds, together with its key set, a query of keywidth

@@ -58,6 +58,35 @@
 // chose, so one Algorithm 3 sample costs one small indexed join and zero
 // allocations rather than building a fresh index per repair.
 //
+// # Factorized exact counting
+//
+// The exact counters no longer enumerate the full product space of
+// conflict blocks. CountFactorized partitions the relevant blocks into
+// connected components of the query-interaction graph — two blocks
+// interact when they can co-occur in the image of one Σ-consistent
+// homomorphism of some disjunct, computed from the interned index's
+// posting lists. Every homomorphic image lives inside one component, so
+// the non-entailment predicate factorizes and
+//
+//	#Q = Π_i |B_i| − Π_c #¬Q_c,
+//
+// dropping the enumeration cost from Π_c 2^{n_c} to Σ_c 2^{n_c}. Each
+// component's choices are walked in mixed-radix Gray-code order —
+// consecutive repairs differ by exactly one fact swap — against the single
+// shared index, with match state maintained incrementally: each
+// homomorphic image is a box of (block, choice) requirements whose
+// violation count is updated only for the boxes pinning the swapped facts,
+// so one repair costs a handful of counter bumps and the inner loop
+// allocates nothing. When the homomorphism space is too large to
+// materialize as boxes, the engine falls back to predicate-level
+// components and probes the compiled matcher through a mutable
+// allowed-ordinal bitmask (two bit flips per repair) — still never
+// building a per-repair index. Component odometer spaces are split into
+// prefix shards served to workers from an atomic work-stealing queue, with
+// per-worker machine-word accumulators that spill to big.Int only on
+// overflow and at the final merge; the exact count is identical for every
+// worker count.
+//
 // # Parallel sampling and reproducibility
 //
 // The Theorem 6.2 FPRAS and the Karp–Luby estimator offer sharded
@@ -160,6 +189,28 @@ func (c *Counter) Total() *big.Int { return c.inst.TotalRepairs() }
 // it ("safeplan", "inclusion-exclusion", "enumeration" or
 // "fo-enumeration").
 func (c *Counter) Count() (*big.Int, string, error) { return c.inst.CountExact() }
+
+// CountFactorized computes #CQA(Q,Σ)(D) exactly with the factorized
+// engine: the relevant conflict blocks are partitioned into connected
+// components of the query-interaction graph, each component is enumerated
+// once in Gray-code order with delta-maintained match state, and the
+// per-component non-entailment counts multiply. Work is Σ_c Π|B_i| instead
+// of Π|B_i|, with component shards drained by a work-stealing worker pool.
+// Existential positive queries only; the count is bit-identical to the
+// enumeration path.
+func (c *Counter) CountFactorized() (*big.Int, error) {
+	return c.inst.CountFactorizedParallel(0, 0)
+}
+
+// CountEnum computes #CQA(Q,Σ)(D) exactly by plain enumeration of the
+// repair space (the ground-truth path the factorized engine is measured
+// against): one fresh evaluation per enumerated repair.
+func (c *Counter) CountEnum() (*big.Int, error) {
+	if c.inst.IsEP {
+		return c.inst.CountEnumUCQ(0)
+	}
+	return c.inst.CountEnumFO(0)
+}
 
 // Decide answers #CQA>0: does some repair entail Q?
 func (c *Counter) Decide() bool { return c.inst.HasRepairEntailing() }
