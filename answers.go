@@ -7,6 +7,7 @@ import (
 
 	"repaircount/internal/eval"
 	"repaircount/internal/query"
+	"repaircount/internal/relational"
 	"repaircount/internal/repairs"
 )
 
@@ -33,6 +34,14 @@ type RankedAnswer struct {
 // possible answers need not appear in Q(D), and Theorem 3.3 puts exact
 // counting for them at #P-completeness anyway.
 func RankAnswers(db *Database, keys *KeySet, q Formula) ([]RankedAnswer, error) {
+	return rankAnswers(db, keys, q, nil, nil)
+}
+
+// rankAnswers scores the candidates over one shared block sequence and
+// index (computed from db when nil): the per-tuple instances differ only
+// in their bound query, so the derived structures are hoisted out of the
+// loop — and a loaded snapshot passes its preassembled ones.
+func rankAnswers(db *Database, keys *KeySet, q Formula, blocks []relational.Block, idx *eval.Index) ([]RankedAnswer, error) {
 	if !query.IsExistentialPositive(q) {
 		return nil, fmt.Errorf("repaircount: RankAnswers needs an existential positive query (monotone candidate extraction); got %s — bind tuples manually for FO", query.Classify(q))
 	}
@@ -40,7 +49,12 @@ func RankAnswers(db *Database, keys *KeySet, q Formula) ([]RankedAnswer, error) 
 	if len(free) == 0 {
 		return nil, fmt.Errorf("repaircount: query is Boolean; use NewCounter directly")
 	}
-	idx := eval.IndexDatabase(db)
+	if idx == nil {
+		idx = eval.IndexDatabase(db)
+	}
+	if blocks == nil {
+		blocks = relational.Blocks(db, keys)
+	}
 	candidates := eval.Answers(q, idx)
 	var out []RankedAnswer
 	var total *big.Int
@@ -50,7 +64,7 @@ func RankAnswers(db *Database, keys *KeySet, q Formula) ([]RankedAnswer, error) 
 			binding[v] = tuple[i]
 		}
 		bound := query.Substitute(q, binding)
-		inst, err := repairs.NewInstance(db, keys, bound)
+		inst, err := repairs.NewPreparedInstance(db, keys, bound, blocks, idx)
 		if err != nil {
 			return nil, err
 		}

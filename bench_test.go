@@ -13,6 +13,7 @@ package repaircount
 import (
 	"math/big"
 	"math/rand/v2"
+	"os"
 	"testing"
 
 	"repaircount/internal/core"
@@ -341,6 +342,61 @@ func BenchmarkParseInstance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := relational.ParseInstanceString(string(sb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures instance-ready time over the persistent
+// store: mmap + validate + alias the arenas into Database, blocks and
+// index. Compare against BenchmarkSnapshotParseIndex (the same instance
+// through the text codec) for the cold-start speedup, and watch
+// allocs/op: the load path is O(1) allocations regardless of size.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	db, keys, _ := workload.MultiComponent(64, 8, 4)
+	// A single-atom query so counter construction stays negligible and the
+	// benchmark isolates instance readiness.
+	q := query.MustParse("exists x . C0(x, 'v0')")
+	path := b.TempDir() + "/bench.cqs"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSnapshot(f, db, keys); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := OpenSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Counter(q); err != nil {
+			b.Fatal(err)
+		}
+		snap.Close()
+	}
+}
+
+// BenchmarkSnapshotParseIndex is the text-codec counterpart of
+// BenchmarkSnapshotLoad: parse plus block decomposition plus index build
+// on the identical instance.
+func BenchmarkSnapshotParseIndex(b *testing.B) {
+	db, keys, _ := workload.MultiComponent(64, 8, 4)
+	q := query.MustParse("exists x . C0(x, 'v0')")
+	text := keys.String() + db.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdb, pks, err := ParseInstanceString(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewCounter(pdb, pks, q); err != nil {
 			b.Fatal(err)
 		}
 	}

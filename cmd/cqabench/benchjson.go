@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repaircount/internal/query"
 	"repaircount/internal/relational"
 	"repaircount/internal/repairs"
+	"repaircount/internal/store"
 	"repaircount/internal/workload"
 )
 
@@ -133,6 +136,65 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"ParseIndexMultiComp", func(b *testing.B) {
+			// Instance-ready time over the text path: parse the codec,
+			// decompose the conflict blocks, build the evaluation index —
+			// the work NewInstance performs on every cold start.
+			db, ks, _ := workload.MultiComponent(256, 8, 4)
+			var text bytes.Buffer
+			if err := relational.WriteInstance(&text, db, ks); err != nil {
+				b.Fatal(err)
+			}
+			data := text.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pdb, pks, err := relational.ParseInstance(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if blocks := relational.Blocks(pdb, pks); len(blocks) == 0 {
+					b.Fatal("no blocks")
+				}
+				if idx := eval.IndexDatabase(pdb); idx.Len() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		}},
+		{"SnapshotLoadMultiComp", func(b *testing.B) {
+			// Instance-ready time over the snapshot path: mmap, validate,
+			// alias the arenas — same database, block sequence and index
+			// as ParseIndexMultiComp, no parsing and O(1) allocations.
+			db, ks, _ := workload.MultiComponent(256, 8, 4)
+			dir, err := os.MkdirTemp("", "cqabench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			path := filepath.Join(dir, "bench.cqs")
+			if err := store.WriteFile(path, db, ks); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := store.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := snap.Database(); err != nil {
+					b.Fatal(err)
+				}
+				if blocks, err := snap.Blocks(); err != nil || len(blocks) == 0 {
+					b.Fatal("no blocks", err)
+				}
+				idx, err := snap.Index()
+				if err != nil || idx.Len() == 0 {
+					b.Fatal("empty index", err)
+				}
+				snap.Close()
+			}
+		}},
 		{"FactorizedDeltaStep64k", func(b *testing.B) {
 			db, ks, q := workload.MultiComponent(1, 16, 2)
 			in := repairs.MustInstance(db, ks, q)
@@ -150,12 +212,13 @@ func kernelBenchmarks() []struct {
 	}
 }
 
-// checkBaseline guards the factorized counter against performance
-// regressions: it compares the ExactEnum / ExactFactorized speedup of this
-// run against the committed snapshot and fails when the speedup halves
-// (i.e. the factorized counter regressed > 2× relative to the enumeration
-// reference on the same host — a host-speed-independent measure) or drops
-// below the 10× floor the engine is required to clear.
+// checkBaseline guards the hot engines against performance regressions
+// with host-speed-independent ratios: the ExactEnum / ExactFactorized
+// speedup of the factorized counter and the ParseIndexMultiComp /
+// SnapshotLoadMultiComp speedup of the snapshot loader are each compared
+// against the committed snapshot, failing when a speedup halves or drops
+// below the 10× floor both engines are required to clear. A gate is
+// skipped (not failed) when the baseline file predates its kernels.
 func checkBaseline(report benchReport, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -165,37 +228,40 @@ func checkBaseline(report benchReport, path string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	speedup := func(r benchReport, where string) (float64, error) {
-		var enum, fact float64
+	kernelNs := func(r benchReport, name string) float64 {
 		for _, b := range r.Benchmarks {
-			switch b.Name {
-			case "ExactEnum":
-				enum = b.NsPerOp
-			case "ExactFactorized":
-				fact = b.NsPerOp
+			if b.Name == name {
+				return b.NsPerOp
 			}
 		}
-		if enum == 0 || fact == 0 {
-			return 0, fmt.Errorf("%s is missing the ExactEnum/ExactFactorized benchmarks", where)
+		return 0
+	}
+	gate := func(label, slow, fast string) error {
+		den := kernelNs(report, fast)
+		num := kernelNs(report, slow)
+		if num == 0 || den == 0 {
+			return fmt.Errorf("this run is missing the %s/%s benchmarks", slow, fast)
 		}
-		return enum / fact, nil
+		now := num / den
+		if now < 10 {
+			return fmt.Errorf("%s speedup %.1fx (%s over %s) is below the required 10x", label, now, fast, slow)
+		}
+		bden, bnum := kernelNs(base, fast), kernelNs(base, slow)
+		if bden == 0 || bnum == 0 {
+			fmt.Printf("baseline ok: %s speedup %.1fx (no baseline kernels in %s)\n", label, now, path)
+			return nil
+		}
+		snap := bnum / bden
+		if now < snap/2 {
+			return fmt.Errorf("%s regressed: speedup %.1fx vs %.1fx in %s (> 2x regression)", label, now, snap, path)
+		}
+		fmt.Printf("baseline ok: %s speedup %.1fx (snapshot %.1fx)\n", label, now, snap)
+		return nil
 	}
-	now, err := speedup(report, "this run")
-	if err != nil {
+	if err := gate("ExactFactorized", "ExactEnum", "ExactFactorized"); err != nil {
 		return err
 	}
-	snap, err := speedup(base, path)
-	if err != nil {
-		return err
-	}
-	if now < 10 {
-		return fmt.Errorf("ExactFactorized speedup %.1fx over ExactEnum is below the required 10x", now)
-	}
-	if now < snap/2 {
-		return fmt.Errorf("ExactFactorized regressed: speedup %.1fx vs %.1fx in %s (> 2x regression)", now, snap, path)
-	}
-	fmt.Printf("baseline ok: ExactFactorized speedup %.1fx (snapshot %.1fx)\n", now, snap)
-	return nil
+	return gate("SnapshotLoad", "ParseIndexMultiComp", "SnapshotLoadMultiComp")
 }
 
 // runKernels times every kernel benchmark into a report.

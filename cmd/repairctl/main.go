@@ -1,26 +1,34 @@
-// Command repairctl answers repair-counting questions over a database file
-// and a query, from the command line.
+// Command repairctl answers repair-counting questions over a database
+// instance and a query, from the command line.
 //
-// The database file uses the text codec of internal/relational:
+// The instance is either a text file in the codec of internal/relational:
 //
 //	key Employee 1
 //	Employee(1, Bob, HR)
 //	Employee(1, Bob, IT)
 //
+// or a binary .cqs snapshot produced by the build subcommand — every
+// command detects the format from the file contents, and "-" reads the
+// instance from stdin.
+//
 // Usage:
 //
+//	repairctl build  -db employees.db -o employees.cqs
 //	repairctl total  -db employees.db
-//	repairctl count  -db employees.db -query "exists x,y,z . (Employee(1,x,y) & Employee(2,z,y))"
+//	repairctl count  -db employees.cqs -query "exists x,y,z . (Employee(1,x,y) & Employee(2,z,y))"
 //	repairctl count  -db employees.db -query "..." -exact factorized   # or: enum
 //
-// count picks the best algorithm by default; -exact pins the factorized
-// engine or the plain enumeration ground truth so the two are comparable.
+// build converts a text instance into a mmap-able columnar snapshot that
+// loads with zero parsing; count picks the best algorithm by default, and
+// -exact pins the factorized engine or the plain enumeration ground truth
+// so the two are comparable.
 //
 //	repairctl decide -db employees.db -query "..."
 //	repairctl freq   -db employees.db -query "..."
 //	repairctl approx -db employees.db -query "..." -eps 0.1 -delta 0.05 -seed 1
 //	repairctl rank   -db employees.db -query "exists i . Employee(i, n, 'IT')"
 //	repairctl blocks -db employees.db
+//	cat employees.db | repairctl decide -db - -query "..."
 //
 // Non-Boolean queries: count/decide/freq/approx take -tuple "c1,c2,..." to
 // bind the free variables (sorted by name); rank scores every candidate
@@ -28,9 +36,12 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math/big"
 	"os"
 	"strings"
@@ -38,6 +49,7 @@ import (
 	"repaircount"
 	"repaircount/internal/core"
 	"repaircount/internal/relational"
+	"repaircount/internal/store"
 )
 
 func main() {
@@ -45,6 +57,108 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repairctl:", err)
 		os.Exit(1)
 	}
+}
+
+// stdin is the reader "-db -" consumes; tests substitute it.
+var stdin io.Reader = os.Stdin
+
+// instance is one opened database instance, whichever format it came in.
+type instance struct {
+	db   *repaircount.Database
+	keys *repaircount.KeySet
+	snap *repaircount.Snapshot // non-nil when loaded from a snapshot
+}
+
+// counter builds a counter, reusing the snapshot's preloaded block
+// sequence and index when the instance came from one.
+func (in *instance) counter(q repaircount.Formula) (*repaircount.Counter, error) {
+	if in.snap != nil {
+		return in.snap.Counter(q)
+	}
+	return repaircount.NewCounter(in.db, in.keys, q)
+}
+
+// blockSeq returns the canonical block sequence, preloaded for snapshots.
+func (in *instance) blockSeq() []repaircount.Block {
+	if in.snap != nil {
+		return in.snap.Blocks()
+	}
+	return relational.Blocks(in.db, in.keys)
+}
+
+// rank scores candidate tuples, sharing the snapshot's structures when
+// available.
+func (in *instance) rank(q repaircount.Formula) ([]repaircount.RankedAnswer, error) {
+	if in.snap != nil {
+		return in.snap.RankAnswers(q)
+	}
+	return repaircount.RankAnswers(in.db, in.keys, q)
+}
+
+func (in *instance) close() {
+	if in.snap != nil {
+		in.snap.Close()
+	}
+}
+
+// openInstance loads the instance at path — a text file, a .cqs snapshot
+// (detected by magic, not extension), or "-" for stdin.
+func openInstance(path string) (*instance, error) {
+	if path == "-" {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return nil, fmt.Errorf("read stdin: %w", err)
+		}
+		if store.Sniff(data) {
+			snap, err := repaircount.DecodeSnapshot(data)
+			if err != nil {
+				return nil, err
+			}
+			return &instance{db: snap.Database(), keys: snap.Keys(), snap: snap}, nil
+		}
+		db, keys, err := repaircount.ParseInstanceString(string(data))
+		if err != nil {
+			return nil, err
+		}
+		return &instance{db: db, keys: keys}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("database file %q does not exist (pass a text instance, a .cqs snapshot, or '-' to read stdin)", path)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	// Peek instead of read-and-seek so non-seekable paths (FIFOs, process
+	// substitution) keep working.
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(8)
+	if store.Sniff(head) {
+		if st, err := f.Stat(); err == nil && st.Mode().IsRegular() {
+			snap, err := repaircount.OpenSnapshot(path)
+			if err != nil {
+				return nil, err
+			}
+			return &instance{db: snap.Database(), keys: snap.Keys(), snap: snap}, nil
+		}
+		// A snapshot streamed through a pipe cannot be mapped; decode it
+		// from memory like the stdin path.
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := repaircount.DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		return &instance{db: snap.Database(), keys: snap.Keys(), snap: snap}, nil
+	}
+	db, keys, err := repaircount.ParseInstance(br)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{db: db, keys: keys}, nil
 }
 
 // run executes one repairctl invocation; it is the testable core of main.
@@ -56,7 +170,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	var (
-		dbPath   = fs.String("db", "", "path to the database file (required)")
+		dbPath   = fs.String("db", "", "path to the database instance (text or .cqs; '-' reads stdin)")
+		out      = fs.String("o", "", "output path for build (default: input path with .cqs extension)")
 		queryStr = fs.String("query", "", "first-order query")
 		tuple    = fs.String("tuple", "", "comma-separated constants binding the query's free variables")
 		eps      = fs.Float64("eps", 0.1, "FPRAS relative error ε")
@@ -70,22 +185,20 @@ func run(args []string, stdout io.Writer) error {
 	if *dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
-	f, err := os.Open(*dbPath)
+	src, err := openInstance(*dbPath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	db, keys, err := repaircount.ParseInstance(f)
-	if err != nil {
-		return err
-	}
+	defer src.close()
 
 	switch cmd {
+	case "build":
+		return build(stdout, src, *dbPath, *out)
 	case "total":
-		fmt.Fprintln(stdout, relational.NumRepairs(db, keys))
+		fmt.Fprintln(stdout, relational.NumRepairsOfBlocks(src.blockSeq()))
 		return nil
 	case "blocks":
-		for _, b := range relational.Blocks(db, keys) {
+		for _, b := range src.blockSeq() {
 			fmt.Fprintf(stdout, "%s  size=%d\n", b.Key, b.Size())
 			for _, fact := range b.Facts {
 				fmt.Fprintf(stdout, "  %s\n", fact)
@@ -103,7 +216,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if cmd == "rank" {
-		ranked, err := repaircount.RankAnswers(db, keys, q)
+		ranked, err := src.rank(q)
 		if err != nil {
 			return err
 		}
@@ -128,7 +241,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	counter, err := repaircount.NewCounter(db, keys, q)
+	counter, err := src.counter(q)
 	if err != nil {
 		return err
 	}
@@ -174,6 +287,26 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return usageError()
 	}
+	return nil
+}
+
+// build converts the opened instance into a .cqs snapshot with all
+// precomputed sections, so later loads skip parsing and indexing entirely.
+func build(stdout io.Writer, src *instance, dbPath, out string) error {
+	if out == "" {
+		if dbPath == "-" {
+			return fmt.Errorf("build: -o is required when reading stdin")
+		}
+		out = strings.TrimSuffix(dbPath, ".db") + ".cqs"
+	}
+	if err := store.WriteFile(out, src.db, src.keys); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\t%d facts, %d bytes\n", out, src.db.Len(), st.Size())
 	return nil
 }
 
@@ -227,5 +360,5 @@ func analyze(stdout io.Writer, counter *repaircount.Counter, eps, delta float64)
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: repairctl <total|blocks|count|decide|freq|approx|rank|analyze> -db FILE [-query Q] [flags]")
+	return fmt.Errorf("usage: repairctl <build|total|blocks|count|decide|freq|approx|rank|analyze> -db FILE|- [-query Q] [flags]")
 }

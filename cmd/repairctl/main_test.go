@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -160,6 +162,151 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestBuildAndSnapshotTransparency: build a .cqs from the text fixture,
+// then run every counting command against both; outputs must be
+// identical, the format detected by content rather than extension.
+func TestBuildAndSnapshotTransparency(t *testing.T) {
+	db := writeExampleDB(t)
+	snapPath := filepath.Join(t.TempDir(), "example.snapshot") // deliberately not .cqs
+	out := runCmd(t, "build", "-db", db, "-o", snapPath)
+	if !strings.Contains(out, snapPath) || !strings.Contains(out, "4 facts") {
+		t.Fatalf("build output wrong: %q", out)
+	}
+	for _, args := range [][]string{
+		{"total"},
+		{"blocks"},
+		{"count", "-query", exampleQuery},
+		{"count", "-query", exampleQuery, "-exact", "factorized"},
+		{"decide", "-query", exampleQuery},
+		{"freq", "-query", exampleQuery},
+		{"approx", "-query", exampleQuery, "-seed", "3"},
+		{"analyze", "-query", exampleQuery},
+		{"rank", "-query", "exists i . Employee(i, n, 'IT')"},
+	} {
+		text := runCmd(t, append([]string{args[0], "-db", db}, args[1:]...)...)
+		snap := runCmd(t, append([]string{args[0], "-db", snapPath}, args[1:]...)...)
+		if text != snap {
+			t.Errorf("%v diverges between text and snapshot:\ntext: %q\nsnap: %q", args, text, snap)
+		}
+	}
+}
+
+// TestBuildDefaultOutput derives the .cqs path from the input path.
+func TestBuildDefaultOutput(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "build", "-db", db)
+	want := strings.TrimSuffix(db, ".db") + ".cqs"
+	if !strings.Contains(out, want) {
+		t.Fatalf("build output %q does not mention %s", out, want)
+	}
+	if got := strings.TrimSpace(runCmd(t, "total", "-db", want)); got != "4" {
+		t.Fatalf("total over default-built snapshot = %q, want 4", got)
+	}
+}
+
+// TestStdinInstance feeds both formats through -db -.
+func TestStdinInstance(t *testing.T) {
+	dbPath := writeExampleDB(t)
+	text, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { stdin = os.Stdin }()
+
+	stdin = strings.NewReader(string(text))
+	if got := strings.TrimSpace(runCmd(t, "total", "-db", "-")); got != "4" {
+		t.Fatalf("total from text stdin = %q, want 4", got)
+	}
+
+	stdin = strings.NewReader(string(text))
+	snapPath := filepath.Join(t.TempDir(), "out.cqs")
+	runCmd(t, "build", "-db", "-", "-o", snapPath)
+	snapBytes, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdin = strings.NewReader(string(snapBytes))
+	if got := strings.TrimSpace(runCmd(t, "decide", "-db", "-", "-query", exampleQuery)); got != "true" {
+		t.Fatalf("decide from snapshot stdin = %q, want true", got)
+	}
+
+	// build from stdin requires an explicit output path.
+	stdin = strings.NewReader(string(text))
+	var sb strings.Builder
+	if err := run([]string{"build", "-db", "-"}, &sb); err == nil {
+		t.Fatal("build -db - without -o succeeded")
+	}
+}
+
+// TestTextPredicateNamedCQS1: a text instance whose first fact uses a
+// predicate literally named CQS1 must still parse as text (format
+// sniffing checks the binary version word, not just the magic).
+func TestTextPredicateNamedCQS1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tricky.db")
+	if err := os.WriteFile(path, []byte("key CQS1 1\nCQS1(a, b)\nCQS1(a, c)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(runCmd(t, "total", "-db", path)); got != "2" {
+		t.Fatalf("total over CQS1-predicate text instance = %q, want 2", got)
+	}
+}
+
+// TestNonSeekablePath: format sniffing must not require a seekable file —
+// FIFOs and process substitution (`-db <(...)`) worked before snapshots
+// existed and must keep working.
+func TestNonSeekablePath(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("uses /proc/self/fd to name a pipe")
+	}
+	text, err := os.ReadFile(writeExampleDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	go func() {
+		w.Write(text)
+		w.Close()
+	}()
+	path := fmt.Sprintf("/proc/self/fd/%d", r.Fd())
+	if got := strings.TrimSpace(runCmd(t, "total", "-db", path)); got != "4" {
+		t.Fatalf("total over pipe path = %q, want 4", got)
+	}
+}
+
+// TestMissingFileError: a nonexistent path gets the explicit message, not
+// a bare open error.
+func TestMissingFileError(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"count", "-db", "/no/such/instance.db", "-query", exampleQuery}, &sb)
+	if err == nil || !strings.Contains(err.Error(), `does not exist`) {
+		t.Fatalf("missing-file error = %v, want a does-not-exist message", err)
+	}
+}
+
+// TestCorruptSnapshotError: flipping a byte in a .cqs must surface the
+// checksum failure.
+func TestCorruptSnapshotError(t *testing.T) {
+	db := writeExampleDB(t)
+	snapPath := filepath.Join(t.TempDir(), "corrupt.cqs")
+	runCmd(t, "build", "-db", db, "-o", snapPath)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"total", "-db", snapPath}, &sb); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt snapshot error = %v, want corruption message", err)
 	}
 }
 

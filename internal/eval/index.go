@@ -42,10 +42,16 @@ type Index struct {
 	byPred    map[string][]relational.Fact // subslices of facts
 	predRange map[uint32][2]int32          // pred ID → [start, end) ordinals
 	buckets   map[uint64][]int32           // fact hash → ordinals
+	bktOnce   sync.Once                    // lazy bucket build for section-backed indexes
 	dom       []relational.Const
 
 	postOnce sync.Once
 	postings map[postingKey][]int32
+	// postSec holds prebuilt posting-list sections from a snapshot: keys is
+	// a flat (pred, pos, cid) triple per list, offs/ords the concatenated
+	// ordinal arenas. When set, ensurePostings assembles the map from these
+	// instead of rescanning every fact.
+	postSec *PostingSections
 
 	mu       sync.Mutex
 	keyParts map[*relational.KeySet]*keyPartition
@@ -138,9 +144,21 @@ func (idx *Index) buildPredAccess() {
 	}
 }
 
-// ensurePostings builds the argument-position posting lists on first use.
+// ensurePostings builds the argument-position posting lists on first use:
+// from the snapshot's prebuilt sections when present (the lists subslice
+// the mapped ordinal arena, so only the map itself is allocated), else by
+// scanning every fact.
 func (idx *Index) ensurePostings() {
 	idx.postOnce.Do(func() {
+		if s := idx.postSec; s != nil {
+			posts := make(map[postingKey][]int32, len(s.Offs)-1)
+			for i := 0; i+1 < len(s.Offs); i++ {
+				k := postingKey{pred: s.Keys[3*i], pos: uint16(s.Keys[3*i+1]), cid: s.Keys[3*i+2]}
+				posts[k] = s.Ords[s.Offs[i]:s.Offs[i+1]:s.Offs[i+1]]
+			}
+			idx.postings = posts
+			return
+		}
 		posts := make(map[postingKey][]int32, len(idx.arena))
 		for ord := range idx.facts {
 			args := idx.argsOf(int32(ord))
@@ -152,6 +170,66 @@ func (idx *Index) ensurePostings() {
 		}
 		idx.postings = posts
 	})
+}
+
+// ensureBuckets builds the fact-hash membership buckets of a section-backed
+// index on first use. Indexes built by NewIndex fill the buckets during
+// de-duplication, making this a no-op.
+func (idx *Index) ensureBuckets() {
+	idx.bktOnce.Do(func() {
+		if idx.buckets != nil {
+			return
+		}
+		b := make(map[uint64][]int32, len(idx.facts))
+		for ord := range idx.facts {
+			h := hashFact(idx.fpred[ord], idx.argsOf(int32(ord)))
+			b[h] = append(b[h], int32(ord))
+		}
+		idx.buckets = b
+	})
+}
+
+// PostingSections is the snapshot encoding of the posting lists: Keys holds
+// one (predicate ID, argument position, constant ID) triple per list, and
+// list i is Ords[Offs[i]:Offs[i+1]]. Lists are keyed in ascending triple
+// order, each list ascending — the same contents ensurePostings computes.
+type PostingSections struct {
+	Keys []uint32
+	Offs []int32
+	Ords []int32
+}
+
+// IndexSections bundles the preassembled columns of a snapshot-loaded
+// index. All slices are borrowed, not copied; Facts must be in canonical
+// order with Facts[i] interned as predicate FPred[i] and argument IDs
+// Arena[Offs[i]:Offs[i+1]] under Interner, and Dom must be the sorted
+// active domain. Postings is optional.
+type IndexSections struct {
+	Interner *relational.Interner
+	Facts    []relational.Fact
+	Arena    []uint32
+	Offs     []int32
+	FPred    []uint32
+	Dom      []relational.Const
+	Postings *PostingSections
+}
+
+// IndexFromSections assembles an index from snapshot sections with a
+// constant number of allocations: the per-predicate ranges are rebuilt by
+// one scan over the predicate column (the canonical order groups facts by
+// predicate), while membership buckets and posting lists stay lazy.
+func IndexFromSections(s IndexSections) *Index {
+	idx := &Index{
+		in:      s.Interner,
+		facts:   s.Facts,
+		arena:   s.Arena,
+		offs:    s.Offs,
+		fpred:   s.FPred,
+		dom:     s.Dom,
+		postSec: s.Postings,
+	}
+	idx.buildPredAccess()
+	return idx
 }
 
 // argsOf returns the interned argument IDs of a fact ordinal.
@@ -175,6 +253,7 @@ func (idx *Index) Contains(f relational.Fact) bool {
 // when the fact is not indexed. Like Contains, the probe is read-only and
 // allocation-free for facts of arity ≤ 16.
 func (idx *Index) OrdinalOf(f relational.Fact) (int32, bool) {
+	idx.ensureBuckets()
 	pid, ok := idx.in.LookupPred(f.Pred)
 	if !ok {
 		return 0, false

@@ -19,8 +19,12 @@ type Database struct {
 	ipred []uint32
 	iargs [][]uint32
 	// buckets maps the fact hash to the ordinals of facts with that hash;
-	// probes verify structurally, so hash collisions are harmless.
+	// probes verify structurally, so hash collisions are harmless. For
+	// databases assembled from snapshot arenas the map is built lazily on
+	// the first membership probe or insertion (guarded by bktOnce), so a
+	// load stays O(1) allocations.
 	buckets map[uint64][]int32
+	bktOnce sync.Once
 	in      *Interner
 	arity   Schema
 
@@ -63,12 +67,50 @@ func MustDatabase(facts ...Fact) *Database {
 // concurrently with Add.
 func (d *Database) Interner() *Interner { return d.in }
 
+// DatabaseFromArenas assembles a database from preassembled columns: facts
+// (already de-duplicated, with facts[i] interned as predicate ipred[i] and
+// argument IDs iargs[i] under in). All slices are borrowed, not copied —
+// the snapshot loader passes views whose backing arrays alias a mapped
+// file. The membership index is built lazily on the first probe, so the
+// call itself performs a constant number of allocations.
+func DatabaseFromArenas(in *Interner, facts []Fact, ipred []uint32, iargs [][]uint32, schema Schema) *Database {
+	arity := make(Schema, len(schema))
+	for p, a := range schema {
+		arity[p] = a
+	}
+	return &Database{
+		facts: facts,
+		ipred: ipred,
+		iargs: iargs,
+		in:    in,
+		arity: arity,
+	}
+}
+
+// ensureBuckets builds the fact-hash membership index of a lazily-assembled
+// database. Safe for concurrent read-only callers; a no-op for databases
+// built by NewDatabase.
+func (d *Database) ensureBuckets() {
+	d.bktOnce.Do(func() {
+		if d.buckets != nil {
+			return
+		}
+		b := make(map[uint64][]int32, len(d.facts))
+		for i := range d.facts {
+			h := hashIDs(d.ipred[i], d.iargs[i])
+			b[h] = append(b[h], int32(i))
+		}
+		d.buckets = b
+	})
+}
+
 // Add inserts a fact (a no-op if already present). It fails on an arity
 // clash with earlier facts of the same predicate.
 func (d *Database) Add(f Fact) error {
 	if ar, ok := d.arity[f.Pred]; ok && ar != len(f.Args) {
 		return fmt.Errorf("relational: predicate %s used with arities %d and %d", f.Pred, ar, len(f.Args))
 	}
+	d.ensureBuckets()
 	pid, args := d.in.InternFact(f, make([]uint32, 0, len(f.Args)))
 	h := hashIDs(pid, args)
 	for _, ord := range d.buckets[h] {
@@ -87,6 +129,7 @@ func (d *Database) Add(f Fact) error {
 // Contains reports whether the fact is in the database. The probe is
 // read-only: it does not grow the symbol table.
 func (d *Database) Contains(f Fact) bool {
+	d.ensureBuckets()
 	pid, ok := d.in.LookupPred(f.Pred)
 	if !ok {
 		return false
@@ -224,6 +267,7 @@ func (d *Database) keyOf(ks *KeySet, i int) (uint32, int) {
 
 // Clone returns an independent copy of the database.
 func (d *Database) Clone() *Database {
+	d.ensureBuckets()
 	out := &Database{
 		facts:   append([]Fact(nil), d.facts...),
 		ipred:   append([]uint32(nil), d.ipred...),

@@ -1,5 +1,7 @@
 package relational
 
+import "sync"
+
 // This file implements the interned-ID substrate: a symbol table mapping
 // constants and predicate names to dense uint32 IDs, plus the FNV-style
 // hashing helpers used for integer-keyed fact and key-value lookups. Hot
@@ -19,6 +21,44 @@ type Interner struct {
 	consts   []Const
 	predIDs  map[string]uint32
 	preds    []string
+
+	// mapsOnce guards the deferred symbol → ID map build of interners
+	// created by InternerFromSymbols: snapshot loads alias the symbol
+	// arenas and must not pay an O(symbols) map construction up front.
+	mapsOnce sync.Once
+}
+
+// InternerFromSymbols builds a symbol table over preassigned dense IDs:
+// consts[i] has constant ID i and preds[j] predicate ID j. Both slices are
+// borrowed, not copied — the snapshot loader passes views aliasing a mapped
+// file. The reverse maps (symbol → ID) are built lazily on the first lookup
+// or interning call, so constructing the table allocates nothing beyond the
+// struct itself.
+func InternerFromSymbols(consts []Const, preds []string) *Interner {
+	return &Interner{consts: consts, preds: preds}
+}
+
+// ensureMaps builds the symbol → ID maps of a lazily-constructed interner.
+// Safe for concurrent callers; a no-op for interners built by NewInterner.
+func (t *Interner) ensureMaps() {
+	t.mapsOnce.Do(func() {
+		if t.constIDs == nil {
+			t.constIDs = make(map[Const]uint32, len(t.consts))
+			for i, c := range t.consts {
+				if _, dup := t.constIDs[c]; !dup {
+					t.constIDs[c] = uint32(i)
+				}
+			}
+		}
+		if t.predIDs == nil {
+			t.predIDs = make(map[string]uint32, len(t.preds))
+			for i, p := range t.preds {
+				if _, dup := t.predIDs[p]; !dup {
+					t.predIDs[p] = uint32(i)
+				}
+			}
+		}
+	})
 }
 
 // NewInterner builds an empty symbol table.
@@ -31,6 +71,7 @@ func NewInterner() *Interner {
 
 // ConstID interns a constant, assigning the next dense ID on first sight.
 func (t *Interner) ConstID(c Const) uint32 {
+	t.ensureMaps()
 	if id, ok := t.constIDs[c]; ok {
 		return id
 	}
@@ -45,6 +86,7 @@ func (t *Interner) ConstID(c Const) uint32 {
 // tests against facts that may mention foreign constants) use this so the
 // table does not grow on misses.
 func (t *Interner) LookupConst(c Const) (uint32, bool) {
+	t.ensureMaps()
 	id, ok := t.constIDs[c]
 	return id, ok
 }
@@ -61,6 +103,7 @@ func (t *Interner) Consts() []Const { return t.consts }
 
 // PredID interns a predicate name.
 func (t *Interner) PredID(p string) uint32 {
+	t.ensureMaps()
 	if id, ok := t.predIDs[p]; ok {
 		return id
 	}
@@ -72,6 +115,7 @@ func (t *Interner) PredID(p string) uint32 {
 
 // LookupPred returns the ID of a predicate without interning it.
 func (t *Interner) LookupPred(p string) (uint32, bool) {
+	t.ensureMaps()
 	id, ok := t.predIDs[p]
 	return id, ok
 }
@@ -84,6 +128,7 @@ func (t *Interner) NumPreds() int { return len(t.preds) }
 
 // Clone returns an independent copy of the symbol table (same IDs).
 func (t *Interner) Clone() *Interner {
+	t.ensureMaps()
 	out := &Interner{
 		constIDs: make(map[Const]uint32, len(t.constIDs)),
 		consts:   append([]Const(nil), t.consts...),

@@ -50,18 +50,35 @@ type Instance struct {
 // tuple t̄ into a non-Boolean query first (the paper reduces to the Boolean
 // case the same way).
 func NewInstance(db *relational.Database, ks *relational.KeySet, q query.Formula) (*Instance, error) {
+	return NewPreparedInstance(db, ks, q, nil, nil)
+}
+
+// NewPreparedInstance is NewInstance for callers that already hold the
+// derived structures — the snapshot loader reconstructs the canonical
+// block sequence and the evaluation index from mapped arenas, so
+// recomputing them here would forfeit the zero-parse load. A nil blocks or
+// idx is computed from db as usual; when given, blocks must be the
+// canonical sequence ≺(D,Σ) of (db, ks) and idx must index exactly the
+// facts of db.
+func NewPreparedInstance(db *relational.Database, ks *relational.KeySet, q query.Formula, blocks []relational.Block, idx *eval.Index) (*Instance, error) {
 	if fv := query.FreeVars(q); len(fv) > 0 {
 		return nil, fmt.Errorf("repairs: query has free variables %v; substitute a tuple first", fv)
 	}
 	if err := ks.Validate(db.Schema()); err != nil {
 		return nil, err
 	}
+	if blocks == nil {
+		blocks = relational.Blocks(db, ks)
+	}
+	if idx == nil {
+		idx = eval.IndexDatabase(db)
+	}
 	inst := &Instance{
 		DB:     db,
 		Keys:   ks,
 		Q:      q,
-		Blocks: relational.Blocks(db, ks),
-		Idx:    eval.IndexDatabase(db),
+		Blocks: blocks,
+		Idx:    idx,
 	}
 	if query.IsExistentialPositive(q) {
 		u, err := query.ToUCQ(q)

@@ -1,0 +1,473 @@
+package store
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"sort"
+	"unsafe"
+
+	"repaircount/internal/eval"
+)
+
+// hostLE reports whether the host is little-endian, in which case uint32
+// columns alias the snapshot bytes directly; big-endian hosts fall back to
+// copying columns through explicit little-endian reads.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Decode parses and validates a snapshot held in memory and returns a
+// Snapshot whose columns alias data (which must stay immutable and live
+// for the Snapshot's lifetime — Open arranges this over a mapped file).
+//
+// Validation is exhaustive: the checksum, the section table, every offset
+// column's monotonicity and every symbol/ordinal reference is checked
+// here, so the materialized structures can index their arenas without
+// bounds surprises. A corrupted snapshot yields an error, never a panic.
+func Decode(data []byte) (*Snapshot, error) { return decode(data, true) }
+
+// DecodeUnverified is Decode without the whole-file checksum pass — for
+// callers that already trust the bytes (or cannot afford to fault in every
+// page of a huge mapping up front). All structural validation still runs.
+func DecodeUnverified(data []byte) (*Snapshot, error) { return decode(data, false) }
+
+func decode(data []byte, verify bool) (*Snapshot, error) {
+	if len(data) < headerSize+trailerLen {
+		return nil, corrupt("%d bytes is shorter than header plus trailer", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, corrupt("bad magic %q", data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != version {
+		return nil, corrupt("unsupported version %d (want %d)", v, version)
+	}
+	flags := le.Uint32(data[8:])
+	if flags&^uint32(flagBlocks|flagPostings) != 0 {
+		return nil, corrupt("unknown flag bits %#x", flags)
+	}
+	nSecs := le.Uint32(data[12:])
+	if nSecs > maxSectionID {
+		return nil, corrupt("%d sections exceed the %d defined ids", nSecs, maxSectionID)
+	}
+	if sz := le.Uint64(data[16:]); sz != uint64(len(data)) {
+		return nil, corrupt("header says %d bytes, have %d", sz, len(data))
+	}
+	if le.Uint64(data[24:]) != 0 {
+		return nil, corrupt("reserved header field is nonzero")
+	}
+	body := data[:len(data)-trailerLen]
+	if verify {
+		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(data[len(data)-trailerLen:]); got != want {
+			return nil, corrupt("checksum mismatch: file says %#x, content hashes to %#x", want, got)
+		}
+	}
+
+	// Section table: ascending, non-overlapping, 8-aligned, unique ids.
+	var tab [maxSectionID + 1]struct {
+		off, ln uint64
+		ok      bool
+	}
+	prevEnd := uint64(headerSize) + uint64(entrySize)*uint64(nSecs)
+	if prevEnd > uint64(len(body)) {
+		return nil, corrupt("section table overruns the file")
+	}
+	for i := uint32(0); i < nSecs; i++ {
+		e := data[headerSize+int(i)*entrySize:]
+		id := le.Uint32(e)
+		if id == 0 || id > maxSectionID {
+			return nil, corrupt("unknown section id %d", id)
+		}
+		if le.Uint32(e[4:]) != 0 {
+			return nil, corrupt("section %d: nonzero table padding", id)
+		}
+		off, ln := le.Uint64(e[8:]), le.Uint64(e[16:])
+		if tab[id].ok {
+			return nil, corrupt("duplicate section %d", id)
+		}
+		if off%8 != 0 {
+			return nil, corrupt("section %d: offset %d is not 8-aligned", id, off)
+		}
+		if off < prevEnd {
+			return nil, corrupt("section %d: offset %d overlaps the previous section", id, off)
+		}
+		end := off + ln
+		if end < off || end > uint64(len(body)) {
+			return nil, corrupt("section %d: [%d, %d) overruns the file", id, off, end)
+		}
+		tab[id] = struct {
+			off, ln uint64
+			ok      bool
+		}{off, ln, true}
+		prevEnd = end
+	}
+	want := []uint32{secConstBytes, secConstOffs, secPredBytes, secPredOffs,
+		secSchema, secExtraKeys, secFactPred, secFactOffs, secFactArgs, secDomOrder}
+	if flags&flagBlocks != 0 {
+		want = append(want, secBlockBounds)
+	}
+	if flags&flagPostings != 0 {
+		want = append(want, secPostKeys, secPostOffs, secPostOrds)
+	}
+	if int(nSecs) != len(want) {
+		return nil, corrupt("have %d sections, flags require %d", nSecs, len(want))
+	}
+	for _, id := range want {
+		if !tab[id].ok {
+			return nil, corrupt("missing section %d", id)
+		}
+	}
+	raw := func(id uint32) []byte { return data[tab[id].off : tab[id].off+tab[id].ln] }
+	u32 := func(id uint32) ([]uint32, error) {
+		if tab[id].ln%4 != 0 {
+			return nil, corrupt("section %d: length %d is not a whole number of words", id, tab[id].ln)
+		}
+		return u32View(raw(id)), nil
+	}
+
+	s := &Snapshot{data: data}
+	var err error
+	if s.constOffs, err = u32(secConstOffs); err != nil {
+		return nil, err
+	}
+	if s.predOffs, err = u32(secPredOffs); err != nil {
+		return nil, err
+	}
+	if s.schema, err = u32(secSchema); err != nil {
+		return nil, err
+	}
+	if s.fpred, err = u32(secFactPred); err != nil {
+		return nil, err
+	}
+	if s.factOffs, err = u32(secFactOffs); err != nil {
+		return nil, err
+	}
+	if s.factArgs, err = u32(secFactArgs); err != nil {
+		return nil, err
+	}
+	if s.domOrder, err = u32(secDomOrder); err != nil {
+		return nil, err
+	}
+	s.constBytes, s.predBytes = raw(secConstBytes), raw(secPredBytes)
+
+	// Symbol tables: offset columns frame the byte arenas.
+	if err := checkOffsets("constant", s.constOffs, uint64(len(s.constBytes))); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("predicate", s.predOffs, uint64(len(s.predBytes))); err != nil {
+		return nil, err
+	}
+	nc, np := len(s.constOffs)-1, len(s.predOffs)-1
+	n := len(s.fpred)
+	if nc > math.MaxInt32 || np > math.MaxInt32 || n > math.MaxInt32 || len(s.factArgs) > math.MaxInt32 {
+		return nil, corrupt("column sizes exceed the int32 ordinal space")
+	}
+	if len(s.schema) != 2*np {
+		return nil, corrupt("schema has %d words for %d predicates", len(s.schema), np)
+	}
+	if len(s.factOffs) != n+1 {
+		return nil, corrupt("factOffs has %d entries for %d facts", len(s.factOffs), n)
+	}
+	if s.factOffs[0] != 0 {
+		return nil, corrupt("factOffs does not start at 0")
+	}
+	if s.factOffs[n] != uint32(len(s.factArgs)) {
+		return nil, corrupt("factOffs ends at %d, argument arena has %d words", s.factOffs[n], len(s.factArgs))
+	}
+	// Every fact references a valid predicate and carries exactly the
+	// schema arity of arguments (which also makes factOffs monotone).
+	for i := 0; i < n; i++ {
+		p := s.fpred[i]
+		if p >= uint32(np) {
+			return nil, corrupt("fact %d: predicate id %d out of range", i, p)
+		}
+		arity := uint64(s.schema[2*p])
+		if uint64(s.factOffs[i+1])-uint64(s.factOffs[i]) != arity ||
+			s.factOffs[i+1] < s.factOffs[i] {
+			return nil, corrupt("fact %d: width %d does not match arity %d of predicate %d",
+				i, int64(s.factOffs[i+1])-int64(s.factOffs[i]), arity, p)
+		}
+	}
+	for i, cid := range s.factArgs {
+		if cid >= uint32(nc) {
+			return nil, corrupt("argument word %d: constant id %d out of range", i, cid)
+		}
+	}
+	// Key widths: the +1 encoding must not wrap.
+	for p := 0; p < np; p++ {
+		if s.schema[2*p+1] == math.MaxUint32 {
+			return nil, corrupt("predicate %d: key width overflows", p)
+		}
+	}
+	// The domain order must be a permutation of the constant IDs.
+	if len(s.domOrder) != nc {
+		return nil, corrupt("domain order has %d entries for %d constants", len(s.domOrder), nc)
+	}
+	seen := make([]uint64, (nc+63)/64)
+	for _, id := range s.domOrder {
+		if id >= uint32(nc) || seen[id/64]&(1<<(id%64)) != 0 {
+			return nil, corrupt("domain order is not a permutation of the constant ids")
+		}
+		seen[id/64] |= 1 << (id % 64)
+	}
+	// The permutation must be strictly ascending by symbol: one pass
+	// proves both that the materialized active domain is sorted and that
+	// the constant symbols are unique — membership probes on the loaded
+	// structures rely on symbol → ID being injective.
+	sym := func(offs []uint32, arena []byte, id uint32) []byte {
+		return arena[offs[id]:offs[id+1]]
+	}
+	for i := 1; i < nc; i++ {
+		if bytes.Compare(sym(s.constOffs, s.constBytes, s.domOrder[i-1]),
+			sym(s.constOffs, s.constBytes, s.domOrder[i])) >= 0 {
+			return nil, corrupt("domain order is not strictly ascending (duplicate or unsorted constants)")
+		}
+	}
+	// Predicate symbols must be unique for the same reason.
+	if np > 1 {
+		perm := make([]int32, np)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.Slice(perm, func(i, j int) bool {
+			return bytes.Compare(sym(s.predOffs, s.predBytes, uint32(perm[i])),
+				sym(s.predOffs, s.predBytes, uint32(perm[j]))) < 0
+		})
+		for i := 1; i < np; i++ {
+			if bytes.Equal(sym(s.predOffs, s.predBytes, uint32(perm[i-1])),
+				sym(s.predOffs, s.predBytes, uint32(perm[i]))) {
+				return nil, corrupt("duplicate predicate symbol %q", sym(s.predOffs, s.predBytes, uint32(perm[i])))
+			}
+		}
+	}
+	// The fact column must be in strict canonical order (predicate symbol,
+	// then argument-wise by constant symbol): the block run decomposition,
+	// the per-predicate ranges and fact de-duplication all rest on it.
+	// Constant order is read off the validated domain permutation.
+	rank := make([]int32, nc)
+	for pos, id := range s.domOrder {
+		rank[id] = int32(pos)
+	}
+	for i := 1; i < n; i++ {
+		p, q := s.fpred[i-1], s.fpred[i]
+		if p != q {
+			if bytes.Compare(sym(s.predOffs, s.predBytes, p), sym(s.predOffs, s.predBytes, q)) >= 0 {
+				return nil, corrupt("fact %d breaks the canonical predicate order", i)
+			}
+			continue
+		}
+		a := s.factArgs[s.factOffs[i-1]:s.factOffs[i]]
+		b := s.factArgs[s.factOffs[i]:s.factOffs[i+1]]
+		cmp := 0
+		for k := range a { // same predicate ⇒ same arity
+			if a[k] != b[k] {
+				if rank[a[k]] < rank[b[k]] {
+					cmp = -1
+				} else {
+					cmp = 1
+				}
+				break
+			}
+		}
+		if cmp >= 0 {
+			return nil, corrupt("facts %d and %d are duplicated or out of canonical order", i-1, i)
+		}
+	}
+	if err := s.parseExtraKeys(raw(secExtraKeys)); err != nil {
+		return nil, err
+	}
+
+	if flags&flagBlocks != 0 {
+		if s.blockBounds, err = u32(secBlockBounds); err != nil {
+			return nil, err
+		}
+		b := s.blockBounds
+		if len(b) == 0 || b[0] != 0 || b[len(b)-1] != uint32(n) || (n == 0) != (len(b) == 1) {
+			return nil, corrupt("block boundaries do not cover the %d facts", n)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				return nil, corrupt("block boundary %d is not ascending", i)
+			}
+		}
+		// The stored boundaries must equal the run decomposition of the
+		// (now canonically ordered) fact column — a snapshot carrying a
+		// block partition inconsistent with its facts would silently
+		// change every count.
+		expect := s.computeBounds()
+		if len(b) != len(expect) {
+			return nil, corrupt("block section has %d boundaries, the fact column implies %d", len(b), len(expect))
+		}
+		for i := range b {
+			if b[i] != expect[i] {
+				return nil, corrupt("block boundary %d is %d, the fact column implies %d", i, b[i], expect[i])
+			}
+		}
+	}
+	if flags&flagPostings != 0 {
+		keys, err := u32(secPostKeys)
+		if err != nil {
+			return nil, err
+		}
+		offs, err := u32(secPostOffs)
+		if err != nil {
+			return nil, err
+		}
+		ords, err := u32(secPostOrds)
+		if err != nil {
+			return nil, err
+		}
+		if len(keys)%3 != 0 {
+			return nil, corrupt("posting keys are not (pred, pos, const) triples")
+		}
+		if len(ords) > math.MaxInt32 {
+			return nil, corrupt("posting arena exceeds the int32 ordinal space")
+		}
+		if len(offs) != len(keys)/3+1 {
+			return nil, corrupt("posting offsets have %d entries for %d lists", len(offs), len(keys)/3)
+		}
+		if err := checkOffsets("posting", offs, uint64(len(ords))); err != nil {
+			return nil, err
+		}
+		// Triples must reference real symbols, fit the uint16 position of
+		// the in-memory posting key, and ascend strictly — which also
+		// rules out duplicate keys silently overwriting each other.
+		for i := 0; i+2 < len(keys); i += 3 {
+			pred, pos, cid := keys[i], keys[i+1], keys[i+2]
+			if pred >= uint32(np) || cid >= uint32(nc) || pos > math.MaxUint16 {
+				return nil, corrupt("posting key %d: (%d, %d, %d) out of range", i/3, pred, pos, cid)
+			}
+			if i > 0 {
+				pp, pq, pc := keys[i-3], keys[i-2], keys[i-1]
+				if pred < pp || (pred == pp && (pos < pq || (pos == pq && cid <= pc))) {
+					return nil, corrupt("posting key %d is not in ascending order", i/3)
+				}
+			}
+		}
+		// Content check, making the lists exactly the ones ensurePostings
+		// would compute: every entry must be sound (the referenced fact
+		// really carries that constant at that position) and ascending,
+		// and the total count must equal the argument count. Soundness
+		// pins each (ordinal, position) slot to the single key that can
+		// legally hold it, so the count forces completeness — no map or
+		// allocation needed.
+		if len(ords) != len(s.factArgs) {
+			return nil, corrupt("posting lists hold %d entries for %d argument slots", len(ords), len(s.factArgs))
+		}
+		for i := 0; i+1 < len(offs); i++ {
+			pred, pos, cid := keys[3*i], keys[3*i+1], keys[3*i+2]
+			prev := -1
+			for _, ord := range ords[offs[i]:offs[i+1]] {
+				if int(ord) <= prev {
+					return nil, corrupt("posting list %d is not strictly ascending", i)
+				}
+				prev = int(ord)
+				if ord >= uint32(n) {
+					return nil, corrupt("posting list %d: fact ordinal %d out of range", i, ord)
+				}
+				if s.fpred[ord] != pred {
+					return nil, corrupt("posting list %d points at a fact of another predicate", i)
+				}
+				lo, hi := s.factOffs[ord], s.factOffs[ord+1]
+				if pos >= hi-lo || s.factArgs[lo+pos] != cid {
+					return nil, corrupt("posting list %d disagrees with fact %d", i, ord)
+				}
+			}
+		}
+		s.post = &eval.PostingSections{Keys: keys, Offs: i32View(offs), Ords: i32View(ords)}
+	}
+	return s, nil
+}
+
+// parseExtraKeys decodes section 6: key constraints on predicates that
+// have no facts. The section is byte-packed, so values are read with
+// explicit little-endian loads rather than aliased.
+func (s *Snapshot) parseExtraKeys(b []byte) error {
+	if len(b) < 4 {
+		return corrupt("extra-key section is shorter than its count")
+	}
+	count := le.Uint32(b)
+	b = b[4:]
+	if uint64(count) > uint64(len(b))/8 {
+		return corrupt("extra-key count %d overruns the section", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 8 {
+			return corrupt("extra key %d is truncated", i)
+		}
+		width, nameLen := le.Uint32(b), le.Uint32(b[4:])
+		b = b[8:]
+		if uint64(nameLen) > uint64(len(b)) {
+			return corrupt("extra key %d: name of %d bytes overruns the section", i, nameLen)
+		}
+		if width > math.MaxInt32 {
+			return corrupt("extra key %d: width %d out of range", i, width)
+		}
+		s.extraKeys = append(s.extraKeys, extraKey{name: byteString(b[:nameLen]), width: int(width)})
+		b = b[nameLen:]
+	}
+	if len(b) != 0 {
+		return corrupt("%d trailing bytes after the extra keys", len(b))
+	}
+	return nil
+}
+
+// extraKey is a key constraint over a predicate absent from the data.
+type extraKey struct {
+	name  string
+	width int
+}
+
+// checkOffsets validates an offset column framing an arena of the given
+// length: non-empty, starting at 0, non-decreasing, ending at the arena
+// length.
+func checkOffsets(what string, offs []uint32, arenaLen uint64) error {
+	if len(offs) == 0 || offs[0] != 0 {
+		return corrupt("%s offsets do not start at 0", what)
+	}
+	if uint64(offs[len(offs)-1]) != arenaLen {
+		return corrupt("%s offsets end at %d, arena has %d", what, offs[len(offs)-1], arenaLen)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return corrupt("%s offset %d is not monotone", what, i)
+		}
+	}
+	return nil
+}
+
+// u32View reinterprets bytes as a little-endian uint32 column: a zero-copy
+// alias on aligned little-endian hosts, an explicit copy otherwise. The
+// caller guarantees len(b)%4 == 0.
+func u32View(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLE && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = le.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// i32View reinterprets a validated uint32 column (all values < 2³¹) as
+// int32 without copying.
+func i32View(v []uint32) []int32 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// byteString returns a string aliasing b (no copy); the loader only calls
+// it over immutable snapshot bytes.
+func byteString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

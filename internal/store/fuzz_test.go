@@ -1,0 +1,102 @@
+package store_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// fuzzSeeds returns valid snapshots of small fixtures — the corpus the
+// fuzzer mutates.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	add := func(db *relational.Database, ks *relational.KeySet, opts store.Options) {
+		var buf bytes.Buffer
+		if err := store.Write(&buf, db, ks, opts); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	db, ks := workload.PairsDatabase(3)
+	add(db, ks, store.DefaultOptions)
+	add(db, ks, store.Options{})
+	rng := rand.New(rand.NewPCG(3, 3))
+	db, ks = workload.Employee(rng, 12, 3, 0.5)
+	add(db, ks, store.DefaultOptions)
+	db, ks, _ = workload.MultiComponent(2, 2, 2)
+	add(db, ks, store.DefaultOptions)
+	add(relational.MustDatabase(), relational.Keys(map[string]int{"R": 2}), store.DefaultOptions)
+	return seeds
+}
+
+// FuzzSnapshotDecode feeds mutated and truncated snapshot bytes to the
+// loader. The decoder must reject malformed input with an error — never
+// panic, never index out of range in the structures it hands out. When a
+// mutant decodes successfully, the whole substrate is exercised
+// (membership probes, blocks, index, a small count) to prove the
+// validated columns are safe to walk.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		for _, cut := range []int{1, 7, 8, 31, 32, 40, len(seed) / 2} {
+			if cut < len(seed) {
+				f.Add(seed[:len(seed)-cut])
+			}
+		}
+	}
+	q := query.MustParse("exists x . R(x, 'a')")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The checksum pass is deliberately skipped so mutations reach the
+		// structural validation; Decode proper is covered at the end.
+		snap, err := store.DecodeUnverified(data)
+		if err != nil {
+			return
+		}
+		db, err := snap.Database()
+		if err != nil {
+			return
+		}
+		ks, _ := snap.Keys()
+		blocks, _ := snap.Blocks()
+		for _, b := range blocks {
+			_ = b.Key.Canonical()
+			_ = b.Size()
+		}
+		_ = relational.NumRepairsOfBlocks(blocks)
+		idx, _ := snap.Index()
+		for i := 0; i < db.Len() && i < 8; i++ {
+			fact := idx.FactAt(i)
+			if !db.Contains(fact) {
+				// A fuzzed snapshot may carry duplicate facts, which the
+				// hash probe resolves to some ordinal; presence itself
+				// must still hold.
+				t.Fatalf("loaded database misses its own fact %v", fact)
+			}
+			if _, ok := idx.OrdinalOf(fact); !ok {
+				t.Fatalf("index misses its own fact %v", fact)
+			}
+		}
+		db.Contains(relational.NewFact("R", "a"))
+		_ = db.Satisfies(ks)
+		// A tiny end-to-end count drives the matchers over the (possibly
+		// hostile) posting lists and block partition.
+		if inst, err := repairs.NewPreparedInstance(db, ks, q, blocks, idx); err == nil {
+			if db.Len() <= 16 {
+				inst.CountExact()
+			} else {
+				inst.HasRepairEntailing()
+			}
+		}
+		// The verified decoder accepts a strict subset of what the
+		// unverified one accepts (same structure plus the checksum), so
+		// it too must never panic on this input.
+		store.Decode(data)
+	})
+}

@@ -1,0 +1,21 @@
+//go:build !(linux || darwin)
+
+package store
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile is the portable fallback: it reads the file into a 64-bit
+// aligned buffer (so uint32 columns can still be aliased without copies)
+// and releases nothing on close.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	words := make([]uint64, (size+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(words))), size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release function
+// unmaps; the data must not be touched afterwards.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

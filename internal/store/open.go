@@ -1,0 +1,43 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Open maps the snapshot file at path and decodes it. On platforms with
+// mmap support the file bytes are demand-paged and the returned Snapshot's
+// columns alias the mapping (call Close when done); elsewhere the file is
+// read into an aligned buffer once. Either way no text is parsed and the
+// decoded columns are shared, not copied.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, release, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("store: map %s: %w", path, err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	s.closer = release
+	return s, nil
+}
+
+// Sniff reports whether the byte prefix looks like a snapshot file: the
+// magic followed by the version-1 word. Checking both keeps a text
+// instance whose first predicate happens to be named "CQS1" from being
+// misrouted — "CQS1(…" never matches the binary version field. Eight
+// bytes suffice.
+func Sniff(prefix []byte) bool {
+	return len(prefix) >= 8 && string(prefix[:len(magic)]) == magic && le.Uint32(prefix[4:]) == version
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/relational"
+)
+
+// Snapshot is a decoded instance snapshot. Its columns alias the backing
+// bytes (a mapped file under Open), and the counting substrate —
+// relational.Database, the canonical block sequence, eval.Index — is
+// assembled on first use by borrowing those arenas: no text is parsed, no
+// hash index or posting list is rebuilt eagerly, and the assembly performs
+// a constant number of allocations plus one O(symbols + predicates) map
+// fill deferred to the first probe that needs it.
+//
+// A Snapshot (and everything materialized from it) is read-only; Close
+// unmaps the backing file, after which no structure borrowed from the
+// snapshot may be touched.
+type Snapshot struct {
+	data   []byte
+	closer func() error
+
+	// Validated column views from Decode.
+	constBytes, predBytes []byte
+	constOffs, predOffs   []uint32
+	schema                []uint32 // numPreds × {arity, keyWidth+1}
+	extraKeys             []extraKey
+	fpred                 []uint32
+	factOffs              []uint32
+	factArgs              []uint32
+	domOrder              []uint32
+	blockBounds           []uint32
+	post                  *eval.PostingSections
+
+	matOnce sync.Once
+	matErr  error
+	in      *relational.Interner
+	ks      *relational.KeySet
+	facts   []relational.Fact
+	db      *relational.Database
+	idx     *eval.Index
+	blocks  []relational.Block
+
+	biOnce sync.Once
+	bi     *relational.BlockIndex
+}
+
+// NumFacts returns the number of facts in the snapshot without
+// materializing anything.
+func (s *Snapshot) NumFacts() int { return len(s.fpred) }
+
+// HasBlocks reports whether the snapshot carries the precomputed block
+// partition; Blocks recomputes the boundaries when it does not.
+func (s *Snapshot) HasBlocks() bool { return s.blockBounds != nil }
+
+// HasPostings reports whether the snapshot carries prebuilt posting lists.
+func (s *Snapshot) HasPostings() bool { return s.post != nil }
+
+// Close releases the backing mapping (a no-op for in-memory snapshots).
+// No structure obtained from the snapshot may be used afterwards.
+func (s *Snapshot) Close() error {
+	c := s.closer
+	s.closer = nil
+	if c != nil {
+		return c()
+	}
+	return nil
+}
+
+// materialize assembles the borrowed substrate once.
+func (s *Snapshot) materialize() error {
+	s.matOnce.Do(func() { s.matErr = s.build() })
+	return s.matErr
+}
+
+func (s *Snapshot) build() error {
+	nc, np := len(s.constOffs)-1, len(s.predOffs)-1
+
+	// Symbol slices aliasing the byte arenas.
+	consts := make([]relational.Const, nc)
+	for i := range consts {
+		consts[i] = relational.Const(byteString(s.constBytes[s.constOffs[i]:s.constOffs[i+1]]))
+	}
+	preds := make([]string, np)
+	for i := range preds {
+		preds[i] = byteString(s.predBytes[s.predOffs[i]:s.predOffs[i+1]])
+	}
+	s.in = relational.InternerFromSymbols(consts, preds)
+
+	// Key set and schema.
+	s.ks = relational.NewKeySet()
+	schema := make(relational.Schema, np)
+	for p := 0; p < np; p++ {
+		schema[preds[p]] = int(s.schema[2*p])
+		if enc := s.schema[2*p+1]; enc > 0 {
+			if err := s.ks.Add(preds[p], int(enc-1)); err != nil {
+				return fmt.Errorf("store: invalid snapshot key set: %w", err)
+			}
+		}
+	}
+	for _, k := range s.extraKeys {
+		if err := s.ks.Add(k.name, k.width); err != nil {
+			return fmt.Errorf("store: invalid snapshot key set: %w", err)
+		}
+	}
+
+	// Facts: one shared constant arena plus per-fact subslices of the
+	// mapped ID arena — a constant number of allocations however many
+	// facts the snapshot holds. The three linear fills are independent
+	// (the arena fill writes slice contents, the others only slice
+	// headers over disjoint arrays), so they run concurrently: cold-start
+	// latency is the point of the store.
+	n := len(s.fpred)
+	argArena := make([]relational.Const, len(s.factArgs))
+	s.facts = make([]relational.Fact, n)
+	iargs := make([][]uint32, n)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i, cid := range s.factArgs {
+			argArena[i] = consts[cid]
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			lo, hi := s.factOffs[i], s.factOffs[i+1]
+			iargs[i] = s.factArgs[lo:hi:hi]
+		}
+	}()
+	for i := 0; i < n; i++ {
+		lo, hi := s.factOffs[i], s.factOffs[i+1]
+		s.facts[i] = relational.Fact{Pred: preds[s.fpred[i]], Args: argArena[lo:hi:hi]}
+	}
+	wg.Wait()
+	s.db = relational.DatabaseFromArenas(s.in, s.facts, s.fpred, iargs, schema)
+
+	// Second phase: the index's predicate-range scan and the block
+	// materialization both read only structures completed above, so they
+	// overlap too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bounds := s.blockBounds
+		if bounds == nil {
+			bounds = s.computeBounds()
+		}
+		nBlocks := len(bounds) - 1
+		if nBlocks < 0 {
+			nBlocks = 0
+		}
+		s.blocks = make([]relational.Block, nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			lo, hi := bounds[b], bounds[b+1]
+			kw := s.kwEff(s.fpred[lo])
+			s.blocks[b] = relational.Block{
+				Key:   relational.KeyValue{Pred: s.facts[lo].Pred, Vals: s.facts[lo].Args[:kw:kw]},
+				Facts: s.facts[lo:hi:hi],
+			}
+		}
+	}()
+	dom := make([]relational.Const, nc)
+	for i, id := range s.domOrder {
+		dom[i] = consts[id]
+	}
+	s.idx = eval.IndexFromSections(eval.IndexSections{
+		Interner: s.in,
+		Facts:    s.facts,
+		Arena:    s.factArgs,
+		Offs:     i32View(s.factOffs),
+		FPred:    s.fpred,
+		Dom:      dom,
+		Postings: s.post,
+	})
+	wg.Wait()
+	return nil
+}
+
+// kwEff returns the effective key width of a predicate: its declared key
+// width when one exists and fits the arity, else the full arity.
+func (s *Snapshot) kwEff(pred uint32) uint32 {
+	arity := s.schema[2*pred]
+	if enc := s.schema[2*pred+1]; enc > 0 && enc-1 <= arity {
+		return enc - 1
+	}
+	return arity
+}
+
+// computeBounds recovers the block boundaries of a snapshot written
+// without the precomputed section, via the writer's run decomposition
+// over the canonical fact order.
+func (s *Snapshot) computeBounds() []uint32 {
+	return blockBoundaries(s.fpred, s.factOffs, s.factArgs, s.kwEff)
+}
+
+// Database returns the snapshot's database, assembled over the mapped
+// arenas.
+func (s *Snapshot) Database() (*relational.Database, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.db, nil
+}
+
+// Keys returns the snapshot's key set Σ.
+func (s *Snapshot) Keys() (*relational.KeySet, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.ks, nil
+}
+
+// Blocks returns the canonical conflict-block sequence ≺(D,Σ), identical
+// to relational.Blocks over the parsed instance.
+func (s *Snapshot) Blocks() ([]relational.Block, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.blocks, nil
+}
+
+// BlockIndex returns a key-value → block-position index over Blocks.
+func (s *Snapshot) BlockIndex() (*relational.BlockIndex, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	s.biOnce.Do(func() { s.bi = relational.NewBlockIndex(s.blocks) })
+	return s.bi, nil
+}
+
+// Index returns the evaluation index over the snapshot's facts, sharing
+// the mapped arenas and (when present) the prebuilt posting lists.
+func (s *Snapshot) Index() (*eval.Index, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.idx, nil
+}

@@ -1,0 +1,122 @@
+// Package store implements the persistent instance store: a versioned,
+// checksummed binary snapshot format (".cqs") holding one database instance
+// — symbol table, fact arenas, key metadata, and optional precomputed
+// block-partition and posting-list sections — laid out so that a loader can
+// reconstruct the full counting substrate (relational.Database, the
+// canonical block sequence, eval.Index) by aliasing the file bytes instead
+// of parsing text, with a constant number of allocations.
+//
+// # Format (version 1)
+//
+// All integers are little-endian. The file is
+//
+//	header | section table | sections… | crc64 trailer
+//
+// with a 32-byte header:
+//
+//	offset 0  magic "CQS1"
+//	offset 4  uint32 version (currently 1)
+//	offset 8  uint32 flags (bit 0: block section, bit 1: posting sections)
+//	offset 12 uint32 section count
+//	offset 16 uint64 total file size in bytes (including the trailer)
+//	offset 24 uint64 reserved (zero)
+//
+// The section table has one 24-byte entry per section — uint32 id, uint32
+// zero padding, uint64 absolute byte offset, uint64 byte length — in
+// ascending offset order. Section payloads start at 8-byte-aligned offsets
+// (the gap between sections is zero padding), which is what lets the loader
+// reinterpret mapped bytes directly as uint32 columns. The final 8 bytes of
+// the file are the CRC-32C (Castagnoli) checksum of everything before
+// them, zero-extended to 64 bits — Castagnoli because commodity CPUs hash
+// it in hardware, so verifying a load costs a fraction of the mapping
+// traffic itself.
+//
+// Sections (†: uint32 column, aliased on load):
+//
+//	 1 constBytes  concatenated constant symbols (UTF-8)
+//	 2 constOffs†  numConsts+1 ascending offsets into constBytes
+//	 3 predBytes   concatenated predicate symbols
+//	 4 predOffs†   numPreds+1 ascending offsets into predBytes
+//	 5 schema†     numPreds × {arity, keyWidth+1} (keyWidth+1 = 0: no key)
+//	 6 extraKeys   keys on predicates without facts: count, then
+//	               {width, nameLen, name bytes} per key (byte-packed)
+//	 7 factPred†   numFacts predicate IDs, facts in canonical order
+//	 8 factOffs†   numFacts+1 word offsets into factArgs
+//	 9 factArgs†   concatenated argument constant IDs of every fact
+//	10 domOrder†   numConsts constant IDs sorted by symbol (active domain)
+//	11 blockBounds† numBlocks+1 fact-ordinal boundaries of the canonical
+//	               block sequence (flag bit 0)
+//	12 postKeys†   numLists × {pred, argPos, constID} (flag bit 1)
+//	13 postOffs†   numLists+1 offsets into postOrds
+//	14 postOrds†   concatenated ascending fact ordinals per posting list
+//
+// Facts are serialized in the canonical fact order, so per-predicate ranges
+// are contiguous, the canonical conflict-block sequence ≺(D,Σ) is exactly
+// the run decomposition of the fact column by (predicate, key prefix), and
+// a block's facts subslice the loaded fact arena.
+//
+// Decoding validates the file exhaustively — section bounds, offset
+// monotonicity, symbol-ID ranges and symbol uniqueness, per-fact arity
+// against the schema, strict canonical fact order, and the optional
+// sections' full content (the block boundaries must equal the fact
+// column's run decomposition; the posting lists are proven sound and
+// complete against the argument slots) — before any column is handed out,
+// so a corrupted or adversarial snapshot produces an error, never a panic,
+// an out-of-range access, or a silently wrong count at query time.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format constants of version 1.
+const (
+	magic      = "CQS1"
+	version    = 1
+	headerSize = 32
+	entrySize  = 24 // one section-table entry
+	trailerLen = 8  // crc32c, zero-extended
+)
+
+// Flag bits recording which optional sections are present.
+const (
+	flagBlocks   = 1 << 0
+	flagPostings = 1 << 1
+)
+
+// Section identifiers.
+const (
+	secConstBytes  = 1
+	secConstOffs   = 2
+	secPredBytes   = 3
+	secPredOffs    = 4
+	secSchema      = 5
+	secExtraKeys   = 6
+	secFactPred    = 7
+	secFactOffs    = 8
+	secFactArgs    = 9
+	secDomOrder    = 10
+	secBlockBounds = 11
+	secPostKeys    = 12
+	secPostOffs    = 13
+	secPostOrds    = 14
+
+	maxSectionID = 14
+)
+
+// crcTable is the CRC-32C (Castagnoli) table shared by the writer and the
+// loader; this polynomial has hardware support on amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// le is the format's byte order.
+var le = binary.LittleEndian
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// corrupt builds the uniform decode error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("store: corrupt snapshot: "+format, args...)
+}

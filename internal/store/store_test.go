@@ -1,0 +1,443 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand/v2"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repaircount/internal/eval"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/repairs"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// fixture bundles one workload instance with a query, covering every
+// generator family of the workload package.
+type fixture struct {
+	name string
+	db   *relational.Database
+	ks   *relational.KeySet
+	q    query.Formula
+}
+
+func fixtures(t testing.TB) []fixture {
+	t.Helper()
+	var out []fixture
+
+	rng := rand.New(rand.NewPCG(7, 1))
+	db, ks := workload.Employee(rng, 200, 5, 0.4)
+	out = append(out, fixture{"employee", db, ks, workload.SameDeptQuery(1, 2)})
+
+	db, ks = workload.PairsDatabase(8)
+	out = append(out, fixture{"pairs", db, ks, query.MustParse("exists x . R(x, 'a')")})
+
+	db, ks, q := workload.MultiComponent(4, 2, 2)
+	out = append(out, fixture{"multicomponent", db, ks, q})
+
+	rng = rand.New(rand.NewPCG(7, 2))
+	db, ks, err := workload.Generate(rng, []workload.RelationSpec{
+		{Pred: "R", KeyWidth: 1, Arity: 3, NumBlocks: 30, BlockSizes: workload.Uniform{Lo: 1, Hi: 3}, NumValues: 4},
+		{Pred: "S", KeyWidth: 2, Arity: 3, NumBlocks: 20, BlockSizes: workload.Zipf{S: 1.5, V: 1, Max: 4}, NumValues: 4},
+		{Pred: "U", KeyWidth: 0, Arity: 2, NumBlocks: 10, BlockSizes: workload.Fixed{N: 1}, NumValues: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, fixture{"generated", db, ks,
+		query.MustParse("exists x, y, z . (R(x, y, 'v0') & S(z, y, 'v1'))")})
+
+	qk, ksk := workload.KeywidthQuery(2)
+	rng = rand.New(rand.NewPCG(7, 3))
+	out = append(out, fixture{"keywidth", workload.KeywidthDatabase(rng, 2, 3, 2), ksk, qk})
+
+	// A key over a predicate absent from the data (round-trips through the
+	// extra-key section) plus an empty-ish relation mix.
+	db, ks, err = relational.ParseInstanceString(`
+key Employee 1
+key Ghost 2
+Employee(1, 'Bob Smith', HR)
+Employee(1, Bob, IT)
+Nokey(a, b)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, fixture{"quoted-and-ghost-key", db, ks,
+		query.MustParse("exists x, y . Employee(x, y, 'IT')")})
+
+	return out
+}
+
+// roundTrip writes the instance to a .cqs file and opens it.
+func roundTrip(t testing.TB, db *relational.Database, ks *relational.KeySet) *store.Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "instance.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snap.Close() })
+	return snap
+}
+
+// loadedInstance builds a repairs.Instance over the snapshot's borrowed
+// structures (the OpenSnapshot path of the public API).
+func loadedInstance(t testing.TB, snap *store.Snapshot, q query.Formula) *repairs.Instance {
+	t.Helper()
+	db, err := snap.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := snap.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := snap.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := snap.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := repairs.NewPreparedInstance(db, ks, q, blocks, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// homSet collects the consistent homomorphism images of every disjunct as
+// canonical strings (one sorted multiset per disjunct).
+func homSet(u query.UCQ, idx *eval.Index, ks *relational.KeySet) []string {
+	var out []string
+	for _, cq := range u.Disjuncts {
+		var imgs []string
+		for h := range eval.ConsistentHoms(cq, idx, ks) {
+			facts := eval.Image(cq, h)
+			relational.SortFacts(facts)
+			parts := make([]string, len(facts))
+			for i, f := range facts {
+				parts[i] = f.Canonical()
+			}
+			imgs = append(imgs, strings.Join(parts, ";"))
+		}
+		sort.Strings(imgs)
+		out = append(out, strings.Join(imgs, " | "))
+	}
+	return out
+}
+
+// TestSnapshotDifferential is the load-vs-parse differential: for every
+// workload fixture, writing a snapshot and loading it back must reproduce
+// the block partition, the hom sets, and the exact, factorized and FPRAS
+// counts of the parsed path bit for bit.
+func TestSnapshotDifferential(t *testing.T) {
+	for _, fix := range fixtures(t) {
+		t.Run(fix.name, func(t *testing.T) {
+			snap := roundTrip(t, fix.db, fix.ks)
+			ldb, err := snap.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Database content round-trips (canonical order on both sides).
+			pf, lf := fix.db.Facts(), ldb.Facts()
+			if len(pf) != len(lf) {
+				t.Fatalf("loaded %d facts, parsed %d", len(lf), len(pf))
+			}
+			for i := range pf {
+				if !pf[i].Equal(lf[i]) {
+					t.Fatalf("fact %d: loaded %v, parsed %v", i, lf[i], pf[i])
+				}
+				if !ldb.Contains(pf[i]) {
+					t.Fatalf("loaded database misses %v", pf[i])
+				}
+			}
+			if ldb.Contains(relational.NewFact("NoSuchPred", "x")) {
+				t.Fatal("loaded database contains a foreign fact")
+			}
+			lks, err := snap.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := lks.String(), fix.ks.String(); got != want {
+				t.Fatalf("key set round-trip: got %q, want %q", got, want)
+			}
+
+			// The text codec round-trips through the snapshot.
+			var pt, lt bytes.Buffer
+			if err := relational.WriteInstance(&pt, fix.db, fix.ks); err != nil {
+				t.Fatal(err)
+			}
+			if err := relational.WriteInstance(&lt, ldb, lks); err != nil {
+				t.Fatal(err)
+			}
+			if pt.String() != lt.String() {
+				t.Fatal("text rendering differs after snapshot round-trip")
+			}
+
+			// Block partition: identical sequence, keys and fact order.
+			want := relational.Blocks(fix.db, fix.ks)
+			got, err := snap.Blocks()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("loaded %d blocks, parsed %d", len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Key.Equal(want[i].Key) {
+					t.Fatalf("block %d: key %v, want %v", i, got[i].Key, want[i].Key)
+				}
+				if len(got[i].Facts) != len(want[i].Facts) {
+					t.Fatalf("block %d: %d facts, want %d", i, len(got[i].Facts), len(want[i].Facts))
+				}
+				for j := range want[i].Facts {
+					if !got[i].Facts[j].Equal(want[i].Facts[j]) {
+						t.Fatalf("block %d fact %d: %v, want %v", i, j, got[i].Facts[j], want[i].Facts[j])
+					}
+				}
+			}
+
+			// Instances: parsed path vs loaded path.
+			pin := repairs.MustInstance(fix.db, fix.ks, fix.q)
+			lin := loadedInstance(t, snap, fix.q)
+
+			if p, l := pin.TotalRepairs(), lin.TotalRepairs(); p.Cmp(l) != 0 {
+				t.Fatalf("total repairs: loaded %s, parsed %s", l, p)
+			}
+			pn, palgo, perr := pin.CountExact()
+			ln, lalgo, lerr := lin.CountExact()
+			if (perr == nil) != (lerr == nil) {
+				t.Fatalf("CountExact errors diverge: parsed %v, loaded %v", perr, lerr)
+			}
+			if perr == nil && (pn.Cmp(ln) != 0 || palgo != lalgo) {
+				t.Fatalf("CountExact: loaded %s (%s), parsed %s (%s)", ln, lalgo, pn, palgo)
+			}
+			if pin.HasRepairEntailing() != lin.HasRepairEntailing() {
+				t.Fatal("decision #CQA>0 diverges")
+			}
+
+			if pin.IsEP {
+				// Hom sets per disjunct over both indexes.
+				if ph, lh := homSet(pin.UCQ, pin.Idx, fix.ks), homSet(lin.UCQ, lin.Idx, lin.Keys); !slicesEqual(ph, lh) {
+					t.Fatalf("hom sets diverge:\nparsed: %v\nloaded: %v", ph, lh)
+				}
+				// Factorized engine on the loaded instance.
+				pfc, perr := pin.CountFactorizedParallel(0, 0)
+				lfc, lerr := lin.CountFactorizedParallel(0, 0)
+				if (perr == nil) != (lerr == nil) {
+					t.Fatalf("factorized errors diverge: parsed %v, loaded %v", perr, lerr)
+				}
+				if perr == nil && pfc.Cmp(lfc) != 0 {
+					t.Fatalf("factorized count: loaded %s, parsed %s", lfc, pfc)
+				}
+				// FPRAS: the sharded sampler is deterministic per seed, so
+				// the estimates must be bit-identical.
+				pest, perr2 := pin.ApxParallelWithSamples(4000, 0, 42)
+				lest, lerr2 := lin.ApxParallelWithSamples(4000, 0, 42)
+				if (perr2 == nil) != (lerr2 == nil) {
+					t.Fatalf("FPRAS errors diverge: parsed %v, loaded %v", perr2, lerr2)
+				}
+				if perr2 == nil {
+					if pest.Hits != lest.Hits || pest.Samples != lest.Samples || pest.Value.Cmp(lest.Value) != 0 {
+						t.Fatalf("FPRAS diverges: loaded %v/%d, parsed %v/%d",
+							lest.Value, lest.Hits, pest.Value, pest.Hits)
+					}
+				}
+			}
+		})
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWriterDeterministic pins the byte-for-byte determinism of the
+// writer: same instance, same bytes.
+func TestWriterDeterministic(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(3, 2, 2)
+	var a, b bytes.Buffer
+	if err := store.Write(&a, db, ks, store.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(&b, db, ks, store.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("writer output is not deterministic")
+	}
+}
+
+// TestMinimalSnapshot exercises a snapshot written without the optional
+// sections: blocks must be recomputed from the fact column.
+func TestMinimalSnapshot(t *testing.T) {
+	db, ks, q := workload.MultiComponent(3, 2, 2)
+	var buf bytes.Buffer
+	if err := store.Write(&buf, db, ks, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.HasBlocks() || snap.HasPostings() {
+		t.Fatal("minimal snapshot reports optional sections")
+	}
+	lin := loadedInstance(t, snap, q)
+	pin := repairs.MustInstance(db, ks, q)
+	pn, _, err := pin.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, _, err := lin.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.Cmp(ln) != 0 {
+		t.Fatalf("minimal snapshot count %s, want %s", ln, pn)
+	}
+}
+
+// TestEmptySnapshot round-trips the empty instance.
+func TestEmptySnapshot(t *testing.T) {
+	db := relational.MustDatabase()
+	ks := relational.Keys(map[string]int{"R": 1})
+	snap := roundTrip(t, db, ks)
+	ldb, err := snap.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldb.Len() != 0 {
+		t.Fatalf("empty snapshot has %d facts", ldb.Len())
+	}
+	blocks, err := snap.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("empty snapshot has %d blocks", len(blocks))
+	}
+	lks, err := snap.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lks.String(); got != ks.String() {
+		t.Fatalf("keys round-trip: %q, want %q", got, ks.String())
+	}
+}
+
+// reseal recomputes the trailing checksum after a mutation, producing a
+// CRC-valid but semantically tampered snapshot.
+func reseal(data []byte) []byte {
+	crc := crc32.Checksum(data[:len(data)-8], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint64(data[len(data)-8:], uint64(crc))
+	return data
+}
+
+// TestTamperedContentRejected: mutations that keep every offset in range
+// but break semantic invariants — canonical fact order, block boundaries,
+// posting-list contents — must be rejected even when the checksum is
+// recomputed, not silently produce wrong counts.
+func TestTamperedContentRejected(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(2, 2, 2)
+	var buf bytes.Buffer
+	if err := store.Write(&buf, db, ks, store.DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	if _, err := store.Decode(pristine); err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(name string, twiddle func(d []byte) bool) {
+		t.Helper()
+		found := false
+		// Try every 4-byte word: at least one mutation per class must be
+		// accepted by twiddle, and every accepted mutation must be
+		// rejected by Decode.
+		for off := 32; off+4 <= len(pristine)-8; off += 4 {
+			d := append([]byte(nil), pristine...)
+			if !twiddle(d[off : off+4]) {
+				continue
+			}
+			found = true
+			if _, err := store.Decode(reseal(d)); err == nil {
+				snapA, _ := store.Decode(pristine)
+				t.Fatalf("%s: tampered word at offset %d decodes cleanly (pristine has %d facts)",
+					name, off, snapA.NumFacts())
+			}
+		}
+		if !found {
+			t.Fatalf("%s: mutation never applied", name)
+		}
+	}
+	// Swap any word with its successor when they differ: breaks canonical
+	// order, block bounds, posting contents or offsets somewhere.
+	mutate("swap-adjacent-words", func(w []byte) bool {
+		// w is a view of 4 bytes; swap its two halves when distinct.
+		if w[0] == w[2] && w[1] == w[3] {
+			return false
+		}
+		w[0], w[1], w[2], w[3] = w[2], w[3], w[0], w[1]
+		return true
+	})
+}
+
+// TestLoadAllocationsConstant pins the O(1)-allocation property of the
+// load path: decoding and materializing a 20× larger instance must not
+// perform more allocations (each allocation is a whole column, so the
+// count is size-independent).
+func TestLoadAllocationsConstant(t *testing.T) {
+	snapshotBytes := func(n int) []byte {
+		rng := rand.New(rand.NewPCG(11, uint64(n)))
+		db, ks := workload.Employee(rng, n, 5, 0.4)
+		var buf bytes.Buffer
+		if err := store.Write(&buf, db, ks, store.DefaultOptions); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	load := func(data []byte) func() {
+		return func() {
+			snap, err := store.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := snap.Database(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := snap.Blocks(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := snap.Index(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	small := testing.AllocsPerRun(20, load(snapshotBytes(150)))
+	large := testing.AllocsPerRun(20, load(snapshotBytes(3000)))
+	if large > small+8 {
+		t.Fatalf("load allocations grow with instance size: %.0f at n=150, %.0f at n=3000", small, large)
+	}
+}

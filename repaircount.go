@@ -87,6 +87,27 @@
 // overflow and at the final merge; the exact count is identical for every
 // worker count.
 //
+// # Persistent snapshots: the .cqs instance store
+//
+// The interned encoding doubles as an on-disk format. internal/store
+// serializes an instance (D, Σ) as a versioned, checksummed, little-endian
+// columnar snapshot: a 32-byte header (magic "CQS1", version, flags, file
+// size), a section table of (id, offset, length) entries at 8-byte-aligned
+// offsets, the sections themselves — symbol byte arenas with offset
+// columns, per-fact predicate/argument-ID columns in canonical fact order,
+// key metadata, plus optional precomputed sections holding the canonical
+// conflict-block boundaries and the (predicate, position, constant)
+// posting lists — and a trailing CRC-32C of the whole file. Loading
+// mmaps the file (with a portable read-into-aligned-buffer fallback),
+// validates every section exhaustively, and reconstructs the Database, the
+// block sequence and the evaluation index by aliasing the mapped arenas:
+// no text is parsed, no sort or hash build is repeated, and the load
+// performs a constant number of allocations regardless of instance size
+// (symbol→ID maps and membership buckets are materialized lazily on the
+// first probe that needs them). OpenSnapshot / (*Counter).Snapshot expose
+// the store here; repairctl build converts text instances, and
+// repairctl count/decide accept either format transparently.
+//
 // # Parallel sampling and reproducibility
 //
 // The Theorem 6.2 FPRAS and the Karp–Luby estimator offer sharded
@@ -111,6 +132,7 @@ import (
 	"repaircount/internal/query"
 	"repaircount/internal/relational"
 	"repaircount/internal/repairs"
+	"repaircount/internal/store"
 )
 
 // Re-exported substrate types; see the internal packages for full API.
@@ -127,6 +149,8 @@ type (
 	Formula = query.Formula
 	// Estimate is the outcome of a randomized approximation.
 	Estimate = core.Estimate
+	// Block is one conflict block of the canonical sequence ≺(D,Σ).
+	Block = relational.Block
 )
 
 // NewFact builds a fact.
@@ -255,3 +279,122 @@ func (c *Counter) Fragment() string { return query.Classify(c.inst.Q).String() }
 // Instance exposes the underlying repairs.Instance for advanced use (the
 // compactor, certificate boxes, Karp–Luby sampler, safe-plan internals).
 func (c *Counter) Instance() *repairs.Instance { return c.inst }
+
+// Snapshot is a loaded .cqs instance snapshot: one database plus key set
+// with its derived counting structures reconstructed from the snapshot's
+// mapped arenas instead of recomputed. Many counters can be built against
+// one snapshot; they share the block sequence and evaluation index. The
+// snapshot and everything derived from it is read-only, and none of it may
+// be used after Close.
+type Snapshot struct {
+	s    *store.Snapshot
+	db   *Database
+	keys *KeySet
+}
+
+// OpenSnapshot maps and validates the snapshot file at path (see
+// WriteSnapshot / repairctl build for producing one). The load parses no
+// text: fact arenas, symbol tables, block boundaries and posting lists are
+// aliased from the mapping.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	s, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(s)
+}
+
+// DecodeSnapshot is OpenSnapshot over in-memory bytes (for example a
+// snapshot received over a network or read from stdin). The buffer is
+// retained by the returned Snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	s, err := store.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(s)
+}
+
+func newSnapshot(s *store.Snapshot) (*Snapshot, error) {
+	db, err := s.Database()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return &Snapshot{s: s, db: db, keys: keys}, nil
+}
+
+// Database returns the snapshot's database.
+func (s *Snapshot) Database() *Database { return s.db }
+
+// Keys returns the snapshot's key set Σ.
+func (s *Snapshot) Keys() *KeySet { return s.keys }
+
+// Blocks returns the snapshot's preloaded canonical conflict-block
+// sequence — identical to relational.Blocks over the parsed instance, at
+// no recomputation cost. Callers must not mutate the result.
+func (s *Snapshot) Blocks() []Block {
+	blocks, err := s.s.Blocks()
+	if err != nil {
+		// Materialization already succeeded in newSnapshot; the memoized
+		// error cannot reappear.
+		panic(err)
+	}
+	return blocks
+}
+
+// TotalRepairs returns |rep(D,Σ)| = ∏|B_i| from the preloaded blocks.
+func (s *Snapshot) TotalRepairs() *big.Int {
+	return relational.NumRepairsOfBlocks(s.Blocks())
+}
+
+// RankAnswers scores every candidate answer tuple of a non-Boolean query
+// by its relative frequency (see the package-level RankAnswers), reusing
+// the snapshot's preloaded block sequence and index across all tuples.
+func (s *Snapshot) RankAnswers(q Formula) ([]RankedAnswer, error) {
+	idx, err := s.s.Index()
+	if err != nil {
+		return nil, err
+	}
+	return rankAnswers(s.db, s.keys, q, s.Blocks(), idx)
+}
+
+// Counter prepares a counter for a Boolean query over the snapshot,
+// reusing the snapshot's preloaded block sequence and index.
+func (s *Snapshot) Counter(q Formula) (*Counter, error) {
+	blocks, err := s.s.Blocks()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.s.Index()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := repairs.NewPreparedInstance(s.db, s.keys, q, blocks, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{inst: inst}, nil
+}
+
+// Close releases the snapshot's file mapping. Structures obtained from the
+// snapshot (database, counters) must not be used afterwards.
+func (s *Snapshot) Close() error { return s.s.Close() }
+
+// WriteSnapshot serializes (D, Σ) as a .cqs snapshot with all precomputed
+// sections; the output loads with OpenSnapshot.
+func WriteSnapshot(w io.Writer, db *Database, keys *KeySet) error {
+	return store.Write(w, db, keys, store.DefaultOptions)
+}
+
+// Snapshot serializes the counter's instance as a .cqs snapshot, so later
+// runs (or other machines) can OpenSnapshot it and count without parsing
+// or re-indexing.
+func (c *Counter) Snapshot(w io.Writer) error {
+	return store.Write(w, c.inst.DB, c.inst.Keys, store.DefaultOptions)
+}
