@@ -23,6 +23,16 @@
 // -exact pins the factorized engine or the plain enumeration ground truth
 // so the two are comparable.
 //
+// Snapshots are mutable without rewriting: apply appends a checksummed
+// delta-journal block of inserts/deletes (one "+ Fact" or "- Fact" per
+// line, e.g. from workloadgen -updates) after the sealed base, every load
+// replays the journal through the incremental maintenance machinery, and
+// compact reseals a clean snapshot with identical counts.
+//
+//	repairctl apply   -db employees.cqs -ops stream.ops
+//	echo '+ Employee(3, Zoe, HR)' | repairctl apply -db employees.cqs
+//	repairctl compact -db employees.cqs -o resealed.cqs
+//
 //	repairctl decide -db employees.db -query "..."
 //	repairctl freq   -db employees.db -query "..."
 //	repairctl approx -db employees.db -query "..." -eps 0.1 -delta 0.05 -seed 1
@@ -50,6 +60,7 @@ import (
 	"repaircount/internal/core"
 	"repaircount/internal/relational"
 	"repaircount/internal/store"
+	"repaircount/internal/workload"
 )
 
 func main() {
@@ -178,6 +189,7 @@ func run(args []string, stdout io.Writer) error {
 		delta    = fs.Float64("delta", 0.05, "FPRAS failure probability δ")
 		seed     = fs.Uint64("seed", 1, "FPRAS random seed")
 		exact    = fs.String("exact", "auto", "exact algorithm for count: auto, factorized or enum")
+		opsPath  = fs.String("ops", "-", "path to the update-op stream for apply ('-' reads stdin)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -185,6 +197,16 @@ func run(args []string, stdout io.Writer) error {
 	if *dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
+
+	// apply and compact operate on the snapshot file itself, not a loaded
+	// instance.
+	switch cmd {
+	case "apply":
+		return applyOps(stdout, *dbPath, *opsPath)
+	case "compact":
+		return compact(stdout, *dbPath, *out)
+	}
+
 	src, err := openInstance(*dbPath)
 	if err != nil {
 		return err
@@ -310,6 +332,60 @@ func build(stdout io.Writer, src *instance, dbPath, out string) error {
 	return nil
 }
 
+// applyOps appends the op stream at opsPath as one delta-journal block to
+// the snapshot at dbPath — an O(ops) append that leaves the sealed base
+// untouched. Loads replay the journal; compact reseals it away.
+func applyOps(stdout io.Writer, dbPath, opsPath string) error {
+	var r io.Reader
+	if opsPath == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(opsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	updates, err := workload.ParseUpdates(r)
+	if err != nil {
+		return err
+	}
+	if len(updates) == 0 {
+		return fmt.Errorf("apply: no ops in %s", opsPath)
+	}
+	ops := make([]store.JournalOp, len(updates))
+	for i, u := range updates {
+		ops[i] = store.JournalOp{Del: u.Del, Fact: u.Fact}
+	}
+	if err := store.AppendJournal(dbPath, ops); err != nil {
+		return err
+	}
+	st, err := os.Stat(dbPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\t%d ops appended, %d bytes\n", dbPath, len(ops), st.Size())
+	return nil
+}
+
+// compact reseals a snapshot (base plus journal) as a clean journal-free
+// snapshot at out.
+func compact(stdout io.Writer, dbPath, out string) error {
+	if out == "" {
+		return fmt.Errorf("compact: -o is required")
+	}
+	if err := store.CompactFile(dbPath, out); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\t%d bytes\n", out, st.Size())
+	return nil
+}
+
 // analyze reports which machinery of the paper applies to the instance:
 // fragment, keywidth (the Λ-hierarchy level, Theorem 5.1), block
 // statistics, the certificate space of Algorithm 2, safe-plan
@@ -360,5 +436,5 @@ func analyze(stdout io.Writer, counter *repaircount.Counter, eps, delta float64)
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: repairctl <build|total|blocks|count|decide|freq|approx|rank|analyze> -db FILE|- [-query Q] [flags]")
+	return fmt.Errorf("usage: repairctl <build|apply|compact|total|blocks|count|decide|freq|approx|rank|analyze> -db FILE|- [-query Q] [flags]")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -315,4 +316,84 @@ func fmtSscanFirst(s string, v *float64) (int, error) {
 	f, err := strconv.ParseFloat(strings.Fields(s)[0], 64)
 	*v = f
 	return 1, err
+}
+
+// TestApplyAndCompact drives the journal lifecycle end to end from the
+// CLI: build a snapshot, append ops, verify every command sees the mutated
+// instance, compact, and verify identical outputs from base+journal, the
+// compacted reseal, and the equivalent text instance.
+func TestApplyAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := writeExampleDB(t)
+	snapPath := filepath.Join(dir, "example.cqs")
+	runCmd(t, "build", "-db", dbPath, "-o", snapPath)
+
+	opsPath := filepath.Join(dir, "stream.ops")
+	if err := os.WriteFile(opsPath, []byte(`
+# toggle Tim out, add a third employee in HR
+- Employee(2, Tim, IT)
++ Employee(3, Zoe, HR)
++ Employee(3, Zoe, IT)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "apply", "-db", snapPath, "-ops", opsPath)
+	if !strings.Contains(out, "3 ops appended") {
+		t.Fatalf("apply output %q", out)
+	}
+
+	// Equivalent text instance after the ops.
+	textPath := filepath.Join(dir, "mutated.db")
+	if err := os.WriteFile(textPath, []byte(`
+key Employee 1
+Employee(1, Bob, HR)
+Employee(1, Bob, IT)
+Employee(2, Alice, IT)
+Employee(3, Zoe, HR)
+Employee(3, Zoe, IT)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	compactPath := filepath.Join(dir, "compact.cqs")
+	runCmd(t, "compact", "-db", snapPath, "-o", compactPath)
+
+	for _, cmd := range [][]string{
+		{"total"},
+		{"blocks"},
+		{"count", "-query", exampleQuery},
+		{"count", "-query", exampleQuery, "-exact", "factorized"},
+		{"decide", "-query", exampleQuery},
+		{"freq", "-query", exampleQuery},
+	} {
+		want := runCmd(t, append(cmd, "-db", textPath)...)
+		journaled := runCmd(t, append(cmd, "-db", snapPath)...)
+		compacted := runCmd(t, append(cmd, "-db", compactPath)...)
+		if journaled != want {
+			t.Fatalf("%v: journaled %q vs text %q", cmd, journaled, want)
+		}
+		if compacted != want {
+			t.Fatalf("%v: compacted %q vs text %q", cmd, compacted, want)
+		}
+	}
+
+	// apply reads ops from stdin with -ops -.
+	old := stdin
+	stdin = strings.NewReader("+ Employee(2, Ann, HR)\n") // conflicts with Alice: total doubles
+	out = runCmd(t, "apply", "-db", snapPath)
+	stdin = old
+	if !strings.Contains(out, "1 ops appended") {
+		t.Fatalf("stdin apply output %q", out)
+	}
+	afterTotal := runCmd(t, "total", "-db", snapPath)
+	if afterTotal == runCmd(t, "total", "-db", compactPath) {
+		t.Fatal("second journal block not visible")
+	}
+
+	// Guard rails: apply refuses text instances and compact requires -o.
+	if err := run([]string{"apply", "-db", textPath, "-ops", opsPath}, io.Discard); err == nil {
+		t.Fatal("apply on a text instance succeeded")
+	}
+	if err := run([]string{"compact", "-db", snapPath}, io.Discard); err == nil {
+		t.Fatal("compact without -o succeeded")
+	}
 }

@@ -1,11 +1,20 @@
 // Command workloadgen emits synthetic inconsistent databases in the text
-// codec, for use with repairctl and external tooling.
+// codec, for use with repairctl and external tooling, plus optional update
+// streams (interleaved inserts/deletes) for exercising the incremental
+// maintenance paths.
 //
 // Usage:
 //
 //	workloadgen -kind employee -n 200 -conflict 0.3 -seed 7 > employees.db
 //	workloadgen -kind pairs -n 64 > pairs.db
 //	workloadgen -kind random -n 50 -blocksize-max 4 -zipf > random.db
+//	workloadgen -kind employee -n 100 -updates 50 -update-conflict 0.6 \
+//	    -updates-out stream.ops > employees.db
+//
+// The update stream is valid against the emitted base instance evolving
+// under it (every delete targets a live fact, every insert a fresh one)
+// and is written in the op format repairctl apply consumes: one
+// "+ Fact" or "- Fact" per line.
 package main
 
 import (
@@ -20,14 +29,17 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "employee", "workload kind: employee | pairs | random")
-		n        = flag.Int("n", 100, "scale (employees / blocks)")
-		conflict = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
-		depts    = flag.Int("depts", 4, "number of departments (employee kind)")
-		maxSize  = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
-		zipf     = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
-		values   = flag.Int("values", 5, "value alphabet size (random kind)")
-		seed     = flag.Uint64("seed", 7, "random seed")
+		kind      = flag.String("kind", "employee", "workload kind: employee | pairs | random")
+		n         = flag.Int("n", 100, "scale (employees / blocks)")
+		conflict  = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
+		depts     = flag.Int("depts", 4, "number of departments (employee kind)")
+		maxSize   = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
+		zipf      = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
+		values    = flag.Int("values", 5, "value alphabet size (random kind)")
+		seed      = flag.Uint64("seed", 7, "random seed")
+		updates   = flag.Int("updates", 0, "emit an update stream of this many interleaved inserts/deletes")
+		updConf   = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
+		updStream = flag.String("updates-out", "", "path for the update stream (required with -updates)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewPCG(*seed, 99))
@@ -54,13 +66,34 @@ func main() {
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workloadgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("# workloadgen -kind %s -n %d -seed %d\n", *kind, *n, *seed)
 	fmt.Printf("# facts=%d repairs=%s\n", db.Len(), relational.NumRepairs(db, ks))
 	if err := relational.WriteInstance(os.Stdout, db, ks); err != nil {
-		fmt.Fprintln(os.Stderr, "workloadgen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if *updates > 0 {
+		if *updStream == "" {
+			fatal(fmt.Errorf("-updates-out is required with -updates (the stream cannot share stdout with the instance)"))
+		}
+		ops := workload.UpdateStream(rng, db, ks, *updates, *updConf)
+		f, err := os.Create(*updStream)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.FormatUpdates(f, ops); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "workloadgen: wrote %d ops to %s\n", len(ops), *updStream)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
 }

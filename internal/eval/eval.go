@@ -123,11 +123,14 @@ func (idx *Index) candidatesFor(a query.Atom, env Binding) candSet {
 	if !ok {
 		return candSet{}
 	}
-	r, ok := idx.predRange[pid]
-	if !ok {
+	var best candSet
+	if list, ok := idx.predCands[pid]; ok {
+		best = candSet{list: list}
+	} else if r, ok := idx.predRange[pid]; ok {
+		best = candSet{lo: r[0], hi: r[1]}
+	} else {
 		return candSet{}
 	}
-	best := candSet{lo: r[0], hi: r[1]}
 	for pos, t := range a.Args {
 		var c relational.Const
 		switch t := t.(type) {

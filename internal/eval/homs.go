@@ -204,14 +204,19 @@ func (s *homSearch) unpinImage(grp int32) {
 
 // candidates returns the candidate fact set for a compiled atom: the
 // shortest posting list among positions whose term is a constant or a
-// bound variable, or the predicate's full range.
+// bound variable, or the predicate's live candidate list (maintained for
+// predicates touched by a mutation), or the predicate's contiguous
+// canonical range.
 func (s *homSearch) candidates(a catom) candSet {
 	idx := s.idx
-	r, ok := idx.predRange[a.pred]
-	if !ok {
+	var best candSet
+	if list, ok := idx.predCands[a.pred]; ok {
+		best = candSet{list: list}
+	} else if r, ok := idx.predRange[a.pred]; ok {
+		best = candSet{lo: r[0], hi: r[1]}
+	} else {
 		return candSet{}
 	}
-	best := candSet{lo: r[0], hi: r[1]}
 	for pos, t := range a.terms {
 		cid := t.cid
 		if t.slot >= 0 {

@@ -26,10 +26,17 @@ type postingKey struct {
 	cid  uint32
 }
 
-// Index is a read-only view of a set of facts with per-predicate access,
-// membership testing, argument-position posting lists and the active
-// domain, shared by all evaluators. Safe for concurrent use after
-// construction.
+// Index is a view of a set of facts with per-predicate access, membership
+// testing, argument-position posting lists and the active domain, shared
+// by all evaluators. Safe for concurrent use after construction.
+//
+// An index is mutable through InsertFact and RemoveFact (see mutate.go):
+// mutations keep fact ordinals stable — inserts append new ordinals,
+// deletes tombstone old ones — and maintain the membership buckets, the
+// posting lists, the per-predicate candidate lists, the sorted active
+// domain and the memoized key partitions incrementally, so matchers and
+// counters recompiled after a delta see a fully consistent index without
+// any O(n) rebuild. Mutation is not safe concurrently with reads.
 type Index struct {
 	in    *relational.Interner
 	facts []relational.Fact // canonical order; position = fact ordinal
@@ -55,6 +62,21 @@ type Index struct {
 
 	mu       sync.Mutex
 	keyParts map[*relational.KeySet]*keyPartition
+
+	// Mutation state (see mutate.go). dead is the tombstone mask (bit set ⇔
+	// ordinal deleted; may be shorter than facts — ordinals beyond its end
+	// are alive). predCands overrides predRange for every predicate touched
+	// by a mutation: the ascending live ordinals of that predicate,
+	// including appended ones outside the contiguous canonical range.
+	// domUses counts, per constant ID, the live argument slots using it —
+	// the refcount that keeps dom exact under deletes. version increments
+	// on every successful mutation.
+	dead        []uint64
+	nDead       int
+	predCands   map[uint32][]int32
+	byPredStale bool
+	domUses     []int32
+	version     uint64
 }
 
 // NewIndex builds an index over the given facts (de-duplicating them).
@@ -161,6 +183,9 @@ func (idx *Index) ensurePostings() {
 		}
 		posts := make(map[postingKey][]int32, len(idx.arena))
 		for ord := range idx.facts {
+			if !idx.aliveOrd(int32(ord)) {
+				continue
+			}
 			args := idx.argsOf(int32(ord))
 			pred := idx.fpred[ord]
 			for pos, cid := range args {
@@ -182,6 +207,9 @@ func (idx *Index) ensureBuckets() {
 		}
 		b := make(map[uint64][]int32, len(idx.facts))
 		for ord := range idx.facts {
+			if !idx.aliveOrd(int32(ord)) {
+				continue
+			}
 			h := hashFact(idx.fpred[ord], idx.argsOf(int32(ord)))
 			b[h] = append(b[h], int32(ord))
 		}
@@ -279,19 +307,57 @@ func (idx *Index) OrdinalOf(f relational.Fact) (int32, bool) {
 	return 0, false
 }
 
-// FactsFor returns the facts with the given predicate, canonically sorted.
-// Callers must not mutate the result.
-func (idx *Index) FactsFor(pred string) []relational.Fact { return idx.byPred[pred] }
+// FactsFor returns the live facts with the given predicate, canonically
+// sorted. Callers must not mutate the result. After a mutation the
+// per-predicate fact map is rebuilt lazily on the first call (it backs the
+// reference evaluators, not the hot join paths, which read the maintained
+// posting and candidate lists instead).
+func (idx *Index) FactsFor(pred string) []relational.Fact {
+	idx.mu.Lock()
+	if idx.byPredStale {
+		m := map[string][]relational.Fact{}
+		for ord, f := range idx.facts {
+			if idx.aliveOrd(int32(ord)) {
+				m[f.Pred] = append(m[f.Pred], f)
+			}
+		}
+		for p := range m {
+			relational.SortFacts(m[p])
+		}
+		idx.byPred = m
+		idx.byPredStale = false
+	}
+	out := idx.byPred[pred]
+	idx.mu.Unlock()
+	return out
+}
 
 // Dom returns the active domain, sorted. Callers must not mutate the result.
 func (idx *Index) Dom() []relational.Const { return idx.dom }
 
-// Len returns the number of facts indexed.
+// Len returns the number of fact ordinals, including tombstoned ones:
+// ordinal-indexed tables (masks, per-ordinal columns) must be sized by it.
 func (idx *Index) Len() int { return len(idx.facts) }
 
-// NumFacts returns the number of facts indexed (alias of Len, named for
+// NumFacts returns the number of fact ordinals (alias of Len, named for
 // ordinal-based callers).
 func (idx *Index) NumFacts() int { return len(idx.facts) }
+
+// LiveFacts returns the number of live (non-tombstoned) facts.
+func (idx *Index) LiveFacts() int { return len(idx.facts) - idx.nDead }
+
+// Version returns a counter incremented by every successful mutation;
+// structures derived from the index are fresh iff their recorded version
+// matches.
+func (idx *Index) Version() uint64 { return idx.version }
+
+// Alive reports whether the fact ordinal is not tombstoned.
+func (idx *Index) Alive(ord int32) bool { return idx.aliveOrd(ord) }
+
+func (idx *Index) aliveOrd(ord int32) bool {
+	w := int(ord) >> 6
+	return idx.nDead == 0 || w >= len(idx.dead) || idx.dead[w]&(1<<(uint32(ord)&63)) == 0
+}
 
 // FactAt returns the fact with the given ordinal (position in canonical
 // order). Ordinals are stable for the lifetime of the index.
@@ -302,10 +368,50 @@ func (idx *Index) Interner() *relational.Interner { return idx.in }
 
 // keyPartition groups the indexed facts by key value under one Σ: facts
 // with equal key values share a group ordinal. It is the integer-keyed
-// form of the conflict-block structure, memoized per KeySet.
+// form of the conflict-block structure, memoized per KeySet. The grouping
+// state (group representatives and the hash buckets) is retained so the
+// partition extends in O(1) per inserted fact instead of being rebuilt;
+// tombstoned ordinals keep their stale entry, which is never read because
+// no candidate list yields them.
 type keyPartition struct {
 	factBlock []int32 // fact ordinal → group ordinal
 	numBlocks int
+	groups    []kpGroup
+	buckets   map[uint64][]int32
+}
+
+// kpGroup is one key-value group: a representative fact ordinal and the
+// effective key width of its predicate.
+type kpGroup struct {
+	rep int32
+	kw  int
+}
+
+// extend assigns fact ordinal ord (the next unassigned ordinal) to its
+// group, creating the group if its key value is new.
+func (p *keyPartition) extend(idx *Index, ks *relational.KeySet, ord int32) {
+	kw := len(idx.facts[ord].Args)
+	if w, ok := ks.Width(idx.facts[ord].Pred); ok && w <= kw {
+		kw = w
+	}
+	pid := idx.fpred[ord]
+	key := idx.argsOf(ord)[:kw]
+	h := hashFact(pid, key) ^ uint64(kw)
+	found := int32(-1)
+	for _, gi := range p.buckets[h] {
+		g := p.groups[gi]
+		if idx.fpred[g.rep] == pid && g.kw == kw && u32SliceEqual(idx.argsOf(g.rep)[:g.kw], key) {
+			found = gi
+			break
+		}
+	}
+	if found < 0 {
+		found = int32(len(p.groups))
+		p.groups = append(p.groups, kpGroup{rep: ord, kw: kw})
+		p.buckets[h] = append(p.buckets[h], found)
+		p.numBlocks++
+	}
+	p.factBlock = append(p.factBlock, found)
 }
 
 // keyPartition returns (building it on first use) the key partition of the
@@ -316,38 +422,13 @@ func (idx *Index) keyPartition(ks *relational.KeySet) *keyPartition {
 	if p, ok := idx.keyParts[ks]; ok {
 		return p
 	}
-	p := &keyPartition{factBlock: make([]int32, len(idx.facts))}
-	type group struct {
-		rep int32
-		kw  int
+	p := &keyPartition{
+		factBlock: make([]int32, 0, len(idx.facts)),
+		buckets:   make(map[uint64][]int32, len(idx.facts)),
 	}
-	var groups []group
-	buckets := make(map[uint64][]int32, len(idx.facts))
 	for i := range idx.facts {
-		ord := int32(i)
-		kw := len(idx.facts[i].Args)
-		if w, ok := ks.Width(idx.facts[i].Pred); ok && w <= kw {
-			kw = w
-		}
-		pid := idx.fpred[i]
-		key := idx.argsOf(ord)[:kw]
-		h := hashFact(pid, key) ^ uint64(kw)
-		found := int32(-1)
-		for _, gi := range buckets[h] {
-			g := groups[gi]
-			if idx.fpred[g.rep] == pid && g.kw == kw && u32SliceEqual(idx.argsOf(g.rep)[:g.kw], key) {
-				found = gi
-				break
-			}
-		}
-		if found < 0 {
-			found = int32(len(groups))
-			groups = append(groups, group{rep: ord, kw: kw})
-			buckets[h] = append(buckets[h], found)
-		}
-		p.factBlock[ord] = found
+		p.extend(idx, ks, int32(i))
 	}
-	p.numBlocks = len(groups)
 	if idx.keyParts == nil {
 		idx.keyParts = map[*relational.KeySet]*keyPartition{}
 	}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"testing"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+)
+
+// randomFact draws a fact over a small universe, so streams collide with
+// earlier inserts often enough to exercise duplicates and misses.
+func randomFact(rng *rand.Rand) relational.Fact {
+	pred := "P" + strconv.Itoa(rng.IntN(3))
+	return relational.Fact{Pred: pred, Args: []relational.Const{
+		relational.Const("k" + strconv.Itoa(rng.IntN(4))),
+		relational.Const("v" + strconv.Itoa(rng.IntN(4))),
+	}}
+}
+
+// TestIndexMutationDifferential drives a random insert/delete stream
+// through a mutable index and, after every mutation, compares it against a
+// freshly built index over the same live fact set: membership, live
+// counts, the sorted domain, per-predicate facts, and the results of the
+// compiled matcher (which exercises posting lists, candidate lists and the
+// maintained key partition).
+func TestIndexMutationDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 11))
+	ks := relational.Keys(map[string]int{"P0": 1, "P1": 1}) // P2 unkeyed
+	queries := []query.UCQ{
+		mustUCQ(t, "exists x . P0(x, 'v1')"),
+		mustUCQ(t, "exists x, y . (P0(x, 'v0') & P1(x, y))"),
+		mustUCQ(t, "exists x . (P2(x, 'v2') | P1(x, 'v3'))"),
+	}
+
+	var live []relational.Fact
+	idx := NewIndex(nil)
+	for step := 0; step < 160; step++ {
+		f := randomFact(rng)
+		if rng.IntN(2) == 0 && len(live) > 0 {
+			f = live[rng.IntN(len(live))]
+			ord, ok := idx.RemoveFact(f)
+			if !ok {
+				t.Fatalf("step %d: live fact %v missing from index", step, f)
+			}
+			if idx.Alive(ord) {
+				t.Fatalf("step %d: removed ordinal %d still alive", step, ord)
+			}
+			for i := range live {
+				if live[i].Equal(f) {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		} else {
+			dup := contains(live, f)
+			_, added := idx.InsertFact(f)
+			if added == dup {
+				t.Fatalf("step %d: insert %v reported added=%v with dup=%v", step, f, added, dup)
+			}
+			if !dup {
+				live = append(live, f)
+			}
+		}
+
+		fresh := NewIndex(live)
+		if idx.LiveFacts() != fresh.Len() {
+			t.Fatalf("step %d: %d live facts vs %d rebuilt", step, idx.LiveFacts(), fresh.Len())
+		}
+		for _, g := range live {
+			if !idx.Contains(g) {
+				t.Fatalf("step %d: live fact %v not in index", step, g)
+			}
+		}
+		if idx.Contains(randomAbsent(rng, live)) {
+			t.Fatalf("step %d: absent fact reported present", step)
+		}
+		ld, fd := idx.Dom(), fresh.Dom()
+		if len(ld) != len(fd) {
+			t.Fatalf("step %d: dom %v vs rebuilt %v", step, ld, fd)
+		}
+		for i := range ld {
+			if ld[i] != fd[i] {
+				t.Fatalf("step %d: dom %v vs rebuilt %v", step, ld, fd)
+			}
+		}
+		for _, p := range []string{"P0", "P1", "P2"} {
+			lf, ff := idx.FactsFor(p), fresh.FactsFor(p)
+			if len(lf) != len(ff) {
+				t.Fatalf("step %d: FactsFor(%s) %v vs rebuilt %v", step, p, lf, ff)
+			}
+			for i := range lf {
+				if !lf[i].Equal(ff[i]) {
+					t.Fatalf("step %d: FactsFor(%s) %v vs rebuilt %v", step, p, lf, ff)
+				}
+			}
+		}
+		for qi, u := range queries {
+			for _, useKeys := range []*relational.KeySet{nil, ks} {
+				lm := NewConsistentUCQMatcher(u, idx, useKeys).HasHom()
+				fm := NewConsistentUCQMatcher(u, fresh, useKeys).HasHom()
+				if lm != fm {
+					t.Fatalf("step %d: query %d (keys=%v): live %v vs rebuilt %v", step, qi, useKeys != nil, lm, fm)
+				}
+			}
+		}
+	}
+}
+
+func contains(facts []relational.Fact, f relational.Fact) bool {
+	for _, g := range facts {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomAbsent(rng *rand.Rand, live []relational.Fact) relational.Fact {
+	for {
+		f := randomFact(rng)
+		if !contains(live, f) {
+			return f
+		}
+	}
+}
+
+func mustUCQ(t *testing.T, src string) query.UCQ {
+	t.Helper()
+	u, err := query.ToUCQ(query.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}

@@ -35,19 +35,25 @@ func (b Block) Index(f Fact) int {
 // strings are built. The decomposition is near-linear in |D|.
 func Blocks(d *Database, ks *KeySet) []Block {
 	n := len(d.facts)
-	// Pass 1: assign each fact a group ordinal by hashing its interned key
-	// value. Collision chains live in the groups slice (next links), so the
-	// bucket map holds plain int32 values and needs no per-key slices.
+	nLive := d.Len()
+	// Pass 1: assign each live fact a group ordinal by hashing its interned
+	// key value (tombstoned ordinals are skipped). Collision chains live in
+	// the groups slice (next links), so the bucket map holds plain int32
+	// values and needs no per-key slices.
 	type group struct {
 		rep  int32 // ordinal of the first fact seen with this key
 		kw   int32 // effective key width of the representative
 		next int32 // next group with the same hash, -1 at chain end
 		size int32
 	}
-	buckets := make(map[uint64]int32, n)
-	groups := make([]group, 0, n)
+	buckets := make(map[uint64]int32, nLive)
+	groups := make([]group, 0, nLive)
 	gid := make([]int32, n)
 	for i := 0; i < n; i++ {
+		if !d.alive(i) {
+			gid[i] = -1
+			continue
+		}
 		pid, kw := d.keyOf(ks, i)
 		key := d.iargs[i][:kw]
 		h := hashWord(hashIDs(pid, key), uint32(kw))
@@ -78,7 +84,7 @@ func Blocks(d *Database, ks *KeySet) []Block {
 	// shared arena, then order everything through the memoized symbol
 	// ranks — integer compares instead of string compares.
 	rankConst, rankPred := d.ranks()
-	ordArena := make([]int32, n)
+	ordArena := make([]int32, nLive)
 	offs := make([]int32, len(groups)+1)
 	for g := range groups {
 		offs[g+1] = offs[g] + groups[g].size
@@ -86,6 +92,9 @@ func Blocks(d *Database, ks *KeySet) []Block {
 	fill := append([]int32(nil), offs[:len(groups)]...)
 	for i := 0; i < n; i++ {
 		g := gid[i]
+		if g < 0 {
+			continue
+		}
 		ordArena[fill[g]] = int32(i)
 		fill[g]++
 	}
@@ -140,7 +149,7 @@ func Blocks(d *Database, ks *KeySet) []Block {
 		return len(ka) < len(kb)
 	})
 	// Materialize the blocks in final order, facts in one shared arena.
-	factArena := make([]Fact, n)
+	factArena := make([]Fact, nLive)
 	out := make([]Block, len(groups))
 	pos := int32(0)
 	for i, g := range perm {

@@ -1,0 +1,169 @@
+package relational
+
+import (
+	"sort"
+	"sync"
+)
+
+// BlockSeq is an incrementally maintained canonical block sequence: the
+// partition ≺(D,Σ) of Blocks, kept up to date under single-fact inserts and
+// deletes instead of being recomputed per instance. Inserting a fact
+// touches only its own block (found through the maintained BlockIndex);
+// a fact with a fresh key value splices a new block into its canonical
+// position, and deleting the last fact of a block splices the block out,
+// so the sequence always equals what Blocks would compute from scratch —
+// the invariant the FPRAS sampling determinism and the factorized counter
+// rely on across deltas.
+//
+// Block fact slices may alias shared arenas (the snapshot loader's mapped
+// columns, the Blocks fact arena); the first mutation of a block replaces
+// its slice with a private copy, never writing through the original.
+// A BlockSeq is not safe for concurrent mutation.
+type BlockSeq struct {
+	blocks []Block
+	// bi is the lazily built, then incrementally maintained index. biMu
+	// guards only the first build: concurrent read-only users (counters
+	// sharing one loaded snapshot) may race to Index, while mutation is
+	// single-threaded by the type's contract.
+	biMu    sync.Mutex
+	bi      *BlockIndex
+	version uint64
+}
+
+// NewBlockSeq wraps an existing canonical block sequence (as produced by
+// Blocks or the snapshot loader). The slice is borrowed; the caller must
+// not mutate it independently afterwards.
+func NewBlockSeq(blocks []Block) *BlockSeq {
+	return &BlockSeq{blocks: blocks}
+}
+
+// Seq returns the current block sequence in canonical ≺(D,Σ) order. The
+// slice is invalidated by the next structural mutation (block added or
+// removed); re-read it after every Insert/Remove.
+func (s *BlockSeq) Seq() []Block { return s.blocks }
+
+// Len returns the number of blocks.
+func (s *BlockSeq) Len() int { return len(s.blocks) }
+
+// Version returns a counter incremented by every successful mutation.
+func (s *BlockSeq) Version() uint64 { return s.version }
+
+// Index returns the maintained key-value → position index over the
+// sequence, building it on first use. Safe for concurrent read-only
+// callers.
+func (s *BlockSeq) Index() *BlockIndex {
+	s.biMu.Lock()
+	if s.bi == nil {
+		s.bi = NewBlockIndex(s.blocks)
+	}
+	bi := s.bi
+	s.biMu.Unlock()
+	return bi
+}
+
+// Insert adds fact f to the partition: into its existing block (keeping
+// the block's canonical fact order) or, for a fresh key value, as a new
+// block at its canonical position. It reports whether the sequence changed
+// (false: the fact is already present).
+func (s *BlockSeq) Insert(ks *KeySet, f Fact) bool {
+	kv := ks.KeyValue(f)
+	if pos, ok := s.Index().FindKey(kv); ok {
+		b := &s.blocks[pos]
+		i := sort.Search(len(b.Facts), func(i int) bool { return !b.Facts[i].Less(f) })
+		if i < len(b.Facts) && b.Facts[i].Equal(f) {
+			return false
+		}
+		// Copy-on-write: the old slice may subslice a shared arena.
+		facts := make([]Fact, 0, len(b.Facts)+1)
+		facts = append(facts, b.Facts[:i]...)
+		facts = append(facts, f)
+		facts = append(facts, b.Facts[i:]...)
+		b.Facts = facts
+		s.version++
+		return true
+	}
+	pos := sort.Search(len(s.blocks), func(i int) bool { return kv.Less(s.blocks[i].Key) })
+	s.blocks = append(s.blocks, Block{})
+	copy(s.blocks[pos+1:], s.blocks[pos:])
+	s.blocks[pos] = Block{Key: kv, Facts: []Fact{f}}
+	s.noteSpliceIn(pos)
+	s.version++
+	return true
+}
+
+// Remove deletes fact f from the partition, splicing its block out when f
+// was the block's last fact. It reports whether the fact was present.
+func (s *BlockSeq) Remove(ks *KeySet, f Fact) bool {
+	pos, ok := s.Index().FindKey(ks.KeyValue(f))
+	if !ok {
+		return false
+	}
+	b := &s.blocks[pos]
+	i := b.Index(f)
+	if i < 0 {
+		return false
+	}
+	if len(b.Facts) == 1 {
+		key := b.Key
+		copy(s.blocks[pos:], s.blocks[pos+1:])
+		s.blocks[len(s.blocks)-1] = Block{}
+		s.blocks = s.blocks[:len(s.blocks)-1]
+		s.noteSpliceOut(pos, key)
+		s.version++
+		return true
+	}
+	facts := make([]Fact, 0, len(b.Facts)-1)
+	facts = append(facts, b.Facts[:i]...)
+	facts = append(facts, b.Facts[i+1:]...)
+	b.Facts = facts
+	s.version++
+	return true
+}
+
+// noteSpliceIn updates the maintained index for a new block at pos: every
+// stored position ≥ pos shifts up by one, then the new key is added.
+func (s *BlockSeq) noteSpliceIn(pos int) {
+	if s.bi == nil {
+		return
+	}
+	s.bi.blocks = s.blocks
+	for _, ords := range s.bi.buckets {
+		for i, o := range ords {
+			if int(o) >= pos {
+				ords[i] = o + 1
+			}
+		}
+	}
+	h := hashKeyValue(s.blocks[pos].Key)
+	s.bi.buckets[h] = append(s.bi.buckets[h], int32(pos))
+}
+
+// noteSpliceOut updates the maintained index for the removal of the block
+// with the given key, formerly at pos: its entry is dropped and every
+// stored position > pos shifts down. Called after the splice.
+func (s *BlockSeq) noteSpliceOut(pos int, key KeyValue) {
+	if s.bi == nil {
+		return
+	}
+	s.bi.blocks = s.blocks
+	h := hashKeyValue(key)
+	ords := s.bi.buckets[h]
+	for i, o := range ords {
+		if int(o) == pos {
+			ords = append(ords[:i], ords[i+1:]...)
+			break
+		}
+	}
+	if len(ords) == 0 {
+		delete(s.bi.buckets, h)
+	} else {
+		s.bi.buckets[h] = ords
+	}
+	for _, bords := range s.bi.buckets {
+		for i, o := range bords {
+			if int(o) > pos {
+				bords[i] = o - 1
+			}
+		}
+	}
+}

@@ -12,12 +12,25 @@ import (
 // dense uint32 ID from the database's symbol table, and membership tests
 // run against an integer-keyed hash index instead of canonical strings.
 // The zero value is not ready to use; call NewDatabase.
+//
+// A database is mutable: Insert appends facts and Delete tombstones them.
+// The fact columns are strictly append-only — a deleted fact keeps its
+// ordinal and its column entries, it is only marked dead and removed from
+// the membership index — so databases assembled over borrowed snapshot
+// arenas stay valid under mutation (appending past the borrowed capacity
+// reallocates, never writes through the mapping), and every structure
+// keyed by fact ordinals survives a delta without renumbering.
 type Database struct {
 	facts []Fact
 	// ipred and iargs hold the interned encoding of facts[i]: the predicate
 	// ID and the argument IDs, aligned with facts.
 	ipred []uint32
 	iargs [][]uint32
+	// dead is the tombstone mask: bit i set ⇔ facts[i] has been deleted.
+	// nil until the first Delete; it may be shorter than facts (ordinals
+	// beyond its end are alive). nDead counts the set bits.
+	dead  []uint64
+	nDead int
 	// buckets maps the fact hash to the ordinals of facts with that hash;
 	// probes verify structurally, so hash collisions are harmless. For
 	// databases assembled from snapshot arenas the map is built lazily on
@@ -97,6 +110,9 @@ func (d *Database) ensureBuckets() {
 		}
 		b := make(map[uint64][]int32, len(d.facts))
 		for i := range d.facts {
+			if !d.alive(i) {
+				continue
+			}
 			h := hashIDs(d.ipred[i], d.iargs[i])
 			b[h] = append(b[h], int32(i))
 		}
@@ -107,15 +123,23 @@ func (d *Database) ensureBuckets() {
 // Add inserts a fact (a no-op if already present). It fails on an arity
 // clash with earlier facts of the same predicate.
 func (d *Database) Add(f Fact) error {
+	_, err := d.Insert(f)
+	return err
+}
+
+// Insert adds a fact, reporting whether the database changed (false: the
+// fact was already present). It fails on an arity clash with earlier facts
+// of the same predicate.
+func (d *Database) Insert(f Fact) (bool, error) {
 	if ar, ok := d.arity[f.Pred]; ok && ar != len(f.Args) {
-		return fmt.Errorf("relational: predicate %s used with arities %d and %d", f.Pred, ar, len(f.Args))
+		return false, fmt.Errorf("relational: predicate %s used with arities %d and %d", f.Pred, ar, len(f.Args))
 	}
 	d.ensureBuckets()
 	pid, args := d.in.InternFact(f, make([]uint32, 0, len(f.Args)))
 	h := hashIDs(pid, args)
 	for _, ord := range d.buckets[h] {
 		if d.ipred[ord] == pid && u32Equal(d.iargs[ord], args) {
-			return nil // duplicate
+			return false, nil // duplicate
 		}
 	}
 	d.arity[f.Pred] = len(f.Args)
@@ -123,7 +147,48 @@ func (d *Database) Add(f Fact) error {
 	d.facts = append(d.facts, f)
 	d.ipred = append(d.ipred, pid)
 	d.iargs = append(d.iargs, args)
-	return nil
+	return true, nil
+}
+
+// Delete removes a fact, reporting whether it was present. The fact's
+// ordinal is tombstoned, not reused: the columns stay append-only, so
+// ordinal-keyed structures built over the database remain valid.
+func (d *Database) Delete(f Fact) bool {
+	d.ensureBuckets()
+	pid, ok := d.in.LookupPred(f.Pred)
+	if !ok {
+		return false
+	}
+	args := make([]uint32, 0, len(f.Args))
+	for _, a := range f.Args {
+		id, ok := d.in.LookupConst(a)
+		if !ok {
+			return false
+		}
+		args = append(args, id)
+	}
+	h := hashIDs(pid, args)
+	ords := d.buckets[h]
+	for i, ord := range ords {
+		if d.ipred[ord] != pid || !u32Equal(d.iargs[ord], args) {
+			continue
+		}
+		d.buckets[h] = append(ords[:i], ords[i+1:]...)
+		w := int(ord) >> 6
+		for len(d.dead) <= w {
+			d.dead = append(d.dead, 0)
+		}
+		d.dead[w] |= 1 << (uint(ord) & 63)
+		d.nDead++
+		return true
+	}
+	return false
+}
+
+// alive reports whether fact ordinal i is not tombstoned.
+func (d *Database) alive(i int) bool {
+	w := i >> 6
+	return d.nDead == 0 || w >= len(d.dead) || d.dead[w]&(1<<(uint(i)&63)) == 0
 }
 
 // Contains reports whether the fact is in the database. The probe is
@@ -159,25 +224,42 @@ func (d *Database) Contains(f Fact) bool {
 // heap allocation of the scratch ID buffer.
 const maxStackArity = 16
 
-// Len returns the number of facts.
-func (d *Database) Len() int { return len(d.facts) }
+// Len returns the number of (live) facts.
+func (d *Database) Len() int { return len(d.facts) - d.nDead }
 
-// Facts returns a copy of the facts in canonical sorted order.
+// Facts returns a copy of the live facts in canonical sorted order.
 func (d *Database) Facts() []Fact {
-	out := make([]Fact, len(d.facts))
-	copy(out, d.facts)
+	out := make([]Fact, 0, d.Len())
+	for i, f := range d.facts {
+		if d.alive(i) {
+			out = append(out, f)
+		}
+	}
 	return SortFacts(out)
 }
 
-// FactsUnsorted returns the facts in insertion order without copying.
-// Callers must not mutate the result.
-func (d *Database) FactsUnsorted() []Fact { return d.facts }
+// FactsUnsorted returns the live facts in insertion order. The result is
+// shared (not copied) while no fact has ever been deleted; callers must not
+// mutate it.
+func (d *Database) FactsUnsorted() []Fact {
+	if d.nDead == 0 {
+		return d.facts
+	}
+	out := make([]Fact, 0, d.Len())
+	for i, f := range d.facts {
+		if d.alive(i) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
-// FactsFor returns the facts with the given predicate, canonically sorted.
+// FactsFor returns the live facts with the given predicate, canonically
+// sorted.
 func (d *Database) FactsFor(pred string) []Fact {
 	var out []Fact
-	for _, f := range d.facts {
-		if f.Pred == pred {
+	for i, f := range d.facts {
+		if f.Pred == pred && d.alive(i) {
 			out = append(out, f)
 		}
 	}
@@ -197,9 +279,29 @@ func (d *Database) Schema() Schema {
 // Dom returns the active domain dom(D): the constants occurring in D, sorted
 // and de-duplicated.
 func (d *Database) Dom() []Const {
-	// The interner already de-duplicates, so copy-and-sort suffices.
-	cs := make([]Const, 0, d.in.NumConsts())
-	cs = append(cs, d.in.Consts()...)
+	if d.nDead == 0 {
+		// The interner already de-duplicates, so copy-and-sort suffices.
+		cs := make([]Const, 0, d.in.NumConsts())
+		cs = append(cs, d.in.Consts()...)
+		return ConstSlice(cs)
+	}
+	// Tombstoned constants may linger in the symbol table; rebuild the
+	// domain from the live facts so it matches a from-scratch database.
+	used := make([]bool, d.in.NumConsts())
+	for i := range d.facts {
+		if !d.alive(i) {
+			continue
+		}
+		for _, id := range d.iargs[i] {
+			used[id] = true
+		}
+	}
+	var cs []Const
+	for id, u := range used {
+		if u {
+			cs = append(cs, d.in.ConstAt(uint32(id)))
+		}
+	}
 	return ConstSlice(cs)
 }
 
@@ -209,6 +311,9 @@ func (d *Database) Dom() []Const {
 func (d *Database) Satisfies(ks *KeySet) bool {
 	seen := make(map[uint64][]int32, len(d.facts))
 	for i := range d.facts {
+		if !d.alive(i) {
+			continue
+		}
 		pid, kw := d.keyOf(ks, i)
 		key := d.iargs[i][:kw]
 		h := hashWord(hashIDs(pid, key), uint32(kw))
@@ -285,13 +390,18 @@ func (d *Database) Clone() *Database {
 	for p, a := range d.arity {
 		out.arity[p] = a
 	}
+	out.dead = append([]uint64(nil), d.dead...)
+	out.nDead = d.nDead
 	return out
 }
 
 // Union returns a new database containing the facts of both databases.
 func (d *Database) Union(other *Database) (*Database, error) {
 	out := d.Clone()
-	for _, f := range other.facts {
+	for i, f := range other.facts {
+		if !other.alive(i) {
+			continue
+		}
 		if err := out.Add(f); err != nil {
 			return nil, err
 		}

@@ -27,6 +27,7 @@ type Certificate struct {
 // the yielded certificate is cloned and safe to retain.
 func (in *Instance) Certificates() iter.Seq[Certificate] {
 	return func(yield func(Certificate) bool) {
+		in.refresh()
 		if !in.IsEP {
 			return
 		}
@@ -57,6 +58,7 @@ func BlockDomains(blocks []relational.Block) []core.Domain {
 
 // Domains memoizes the block domains of the instance.
 func (in *Instance) Domains() []core.Domain {
+	in.refresh()
 	if in.domsMemo == nil {
 		in.domsMemo = BlockDomains(in.Blocks)
 	}
@@ -97,6 +99,7 @@ func (in *Instance) SelectorFor(c Certificate) core.Selector {
 
 // blockIndex memoizes the key-value → block-position index.
 func (in *Instance) blockIndex() *relational.BlockIndex {
+	in.refresh()
 	if in.blockIdxMemo == nil {
 		in.blockIdxMemo = relational.NewBlockIndex(in.Blocks)
 	}

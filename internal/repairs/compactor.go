@@ -37,6 +37,9 @@ func (in *Instance) Compactor() (*core.Compactor, error) {
 	elemOf := make([]core.Element, nf)
 	bi := in.blockIndex()
 	for ord := 0; ord < nf; ord++ {
+		if !in.Idx.Alive(int32(ord)) {
+			continue // tombstoned: unreachable through the matcher
+		}
 		f := in.Idx.FactAt(ord)
 		p, ok := bi.Find(in.Keys, f)
 		if !ok {

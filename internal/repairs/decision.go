@@ -18,6 +18,7 @@ import (
 // For arbitrary FO queries the problem is NP-complete (Theorem 3.2); we
 // fall back to exhaustive search over repairs.
 func (in *Instance) HasRepairEntailing() bool {
+	in.refresh()
 	if in.IsEP {
 		if in.decisionMemo == nil {
 			in.decisionMemo = eval.NewConsistentUCQMatcher(in.UCQ, in.Idx, in.Keys)

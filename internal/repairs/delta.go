@@ -216,16 +216,38 @@ func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, e
 	if f.alwaysTrue {
 		return in.TotalRepairs(), nil
 	}
+	// Consult the structural component memo: a component whose fingerprint
+	// was enumerated before — typically every component untouched by the
+	// deltas since the last count — reuses its #¬Q_c and is excluded from
+	// the job space, so the enumeration cost of a recount is Σ 2^{n_c} over
+	// the *changed* components only. Only the box engine is memoized: a
+	// masked component's count depends on facts outside the component
+	// (homomorphisms may use always-present facts), so its structure alone
+	// does not determine it.
+	known := make([]*big.Int, len(f.comps))
+	var fps []compFP
+	if !f.masked {
+		fps = make([]compFP, len(f.comps))
+		for i := range f.comps {
+			fps[i] = f.comps[i].fingerprint()
+			if v, ok := in.compMemo[fps[i]]; ok {
+				known[i] = v
+			}
+		}
+	}
 	work := int64(0)
 	for i := range f.comps {
-		work = addSat(work, f.comps[i].space)
+		if known[i] == nil {
+			work = addSat(work, f.comps[i].space)
+		}
 	}
 	if work > int64(budget) {
 		return nil, ErrBudget
 	}
 
-	// Shard every component against the worker-scaled target and serve the
-	// flattened (component, shard) job space from one atomic queue.
+	// Shard every still-unknown component against the worker-scaled target
+	// and serve the flattened (component, shard) job space from one atomic
+	// queue.
 	plans := make([]struct {
 		prefixDigits int
 		shards       int64
@@ -233,6 +255,10 @@ func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, e
 	jobOff := make([]int64, len(f.comps)+1)
 	target := int64(4 * workers)
 	for i := range f.comps {
+		if known[i] != nil {
+			jobOff[i+1] = jobOff[i]
+			continue
+		}
 		p, s := shardPlan(&f.comps[i], target)
 		plans[i] = struct {
 			prefixDigits int
@@ -305,7 +331,20 @@ func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, e
 
 	nonent := new(big.Int).Set(f.untouched)
 	for i := range perComp {
-		nonent.Mul(nonent, perComp[i].Big())
+		v := known[i]
+		if v == nil {
+			v = perComp[i].Big()
+			if fps != nil {
+				if len(in.compMemo) > 1<<14 {
+					in.compMemo = nil // bound the memo; it refills structurally
+				}
+				if in.compMemo == nil {
+					in.compMemo = map[compFP]*big.Int{}
+				}
+				in.compMemo[fps[i]] = new(big.Int).Set(v)
+			}
+		}
+		nonent.Mul(nonent, v)
 	}
 	count := new(big.Int).Sub(f.split.inner, nonent)
 	return count.Mul(count, f.split.outer), nil

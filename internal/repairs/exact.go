@@ -52,6 +52,7 @@ func (in *Instance) CountEnumUCQ(budget int) (*big.Int, error) {
 // enumeration of rep(D,Σ), evaluating Q on each repair under active-domain
 // semantics. budget ≤ 0 selects DefaultEnumBudget.
 func (in *Instance) CountEnumFO(budget int) (*big.Int, error) {
+	in.refresh()
 	if budget <= 0 {
 		budget = DefaultEnumBudget
 	}

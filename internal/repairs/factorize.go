@@ -47,6 +47,7 @@ type relevantSplit struct {
 // relevant memoizes the relevant/irrelevant block split. Valid only for
 // existential positive instances (the UCQ rewriting names the predicates).
 func (in *Instance) relevant() *relevantSplit {
+	in.refresh()
 	if in.relSplitMemo == nil {
 		pred := map[string]bool{}
 		for _, p := range in.UCQ.Predicates() {
@@ -107,6 +108,7 @@ type factorization struct {
 // value bypasses the memo, and a negative value skips box extraction
 // entirely, forcing the masked engine (used by tests).
 func (in *Instance) factorization(homBudget int) *factorization {
+	in.refresh()
 	if homBudget != 0 {
 		return newFactorization(in, homBudget)
 	}
@@ -360,6 +362,37 @@ func (f *factorization) buildComponent(in *Instance, blocks []int32) component {
 		}
 	}
 	return c
+}
+
+// compFP is the structural fingerprint of a component: two independent
+// FNV-1a streams over the digit radices and the box requirement tables.
+// The box engine's per-component non-entailment count #¬Q_c is a pure
+// function of this structure — it counts choice vectors avoiding every box
+// and never looks at fact identities — so equal fingerprints mean equal
+// counts, across deltas and even across instances. 128 bits make an
+// accidental collision on the handful of components per instance
+// astronomically unlikely.
+type compFP [2]uint64
+
+func (c *component) fingerprint() compFP {
+	const (
+		off1  = uint64(14695981039346656037)
+		off2  = uint64(0x9e3779b97f4a7c15)
+		prime = uint64(1099511628211)
+	)
+	h1, h2 := off1, off2
+	mix := func(v uint64) {
+		h1 = (h1 ^ v) * prime
+		h2 = (h2 ^ (v + 0x9e3779b97f4a7c15)) * prime
+	}
+	cols := [][]int32{c.sizes, c.boxOff, c.reqDigit, c.reqChoice}
+	for _, col := range cols {
+		mix(uint64(len(col)))
+		for _, v := range col {
+			mix(uint64(uint32(v)))
+		}
+	}
+	return compFP{h1, h2}
 }
 
 func boxEqual(blocks, choices []int32, req [][2]int32) bool {

@@ -26,6 +26,18 @@ import (
 
 // Instance bundles one #CQA(Q,Σ) input: the fixed query and keys plus the
 // input database, with derived structures (blocks, index) computed once.
+//
+// Instances are versioned and mutable: Apply threads single-fact inserts
+// and deletes through the shared live substrate (database, maintained
+// block sequence, evaluation index), and every counting entry point
+// refreshes itself against the substrate version first — memoized and
+// compiled structures (matchers, domains, the factorization layout) are
+// flushed when stale, while the per-component enumeration memo survives
+// deltas and is keyed structurally, so a recount after a delta
+// re-enumerates only the connected components whose blocks changed.
+// Several instances (e.g. counters for different queries over one loaded
+// snapshot) may share one live substrate; a delta applied through any of
+// them is visible to all on their next count.
 type Instance struct {
 	DB     *relational.Database
 	Keys   *relational.KeySet
@@ -38,12 +50,24 @@ type Instance struct {
 	UCQ  query.UCQ
 	IsEP bool
 
+	// live is the shared mutable substrate; memoVer is the substrate
+	// version the memos below were built against.
+	live    *eval.LiveInstance
+	memoVer uint64
+
 	blockIdxMemo *relational.BlockIndex
 	domsMemo     []core.Domain
 	decisionMemo *eval.UCQMatcher
 	relSplitMemo *relevantSplit
 	factMemo     *factorization
 	deltaMemo    *deltaScratch
+
+	// compMemo caches per-component non-entailment counts of the box
+	// engine across deltas, keyed by a structural fingerprint of the
+	// component (sizes and box requirements): #¬Q_c is a pure function of
+	// that structure, so untouched components of a re-derived factorization
+	// hit the memo and skip their 2^{n_c} enumeration entirely.
+	compMemo map[compFP]*big.Int
 }
 
 // NewInstance prepares an instance. Boolean queries only; substitute the
@@ -61,24 +85,33 @@ func NewInstance(db *relational.Database, ks *relational.KeySet, q query.Formula
 // canonical sequence ≺(D,Σ) of (db, ks) and idx must index exactly the
 // facts of db.
 func NewPreparedInstance(db *relational.Database, ks *relational.KeySet, q query.Formula, blocks []relational.Block, idx *eval.Index) (*Instance, error) {
-	if fv := query.FreeVars(q); len(fv) > 0 {
-		return nil, fmt.Errorf("repairs: query has free variables %v; substitute a tuple first", fv)
-	}
-	if err := ks.Validate(db.Schema()); err != nil {
-		return nil, err
-	}
 	if blocks == nil {
 		blocks = relational.Blocks(db, ks)
 	}
 	if idx == nil {
 		idx = eval.IndexDatabase(db)
 	}
+	return NewLiveInstance(eval.NewLiveInstance(db, ks, relational.NewBlockSeq(blocks), idx), q)
+}
+
+// NewLiveInstance prepares an instance over an existing live substrate —
+// the path counters over one loaded snapshot share: every counter built on
+// the same LiveInstance sees deltas applied through any of them.
+func NewLiveInstance(live *eval.LiveInstance, q query.Formula) (*Instance, error) {
+	if fv := query.FreeVars(q); len(fv) > 0 {
+		return nil, fmt.Errorf("repairs: query has free variables %v; substitute a tuple first", fv)
+	}
+	if err := live.Keys.Validate(live.DB.Schema()); err != nil {
+		return nil, err
+	}
 	inst := &Instance{
-		DB:     db,
-		Keys:   ks,
-		Q:      q,
-		Blocks: blocks,
-		Idx:    idx,
+		DB:      live.DB,
+		Keys:    live.Keys,
+		Q:       q,
+		Blocks:  live.Blocks.Seq(),
+		Idx:     live.Idx,
+		live:    live,
+		memoVer: live.Version(),
 	}
 	if query.IsExistentialPositive(q) {
 		u, err := query.ToUCQ(q)
@@ -104,6 +137,7 @@ func MustInstance(db *relational.Database, ks *relational.KeySet, q query.Formul
 
 // TotalRepairs returns |rep(D,Σ)| = ∏|B_i| (computable in FP, §1.1).
 func (in *Instance) TotalRepairs() *big.Int {
+	in.refresh()
 	return relational.NumRepairsOfBlocks(in.Blocks)
 }
 
@@ -121,6 +155,7 @@ func (in *Instance) Keywidth() int {
 // inclusion–exclusion, else block enumeration; UCQ inputs avoid full FO
 // evaluation. It returns the algorithm used for reporting.
 func (in *Instance) CountExact() (*big.Int, string, error) {
+	in.refresh()
 	if in.IsEP {
 		if n, ok := in.CountSafePlan(); ok {
 			return n, "safeplan", nil
@@ -159,6 +194,7 @@ func (in *Instance) CountExact() (*big.Int, string, error) {
 // algorithms.
 func (in *Instance) EntailingRepairs() iter.Seq[[]relational.Fact] {
 	return func(yield func([]relational.Fact) bool) {
+		in.refresh()
 		for facts := range relational.Repairs(in.Blocks) {
 			idx := eval.NewIndex(facts)
 			var holds bool

@@ -51,15 +51,22 @@ func decode(data []byte, verify bool) (*Snapshot, error) {
 	if nSecs > maxSectionID {
 		return nil, corrupt("%d sections exceed the %d defined ids", nSecs, maxSectionID)
 	}
-	if sz := le.Uint64(data[16:]); sz != uint64(len(data)) {
-		return nil, corrupt("header says %d bytes, have %d", sz, len(data))
+	// The header records the sealed base size; any bytes beyond it must
+	// parse as appended delta-journal blocks (replayed at materialization).
+	base := le.Uint64(data[16:])
+	if base < headerSize+trailerLen || base > uint64(len(data)) {
+		return nil, corrupt("header says %d bytes, have %d", base, len(data))
 	}
 	if le.Uint64(data[24:]) != 0 {
 		return nil, corrupt("reserved header field is nonzero")
 	}
-	body := data[:len(data)-trailerLen]
+	journal, err := parseJournal(data[base:])
+	if err != nil {
+		return nil, err
+	}
+	body := data[:base-trailerLen]
 	if verify {
-		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(data[len(data)-trailerLen:]); got != want {
+		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(data[base-trailerLen:base]); got != want {
 			return nil, corrupt("checksum mismatch: file says %#x, content hashes to %#x", want, got)
 		}
 	}
@@ -126,8 +133,7 @@ func decode(data []byte, verify bool) (*Snapshot, error) {
 		return u32View(raw(id)), nil
 	}
 
-	s := &Snapshot{data: data}
-	var err error
+	s := &Snapshot{data: data, journal: journal}
 	if s.constOffs, err = u32(secConstOffs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repaircount/internal/relational"
+)
+
+// JournalOp is one journaled mutation: the insertion (Del=false) or
+// deletion (Del=true) of a fact.
+type JournalOp struct {
+	Del  bool
+	Fact relational.Fact
+}
+
+// EncodeJournal serializes ops as one self-contained journal block, ready
+// to append after a sealed snapshot. It fails on empty op lists and on
+// symbols exceeding the format's length fields.
+func EncodeJournal(ops []JournalOp) ([]byte, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("store: empty journal block")
+	}
+	if len(ops) > math.MaxUint32 {
+		return nil, fmt.Errorf("store: %d ops exceed the journal count field", len(ops))
+	}
+	var payload []byte
+	var u16 [2]byte
+	var u32 [4]byte
+	for _, op := range ops {
+		b := byte(opInsert)
+		if op.Del {
+			b = opDelete
+		}
+		payload = append(payload, b)
+		if len(op.Fact.Pred) > math.MaxUint16 {
+			return nil, fmt.Errorf("store: predicate of %d bytes exceeds the journal length field", len(op.Fact.Pred))
+		}
+		le.PutUint16(u16[:], uint16(len(op.Fact.Pred)))
+		payload = append(payload, u16[:]...)
+		payload = append(payload, op.Fact.Pred...)
+		if len(op.Fact.Args) > math.MaxUint16 {
+			return nil, fmt.Errorf("store: arity %d exceeds the journal count field", len(op.Fact.Args))
+		}
+		le.PutUint16(u16[:], uint16(len(op.Fact.Args)))
+		payload = append(payload, u16[:]...)
+		for _, a := range op.Fact.Args {
+			if len(a) > math.MaxInt32 {
+				return nil, fmt.Errorf("store: constant of %d bytes exceeds the journal length field", len(a))
+			}
+			le.PutUint32(u32[:], uint32(len(a)))
+			payload = append(payload, u32[:]...)
+			payload = append(payload, a...)
+		}
+	}
+	block := make([]byte, 0, journalHeaderSize+len(payload)+journalTrailerLen)
+	block = append(block, journalMagic...)
+	le.PutUint32(u32[:], uint32(len(ops)))
+	block = append(block, u32[:]...)
+	var u64 [8]byte
+	le.PutUint64(u64[:], uint64(len(payload)))
+	block = append(block, u64[:]...)
+	block = append(block, payload...)
+	le.PutUint64(u64[:], uint64(crc32.Checksum(block, crcTable)))
+	return append(block, u64[:]...), nil
+}
+
+// parseJournal decodes the journal region of a snapshot (every byte after
+// the sealed base) into the op sequence, validating each block's framing,
+// checksum and op structure.
+func parseJournal(data []byte) ([]JournalOp, error) {
+	var ops []JournalOp
+	for blockNo := 0; len(data) > 0; blockNo++ {
+		if len(data) < journalHeaderSize+journalTrailerLen {
+			return nil, corrupt("journal block %d: %d trailing bytes are shorter than a block frame", blockNo, len(data))
+		}
+		if string(data[:4]) != journalMagic {
+			return nil, corrupt("journal block %d: bad magic %q", blockNo, data[:4])
+		}
+		count := le.Uint32(data[4:])
+		if count == 0 {
+			return nil, corrupt("journal block %d: zero ops", blockNo)
+		}
+		plen := le.Uint64(data[8:])
+		total := uint64(journalHeaderSize) + plen + journalTrailerLen
+		if plen > uint64(len(data)) || total > uint64(len(data)) {
+			return nil, corrupt("journal block %d: payload of %d bytes overruns the file", blockNo, plen)
+		}
+		body := data[:journalHeaderSize+plen]
+		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(data[journalHeaderSize+plen:]); got != want {
+			return nil, corrupt("journal block %d: checksum mismatch: block says %#x, content hashes to %#x", blockNo, want, got)
+		}
+		p := body[journalHeaderSize:]
+		for i := uint32(0); i < count; i++ {
+			if len(p) < 3 {
+				return nil, corrupt("journal block %d: op %d is truncated", blockNo, i)
+			}
+			kind := p[0]
+			if kind != opInsert && kind != opDelete {
+				return nil, corrupt("journal block %d: op %d has unknown kind %d", blockNo, i, kind)
+			}
+			predLen := int(le.Uint16(p[1:]))
+			p = p[3:]
+			if predLen == 0 {
+				return nil, corrupt("journal block %d: op %d has an empty predicate", blockNo, i)
+			}
+			if len(p) < predLen+2 {
+				return nil, corrupt("journal block %d: op %d predicate overruns the payload", blockNo, i)
+			}
+			pred := string(p[:predLen])
+			nargs := int(le.Uint16(p[predLen:]))
+			p = p[predLen+2:]
+			args := make([]relational.Const, nargs)
+			for a := 0; a < nargs; a++ {
+				if len(p) < 4 {
+					return nil, corrupt("journal block %d: op %d argument %d is truncated", blockNo, i, a)
+				}
+				alen := le.Uint32(p)
+				if uint64(alen) > uint64(len(p)-4) {
+					return nil, corrupt("journal block %d: op %d argument %d overruns the payload", blockNo, i, a)
+				}
+				args[a] = relational.Const(p[4 : 4+alen])
+				p = p[4+alen:]
+			}
+			ops = append(ops, JournalOp{Del: kind == opDelete, Fact: relational.Fact{Pred: pred, Args: args}})
+		}
+		if len(p) != 0 {
+			return nil, corrupt("journal block %d: %d payload bytes left after %d ops", blockNo, len(p), count)
+		}
+		data = data[total:]
+	}
+	return ops, nil
+}
+
+// AppendJournal appends ops as one journal block to the snapshot file at
+// path, without touching the sealed base bytes. Before writing, the
+// current file (base plus any earlier journal blocks) is loaded and the
+// new ops are replayed against it in memory, so an op the snapshot cannot
+// absorb — an arity clash, or a file whose journal region is already
+// damaged — fails the append instead of poisoning every future load. The
+// write itself extends the file by one self-contained block; earlier
+// bytes are never modified.
+func AppendJournal(path string, ops []JournalOp) error {
+	block, err := EncodeJournal(ops)
+	if err != nil {
+		return err
+	}
+	// Dry-run the ops against the loaded snapshot. This also proves the
+	// existing base and journal region decode cleanly end to end.
+	snap, err := Open(path)
+	if err != nil {
+		return err
+	}
+	live, err := snap.Live()
+	if err != nil {
+		snap.Close()
+		return err
+	}
+	for i, op := range ops {
+		if _, err := live.Apply(op.Del, op.Fact); err != nil {
+			snap.Close()
+			return fmt.Errorf("store: journal op %d (%s) cannot apply to %s: %w", i, op.Fact, path, err)
+		}
+	}
+	if err := snap.Close(); err != nil {
+		return err
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(block, st.Size()); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// CompactFile reseals the snapshot at src — base plus any appended journal
+// — as a clean, journal-free snapshot at dst with all precomputed
+// sections. The compacted snapshot loads to the same instance (and the
+// same counts) as replaying the journal.
+func CompactFile(src, dst string) error {
+	snap, err := Open(src)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	db, err := snap.Database()
+	if err != nil {
+		return err
+	}
+	ks, err := snap.Keys()
+	if err != nil {
+		return err
+	}
+	return WriteFile(dst, db, ks)
+}

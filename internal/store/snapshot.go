@@ -16,9 +16,12 @@ import (
 // a constant number of allocations plus one O(symbols + predicates) map
 // fill deferred to the first probe that needs it.
 //
-// A Snapshot (and everything materialized from it) is read-only; Close
-// unmaps the backing file, after which no structure borrowed from the
-// snapshot may be touched.
+// The mapped bytes themselves are read-only, but the materialized
+// substrate is live: appended delta-journal ops are replayed through it at
+// materialization, and further deltas may be applied via Live — mutations
+// only append to or tombstone the borrowed structures, never write through
+// the mapping. Close unmaps the backing file, after which no structure
+// borrowed from the snapshot may be touched.
 type Snapshot struct {
 	data   []byte
 	closer func() error
@@ -35,6 +38,11 @@ type Snapshot struct {
 	blockBounds           []uint32
 	post                  *eval.PostingSections
 
+	// journal holds the ops of any delta-journal blocks appended after the
+	// sealed base; they are replayed through the live substrate when the
+	// snapshot materializes.
+	journal []JournalOp
+
 	matOnce sync.Once
 	matErr  error
 	in      *relational.Interner
@@ -43,9 +51,7 @@ type Snapshot struct {
 	db      *relational.Database
 	idx     *eval.Index
 	blocks  []relational.Block
-
-	biOnce sync.Once
-	bi     *relational.BlockIndex
+	live    *eval.LiveInstance
 }
 
 // NumFacts returns the number of facts in the snapshot without
@@ -177,8 +183,34 @@ func (s *Snapshot) build() error {
 		Postings: s.post,
 	})
 	wg.Wait()
+
+	// Replay any appended delta journal through the live substrate: the
+	// maintained structures absorb each op incrementally (appends reallocate
+	// past the borrowed mapped arenas; deletes tombstone), so a journaled
+	// snapshot materializes to exactly the mutated instance without
+	// rewriting or re-decoding the base.
+	s.live = eval.NewLiveInstance(s.db, s.ks, relational.NewBlockSeq(s.blocks), s.idx)
+	for i, op := range s.journal {
+		if _, err := s.live.Apply(op.Del, op.Fact); err != nil {
+			return fmt.Errorf("store: journal op %d (%s): %w", i, op.Fact, err)
+		}
+	}
 	return nil
 }
+
+// Live returns the snapshot's live mutable substrate (database, maintained
+// block sequence, evaluation index) with any journal already replayed.
+// Counters sharing it observe each other's deltas.
+func (s *Snapshot) Live() (*eval.LiveInstance, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.live, nil
+}
+
+// NumJournalOps returns the number of delta-journal ops appended after the
+// sealed base (0 for a clean snapshot), without materializing anything.
+func (s *Snapshot) NumJournalOps() int { return len(s.journal) }
 
 // kwEff returns the effective key width of a predicate: its declared key
 // width when one exists and fits the arity, else the full arity.
@@ -214,22 +246,23 @@ func (s *Snapshot) Keys() (*relational.KeySet, error) {
 	return s.ks, nil
 }
 
-// Blocks returns the canonical conflict-block sequence ≺(D,Σ), identical
-// to relational.Blocks over the parsed instance.
+// Blocks returns the canonical conflict-block sequence ≺(D,Σ) — identical
+// to relational.Blocks over the parsed (and journal-mutated) instance. The
+// slice is invalidated by further deltas applied through Live.
 func (s *Snapshot) Blocks() ([]relational.Block, error) {
 	if err := s.materialize(); err != nil {
 		return nil, err
 	}
-	return s.blocks, nil
+	return s.live.Blocks.Seq(), nil
 }
 
-// BlockIndex returns a key-value → block-position index over Blocks.
+// BlockIndex returns the maintained key-value → block-position index over
+// Blocks.
 func (s *Snapshot) BlockIndex() (*relational.BlockIndex, error) {
 	if err := s.materialize(); err != nil {
 		return nil, err
 	}
-	s.biOnce.Do(func() { s.bi = relational.NewBlockIndex(s.blocks) })
-	return s.bi, nil
+	return s.live.Blocks.Index(), nil
 }
 
 // Index returns the evaluation index over the snapshot's facts, sharing

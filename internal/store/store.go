@@ -63,6 +63,39 @@
 // complete against the argument slots) — before any column is handed out,
 // so a corrupted or adversarial snapshot produces an error, never a panic,
 // an out-of-range access, or a silently wrong count at query time.
+//
+// # Delta journal
+//
+// A snapshot is sealed — its header records the exact file size and the
+// trailer checksums everything before it — but it need not be rewritten to
+// absorb mutations: any number of self-contained journal blocks may be
+// appended after the sealed region ("the base"), each recording a batch of
+// fact inserts and deletes. AppendJournal writes one block per call after
+// dry-running the ops against the loaded file (so an unabsorbable op fails
+// the append instead of poisoning future loads), never touching the base
+// bytes; the loader replays the ops
+// through the incremental-maintenance machinery (relational.Database
+// tombstones, relational.BlockSeq, eval.Index deltas) after materializing
+// the base, so a journaled snapshot loads to exactly the instance the
+// mutations describe; Compact reseals a clean, journal-free snapshot.
+//
+// One journal block is
+//
+//	offset 0  magic "CQSJ"
+//	offset 4  uint32 op count (> 0)
+//	offset 8  uint64 payload byte length
+//	offset 16 payload: ops back to back, each
+//	          uint8  op (0 insert, 1 delete)
+//	          uint16 predicate byte length, then the predicate (UTF-8)
+//	          uint16 argument count, then per argument
+//	          uint32 byte length followed by the constant bytes
+//	then      uint64 CRC-32C of the block from its magic through the
+//	          payload, zero-extended (same convention as the base trailer)
+//
+// Blocks are parsed in order; every block is validated structurally and by
+// checksum before any op is replayed, and a truncated or corrupted journal
+// region fails the whole load — mutations are either all visible or the
+// file is rejected, never half-applied.
 package store
 
 import (
@@ -84,6 +117,16 @@ const (
 const (
 	flagBlocks   = 1 << 0
 	flagPostings = 1 << 1
+)
+
+// Delta-journal constants (see the package comment for the block layout).
+const (
+	journalMagic      = "CQSJ"
+	journalHeaderSize = 16 // magic, op count, payload length
+	journalTrailerLen = 8  // crc32c, zero-extended
+
+	opInsert = 0
+	opDelete = 1
 )
 
 // Section identifiers.

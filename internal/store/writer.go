@@ -132,9 +132,12 @@ func buildImage(db *relational.Database, ks *relational.KeySet, opts Options) (*
 		kwEff[id] = kw
 		img.schema = append(img.schema, uint32(arity), enc)
 	}
+	// Keys whose predicate owns no serialized schema entry (no live fact
+	// re-interned it — either absent from the data or deleted down to zero)
+	// travel in the extra-key section instead.
 	var extra []string
 	for _, p := range ks.Predicates() {
-		if _, used := schema[p]; !used {
+		if _, used := in.LookupPred(p); !used {
 			extra = append(extra, p)
 		}
 	}

@@ -8,8 +8,11 @@
 package workload
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -253,6 +256,136 @@ func KeywidthDatabase(rng *rand.Rand, k, blockSize, extraBlocks int) *relational
 		}
 	}
 	return db
+}
+
+// Update is one operation of an update stream: the insertion (Del=false)
+// or deletion (Del=true) of a fact.
+type Update struct {
+	Del  bool
+	Fact relational.Fact
+}
+
+// UpdateStream generates n interleaved insert/delete operations that are
+// valid against db evolving under the stream: every delete targets a fact
+// live at that point, every insert is of a fact absent at that point.
+// Roughly half the operations are deletes (when facts remain); of the
+// inserts, a conflictRate fraction land in the conflict block of an
+// existing fact (same key, fresh non-key values — raising that block's
+// repair count), the rest open fresh blocks. The stream exercises every
+// incremental-maintenance path: block growth, block birth, block shrink
+// and block death. Deterministic for a fixed rng.
+func UpdateStream(rng *rand.Rand, db *relational.Database, ks *relational.KeySet, n int, conflictRate float64) []Update {
+	live := append([]relational.Fact(nil), db.FactsUnsorted()...)
+	preds := make([]string, 0, len(db.Schema()))
+	arity := db.Schema()
+	for p := range arity {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	out := make([]Update, 0, n)
+	fresh := 0
+	for len(out) < n {
+		if len(live) > 0 && rng.IntN(2) == 0 {
+			j := rng.IntN(len(live))
+			out = append(out, Update{Del: true, Fact: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		var f relational.Fact
+		if base, ok := pickConflictBase(rng, live, ks, conflictRate); ok {
+			kw, _ := ks.Width(base.Pred)
+			args := append([]relational.Const(nil), base.Args...)
+			for a := kw; a < len(args); a++ {
+				args[a] = relational.Const("uv" + strconv.Itoa(fresh))
+			}
+			fresh++
+			f = relational.Fact{Pred: base.Pred, Args: args}
+		} else {
+			var pred string
+			var ar int
+			if len(preds) > 0 {
+				pred = preds[rng.IntN(len(preds))]
+				ar = arity[pred]
+			} else {
+				pred, ar = "U", 2
+			}
+			args := make([]relational.Const, ar)
+			for a := range args {
+				args[a] = relational.Const("uk" + strconv.Itoa(fresh))
+			}
+			fresh++
+			f = relational.Fact{Pred: pred, Args: args}
+		}
+		out = append(out, Update{Fact: f})
+		live = append(live, f)
+	}
+	return out
+}
+
+// pickConflictBase selects a live fact whose block an insert can join with
+// a genuinely conflicting tuple: the predicate needs a key narrower than
+// its arity (a fully-keyed fact admits no distinct block-mate).
+func pickConflictBase(rng *rand.Rand, live []relational.Fact, ks *relational.KeySet, rate float64) (relational.Fact, bool) {
+	if len(live) == 0 || rng.Float64() >= rate {
+		return relational.Fact{}, false
+	}
+	for try := 0; try < 8; try++ {
+		f := live[rng.IntN(len(live))]
+		if w, ok := ks.Width(f.Pred); ok && w < len(f.Args) {
+			return f, true
+		}
+	}
+	return relational.Fact{}, false
+}
+
+// FormatUpdates writes an update stream in the text op format consumed by
+// repairctl apply: one op per line, "+ Fact" for inserts and "- Fact" for
+// deletes, facts in the codec syntax.
+func FormatUpdates(w io.Writer, ops []Update) error {
+	for _, op := range ops {
+		sign := "+"
+		if op.Del {
+			sign = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", sign, op.Fact.Canonical()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseUpdates reads the text op format back (blank lines and # comments
+// are skipped).
+func ParseUpdates(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ops []Update
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var del bool
+		switch {
+		case strings.HasPrefix(line, "+"):
+		case strings.HasPrefix(line, "-"):
+			del = true
+		default:
+			return nil, fmt.Errorf("workload: line %d: want '+ Fact' or '- Fact', got %q", lineNo, line)
+		}
+		f, err := relational.ParseFact(strings.TrimSpace(line[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		ops = append(ops, Update{Del: del, Fact: f})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	return ops, nil
 }
 
 // RandomCNF builds a random 3CNF formula.

@@ -3,6 +3,7 @@ package workload
 import (
 	"math/big"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"repaircount/internal/relational"
@@ -132,5 +133,78 @@ func TestRandomGenerators(t *testing.T) {
 	c := RandomColoring(rng, 5, 2, 3, 3, 2)
 	if _, err := c.Count(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestUpdateStreamValidity drives a generated stream against its base
+// database and asserts self-consistency: every delete targets a live fact,
+// every insert a fresh one, and a positive conflict rate produces inserts
+// that land in existing conflict blocks.
+func TestUpdateStreamValidity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 5))
+	db, ks := Employee(rng, 20, 4, 0.5)
+	baseBlocks := len(relational.Blocks(db, ks))
+	ops := UpdateStream(rng, db, ks, 120, 0.7)
+	if len(ops) != 120 {
+		t.Fatalf("stream has %d ops, want 120", len(ops))
+	}
+	inserts, deletes, conflicts := 0, 0, 0
+	for i, op := range ops {
+		if op.Del {
+			deletes++
+			if !db.Delete(op.Fact) {
+				t.Fatalf("op %d deletes absent fact %v", i, op.Fact)
+			}
+			continue
+		}
+		inserts++
+		if db.Contains(op.Fact) {
+			t.Fatalf("op %d inserts duplicate fact %v", i, op.Fact)
+		}
+		if blocks := relational.Blocks(db, ks); func() bool {
+			for _, b := range blocks {
+				if b.Key.Equal(ks.KeyValue(op.Fact)) {
+					return true
+				}
+			}
+			return false
+		}() {
+			conflicts++
+		}
+		if added, err := db.Insert(op.Fact); err != nil || !added {
+			t.Fatalf("op %d insert %v: added=%v err=%v", i, op.Fact, added, err)
+		}
+	}
+	if inserts == 0 || deletes == 0 {
+		t.Fatalf("stream is not interleaved: %d inserts, %d deletes", inserts, deletes)
+	}
+	if conflicts == 0 {
+		t.Fatalf("conflict rate 0.7 produced no conflicting inserts (base blocks: %d)", baseBlocks)
+	}
+}
+
+// TestUpdateStreamRoundTrip pins the text op codec.
+func TestUpdateStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(32, 6))
+	db, ks := Employee(rng, 8, 3, 0.5)
+	ops := UpdateStream(rng, db, ks, 25, 0.5)
+	var buf strings.Builder
+	if err := FormatUpdates(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUpdates(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip: %d ops, want %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i].Del != ops[i].Del || !back[i].Fact.Equal(ops[i].Fact) {
+			t.Fatalf("op %d: %+v round-trips to %+v", i, ops[i], back[i])
+		}
+	}
+	if _, err := ParseUpdates(strings.NewReader("? R(a)\n")); err == nil {
+		t.Fatal("bad op sign accepted")
 	}
 }

@@ -108,6 +108,35 @@
 // the store here; repairctl build converts text instances, and
 // repairctl count/decide accept either format transparently.
 //
+// # Incremental maintenance: versioned mutable instances
+//
+// Instances are not build-once-then-read: Counter.Apply and
+// Snapshot.Apply thread single-fact inserts and deletes (Delta values)
+// through every layer incrementally, with a monotonically increasing
+// instance version. The relational layer keeps its columns append-only —
+// an insert appends a fresh fact ordinal, a delete tombstones one — so
+// structures keyed by ordinals stay valid across deltas and snapshot-
+// backed instances never write through their read-only mapping. The
+// maintained block sequence (relational.BlockSeq) updates only the touched
+// conflict block, splicing blocks in and out of their canonical ≺(D,Σ)
+// position, so the sequence always equals a from-scratch decomposition.
+// The evaluation index maintains its membership buckets, posting lists,
+// per-predicate candidate lists, refcounted active domain and key
+// partitions per delta instead of rebuilding. Counting remains valid
+// between deltas: every entry point refreshes against the substrate
+// version, recompiling the (cheap) matchers and domains while the
+// factorized engine's per-component counts survive in a structural memo —
+// a recount after a delta re-enumerates only the connected components
+// whose blocks changed, which is what makes recount-after-delta an order
+// of magnitude faster than rebuild-from-scratch, bit-identically.
+//
+// On disk, a sealed .cqs snapshot absorbs mutations without being
+// rewritten: AppendJournal appends self-contained, checksummed journal
+// blocks of ops after the sealed base (repairctl apply from the command
+// line), the loader replays them through the same delta machinery, and
+// CompactSnapshot (repairctl compact) reseals a clean snapshot with
+// identical counts.
+//
 // # Parallel sampling and reproducibility
 //
 // The Theorem 6.2 FPRAS and the Karp–Luby estimator offer sharded
@@ -280,6 +309,28 @@ func (c *Counter) Fragment() string { return query.Classify(c.inst.Q).String() }
 // compactor, certificate boxes, Karp–Luby sampler, safe-plan internals).
 func (c *Counter) Instance() *repairs.Instance { return c.inst }
 
+// Delta is one instance mutation: the insertion or deletion of a fact.
+type Delta = repairs.Delta
+
+// Insert builds an insertion delta for Apply.
+func Insert(f Fact) Delta { return repairs.Insert(f) }
+
+// Delete builds a deletion delta for Apply.
+func Delete(f Fact) Delta { return repairs.Delete(f) }
+
+// Apply mutates the counter's instance in place, maintaining the conflict
+// blocks, the evaluation index and the factorization state incrementally,
+// and returns how many deltas changed the instance (duplicate inserts and
+// deletes of absent facts are no-ops). Counting methods remain valid
+// between deltas; a recount re-enumerates only the components the deltas
+// touched. Counters sharing a snapshot substrate observe each other's
+// deltas on their next count.
+func (c *Counter) Apply(deltas ...Delta) (int, error) { return c.inst.Apply(deltas...) }
+
+// Version returns the monotonically increasing version of the counter's
+// instance (the number of successful mutations since construction).
+func (c *Counter) Version() uint64 { return c.inst.Version() }
+
 // Snapshot is a loaded .cqs instance snapshot: one database plus key set
 // with its derived counting structures reconstructed from the snapshot's
 // mapped arenas instead of recomputed. Many counters can be built against
@@ -365,21 +416,54 @@ func (s *Snapshot) RankAnswers(q Formula) ([]RankedAnswer, error) {
 }
 
 // Counter prepares a counter for a Boolean query over the snapshot,
-// reusing the snapshot's preloaded block sequence and index.
+// sharing the snapshot's live substrate (preloaded block sequence and
+// index): every counter over one snapshot sees deltas applied through the
+// snapshot or through any sibling counter.
 func (s *Snapshot) Counter(q Formula) (*Counter, error) {
-	blocks, err := s.s.Blocks()
+	live, err := s.s.Live()
 	if err != nil {
 		return nil, err
 	}
-	idx, err := s.s.Index()
-	if err != nil {
-		return nil, err
-	}
-	inst, err := repairs.NewPreparedInstance(s.db, s.keys, q, blocks, idx)
+	inst, err := repairs.NewLiveInstance(live, q)
 	if err != nil {
 		return nil, err
 	}
 	return &Counter{inst: inst}, nil
+}
+
+// Apply mutates the loaded snapshot's instance in memory (the file is not
+// touched; use AppendJournal to persist deltas). It returns how many
+// deltas changed the instance. Counters built from the snapshot observe
+// the mutations on their next count.
+func (s *Snapshot) Apply(deltas ...Delta) (int, error) {
+	live, err := s.s.Live()
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, d := range deltas {
+		changed, err := live.Apply(d.Del, d.Fact)
+		if changed {
+			applied++
+		}
+		if err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// Version returns the snapshot instance's monotonically increasing
+// version: the number of journal ops replayed at load plus the mutations
+// applied since.
+func (s *Snapshot) Version() uint64 {
+	live, err := s.s.Live()
+	if err != nil {
+		// Materialization already succeeded in newSnapshot; the memoized
+		// error cannot reappear.
+		panic(err)
+	}
+	return live.Version()
 }
 
 // Close releases the snapshot's file mapping. Structures obtained from the
@@ -398,3 +482,22 @@ func WriteSnapshot(w io.Writer, db *Database, keys *KeySet) error {
 func (c *Counter) Snapshot(w io.Writer) error {
 	return store.Write(w, c.inst.DB, c.inst.Keys, store.DefaultOptions)
 }
+
+// AppendJournal appends the deltas as one self-contained, checksummed
+// journal block to the .cqs snapshot file at path, without rewriting the
+// sealed base. The deltas are validated against the loaded snapshot
+// first, so a delta the instance cannot absorb (e.g. an arity clash)
+// fails the append and leaves the file loadable. OpenSnapshot replays the
+// journal on load, so the file then describes the mutated instance.
+func AppendJournal(path string, deltas ...Delta) error {
+	ops := make([]store.JournalOp, len(deltas))
+	for i, d := range deltas {
+		ops[i] = store.JournalOp{Del: d.Del, Fact: d.Fact}
+	}
+	return store.AppendJournal(path, ops)
+}
+
+// CompactSnapshot reseals the snapshot at src — base plus any appended
+// journal — as a clean, journal-free snapshot at dst with all precomputed
+// sections and identical counts.
+func CompactSnapshot(src, dst string) error { return store.CompactFile(src, dst) }
