@@ -175,6 +175,53 @@ func BenchmarkExactFactorized(b *testing.B) {
 	}
 }
 
+// BenchmarkExactGrayIEHeavy / BenchmarkExactPlannedIE count the same
+// ie-heavy instance — one 20-block component (2^20 states) with 4 boxes —
+// with the Gray walk forced and with the planner, which assigns
+// component-local inclusion–exclusion (≤ 15 subset nodes). The ratio is
+// the headline speedup of the exact-counting planner and is gated in CI
+// via cqabench -baseline (gate PlannedIE).
+func BenchmarkExactGrayIEHeavy(b *testing.B) {
+	db, ks, q := workload.IEHeavy(1, 20, 4)
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ResetComponentMemo() // measure the walk, not the memo hit
+		if _, err := in.CountGray(1<<21, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactPlannedIE(b *testing.B) {
+	db, ks, q := workload.IEHeavy(1, 20, 4)
+	in := repairs.MustInstance(db, ks, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ResetComponentMemo() // measure the IE pass, not the memo hit
+		if _, err := in.CountFactorized(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSelection measures end-to-end plan construction on a cold
+// instance: block decomposition, index build, box extraction and the
+// per-component cost model.
+func BenchmarkPlanSelection(b *testing.B) {
+	db, ks, q := workload.IEHeavy(4, 16, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := repairs.MustInstance(db, ks, q)
+		if _, err := in.ExplainPlan(repairs.EngineAuto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFactorizedDeltaStep isolates the inner enumeration loop: one
 // component of 16 size-2 blocks is a 65536-state Gray walk per op, so the
 // reported allocs/op bound the allocations of 65536 inner steps (the loop

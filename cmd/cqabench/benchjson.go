@@ -137,6 +137,60 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"ExactGrayIEHeavy", func(b *testing.B) {
+			// Forced Gray walk on the ie-heavy regime at the largest feasible
+			// size: one 20-block component (2^20 states) with 4 boxes. This
+			// is the slow side of the PlannedIE gate — the work the planner
+			// avoids by choosing component-local inclusion–exclusion.
+			db, ks, q := workload.IEHeavy(1, 20, 4)
+			in := repairs.MustInstance(db, ks, q)
+			if _, err := in.CountGray(1<<21, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.ResetComponentMemo() // measure the walk, not the memo hit
+				if _, err := in.CountGray(1<<21, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ExactPlannedIE", func(b *testing.B) {
+			// The planner on the same ie-heavy instance: it assigns
+			// component-local IE (≤ 2^4 − 1 subset nodes) instead of the
+			// 2^20-state walk. The PlannedIE gate requires this to beat
+			// ExactGrayIEHeavy by ≥ 10×.
+			db, ks, q := workload.IEHeavy(1, 20, 4)
+			in := repairs.MustInstance(db, ks, q)
+			if _, err := in.CountFactorized(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in.ResetComponentMemo() // measure the IE pass, not the memo hit
+				if _, err := in.CountFactorized(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PlanSelection", func(b *testing.B) {
+			// End-to-end plan construction on a cold instance: block
+			// decomposition, index build, box extraction and the per-component
+			// cost model — the fixed overhead the planner adds before any
+			// counting starts.
+			db, ks, q := workload.IEHeavy(4, 16, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := repairs.MustInstance(db, ks, q)
+				p, err := in.ExplainPlan(repairs.EngineAuto)
+				if err != nil || len(p.Components) != 4 {
+					b.Fatal("bad plan", err)
+				}
+			}
+		}},
 		{"ParseIndexMultiComp", func(b *testing.B) {
 			// Instance-ready time over the text path: parse the codec,
 			// decompose the conflict blocks, build the evaluation index —
@@ -295,10 +349,13 @@ type speedupGate struct {
 }
 
 // gates lists the guarded engines: the factorized exact counter, the
-// snapshot loader, and the incremental recount path (recount-after-delta
-// must beat rebuild-from-scratch).
+// exact-counting planner (planned component-local IE must beat the forced
+// Gray walk on the ie-heavy workload), the snapshot loader, and the
+// incremental recount path (recount-after-delta must beat
+// rebuild-from-scratch).
 var gates = []speedupGate{
 	{label: "ExactFactorized", slow: "ExactEnum", fast: "ExactFactorized", floor: 10},
+	{label: "PlannedIE", slow: "ExactGrayIEHeavy", fast: "ExactPlannedIE", floor: 10},
 	{label: "SnapshotLoad", slow: "ParseIndexMultiComp", fast: "SnapshotLoadMultiComp", floor: 10},
 	{label: "IncrementalRecount", slow: "RecountRebuildMultiComp", fast: "RecountAfterDelta", floor: 10},
 }

@@ -16,12 +16,18 @@
 //	repairctl build  -db employees.db -o employees.cqs
 //	repairctl total  -db employees.db
 //	repairctl count  -db employees.cqs -query "exists x,y,z . (Employee(1,x,y) & Employee(2,z,y))"
-//	repairctl count  -db employees.db -query "..." -exact factorized   # or: enum
+//	repairctl count  -db employees.db -query "..." -exact gray     # or: factorized, ie, enum
+//	repairctl count  -db employees.db -query "..." -explain
 //
 // build converts a text instance into a mmap-able columnar snapshot that
 // loads with zero parsing; count picks the best algorithm by default, and
-// -exact pins the factorized engine or the plain enumeration ground truth
-// so the two are comparable.
+// -exact pins one engine — factorized (planner-selected per-component
+// engines), gray (every component forced onto the Gray-delta walk), ie
+// (whole-instance inclusion–exclusion) or enum (plain enumeration) — so
+// the engines are comparable. -explain prints the exact-counting plan (one
+// line per connected component: block and box counts, the cost of the Gray
+// walk and of component-local inclusion–exclusion, the chosen engine)
+// before counting.
 //
 // Snapshots are mutable without rewriting: apply appends a checksummed
 // delta-journal block of inserts/deletes (one "+ Fact" or "- Fact" per
@@ -52,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"math/big"
 	"os"
 	"strings"
@@ -188,7 +195,8 @@ func run(args []string, stdout io.Writer) error {
 		eps      = fs.Float64("eps", 0.1, "FPRAS relative error ε")
 		delta    = fs.Float64("delta", 0.05, "FPRAS failure probability δ")
 		seed     = fs.Uint64("seed", 1, "FPRAS random seed")
-		exact    = fs.String("exact", "auto", "exact algorithm for count: auto, factorized or enum")
+		exact    = fs.String("exact", "auto", "exact engine for count: auto, factorized, gray, ie or enum")
+		explain  = fs.Bool("explain", false, "print the exact-counting plan (per-component engine and cost) before the count")
 		opsPath  = fs.String("ops", "-", "path to the update-op stream for apply ('-' reads stdin)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
@@ -270,19 +278,21 @@ func run(args []string, stdout io.Writer) error {
 
 	switch cmd {
 	case "count":
+		engine, err := repaircount.ParseEngine(*exact)
+		if err != nil {
+			return fmt.Errorf("-exact: %w", err)
+		}
+		if *explain {
+			if err := explainPlan(stdout, counter, engine); err != nil {
+				return err
+			}
+		}
 		var n *big.Int
-		var algo string
-		switch *exact {
-		case "", "auto":
+		algo := engine
+		if engine == repaircount.EngineAuto {
 			n, algo, err = counter.Count()
-		case "factorized":
-			n, err = counter.CountFactorized()
-			algo = "factorized"
-		case "enum":
-			n, err = counter.CountEnum()
-			algo = "enumeration"
-		default:
-			return fmt.Errorf("unknown -exact %q (want auto, factorized or enum)", *exact)
+		} else {
+			n, err = counter.CountWith(engine)
 		}
 		if err != nil {
 			return err
@@ -383,6 +393,43 @@ func compact(stdout io.Writer, dbPath, out string) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s\t%d bytes\n", out, st.Size())
+	return nil
+}
+
+// explainPlan prints the exact-counting plan for the selected engine: the
+// overall algorithm and, for the factorized engine, one line per connected
+// component with its block and box counts, the costs of both per-component
+// engines, and the planner's choice.
+func explainPlan(stdout io.Writer, counter *repaircount.Counter, engine repaircount.EngineKind) error {
+	p, err := counter.ExplainPlan(engine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "plan: %s\n", p)
+	if p.AlwaysTrue {
+		fmt.Fprintf(stdout, "  always true: some homomorphism uses only always-present facts (#CQA = |rep|)\n")
+	}
+	// Costs saturate at MaxInt64 when a strategy is infeasible (a choice
+	// space past 2^63, ≥ 62 boxes, or the masked path's missing boxes);
+	// print the sentinel as "inf" rather than a bogus number.
+	cost := func(v int64) string {
+		if v == math.MaxInt64 {
+			return "inf"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	for i, c := range p.Components {
+		memo := ""
+		if c.Memoized {
+			memo = ", memoized"
+		}
+		ie := cost(c.IECost)
+		if c.Boxes == 0 {
+			ie = "n/a"
+		}
+		fmt.Fprintf(stdout, "  component %d: blocks=%d boxes=%d gray-cost=%s ie-cost=%s -> %s (cost %s%s)\n",
+			i, c.Blocks, c.Boxes, cost(c.GrayCost), ie, c.Engine, cost(c.Cost), memo)
+	}
 	return nil
 }
 

@@ -75,9 +75,24 @@ func TestCountExactFlag(t *testing.T) {
 	if !strings.HasPrefix(enum, "2\t") || !strings.Contains(enum, "algorithm: enumeration") {
 		t.Fatalf("enum count output wrong: %q", enum)
 	}
+	gray := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "gray")
+	if !strings.HasPrefix(gray, "2\t") || !strings.Contains(gray, "algorithm: gray") {
+		t.Fatalf("gray count output wrong: %q", gray)
+	}
+	ie := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "ie")
+	if !strings.HasPrefix(ie, "2\t") || !strings.Contains(ie, "algorithm: inclusion-exclusion") {
+		t.Fatalf("ie count output wrong: %q", ie)
+	}
 	var sb strings.Builder
-	if err := run([]string{"count", "-db", db, "-query", exampleQuery, "-exact", "bogus"}, &sb); err == nil {
+	err := run([]string{"count", "-db", db, "-query", exampleQuery, "-exact", "bogus"}, &sb)
+	if err == nil {
 		t.Fatal("unknown -exact value accepted")
+	}
+	// The error must name every valid engine, not silently fall through.
+	for _, name := range []string{"auto", "factorized", "gray", "ie", "enum"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("-exact error %q does not list engine %q", err, name)
+		}
 	}
 	// enum falls back to FO enumeration on non-EP queries; factorized
 	// rejects them.
@@ -87,6 +102,30 @@ func TestCountExactFlag(t *testing.T) {
 	}
 	if err := run([]string{"count", "-db", db, "-query", "!Employee(1, 'Bob', 'HR')", "-exact", "factorized"}, &sb); err == nil {
 		t.Fatal("factorized accepted an FO query")
+	}
+}
+
+// -explain prints the exact-counting plan — per-component engine and cost —
+// before the count, for auto and forced engines alike.
+func TestCountExplain(t *testing.T) {
+	db := writeExampleDB(t)
+	out := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-explain")
+	if !strings.Contains(out, "plan: engine=factorized") {
+		t.Fatalf("explain output missing plan line: %q", out)
+	}
+	if !strings.Contains(out, "component 0:") || !strings.Contains(out, "gray-cost=") {
+		t.Fatalf("explain output missing component detail: %q", out)
+	}
+	if !strings.Contains(out, "\n2\t") {
+		t.Fatalf("explain output missing the count itself: %q", out)
+	}
+	gray := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "gray", "-explain")
+	if !strings.Contains(gray, "-> gray") {
+		t.Fatalf("forced-gray explain does not pin the engine: %q", gray)
+	}
+	ie := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "ie", "-explain")
+	if !strings.Contains(ie, "plan: engine=inclusion-exclusion") {
+		t.Fatalf("ie explain output wrong: %q", ie)
 	}
 }
 

@@ -8,8 +8,15 @@
 //	workloadgen -kind employee -n 200 -conflict 0.3 -seed 7 > employees.db
 //	workloadgen -kind pairs -n 64 > pairs.db
 //	workloadgen -kind random -n 50 -blocksize-max 4 -zipf > random.db
+//	workloadgen -kind ie-heavy -n 40 -components 2 -boxes 3 > ieheavy.db
 //	workloadgen -kind employee -n 100 -updates 50 -update-conflict 0.6 \
 //	    -updates-out stream.ops > employees.db
+//
+// ie-heavy emits the few-boxes/large-component regime of the exact-counting
+// planner (n blocks of size 2 per component, coupled by -boxes ground
+// disjuncts), where Gray enumeration blows the budget and component-local
+// inclusion–exclusion counts in microseconds; the matching query is printed
+// as a "# query:" comment for use with repairctl count -query.
 //
 // The update stream is valid against the emitted base instance evolving
 // under it (every delete targets a live fact, every insert a fresh one)
@@ -23,29 +30,33 @@ import (
 	"math/rand/v2"
 	"os"
 
+	"repaircount/internal/query"
 	"repaircount/internal/relational"
 	"repaircount/internal/workload"
 )
 
 func main() {
 	var (
-		kind      = flag.String("kind", "employee", "workload kind: employee | pairs | random")
-		n         = flag.Int("n", 100, "scale (employees / blocks)")
-		conflict  = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
-		depts     = flag.Int("depts", 4, "number of departments (employee kind)")
-		maxSize   = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
-		zipf      = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
-		values    = flag.Int("values", 5, "value alphabet size (random kind)")
-		seed      = flag.Uint64("seed", 7, "random seed")
-		updates   = flag.Int("updates", 0, "emit an update stream of this many interleaved inserts/deletes")
-		updConf   = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
-		updStream = flag.String("updates-out", "", "path for the update stream (required with -updates)")
+		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy")
+		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy)")
+		conflict   = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
+		depts      = flag.Int("depts", 4, "number of departments (employee kind)")
+		maxSize    = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
+		zipf       = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
+		values     = flag.Int("values", 5, "value alphabet size (random kind)")
+		components = flag.Int("components", 1, "number of independent components (ie-heavy kind)")
+		boxes      = flag.Int("boxes", 3, "homomorphic-image boxes per component (ie-heavy kind)")
+		seed       = flag.Uint64("seed", 7, "random seed")
+		updates    = flag.Int("updates", 0, "emit an update stream of this many interleaved inserts/deletes")
+		updConf    = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
+		updStream  = flag.String("updates-out", "", "path for the update stream (required with -updates)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewPCG(*seed, 99))
 	var (
 		db  *relational.Database
 		ks  *relational.KeySet
+		q   query.Formula
 		err error
 	)
 	switch *kind {
@@ -53,6 +64,12 @@ func main() {
 		db, ks = workload.Employee(rng, *n, *depts, *conflict)
 	case "pairs":
 		db, ks = workload.PairsDatabase(*n)
+	case "ie-heavy":
+		if *components < 1 || *n < 2 || *boxes < 1 || *boxes >= *n {
+			err = fmt.Errorf("ie-heavy needs -components >= 1, -n >= 2 and 1 <= -boxes < -n (have -components %d -n %d -boxes %d)", *components, *n, *boxes)
+			break
+		}
+		db, ks, q = workload.IEHeavy(*components, *n, *boxes)
 	case "random":
 		var dist workload.Dist = workload.Uniform{Lo: 1, Hi: *maxSize}
 		if *zipf {
@@ -70,6 +87,11 @@ func main() {
 	}
 	fmt.Printf("# workloadgen -kind %s -n %d -seed %d\n", *kind, *n, *seed)
 	fmt.Printf("# facts=%d repairs=%s\n", db.Len(), relational.NumRepairs(db, ks))
+	if q != nil {
+		// The ie-heavy regime is defined by its query (few boxes over one
+		// large component); emit it as a comment for repairctl -query.
+		fmt.Printf("# query: %s\n", q)
+	}
 	if err := relational.WriteInstance(os.Stdout, db, ks); err != nil {
 		fatal(err)
 	}

@@ -30,7 +30,7 @@ func main() {
 	var (
 		c     *repaircount.Counter
 		exact *big.Int
-		algo  string
+		algo  repaircount.EngineKind
 	)
 	found := false
 search:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 )
 
@@ -25,11 +26,19 @@ var ErrBudget = fmt.Errorf("core: exact count exceeds work budget")
 // subsets of boxes with non-empty intersection (intersections of boxes are
 // boxes; incompatible merges prune whole subtrees soundly because
 // intersections only shrink). budget ≤ 0 selects DefaultIENodeBudget.
+//
+// When the universe Π|S_i| fits a uint64 — so every box size does too —
+// the signed partial products accumulate in a machine-word SignedAccum and
+// each node's box size is one exact division (|U| over the pinned domain
+// sizes) instead of an O(n) big.Int product; the big path remains for
+// larger universes.
 func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error) {
 	if budget <= 0 {
 		budget = DefaultIENodeBudget
 	}
 	boxes = DedupeSelectors(boxes)
+	universe, fits := universeU64(doms)
+	var acc SignedAccum
 	total := new(big.Int)
 	nodes := 0
 	var rec func(start int, cur Selector, sign int) error
@@ -43,11 +52,25 @@ func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error)
 			if nodes > budget {
 				return ErrBudget
 			}
-			sz := merged.BoxSize(doms)
-			if sign > 0 {
-				total.Add(total, sz)
+			if fits {
+				// Pinned coordinates are distinct, so the product of their
+				// domain sizes divides |U| exactly and stays ≤ |U|.
+				den := uint64(1)
+				for _, p := range merged {
+					den *= uint64(doms[p.Index].Size())
+				}
+				if sign > 0 {
+					acc.Add(universe / den)
+				} else {
+					acc.Sub(universe / den)
+				}
 			} else {
-				total.Sub(total, sz)
+				sz := merged.BoxSize(doms)
+				if sign > 0 {
+					total.Add(total, sz)
+				} else {
+					total.Sub(total, sz)
+				}
 			}
 			if err := rec(i+1, merged, -sign); err != nil {
 				return err
@@ -58,7 +81,23 @@ func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error)
 	if err := rec(0, nil, 1); err != nil {
 		return nil, err
 	}
+	if fits {
+		return acc.Big(), nil
+	}
 	return total, nil
+}
+
+// universeU64 returns Π|S_i| when it fits a uint64.
+func universeU64(doms []Domain) (uint64, bool) {
+	u := uint64(1)
+	for _, d := range doms {
+		s := uint64(d.Size())
+		if s != 0 && u > math.MaxUint64/s {
+			return 0, false
+		}
+		u *= s
+	}
+	return u, true
 }
 
 // CountUnionEnum computes |⋃_b [S1..Sn]_b| by enumerating U and testing

@@ -82,3 +82,24 @@ func (a *Accum) Big() *big.Int {
 	}
 	return new(big.Int).Add(a.hi, &w)
 }
+
+// SignedAccum accumulates a signed sum of uint64 terms — the ± box sizes
+// of an inclusion–exclusion pass — as two machine-word accumulators, so
+// the hot loop never touches big.Int: terms of each sign add into their
+// own Accum and the balance is formed once at the final read. The zero
+// value is 0 and ready to use. Not safe for concurrent use.
+type SignedAccum struct {
+	pos, neg Accum
+}
+
+// Add adds +v.
+func (a *SignedAccum) Add(v uint64) { a.pos.Add(v) }
+
+// Sub adds −v.
+func (a *SignedAccum) Sub(v uint64) { a.neg.Add(v) }
+
+// Big returns the current balance as a fresh big.Int.
+func (a *SignedAccum) Big() *big.Int {
+	p := a.pos.Big()
+	return p.Sub(p, a.neg.Big())
+}

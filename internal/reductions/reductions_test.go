@@ -214,7 +214,7 @@ func TestSATToCQAFOSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if algo != "fo-enumeration" {
+	if algo != repairs.EngineEnumFO {
 		t.Fatalf("the SAT query must take the FO path, got %s", algo)
 	}
 	if n.Cmp(big.NewInt(6)) != 0 {

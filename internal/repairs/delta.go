@@ -5,10 +5,7 @@ import (
 	"math"
 	"math/big"
 	"runtime"
-	"sort"
-	"sync"
 
-	"repaircount/internal/core"
 	"repaircount/internal/eval"
 	"repaircount/internal/relational"
 )
@@ -31,9 +28,11 @@ import (
 //
 // Components are independent, so their odometer spaces are split into
 // prefix shards (the high digits are fixed per shard, the low digits
-// Gray-enumerated) served from an atomic work-stealing queue; workers count
-// into uint64 accumulators that spill to big.Int only on overflow and at
-// the final merge.
+// Gray-enumerated); the planner (plan.go) decides per component whether to
+// walk at all or to count by component-local inclusion–exclusion instead,
+// and the heterogeneous jobs drain from an atomic work-stealing queue
+// (parallel.go) into uint64 accumulators that spill to big.Int only on
+// overflow and at the final merge.
 
 // deltaScratch is the reusable per-worker state of both engines.
 type deltaScratch struct {
@@ -182,27 +181,45 @@ func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch)
 	return n
 }
 
-// CountFactorized counts repairs entailing the UCQ with the factorized
-// engine, sequentially: blocks are partitioned into components of the
-// query-interaction graph, each component's choices are enumerated once in
-// Gray-code order with delta-maintained match state, and the non-entailment
-// counts multiply. The budget bounds Σ_c Π|B_i| — the factorized work — so
-// instances whose full product space is astronomically large stay countable
-// as long as every component is small. budget ≤ 0 selects
-// DefaultEnumBudget. The result is identical to CountEnumUCQ.
+// CountFactorized counts repairs entailing the UCQ with the planned
+// factorized engine, sequentially: blocks are partitioned into components
+// of the query-interaction graph, the planner assigns each component the
+// cheaper of the Gray-delta walk and component-local inclusion–exclusion
+// (see plan.go), and the per-component non-entailment counts multiply. The
+// budget bounds the planned work Σ_c min(2^{n_c}, IE_c), so instances
+// whose full product space — or even a single component's space — is
+// astronomically large stay countable as long as every component is cheap
+// under one of its engines. budget ≤ 0 selects DefaultEnumBudget. The
+// result is identical to CountEnumUCQ.
 func (in *Instance) CountFactorized(budget int) (*big.Int, error) {
-	return in.countFactorized(budget, 1, 0)
+	return in.countFactorized(budget, 1, 0, EngineAuto)
 }
 
-// CountFactorizedParallel is CountFactorized with the component shards
-// served to worker goroutines from a work-stealing queue. workers ≤ 0
-// selects GOMAXPROCS. The count is exact and independent of the worker
-// count and scheduling.
+// CountFactorizedParallel is CountFactorized with the heterogeneous
+// component jobs served to worker goroutines from a work-stealing queue.
+// workers ≤ 0 selects GOMAXPROCS. The count is exact and independent of
+// the worker count and scheduling.
 func (in *Instance) CountFactorizedParallel(budget, workers int) (*big.Int, error) {
-	return in.countFactorized(budget, workers, 0)
+	return in.countFactorized(budget, workers, 0, EngineAuto)
 }
 
-func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, error) {
+// CountGray is CountFactorizedParallel with every component forced onto the
+// Gray-delta walk (the masked walk on the masked path) — the pre-planner
+// behavior, kept as a comparable engine for tests, benchmarks and
+// `repairctl count -exact=gray`.
+func (in *Instance) CountGray(budget, workers int) (*big.Int, error) {
+	return in.countFactorized(budget, workers, 0, EngineGray)
+}
+
+// CountCompIE is CountFactorizedParallel with every component forced onto
+// component-local inclusion–exclusion. It fails on the masked path (no box
+// tables to include–exclude) and when some component's IE cost exceeds the
+// budget.
+func (in *Instance) CountCompIE(budget, workers int) (*big.Int, error) {
+	return in.countFactorized(budget, workers, 0, EngineCompIE)
+}
+
+func (in *Instance) countFactorized(budget, workers, homBudget int, force EngineKind) (*big.Int, error) {
 	if !in.IsEP {
 		return nil, fmt.Errorf("repairs: CountFactorized needs an existential positive query, have %s", in.Q)
 	}
@@ -216,132 +233,46 @@ func (in *Instance) countFactorized(budget, workers, homBudget int) (*big.Int, e
 	if f.alwaysTrue {
 		return in.TotalRepairs(), nil
 	}
-	// Consult the structural component memo: a component whose fingerprint
-	// was enumerated before — typically every component untouched by the
-	// deltas since the last count — reuses its #¬Q_c and is excluded from
-	// the job space, so the enumeration cost of a recount is Σ 2^{n_c} over
-	// the *changed* components only. Only the box engine is memoized: a
-	// masked component's count depends on facts outside the component
+	engines, err := planEngines(f, force)
+	if err != nil {
+		return nil, err
+	}
+	// The shared costing pass (plan.go) consults the structural component
+	// memo: a component whose (engine, structure) fingerprint was counted
+	// before — typically every component untouched by the deltas since the
+	// last count — reuses its #¬Q_c and is excluded from the job space, so
+	// the cost of a recount is Σ min(2^{n_c}, IE_c) over the *changed*
+	// components only. Only the box-path engines are memoized: a masked
+	// component's count depends on facts outside the component
 	// (homomorphisms may use always-present facts), so its structure alone
 	// does not determine it.
-	known := make([]*big.Int, len(f.comps))
-	var fps []compFP
-	if !f.masked {
-		fps = make([]compFP, len(f.comps))
-		for i := range f.comps {
-			fps[i] = f.comps[i].fingerprint()
-			if v, ok := in.compMemo[fps[i]]; ok {
-				known[i] = v
-			}
-		}
-	}
-	work := int64(0)
-	for i := range f.comps {
-		if known[i] == nil {
-			work = addSat(work, f.comps[i].space)
-		}
-	}
-	if work > int64(budget) {
+	a := in.assessComponents(f, engines)
+	if a.budget > int64(budget) {
 		return nil, ErrBudget
 	}
 
-	// Shard every still-unknown component against the worker-scaled target
-	// and serve the flattened (component, shard) job space from one atomic
-	// queue.
-	plans := make([]struct {
-		prefixDigits int
-		shards       int64
-	}, len(f.comps))
-	jobOff := make([]int64, len(f.comps)+1)
-	target := int64(4 * workers)
-	for i := range f.comps {
-		if known[i] != nil {
-			jobOff[i+1] = jobOff[i]
-			continue
-		}
-		p, s := shardPlan(&f.comps[i], target)
-		plans[i] = struct {
-			prefixDigits int
-			shards       int64
-		}{p, s}
-		jobOff[i+1] = jobOff[i] + s
-	}
-	totalJobs := jobOff[len(f.comps)]
-
-	perComp := make([]core.Accum, len(f.comps))
-	runWorker := func(sc *deltaScratch, q *core.ShardQueue, acc []core.Accum) {
-		for {
-			job, ok := q.Next()
-			if !ok {
-				return
-			}
-			ci := sort.Search(len(f.comps), func(i int) bool { return jobOff[i+1] > int64(job) })
-			shard := int64(job) - jobOff[ci]
-			c := &f.comps[ci]
-			var n uint64
-			if f.masked {
-				n = runMaskShard(c, plans[ci].prefixDigits, shard, sc)
-			} else {
-				n = runBoxShard(c, plans[ci].prefixDigits, shard, sc)
-			}
-			acc[ci].Add(n)
-		}
-	}
-
-	queue := core.NewShardQueue(int(totalJobs))
-	if workers == 1 || totalJobs <= 1 {
-		// Inline on the caller's goroutine with instance-memoized scratch:
-		// steady-state sequential counting allocates only the result words.
-		// Scratch is sized for one factorization, so the memo serves only
-		// the default (memoized) one; non-default factorizations get a
-		// fresh scratch and leave the memo alone.
-		var sc *deltaScratch
-		if homBudget != 0 {
-			sc = in.newDeltaScratch(f)
-		} else {
-			if in.deltaMemo == nil {
-				in.deltaMemo = in.newDeltaScratch(f)
-			}
-			sc = in.deltaMemo
-		}
-		runWorker(sc, queue, perComp)
-	} else {
-		nw := workers
-		if int64(nw) > totalJobs {
-			nw = int(totalJobs)
-		}
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sc := in.newDeltaScratch(f)
-				local := make([]core.Accum, len(f.comps))
-				runWorker(sc, queue, local)
-				mu.Lock()
-				for i := range perComp {
-					perComp[i].Merge(&local[i])
-				}
-				mu.Unlock()
-			}()
-		}
-		wg.Wait()
+	perComp, bigRes, err := in.runPlanned(f, engines, a.known, workers, homBudget)
+	if err != nil {
+		return nil, err
 	}
 
 	nonent := new(big.Int).Set(f.untouched)
-	for i := range perComp {
-		v := known[i]
+	for i := range f.comps {
+		v := a.known[i]
 		if v == nil {
-			v = perComp[i].Big()
-			if fps != nil {
+			if bigRes[i] != nil {
+				v = bigRes[i]
+			} else {
+				v = perComp[i].Big()
+			}
+			if a.fps != nil {
 				if len(in.compMemo) > 1<<14 {
 					in.compMemo = nil // bound the memo; it refills structurally
 				}
 				if in.compMemo == nil {
 					in.compMemo = map[compFP]*big.Int{}
 				}
-				in.compMemo[fps[i]] = new(big.Int).Set(v)
+				in.compMemo[a.fps[i]] = new(big.Int).Set(v)
 			}
 		}
 		nonent.Mul(nonent, v)

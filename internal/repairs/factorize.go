@@ -365,22 +365,27 @@ func (f *factorization) buildComponent(in *Instance, blocks []int32) component {
 }
 
 // compFP is the structural fingerprint of a component: two independent
-// FNV-1a streams over the digit radices and the box requirement tables.
-// The box engine's per-component non-entailment count #¬Q_c is a pure
-// function of this structure — it counts choice vectors avoiding every box
-// and never looks at fact identities — so equal fingerprints mean equal
-// counts, across deltas and even across instances. 128 bits make an
+// FNV-1a streams over the engine kind, the digit radices and the box
+// requirement tables. Both box-path engines' per-component non-entailment
+// counts #¬Q_c are pure functions of that structure — the Gray walk counts
+// choice vectors avoiding every box, component-local IE sums signed box
+// intersections, and neither looks at fact identities — so equal
+// fingerprints mean equal counts, across deltas and even across instances.
+// The engine kind is mixed in so forced-engine runs (differential tests,
+// the planned-IE-vs-forced-Gray benchmark gate) never serve each other's
+// memo entries: a forced Gray walk must pay for its enumeration even when
+// the planner's IE pass already knows the answer. 128 bits make an
 // accidental collision on the handful of components per instance
 // astronomically unlikely.
 type compFP [2]uint64
 
-func (c *component) fingerprint() compFP {
+func (c *component) fingerprint(engine EngineKind) compFP {
 	const (
 		off1  = uint64(14695981039346656037)
 		off2  = uint64(0x9e3779b97f4a7c15)
 		prime = uint64(1099511628211)
 	)
-	h1, h2 := off1, off2
+	h1, h2 := off1^uint64(engine), off2^uint64(engine)
 	mix := func(v uint64) {
 		h1 = (h1 ^ v) * prime
 		h2 = (h2 ^ (v + 0x9e3779b97f4a7c15)) * prime

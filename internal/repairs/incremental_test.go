@@ -86,6 +86,12 @@ func TestIncrementalDifferential(t *testing.T) {
 		q := query.MustParse("exists x, y . (R(x, 'v0') & S(y, 'v1')) | exists z . R(z, 'v2')")
 		cases = append(cases, tc{"random", db, ks, q, 40})
 	}
+	{
+		// The planner's component-local IE regime: replanning after deltas
+		// must keep the IE engine bit-identical to a rebuild.
+		db, ks, q := workload.IEHeavy(2, 6, 2)
+		cases = append(cases, tc{"ieheavy", db, ks, q, 40})
+	}
 
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -122,13 +128,25 @@ func TestIncrementalDifferential(t *testing.T) {
 				for _, workers := range []int{1, 4} {
 					got, err := live.CountFactorizedParallel(0, workers)
 					if err != nil {
-						t.Fatalf("step %d: live factorized(%d workers): %v", step, workers, err)
+						t.Fatalf("step %d: live planned(%d workers): %v", step, workers, err)
 					}
 					if got.Cmp(want) != 0 {
-						t.Fatalf("step %d: live factorized(%d workers) = %s, rebuilt enum = %s", step, workers, got, want)
+						t.Fatalf("step %d: live planned(%d workers) = %s, rebuilt enum = %s", step, workers, got, want)
+					}
+					// The forced engines replan against the mutated structure
+					// too: Gray and component-local IE must stay bit-identical
+					// to the rebuilt ground truth after every delta.
+					if got, err := live.CountGray(0, workers); err != nil || got.Cmp(want) != 0 {
+						t.Fatalf("step %d: live gray(%d workers) = %v (%v), rebuilt enum = %s", step, workers, got, err, want)
+					}
+					if got, err := live.CountCompIE(0, workers); err != nil || got.Cmp(want) != 0 {
+						t.Fatalf("step %d: live component-ie(%d workers) = %v (%v), rebuilt enum = %s", step, workers, got, err, want)
 					}
 				}
-				if got, err := live.countFactorized(0, 2, -1); err != nil || got.Cmp(want) != 0 {
+				if got, err := live.CountIE(0); err != nil || got.Cmp(want) != 0 {
+					t.Fatalf("step %d: live whole-instance ie = %v (%v), rebuilt enum = %s", step, got, err, want)
+				}
+				if got, err := live.countFactorized(0, 2, -1, EngineAuto); err != nil || got.Cmp(want) != 0 {
 					t.Fatalf("step %d: live masked = %v (%v), rebuilt enum = %s", step, got, err, want)
 				}
 				if got, err := live.CountEnumUCQ(0); err != nil || got.Cmp(want) != 0 {
@@ -199,6 +217,61 @@ func TestApplyArityClash(t *testing.T) {
 	}
 	if !in.DB.Contains(good) {
 		t.Fatal("the delta before the clash was lost")
+	}
+}
+
+// TestRecountReplansOnlyTouchedComponents is the planner analog of the
+// test below: on an ie-heavy instance every component counts via
+// component-local IE, and after a delta touching one component a recount
+// must replan — and pay for — only that component. With IE costs of 24 per
+// component (2 boxes), a budget of 40 covers one replanned component but
+// not two, so the recount succeeds only because the untouched component
+// comes from the engine-keyed structural memo.
+func TestRecountReplansOnlyTouchedComponents(t *testing.T) {
+	db, ks, q := workload.IEHeavy(2, 12, 2) // 2^12-state components: Gray infeasible at budget 40
+	in := MustInstance(db, ks, q)
+	if _, err := in.CountFactorized(0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := in.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range p.Components {
+		if c.Engine != EngineCompIE || !c.Memoized {
+			t.Fatalf("component %d after count = %+v, want memoized component-ie", i, c)
+		}
+	}
+	f := relational.Fact{Pred: "P0", Args: []relational.Const{"k0", "uvZ"}}
+	if _, err := in.Apply(Insert(f)); err != nil {
+		t.Fatal(err)
+	}
+	p, err = in.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Budget == 0 || p.Budget > 40 {
+		t.Fatalf("post-delta plan budget = %d, want only the touched component's IE cost", p.Budget)
+	}
+	touched := 0
+	for _, c := range p.Components {
+		if !c.Memoized {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("%d components replanned, want 1", touched)
+	}
+	got, err := in.CountFactorized(40)
+	if err != nil {
+		t.Fatalf("recount within touched-component budget: %v", err)
+	}
+	want, err := rebuildInstance(t, db, ks, q).CountFactorized(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("memoized recount = %s, rebuilt count = %s", got, want)
 	}
 }
 

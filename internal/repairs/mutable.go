@@ -9,9 +9,10 @@ import (
 // shared live substrate (database, maintained block sequence, evaluation
 // index — see eval.LiveInstance), and refresh flushes the instance's
 // memoized and compiled structures when the substrate version moved. The
-// per-component enumeration memo (compMemo) deliberately survives: it is
-// keyed by component structure, not version, which is what makes a recount
-// after a delta re-enumerate only the touched components.
+// per-component count memo (compMemo) deliberately survives: it is keyed
+// by (engine, component structure), not version, which is what makes a
+// recount after a delta replan — and pay for — only the touched
+// components.
 
 // Delta is one instance mutation: the insertion or deletion of a fact.
 type Delta struct {

@@ -4,12 +4,130 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repaircount/internal/core"
 	"repaircount/internal/eval"
 	"repaircount/internal/relational"
 )
+
+// This file holds the work-stealing executors of the exact counters: the
+// planned factorized runner (heterogeneous per-component engines sharing
+// one shard queue) and the parallel enumeration ground truth.
+
+// runPlanned executes a planned factorization: every component not already
+// known from the memo contributes jobs to one flattened (component, shard)
+// job space — prefix shards for the Gray and masked walks, exactly one job
+// for a component-local inclusion–exclusion pass — and workers steal jobs
+// from an atomic queue, so a heterogeneous mix of engines load-balances the
+// same way a homogeneous one does. Walk results accumulate in per-component
+// machine-word accumulators; IE results land in bigRes (IE counts the
+// complement against the big-int choice space, so it is not bounded by a
+// machine word). Exactly one worker runs a given IE job, so the bigRes
+// slot needs no lock; the WaitGroup barrier publishes it.
+func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*big.Int, workers, homBudget int) ([]core.Accum, []*big.Int, error) {
+	plans := make([]struct {
+		prefixDigits int
+		shards       int64
+	}, len(f.comps))
+	jobOff := make([]int64, len(f.comps)+1)
+	target := int64(4 * workers)
+	for i := range f.comps {
+		if known[i] != nil {
+			jobOff[i+1] = jobOff[i]
+			continue
+		}
+		if engines[i] == EngineCompIE {
+			jobOff[i+1] = jobOff[i] + 1
+			continue
+		}
+		p, s := shardPlan(&f.comps[i], target)
+		plans[i] = struct {
+			prefixDigits int
+			shards       int64
+		}{p, s}
+		jobOff[i+1] = jobOff[i] + s
+	}
+	totalJobs := jobOff[len(f.comps)]
+
+	perComp := make([]core.Accum, len(f.comps))
+	bigRes := make([]*big.Int, len(f.comps))
+	var errMu sync.Mutex
+	var firstErr error
+	runWorker := func(sc *deltaScratch, q *core.ShardQueue, acc []core.Accum) {
+		for {
+			job, ok := q.Next()
+			if !ok {
+				return
+			}
+			ci := sort.Search(len(f.comps), func(i int) bool { return jobOff[i+1] > int64(job) })
+			shard := int64(job) - jobOff[ci]
+			c := &f.comps[ci]
+			switch engines[ci] {
+			case EngineCompIE:
+				v, err := compIENonEntailment(c)
+				if err != nil {
+					// Unreachable in practice: the node budget passed to the
+					// IE pass is the worst-case bound the planner priced.
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				bigRes[ci] = v
+			case EngineMasked:
+				acc[ci].Add(runMaskShard(c, plans[ci].prefixDigits, shard, sc))
+			default: // EngineGray
+				acc[ci].Add(runBoxShard(c, plans[ci].prefixDigits, shard, sc))
+			}
+		}
+	}
+
+	queue := core.NewShardQueue(int(totalJobs))
+	if workers == 1 || totalJobs <= 1 {
+		// Inline on the caller's goroutine with instance-memoized scratch:
+		// steady-state sequential counting allocates only the result words.
+		// Scratch is sized for one factorization, so the memo serves only
+		// the default (memoized) one; non-default factorizations get a
+		// fresh scratch and leave the memo alone.
+		var sc *deltaScratch
+		if homBudget != 0 {
+			sc = in.newDeltaScratch(f)
+		} else {
+			if in.deltaMemo == nil {
+				in.deltaMemo = in.newDeltaScratch(f)
+			}
+			sc = in.deltaMemo
+		}
+		runWorker(sc, queue, perComp)
+	} else {
+		nw := workers
+		if int64(nw) > totalJobs {
+			nw = int(totalJobs)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := in.newDeltaScratch(f)
+				local := make([]core.Accum, len(f.comps))
+				runWorker(sc, queue, local)
+				mu.Lock()
+				for i := range perComp {
+					perComp[i].Merge(&local[i])
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	return perComp, bigRes, firstErr
+}
 
 // CountEnumUCQParallel is CountEnumUCQ with the enumeration fanned out
 // across worker goroutines. The choice space of the relevant blocks is

@@ -1,0 +1,452 @@
+package repairs
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"repaircount/internal/core"
+)
+
+// This file implements the exact-counting planner: the strategy layer that
+// turns CountExact from a try-and-fallback chain into a costed decision.
+// After factorize.go decomposes the relevant conflict blocks into connected
+// components of the query-interaction graph, each component admits two
+// independent exact strategies for its non-entailment count #¬Q_c:
+//
+//   - walk the 2^{n_c} choice vectors in Gray order with delta-maintained
+//     match state (delta.go) — work proportional to the component's choice
+//     space, independent of the number of boxes;
+//   - inclusion–exclusion over the component's boxes, reusing
+//     core.CountUnionIE on per-component domains — work bounded by the
+//     number of box subsets with non-empty intersection, independent of the
+//     choice space: #¬Q_c = Π|B_i| − |⋃_b box_b|.
+//
+// The tractable strategy varies per component, not per instance
+// (Calautti–Livshits–Pieris): a 40-block component with 3 boxes is a 7-term
+// IE sum where the Gray walk would need 2^40 states, while a 2-block
+// component with 256 boxes is a 4-state walk where IE could touch 2^256
+// subsets. The planner therefore costs each component independently and
+// assigns the cheaper engine, making the effective enumeration budget
+// Σ_c min(2^{n_c}, IE_c) — and because IE never materializes the choice
+// space, components whose 2^{n_c} overflows int64 remain exactly countable.
+//
+// # Cost model
+//
+// Costs are expressed in Gray states, the unit the enumeration budget is
+// stated in:
+//
+//   - Gray (and masked) cost: the component's choice space Π|B_i|,
+//     saturated at MaxInt64 — one delta-maintained state per repair.
+//   - IE cost: (2^{#boxes} − 1) · ieNodeCost. The DFS of core.CountUnionIE
+//     visits only box subsets with a non-empty intersection, so 2^{#boxes}−1
+//     is a worst-case bound (pruning only helps); ieNodeCost accounts for an
+//     IE node being more expensive than a Gray state (a selector merge plus
+//     a product, versus a couple of counter bumps).
+//
+// The masked fallback (homomorphism space too large to materialize as
+// boxes) has no box tables, so IE is unavailable there and the planner
+// keeps the masked walk. Memoized components (their #¬Q_c already in the
+// structural memo for the chosen engine) cost nothing.
+
+// EngineKind identifies one exact-counting engine. The first group are the
+// whole-instance algorithms CountExact arbitrates between; EngineGray,
+// EngineMasked and EngineCompIE are the per-component engines a factorized
+// Plan assigns.
+type EngineKind uint8
+
+const (
+	// EngineAuto requests planner arbitration (not a reportable engine).
+	EngineAuto EngineKind = iota
+	// EngineSafePlan is the polynomial safe-plan counter for tractable
+	// self-join-free CQs (Maslowski–Wijsen dichotomy).
+	EngineSafePlan
+	// EngineLambda1 is the Λ[1] closed form for keywidth ≤ 1 (Thm 4.4(1)).
+	EngineLambda1
+	// EngineFactorized is the planned factorized engine: per-component
+	// engine selection over the query-interaction decomposition.
+	EngineFactorized
+	// EngineGray is the per-component Gray-code walk with delta-maintained
+	// box miss counters.
+	EngineGray
+	// EngineMasked is the per-component Gray-code walk probing the compiled
+	// matcher through an allowed-ordinal bitmask (the fallback when boxes
+	// cannot be materialized).
+	EngineMasked
+	// EngineCompIE is component-local inclusion–exclusion over the
+	// component's boxes.
+	EngineCompIE
+	// EngineIE is whole-instance inclusion–exclusion over the global
+	// certificate boxes.
+	EngineIE
+	// EngineEnum is plain enumeration of the relevant choice space.
+	EngineEnum
+	// EngineEnumFO is exhaustive repair enumeration with full FO
+	// evaluation (the only exact engine for non-∃FO⁺ queries).
+	EngineEnumFO
+)
+
+// String returns the display name of the engine.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAuto:
+		return "auto"
+	case EngineSafePlan:
+		return "safeplan"
+	case EngineLambda1:
+		return "lambda1-closed-form"
+	case EngineFactorized:
+		return "factorized"
+	case EngineGray:
+		return "gray"
+	case EngineMasked:
+		return "masked"
+	case EngineCompIE:
+		return "component-ie"
+	case EngineIE:
+		return "inclusion-exclusion"
+	case EngineEnum:
+		return "enumeration"
+	case EngineEnumFO:
+		return "fo-enumeration"
+	}
+	return fmt.Sprintf("EngineKind(%d)", uint8(k))
+}
+
+// EngineNames lists the engine names ParseEngine accepts, in display order.
+func EngineNames() []string {
+	return []string{"auto", "factorized", "gray", "ie", "enum"}
+}
+
+// ParseEngine maps a user-facing engine name (the -exact values of
+// repairctl count) to its kind. The error lists every valid name.
+func ParseEngine(name string) (EngineKind, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "factorized":
+		return EngineFactorized, nil
+	case "gray":
+		return EngineGray, nil
+	case "ie":
+		return EngineIE, nil
+	case "enum":
+		return EngineEnum, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown exact engine %q (want one of %s)", name, strings.Join(EngineNames(), ", "))
+}
+
+// ieNodeCost is the planner's cost of one inclusion–exclusion subset node,
+// in Gray states: an IE node performs a selector merge and a box-size
+// product where a Gray state performs a handful of counter bumps.
+const ieNodeCost = 8
+
+// ComponentPlan is the planner's verdict for one connected component.
+type ComponentPlan struct {
+	// Blocks is the number of conflict blocks (odometer digits).
+	Blocks int
+	// Boxes is the number of homomorphic-image boxes inside the component
+	// (0 on the masked path, where boxes are not materialized).
+	Boxes int
+	// GrayCost is the Gray/masked walk cost: the choice space Π|B_i|,
+	// saturated at MaxInt64.
+	GrayCost int64
+	// IECost is the component-local IE cost (2^Boxes − 1) · ieNodeCost,
+	// saturated; MaxInt64 when IE is unavailable (masked path).
+	IECost int64
+	// Engine is the chosen engine: EngineGray, EngineMasked or EngineCompIE.
+	Engine EngineKind
+	// Cost is the work the chosen engine charges against the enumeration
+	// budget (0 when Memoized).
+	Cost int64
+	// Memoized reports that #¬Q_c for this structure and engine is already
+	// in the instance's structural memo, so the component costs nothing.
+	Memoized bool
+}
+
+// Plan reports how CountExact will (or did) answer: the overall algorithm
+// and, for the factorized engine, the per-component engine assignment with
+// its costs. Budget is the total work charged against the enumeration
+// budget — Σ_c min(2^{n_c}, IE_c) over the non-memoized components. When
+// the planned budget is exceeded, Engine names the fallback CountExact
+// attempts next (EngineIE); whether that fallback itself fits its node
+// budget is only known by running it, so the count may ultimately report
+// EngineEnum.
+type Plan struct {
+	Engine     EngineKind
+	AlwaysTrue bool // some homomorphism uses only always-present facts: #Q = |rep|
+	Masked     bool // hom budget exceeded: masked walk, IE unavailable
+	Budget     int64
+	Components []ComponentPlan
+}
+
+// String renders a one-line summary (per-component detail is in Components).
+func (p *Plan) String() string {
+	if len(p.Components) == 0 {
+		return fmt.Sprintf("engine=%s", p.Engine)
+	}
+	counts := map[EngineKind]int{}
+	for _, c := range p.Components {
+		counts[c.Engine]++
+	}
+	var parts []string
+	for _, k := range []EngineKind{EngineGray, EngineMasked, EngineCompIE} {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	return fmt.Sprintf("engine=%s components=%d (%s) budget=%d",
+		p.Engine, len(p.Components), strings.Join(parts, " "), p.Budget)
+}
+
+// grayCost returns the component's walk cost: its choice space, saturated.
+func grayCost(c *component) int64 { return c.space }
+
+// ieCost returns the component-local IE cost, saturated; MaxInt64 when the
+// component has no box tables (masked path).
+func ieCost(c *component) int64 {
+	if c.numBoxes == 0 {
+		return math.MaxInt64
+	}
+	if c.numBoxes >= 62 {
+		return math.MaxInt64
+	}
+	return mulSat((int64(1)<<c.numBoxes)-1, ieNodeCost)
+}
+
+// ieNodeBudget returns the worst-case node count CountUnionIE may visit for
+// the component — the bound the planner priced, passed as the IE budget so
+// an execution can never exceed its plan.
+func ieNodeBudget(c *component) int {
+	if c.numBoxes >= 62 {
+		return math.MaxInt32 // execution is unreachable: ieCost saturates first
+	}
+	return int((int64(1) << c.numBoxes) - 1)
+}
+
+// planEngines assigns an engine to every component: the cheaper one under
+// the cost model for EngineAuto, or the forced engine. Forcing EngineCompIE
+// on the masked path is an error (there are no boxes to include–exclude).
+func planEngines(f *factorization, force EngineKind) ([]EngineKind, error) {
+	engines := make([]EngineKind, len(f.comps))
+	for i := range f.comps {
+		c := &f.comps[i]
+		switch {
+		case f.masked:
+			if force == EngineCompIE {
+				return nil, fmt.Errorf("repairs: component-local inclusion–exclusion unavailable: homomorphism space exceeded the box budget (masked fallback)")
+			}
+			engines[i] = EngineMasked
+		case force == EngineGray:
+			engines[i] = EngineGray
+		case force == EngineCompIE:
+			engines[i] = EngineCompIE
+		default: // EngineAuto / EngineFactorized: pick the cheaper engine
+			if ieCost(c) < grayCost(c) {
+				engines[i] = EngineCompIE
+			} else {
+				engines[i] = EngineGray
+			}
+		}
+	}
+	return engines, nil
+}
+
+// engineCost returns the budget charge of running the component under the
+// given engine.
+func engineCost(c *component, engine EngineKind) int64 {
+	if engine == EngineCompIE {
+		return ieCost(c)
+	}
+	return grayCost(c)
+}
+
+// compDomains renders the component's blocks as core solution domains:
+// digit d becomes a domain of its |B_d| choice ordinals.
+func compDomains(c *component) []core.Domain {
+	doms := make([]core.Domain, len(c.sizes))
+	for d := range doms {
+		elems := make([]core.Element, c.sizes[d])
+		for j := range elems {
+			elems[j] = core.Element(strconv.Itoa(j))
+		}
+		doms[d] = core.Domain{Name: "b" + strconv.Itoa(d), Elems: elems}
+	}
+	return doms
+}
+
+// compIENonEntailment computes #¬Q_c by component-local inclusion–exclusion:
+// the component's boxes become selectors over its choice-ordinal domains,
+// core.CountUnionIE counts the entailing choice vectors |⋃_b box_b|, and
+// the complement against the (big-int) choice space is returned. Unlike the
+// Gray walk this never enumerates the space, so it works for components
+// whose Π|B_i| exceeds any machine word.
+func compIENonEntailment(c *component) (*big.Int, error) {
+	doms := compDomains(c)
+	sels := make([]core.Selector, c.numBoxes)
+	for b := 0; b < c.numBoxes; b++ {
+		pins := make([]core.Pin, 0, c.boxOff[b+1]-c.boxOff[b])
+		for r := c.boxOff[b]; r < c.boxOff[b+1]; r++ {
+			d := c.reqDigit[r]
+			pins = append(pins, core.Pin{Index: int(d), Elem: doms[d].Elems[c.reqChoice[r]]})
+		}
+		sel, err := core.NewSelector(doms, pins...)
+		if err != nil {
+			// The box tables pin each digit at most once to a valid choice;
+			// a failure here is a factorization bug, not an input condition.
+			panic("repairs: component box is not a valid selector: " + err.Error())
+		}
+		sels[b] = sel
+	}
+	union, err := core.CountUnionIE(doms, sels, ieNodeBudget(c))
+	if err != nil {
+		return nil, err
+	}
+	space := big.NewInt(1)
+	for _, s := range c.sizes {
+		space.Mul(space, big.NewInt(int64(s)))
+	}
+	return space.Sub(space, union), nil
+}
+
+// compAssessment is the shared costing pass behind both ExplainPlan and
+// countFactorized: the per-component report, the total budget charge, and
+// — on the box path — every component's engine-keyed fingerprint with any
+// count already in the structural memo. Keeping one implementation
+// guarantees the budget a plan reports is the budget the execution
+// enforces.
+type compAssessment struct {
+	plans  []ComponentPlan
+	budget int64
+	fps    []compFP   // nil on the masked path (no memoization)
+	known  []*big.Int // memoized #¬Q_c per component, nil when unknown
+}
+
+// assessComponents runs the costing pass for a factorization under the
+// given engine assignment, consulting the structural memo.
+func (in *Instance) assessComponents(f *factorization, engines []EngineKind) compAssessment {
+	a := compAssessment{
+		plans: make([]ComponentPlan, len(f.comps)),
+		known: make([]*big.Int, len(f.comps)),
+	}
+	if !f.masked {
+		a.fps = make([]compFP, len(f.comps))
+	}
+	for i := range f.comps {
+		c := &f.comps[i]
+		cp := ComponentPlan{
+			Blocks:   len(c.sizes),
+			Boxes:    c.numBoxes,
+			GrayCost: grayCost(c),
+			IECost:   ieCost(c),
+			Engine:   engines[i],
+		}
+		if a.fps != nil {
+			a.fps[i] = c.fingerprint(engines[i])
+			if v, ok := in.compMemo[a.fps[i]]; ok {
+				a.known[i] = v
+				cp.Memoized = true
+			}
+		}
+		if !cp.Memoized {
+			cp.Cost = engineCost(c, engines[i])
+			a.budget = addSat(a.budget, cp.Cost)
+		}
+		a.plans[i] = cp
+	}
+	return a
+}
+
+// prePlan checks the closed-form engines that preempt factorization: the
+// safe plan and, at keywidth ≤ 1, the Λ[1] closed form. It returns a nil
+// plan when neither applies; otherwise the count comes with the plan (both
+// engines produce it while deciding applicability). Existential positive
+// instances only.
+func (in *Instance) prePlan() (*Plan, *big.Int) {
+	if n, ok := in.CountSafePlan(); ok {
+		return &Plan{Engine: EngineSafePlan}, n
+	}
+	if in.Keywidth() <= 1 {
+		if n, err := in.CountLambda1(); err == nil {
+			return &Plan{Engine: EngineLambda1}, n
+		}
+	}
+	return nil, nil
+}
+
+// planExact derives the full plan report CountExact follows, returning the
+// count alongside when planning already produced it (safe plan, Λ[1]
+// closed form, always-true factorization). CountExact itself only consults
+// prePlan and lets countFactorized derive the component assignment — the
+// fingerprint and costing pass happens once per count, not twice; this
+// full report backs ExplainPlan. Existential positive instances only.
+func (in *Instance) planExact() (*Plan, *big.Int) {
+	if p, n := in.prePlan(); p != nil {
+		return p, n
+	}
+	f := in.factorization(0)
+	if f.alwaysTrue {
+		return &Plan{Engine: EngineFactorized, AlwaysTrue: true}, in.TotalRepairs()
+	}
+	engines, err := planEngines(f, EngineAuto)
+	if err != nil {
+		// Unreachable: EngineAuto never fails planEngines.
+		panic(err)
+	}
+	a := in.assessComponents(f, engines)
+	p := &Plan{Engine: EngineFactorized, Masked: f.masked, Budget: a.budget, Components: a.plans}
+	if a.budget > int64(DefaultEnumBudget) {
+		// The planned factorized run would exceed the enumeration budget;
+		// CountExact attempts whole-instance inclusion–exclusion next (and
+		// plain enumeration after that, should IE exceed its own node
+		// budget — feasibility of the fallbacks is only known by running
+		// them). The component report is kept so the caller can see why.
+		p.Engine = EngineIE
+	}
+	return p, nil
+}
+
+// ExplainPlan reports how the exact engines would answer this instance
+// without running the enumeration: the overall algorithm and — for the
+// factorized engine — every component's size, box count, both engine
+// costs, the chosen engine and whether its count is already memoized. (The
+// polynomial closed-form engines, safe plan and Λ[1], do execute while
+// deciding applicability; the exponential work is what planning avoids.)
+// force selects whose plan to explain: EngineAuto for the planner's own
+// arbitration (what CountExact does), EngineFactorized/EngineGray/
+// EngineCompIE for a forced per-component assignment, EngineIE/EngineEnum
+// for the trivial whole-instance plans.
+func (in *Instance) ExplainPlan(force EngineKind) (*Plan, error) {
+	in.refresh()
+	if !in.IsEP {
+		return &Plan{Engine: EngineEnumFO}, nil
+	}
+	switch force {
+	case EngineAuto:
+		p, _ := in.planExact()
+		return p, nil
+	case EngineIE:
+		return &Plan{Engine: EngineIE}, nil
+	case EngineEnum:
+		return &Plan{Engine: EngineEnum}, nil
+	case EngineFactorized, EngineGray, EngineCompIE:
+	default:
+		return nil, fmt.Errorf("repairs: no plan for engine %s (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE or EngineEnum)", force)
+	}
+	f := in.factorization(0)
+	if f.alwaysTrue {
+		return &Plan{Engine: EngineFactorized, AlwaysTrue: true}, nil
+	}
+	fc := force
+	if fc == EngineFactorized {
+		fc = EngineAuto
+	}
+	engines, err := planEngines(f, fc)
+	if err != nil {
+		return nil, err
+	}
+	a := in.assessComponents(f, engines)
+	return &Plan{Engine: EngineFactorized, Masked: f.masked, Budget: a.budget, Components: a.plans}, nil
+}

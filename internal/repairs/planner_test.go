@@ -1,0 +1,315 @@
+package repairs
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+// Differential and unit suite for the exact-counting planner: per-component
+// engine selection, component-local inclusion–exclusion, forced engines,
+// the engine-keyed structural memo, and the typed EngineKind surface.
+
+func TestEngineKindNamesRoundTrip(t *testing.T) {
+	for name, want := range map[string]EngineKind{
+		"auto": EngineAuto, "factorized": EngineFactorized, "gray": EngineGray,
+		"ie": EngineIE, "enum": EngineEnum,
+	} {
+		k, err := ParseEngine(name)
+		if err != nil || k != want {
+			t.Fatalf("ParseEngine(%q) = %v (%v), want %v", name, k, err, want)
+		}
+	}
+	if k, err := ParseEngine(""); err != nil || k != EngineAuto {
+		t.Fatalf("empty engine name: %v %v", k, err)
+	}
+	_, err := ParseEngine("quantum")
+	if err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+	for _, name := range EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid engine %q", err, name)
+		}
+	}
+	// Per-component kinds keep display names even though they are not
+	// ParseEngine inputs.
+	for k, want := range map[EngineKind]string{
+		EngineMasked:  "masked",
+		EngineCompIE:  "component-ie",
+		EngineLambda1: "lambda1-closed-form",
+		EngineEnumFO:  "fo-enumeration",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// plannerInstances is the differential corpus: the factorized corpus plus
+// ie-heavy instances (the regime where component-local IE is chosen).
+func plannerInstances(t *testing.T, seed uint64) []*Instance {
+	t.Helper()
+	out := factorizedInstances(t, seed)
+	db, ks, q := workload.IEHeavy(2, 5+int(seed%3), 2)
+	out = append(out, MustInstance(db, ks, q))
+	db2, ks2, q2 := workload.IEHeavy(1, 7, 3)
+	out = append(out, MustInstance(db2, ks2, q2))
+	return out
+}
+
+// TestPlannerDifferential pins every exact engine bit-identical to the
+// enumeration ground truth across the corpus: the planned factorized
+// engine, the forced Gray walk, forced component-local IE, whole-instance
+// inclusion–exclusion and CountExact, at worker counts 1 and 4.
+func TestPlannerDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for ii, in := range plannerInstances(t, seed) {
+			want, err := in.CountEnumUCQ(0)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: ground truth: %v", seed, ii, err)
+			}
+			check := func(name string, got *big.Int, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("seed %d instance %d: %s: %v", seed, ii, name, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("seed %d instance %d: %s = %s, enumeration = %s", seed, ii, name, got, want)
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := in.CountFactorizedParallel(0, workers)
+				check("planned", got, err)
+				got, err = in.CountGray(0, workers)
+				check("forced gray", got, err)
+				got, err = in.CountCompIE(0, workers)
+				check("forced component-ie", got, err)
+			}
+			got, err := in.CountIE(0)
+			check("whole-instance ie", got, err)
+			exact, algo, err := in.CountExact()
+			check("exact("+algo.String()+")", exact, err)
+		}
+	}
+}
+
+// TestIEHeavyClosedForm pins the ie-heavy generator against its closed
+// form through the enumeration ground truth at a small size.
+func TestIEHeavyClosedForm(t *testing.T) {
+	for _, tc := range []struct{ comps, blocks, boxes int }{
+		{1, 4, 1}, {1, 6, 2}, {2, 5, 3}, {3, 4, 2},
+	} {
+		db, ks, q := workload.IEHeavy(tc.comps, tc.blocks, tc.boxes)
+		in := MustInstance(db, ks, q)
+		enum, err := in.CountEnumUCQ(0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if want := workload.IEHeavyCount(tc.comps, tc.blocks, tc.boxes); enum.Cmp(want) != 0 {
+			t.Fatalf("%+v: enumeration = %s, closed form = %s", tc, enum, want)
+		}
+	}
+}
+
+// TestPlannerBeyondGrayBudget is the acceptance scenario: a 40-block
+// component with 3 boxes exceeds any feasible Gray budget (2^40 states)
+// but the planner counts it exactly — bit-identical to the closed form —
+// as a ≤ 7-term component-local IE sum.
+func TestPlannerBeyondGrayBudget(t *testing.T) {
+	db, ks, q := workload.IEHeavy(2, 40, 3)
+	in := MustInstance(db, ks, q)
+	if _, err := in.CountGray(0, 1); err != ErrBudget {
+		t.Fatalf("forced gray on a 2^40-state component: err = %v, want ErrBudget", err)
+	}
+	p, err := in.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine != EngineFactorized || len(p.Components) != 2 {
+		t.Fatalf("plan = %s, want factorized over 2 components", p)
+	}
+	for i, c := range p.Components {
+		if c.Engine != EngineCompIE {
+			t.Fatalf("component %d engine = %s, want component-ie", i, c.Engine)
+		}
+		if c.Boxes != 3 || c.Blocks != 40 {
+			t.Fatalf("component %d = %+v", i, c)
+		}
+		if c.Cost >= c.GrayCost {
+			t.Fatalf("component %d: chosen cost %d not below gray cost %d", i, c.Cost, c.GrayCost)
+		}
+	}
+	got, err := in.CountFactorized(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.IEHeavyCount(2, 40, 3); got.Cmp(want) != 0 {
+		t.Fatalf("planned = %s, closed form = %s", got, want)
+	}
+	if n, algo, err := in.CountExact(); err != nil || algo != EngineFactorized || n.Cmp(got) != 0 {
+		t.Fatalf("CountExact = %v via %v (%v), want %s via factorized", n, algo, err, got)
+	}
+}
+
+// TestPlannerHugeComponent: a component whose choice space overflows int64
+// entirely (2^80 states) stays exactly countable — component-local IE
+// never materializes the space.
+func TestPlannerHugeComponent(t *testing.T) {
+	db, ks, q := workload.IEHeavy(1, 80, 2)
+	in := MustInstance(db, ks, q)
+	got, err := in.CountFactorized(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.IEHeavyCount(1, 80, 2); got.Cmp(want) != 0 {
+		t.Fatalf("planned = %s, closed form = %s", got, want)
+	}
+}
+
+// TestPlanSelection pins the cost model's choices: Gray for small spaces
+// with many boxes, component-local IE for large spaces with few boxes, and
+// a budget of Σ_c min(2^{n_c}, IE_c).
+func TestPlanSelection(t *testing.T) {
+	db, ks, q := workload.MultiComponent(3, 2, 2) // 4-state components, 4 boxes each
+	in := MustInstance(db, ks, q)
+	p, err := in.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine != EngineFactorized {
+		t.Fatalf("plan engine = %s", p.Engine)
+	}
+	var budget int64
+	for i, c := range p.Components {
+		if c.Engine != EngineGray {
+			t.Fatalf("component %d: engine = %s, want gray (space %d vs ie %d)", i, c.Engine, c.GrayCost, c.IECost)
+		}
+		if c.Cost != min(c.GrayCost, c.IECost) {
+			t.Fatalf("component %d: cost %d, want min(%d, %d)", i, c.Cost, c.GrayCost, c.IECost)
+		}
+		budget += c.Cost
+	}
+	if p.Budget != budget {
+		t.Fatalf("plan budget %d, components sum to %d", p.Budget, budget)
+	}
+
+	// After a count, the memo absorbs every component: the next plan is free.
+	if _, err := in.CountFactorized(0); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := in.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Budget != 0 {
+		t.Fatalf("post-count plan budget = %d, want 0 (memoized)", p2.Budget)
+	}
+	for i, c := range p2.Components {
+		if !c.Memoized || c.Cost != 0 {
+			t.Fatalf("post-count component %d = %+v, want memoized at cost 0", i, c)
+		}
+	}
+
+	// The forced plans agree on structure but pin the engine.
+	pg, err := in.ExplainPlan(EngineGray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pie, err := in.ExplainPlan(EngineCompIE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pg.Components {
+		if pg.Components[i].Engine != EngineGray || pie.Components[i].Engine != EngineCompIE {
+			t.Fatalf("forced plans: component %d = %s / %s", i, pg.Components[i].Engine, pie.Components[i].Engine)
+		}
+	}
+}
+
+// TestEngineKeyedMemo pins that the structural memo keys on the chosen
+// engine: a planned (IE) count must not hand its result to a forced Gray
+// run, which would otherwise skip the enumeration it exists to measure.
+func TestEngineKeyedMemo(t *testing.T) {
+	db, ks, q := workload.IEHeavy(1, 10, 2) // space 1024, IE cost 24: planner picks IE
+	in := MustInstance(db, ks, q)
+	n1, err := in.CountFactorized(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 100 covers the memo-hit case only: if forced Gray could reuse
+	// the planner's IE result it would succeed without enumerating.
+	if _, err := in.CountGray(100, 1); err != ErrBudget {
+		t.Fatalf("forced gray after planned count: err = %v, want ErrBudget (memo must be engine-keyed)", err)
+	}
+	n2, err := in.CountGray(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Cmp(n2) != 0 {
+		t.Fatalf("planned %s vs forced gray %s", n1, n2)
+	}
+	// Now the Gray entry exists: the tiny budget succeeds via the memo.
+	if _, err := in.CountGray(1, 1); err != nil {
+		t.Fatalf("memoized forced gray recount: %v", err)
+	}
+}
+
+// TestForcedCompIEOnMaskedPath: the masked fallback has no boxes, so
+// forcing component-local IE must fail rather than miscount.
+func TestForcedCompIEOnMaskedPath(t *testing.T) {
+	in := exampleInstance(t)
+	if _, err := in.countFactorized(0, 1, -1, EngineCompIE); err == nil {
+		t.Fatal("forced component-ie accepted on the masked path")
+	}
+	// The masked walk itself remains available under forced Gray.
+	want, err := in.CountEnumUCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.countFactorized(0, 1, -1, EngineGray)
+	if err != nil || got.Cmp(want) != 0 {
+		t.Fatalf("masked forced gray = %v (%v), want %s", got, err, want)
+	}
+}
+
+// TestExplainPlanSurface covers the non-factorized plan shapes: safe plan,
+// FO enumeration, trivial whole-instance plans, and the rejection of
+// non-plannable kinds.
+func TestExplainPlanSurface(t *testing.T) {
+	db := relational.MustDatabase(
+		relational.NewFact("R", "1", "a"),
+		relational.NewFact("R", "1", "b"),
+	)
+	ks := relational.Keys(map[string]int{"R": 1})
+	sp := MustInstance(db, ks, query.MustParse("R(1, 'a')"))
+	if p, err := sp.ExplainPlan(EngineAuto); err != nil || p.Engine != EngineSafePlan {
+		t.Fatalf("safe-plan instance: plan %v (%v)", p, err)
+	}
+	fo := MustInstance(db, ks, query.MustParse("!R('1', 'a')"))
+	if p, err := fo.ExplainPlan(EngineAuto); err != nil || p.Engine != EngineEnumFO {
+		t.Fatalf("FO instance: plan %v (%v)", p, err)
+	}
+	in := exampleInstance(t)
+	if p, err := in.ExplainPlan(EngineIE); err != nil || p.Engine != EngineIE {
+		t.Fatalf("ie plan: %v (%v)", p, err)
+	}
+	if p, err := in.ExplainPlan(EngineEnum); err != nil || p.Engine != EngineEnum {
+		t.Fatalf("enum plan: %v (%v)", p, err)
+	}
+	if _, err := in.ExplainPlan(EngineSafePlan); err == nil {
+		t.Fatal("ExplainPlan(EngineSafePlan) accepted")
+	}
+	// A query entailed by an always-present fact (a size-1 block) plans as
+	// always-true.
+	db.Add(relational.NewFact("R", "2", "c"))
+	at := MustInstance(db, ks, query.MustParse("exists x, y . R(x, y)"))
+	p, err := at.ExplainPlan(EngineFactorized)
+	if err != nil || !p.AlwaysTrue {
+		t.Fatalf("always-true plan: %v (%v)", p, err)
+	}
+}

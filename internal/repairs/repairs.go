@@ -2,9 +2,13 @@
 // counting the repairs of a database D w.r.t. a set Σ of primary keys that
 // entail a Boolean query Q. It provides:
 //
-//   - two independent exact counters (block enumeration with
-//     irrelevant-block factoring, and inclusion–exclusion over certificate
-//     boxes), plus a full-FO enumeration counter;
+//   - a planned exact-counting stack: a typed planner (plan.go) that
+//     assigns each connected component of the query-interaction graph the
+//     cheaper of Gray-code enumeration and component-local
+//     inclusion–exclusion, over two independent ground-truth counters
+//     (block enumeration with irrelevant-block factoring, and
+//     inclusion–exclusion over the global certificate boxes), plus a
+//     full-FO enumeration counter;
 //   - the logspace decision procedure for #CQA>0(∃FO⁺) via Lemma 3.5;
 //   - Algorithm 2: the k-compactor M(Q,Σ) placing #CQA(Q,Σ) in Λ[kw(Q,Σ)]
 //     (Theorem 5.1 membership), which also plugs into the Section 6 FPRAS;
@@ -62,11 +66,12 @@ type Instance struct {
 	factMemo     *factorization
 	deltaMemo    *deltaScratch
 
-	// compMemo caches per-component non-entailment counts of the box
-	// engine across deltas, keyed by a structural fingerprint of the
-	// component (sizes and box requirements): #¬Q_c is a pure function of
-	// that structure, so untouched components of a re-derived factorization
-	// hit the memo and skip their 2^{n_c} enumeration entirely.
+	// compMemo caches per-component non-entailment counts of the box-path
+	// engines across deltas, keyed by a structural fingerprint of the
+	// component (chosen engine, sizes and box requirements): #¬Q_c is a
+	// pure function of that structure, so untouched components of a
+	// re-derived factorization hit the memo and skip their work entirely,
+	// while forced-engine runs never serve each other's entries.
 	compMemo map[compFP]*big.Int
 }
 
@@ -151,40 +156,37 @@ func (in *Instance) Keywidth() int {
 }
 
 // CountExact computes #CQA(Q,Σ)(D) with the best available exact
-// algorithm: the safe plan when it applies, else certificate
-// inclusion–exclusion, else block enumeration; UCQ inputs avoid full FO
-// evaluation. It returns the algorithm used for reporting.
-func (in *Instance) CountExact() (*big.Int, string, error) {
+// algorithm and reports which engine decided it. It consumes a planner
+// report (plan.go): the safe plan and the Λ[1] closed form when they apply,
+// else the planned factorized engine — per-component selection between the
+// Gray-delta walk and component-local inclusion–exclusion, with the budget
+// Σ_c min(2^{n_c}, IE_c) — falling back to whole-instance
+// inclusion–exclusion and plain enumeration only when the planned budget is
+// exceeded. Non-∃FO⁺ queries take full FO enumeration. ExplainPlan exposes
+// the same report without counting.
+func (in *Instance) CountExact() (*big.Int, EngineKind, error) {
 	in.refresh()
-	if in.IsEP {
-		if n, ok := in.CountSafePlan(); ok {
-			return n, "safeplan", nil
-		}
-		if in.Keywidth() <= 1 {
-			if n, err := in.CountLambda1(); err == nil {
-				return n, "lambda1-closed-form", nil
-			}
-		}
-		if n, err := in.CountIE(0); err == nil {
-			return n, "inclusion-exclusion", nil
-		}
-		// Factorized enumeration succeeds whenever plain enumeration would
-		// (its budget bounds Σ_c Π|B_i| ≤ Π|B_i|) and on many instances
-		// where it would not; plain enumeration stays as the last resort.
-		if n, err := in.CountFactorized(0); err == nil {
-			return n, "factorized", nil
-		}
-		n, err := in.CountEnumUCQ(0)
-		if err != nil {
-			return nil, "", err
-		}
-		return n, "enumeration", nil
+	if !in.IsEP {
+		n, err := in.CountEnumFO(0)
+		return n, EngineEnumFO, err
 	}
-	n, err := in.CountEnumFO(0)
-	if err != nil {
-		return nil, "", err
+	if plan, n := in.prePlan(); plan != nil {
+		return n, plan.Engine, nil
 	}
-	return n, "fo-enumeration", nil
+	// The planned factorized engine derives the per-component assignment
+	// and its Σ_c min(2^{n_c}, IE_c) budget internally — the same report
+	// ExplainPlan exposes — so the costing pass runs once per count.
+	if n, err := in.countFactorized(0, 1, 0, EngineAuto); err == nil {
+		return n, EngineFactorized, nil
+	}
+	// The planned budget was exceeded: whole-instance inclusion–exclusion
+	// over the certificate boxes, then plain enumeration as the last
+	// resort.
+	if n, err := in.CountIE(0); err == nil {
+		return n, EngineIE, nil
+	}
+	n2, err := in.CountEnumUCQ(0)
+	return n2, EngineEnum, err
 }
 
 // EntailingRepairs iterates the repairs that entail Q, in the canonical

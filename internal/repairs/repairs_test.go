@@ -165,7 +165,7 @@ func TestCountFOWithNegation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if algo != "fo-enumeration" {
+	if algo != EngineEnumFO {
 		t.Fatalf("algo = %s, want fo-enumeration", algo)
 	}
 	if n.Cmp(big.NewInt(3)) != 0 {

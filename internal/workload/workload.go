@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/big"
 	"math/rand/v2"
 	"sort"
 	"strconv"
@@ -216,6 +217,82 @@ func MultiComponent(nComponents, blocksPer, blockSize int) (*relational.Database
 	}
 	q := query.MustParse(strings.Join(disjuncts, " | "))
 	return db, relational.Keys(keys), q
+}
+
+// IEHeavy builds a structured instance in the few-boxes/large-component
+// regime — the workload the exact-counting planner's component-local
+// inclusion–exclusion engine exists for. Each of nComponents predicates
+// P0..P{n−1} has blocksPer conflict blocks of size 2 (choices 'v0'/'v1'),
+// and the query gives the component exactly nBoxes homomorphic-image
+// boxes: ground disjunct j pins block 0 and the j-th contiguous segment of
+// the remaining blocks to 'v0', so every box shares block 0 (the blocks
+// form one connected component) while the segments partition the rest. The
+// component's Gray walk costs 2^blocksPer states, its IE pass at most
+// 2^nBoxes − 1 subset nodes, so forced Gray enumeration blows the budget
+// at sizes the planner counts in microseconds. Requires
+// 1 ≤ nBoxes < blocksPer.
+func IEHeavy(nComponents, blocksPer, nBoxes int) (*relational.Database, *relational.KeySet, query.Formula) {
+	if nComponents < 1 || blocksPer < 2 || nBoxes < 1 || nBoxes >= blocksPer {
+		panic("workload: IEHeavy needs nComponents >= 1, blocksPer >= 2 and 1 <= nBoxes < blocksPer")
+	}
+	db := relational.MustDatabase()
+	keys := map[string]int{}
+	var disjuncts []string
+	for c := 0; c < nComponents; c++ {
+		pred := "P" + strconv.Itoa(c)
+		keys[pred] = 1
+		for b := 0; b < blocksPer; b++ {
+			k := relational.Const("k" + strconv.Itoa(b))
+			db.Add(relational.Fact{Pred: pred, Args: []relational.Const{k, "v0"}})
+			db.Add(relational.Fact{Pred: pred, Args: []relational.Const{k, "v1"}})
+		}
+		for _, seg := range ieHeavySegments(blocksPer, nBoxes) {
+			atoms := []string{fmt.Sprintf("%s('k0', 'v0')", pred)}
+			for _, b := range seg {
+				atoms = append(atoms, fmt.Sprintf("%s('k%d', 'v0')", pred, b))
+			}
+			disjuncts = append(disjuncts, "("+strings.Join(atoms, " & ")+")")
+		}
+	}
+	q := query.MustParse(strings.Join(disjuncts, " | "))
+	return db, relational.Keys(keys), q
+}
+
+// ieHeavySegments partitions blocks 1..blocksPer−1 into nBoxes contiguous
+// near-equal runs, one per box.
+func ieHeavySegments(blocksPer, nBoxes int) [][]int {
+	rest := blocksPer - 1
+	segs := make([][]int, nBoxes)
+	next := 1
+	for j := 0; j < nBoxes; j++ {
+		n := rest / nBoxes
+		if j < rest%nBoxes {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			segs[j] = append(segs[j], next)
+			next++
+		}
+	}
+	return segs
+}
+
+// IEHeavyCount returns #CQA of IEHeavy(nComponents, blocksPer, nBoxes) in
+// closed form. Per component, a choice vector avoids every box iff block 0
+// picks 'v1' (2^{blocksPer−1} vectors) or block 0 picks 'v0' and every
+// box's segment contains some 'v1' (Π_j (2^{s_j} − 1), segments disjoint),
+// so #¬Q_c = 2^{blocksPer−1} + Π_j (2^{s_j} − 1) and
+// #Q = 2^{nComponents·blocksPer} − (#¬Q_c)^{nComponents}.
+func IEHeavyCount(nComponents, blocksPer, nBoxes int) *big.Int {
+	nonent := new(big.Int).Lsh(big.NewInt(1), uint(blocksPer-1))
+	broken := big.NewInt(1)
+	for _, seg := range ieHeavySegments(blocksPer, nBoxes) {
+		t := new(big.Int).Lsh(big.NewInt(1), uint(len(seg)))
+		broken.Mul(broken, t.Sub(t, big.NewInt(1)))
+	}
+	nonent.Add(nonent, broken)
+	total := new(big.Int).Lsh(big.NewInt(1), uint(nComponents*blocksPer))
+	return total.Sub(total, nonent.Exp(nonent, big.NewInt(int64(nComponents)), nil))
 }
 
 // KeywidthQuery builds, together with its key set, a query of keywidth

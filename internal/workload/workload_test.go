@@ -113,6 +113,54 @@ func TestKeywidthFamily(t *testing.T) {
 	}
 }
 
+func TestIEHeavyFamily(t *testing.T) {
+	// Structure: each component contributes blocksPer size-2 blocks, all
+	// facts are query-relevant, and the closed form matches enumeration
+	// (pinned from the repairs side too, via the planner differential).
+	db, ks, q := IEHeavy(2, 5, 2)
+	if got := db.Len(); got != 2*5*2 {
+		t.Fatalf("facts = %d, want 20", got)
+	}
+	in := repairs.MustInstance(db, ks, q)
+	n, _, err := in.CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := IEHeavyCount(2, 5, 2); n.Cmp(want) != 0 {
+		t.Fatalf("count = %s, closed form = %s", n, want)
+	}
+	// nBoxes = 1: only the all-'v0' vector entails per component, so
+	// #¬Q_c = 2^B − 1.
+	db1, ks1, q1 := IEHeavy(1, 3, 1)
+	n1, _, err := repairs.MustInstance(db1, ks1, q1).CountExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("IEHeavy(1,3,1) count = %s, want 1", n1)
+	}
+	if got := IEHeavyCount(1, 3, 1); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("closed form = %s, want 1", got)
+	}
+	// The segments must partition blocks 1..B−1.
+	segs := ieHeavySegments(10, 3)
+	seen := map[int]bool{}
+	for _, seg := range segs {
+		if len(seg) == 0 {
+			t.Fatal("empty segment")
+		}
+		for _, b := range seg {
+			if b < 1 || b > 9 || seen[b] {
+				t.Fatalf("segment block %d out of range or repeated", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != 9 {
+		t.Fatalf("segments cover %d blocks, want 9", len(seen))
+	}
+}
+
 func TestRandomGenerators(t *testing.T) {
 	rng := rand.New(rand.NewPCG(9, 10))
 	f := RandomCNF(rng, 5, 8)

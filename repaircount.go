@@ -7,9 +7,10 @@
 //
 //   - the total number of repairs |rep(D,Σ)| (polynomial time);
 //   - #CQA(Q,Σ)(D): the number of repairs entailing Q — exactly (safe
-//     plans for tractable self-join-free CQs, certificate
-//     inclusion–exclusion or enumeration otherwise) or approximately (the
-//     paper's Theorem 6.2 FPRAS);
+//     plans for tractable self-join-free CQs; otherwise a planner that
+//     picks, per connected component of the query-interaction graph, the
+//     cheaper of Gray-code enumeration and inclusion–exclusion) or
+//     approximately (the paper's Theorem 6.2 FPRAS);
 //   - the decision #CQA>0 (logspace-style certificate search for ∃FO⁺,
 //     Lemma 3.5);
 //   - the relative frequency #CQA / |rep| motivating the whole problem.
@@ -86,6 +87,34 @@
 // per-worker machine-word accumulators that spill to big.Int only on
 // overflow and at the final merge; the exact count is identical for every
 // worker count.
+//
+// # The exact-counting planner
+//
+// The factorized engine is itself a strategy layer. Per component, two
+// independent exact strategies compute #¬Q_c: the Gray-delta walk above
+// (cost 2^{n_c} states, independent of the number of boxes) and
+// component-local inclusion–exclusion over the component's boxes (cost
+// bounded by 2^{#boxes} − 1 subset nodes, independent of the choice
+// space), and the tractable one varies per component, not per instance. A
+// typed planner (internal/repairs/plan.go) therefore costs every component
+// under both engines and assigns the cheaper — so a 40-block component
+// with 3 boxes is a 7-term IE sum instead of an infeasible 2^40-state
+// walk, the effective enumeration budget becomes Σ_c min(2^{n_c}, IE_c),
+// and components whose choice space overflows a machine word entirely stay
+// exactly countable (IE counts the complement against the big-int space).
+// The heterogeneous per-component jobs — Gray prefix shards, masked
+// shards, one IE pass per IE component — drain from the same work-stealing
+// queue. CountExact consumes the plan report: safe plan and Λ[1] closed
+// form when they apply, then the planned factorized engine, with
+// whole-instance certificate inclusion–exclusion and plain enumeration as
+// fallbacks; Count reports the deciding engine as a typed EngineKind, and
+// Counter.ExplainPlan (repairctl count -explain) exposes every
+// component's block and box counts, both engine costs and the chosen
+// engine without counting. The per-component structural count memo is
+// keyed by (engine, structure), so incremental recounts after Apply replan
+// only the touched components and forced-engine comparisons (repairctl
+// count -exact=gray, the PlannedIE benchmark gate) never serve each
+// other's memo entries.
 //
 // # Persistent snapshots: the .cqs instance store
 //
@@ -238,19 +267,100 @@ func Bind(q Formula, tuple ...Const) (Formula, error) {
 // Total returns |rep(D,Σ)| = ∏ |B_i|.
 func (c *Counter) Total() *big.Int { return c.inst.TotalRepairs() }
 
-// Count computes #CQA(Q,Σ)(D) exactly and reports which algorithm decided
-// it ("safeplan", "inclusion-exclusion", "enumeration" or
-// "fo-enumeration").
-func (c *Counter) Count() (*big.Int, string, error) { return c.inst.CountExact() }
+// EngineKind identifies one exact-counting engine; see the repairs package
+// for the full set. Count reports the engine that decided a count, and
+// CountWith / ExplainPlan select or explain one.
+type EngineKind = repairs.EngineKind
 
-// CountFactorized computes #CQA(Q,Σ)(D) exactly with the factorized
-// engine: the relevant conflict blocks are partitioned into connected
-// components of the query-interaction graph, each component is enumerated
-// once in Gray-code order with delta-maintained match state, and the
-// per-component non-entailment counts multiply. Work is Σ_c Π|B_i| instead
-// of Π|B_i|, with component shards drained by a work-stealing worker pool.
-// Existential positive queries only; the count is bit-identical to the
-// enumeration path.
+// The exact-counting engines.
+const (
+	// EngineAuto lets the planner arbitrate (the Count default).
+	EngineAuto = repairs.EngineAuto
+	// EngineSafePlan is the polynomial safe-plan counter.
+	EngineSafePlan = repairs.EngineSafePlan
+	// EngineLambda1 is the Λ[1] closed form for keywidth ≤ 1.
+	EngineLambda1 = repairs.EngineLambda1
+	// EngineFactorized is the planned factorized engine (per-component
+	// selection between the Gray walk and component-local IE).
+	EngineFactorized = repairs.EngineFactorized
+	// EngineGray forces the Gray-delta walk on every component.
+	EngineGray = repairs.EngineGray
+	// EngineMasked is the masked-matcher walk (reported per component).
+	EngineMasked = repairs.EngineMasked
+	// EngineCompIE forces component-local inclusion–exclusion.
+	EngineCompIE = repairs.EngineCompIE
+	// EngineIE is whole-instance inclusion–exclusion over certificate boxes.
+	EngineIE = repairs.EngineIE
+	// EngineEnum is plain enumeration of the relevant choice space.
+	EngineEnum = repairs.EngineEnum
+	// EngineEnumFO is exhaustive FO enumeration (non-∃FO⁺ queries).
+	EngineEnumFO = repairs.EngineEnumFO
+)
+
+// Plan is the exact-counting planner's report: the overall engine and the
+// per-component engine assignment with costs.
+type Plan = repairs.Plan
+
+// ComponentPlan is one component's entry in a Plan.
+type ComponentPlan = repairs.ComponentPlan
+
+// ParseEngine maps an engine name ("auto", "factorized", "gray", "ie",
+// "enum") to its kind; the error lists the valid names.
+func ParseEngine(name string) (EngineKind, error) { return repairs.ParseEngine(name) }
+
+// Count computes #CQA(Q,Σ)(D) exactly with the planner-selected engine and
+// reports which one decided it (EngineSafePlan, EngineLambda1,
+// EngineFactorized, EngineIE, EngineEnum or EngineEnumFO).
+func (c *Counter) Count() (*big.Int, EngineKind, error) { return c.inst.CountExact() }
+
+// CountWith computes #CQA(Q,Σ)(D) exactly with a pinned engine:
+// EngineFactorized (planner-selected per-component engines), EngineGray
+// (every component forced onto the Gray-delta walk), EngineCompIE (every
+// component forced onto component-local inclusion–exclusion), EngineIE
+// (whole-instance inclusion–exclusion) or EngineEnum (plain enumeration).
+// EngineAuto is Count without the engine report.
+func (c *Counter) CountWith(engine EngineKind) (*big.Int, error) {
+	switch engine {
+	case EngineAuto:
+		n, _, err := c.inst.CountExact()
+		return n, err
+	case EngineFactorized:
+		return c.inst.CountFactorizedParallel(0, 0)
+	case EngineGray:
+		return c.inst.CountGray(0, 0)
+	case EngineCompIE:
+		return c.inst.CountCompIE(0, 0)
+	case EngineIE:
+		return c.inst.CountIE(0)
+	case EngineEnum:
+		return c.CountEnum()
+	case EngineEnumFO:
+		return c.inst.CountEnumFO(0)
+	}
+	return nil, fmt.Errorf("repaircount: engine %s cannot be pinned (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE, EngineEnum or EngineEnumFO)", engine)
+}
+
+// ExplainPlan reports how the exact engines would answer without running
+// the enumeration: the overall algorithm and, for the factorized engine,
+// every component's block and box counts, both engine costs, the chosen
+// engine and whether its count is already memoized (the polynomial
+// closed-form engines may execute while deciding applicability).
+// EngineAuto explains the planner's own choice (what Count does);
+// EngineGray / EngineCompIE explain a forced assignment.
+func (c *Counter) ExplainPlan(engine EngineKind) (*Plan, error) {
+	return c.inst.ExplainPlan(engine)
+}
+
+// CountFactorized computes #CQA(Q,Σ)(D) exactly with the planned
+// factorized engine: the relevant conflict blocks are partitioned into
+// connected components of the query-interaction graph, the planner assigns
+// each component the cheaper of the Gray-delta walk (delta-maintained
+// match state over the component's 2^{n_c} choices) and component-local
+// inclusion–exclusion over the component's boxes, and the per-component
+// non-entailment counts multiply. Work is Σ_c min(2^{n_c}, IE_c) instead
+// of Π|B_i|, with heterogeneous component jobs drained by a work-stealing
+// worker pool. Existential positive queries only; the count is
+// bit-identical to the enumeration path.
 func (c *Counter) CountFactorized() (*big.Int, error) {
 	return c.inst.CountFactorizedParallel(0, 0)
 }

@@ -161,8 +161,49 @@ func TestProgrammaticConstruction(t *testing.T) {
 	if n.Cmp(big.NewInt(1)) != 0 {
 		t.Fatalf("Count = %s (%s), want 1", n, algo)
 	}
-	if algo != "safeplan" {
+	if algo != EngineSafePlan {
 		t.Fatalf("ground single-atom query must take the safe plan, got %s", algo)
+	}
+}
+
+// TestCountWithAndExplainPlan exercises the typed engine surface: every
+// pinnable engine agrees with Count, and ExplainPlan reports the
+// per-component assignment.
+func TestCountWithAndExplainPlan(t *testing.T) {
+	c := exampleCounter(t)
+	want, algo, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo != EngineFactorized {
+		t.Fatalf("example instance counted by %s, want factorized", algo)
+	}
+	for _, engine := range []EngineKind{EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE, EngineEnum} {
+		n, err := c.CountWith(engine)
+		if err != nil {
+			t.Fatalf("CountWith(%s): %v", engine, err)
+		}
+		if n.Cmp(want) != 0 {
+			t.Fatalf("CountWith(%s) = %s, want %s", engine, n, want)
+		}
+	}
+	if _, err := c.CountWith(EngineMasked); err == nil {
+		t.Fatal("CountWith(EngineMasked) accepted (not a pinnable engine)")
+	}
+	p, err := c.ExplainPlan(EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine != EngineFactorized || len(p.Components) == 0 {
+		t.Fatalf("plan = %s, want factorized with components", p)
+	}
+	for i, cp := range p.Components {
+		if cp.Engine != EngineGray && cp.Engine != EngineCompIE {
+			t.Fatalf("component %d engine = %s", i, cp.Engine)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown name")
 	}
 }
 
