@@ -468,3 +468,23 @@ func TestBenchFixturesSane(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func BenchmarkCountSharded(b *testing.B) {
+	db, ks, q := workload.MultiComponent(8, 10, 2)
+	c, err := NewCounter(db, ks, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.CountSharded(8, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Plan, slice, count and merge from scratch: shard sub-instances
+		// are rebuilt per count, so nothing is memoized across iterations.
+		if _, err := c.CountSharded(8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

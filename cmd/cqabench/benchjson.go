@@ -313,6 +313,84 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"ShardCount1", func(b *testing.B) {
+			// Single-shard baseline of the ShardScaling gate: the whole
+			// instance is one shard, so one worker's partial recompute is the
+			// entire count. Same instance and code path as ShardCount8.
+			db, ks, q := workload.MultiComponent(8, 16, 2)
+			in := repairs.MustInstance(db, ks, q)
+			plan, err := in.PlanShards(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subs, err := in.ShardInstances(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := subs[0].CountNonEntailment(0, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				subs[0].ResetComponentMemo() // a shard executor starts cold
+				p, err := subs[0].CountNonEntailment(0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := repairs.CombinePartials(plan.Outer, []*repairs.Partial{p}); n.Sign() == 0 {
+					b.Fatal("zero count")
+				}
+			}
+		}},
+		{"ShardCount8", func(b *testing.B) {
+			// Fleet critical path at 8 shards on the same instance: shard
+			// workers run independently, so the slowest (heaviest-cost)
+			// shard's recompute plus the merge bounds the fleet wall-clock.
+			// The other seven partials are precomputed in setup; the heavy
+			// shard recounts cold every iteration. The ShardScaling gate
+			// requires ShardCount1/ShardCount8 ≥ 4×.
+			db, ks, q := workload.MultiComponent(8, 16, 2)
+			in := repairs.MustInstance(db, ks, q)
+			plan, err := in.PlanShards(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subs, err := in.ShardInstances(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			heavy := 0
+			parts := make([]*repairs.Partial, len(subs))
+			for s := range subs {
+				if parts[s], err = subs[s].CountNonEntailment(0, 1); err != nil {
+					b.Fatal(err)
+				}
+				if plan.Cost[s] > plan.Cost[heavy] {
+					heavy = s
+				}
+			}
+			want, err := in.CountFactorized(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := repairs.CombinePartials(plan.Outer, parts); got.Cmp(want) != 0 {
+				b.Fatalf("sharded %s, direct %s", got, want)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				subs[heavy].ResetComponentMemo() // a shard executor starts cold
+				p, err := subs[heavy].CountNonEntailment(0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				parts[heavy] = p
+				if n := repairs.CombinePartials(plan.Outer, parts); n.Cmp(want) != 0 {
+					b.Fatal("merge drift")
+				}
+			}
+		}},
 		{"RecountRebuildMultiComp", func(b *testing.B) {
 			// Rebuild-from-scratch baseline for RecountAfterDelta: parse the
 			// text instance, decompose blocks, build the index and count —
@@ -350,14 +428,17 @@ type speedupGate struct {
 
 // gates lists the guarded engines: the factorized exact counter, the
 // exact-counting planner (planned component-local IE must beat the forced
-// Gray walk on the ie-heavy workload), the snapshot loader, and the
+// Gray walk on the ie-heavy workload), the snapshot loader, the
 // incremental recount path (recount-after-delta must beat
-// rebuild-from-scratch).
+// rebuild-from-scratch), and sharded scale-out (the 8-shard fleet critical
+// path must beat the single-shard count ≥ 4× — near-linear once the merge
+// and the bin-packing imbalance are paid).
 var gates = []speedupGate{
 	{label: "ExactFactorized", slow: "ExactEnum", fast: "ExactFactorized", floor: 10},
 	{label: "PlannedIE", slow: "ExactGrayIEHeavy", fast: "ExactPlannedIE", floor: 10},
 	{label: "SnapshotLoad", slow: "ParseIndexMultiComp", fast: "SnapshotLoadMultiComp", floor: 10},
 	{label: "IncrementalRecount", slow: "RecountRebuildMultiComp", fast: "RecountAfterDelta", floor: 10},
+	{label: "ShardScaling", slow: "ShardCount1", fast: "ShardCount8", floor: 4},
 }
 
 // checkBaseline guards the hot engines against performance regressions

@@ -46,6 +46,23 @@
 //	repairctl blocks -db employees.db
 //	cat employees.db | repairctl decide -db - -query "..."
 //
+// Sharded counting splits the exact count across processes or machines:
+// shard slices a sealed snapshot into K self-contained shard snapshots
+// (one cost-balanced group of query-graph components each, -explain prints
+// the per-shard cost table) plus a CQSM manifest; count -shard verifies a
+// shard against the manifest, counts it, and writes a CQSP partial file;
+// merge recombines a complete, digest-verified partial set into the exact
+// global count — bit-identical to counting the unsharded snapshot.
+//
+//	repairctl shard -db employees.cqs -query "..." -k 4 -o shards/ -explain
+//	repairctl count -db shards/shard-000.cqs -query "..." \
+//	    -shard shards/manifest.cqsm -partial shards/p0.cqsp
+//	repairctl merge -manifest shards/manifest.cqsm shards/p*.cqsp
+//
+// count also takes -workers N to size the worker pool of the parallel
+// exact engines (0 means GOMAXPROCS, uniformly across every -exact
+// engine).
+//
 // Non-Boolean queries: count/decide/freq/approx take -tuple "c1,c2,..." to
 // bind the free variables (sorted by name); rank scores every candidate
 // tuple by its relative frequency.
@@ -198,10 +215,32 @@ func run(args []string, stdout io.Writer) error {
 		exact    = fs.String("exact", "auto", "exact engine for count: auto, factorized, gray, ie or enum")
 		explain  = fs.Bool("explain", false, "print the exact-counting plan (per-component engine and cost) before the count")
 		opsPath  = fs.String("ops", "-", "path to the update-op stream for apply ('-' reads stdin)")
+		workers  = fs.Int("workers", 0, "worker goroutines for the parallel exact engines (0 = GOMAXPROCS)")
+		kShards  = fs.Int("k", 2, "number of shards for shard")
+		shardMan = fs.String("shard", "", "CQSM manifest path: count one shard snapshot and write a partial")
+		partial  = fs.String("partial", "", "output path for the CQSP partial written by count -shard")
+		manifest = fs.String("manifest", "", "CQSM manifest path for merge")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+
+	// merge consumes a manifest plus partial files, not an instance.
+	if cmd == "merge" {
+		if *manifest == "" {
+			return fmt.Errorf("merge: -manifest is required")
+		}
+		if len(fs.Args()) == 0 {
+			return fmt.Errorf("merge: pass the CQSP partial files as arguments")
+		}
+		n, err := repaircount.MergePartialFiles(*manifest, fs.Args()...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, n)
+		return nil
+	}
+
 	if *dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
@@ -278,6 +317,9 @@ func run(args []string, stdout io.Writer) error {
 
 	switch cmd {
 	case "count":
+		if *shardMan != "" {
+			return countShard(stdout, src, counter, q, *shardMan, *partial, *workers)
+		}
 		engine, err := repaircount.ParseEngine(*exact)
 		if err != nil {
 			return fmt.Errorf("-exact: %w", err)
@@ -290,14 +332,16 @@ func run(args []string, stdout io.Writer) error {
 		var n *big.Int
 		algo := engine
 		if engine == repaircount.EngineAuto {
-			n, algo, err = counter.Count()
+			n, algo, err = counter.CountWorkers(*workers)
 		} else {
-			n, err = counter.CountWith(engine)
+			n, err = counter.CountWithWorkers(engine, *workers)
 		}
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s\t(algorithm: %s, keywidth: %d, fragment: %s)\n", n, algo, counter.Keywidth(), counter.Fragment())
+	case "shard":
+		return shard(stdout, src, counter, *kShards, *out, *explain)
 	case "analyze":
 		return analyze(stdout, counter, *eps, *delta)
 	case "decide":
@@ -396,6 +440,93 @@ func compact(stdout io.Writer, dbPath, out string) error {
 	return nil
 }
 
+// shard slices the opened instance into k cost-balanced shard snapshots
+// plus a CQSM manifest in dir; explain additionally prints the per-shard
+// cost table the greedy bin-packing produced.
+func shard(stdout io.Writer, src *instance, counter *repaircount.Counter, k int, dir string, explain bool) error {
+	if dir == "" {
+		return fmt.Errorf("shard: -o DIR is required")
+	}
+	plan, err := counter.PlanShards(k)
+	if err != nil {
+		return err
+	}
+	var baseCRC uint64
+	if src.snap != nil {
+		if n := src.snap.NumJournalOps(); n > 0 {
+			return fmt.Errorf("shard: snapshot carries %d journal ops; run repairctl compact first", n)
+		}
+		baseCRC = src.snap.Digest()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	set, err := counter.WriteShards(dir, plan, baseCRC)
+	if err != nil {
+		return err
+	}
+	if explain {
+		for s, ms := range set.Manifest.Shards {
+			fmt.Fprintf(stdout, "shard %d: components=%d blocks=%d cost=%d -> %s (digest %016x)\n",
+				s, ms.Components, ms.Blocks, ms.Cost, set.Paths[s], ms.CRC)
+		}
+		fmt.Fprintf(stdout, "excluded factor: %s\n", set.Manifest.Outer)
+	}
+	fmt.Fprintf(stdout, "%s\t%d shards, manifest digest %016x\n", set.ManifestPath, plan.K, set.ManifestCRC)
+	return nil
+}
+
+// countShard counts one shard snapshot against its manifest: the snapshot
+// is located in the shard set by its sealed-base digest, the query is
+// checked against the partition's, and the result is written as a CQSP
+// partial for merge.
+func countShard(stdout io.Writer, src *instance, counter *repaircount.Counter, q repaircount.Formula, manifestPath, partialPath string, workers int) error {
+	if partialPath == "" {
+		return fmt.Errorf("count: -partial OUT is required with -shard")
+	}
+	man, mcrc, err := store.ReadManifestFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	if qs := fmt.Sprintf("%v", q); qs != man.Query {
+		return fmt.Errorf("count: query %q is not the manifest's partition query %q", qs, man.Query)
+	}
+	if src.snap == nil {
+		return fmt.Errorf("count: -shard needs a .cqs shard snapshot, not a text instance")
+	}
+	if n := src.snap.NumJournalOps(); n > 0 {
+		return fmt.Errorf("count: shard snapshot carries %d journal ops and no longer matches its manifest digest", n)
+	}
+	digest := src.snap.Digest()
+	idx := -1
+	for i, s := range man.Shards {
+		if s.CRC == digest {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("count: snapshot digest %016x is not a shard of %s", digest, manifestPath)
+	}
+	p, err := counter.CountPartial(workers)
+	if err != nil {
+		return err
+	}
+	pf := &store.PartialFile{
+		ManifestCRC: mcrc,
+		Shard:       idx,
+		K:           len(man.Shards),
+		SnapshotCRC: digest,
+		Inner:       p.Inner,
+		NonEnt:      p.NonEnt,
+	}
+	if err := store.WritePartialFile(partialPath, pf); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\tshard %d/%d, inner %s, nonent %s\n", partialPath, idx, len(man.Shards), p.Inner, p.NonEnt)
+	return nil
+}
+
 // explainPlan prints the exact-counting plan for the selected engine: the
 // overall algorithm and, for the factorized engine, one line per connected
 // component with its block and box counts, the costs of both per-component
@@ -483,5 +614,5 @@ func analyze(stdout io.Writer, counter *repaircount.Counter, eps, delta float64)
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: repairctl <build|apply|compact|total|blocks|count|decide|freq|approx|rank|analyze> -db FILE|- [-query Q] [flags]")
+	return fmt.Errorf("usage: repairctl <build|apply|compact|total|blocks|count|decide|freq|approx|rank|analyze|shard|merge> -db FILE|- [-query Q] [flags]")
 }

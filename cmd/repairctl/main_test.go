@@ -436,3 +436,93 @@ Employee(3, Zoe, IT)
 		t.Fatal("compact without -o succeeded")
 	}
 }
+
+// Full sharding pipeline through the CLI: build → shard → count -shard per
+// shard → merge must reproduce the direct count exactly.
+func TestShardPipelineCLI(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "skew.db")
+	if err := os.WriteFile(db, []byte(`
+key S0 1
+key S1 1
+key S2 1
+S0(a, v0)
+S0(a, v1)
+S0(b, v0)
+S0(b, v1)
+S1(c, v0)
+S1(c, v1)
+S1(d, v0)
+S1(d, v1)
+S2(e, v0)
+S2(e, v1)
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := "(exists x, y . (S0(x,'v0') & S0(y,'v1'))) | (exists x, y . (S1(x,'v0') & S1(y,'v1'))) | (exists x, y . (S2(x,'v0') & S2(y,'v1')))"
+	snap := filepath.Join(dir, "skew.cqs")
+	runCmd(t, "build", "-db", db, "-o", snap)
+	direct := strings.SplitN(runCmd(t, "count", "-db", snap, "-query", q, "-workers", "2"), "\t", 2)[0]
+
+	shardDir := filepath.Join(dir, "shards")
+	out := runCmd(t, "shard", "-db", snap, "-query", q, "-k", "3", "-o", shardDir, "-explain")
+	if !strings.Contains(out, "shard 0:") || !strings.Contains(out, "cost=") ||
+		!strings.Contains(out, "excluded factor:") || !strings.Contains(out, "manifest digest") {
+		t.Fatalf("shard -explain output wrong:\n%s", out)
+	}
+	manifest := filepath.Join(shardDir, "manifest.cqsm")
+	var partials []string
+	for s := 0; s < 3; s++ {
+		shardSnap := filepath.Join(shardDir, fmt.Sprintf("shard-%03d.cqs", s))
+		partial := filepath.Join(shardDir, fmt.Sprintf("part-%d.cqsp", s))
+		out := runCmd(t, "count", "-db", shardSnap, "-query", q, "-shard", manifest, "-partial", partial)
+		if !strings.Contains(out, "inner ") || !strings.Contains(out, "nonent ") {
+			t.Fatalf("count -shard output wrong: %q", out)
+		}
+		partials = append(partials, partial)
+	}
+	merged := strings.TrimSpace(runCmd(t, "merge", "-manifest", manifest, partials[0], partials[1], partials[2]))
+	if merged != direct {
+		t.Fatalf("merge = %s, direct count = %s", merged, direct)
+	}
+	// 2^5 − 2^3 = 24 pins the arithmetic end to end.
+	if merged != "24" {
+		t.Fatalf("merge = %s, closed form 24", merged)
+	}
+
+	// Incomplete and mixed sets must fail, never miscount.
+	var sb strings.Builder
+	if err := run([]string{"merge", "-manifest", manifest, partials[0]}, &sb); err == nil {
+		t.Fatal("merge accepted an incomplete partial set")
+	}
+	if err := run([]string{"merge", "-manifest", manifest, partials[0], partials[1], partials[1]}, &sb); err == nil {
+		t.Fatal("merge accepted a duplicated partial")
+	}
+
+	// A snapshot outside the shard set must be refused by count -shard.
+	if err := run([]string{"count", "-db", snap, "-query", q, "-shard", manifest,
+		"-partial", filepath.Join(dir, "bogus.cqsp")}, &sb); err == nil {
+		t.Fatal("count -shard accepted a non-shard snapshot")
+	}
+	// So must the wrong query.
+	if err := run([]string{"count", "-db", filepath.Join(shardDir, "shard-000.cqs"),
+		"-query", "exists x . S0(x, 'v0')", "-shard", manifest,
+		"-partial", filepath.Join(dir, "bogus.cqsp")}, &sb); err == nil {
+		t.Fatal("count -shard accepted a foreign query")
+	}
+}
+
+// -workers is accepted by every exact engine spelling.
+func TestCountWorkersFlag(t *testing.T) {
+	db := writeExampleDB(t)
+	for _, exact := range []string{"", "factorized", "gray", "ie", "enum"} {
+		args := []string{"count", "-db", db, "-query", exampleQuery, "-workers", "2"}
+		if exact != "" {
+			args = append(args, "-exact", exact)
+		}
+		out := runCmd(t, args...)
+		if !strings.HasPrefix(out, "2\t") {
+			t.Fatalf("-exact %q -workers 2: output %q", exact, out)
+		}
+	}
+}

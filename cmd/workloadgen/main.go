@@ -9,6 +9,7 @@
 //	workloadgen -kind pairs -n 64 > pairs.db
 //	workloadgen -kind random -n 50 -blocksize-max 4 -zipf > random.db
 //	workloadgen -kind ie-heavy -n 40 -components 2 -boxes 3 > ieheavy.db
+//	workloadgen -kind skewed-components -n 32 -components 8 -skew 1.0 > skew.db
 //	workloadgen -kind employee -n 100 -updates 50 -update-conflict 0.6 \
 //	    -updates-out stream.ops > employees.db
 //
@@ -17,6 +18,12 @@
 // disjuncts), where Gray enumeration blows the budget and component-local
 // inclusion–exclusion counts in microseconds; the matching query is printed
 // as a "# query:" comment for use with repairctl count -query.
+//
+// skewed-components emits -components independent components whose block
+// counts follow a power law b_i = max(2, ⌊n/(i+1)^skew⌋) — the unbalanced
+// regime that exercises the cost-aware shard bin-packer (repairctl shard).
+// Each component contributes #¬Q_c = 2, so the repair count has the closed
+// form 2^{Σ b_i} − 2^{components}; the query is printed as "# query:".
 //
 // The update stream is valid against the emitted base instance evolving
 // under it (every delete targets a live fact, every insert a fresh one)
@@ -37,15 +44,16 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy")
-		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy)")
+		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components")
+		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy; max blocks per component for skewed-components)")
 		conflict   = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
 		depts      = flag.Int("depts", 4, "number of departments (employee kind)")
 		maxSize    = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
 		zipf       = flag.Bool("zipf", false, "Zipf block sizes instead of uniform (random kind)")
 		values     = flag.Int("values", 5, "value alphabet size (random kind)")
-		components = flag.Int("components", 1, "number of independent components (ie-heavy kind)")
+		components = flag.Int("components", 1, "number of independent components (ie-heavy, skewed-components kinds)")
 		boxes      = flag.Int("boxes", 3, "homomorphic-image boxes per component (ie-heavy kind)")
+		skew       = flag.Float64("skew", 1.0, "power-law exponent of component sizes (skewed-components kind)")
 		seed       = flag.Uint64("seed", 7, "random seed")
 		updates    = flag.Int("updates", 0, "emit an update stream of this many interleaved inserts/deletes")
 		updConf    = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
@@ -70,6 +78,12 @@ func main() {
 			break
 		}
 		db, ks, q = workload.IEHeavy(*components, *n, *boxes)
+	case "skewed-components":
+		if *components < 1 || *n < 2 || *skew < 0 {
+			err = fmt.Errorf("skewed-components needs -components >= 1, -n >= 2 and -skew >= 0 (have -components %d -n %d -skew %g)", *components, *n, *skew)
+			break
+		}
+		db, ks, q = workload.SkewedComponents(*components, *n, *skew)
 	case "random":
 		var dist workload.Dist = workload.Uniform{Lo: 1, Hi: *maxSize}
 		if *zipf {

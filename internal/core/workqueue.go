@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/big"
 	"sync/atomic"
@@ -81,6 +82,48 @@ func (a *Accum) Big() *big.Int {
 		return &w
 	}
 	return new(big.Int).Add(a.hi, &w)
+}
+
+// SetBig replaces the accumulator's value with v, which must be
+// non-negative. Values fitting a machine word stay in the word; larger ones
+// live in the big part, so subsequent Adds remain cheap.
+func (a *Accum) SetBig(v *big.Int) error {
+	if v.Sign() < 0 {
+		return fmt.Errorf("core: accumulator cannot hold negative value %s", v)
+	}
+	if v.IsUint64() {
+		a.lo = v.Uint64()
+		a.hi = nil
+		return nil
+	}
+	a.lo = 0
+	a.hi = new(big.Int).Set(v)
+	return nil
+}
+
+// MarshalText renders the current total in decimal — the wire form of a
+// shard partial. Implements encoding.TextMarshaler.
+func (a *Accum) MarshalText() ([]byte, error) {
+	return []byte(a.Big().String()), nil
+}
+
+// UnmarshalText parses a decimal total produced by MarshalText. Implements
+// encoding.TextUnmarshaler; rejects signs, spaces and non-digits.
+func (a *Accum) UnmarshalText(text []byte) error {
+	s := string(text)
+	if len(s) == 0 {
+		return fmt.Errorf("core: empty accumulator literal")
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return fmt.Errorf("core: bad accumulator literal %q", s)
+		}
+	}
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return fmt.Errorf("core: bad accumulator literal %q", s)
+	}
+	return a.SetBig(v)
 }
 
 // SignedAccum accumulates a signed sum of uint64 terms — the ± box sizes

@@ -84,3 +84,49 @@ func TestAccumMatchesBigInt(t *testing.T) {
 		t.Fatal("Big returned aliased state")
 	}
 }
+
+func TestAccumTextCodec(t *testing.T) {
+	values := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(math.MaxInt64),
+		new(big.Int).SetUint64(math.MaxUint64),
+		new(big.Int).Lsh(big.NewInt(1), 64), // smallest value needing the hi word
+		new(big.Int).Lsh(big.NewInt(7), 300),
+	}
+	for _, v := range values {
+		var a Accum
+		if err := a.SetBig(v); err != nil {
+			t.Fatalf("SetBig(%s): %v", v, err)
+		}
+		if a.Big().Cmp(v) != 0 {
+			t.Fatalf("SetBig(%s) reads back %s", v, a.Big())
+		}
+		text, err := a.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(text) != v.String() {
+			t.Fatalf("marshal(%s) = %q", v, text)
+		}
+		var b Accum
+		b.Add(99) // stale state must be overwritten
+		if err := b.UnmarshalText(text); err != nil {
+			t.Fatalf("unmarshal %q: %v", text, err)
+		}
+		if b.Big().Cmp(v) != 0 {
+			t.Fatalf("round trip %s -> %s", v, b.Big())
+		}
+	}
+
+	var a Accum
+	if err := a.SetBig(big.NewInt(-1)); err == nil {
+		t.Fatal("negative SetBig accepted")
+	}
+	for _, bad := range []string{"", "-1", "1x", " 1", "1 ", "0x10", "1.5"} {
+		var b Accum
+		if err := b.UnmarshalText([]byte(bad)); err == nil {
+			t.Fatalf("UnmarshalText(%q) accepted", bad)
+		}
+	}
+}

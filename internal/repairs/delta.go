@@ -220,8 +220,24 @@ func (in *Instance) CountCompIE(budget, workers int) (*big.Int, error) {
 }
 
 func (in *Instance) countFactorized(budget, workers, homBudget int, force EngineKind) (*big.Int, error) {
+	f, nonent, err := in.nonEntailment(budget, workers, homBudget, force)
+	if err != nil {
+		return nil, err
+	}
+	count := new(big.Int).Sub(f.split.inner, nonent)
+	return count.Mul(count, f.split.outer), nil
+}
+
+// nonEntailment is the shared core of the planned factorized counters: it
+// plans and runs the per-component engines and returns the factorization
+// together with Π_c #¬Q_c × untouched — the number of repairs of the
+// relevant blocks that do NOT entail the query. An always-true instance
+// (some homomorphic image survives every repair) reports zero without
+// running any engine. countFactorized subtracts the result from the
+// relevant choice space; CountNonEntailment exposes it as a shard partial.
+func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKind) (*factorization, *big.Int, error) {
 	if !in.IsEP {
-		return nil, fmt.Errorf("repairs: CountFactorized needs an existential positive query, have %s", in.Q)
+		return nil, nil, fmt.Errorf("repairs: CountFactorized needs an existential positive query, have %s", in.Q)
 	}
 	if budget <= 0 {
 		budget = DefaultEnumBudget
@@ -231,11 +247,11 @@ func (in *Instance) countFactorized(budget, workers, homBudget int, force Engine
 	}
 	f := in.factorization(homBudget)
 	if f.alwaysTrue {
-		return in.TotalRepairs(), nil
+		return f, big.NewInt(0), nil
 	}
 	engines, err := planEngines(f, force)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// The shared costing pass (plan.go) consults the structural component
 	// memo: a component whose (engine, structure) fingerprint was counted
@@ -248,12 +264,12 @@ func (in *Instance) countFactorized(budget, workers, homBudget int, force Engine
 	// does not determine it.
 	a := in.assessComponents(f, engines)
 	if a.budget > int64(budget) {
-		return nil, ErrBudget
+		return nil, nil, ErrBudget
 	}
 
 	perComp, bigRes, err := in.runPlanned(f, engines, a.known, workers, homBudget)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	nonent := new(big.Int).Set(f.untouched)
@@ -277,8 +293,7 @@ func (in *Instance) countFactorized(budget, workers, homBudget int, force Engine
 		}
 		nonent.Mul(nonent, v)
 	}
-	count := new(big.Int).Sub(f.split.inner, nonent)
-	return count.Mul(count, f.split.outer), nil
+	return f, nonent, nil
 }
 
 // addSat adds non-negative int64s, saturating at MaxInt64.

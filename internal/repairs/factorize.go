@@ -77,6 +77,7 @@ const defaultHomBudget = 1 << 20
 // blocks; digit d has radix sizes[d] and its choices own the slot range
 // [slotOff[d], slotOff[d+1]).
 type component struct {
+	blocks  []int32 // member positions into factorization.conf, digit order
 	sizes   []int32 // per-digit block size (every size ≥ 2)
 	slotOff []int32 // digit → first slot; slot = slotOff[d] + choice
 	ords    []int32 // slot → fact ordinal in the instance index
@@ -94,13 +95,14 @@ type component struct {
 
 // factorization is the memoized component decomposition of one instance.
 type factorization struct {
-	split      *relevantSplit
-	conf       []relational.Block // relevant blocks with ≥ 2 facts
-	alwaysTrue bool               // some homomorphism uses only always-present facts
-	masked     bool               // hom budget exceeded: predicate-level components + matcher-mask engine
-	comps      []component
-	untouched  *big.Int // Π sizes of conflicting blocks in no box (they never affect Q)
-	baseMask   []uint64 // all facts allowed except those of conflicting relevant blocks
+	split         *relevantSplit
+	conf          []relational.Block // relevant blocks with ≥ 2 facts
+	alwaysTrue    bool               // some homomorphism uses only always-present facts
+	masked        bool               // hom budget exceeded: predicate-level components + matcher-mask engine
+	comps         []component
+	untouched     *big.Int // Π sizes of conflicting blocks in no box (they never affect Q)
+	untouchedConf []int32  // conf positions of those box-free blocks
+	baseMask      []uint64 // all facts allowed except those of conflicting relevant blocks
 }
 
 // factorization returns (building and memoizing on first use) the component
@@ -308,6 +310,7 @@ func newFactorization(in *Instance, homBudget int) *factorization {
 		if len(compBoxes[id]) == 0 {
 			for _, ci := range members[id] {
 				f.untouched.Mul(f.untouched, big.NewInt(int64(f.conf[ci].Size())))
+				f.untouchedConf = append(f.untouchedConf, ci)
 			}
 			continue
 		}
@@ -345,6 +348,7 @@ func newFactorization(in *Instance, homBudget int) *factorization {
 // component over the given conflicting-block positions.
 func (f *factorization) buildComponent(in *Instance, blocks []int32) component {
 	c := component{
+		blocks:  blocks,
 		sizes:   make([]int32, len(blocks)),
 		slotOff: make([]int32, len(blocks)+1),
 		space:   1,

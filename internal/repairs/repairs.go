@@ -165,6 +165,14 @@ func (in *Instance) Keywidth() int {
 // exceeded. Non-∃FO⁺ queries take full FO enumeration. ExplainPlan exposes
 // the same report without counting.
 func (in *Instance) CountExact() (*big.Int, EngineKind, error) {
+	return in.CountExactWorkers(0)
+}
+
+// CountExactWorkers is CountExact with the worker count threaded through
+// every engine that parallelizes — the planned factorized executor and the
+// enumeration fallback. workers ≤ 0 selects GOMAXPROCS; the count is
+// identical for every worker count.
+func (in *Instance) CountExactWorkers(workers int) (*big.Int, EngineKind, error) {
 	in.refresh()
 	if !in.IsEP {
 		n, err := in.CountEnumFO(0)
@@ -176,7 +184,7 @@ func (in *Instance) CountExact() (*big.Int, EngineKind, error) {
 	// The planned factorized engine derives the per-component assignment
 	// and its Σ_c min(2^{n_c}, IE_c) budget internally — the same report
 	// ExplainPlan exposes — so the costing pass runs once per count.
-	if n, err := in.countFactorized(0, 1, 0, EngineAuto); err == nil {
+	if n, err := in.countFactorized(0, workers, 0, EngineAuto); err == nil {
 		return n, EngineFactorized, nil
 	}
 	// The planned budget was exceeded: whole-instance inclusion–exclusion
@@ -185,7 +193,7 @@ func (in *Instance) CountExact() (*big.Int, EngineKind, error) {
 	if n, err := in.CountIE(0); err == nil {
 		return n, EngineIE, nil
 	}
-	n2, err := in.CountEnumUCQ(0)
+	n2, err := in.CountEnumUCQParallel(0, workers)
 	return n2, EngineEnum, err
 }
 

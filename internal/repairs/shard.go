@@ -1,0 +1,332 @@
+package repairs
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repaircount/internal/core"
+	"repaircount/internal/relational"
+)
+
+// This file implements component-sharded exact counting. The factorization
+// #Q = Π|B_i| − Π_c #¬Q_c makes connected components of the query-
+// interaction graph independent by construction, so the exact count
+// distributes with zero coordination: a shard holding a subset of the
+// components — plus every always-present relevant fact, which any
+// homomorphic image may use — discovers exactly the parent's homomorphisms
+// that pin its components, and its relevant-space non-entailment count
+// factors as Π over its components. The merge recombines shard partials
+// exactly:
+//
+//	#Q = (Π_s Inner_s − Π_s NonEnt_s) × Outer
+//
+// where Inner_s/NonEnt_s are shard s's relevant choice space and
+// non-entailing count, and Outer is the product of the sizes of blocks
+// excluded from every shard (irrelevant blocks and box-free conflicting
+// blocks, which no homomorphic image touches). An always-true instance
+// needs no special flag: every shard sees the witnessing image among its
+// shared facts, reports NonEnt_s = 0, and the product vanishes.
+
+// ShardOf sentinel values: a canonical block position carrying one of these
+// is not exclusive to any shard.
+const (
+	// ShardShared marks blocks replicated into every shard: relevant
+	// single-fact blocks, whose fact survives every repair and may appear
+	// in any homomorphic image.
+	ShardShared = -1
+	// ShardExcluded marks blocks appearing in no shard: irrelevant blocks
+	// and box-free conflicting blocks. Their sizes multiply into the
+	// partition's Outer factor.
+	ShardExcluded = -2
+)
+
+// ShardPlan is a partition of an instance's components into K groups,
+// balanced by planned engine cost. It is valid only for the instance
+// version it was derived from.
+type ShardPlan struct {
+	K int
+
+	// ShardOf maps each position of the canonical block sequence to the
+	// shard owning it (0..K-1), ShardShared, or ShardExcluded.
+	ShardOf []int32
+
+	// CompShard maps component index → shard; Components holds the planner
+	// report the bin-packing priced (Cost is the planned engine cost, never
+	// the memo-adjusted one: a shard executor starts cold).
+	CompShard  []int32
+	Components []ComponentPlan
+
+	// Cost and Blocks aggregate planned cost and exclusive conflicting
+	// blocks per shard; Inner is the per-shard Π of exclusive block sizes.
+	Cost   []int64
+	Blocks []int
+	Inner  []*big.Int
+
+	// Outer is Π sizes over excluded blocks — the global factor restored at
+	// merge time.
+	Outer *big.Int
+
+	version    uint64
+	alwaysTrue bool
+	masked     bool
+}
+
+// AlwaysTrue reports whether the parent instance is entailed by every
+// repair; the partition then assigns every conflicting block to Outer.
+func (p *ShardPlan) AlwaysTrue() bool { return p.alwaysTrue }
+
+// Masked reports whether the partition came from the coarse predicate-level
+// component graph (homomorphism space over budget). The partition is still
+// exact; shard-local planning may refine it.
+func (p *ShardPlan) Masked() bool { return p.masked }
+
+// PlanShards partitions the instance's components into k groups by greedy
+// LPT bin-packing on planned engine cost: components are placed heaviest
+// first onto the currently lightest shard, so one heavy component occupies
+// one shard instead of serializing the fleet. k may exceed the component
+// count; the surplus shards are empty (Inner 1, partial NonEnt 1) and merge
+// neutrally.
+func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
+	in.refresh()
+	if !in.IsEP {
+		return nil, fmt.Errorf("repairs: sharding needs an existential positive query, have %s", in.Q)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("repairs: need at least 1 shard, got %d", k)
+	}
+	f := in.factorization(0)
+	engines, err := planEngines(f, EngineAuto)
+	if err != nil {
+		return nil, err
+	}
+	p := &ShardPlan{
+		K:          k,
+		CompShard:  make([]int32, len(f.comps)),
+		Components: make([]ComponentPlan, len(f.comps)),
+		Cost:       make([]int64, k),
+		Blocks:     make([]int, k),
+		Inner:      make([]*big.Int, k),
+		Outer:      big.NewInt(1),
+		version:    in.Version(),
+		alwaysTrue: f.alwaysTrue,
+		masked:     f.masked,
+	}
+	for s := 0; s < k; s++ {
+		p.Inner[s] = big.NewInt(1)
+	}
+
+	// Greedy LPT: heaviest planned cost first, onto the lightest shard.
+	// Ties break on the lower component/shard index, so the partition is
+	// deterministic for a given instance.
+	order := make([]int, len(f.comps))
+	for i := range order {
+		order[i] = i
+		c := &f.comps[i]
+		p.Components[i] = ComponentPlan{
+			Blocks:   len(c.sizes),
+			Boxes:    c.numBoxes,
+			GrayCost: grayCost(c),
+			IECost:   ieCost(c),
+			Engine:   engines[i],
+			Cost:     engineCost(c, engines[i]),
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Components[order[a]].Cost > p.Components[order[b]].Cost
+	})
+	for _, ci := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if p.Cost[s] < p.Cost[best] {
+				best = s
+			}
+		}
+		p.CompShard[ci] = int32(best)
+		p.Cost[best] = addSat(p.Cost[best], p.Components[ci].Cost)
+		p.Blocks[best] += len(f.comps[ci].blocks)
+	}
+
+	// Shard of each conflicting-block position: conf index ci belongs to
+	// the component listing it, to Outer when box-free, and to Outer
+	// wholesale on an always-true instance (no engine ever runs; any shard
+	// detects the truth from its shared facts alone).
+	confShard := make([]int32, len(f.conf))
+	for i := range confShard {
+		confShard[i] = ShardExcluded
+	}
+	if !f.alwaysTrue {
+		for i := range f.comps {
+			for _, ci := range f.comps[i].blocks {
+				confShard[ci] = p.CompShard[i]
+			}
+		}
+	}
+
+	// Walk the canonical block sequence once, classifying every position.
+	pred := map[string]bool{}
+	for _, q := range in.UCQ.Predicates() {
+		pred[q] = true
+	}
+	p.ShardOf = make([]int32, len(in.Blocks))
+	ci := 0
+	for pos, b := range in.Blocks {
+		switch {
+		case !pred[b.Key.Pred]:
+			p.ShardOf[pos] = ShardExcluded
+		case b.Size() == 1:
+			p.ShardOf[pos] = ShardShared
+		default:
+			p.ShardOf[pos] = confShard[ci]
+			ci++
+		}
+		if s := p.ShardOf[pos]; s >= 0 {
+			p.Inner[s].Mul(p.Inner[s], big.NewInt(int64(b.Size())))
+		} else if s == ShardExcluded {
+			p.Outer.Mul(p.Outer, big.NewInt(int64(b.Size())))
+		}
+	}
+	if ci != len(f.conf) {
+		return nil, fmt.Errorf("repairs: internal: %d conflicting blocks classified, factorization has %d", ci, len(f.conf))
+	}
+	return p, nil
+}
+
+// ShardInstances materializes the plan's K sub-instances: shard s holds the
+// facts of its exclusive conflicting blocks plus every shared block's fact.
+// The plan must come from the instance's current version — counting shards
+// of a stale partition would silently misattribute blocks.
+func (in *Instance) ShardInstances(plan *ShardPlan) ([]*Instance, error) {
+	in.refresh()
+	if plan.version != in.Version() {
+		return nil, fmt.Errorf("repairs: shard plan is for version %d, instance is at %d; re-plan after Apply", plan.version, in.Version())
+	}
+	if len(plan.ShardOf) != len(in.Blocks) {
+		return nil, fmt.Errorf("repairs: shard plan covers %d blocks, instance has %d", len(plan.ShardOf), len(in.Blocks))
+	}
+	facts := make([][]relational.Fact, plan.K)
+	for pos, b := range in.Blocks {
+		switch s := plan.ShardOf[pos]; {
+		case s >= 0:
+			facts[s] = append(facts[s], b.Facts...)
+		case s == ShardShared:
+			for i := range facts {
+				facts[i] = append(facts[i], b.Facts...)
+			}
+		}
+	}
+	subs := make([]*Instance, plan.K)
+	for s := range subs {
+		db, err := relational.NewDatabase(facts[s]...)
+		if err != nil {
+			return nil, fmt.Errorf("repairs: shard %d: %w", s, err)
+		}
+		sub, err := NewInstance(db, in.Keys, in.Q)
+		if err != nil {
+			return nil, fmt.Errorf("repairs: shard %d: %w", s, err)
+		}
+		subs[s] = sub
+	}
+	return subs, nil
+}
+
+// Partial is one shard's (or any instance's) contribution to a sharded
+// count: Inner = Π|B_i| over all its blocks and NonEnt = the number of its
+// repairs that do not entail the query, so Inner − NonEnt = #Q of the
+// sub-instance alone and the products of each side merge exactly across
+// shards.
+type Partial struct {
+	Inner  *big.Int
+	NonEnt *big.Int
+}
+
+// CountNonEntailment computes the instance's Partial with the planned
+// factorized engine. budget and workers behave as in
+// CountFactorizedParallel. On an always-true instance NonEnt is zero.
+func (in *Instance) CountNonEntailment(budget, workers int) (*Partial, error) {
+	f, nonent, err := in.nonEntailment(budget, workers, 0, EngineAuto)
+	if err != nil {
+		return nil, err
+	}
+	// Fold the irrelevant factor into both sides: (inner·outer −
+	// nonent·outer) = #Q, and the factor distributes over the merge
+	// products, so a shard carrying irrelevant blocks still merges exactly.
+	return &Partial{
+		Inner:  new(big.Int).Mul(f.split.inner, f.split.outer),
+		NonEnt: new(big.Int).Mul(nonent, f.split.outer),
+	}, nil
+}
+
+// CombinePartials recombines shard partials under the plan's excluded
+// factor: (Π_s Inner_s − Π_s NonEnt_s) × outer. Every shard of the
+// partition must contribute exactly once; the file-level merge in
+// internal/store enforces that via manifest digests, in-process callers get
+// it by construction.
+func CombinePartials(outer *big.Int, parts []*Partial) *big.Int {
+	inner := big.NewInt(1)
+	nonent := big.NewInt(1)
+	for _, p := range parts {
+		inner.Mul(inner, p.Inner)
+		nonent.Mul(nonent, p.NonEnt)
+	}
+	count := inner.Sub(inner, nonent)
+	return count.Mul(count, outer)
+}
+
+// CountSharded counts repairs entailing the UCQ by partitioning the
+// components into k cost-balanced shards, counting each shard's partial
+// with an independent planned counter, and merging exactly. workers ≤ 0
+// selects GOMAXPROCS; shards are served to min(workers, k) goroutines from
+// a work-stealing queue, each counting its shard sequentially (the
+// intra-process analogue of the repairctl shard/count/merge pipeline). The
+// result is bit-identical to CountFactorized for every k.
+func (in *Instance) CountSharded(k, workers int) (*big.Int, error) {
+	plan, err := in.PlanShards(k)
+	if err != nil {
+		return nil, err
+	}
+	subs, err := in.ShardInstances(plan)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > plan.K {
+		workers = plan.K
+	}
+	parts := make([]*Partial, plan.K)
+	queue := core.NewShardQueue(plan.K)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, ok := queue.Next()
+				if !ok {
+					return
+				}
+				p, err := subs[s].CountNonEntailment(0, 1)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("repairs: shard %d: %w", s, err)
+					}
+					errMu.Unlock()
+					continue
+				}
+				parts[s] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return CombinePartials(plan.Outer, parts), nil
+}

@@ -1,0 +1,203 @@
+package repairs
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+// Differential suite for component-sharded counting: the sharded count must
+// be bit-identical to the unsharded planned counter for every shard count,
+// on every structural extreme, before and after delta streams.
+
+// shardInstances is the sharding corpus: the factorized structural extremes
+// plus the multi-component workloads sharding is built for.
+func shardInstances(t *testing.T, seed uint64) []*Instance {
+	t.Helper()
+	out := factorizedInstances(t, seed)
+	db, ks, q := workload.MultiComponent(6, 4, 2)
+	out = append(out, MustInstance(db, ks, q))
+	db, ks, q = workload.IEHeavy(3, 10, 3)
+	out = append(out, MustInstance(db, ks, q))
+	db, ks, q = workload.SkewedComponents(5, 10, 1.0)
+	out = append(out, MustInstance(db, ks, q))
+	return out
+}
+
+func TestShardedDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		for ii, in := range shardInstances(t, seed) {
+			want, err := in.CountFactorizedParallel(0, 2)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: unsharded: %v", seed, ii, err)
+			}
+			for _, k := range []int{1, 2, 3, 8} {
+				got, err := in.CountSharded(k, 4)
+				if err != nil {
+					t.Fatalf("seed %d instance %d: k=%d: %v", seed, ii, k, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("seed %d instance %d: CountSharded(%d) = %s, unsharded = %s", seed, ii, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The partition must be exhaustive and measure-preserving: every canonical
+// block lands in exactly one class, and the shard Inner products times the
+// excluded factor reproduce Π|B_i| over all blocks.
+func TestShardPlanInvariants(t *testing.T) {
+	db, ks, q := workload.SkewedComponents(6, 12, 1.2)
+	in := MustInstance(db, ks, q)
+	for _, k := range []int{1, 2, 3, 8} {
+		plan, err := in.PlanShards(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.ShardOf) != len(in.Blocks) {
+			t.Fatalf("k=%d: plan covers %d positions, instance has %d blocks", k, len(plan.ShardOf), len(in.Blocks))
+		}
+		total := big.NewInt(1)
+		space := big.NewInt(1)
+		for pos, b := range in.Blocks {
+			space.Mul(space, big.NewInt(int64(b.Size())))
+			s := plan.ShardOf[pos]
+			if s < ShardExcluded || int(s) >= plan.K {
+				t.Fatalf("k=%d: position %d has shard %d", k, pos, s)
+			}
+		}
+		for _, inner := range plan.Inner {
+			total.Mul(total, inner)
+		}
+		// Shared blocks are size 1, so they contribute 1 to every Inner and
+		// the product telescopes to the full choice space.
+		total.Mul(total, plan.Outer)
+		if total.Cmp(space) != 0 {
+			t.Fatalf("k=%d: Π Inner × Outer = %s, block space = %s", k, total, space)
+		}
+		for i, s := range plan.CompShard {
+			if s < 0 || int(s) >= plan.K {
+				t.Fatalf("k=%d: component %d assigned to shard %d", k, i, s)
+			}
+		}
+		// LPT bin-packing: with k ≥ #components, no shard holds two
+		// components, so each shard's cost is one component's planned cost.
+		if k >= len(plan.Components) && len(plan.Components) > 1 {
+			seen := map[int32]bool{}
+			for _, s := range plan.CompShard {
+				if seen[s] {
+					t.Fatalf("k=%d ≥ %d components, but shard %d holds two", k, len(plan.Components), s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+// A shard partial is self-contained: Inner − NonEnt equals the
+// sub-instance's own repair count.
+func TestCountNonEntailmentSelfContained(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		for ii, in := range shardInstances(t, seed) {
+			want, err := in.CountFactorized(0)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: %v", seed, ii, err)
+			}
+			p, err := in.CountNonEntailment(0, 2)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: %v", seed, ii, err)
+			}
+			got := new(big.Int).Sub(p.Inner, p.NonEnt)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("seed %d instance %d: Inner−NonEnt = %s, count = %s", seed, ii, got, want)
+			}
+		}
+	}
+}
+
+// Sharded counting after a randomized delta stream: re-planning per count
+// must track the mutated instance exactly.
+func TestShardedAfterApply(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 17))
+	db, ks := workload.Employee(rng, 8, 3, 0.6)
+	q := workload.SameDeptQuery(1, 2)
+	in := MustInstance(db, ks, q)
+	stream := workload.UpdateStream(rng, db, ks, 30, 0.6)
+	for step, op := range stream {
+		d := Insert(op.Fact)
+		if op.Del {
+			d = Delete(op.Fact)
+		}
+		if _, err := in.Apply(d); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%5 != 4 {
+			continue
+		}
+		want, err := in.CountFactorizedParallel(0, 2)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, k := range []int{1, 3, 8} {
+			got, err := in.CountSharded(k, 2)
+			if err != nil {
+				t.Fatalf("step %d: k=%d: %v", step, k, err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("step %d: CountSharded(%d) = %s, unsharded = %s", step, k, got, want)
+			}
+		}
+	}
+}
+
+// A plan outlives its instance version only as an error: materializing
+// shards of a stale partition must fail, never misattribute blocks.
+func TestShardPlanStaleVersion(t *testing.T) {
+	db, ks, q := workload.MultiComponent(3, 2, 2)
+	in := MustInstance(db, ks, q)
+	plan, err := in.PlanShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ShardInstances(plan); err != nil {
+		t.Fatalf("fresh plan rejected: %v", err)
+	}
+	f := relational.NewFact("C0", "zq", "v0")
+	if _, err := in.Apply(Insert(f)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ShardInstances(plan); err == nil {
+		t.Fatal("stale shard plan accepted after Apply")
+	}
+}
+
+func TestPlanShardsRejects(t *testing.T) {
+	db, ks, q := workload.MultiComponent(2, 2, 2)
+	in := MustInstance(db, ks, q)
+	if _, err := in.PlanShards(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// The closed form documented on SkewedComponents must match the counter.
+func TestSkewedComponentsClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		n, maxBlocks int
+		skew         float64
+	}{{1, 4, 0}, {3, 8, 1.0}, {5, 10, 1.5}} {
+		db, ks, q := workload.SkewedComponents(tc.n, tc.maxBlocks, tc.skew)
+		in := MustInstance(db, ks, q)
+		got, _, err := in.CountExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := workload.SkewedComponentsCount(tc.n, tc.maxBlocks, tc.skew)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("SkewedComponents(%d,%d,%g): counted %s, closed form %s", tc.n, tc.maxBlocks, tc.skew, got, want)
+		}
+	}
+}

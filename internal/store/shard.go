@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/big"
+	"os"
+	"strings"
+
+	"repaircount/internal/core"
+	"repaircount/internal/relational"
+)
+
+// This file implements the component-group slicer and the two sharding
+// artifacts it exchanges with the counters: the CQSM manifest binding a
+// shard set together and the CQSP partial-result files the merge step
+// recombines. The slicer itself is query-agnostic — it consumes a
+// per-block shard assignment (computed by the counting layer from the
+// factorization's component graph) and reuses the snapshot writer, so
+// every shard is a self-contained, CRC-valid version-1 snapshot holding
+// only the symbols, facts, blocks and postings its block subset needs.
+
+// Shard-assignment sentinels, mirroring the counting layer's convention: a
+// block position assigned shardShared is replicated into every shard, one
+// assigned shardExcluded appears in none (its size multiplies into the
+// manifest's Outer factor).
+const (
+	shardShared   = -1
+	shardExcluded = -2
+)
+
+// Manifest describes one sharding of a sealed snapshot: which query the
+// partition is valid for, the digests identifying each shard snapshot, and
+// the global factor carried by the blocks excluded from every shard. It is
+// the unit of stale/mixed-shard detection — counting and merging verify
+// digests against it and error instead of miscounting.
+type Manifest struct {
+	// BaseCRC is the parent snapshot's sealed-base digest (0 when the shard
+	// set was cut from a text instance that never had a snapshot form).
+	BaseCRC uint64
+
+	// Query is the canonical rendering of the Boolean query the partition
+	// was planned for. A partition is query-dependent (components are
+	// components of the query-interaction graph), so counting a shard under
+	// a different query must be rejected.
+	Query string
+
+	// Outer is Π|B_i| over the blocks excluded from every shard:
+	// irrelevant blocks and conflicting blocks no homomorphic image
+	// touches. The merge multiplies it back in.
+	Outer *big.Int
+
+	// Shards describes each shard snapshot, in shard order.
+	Shards []ManifestShard
+}
+
+// ManifestShard is one shard's manifest entry.
+type ManifestShard struct {
+	// CRC is the shard snapshot's sealed-base digest; `repairctl count
+	// -shard` locates the shard index by this value and refuses snapshots
+	// that are not part of the set.
+	CRC uint64
+	// Cost is the planned engine cost the bin-packing charged the shard.
+	Cost int64
+	// Blocks counts the conflicting blocks exclusive to the shard.
+	Blocks int
+	// Components counts the query-graph components assigned to the shard.
+	Components int
+}
+
+// EncodeManifest serializes the manifest as one CQSM block (see the format
+// spec in store.go) and returns the encoded bytes together with the
+// manifest digest — the trailer CRC partial files must echo.
+func EncodeManifest(m *Manifest) ([]byte, uint64, error) {
+	if len(m.Shards) == 0 {
+		return nil, 0, fmt.Errorf("store: manifest with no shards")
+	}
+	if len(m.Shards) > math.MaxUint32 {
+		return nil, 0, fmt.Errorf("store: %d shards exceed the manifest count field", len(m.Shards))
+	}
+	if m.Outer == nil || m.Outer.Sign() < 0 {
+		return nil, 0, fmt.Errorf("store: manifest outer factor must be a non-negative integer")
+	}
+	outer := m.Outer.String()
+	if len(m.Query) > math.MaxUint32 || len(outer) > math.MaxUint32 {
+		return nil, 0, fmt.Errorf("store: manifest field exceeds its length field")
+	}
+	buf := make([]byte, 0, 28+len(m.Query)+len(outer)+24*len(m.Shards)+8)
+	var u32 [4]byte
+	var u64 [8]byte
+	buf = append(buf, manifestMagic...)
+	le.PutUint32(u32[:], manifestVersion)
+	buf = append(buf, u32[:]...)
+	le.PutUint32(u32[:], uint32(len(m.Shards)))
+	buf = append(buf, u32[:]...)
+	le.PutUint32(u32[:], uint32(len(m.Query)))
+	buf = append(buf, u32[:]...)
+	le.PutUint64(u64[:], m.BaseCRC)
+	buf = append(buf, u64[:]...)
+	le.PutUint32(u32[:], uint32(len(outer)))
+	buf = append(buf, u32[:]...)
+	buf = append(buf, m.Query...)
+	buf = append(buf, outer...)
+	for _, s := range m.Shards {
+		if s.Cost < 0 {
+			return nil, 0, fmt.Errorf("store: negative shard cost %d", s.Cost)
+		}
+		le.PutUint64(u64[:], s.CRC)
+		buf = append(buf, u64[:]...)
+		le.PutUint64(u64[:], uint64(s.Cost))
+		buf = append(buf, u64[:]...)
+		le.PutUint32(u32[:], uint32(s.Blocks))
+		buf = append(buf, u32[:]...)
+		le.PutUint32(u32[:], uint32(s.Components))
+		buf = append(buf, u32[:]...)
+	}
+	digest := uint64(crc32.Checksum(buf, crcTable))
+	le.PutUint64(u64[:], digest)
+	return append(buf, u64[:]...), digest, nil
+}
+
+// DecodeManifest parses and verifies a CQSM block, returning the manifest
+// and its digest.
+func DecodeManifest(data []byte) (*Manifest, uint64, error) {
+	if len(data) < manifestHeaderSize+manifestTrailerLen {
+		return nil, 0, corrupt("manifest: %d bytes is shorter than header plus trailer", len(data))
+	}
+	if string(data[:4]) != manifestMagic {
+		return nil, 0, corrupt("manifest: bad magic %q", data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != manifestVersion {
+		return nil, 0, corrupt("manifest: unsupported version %d (want %d)", v, manifestVersion)
+	}
+	body := data[:len(data)-manifestTrailerLen]
+	digest := le.Uint64(data[len(data)-manifestTrailerLen:])
+	if got := uint64(crc32.Checksum(body, crcTable)); got != digest {
+		return nil, 0, corrupt("manifest: checksum mismatch: file says %#x, content hashes to %#x", digest, got)
+	}
+	k := le.Uint32(data[8:])
+	qlen := uint64(le.Uint32(data[12:]))
+	baseCRC := le.Uint64(data[16:])
+	olen := uint64(le.Uint32(data[24:]))
+	if k == 0 {
+		return nil, 0, corrupt("manifest: zero shards")
+	}
+	want := uint64(manifestHeaderSize) + qlen + olen + 24*uint64(k)
+	if uint64(len(body)) != want {
+		return nil, 0, corrupt("manifest: body of %d bytes, header describes %d", len(body), want)
+	}
+	p := body[manifestHeaderSize:]
+	query := string(p[:qlen])
+	outerStr := string(p[qlen : qlen+olen])
+	outer, ok := new(big.Int).SetString(outerStr, 10)
+	if !ok || outer.Sign() < 0 {
+		return nil, 0, corrupt("manifest: bad outer factor %q", outerStr)
+	}
+	p = p[qlen+olen:]
+	m := &Manifest{BaseCRC: baseCRC, Query: query, Outer: outer, Shards: make([]ManifestShard, k)}
+	for i := range m.Shards {
+		cost := le.Uint64(p[8:])
+		if cost > math.MaxInt64 {
+			return nil, 0, corrupt("manifest: shard %d cost overflows", i)
+		}
+		m.Shards[i] = ManifestShard{
+			CRC:        le.Uint64(p),
+			Cost:       int64(cost),
+			Blocks:     int(le.Uint32(p[16:])),
+			Components: int(le.Uint32(p[20:])),
+		}
+		p = p[24:]
+	}
+	return m, digest, nil
+}
+
+// WriteManifestFile writes the manifest to path and returns its digest.
+func WriteManifestFile(path string, m *Manifest) (uint64, error) {
+	buf, digest, err := EncodeManifest(m)
+	if err != nil {
+		return 0, err
+	}
+	return digest, os.WriteFile(path, buf, 0o644)
+}
+
+// ReadManifestFile loads and verifies the manifest at path.
+func ReadManifestFile(path string) (*Manifest, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return DecodeManifest(data)
+}
+
+// SniffManifest reports whether prefix starts like a CQSM manifest.
+func SniffManifest(prefix []byte) bool {
+	return len(prefix) >= 8 && string(prefix[:4]) == manifestMagic && le.Uint32(prefix[4:]) == manifestVersion
+}
+
+// WriteShardFiles slices an instance into one self-contained snapshot per
+// shard: shardOf assigns each position of the canonical block sequence to a
+// shard index (0..len(paths)−1), shardShared (−1, replicated everywhere) or
+// shardExcluded (−2, written nowhere). Each shard re-interns its fact
+// subset canonically and carries all precomputed sections, so it loads like
+// any sealed snapshot. Every shard keeps the full key set — keys of
+// predicates the shard has no facts for ride along in the extra-keys
+// section. Returns the per-shard sealed-base digests, in shard order.
+func WriteShardFiles(ks *relational.KeySet, blocks []relational.Block, shardOf []int32, paths []string) ([]uint64, error) {
+	if len(shardOf) != len(blocks) {
+		return nil, fmt.Errorf("store: shard assignment covers %d blocks, instance has %d", len(shardOf), len(blocks))
+	}
+	facts := make([][]relational.Fact, len(paths))
+	for pos, b := range blocks {
+		switch s := shardOf[pos]; {
+		case s >= 0 && int(s) < len(paths):
+			facts[s] = append(facts[s], b.Facts...)
+		case s == shardShared:
+			for i := range facts {
+				facts[i] = append(facts[i], b.Facts...)
+			}
+		case s == shardExcluded:
+		default:
+			return nil, fmt.Errorf("store: block %d assigned to shard %d of %d", pos, s, len(paths))
+		}
+	}
+	digests := make([]uint64, len(paths))
+	for s, path := range paths {
+		db, err := relational.NewDatabase(facts[s]...)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", s, err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		digest, err := WriteCRC(bw, db, ks, DefaultOptions)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: shard %d: %w", s, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		digests[s] = digest
+	}
+	return digests, nil
+}
+
+// PartialFile is one shard's serialized counting result (a CQSP file): the
+// identity of the manifest and shard it belongs to, and the shard's Inner
+// (Π|B_i| choice space) and NonEnt (repairs not entailing the query)
+// totals. Inner − NonEnt is the shard's own #Q; the merge multiplies each
+// side across the set.
+type PartialFile struct {
+	ManifestCRC uint64
+	Shard, K    int
+	SnapshotCRC uint64
+	Inner       *big.Int
+	NonEnt      *big.Int
+}
+
+// EncodePartial renders the partial in the CQSP text form (see store.go).
+func EncodePartial(p *PartialFile) ([]byte, error) {
+	if p.K <= 0 || p.Shard < 0 || p.Shard >= p.K {
+		return nil, fmt.Errorf("store: partial names shard %d of %d", p.Shard, p.K)
+	}
+	var inner, nonent core.Accum
+	if err := inner.SetBig(p.Inner); err != nil {
+		return nil, fmt.Errorf("store: partial inner: %w", err)
+	}
+	if err := nonent.SetBig(p.NonEnt); err != nil {
+		return nil, fmt.Errorf("store: partial nonent: %w", err)
+	}
+	it, _ := inner.MarshalText()
+	nt, _ := nonent.MarshalText()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CQSP %d\n", partialVersion)
+	fmt.Fprintf(&sb, "manifest %016x\n", p.ManifestCRC)
+	fmt.Fprintf(&sb, "shard %d of %d\n", p.Shard, p.K)
+	fmt.Fprintf(&sb, "snapshot %016x\n", p.SnapshotCRC)
+	fmt.Fprintf(&sb, "inner %s\n", it)
+	fmt.Fprintf(&sb, "nonent %s\n", nt)
+	return []byte(sb.String()), nil
+}
+
+// DecodePartial parses a CQSP file, rejecting any structural deviation.
+func DecodePartial(data []byte) (*PartialFile, error) {
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 6 {
+		return nil, corrupt("partial: %d lines (want 6)", len(lines))
+	}
+	var ver int
+	if _, err := fmt.Sscanf(lines[0], "CQSP %d", &ver); err != nil || ver != partialVersion {
+		return nil, corrupt("partial: bad header %q", lines[0])
+	}
+	p := &PartialFile{}
+	if _, err := fmt.Sscanf(lines[1], "manifest %x", &p.ManifestCRC); err != nil {
+		return nil, corrupt("partial: bad manifest line %q", lines[1])
+	}
+	if _, err := fmt.Sscanf(lines[2], "shard %d of %d", &p.Shard, &p.K); err != nil {
+		return nil, corrupt("partial: bad shard line %q", lines[2])
+	}
+	if p.K <= 0 || p.Shard < 0 || p.Shard >= p.K {
+		return nil, corrupt("partial: shard %d of %d out of range", p.Shard, p.K)
+	}
+	if _, err := fmt.Sscanf(lines[3], "snapshot %x", &p.SnapshotCRC); err != nil {
+		return nil, corrupt("partial: bad snapshot line %q", lines[3])
+	}
+	var inner, nonent core.Accum
+	if !strings.HasPrefix(lines[4], "inner ") {
+		return nil, corrupt("partial: bad inner line %q", lines[4])
+	}
+	if err := inner.UnmarshalText([]byte(strings.TrimPrefix(lines[4], "inner "))); err != nil {
+		return nil, corrupt("partial: %v", err)
+	}
+	if !strings.HasPrefix(lines[5], "nonent ") {
+		return nil, corrupt("partial: bad nonent line %q", lines[5])
+	}
+	if err := nonent.UnmarshalText([]byte(strings.TrimPrefix(lines[5], "nonent "))); err != nil {
+		return nil, corrupt("partial: %v", err)
+	}
+	p.Inner = inner.Big()
+	p.NonEnt = nonent.Big()
+	return p, nil
+}
+
+// WritePartialFile writes the partial to path.
+func WritePartialFile(path string, p *PartialFile) error {
+	buf, err := EncodePartial(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadPartialFile loads and verifies the partial at path.
+func ReadPartialFile(path string) (*PartialFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodePartial(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// MergePartials recombines a complete shard set's partials under the
+// manifest:
+//
+//	#Q = (Π_s Inner_s − Π_s NonEnt_s) × Outer
+//
+// Every partial must carry the manifest's digest and its shard's snapshot
+// digest, every shard must contribute exactly once, and the shard count
+// must match — a stale, duplicated, missing or foreign partial is an
+// error, never a miscount.
+func MergePartials(m *Manifest, manifestCRC uint64, parts []*PartialFile) (*big.Int, error) {
+	k := len(m.Shards)
+	if len(parts) != k {
+		return nil, fmt.Errorf("store: merge needs %d partials, got %d", k, len(parts))
+	}
+	seen := make([]bool, k)
+	inner := big.NewInt(1)
+	nonent := big.NewInt(1)
+	for _, p := range parts {
+		if p.ManifestCRC != manifestCRC {
+			return nil, fmt.Errorf("store: partial for shard %d was produced under manifest %016x, merging under %016x", p.Shard, p.ManifestCRC, manifestCRC)
+		}
+		if p.K != k {
+			return nil, fmt.Errorf("store: partial says %d shards, manifest has %d", p.K, k)
+		}
+		if seen[p.Shard] {
+			return nil, fmt.Errorf("store: two partials for shard %d", p.Shard)
+		}
+		seen[p.Shard] = true
+		if want := m.Shards[p.Shard].CRC; p.SnapshotCRC != want {
+			return nil, fmt.Errorf("store: partial for shard %d counted snapshot %016x, manifest records %016x", p.Shard, p.SnapshotCRC, want)
+		}
+		inner.Mul(inner, p.Inner)
+		nonent.Mul(nonent, p.NonEnt)
+	}
+	for s, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("store: no partial for shard %d", s)
+		}
+	}
+	count := inner.Sub(inner, nonent)
+	return count.Mul(count, m.Outer), nil
+}

@@ -1,0 +1,256 @@
+package store_test
+
+import (
+	"math/big"
+	"path/filepath"
+	"testing"
+
+	"repaircount/internal/repairs"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// sampleManifest builds a plausible three-shard manifest.
+func sampleManifest() *store.Manifest {
+	return &store.Manifest{
+		BaseCRC: 0xdeadbeefcafe,
+		Query:   "(exists x . R(x,'a')) | (exists y . S(y,'b'))",
+		Outer:   new(big.Int).Lsh(big.NewInt(1), 100),
+		Shards: []store.ManifestShard{
+			{CRC: 0x1111, Cost: 64, Blocks: 5, Components: 2},
+			{CRC: 0x2222, Cost: 32, Blocks: 3, Components: 1},
+			{CRC: 0x3333, Cost: 0, Blocks: 0, Components: 0},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	buf, digest, err := store.EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotDigest, err := store.DecodeManifest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != digest {
+		t.Fatalf("digest %#x on decode, %#x on encode", gotDigest, digest)
+	}
+	if got.BaseCRC != m.BaseCRC || got.Query != m.Query || got.Outer.Cmp(m.Outer) != 0 {
+		t.Fatalf("round trip mangled the header: %+v", got)
+	}
+	if len(got.Shards) != len(m.Shards) {
+		t.Fatalf("round trip: %d shards, want %d", len(got.Shards), len(m.Shards))
+	}
+	for i, s := range got.Shards {
+		if s != m.Shards[i] {
+			t.Fatalf("shard %d round-tripped to %+v, want %+v", i, s, m.Shards[i])
+		}
+	}
+	if !store.SniffManifest(buf) {
+		t.Fatal("SniffManifest rejects a valid manifest")
+	}
+
+	// Every single-byte corruption and every truncation must be caught.
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x40
+		if _, _, err := store.DecodeManifest(bad); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+	for n := 0; n < len(buf); n += 7 {
+		if _, _, err := store.DecodeManifest(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "m.cqsm")
+	fileDigest, err := store.WriteManifestFile(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, readDigest, err := store.ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileDigest != digest || readDigest != digest {
+		t.Fatalf("file digests %#x/%#x, want %#x", fileDigest, readDigest, digest)
+	}
+}
+
+func TestManifestEncodeRejects(t *testing.T) {
+	if _, _, err := store.EncodeManifest(&store.Manifest{Outer: big.NewInt(1)}); err == nil {
+		t.Fatal("zero-shard manifest accepted")
+	}
+	m := sampleManifest()
+	m.Outer = nil
+	if _, _, err := store.EncodeManifest(m); err == nil {
+		t.Fatal("nil outer accepted")
+	}
+	m = sampleManifest()
+	m.Outer = big.NewInt(-3)
+	if _, _, err := store.EncodeManifest(m); err == nil {
+		t.Fatal("negative outer accepted")
+	}
+	m = sampleManifest()
+	m.Shards[1].Cost = -1
+	if _, _, err := store.EncodeManifest(m); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	big200 := new(big.Int).Lsh(big.NewInt(3), 200) // exercises the hi word
+	for _, p := range []*store.PartialFile{
+		{ManifestCRC: 0xabc, Shard: 0, K: 1, SnapshotCRC: 0x1, Inner: big.NewInt(12), NonEnt: big.NewInt(5)},
+		{ManifestCRC: ^uint64(0), Shard: 2, K: 3, SnapshotCRC: 0xffeeddcc, Inner: big200, NonEnt: new(big.Int).Sub(big200, big.NewInt(7))},
+		{ManifestCRC: 0, Shard: 0, K: 8, SnapshotCRC: 0, Inner: big.NewInt(1), NonEnt: big.NewInt(0)},
+	} {
+		buf, err := store.EncodePartial(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := store.DecodePartial(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", buf, err)
+		}
+		if got.ManifestCRC != p.ManifestCRC || got.Shard != p.Shard || got.K != p.K ||
+			got.SnapshotCRC != p.SnapshotCRC || got.Inner.Cmp(p.Inner) != 0 || got.NonEnt.Cmp(p.NonEnt) != 0 {
+			t.Fatalf("round trip mangled %+v into %+v", p, got)
+		}
+	}
+}
+
+func TestPartialDecodeRejects(t *testing.T) {
+	good, err := store.EncodePartial(&store.PartialFile{
+		ManifestCRC: 0xabc, Shard: 1, K: 2, SnapshotCRC: 0x9, Inner: big.NewInt(8), NonEnt: big.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string]string{
+		"empty":         "",
+		"missing line":  "CQSP 1\nmanifest 0abc\nshard 1 of 2\nsnapshot 09\ninner 8\n",
+		"extra line":    string(good) + "trailer\n",
+		"bad version":   "CQSP 9" + string(good[6:]),
+		"bad decimal":   "CQSP 1\nmanifest 0abc\nshard 1 of 2\nsnapshot 09\ninner 8x\nnonent 3\n",
+		"neg shard":     "CQSP 1\nmanifest 0abc\nshard -1 of 2\nsnapshot 09\ninner 8\nnonent 3\n",
+		"shard beyond":  "CQSP 1\nmanifest 0abc\nshard 2 of 2\nsnapshot 09\ninner 8\nnonent 3\n",
+		"wrong label":   "CQSP 1\nmanifest 0abc\nshard 1 of 2\nsnapshot 09\ntotal 8\nnonent 3\n",
+		"empty decimal": "CQSP 1\nmanifest 0abc\nshard 1 of 2\nsnapshot 09\ninner \nnonent 3\n",
+	} {
+		if _, err := store.DecodePartial([]byte(data)); err == nil {
+			t.Fatalf("%s: accepted %q", name, data)
+		}
+	}
+	if _, err := store.EncodePartial(&store.PartialFile{Shard: 3, K: 2, Inner: big.NewInt(1), NonEnt: big.NewInt(1)}); err == nil {
+		t.Fatal("out-of-range shard encoded")
+	}
+	if _, err := store.EncodePartial(&store.PartialFile{Shard: 0, K: 1, Inner: big.NewInt(-1), NonEnt: big.NewInt(1)}); err == nil {
+		t.Fatal("negative inner encoded")
+	}
+}
+
+// WriteShardFiles must emit self-contained snapshots whose sealed digests
+// match what it reports, partitioning the conflicting blocks and
+// replicating the shared ones.
+func TestWriteShardFiles(t *testing.T) {
+	db, ks, q := workload.MultiComponent(4, 3, 2)
+	in := repairs.MustInstance(db, ks, q)
+	plan, err := in.PlanShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "s0.cqs"), filepath.Join(dir, "s1.cqs")}
+	digests, err := store.WriteShardFiles(ks, in.Blocks, plan.ShardOf, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumFacts := 0
+	shared := 0
+	for pos, b := range in.Blocks {
+		if plan.ShardOf[pos] == repairs.ShardShared {
+			shared += b.Size()
+		}
+	}
+	for s, path := range paths {
+		snap, err := store.Open(path)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if snap.BaseCRC() != digests[s] {
+			t.Fatalf("shard %d: sealed digest %#x, writer reported %#x", s, snap.BaseCRC(), digests[s])
+		}
+		db2, err := snap.Database()
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		sumFacts += db2.Len()
+		snap.Close()
+	}
+	wantTotal := 0
+	for pos, b := range in.Blocks {
+		if plan.ShardOf[pos] != repairs.ShardExcluded {
+			wantTotal += b.Size()
+		}
+	}
+	// Shared facts are replicated into both shards; exclusive ones appear
+	// exactly once.
+	if sumFacts != wantTotal+shared {
+		t.Fatalf("shards hold %d facts, want %d exclusive+shared plus %d replicas", sumFacts, wantTotal, shared)
+	}
+
+	if _, err := store.WriteShardFiles(ks, in.Blocks, plan.ShardOf[:1], paths); err == nil {
+		t.Fatal("short shard assignment accepted")
+	}
+	badOf := append([]int32(nil), plan.ShardOf...)
+	badOf[0] = 7
+	if _, err := store.WriteShardFiles(ks, in.Blocks, badOf, paths); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+}
+
+func TestMergePartialsVerification(t *testing.T) {
+	m := &store.Manifest{
+		Query: "q",
+		Outer: big.NewInt(3),
+		Shards: []store.ManifestShard{
+			{CRC: 0xa}, {CRC: 0xb},
+		},
+	}
+	_, digest, err := store.EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := func(shard int, snap uint64, inner, nonent int64) *store.PartialFile {
+		return &store.PartialFile{
+			ManifestCRC: digest, Shard: shard, K: 2, SnapshotCRC: snap,
+			Inner: big.NewInt(inner), NonEnt: big.NewInt(nonent),
+		}
+	}
+	good := []*store.PartialFile{part(0, 0xa, 4, 1), part(1, 0xb, 8, 3)}
+	got, err := store.MergePartials(m, digest, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4·8 − 1·3) × 3 = 87.
+	if got.Cmp(big.NewInt(87)) != 0 {
+		t.Fatalf("merge = %s, want 87", got)
+	}
+
+	cases := map[string][]*store.PartialFile{
+		"missing shard":     {part(0, 0xa, 4, 1)},
+		"duplicate shard":   {part(0, 0xa, 4, 1), part(0, 0xa, 4, 1)},
+		"foreign manifest":  {part(0, 0xa, 4, 1), {ManifestCRC: digest + 1, Shard: 1, K: 2, SnapshotCRC: 0xb, Inner: big.NewInt(8), NonEnt: big.NewInt(3)}},
+		"wrong shard count": {part(0, 0xa, 4, 1), {ManifestCRC: digest, Shard: 1, K: 3, SnapshotCRC: 0xb, Inner: big.NewInt(8), NonEnt: big.NewInt(3)}},
+		"stale snapshot":    {part(0, 0xa, 4, 1), part(1, 0xbad, 8, 3)},
+		"surplus partial":   {part(0, 0xa, 4, 1), part(1, 0xb, 8, 3), part(1, 0xb, 8, 3)},
+	}
+	for name, parts := range cases {
+		if _, err := store.MergePartials(m, digest, parts); err == nil {
+			t.Fatalf("%s: merge succeeded", name)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Snapshot struct {
 	// snapshot materializes.
 	journal []JournalOp
 
+	// baseCRC is the sealed base's trailer digest (CRC-32C of every base
+	// byte before the trailer, zero-extended to 64 bits). Shard manifests
+	// identify shard snapshots by this value.
+	baseCRC uint64
+
 	matOnce sync.Once
 	matErr  error
 	in      *relational.Interner
@@ -64,6 +69,11 @@ func (s *Snapshot) HasBlocks() bool { return s.blockBounds != nil }
 
 // HasPostings reports whether the snapshot carries prebuilt posting lists.
 func (s *Snapshot) HasPostings() bool { return s.post != nil }
+
+// BaseCRC returns the sealed base's trailer digest — the value WriteCRC
+// reported when the base was written. Appended journal blocks do not change
+// it.
+func (s *Snapshot) BaseCRC() uint64 { return s.baseCRC }
 
 // Close releases the backing mapping (a no-op for in-memory snapshots).
 // No structure obtained from the snapshot may be used afterwards.

@@ -96,6 +96,39 @@
 // checksum before any op is replayed, and a truncated or corrupted journal
 // region fails the whole load — mutations are either all visible or the
 // file is rejected, never half-applied.
+//
+// # Shard manifest (CQSM)
+//
+// A sealed snapshot can be sliced into K self-contained shard snapshots —
+// each an ordinary version-1 .cqs file holding one group of the query's
+// interaction-graph components plus every shared (single-fact relevant)
+// block — and a CQSM manifest binding the set together (see shard.go; the
+// partition itself is computed by the counting layer). The manifest is one
+// block:
+//
+//	offset 0  magic "CQSM"
+//	offset 4  uint32 version (currently 1)
+//	offset 8  uint32 shard count K (> 0)
+//	offset 12 uint32 query byte length
+//	offset 16 uint64 parent snapshot's sealed-base digest (0 if the shard
+//	          set was cut from a non-snapshot source)
+//	offset 24 uint32 outer-factor byte length
+//	offset 28 query bytes (canonical query rendering, UTF-8), then the
+//	          outer factor as a decimal big integer — Π|B_i| over the
+//	          blocks excluded from every shard
+//	then      K × 24-byte shard entries: uint64 sealed-base digest of the
+//	          shard snapshot, uint64 planned engine cost, uint32 exclusive
+//	          conflicting blocks, uint32 components
+//	then      uint64 CRC-32C of everything before, zero-extended (same
+//	          convention as the base trailer). This value is the manifest
+//	          digest that partial files echo.
+//
+// A shard's counting result travels as a CQSP partial file — a fixed
+// six-line text form (version, manifest digest, shard index of K, shard
+// snapshot digest, and the decimal Inner/NonEnt totals; see shard.go) —
+// and MergePartials recombines a complete, digest-verified set as
+// (Π Inner − Π NonEnt) × Outer. Any stale, mixed, duplicated or missing
+// piece fails the merge; a wrong count is never produced.
 package store
 
 import (
@@ -127,6 +160,16 @@ const (
 
 	opInsert = 0
 	opDelete = 1
+)
+
+// Shard-manifest and partial-file constants (see the package comment).
+const (
+	manifestMagic      = "CQSM"
+	manifestVersion    = 1
+	manifestHeaderSize = 28 // magic, version, K, query len, base digest, outer len
+	manifestTrailerLen = 8  // crc32c, zero-extended
+
+	partialVersion = 1
 )
 
 // Section identifiers.

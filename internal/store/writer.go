@@ -32,9 +32,18 @@ var DefaultOptions = Options{Blocks: true, Postings: true}
 // output is deterministic for a given instance regardless of insertion
 // order. The stream is written section by section; w needs no seeking.
 func Write(w io.Writer, db *relational.Database, ks *relational.KeySet, opts Options) error {
+	_, err := WriteCRC(w, db, ks, opts)
+	return err
+}
+
+// WriteCRC is Write, additionally returning the snapshot's base digest —
+// the CRC-32C of every byte before the trailer, zero-extended to 64 bits,
+// exactly the value the trailer records and Snapshot.BaseCRC reports after
+// a load. Shard manifests store this digest per shard.
+func WriteCRC(w io.Writer, db *relational.Database, ks *relational.KeySet, opts Options) (uint64, error) {
 	img, err := buildImage(db, ks, opts)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	return img.stream(w)
 }
@@ -278,7 +287,7 @@ func (img *image) sections() []section {
 
 // stream writes header, section table, padded sections and the checksum
 // trailer, accumulating the CRC as it goes.
-func (img *image) stream(w io.Writer) error {
+func (img *image) stream(w io.Writer) (uint64, error) {
 	secs := img.sections()
 	off := uint64(headerSize + entrySize*len(secs))
 	offsets := make([]uint64, len(secs))
@@ -297,7 +306,7 @@ func (img *image) stream(w io.Writer) error {
 	le.PutUint32(hdr[12:], uint32(len(secs)))
 	le.PutUint64(hdr[16:], fileSize)
 	if err := cw.bytes(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	var ent [entrySize]byte
 	for i, s := range secs {
@@ -306,20 +315,21 @@ func (img *image) stream(w io.Writer) error {
 		le.PutUint64(ent[8:], offsets[i])
 		le.PutUint64(ent[16:], s.size)
 		if err := cw.bytes(ent[:]); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	for i, s := range secs {
 		if err := cw.pad(offsets[i]); err != nil {
-			return err
+			return 0, err
 		}
 		if err := s.emit(cw); err != nil {
-			return err
+			return 0, err
 		}
 	}
+	digest := uint64(cw.crc)
 	var tr [trailerLen]byte
-	le.PutUint64(tr[:], uint64(cw.crc))
-	return cw.bytes(tr[:])
+	le.PutUint64(tr[:], digest)
+	return digest, cw.bytes(tr[:])
 }
 
 // crcWriter streams bytes to w while folding them into a running

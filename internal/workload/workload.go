@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/big"
 	"math/rand/v2"
 	"sort"
@@ -217,6 +218,60 @@ func MultiComponent(nComponents, blocksPer, blockSize int) (*relational.Database
 	}
 	q := query.MustParse(strings.Join(disjuncts, " | "))
 	return db, relational.Keys(keys), q
+}
+
+// SkewedComponents builds a MultiComponent-style instance with a power-law
+// component-size distribution — the adversarial case for the shard
+// planner's cost bin-packing. Component i (predicate S{i}, key width 1)
+// has b_i = max(2, ⌊maxBlocks / (i+1)^skew⌋) conflict blocks of size 2
+// (choices 'v0'/'v1'), so component 0 dominates and the tail is tiny: a
+// block-count-balanced partition would serialize the fleet behind the head
+// component, while cost-balancing isolates it on its own shard. The query
+// is the MultiComponent disjunction (component i entails iff some S{i}
+// block picks 'v0' and another picks 'v1').
+func SkewedComponents(nComponents, maxBlocks int, skew float64) (*relational.Database, *relational.KeySet, query.Formula) {
+	if nComponents < 1 || maxBlocks < 2 || skew < 0 {
+		panic("workload: SkewedComponents needs nComponents >= 1, maxBlocks >= 2 and skew >= 0")
+	}
+	db := relational.MustDatabase()
+	keys := map[string]int{}
+	var disjuncts []string
+	for c := 0; c < nComponents; c++ {
+		pred := "S" + strconv.Itoa(c)
+		keys[pred] = 1
+		for b := 0; b < skewedBlocks(c, maxBlocks, skew); b++ {
+			k := relational.Const("k" + strconv.Itoa(b))
+			for v := 0; v < 2; v++ {
+				db.Add(relational.Fact{Pred: pred, Args: []relational.Const{k, valueConst(v)}})
+			}
+		}
+		disjuncts = append(disjuncts,
+			fmt.Sprintf("(exists x, y . (%s(x, 'v0') & %s(y, 'v1')))", pred, pred))
+	}
+	q := query.MustParse(strings.Join(disjuncts, " | "))
+	return db, relational.Keys(keys), q
+}
+
+// skewedBlocks is the power-law block count of component i.
+func skewedBlocks(i, maxBlocks int, skew float64) int {
+	b := int(float64(maxBlocks) / math.Pow(float64(i+1), skew))
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// SkewedComponentsCount returns #CQA of SkewedComponents in closed form.
+// Component i avoids its disjunct iff all b_i blocks pick 'v0' or all pick
+// 'v1', so #¬Q_c = 2 regardless of b_i and
+// #Q = 2^{Σ_i b_i} − 2^{nComponents}.
+func SkewedComponentsCount(nComponents, maxBlocks int, skew float64) *big.Int {
+	total := 0
+	for c := 0; c < nComponents; c++ {
+		total += skewedBlocks(c, maxBlocks, skew)
+	}
+	n := new(big.Int).Lsh(big.NewInt(1), uint(total))
+	return n.Sub(n, new(big.Int).Lsh(big.NewInt(1), uint(nComponents)))
 }
 
 // IEHeavy builds a structured instance in the few-boxes/large-component

@@ -166,6 +166,34 @@
 // CompactSnapshot (repairctl compact) reseals a clean snapshot with
 // identical counts.
 //
+// # Sharded counting
+//
+// The factorization #Q = Π|B_i| − Π_c #¬Q_c makes connected components
+// independent by construction, so the exact count distributes with zero
+// coordination. Counter.PlanShards bin-packs the components into K groups
+// by planned engine cost (greedy LPT: the heaviest component lands on the
+// lightest shard, so one expensive component occupies one shard instead of
+// serializing the fleet), and the partition runs two ways. In process,
+// Counter.CountSharded materializes one sub-instance per shard — its
+// exclusive conflicting blocks plus every shared single-fact relevant
+// block, which any homomorphic image may use — and worker goroutines drain
+// shards from a work-stealing queue, each running an independent planned
+// counter; the merge (Π_s Inner_s − Π_s NonEnt_s) × Outer is exact big-int
+// arithmetic and bit-identical to the single-driver planner for every K.
+// Across processes, Snapshot.Shard slices a sealed snapshot into K
+// self-contained, CRC-valid shard snapshots plus a CQSM manifest recording
+// the partition, the per-shard digests and the global factor split
+// (repairctl shard); each shard is counted anywhere by `repairctl count
+// -shard`, which verifies the shard's digest and query against the
+// manifest and emits a CQSP partial file; and MergePartialFiles (repairctl
+// merge) recombines a complete partial set, verifying every digest — a
+// stale, mixed, duplicated or missing shard errors instead of miscounting.
+// Blocks no homomorphic image touches (irrelevant blocks and box-free
+// conflicting blocks) are excluded from every shard and their Π|B_i|
+// factor is restored at merge time. An always-true instance needs no
+// special case: every shard sees the witnessing homomorphism among its
+// shared facts and reports a zero non-entailment partial.
+//
 // # Parallel sampling and reproducibility
 //
 // The Theorem 6.2 FPRAS and the Karp–Luby estimator offer sharded
@@ -185,6 +213,7 @@ import (
 	"io"
 	"math/big"
 	"math/rand/v2"
+	"path/filepath"
 
 	"repaircount/internal/core"
 	"repaircount/internal/query"
@@ -313,6 +342,13 @@ func ParseEngine(name string) (EngineKind, error) { return repairs.ParseEngine(n
 // EngineFactorized, EngineIE, EngineEnum or EngineEnumFO).
 func (c *Counter) Count() (*big.Int, EngineKind, error) { return c.inst.CountExact() }
 
+// CountWorkers is Count with an explicit worker count threaded through
+// every engine that parallelizes. workers ≤ 0 selects GOMAXPROCS; the
+// count is identical for every worker count.
+func (c *Counter) CountWorkers(workers int) (*big.Int, EngineKind, error) {
+	return c.inst.CountExactWorkers(workers)
+}
+
 // CountWith computes #CQA(Q,Σ)(D) exactly with a pinned engine:
 // EngineFactorized (planner-selected per-component engines), EngineGray
 // (every component forced onto the Gray-delta walk), EngineCompIE (every
@@ -320,20 +356,33 @@ func (c *Counter) Count() (*big.Int, EngineKind, error) { return c.inst.CountExa
 // (whole-instance inclusion–exclusion) or EngineEnum (plain enumeration).
 // EngineAuto is Count without the engine report.
 func (c *Counter) CountWith(engine EngineKind) (*big.Int, error) {
+	return c.CountWithWorkers(engine, 0)
+}
+
+// CountWithWorkers is CountWith with one worker knob threaded uniformly
+// through every pinned engine's executor (the planned factorized runner,
+// the forced Gray/IE assignments, parallel enumeration). workers ≤ 0
+// selects GOMAXPROCS everywhere; engines without a parallel path
+// (whole-instance IE, FO enumeration) ignore it. The count never depends
+// on the worker count.
+func (c *Counter) CountWithWorkers(engine EngineKind, workers int) (*big.Int, error) {
 	switch engine {
 	case EngineAuto:
-		n, _, err := c.inst.CountExact()
+		n, _, err := c.inst.CountExactWorkers(workers)
 		return n, err
 	case EngineFactorized:
-		return c.inst.CountFactorizedParallel(0, 0)
+		return c.inst.CountFactorizedParallel(0, workers)
 	case EngineGray:
-		return c.inst.CountGray(0, 0)
+		return c.inst.CountGray(0, workers)
 	case EngineCompIE:
-		return c.inst.CountCompIE(0, 0)
+		return c.inst.CountCompIE(0, workers)
 	case EngineIE:
 		return c.inst.CountIE(0)
 	case EngineEnum:
-		return c.CountEnum()
+		if c.inst.IsEP {
+			return c.inst.CountEnumUCQParallel(0, workers)
+		}
+		return c.inst.CountEnumFO(0)
 	case EngineEnumFO:
 		return c.inst.CountEnumFO(0)
 	}
@@ -611,3 +660,139 @@ func AppendJournal(path string, deltas ...Delta) error {
 // journal — as a clean, journal-free snapshot at dst with all precomputed
 // sections and identical counts.
 func CompactSnapshot(src, dst string) error { return store.CompactFile(src, dst) }
+
+// ShardPlan is a cost-balanced partition of an instance's query-graph
+// components into K shards; see Counter.PlanShards.
+type ShardPlan = repairs.ShardPlan
+
+// Partial is one shard's counting contribution: its Inner choice space and
+// NonEnt non-entailing total, merged as (Π Inner − Π NonEnt) × Outer.
+type Partial = repairs.Partial
+
+// Manifest is the CQSM record binding a shard set: the partition's query,
+// per-shard snapshot digests, and the excluded-block factor.
+type Manifest = store.Manifest
+
+// PlanShards partitions the counter's components into k groups by greedy
+// bin-packing on planned engine cost (`repairctl shard -explain` renders
+// the resulting per-shard cost table). k may exceed the component count;
+// surplus shards are empty and merge neutrally.
+func (c *Counter) PlanShards(k int) (*ShardPlan, error) { return c.inst.PlanShards(k) }
+
+// CountSharded counts exactly by splitting the instance into k
+// cost-balanced shards, running one independent planned counter per shard
+// on a worker pool (workers ≤ 0 selects GOMAXPROCS), and merging the
+// partials with exact big-int arithmetic. The result is bit-identical to
+// Count for every k — sharding is a throughput lever, never an
+// approximation.
+func (c *Counter) CountSharded(k, workers int) (*big.Int, error) {
+	return c.inst.CountSharded(k, workers)
+}
+
+// CountPartial computes this instance's shard partial — Inner = Π|B_i|
+// over its blocks and NonEnt = its repairs not entailing the query — with
+// the planned factorized engine (workers ≤ 0 selects GOMAXPROCS). It is
+// the counting half of the multi-process pipeline: run it on a shard
+// snapshot, serialize the result, and MergePartialFiles recombines the
+// set.
+func (c *Counter) CountPartial(workers int) (*Partial, error) {
+	return c.inst.CountNonEntailment(0, workers)
+}
+
+// ShardSet describes shard snapshots written by WriteShards: the manifest
+// (also written to ManifestPath) with its digest, and the shard snapshot
+// paths in shard order.
+type ShardSet struct {
+	Manifest     *Manifest
+	ManifestCRC  uint64
+	ManifestPath string
+	Paths        []string
+}
+
+// WriteShards slices the counter's instance under plan into one
+// self-contained .cqs snapshot per shard in dir (shard-000.cqs, …) plus a
+// CQSM manifest (manifest.cqsm) binding the set. baseCRC identifies the
+// parent snapshot in the manifest (0 for instances without a snapshot
+// form). Each shard holds its exclusive conflicting blocks plus every
+// shared single-fact relevant block and the full key set, so it loads and
+// counts like any snapshot.
+func (c *Counter) WriteShards(dir string, plan *ShardPlan, baseCRC uint64) (*ShardSet, error) {
+	paths := make([]string, plan.K)
+	for s := range paths {
+		paths[s] = filepath.Join(dir, fmt.Sprintf("shard-%03d.cqs", s))
+	}
+	digests, err := store.WriteShardFiles(c.inst.Keys, c.inst.Blocks, plan.ShardOf, paths)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		BaseCRC: baseCRC,
+		Query:   fmt.Sprintf("%v", c.inst.Q),
+		Outer:   plan.Outer,
+		Shards:  make([]store.ManifestShard, plan.K),
+	}
+	for s := range m.Shards {
+		m.Shards[s] = store.ManifestShard{
+			CRC:    digests[s],
+			Cost:   plan.Cost[s],
+			Blocks: plan.Blocks[s],
+		}
+	}
+	for _, sh := range plan.CompShard {
+		m.Shards[sh].Components++
+	}
+	mpath := filepath.Join(dir, "manifest.cqsm")
+	crc, err := store.WriteManifestFile(mpath, m)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardSet{Manifest: m, ManifestCRC: crc, ManifestPath: mpath, Paths: paths}, nil
+}
+
+// Shard slices the sealed snapshot into k shard snapshots plus a manifest
+// in dir, partitioned for the Boolean query q (see Counter.WriteShards).
+// The snapshot must be journal-free — shard digests identify sealed bytes,
+// so a journaled snapshot must be compacted first.
+func (s *Snapshot) Shard(q Formula, k int, dir string) (*ShardSet, error) {
+	if n := s.s.NumJournalOps(); n > 0 {
+		return nil, fmt.Errorf("repaircount: snapshot carries %d journal ops; compact it before sharding", n)
+	}
+	c, err := s.Counter(q)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := c.PlanShards(k)
+	if err != nil {
+		return nil, err
+	}
+	return c.WriteShards(dir, plan, s.Digest())
+}
+
+// Digest returns the snapshot's sealed-base digest — the trailer CRC that
+// shard manifests use to identify snapshots. Appended journal ops do not
+// change it.
+func (s *Snapshot) Digest() uint64 { return s.s.BaseCRC() }
+
+// NumJournalOps returns how many delta-journal ops the snapshot file
+// carried at load. A snapshot with journal ops no longer equals its sealed
+// base, so sharding and shard counting refuse it until compacted.
+func (s *Snapshot) NumJournalOps() int { return s.s.NumJournalOps() }
+
+// MergePartialFiles reads a CQSM manifest and a complete set of CQSP
+// partial files and recombines them into the exact global count,
+// verifying that every partial was produced under this manifest and
+// counted the recorded shard snapshot. Any stale, mixed, duplicated or
+// missing partial is an error, never a miscount.
+func MergePartialFiles(manifestPath string, partialPaths ...string) (*big.Int, error) {
+	m, crc, err := store.ReadManifestFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*store.PartialFile, len(partialPaths))
+	for i, p := range partialPaths {
+		if parts[i], err = store.ReadPartialFile(p); err != nil {
+			return nil, err
+		}
+	}
+	return store.MergePartials(m, crc, parts)
+}

@@ -1,0 +1,174 @@
+package repaircount
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// writePartialForTest is what repairctl count -shard does: serialize one
+// shard's partial bound to the manifest and shard snapshot digests.
+func writePartialForTest(path string, set *ShardSet, shard int, snapshotDigest uint64, p *Partial) error {
+	return store.WritePartialFile(path, &store.PartialFile{
+		ManifestCRC: set.ManifestCRC,
+		Shard:       shard,
+		K:           len(set.Manifest.Shards),
+		SnapshotCRC: snapshotDigest,
+		Inner:       p.Inner,
+		NonEnt:      p.NonEnt,
+	})
+}
+
+// End-to-end sharding pipeline at the public API: snapshot → Shard →
+// per-shard CountPartial → MergePartialFiles must reproduce the direct
+// count bit-identically, and every staleness hatch must error.
+
+func shardFixture(t *testing.T) (string, Formula) {
+	t.Helper()
+	db, ks, q := workload.SkewedComponents(5, 8, 1.0)
+	path := filepath.Join(t.TempDir(), "base.cqs")
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, q
+}
+
+func TestSnapshotShardPipeline(t *testing.T) {
+	path, q := shardFixture(t)
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	dc, err := snap.Counter(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := dc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 3, 8} {
+		dir := filepath.Join(t.TempDir(), "shards")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		set, err := snap.Shard(q, k, dir)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(set.Paths) != k || len(set.Manifest.Shards) != k {
+			t.Fatalf("k=%d: wrote %d shard paths, manifest lists %d", k, len(set.Paths), len(set.Manifest.Shards))
+		}
+		if set.Manifest.BaseCRC != snap.Digest() {
+			t.Fatalf("k=%d: manifest base digest %#x, snapshot %#x", k, set.Manifest.BaseCRC, snap.Digest())
+		}
+		partials := make([]string, k)
+		for s, shardPath := range set.Paths {
+			sub, err := OpenSnapshot(shardPath)
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+			if sub.Digest() != set.Manifest.Shards[s].CRC {
+				t.Fatalf("k=%d shard %d: digest %#x, manifest says %#x", k, s, sub.Digest(), set.Manifest.Shards[s].CRC)
+			}
+			c, err := sub.Counter(q)
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+			p, err := c.CountPartial(1)
+			if err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+			partials[s] = filepath.Join(dir, filepath.Base(shardPath)+".cqsp")
+			if err := writePartialForTest(partials[s], set, s, sub.Digest(), p); err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+			sub.Close()
+		}
+		merged, err := MergePartialFiles(set.ManifestPath, partials...)
+		if err != nil {
+			t.Fatalf("k=%d: merge: %v", k, err)
+		}
+		if merged.Cmp(direct) != 0 {
+			t.Fatalf("k=%d: merged %s, direct %s", k, merged, direct)
+		}
+		// The closed form pins both sides.
+		if want := workload.SkewedComponentsCount(5, 8, 1.0); merged.Cmp(want) != 0 {
+			t.Fatalf("k=%d: merged %s, closed form %s", k, merged, want)
+		}
+
+		// An incomplete set must error, never miscount.
+		if k > 1 {
+			if _, err := MergePartialFiles(set.ManifestPath, partials[:k-1]...); err == nil {
+				t.Fatalf("k=%d: merge accepted %d of %d partials", k, k-1, k)
+			}
+		}
+	}
+}
+
+// A journaled snapshot no longer equals its sealed base, so sharding must
+// refuse it until compacted.
+func TestShardRefusesJournaledSnapshot(t *testing.T) {
+	path, q := shardFixture(t)
+	if err := AppendJournal(path, Insert(NewFact("S0", "zz", "v0"))); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if snap.NumJournalOps() == 0 {
+		t.Fatal("journal op not visible")
+	}
+	if _, err := snap.Shard(q, 2, t.TempDir()); err == nil {
+		t.Fatal("sharded a journaled snapshot")
+	}
+}
+
+// In-process sharded counting at the Counter level agrees with Count for
+// every k, including after deltas (the plan is rebuilt per count).
+func TestCounterCountSharded(t *testing.T) {
+	db, ks, q := workload.MultiComponent(4, 3, 2)
+	c, err := NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 8} {
+		got, err := c.CountSharded(k, 2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got.Cmp(direct) != 0 {
+			t.Fatalf("k=%d: sharded %s, direct %s", k, got, direct)
+		}
+	}
+	if _, err := c.Apply(Delete(NewFact("C0", "k0", "v0"))); err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err = c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CountSharded(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(direct) != 0 {
+		t.Fatalf("after delta: sharded %s, direct %s", got, direct)
+	}
+}
