@@ -39,6 +39,16 @@
 //	echo '+ Employee(3, Zoe, HR)' | repairctl apply -db employees.cqs
 //	repairctl compact -db employees.cqs -o resealed.cqs
 //
+// serve keeps one snapshot mapped in a long-lived HTTP/JSON daemon: count,
+// decide, rank and explain probes are priced by an admission ladder (cheap
+// plans exact, expensive plans degraded to the FPRAS, hopeless ones
+// refused with a structured 429), an -ops file is tailed, journaled and
+// compacted crash-safely, and startup recovers torn journal tails.
+//
+//	repairctl serve -db employees.cqs -addr :8347 -ops stream.ops
+//	curl 'http://localhost:8347/v1/count?q=exists+i,n+.+Employee(i,n,%27IT%27)'
+//	curl 'http://localhost:8347/v1/stats'
+//
 //	repairctl decide -db employees.db -query "..."
 //	repairctl freq   -db employees.db -query "..."
 //	repairctl approx -db employees.db -query "..." -eps 0.1 -delta 0.05 -seed 1
@@ -70,6 +80,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,17 +88,28 @@ import (
 	"io/fs"
 	"math"
 	"math/big"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repaircount"
 	"repaircount/internal/core"
+	"repaircount/internal/faultfs"
 	"repaircount/internal/relational"
+	"repaircount/internal/server"
 	"repaircount/internal/store"
 	"repaircount/internal/workload"
 )
 
 func main() {
+	// Deterministic crash testing: REPAIRCOUNT_FAULT="budget=N[,exit]"
+	// makes the N-th faultfs write unit fail (or fail-stop the process),
+	// so scripts can drive the daemon's write path into every crash point.
+	faultfs.FromEnv("REPAIRCOUNT_FAULT")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "repairctl:", err)
 		os.Exit(1)
@@ -220,6 +242,14 @@ func run(args []string, stdout io.Writer) error {
 		shardMan = fs.String("shard", "", "CQSM manifest path: count one shard snapshot and write a partial")
 		partial  = fs.String("partial", "", "output path for the CQSP partial written by count -shard")
 		manifest = fs.String("manifest", "", "CQSM manifest path for merge")
+
+		addr         = fs.String("addr", "localhost:8347", "listen address for serve (':0' picks a free port, printed on startup)")
+		poll         = fs.Duration("poll", 0, "ops-file poll interval for serve (0 = 200ms)")
+		deadline     = fs.Duration("deadline", 0, "per-probe wall-clock budget for serve (0 = 30s)")
+		exactBudget  = fs.Int64("exact-budget", 0, "serve admission ceiling on planned exact work (0 = the enumeration budget)")
+		maxSamples   = fs.Int64("max-samples", 0, "serve admission ceiling on the FPRAS sample bound (0 = the sampler cap)")
+		compactBytes = fs.Int64("compact-bytes", 0, "journal bytes that trigger serve's compaction (0 = 1MiB, negative disables)")
+		serveWorkers = fs.Int("serve-workers", 0, "probe worker slots for serve (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -245,13 +275,34 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-db is required")
 	}
 
-	// apply and compact operate on the snapshot file itself, not a loaded
-	// instance.
+	// apply, compact and serve operate on the snapshot file itself, not a
+	// loaded instance.
 	switch cmd {
 	case "apply":
 		return applyOps(stdout, *dbPath, *opsPath)
 	case "compact":
 		return compact(stdout, *dbPath, *out)
+	case "serve":
+		// For apply, -ops defaults to stdin; the daemon tails a file, so
+		// "-" means no update stream.
+		ops := *opsPath
+		if ops == "-" {
+			ops = ""
+		}
+		return serve(stdout, *addr, server.Config{
+			SnapshotPath: *dbPath,
+			OpsPath:      ops,
+			Workers:      *serveWorkers,
+			CountWorkers: *workers,
+			Deadline:     *deadline,
+			ExactBudget:  *exactBudget,
+			MaxSamples:   *maxSamples,
+			Eps:          *eps,
+			Delta:        *delta,
+			Seed:         *seed,
+			Poll:         *poll,
+			CompactBytes: *compactBytes,
+		})
 	}
 
 	src, err := openInstance(*dbPath)
@@ -613,6 +664,38 @@ func analyze(stdout io.Writer, counter *repaircount.Counter, eps, delta float64)
 	return nil
 }
 
+// serve runs the probe daemon on a snapshot until SIGINT/SIGTERM: the
+// listen address is printed first (parse it when -addr ends in :0), and
+// shutdown drains in-flight probes before the snapshot is unmapped.
+func serve(stdout io.Writer, addr string, cfg server.Config) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	if dropped := s.Recovered(); dropped > 0 {
+		fmt.Fprintf(stdout, "recovered %s: dropped %d torn journal bytes\n", cfg.SnapshotPath, dropped)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
 func usageError() error {
-	return fmt.Errorf("usage: repairctl <build|apply|compact|total|blocks|count|decide|freq|approx|rank|analyze|shard|merge> -db FILE|- [-query Q] [flags]")
+	return fmt.Errorf("usage: repairctl <build|apply|compact|serve|total|blocks|count|decide|freq|approx|rank|analyze|shard|merge> -db FILE|- [-query Q] [flags]")
 }

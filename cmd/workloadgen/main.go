@@ -12,6 +12,15 @@
 //	workloadgen -kind skewed-components -n 32 -components 8 -skew 1.0 > skew.db
 //	workloadgen -kind employee -n 100 -updates 50 -update-conflict 0.6 \
 //	    -updates-out stream.ops > employees.db
+//	workloadgen -kind probe-stream -components 3 -n 2 \
+//	    -probes-out probes.txt > probes.db
+//
+// probe-stream emits a base instance plus an admission probe stream for
+// the serve daemon (repairctl serve): cheap queries the daemon must answer
+// exactly, expensive ones it must degrade to the FPRAS, and pathological
+// (non-∃FO⁺) ones it must refuse with a budget error, one
+// "expect<TAB>query" line each, under the exact budget stated in the
+// file's "# exact-budget:" header.
 //
 // ie-heavy emits the few-boxes/large-component regime of the exact-counting
 // planner (n blocks of size 2 per component, coupled by -boxes ground
@@ -44,7 +53,7 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components")
+		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components | probe-stream")
 		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy; max blocks per component for skewed-components)")
 		conflict   = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
 		depts      = flag.Int("depts", 4, "number of departments (employee kind)")
@@ -58,14 +67,17 @@ func main() {
 		updates    = flag.Int("updates", 0, "emit an update stream of this many interleaved inserts/deletes")
 		updConf    = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
 		updStream  = flag.String("updates-out", "", "path for the update stream (required with -updates)")
+		probesOut  = flag.String("probes-out", "", "path for the admission probe stream (required with -kind probe-stream)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewPCG(*seed, 99))
 	var (
-		db  *relational.Database
-		ks  *relational.KeySet
-		q   query.Formula
-		err error
+		db          *relational.Database
+		ks          *relational.KeySet
+		q           query.Formula
+		probes      []workload.Probe
+		probeBudget int64
+		err         error
 	)
 	switch *kind {
 	case "employee":
@@ -84,6 +96,16 @@ func main() {
 			break
 		}
 		db, ks, q = workload.SkewedComponents(*components, *n, *skew)
+	case "probe-stream":
+		if *components < 1 || *n < 2 {
+			err = fmt.Errorf("probe-stream needs -components >= 1 and -n >= 2 (have -components %d -n %d)", *components, *n)
+			break
+		}
+		if *probesOut == "" {
+			err = fmt.Errorf("-probes-out is required with -kind probe-stream (the probes cannot share stdout with the instance)")
+			break
+		}
+		db, ks, probeBudget, probes = workload.ProbeStream(*components, *n)
 	case "random":
 		var dist workload.Dist = workload.Uniform{Lo: 1, Hi: *maxSize}
 		if *zipf {
@@ -108,6 +130,20 @@ func main() {
 	}
 	if err := relational.WriteInstance(os.Stdout, db, ks); err != nil {
 		fatal(err)
+	}
+	if len(probes) > 0 {
+		f, err := os.Create(*probesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.FormatProbes(f, probeBudget, probes); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "workloadgen: wrote %d probes (exact-budget %d) to %s\n", len(probes), probeBudget, *probesOut)
 	}
 	if *updates > 0 {
 		if *updStream == "" {

@@ -33,6 +33,13 @@ var ErrBudget = fmt.Errorf("core: exact count exceeds work budget")
 // sizes) instead of an O(n) big.Int product; the big path remains for
 // larger universes.
 func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error) {
+	return CountUnionIEStop(doms, boxes, budget, nil)
+}
+
+// CountUnionIEStop is CountUnionIE polling a cooperative stop flag every
+// stopStride subset nodes, returning ErrStopped when it fires mid-DFS. A
+// nil stop never fires.
+func CountUnionIEStop(doms []Domain, boxes []Selector, budget int, stop *Stop) (*big.Int, error) {
 	if budget <= 0 {
 		budget = DefaultIENodeBudget
 	}
@@ -51,6 +58,9 @@ func CountUnionIE(doms []Domain, boxes []Selector, budget int) (*big.Int, error)
 			nodes++
 			if nodes > budget {
 				return ErrBudget
+			}
+			if nodes&(stopStride-1) == 0 && stop.Stopped() {
+				return ErrStopped
 			}
 			if fits {
 				// Pinned coordinates are distinct, so the product of their

@@ -80,10 +80,36 @@ func (c *Compactor) ApxParallel(eps, delta float64, workers int, seed uint64) (E
 	return c.ApxParallelWithSamples(int(tBig.Int64()), workers, seed)
 }
 
+// ApxParallelStop is ApxParallel with a cooperative stop flag threaded
+// into the sampling loop (see ApxParallelWithSamplesStop).
+func (c *Compactor) ApxParallelStop(eps, delta float64, workers int, seed uint64, stop *Stop) (Estimate, error) {
+	if err := checkEpsDelta(eps, delta); err != nil {
+		return Estimate{}, err
+	}
+	if c.K < 0 {
+		return Estimate{}, fmt.Errorf("core: ApxParallel needs a bounded k-compactor; %s is unbounded (SpanLL) — use KarpLubyParallel", c.Name)
+	}
+	m := MaxDomainSize(c.Doms)
+	tBig := SampleBound(m, c.K, eps, delta)
+	if !tBig.IsInt64() || tBig.Int64() > MaxApxSamples {
+		return Estimate{}, fmt.Errorf("core: Apx sample bound %s exceeds cap %d (m=%d, k=%d)", tBig, MaxApxSamples, m, c.K)
+	}
+	return c.ApxParallelWithSamplesStop(int(tBig.Int64()), workers, seed, stop)
+}
+
 // ApxParallelWithSamples runs the Algorithm 3 estimator with an explicit
 // sample budget, sharded across worker goroutines with deterministic
 // per-shard PCG streams. workers ≤ 0 selects GOMAXPROCS.
 func (c *Compactor) ApxParallelWithSamples(t, workers int, seed uint64) (Estimate, error) {
+	return c.ApxParallelWithSamplesStop(t, workers, seed, nil)
+}
+
+// ApxParallelWithSamplesStop is ApxParallelWithSamples polling a
+// cooperative stop flag between sample batches: a fired stop abandons the
+// run with ErrStopped instead of finishing the budget, so deadlines free
+// sampling workers mid-estimate. A nil stop never fires; results for a
+// fixed seed are unchanged by the polling.
+func (c *Compactor) ApxParallelWithSamplesStop(t, workers int, seed uint64, stop *Stop) (Estimate, error) {
 	if t <= 0 {
 		return Estimate{}, fmt.Errorf("core: sample budget must be positive, got %d", t)
 	}
@@ -106,8 +132,14 @@ func (c *Compactor) ApxParallelWithSamples(t, workers int, seed uint64) (Estimat
 			tuple := make([]Element, len(c.Doms))
 			local := int64(0)
 			for shard := range jobs {
+				if stop.Stopped() {
+					continue // keep draining so the producer never blocks
+				}
 				rng := shardStream(seed, shard)
 				for i := shardSize(t, shards, shard); i > 0; i-- {
+					if i&(stopStride-1) == 0 && stop.Stopped() {
+						break
+					}
 					for j, d := range c.Doms {
 						tuple[j] = d.Elems[rng.IntN(d.Size())]
 					}
@@ -120,10 +152,17 @@ func (c *Compactor) ApxParallelWithSamples(t, workers int, seed uint64) (Estimat
 		}()
 	}
 	for shard := 0; shard < shards; shard++ {
-		jobs <- shard
+		select {
+		case jobs <- shard:
+		case <-stop.Done(): // nil stop: nil channel, never fires
+			shard = shards
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if stop.Stopped() {
+		return Estimate{}, ErrStopped
+	}
 	u := new(big.Float).SetInt(UniverseSize(c.Doms))
 	est := new(big.Float).Quo(
 		new(big.Float).Mul(u, big.NewFloat(float64(hits.Load()))),

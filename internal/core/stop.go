@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrStopped is returned by counting and sampling runs that were canceled
+// through a Stop before completing.
+var ErrStopped = errors.New("core: run canceled")
+
+// stopStride is the polling period of the hot loops, in states/nodes/
+// samples: a power of two, so the poll condition compiles to a mask, and
+// large enough that the rare atomic load vanishes against the loop body.
+const stopStride = 1 << 12
+
+// Stop is a cooperative cancellation flag shared by the workers of one
+// counting or sampling run: deadline and disconnect handling trigger it
+// once, and the hot loops poll it at a coarse stride (the Gray walkers,
+// the IE subset DFS, the sampling batches and the shard-queue drain all
+// check it), so a canceled run frees its workers within a bounded number
+// of states instead of running to completion.
+//
+// The zero value is ready to use. A nil *Stop is valid everywhere and
+// never fires, so un-canceled paths thread nil without allocating.
+type Stop struct {
+	fired atomic.Bool
+
+	mu   sync.Mutex
+	done chan struct{} // lazily created; closed by Trigger
+}
+
+// Trigger fires the stop. Idempotent and safe for concurrent use; a nil
+// receiver is a no-op.
+func (s *Stop) Trigger() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.fired.Load() {
+		s.fired.Store(true)
+		if s.done != nil {
+			close(s.done)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Stopped reports whether Trigger has fired. One atomic load; nil
+// receivers report false, so hot loops poll without a nil check.
+func (s *Stop) Stopped() bool { return s != nil && s.fired.Load() }
+
+// Done returns a channel closed when the stop fires — the select-friendly
+// form of Stopped. A nil receiver returns a nil channel (which never
+// fires), so select arms stay valid without guards.
+func (s *Stop) Done() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done == nil {
+		s.done = make(chan struct{})
+		if s.fired.Load() {
+			close(s.done)
+		}
+	}
+	return s.done
+}
+
+// Err returns ErrStopped when the stop has fired, nil otherwise.
+func (s *Stop) Err() error {
+	if s.Stopped() {
+		return ErrStopped
+	}
+	return nil
+}

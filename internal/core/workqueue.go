@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 	"sync/atomic"
 )
 
@@ -15,22 +16,78 @@ import (
 
 // ShardQueue hands out the shard indices 0..n−1 exactly once, in order,
 // to any number of concurrent callers. The zero value is an empty queue.
+//
+// A queue can be stopped: Stop makes every subsequent Next report drained,
+// so workers polling the queue wind down at their next claim, and Done
+// gives waiters a channel to unblock on without waiting for workers that
+// are stalled inside their current shard.
 type ShardQueue struct {
 	n    int64
 	next atomic.Int64
+	halt Stop
 }
 
 // NewShardQueue returns a queue over n shards.
 func NewShardQueue(n int) *ShardQueue { return &ShardQueue{n: int64(n)} }
 
 // Next claims the next unclaimed shard; ok is false when the queue is
-// drained. Safe for concurrent use.
+// drained or stopped. Safe for concurrent use.
 func (q *ShardQueue) Next() (shard int, ok bool) {
+	if q.halt.Stopped() {
+		return 0, false
+	}
 	i := q.next.Add(1) - 1
 	if i >= q.n {
 		return 0, false
 	}
 	return int(i), true
+}
+
+// Stop cancels the queue: unclaimed shards are never handed out, and any
+// Drain in progress returns early. Idempotent, safe for concurrent use.
+func (q *ShardQueue) Stop() { q.halt.Trigger() }
+
+// Stopped reports whether Stop has been called.
+func (q *ShardQueue) Stopped() bool { return q.halt.Stopped() }
+
+// Done returns a channel closed when the queue is stopped.
+func (q *ShardQueue) Done() <-chan struct{} { return q.halt.Done() }
+
+// Drain runs fn over every shard of the queue on `workers` goroutines and
+// blocks until the work is complete — or until Stop is called, in which
+// case it returns early without waiting for workers wedged inside their
+// current fn call (their claimed shard may still be executing when Drain
+// returns; the queue hands out no further ones). Returns true when every
+// shard ran to completion, false on early stop.
+func (q *ShardQueue) Drain(workers int, fn func(shard int)) bool {
+	if workers < 1 {
+		workers = 1
+	}
+	finished := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					shard, ok := q.Next()
+					if !ok {
+						return
+					}
+					fn(shard)
+				}
+			}()
+		}
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return !q.Stopped()
+	case <-q.Done():
+		return false
+	}
 }
 
 // Accum is an unsigned counter that lives in a uint64 until it would

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestShardQueueDrainsOnceConcurrently(t *testing.T) {
@@ -44,6 +45,77 @@ func TestShardQueueEmpty(t *testing.T) {
 	if _, ok := q.Next(); ok {
 		t.Fatal("zero-value queue yielded a shard")
 	}
+}
+
+func TestShardQueueStop(t *testing.T) {
+	q := NewShardQueue(1000)
+	if _, ok := q.Next(); !ok {
+		t.Fatal("fresh queue is empty")
+	}
+	q.Stop()
+	if _, ok := q.Next(); ok {
+		t.Fatal("stopped queue yielded a shard")
+	}
+	if !q.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("Done() channel open after Stop")
+	}
+	q.Stop() // idempotent
+}
+
+func TestShardQueueDrainCompletes(t *testing.T) {
+	const n = 100
+	q := NewShardQueue(n)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if ok := q.Drain(4, func(s int) {
+		mu.Lock()
+		seen[s]++
+		mu.Unlock()
+	}); !ok {
+		t.Fatal("Drain of an unstopped queue reported early stop")
+	}
+	if len(seen) != n {
+		t.Fatalf("Drain ran %d shards, want %d", len(seen), n)
+	}
+	for s, c := range seen {
+		if c != 1 {
+			t.Fatalf("shard %d ran %d times", s, c)
+		}
+	}
+}
+
+// TestShardQueueDrainUnblocksOnStalledWorker is the satellite contract:
+// a worker wedged forever inside its shard cannot hold Drain hostage once
+// the queue is stopped.
+func TestShardQueueDrainUnblocksOnStalledWorker(t *testing.T) {
+	q := NewShardQueue(8)
+	stall := make(chan struct{})      // never closed until cleanup
+	entered := make(chan struct{}, 8) // signals a worker reached the stall
+	done := make(chan bool, 1)
+	go func() {
+		done <- q.Drain(2, func(s int) {
+			if s == 0 {
+				entered <- struct{}{}
+				<-stall // wedged worker: simulates a hung shard
+			}
+		})
+	}()
+	<-entered // a worker is now stalled inside shard 0
+	q.Stop()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped Drain reported full completion")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not unblock after Stop with a stalled worker")
+	}
+	close(stall) // release the wedged goroutine
 }
 
 func TestAccumMatchesBigInt(t *testing.T) {

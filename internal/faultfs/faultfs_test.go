@@ -1,0 +1,124 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNoHookPassesThrough(t *testing.T) {
+	Clear()
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "b"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestBudgetTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	h := Inject(3)
+	defer Clear()
+	f, err := Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v, want 3, ErrInjected", n, err)
+	}
+	if !h.Tripped() {
+		t.Fatal("hook not tripped")
+	}
+	// Fail-stop: every later operation fails too.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip sync: %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip close: %v", err)
+	}
+	if err := Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip rename: %v", err)
+	}
+	Clear()
+	got, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(got) != "hel" {
+		t.Fatalf("on-disk prefix %q, %v", got, err)
+	}
+}
+
+func TestMetadataOpsCostOneUnit(t *testing.T) {
+	dir := t.TempDir()
+	// Budget covers the 5-byte write and the sync but not the rename:
+	// the crash point lands between sync and rename.
+	Inject(6)
+	defer Clear()
+	f, err := Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename should trip: %v", err)
+	}
+	Clear()
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatal("rename happened despite trip")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatal("temp file should survive the crash point")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	const key = "FAULTFS_TEST_SPEC"
+	t.Setenv(key, "budget=2")
+	Clear()
+	FromEnv(key)
+	defer Clear()
+	f, err := Create(filepath.Join(t.TempDir(), "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("abc")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v, want 2, ErrInjected", n, err)
+	}
+}
+
+func TestFromEnvUnsetIsNoop(t *testing.T) {
+	const key = "FAULTFS_TEST_UNSET"
+	os.Unsetenv(key)
+	Clear()
+	FromEnv(key)
+	if active.Load() != nil {
+		t.Fatal("hook installed from unset variable")
+	}
+}

@@ -118,10 +118,16 @@ func (in *Instance) CertificateBoxes() []core.Selector {
 // CountIE computes #CQA by inclusion–exclusion over the certificate boxes:
 // the number of repairs entailing Q is |⋃_(Q',h) [B1..Bn]_σ(Q',h)| (§4.1).
 func (in *Instance) CountIE(budget int) (*big.Int, error) {
+	return in.countIE(budget, nil)
+}
+
+// countIE is CountIE with a cooperative stop flag polled inside the
+// subset DFS.
+func (in *Instance) countIE(budget int, stop *core.Stop) (*big.Int, error) {
 	if !in.IsEP {
 		return nil, fmt.Errorf("repairs: CountIE needs an existential positive query, have %s", in.Q)
 	}
-	return core.CountUnionIE(in.Domains(), in.CertificateBoxes(), budget)
+	return core.CountUnionIEStop(in.Domains(), in.CertificateBoxes(), budget, stop)
 }
 
 // CountLambda1 computes #CQA through the Λ[1] closed form (Theorem 4.4(1)

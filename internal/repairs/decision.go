@@ -1,6 +1,8 @@
 package repairs
 
 import (
+	"fmt"
+	"math/big"
 	"math/rand/v2"
 
 	"repaircount/internal/core"
@@ -68,6 +70,32 @@ func (in *Instance) ApxParallel(eps, delta float64, workers int, seed uint64) (c
 		return core.Estimate{}, err
 	}
 	return c.ApxParallel(eps, delta, workers, seed)
+}
+
+// ApxParallelStop is ApxParallel with a cooperative stop flag polled
+// inside the sharded sampling loop; a fired stop fails the run with
+// core.ErrStopped.
+func (in *Instance) ApxParallelStop(eps, delta float64, workers int, seed uint64, stop *core.Stop) (core.Estimate, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return c.ApxParallelStop(eps, delta, workers, seed, stop)
+}
+
+// ApxSampleBound reports the Theorem 6.2 sample count t the FPRAS would
+// run at the given accuracy, without drawing a sample — the serving
+// layer prices an approximate probe against its budget with it. It fails
+// when the compactor is unbounded (no FPRAS; Theorem 6.1).
+func (in *Instance) ApxSampleBound(eps, delta float64) (*big.Int, error) {
+	c, err := in.Compactor()
+	if err != nil {
+		return nil, err
+	}
+	if c.K < 0 {
+		return nil, fmt.Errorf("repairs: no sample bound: %s is an unbounded compactor (SpanLL)", c.Name)
+	}
+	return core.SampleBound(core.MaxDomainSize(c.Doms), c.K, eps, delta), nil
 }
 
 // ApxParallelWithSamples runs the Algorithm 3 estimator with an explicit

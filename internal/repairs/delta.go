@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"runtime"
 
+	"repaircount/internal/core"
 	"repaircount/internal/eval"
 	"repaircount/internal/relational"
 )
@@ -95,9 +96,16 @@ func decodeShard(c *component, prefixDigits int, shard int64, cur []int32) {
 	}
 }
 
+// stopStride is how many Gray states a walker processes between polls of
+// the cooperative stop flag: a power of two (the countdown reload), large
+// enough that the rare atomic load vanishes against the delta update.
+const stopStride = 1 << 13
+
 // runBoxShard counts the non-entailing choices of one shard with the
-// per-box miss counters. Allocation-free given warm scratch.
-func runBoxShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) uint64 {
+// per-box miss counters, polling stop every stopStride states (a fired
+// stop abandons the shard; the caller reports ErrStopped and discards the
+// partial count). Allocation-free given warm scratch.
+func runBoxShard(c *component, prefixDigits int, shard int64, sc *deltaScratch, stop *core.Stop) uint64 {
 	m := len(c.sizes)
 	cur := sc.cur[:m]
 	decodeShard(c, prefixDigits, shard, cur)
@@ -118,11 +126,18 @@ func runBoxShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) 
 	if active == 0 {
 		n++
 	}
+	check := stopStride
 	sc.gray.Reset(c.sizes[:m-prefixDigits])
 	for {
 		d, old, new, ok := sc.gray.Step()
 		if !ok {
 			return n
+		}
+		if check--; check == 0 {
+			if stop.Stopped() {
+				return n
+			}
+			check = stopStride
 		}
 		slot := c.slotOff[d]
 		for _, b := range c.touch[slot+old] {
@@ -144,9 +159,10 @@ func runBoxShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) 
 }
 
 // runMaskShard counts the non-entailing choices of one shard by probing the
-// compiled matcher through the allowed-ordinal mask. sc.mask must equal the
-// factorization's base mask on entry; the invariant is restored on return.
-func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch) uint64 {
+// compiled matcher through the allowed-ordinal mask, polling stop every
+// stopStride states. sc.mask must equal the factorization's base mask on
+// entry; the invariant is restored on return (including on early stop).
+func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch, stop *core.Stop) uint64 {
 	m := len(c.sizes)
 	cur := sc.cur[:m]
 	decodeShard(c, prefixDigits, shard, cur)
@@ -159,11 +175,18 @@ func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch)
 	if !sc.matcher.HasHomMasked(mask) {
 		n++
 	}
+	check := stopStride
 	sc.gray.Reset(c.sizes[:m-prefixDigits])
 	for {
 		d, old, new, ok := sc.gray.Step()
 		if !ok {
 			break
+		}
+		if check--; check == 0 {
+			if stop.Stopped() {
+				break
+			}
+			check = stopStride
 		}
 		ord := c.ords[c.slotOff[d]+old]
 		mask[ord/64] &^= 1 << (uint(ord) % 64)
@@ -192,7 +215,7 @@ func runMaskShard(c *component, prefixDigits int, shard int64, sc *deltaScratch)
 // under one of its engines. budget ≤ 0 selects DefaultEnumBudget. The
 // result is identical to CountEnumUCQ.
 func (in *Instance) CountFactorized(budget int) (*big.Int, error) {
-	return in.countFactorized(budget, 1, 0, EngineAuto)
+	return in.countFactorized(budget, 1, 0, EngineAuto, nil)
 }
 
 // CountFactorizedParallel is CountFactorized with the heterogeneous
@@ -200,7 +223,7 @@ func (in *Instance) CountFactorized(budget int) (*big.Int, error) {
 // workers ≤ 0 selects GOMAXPROCS. The count is exact and independent of
 // the worker count and scheduling.
 func (in *Instance) CountFactorizedParallel(budget, workers int) (*big.Int, error) {
-	return in.countFactorized(budget, workers, 0, EngineAuto)
+	return in.countFactorized(budget, workers, 0, EngineAuto, nil)
 }
 
 // CountGray is CountFactorizedParallel with every component forced onto the
@@ -208,7 +231,7 @@ func (in *Instance) CountFactorizedParallel(budget, workers int) (*big.Int, erro
 // behavior, kept as a comparable engine for tests, benchmarks and
 // `repairctl count -exact=gray`.
 func (in *Instance) CountGray(budget, workers int) (*big.Int, error) {
-	return in.countFactorized(budget, workers, 0, EngineGray)
+	return in.countFactorized(budget, workers, 0, EngineGray, nil)
 }
 
 // CountCompIE is CountFactorizedParallel with every component forced onto
@@ -216,11 +239,11 @@ func (in *Instance) CountGray(budget, workers int) (*big.Int, error) {
 // tables to include–exclude) and when some component's IE cost exceeds the
 // budget.
 func (in *Instance) CountCompIE(budget, workers int) (*big.Int, error) {
-	return in.countFactorized(budget, workers, 0, EngineCompIE)
+	return in.countFactorized(budget, workers, 0, EngineCompIE, nil)
 }
 
-func (in *Instance) countFactorized(budget, workers, homBudget int, force EngineKind) (*big.Int, error) {
-	f, nonent, err := in.nonEntailment(budget, workers, homBudget, force)
+func (in *Instance) countFactorized(budget, workers, homBudget int, force EngineKind, stop *core.Stop) (*big.Int, error) {
+	f, nonent, err := in.nonEntailment(budget, workers, homBudget, force, stop)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +258,7 @@ func (in *Instance) countFactorized(budget, workers, homBudget int, force Engine
 // (some homomorphic image survives every repair) reports zero without
 // running any engine. countFactorized subtracts the result from the
 // relevant choice space; CountNonEntailment exposes it as a shard partial.
-func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKind) (*factorization, *big.Int, error) {
+func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKind, stop *core.Stop) (*factorization, *big.Int, error) {
 	if !in.IsEP {
 		return nil, nil, fmt.Errorf("repairs: CountFactorized needs an existential positive query, have %s", in.Q)
 	}
@@ -267,7 +290,7 @@ func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKi
 		return nil, nil, ErrBudget
 	}
 
-	perComp, bigRes, err := in.runPlanned(f, engines, a.known, workers, homBudget)
+	perComp, bigRes, err := in.runPlanned(f, engines, a.known, workers, homBudget, stop)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -94,13 +94,13 @@ func TestFactorizedDifferential(t *testing.T) {
 				check("CountFactorizedParallel", got, err)
 			}
 			// Masked engine, sequential and parallel.
-			got, err = in.countFactorized(0, 1, -1, EngineAuto)
+			got, err = in.countFactorized(0, 1, -1, EngineAuto, nil)
 			check("masked sequential", got, err)
-			got, err = in.countFactorized(0, 4, -1, EngineAuto)
+			got, err = in.countFactorized(0, 4, -1, EngineAuto, nil)
 			check("masked parallel", got, err)
 			// Tiny hom budget: overflow into the masked path on any
 			// instance with ≥ 2 homomorphisms, exercise dedup otherwise.
-			got, err = in.countFactorized(0, 2, 1, EngineAuto)
+			got, err = in.countFactorized(0, 2, 1, EngineAuto, nil)
 			check("hom-budget overflow", got, err)
 		}
 	}
@@ -120,7 +120,7 @@ func TestFactorizedMatchesEnumProperty(t *testing.T) {
 		if err != nil || got.Cmp(want) != 0 {
 			return false
 		}
-		masked, err := in.countFactorized(0, 1+int(w%3), -1, EngineAuto)
+		masked, err := in.countFactorized(0, 1+int(w%3), -1, EngineAuto, nil)
 		return err == nil && masked.Cmp(want) == 0
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
@@ -169,7 +169,7 @@ func TestFactorizedWorkerDeterminism(t *testing.T) {
 	}
 	for _, homBudget := range []int{0, -1} {
 		for _, workers := range []int{0, 1, 2, 3, 5, 16} {
-			got, err := in.countFactorized(0, workers, homBudget, EngineAuto)
+			got, err := in.countFactorized(0, workers, homBudget, EngineAuto, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,7 +186,7 @@ func TestFactorizedWorkerDeterminism(t *testing.T) {
 func TestFactorizedScratchMemoIsolation(t *testing.T) {
 	db, ks, q := workload.MultiComponent(2, 2, 2)
 	in := MustInstance(db, ks, q)
-	masked, err := in.countFactorized(0, 1, -1, EngineAuto) // masked engine first
+	masked, err := in.countFactorized(0, 1, -1, EngineAuto, nil) // masked engine first
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,7 +146,7 @@ func TestIncrementalDifferential(t *testing.T) {
 				if got, err := live.CountIE(0); err != nil || got.Cmp(want) != 0 {
 					t.Fatalf("step %d: live whole-instance ie = %v (%v), rebuilt enum = %s", step, got, err, want)
 				}
-				if got, err := live.countFactorized(0, 2, -1, EngineAuto); err != nil || got.Cmp(want) != 0 {
+				if got, err := live.countFactorized(0, 2, -1, EngineAuto, nil); err != nil || got.Cmp(want) != 0 {
 					t.Fatalf("step %d: live masked = %v (%v), rebuilt enum = %s", step, got, err, want)
 				}
 				if got, err := live.CountEnumUCQ(0); err != nil || got.Cmp(want) != 0 {

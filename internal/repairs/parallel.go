@@ -26,7 +26,13 @@ import (
 // complement against the big-int choice space, so it is not bounded by a
 // machine word). Exactly one worker runs a given IE job, so the bigRes
 // slot needs no lock; the WaitGroup barrier publishes it.
-func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*big.Int, workers, homBudget int) ([]core.Accum, []*big.Int, error) {
+//
+// stop is the run's cooperative cancellation flag (nil never fires): it is
+// polled between jobs and, at a coarse stride, inside the Gray/masked
+// walkers and the IE DFS; a fired stop stops the queue, winds every worker
+// down and fails the run with core.ErrStopped — partial accumulators are
+// discarded by the caller.
+func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*big.Int, workers, homBudget int, stop *core.Stop) ([]core.Accum, []*big.Int, error) {
 	plans := make([]struct {
 		prefixDigits int
 		shards       int64
@@ -57,6 +63,10 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 	var firstErr error
 	runWorker := func(sc *deltaScratch, q *core.ShardQueue, acc []core.Accum) {
 		for {
+			if stop.Stopped() {
+				q.Stop()
+				return
+			}
 			job, ok := q.Next()
 			if !ok {
 				return
@@ -66,10 +76,11 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 			c := &f.comps[ci]
 			switch engines[ci] {
 			case EngineCompIE:
-				v, err := compIENonEntailment(c)
+				v, err := compIENonEntailment(c, stop)
 				if err != nil {
-					// Unreachable in practice: the node budget passed to the
-					// IE pass is the worst-case bound the planner priced.
+					// Reachable only on cancellation: the node budget passed
+					// to the IE pass is the worst-case bound the planner
+					// priced, so ErrBudget cannot fire here.
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -79,9 +90,9 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 				}
 				bigRes[ci] = v
 			case EngineMasked:
-				acc[ci].Add(runMaskShard(c, plans[ci].prefixDigits, shard, sc))
+				acc[ci].Add(runMaskShard(c, plans[ci].prefixDigits, shard, sc, stop))
 			default: // EngineGray
-				acc[ci].Add(runBoxShard(c, plans[ci].prefixDigits, shard, sc))
+				acc[ci].Add(runBoxShard(c, plans[ci].prefixDigits, shard, sc, stop))
 			}
 		}
 	}
@@ -126,6 +137,9 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 		}
 		wg.Wait()
 	}
+	if stop.Stopped() && firstErr == nil {
+		firstErr = core.ErrStopped
+	}
 	return perComp, bigRes, firstErr
 }
 
@@ -141,6 +155,13 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 // the fast engine); workers ≤ 0 selects GOMAXPROCS. budget ≤ 0 selects
 // DefaultEnumBudget.
 func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) {
+	return in.countEnumUCQParallel(budget, workers, nil)
+}
+
+// countEnumUCQParallel is CountEnumUCQParallel with a cooperative stop
+// flag polled between jobs and every stopStride evaluated repairs inside a
+// job; a fired stop fails the run with core.ErrStopped.
+func (in *Instance) countEnumUCQParallel(budget, workers int, stop *core.Stop) (*big.Int, error) {
 	if !in.IsEP {
 		return nil, fmt.Errorf("repairs: CountEnumUCQParallel needs an existential positive query, have %s", in.Q)
 	}
@@ -186,6 +207,10 @@ func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) 
 			facts := make([]relational.Fact, len(rel))
 			var local core.Accum
 			for {
+				if stop.Stopped() {
+					queue.Stop()
+					break
+				}
 				job, ok := queue.Next()
 				if !ok {
 					break
@@ -202,7 +227,14 @@ func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) 
 					}
 					continue
 				}
+				check := stopStride
 				for tail := range relational.Repairs(suffix) {
+					if check--; check == 0 {
+						if stop.Stopped() {
+							break
+						}
+						check = stopStride
+					}
 					copy(facts[prefix:], tail)
 					if eval.EvalUCQ(in.UCQ, eval.NewIndex(facts)) {
 						local.Inc()
@@ -215,5 +247,8 @@ func (in *Instance) CountEnumUCQParallel(budget, workers int) (*big.Int, error) 
 		}()
 	}
 	wg.Wait()
+	if stop.Stopped() {
+		return nil, core.ErrStopped
+	}
 	return new(big.Int).Mul(total.Big(), split.outer), nil
 }

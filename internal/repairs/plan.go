@@ -283,7 +283,7 @@ func compDomains(c *component) []core.Domain {
 // the complement against the (big-int) choice space is returned. Unlike the
 // Gray walk this never enumerates the space, so it works for components
 // whose Π|B_i| exceeds any machine word.
-func compIENonEntailment(c *component) (*big.Int, error) {
+func compIENonEntailment(c *component, stop *core.Stop) (*big.Int, error) {
 	doms := compDomains(c)
 	sels := make([]core.Selector, c.numBoxes)
 	for b := 0; b < c.numBoxes; b++ {
@@ -300,7 +300,7 @@ func compIENonEntailment(c *component) (*big.Int, error) {
 		}
 		sels[b] = sel
 	}
-	union, err := core.CountUnionIE(doms, sels, ieNodeBudget(c))
+	union, err := core.CountUnionIEStop(doms, sels, ieNodeBudget(c), stop)
 	if err != nil {
 		return nil, err
 	}

@@ -263,7 +263,7 @@ func TestEngineKeyedMemo(t *testing.T) {
 // forcing component-local IE must fail rather than miscount.
 func TestForcedCompIEOnMaskedPath(t *testing.T) {
 	in := exampleInstance(t)
-	if _, err := in.countFactorized(0, 1, -1, EngineCompIE); err == nil {
+	if _, err := in.countFactorized(0, 1, -1, EngineCompIE, nil); err == nil {
 		t.Fatal("forced component-ie accepted on the masked path")
 	}
 	// The masked walk itself remains available under forced Gray.
@@ -271,7 +271,7 @@ func TestForcedCompIEOnMaskedPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := in.countFactorized(0, 1, -1, EngineGray)
+	got, err := in.countFactorized(0, 1, -1, EngineGray, nil)
 	if err != nil || got.Cmp(want) != 0 {
 		t.Fatalf("masked forced gray = %v (%v), want %s", got, err, want)
 	}

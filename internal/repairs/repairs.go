@@ -173,6 +173,18 @@ func (in *Instance) CountExact() (*big.Int, EngineKind, error) {
 // enumeration fallback. workers ≤ 0 selects GOMAXPROCS; the count is
 // identical for every worker count.
 func (in *Instance) CountExactWorkers(workers int) (*big.Int, EngineKind, error) {
+	return in.CountExactStop(workers, nil)
+}
+
+// CountExactStop is CountExactWorkers with a cooperative stop flag
+// threaded through every engine that enumerates — the Gray/masked
+// walkers, the component-local and whole-instance IE passes and the
+// enumeration fallback poll it at a coarse stride. When the flag fires
+// mid-count the run fails with core.ErrStopped within a bounded number of
+// states, freeing its workers; a nil stop never fires and the behavior is
+// exactly CountExactWorkers. The serving layer uses this to enforce
+// deadlines and client disconnects.
+func (in *Instance) CountExactStop(workers int, stop *core.Stop) (*big.Int, EngineKind, error) {
 	in.refresh()
 	if !in.IsEP {
 		n, err := in.CountEnumFO(0)
@@ -184,16 +196,22 @@ func (in *Instance) CountExactWorkers(workers int) (*big.Int, EngineKind, error)
 	// The planned factorized engine derives the per-component assignment
 	// and its Σ_c min(2^{n_c}, IE_c) budget internally — the same report
 	// ExplainPlan exposes — so the costing pass runs once per count.
-	if n, err := in.countFactorized(0, workers, 0, EngineAuto); err == nil {
+	n, err := in.countFactorized(0, workers, 0, EngineAuto, stop)
+	if err == nil {
 		return n, EngineFactorized, nil
+	}
+	if err == core.ErrStopped {
+		return nil, EngineFactorized, err
 	}
 	// The planned budget was exceeded: whole-instance inclusion–exclusion
 	// over the certificate boxes, then plain enumeration as the last
 	// resort.
-	if n, err := in.CountIE(0); err == nil {
+	if n, err := in.countIE(0, stop); err == nil {
 		return n, EngineIE, nil
+	} else if err == core.ErrStopped {
+		return nil, EngineIE, err
 	}
-	n2, err := in.CountEnumUCQParallel(0, workers)
+	n2, err := in.countEnumUCQParallel(0, workers, stop)
 	return n2, EngineEnum, err
 }
 

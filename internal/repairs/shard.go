@@ -246,7 +246,7 @@ type Partial struct {
 // factorized engine. budget and workers behave as in
 // CountFactorizedParallel. On an always-true instance NonEnt is zero.
 func (in *Instance) CountNonEntailment(budget, workers int) (*Partial, error) {
-	f, nonent, err := in.nonEntailment(budget, workers, 0, EngineAuto)
+	f, nonent, err := in.nonEntailment(budget, workers, 0, EngineAuto, nil)
 	if err != nil {
 		return nil, err
 	}

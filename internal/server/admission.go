@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"math/big"
+
+	"repaircount"
+)
+
+// Admission modes: every count probe is priced before any enumeration
+// runs. Cheap plans are answered exactly; plans beyond ExactBudget
+// degrade to the FPRAS with the served (ε, δ); probes whose Theorem 6.2
+// sample bound also exceeds MaxSamples — and non-∃FO⁺ queries, which
+// have no FPRAS at all (Theorem 6.1) — get a structured budget error
+// instead of an unbounded computation.
+const (
+	admitExact  = "exact"
+	admitApprox = "approx"
+	admitReject = "reject"
+)
+
+// admission is a priced probe: the mode the ladder chose and the numbers
+// that justified it, reported back to the client either way.
+type admission struct {
+	Mode        string
+	Engine      repaircount.EngineKind
+	PlannedCost *big.Int // planner-priced exact work (repair count for non-EP)
+	SampleBound *big.Int // Theorem 6.2 bound, when the FPRAS rung was priced
+	Reason      string   // human-readable refusal, when Mode == admitReject
+}
+
+// price runs the admission ladder for one counter. Caller holds the read
+// lock; the plan is computed against the current instance version.
+func (s *Server) price(c *repaircount.Counter) admission {
+	plan, err := c.ExplainPlan(repaircount.EngineAuto)
+	if err != nil {
+		return admission{Mode: admitReject, Reason: err.Error()}
+	}
+	adm := admission{Engine: plan.Engine}
+	if plan.Engine == repaircount.EngineEnumFO {
+		// Outside ∃FO⁺ the only engine enumerates every repair, and
+		// Theorem 6.1 rules out an FPRAS, so the ladder has exactly one
+		// rung: the repair count itself must fit the exact budget.
+		total := c.Total()
+		adm.PlannedCost = new(big.Int).Set(total)
+		if total.IsInt64() && total.Int64() <= s.cfg.ExactBudget {
+			adm.Mode = admitExact
+			return adm
+		}
+		adm.Mode = admitReject
+		adm.Reason = fmt.Sprintf(
+			"non-EP query needs %s full-repair evaluations (exact budget %d) and no FPRAS exists outside existential positive FO",
+			total, s.cfg.ExactBudget)
+		return adm
+	}
+	// Planned exact work Σ_c min(2^{n_c}, IE_c); closed-form engines
+	// (always-true, safe plan, Λ[1]) price at zero.
+	adm.PlannedCost = big.NewInt(plan.Budget)
+	if plan.AlwaysTrue || plan.Budget <= s.cfg.ExactBudget {
+		adm.Mode = admitExact
+		return adm
+	}
+	return s.priceApprox(c, adm)
+}
+
+// priceApprox prices the FPRAS rung: admit when the Theorem 6.2 sample
+// bound for the served (ε, δ) fits MaxSamples, else reject with both
+// numbers. Also used to re-price a probe whose exact run hit a runtime
+// ErrBudget despite its plan.
+func (s *Server) priceApprox(c *repaircount.Counter, adm admission) admission {
+	bound, err := c.ApproxSampleBound(s.cfg.Eps, s.cfg.Delta)
+	if err != nil {
+		adm.Mode = admitReject
+		adm.Reason = fmt.Sprintf("exact work exceeds budget %d and the sampler is unavailable: %v", s.cfg.ExactBudget, err)
+		return adm
+	}
+	adm.SampleBound = bound
+	if bound.IsInt64() && bound.Int64() <= s.cfg.MaxSamples {
+		adm.Mode = admitApprox
+		return adm
+	}
+	adm.Mode = admitReject
+	adm.Reason = fmt.Sprintf(
+		"planned exact work exceeds budget %d and the (eps=%g, delta=%g) sample bound %s exceeds the cap %d",
+		s.cfg.ExactBudget, s.cfg.Eps, s.cfg.Delta, bound, s.cfg.MaxSamples)
+	return adm
+}

@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/relational"
+	"repaircount/internal/server"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// TestCrashRecovery is the kill -9 drill: a daemon subprocess tails a
+// growing update stream and is SIGKILLed mid-flight, at whatever point
+// between apply, journal append and fsync the timing lands on. A
+// restarted daemon must recover the snapshot's torn tail, re-tail the
+// stream from offset zero, and converge to exactly the state an offline
+// replay of the full stream produces. The test re-execs its own binary
+// as the victim (the helper branch below).
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv("SERVE_CRASH_HELPER") == "1" {
+		runCrashHelper()
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+
+	db, ks := workload.PairsDatabase(3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	baseSize, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsPath := filepath.Join(dir, "ops.txt")
+
+	// The victim daemon, re-execed from this test binary.
+	cmd := exec.Command(os.Args[0], "-test.run", "TestCrashRecovery$")
+	cmd.Env = append(os.Environ(),
+		"SERVE_CRASH_HELPER=1",
+		"CRASH_SNAP="+path,
+		"CRASH_OPS="+opsPath,
+	)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := bufio.NewScanner(out)
+	if !ready.Scan() || ready.Text() != "READY" {
+		cmd.Process.Kill()
+		t.Fatalf("helper never came up: %q", ready.Text())
+	}
+
+	// Feed the stream one op at a time so journal appends happen while
+	// the victim runs.
+	const nOps = 200
+	f, err := os.OpenFile(opsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []repaircount.Delta
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		for i := 0; i < nOps; i++ {
+			fact := relational.NewFact("R", relational.Const(fmt.Sprintf("n%d", i)), "a")
+			fmt.Fprintf(f, "+ %s\n", fact.Canonical())
+			time.Sleep(200 * time.Microsecond)
+		}
+		f.Close()
+	}()
+	for i := 0; i < nOps; i++ {
+		fact := relational.NewFact("R", relational.Const(fmt.Sprintf("n%d", i)), "a")
+		deltas = append(deltas, repaircount.Insert(fact))
+	}
+
+	// Kill -9 as soon as at least one journal append has landed — the
+	// victim dies somewhere inside its apply/journal cycle.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := os.Stat(path)
+		if err == nil && st.Size() > baseSize.Size() {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("victim never journaled an op")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	<-fed
+
+	// Offline truth: the full stream over the base instance.
+	q, err := repaircount.ParseQuery("exists x . R(x, 'a')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := repaircount.NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oc.Apply(deltas...); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := oc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := oc.Total()
+
+	// The restarted daemon recovers and converges.
+	s, err := server.New(server.Config{
+		SnapshotPath: path, OpsPath: opsPath,
+		Poll: time.Millisecond, CompactBytes: -1,
+	})
+	if err != nil {
+		t.Fatalf("restart after kill -9 failed: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	convergeBy := time.Now().Add(20 * time.Second)
+	for {
+		code, _, body := get(t, ts, countURL("exists x . R(x, 'a')", "&format=text"))
+		total := ""
+		if code == http.StatusOK {
+			_, _, total = get(t, ts, "/v1/total?format=text")
+		}
+		if code == http.StatusOK &&
+			strings.TrimSpace(body) == want.String() && strings.TrimSpace(total) == wantTotal.String() {
+			break
+		}
+		if time.Now().After(convergeBy) {
+			t.Fatalf("restarted daemon never converged: count %q (want %s), total %q (want %s)",
+				strings.TrimSpace(body), want, strings.TrimSpace(total), wantTotal)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runCrashHelper is the victim: it serves the snapshot and tails the ops
+// stream until the parent kills it.
+func runCrashHelper() {
+	s, err := server.New(server.Config{
+		SnapshotPath: os.Getenv("CRASH_SNAP"),
+		OpsPath:      os.Getenv("CRASH_OPS"),
+		Poll:         time.Millisecond,
+		CompactBytes: -1,
+	})
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(2)
+	}
+	_ = s
+	fmt.Println("READY")
+	time.Sleep(time.Hour) // SIGKILL arrives first
+}

@@ -1,0 +1,582 @@
+// Package server wraps a repair-counting snapshot as a long-lived
+// HTTP/JSON daemon (`repairctl serve`): one mmapped .cqs snapshot, a
+// bounded pool of probe workers with per-worker counter/matcher reuse
+// over the shared live substrate, an admission ladder that prices every
+// count probe before running it (exact → FPRAS with reported (ε, δ) →
+// typed budget refusal), cooperative cancellation threaded into every
+// enumeration kernel, and a crash-safe write path: an append-only ops
+// file is tailed, applied through the live instance, journaled with
+// fsync'd appends and compacted atomically, with torn-tail recovery at
+// startup.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/core"
+	"repaircount/internal/repairs"
+)
+
+// Config parameterizes a Server. Zero values select the documented
+// defaults.
+type Config struct {
+	// SnapshotPath is the .cqs file to serve (required). The file is
+	// recovered (torn journal tails truncated) before it is mapped.
+	SnapshotPath string
+	// OpsPath, when set, is an append-only update-stream file ("+ Fact" /
+	// "- Fact" lines) the daemon tails: new complete lines are applied to
+	// the live instance and journaled to the snapshot.
+	OpsPath string
+	// Workers bounds concurrently running probes (default GOMAXPROCS).
+	Workers int
+	// CountWorkers is the goroutine count inside one exact count or
+	// sampling loop (default 1: probe-level parallelism comes first).
+	CountWorkers int
+	// QueueDepth bounds probes waiting for a worker slot; beyond it the
+	// daemon answers 503 overloaded immediately (default 4×Workers).
+	QueueDepth int
+	// Deadline is the per-probe wall-clock budget (default 30s). An
+	// expired deadline cancels the probe cooperatively and answers 504.
+	Deadline time.Duration
+	// ExactBudget is the admission ceiling on the planner's priced exact
+	// work Σ_c min(2^{n_c}, IE_c); costlier plans degrade to the FPRAS
+	// (default repairs.DefaultEnumBudget).
+	ExactBudget int64
+	// MaxSamples is the admission ceiling on the Theorem 6.2 sample bound;
+	// probes needing more get a budget_exceeded error (default
+	// core.MaxApxSamples).
+	MaxSamples int64
+	// Eps and Delta are the accuracy served on the FPRAS rung (defaults
+	// 0.1 and 0.05); responses report them.
+	Eps, Delta float64
+	// Seed makes degraded probes reproducible (default 1).
+	Seed uint64
+	// Poll is the ops-file tail interval (default 200ms).
+	Poll time.Duration
+	// CompactBytes triggers an atomic in-place compaction when the
+	// snapshot's journal region exceeds it (default 1 MiB; < 0 disables).
+	CompactBytes int64
+}
+
+func (cfg *Config) fill() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CountWorkers <= 0 {
+		cfg.CountWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	if cfg.ExactBudget <= 0 {
+		cfg.ExactBudget = int64(repairs.DefaultEnumBudget)
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = core.MaxApxSamples
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.1
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 0.05
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.CompactBytes == 0 {
+		cfg.CompactBytes = 1 << 20
+	}
+}
+
+// Server is one serving daemon instance. Probes take the read side of mu;
+// the ops applier and compactor take the write side, so counts always see
+// a consistent instance version.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	snap    *repaircount.Snapshot
+	epoch   uint64 // bumped when the snapshot file is re-mapped (compaction)
+	baseLen int64  // sealed-base bytes of the served file
+
+	slots   chan *worker
+	waiting atomic.Int64
+
+	degradedReason atomic.Pointer[string]
+
+	appliedOps atomic.Int64
+	journaled  atomic.Int64
+	recovered  int64 // torn bytes dropped at startup
+
+	stats struct {
+		probes, exact, approx, rejected, overloaded, deadline atomic.Int64
+	}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	tailDone chan struct{}
+}
+
+// worker carries one probe slot's reusable state: counters (and their
+// compiled matchers, factorizations and memos) cached per query text,
+// invalidated when the snapshot epoch moves.
+type worker struct {
+	epoch    uint64
+	counters map[string]*repaircount.Counter
+}
+
+// New recovers, maps and starts serving the snapshot in cfg. The returned
+// server's Handler routes the probe API; Close stops the tailer and
+// releases the mapping.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.SnapshotPath == "" {
+		return nil, fmt.Errorf("server: SnapshotPath is required")
+	}
+	recovered, err := repaircount.RecoverSnapshot(cfg.SnapshotPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering %s: %w", cfg.SnapshotPath, err)
+	}
+	snap, err := repaircount.OpenSnapshot(cfg.SnapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(cfg.SnapshotPath)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		snap:      snap,
+		baseLen:   st.Size() - snap.JournalBytes(),
+		slots:     make(chan *worker, cfg.Workers),
+		recovered: recovered,
+		stop:      make(chan struct{}),
+		tailDone:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.slots <- &worker{counters: map[string]*repaircount.Counter{}}
+	}
+	if cfg.OpsPath != "" {
+		go s.tailLoop()
+	} else {
+		close(s.tailDone)
+	}
+	return s, nil
+}
+
+// Recovered returns the torn journal bytes dropped at startup.
+func (s *Server) Recovered() int64 { return s.recovered }
+
+// Close stops the ops tailer and unmaps the snapshot. In-flight probes
+// must have drained (close the HTTP server first). Safe to call twice.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.tailDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap.Close()
+}
+
+// degrade marks the daemon read-only after a write-path failure: probes
+// keep answering, the tailer stops, and /healthz fails.
+func (s *Server) degrade(err error) {
+	msg := err.Error()
+	s.degradedReason.CompareAndSwap(nil, &msg)
+}
+
+// degraded returns the write-path failure reason, or "".
+func (s *Server) degraded() string {
+	if p := s.degradedReason.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// acquire takes a probe slot, answering overloaded when QueueDepth
+// probes already wait, and ctx.Err() when the deadline expires first.
+func (s *Server) acquire(ctx context.Context) (*worker, error) {
+	select {
+	case w := <-s.slots:
+		return w, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return nil, errOverloaded
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case w := <-s.slots:
+		return w, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release(w *worker) { s.slots <- w }
+
+// counterFor returns the worker's cached counter for the query text,
+// rebuilding it when absent or when the epoch moved (compaction replaced
+// the substrate). Caller holds s.mu.RLock.
+func (s *Server) counterFor(w *worker, qs string) (*repaircount.Counter, error) {
+	if w.epoch != s.epoch {
+		w.counters = map[string]*repaircount.Counter{}
+		w.epoch = s.epoch
+	}
+	if c, ok := w.counters[qs]; ok {
+		return c, nil
+	}
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.snap.Counter(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.counters) >= 256 {
+		w.counters = map[string]*repaircount.Counter{}
+	}
+	w.counters[qs] = c
+	return c, nil
+}
+
+var errOverloaded = errors.New("server: probe queue full")
+
+// apiError is the structured error body: {"error": {"code": ..., ...}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Admission details on budget_exceeded.
+	PlannedCost string `json:"planned_cost,omitempty"`
+	ExactBudget int64  `json:"exact_budget,omitempty"`
+	SampleBound string `json:"sample_bound,omitempty"`
+	MaxSamples  int64  `json:"max_samples,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failed"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func writeErr(w http.ResponseWriter, status int, e apiError) {
+	writeJSON(w, status, map[string]apiError{"error": e})
+}
+
+// writeCtxErr maps a canceled probe context to its transport answer.
+func (s *Server) writeCtxErr(w http.ResponseWriter, ctx context.Context) {
+	if ctx.Err() == context.DeadlineExceeded {
+		s.stats.deadline.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, apiError{Code: "deadline_exceeded",
+			Message: fmt.Sprintf("probe exceeded the %s deadline", s.cfg.Deadline)})
+		return
+	}
+	// Client went away; the status is never seen.
+	writeErr(w, 499, apiError{Code: "canceled", Message: "client canceled the probe"})
+}
+
+// Handler routes the probe API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/count", s.handleCount)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
+	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/total", s.handleTotal)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// probeQuery extracts the query text from ?q= or a JSON {"query": ...}
+// body.
+func probeQuery(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body != nil && r.Method == http.MethodPost {
+		var body struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err == nil && body.Query != "" {
+			return body.Query, nil
+		}
+	}
+	return "", fmt.Errorf("missing query: pass ?q= or a JSON body {\"query\": ...}")
+}
+
+// withProbe runs fn on an acquired worker under the read lock, handling
+// slot acquisition, queue overload and the probe deadline uniformly.
+func (s *Server) withProbe(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, wk *worker)) {
+	s.stats.probes.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
+	defer cancel()
+	wk, err := s.acquire(ctx)
+	if err != nil {
+		if err == errOverloaded {
+			s.stats.overloaded.Add(1)
+			writeErr(w, http.StatusServiceUnavailable, apiError{Code: "overloaded",
+				Message: fmt.Sprintf("%d probes already queued", s.cfg.QueueDepth)})
+			return
+		}
+		s.writeCtxErr(w, ctx)
+		return
+	}
+	defer s.release(wk)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(ctx, wk)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	qs, err := probeQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	asText := r.URL.Query().Get("format") == "text"
+	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+		c, err := s.counterFor(wk, qs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		version := s.snap.Version()
+		adm := s.price(c)
+		if adm.Mode == admitExact {
+			n, engine, err := c.CountCtx(ctx, s.cfg.CountWorkers)
+			switch {
+			case err == nil:
+				s.stats.exact.Add(1)
+				if asText {
+					w.Header().Set("Content-Type", "text/plain")
+					fmt.Fprintf(w, "%s\n", n)
+					return
+				}
+				writeJSON(w, http.StatusOK, map[string]any{
+					"mode": "exact", "count": n.String(),
+					"engine": engine.String(), "version": version, "epoch": s.epoch,
+				})
+				return
+			case ctx.Err() != nil:
+				s.writeCtxErr(w, ctx)
+				return
+			case errors.Is(err, repaircount.ErrBudget):
+				// The runtime fallback chain ran out of budget despite the
+				// plan's price: degrade to the FPRAS rung below.
+				adm = s.priceApprox(c, adm)
+			default:
+				writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+				return
+			}
+		}
+		if adm.Mode == admitApprox {
+			est, err := c.ApproximateParallelCtx(ctx, s.cfg.Eps, s.cfg.Delta, s.cfg.CountWorkers, s.cfg.Seed)
+			if err != nil {
+				if ctx.Err() != nil {
+					s.writeCtxErr(w, ctx)
+					return
+				}
+				writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+				return
+			}
+			s.stats.approx.Add(1)
+			if asText {
+				w.Header().Set("Content-Type", "text/plain")
+				fmt.Fprintf(w, "%s\n", est.Value.Text('f', 2))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"mode": "approx", "estimate": est.Value.Text('f', 2),
+				"eps": s.cfg.Eps, "delta": s.cfg.Delta,
+				"samples": est.Samples, "hits": est.Hits,
+				"version": version, "epoch": s.epoch,
+			})
+			return
+		}
+		s.stats.rejected.Add(1)
+		writeErr(w, http.StatusTooManyRequests, s.budgetError(adm))
+	})
+}
+
+func (s *Server) budgetError(adm admission) apiError {
+	e := apiError{
+		Code:        "budget_exceeded",
+		Message:     adm.Reason,
+		ExactBudget: s.cfg.ExactBudget,
+		MaxSamples:  s.cfg.MaxSamples,
+	}
+	if adm.PlannedCost != nil {
+		e.PlannedCost = adm.PlannedCost.String()
+	}
+	if adm.SampleBound != nil {
+		e.SampleBound = adm.SampleBound.String()
+	}
+	return e
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	qs, err := probeQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+		c, err := s.counterFor(wk, qs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"entailed": c.Decide(), "version": s.snap.Version(), "epoch": s.epoch,
+		})
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	qs, err := probeQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+		c, err := s.counterFor(wk, qs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		adm := s.price(c)
+		resp := map[string]any{
+			"admission": adm.Mode,
+			"engine":    adm.Engine.String(),
+			"version":   s.snap.Version(),
+			"epoch":     s.epoch,
+		}
+		if adm.PlannedCost != nil {
+			resp["planned_cost"] = adm.PlannedCost.String()
+		}
+		if adm.Mode == admitApprox || adm.SampleBound != nil {
+			if adm.SampleBound != nil {
+				resp["sample_bound"] = adm.SampleBound.String()
+			}
+			resp["eps"], resp["delta"] = s.cfg.Eps, s.cfg.Delta
+		}
+		if adm.Mode == admitReject {
+			resp["reason"] = adm.Reason
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	qs, err := probeQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+		q, err := repaircount.ParseQuery(qs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		ranked, err := s.snap.RankAnswers(q)
+		if err != nil {
+			if errors.Is(err, repaircount.ErrBudget) {
+				s.stats.rejected.Add(1)
+				writeErr(w, http.StatusTooManyRequests, apiError{Code: "budget_exceeded", Message: err.Error()})
+				return
+			}
+			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		type answer struct {
+			Tuple     []string `json:"tuple"`
+			Count     string   `json:"count"`
+			Frequency string   `json:"frequency"`
+		}
+		out := make([]answer, len(ranked))
+		for i, a := range ranked {
+			tuple := make([]string, len(a.Tuple))
+			for j, c := range a.Tuple {
+				tuple[j] = string(c)
+			}
+			out[i] = answer{Tuple: tuple, Count: a.Count.String(), Frequency: a.Frequency.RatString()}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"answers": out, "version": s.snap.Version(), "epoch": s.epoch,
+		})
+	})
+}
+
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+		total := s.snap.TotalRepairs()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintf(w, "%s\n", total)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"total": total.String(), "version": s.snap.Version(), "epoch": s.epoch,
+		})
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	journalBytes := int64(0)
+	if st, err := os.Stat(s.cfg.SnapshotPath); err == nil {
+		journalBytes = st.Size() - s.baseLen
+	}
+	resp := map[string]any{
+		"epoch":            s.epoch,
+		"version":          s.snap.Version(),
+		"journal_bytes":    journalBytes,
+		"applied_ops":      s.appliedOps.Load(),
+		"journaled_ops":    s.journaled.Load(),
+		"recovered_bytes":  s.recovered,
+		"degraded":         s.degraded(),
+		"probes":           s.stats.probes.Load(),
+		"exact_probes":     s.stats.exact.Load(),
+		"approx_probes":    s.stats.approx.Load(),
+		"rejected_probes":  s.stats.rejected.Load(),
+		"overloaded":       s.stats.overloaded.Load(),
+		"deadline_expired": s.stats.deadline.Load(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if reason := s.degraded(); reason != "" {
+		http.Error(w, "degraded: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,500 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/relational"
+	"repaircount/internal/server"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// writeSnapshot drops a fresh .cqs fixture for db under dir.
+func writeSnapshot(t *testing.T, dir string, db *relational.Database, ks *relational.KeySet) string {
+	t.Helper()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// start boots a server plus an httptest front end and registers cleanup.
+func start(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// get fetches path and decodes the JSON body (or returns it raw for
+// text responses).
+func get(t *testing.T, ts *httptest.Server, path string) (int, map[string]any, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Fatalf("bad JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, body, string(raw)
+}
+
+// errCode digs the typed code out of an error body.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error object in %v", body)
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
+// countURL builds /v1/count?q=...
+func countURL(q string, extra string) string {
+	return "/v1/count?q=" + url.QueryEscape(q) + extra
+}
+
+// TestProbes covers the read-only probe surface against offline results.
+func TestProbes(t *testing.T) {
+	db, ks := workload.PairsDatabase(3)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path})
+
+	const qs = "exists x . R(x, 'a')"
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repaircount.NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body, _ := get(t, ts, countURL(qs, ""))
+	if status != http.StatusOK {
+		t.Fatalf("count: status %d: %v", status, body)
+	}
+	if body["mode"] != "exact" || body["count"] != want.String() {
+		t.Fatalf("count: got %v, want exact %s", body, want)
+	}
+
+	// The text format serves bare digits for shell diffing.
+	status, _, raw := get(t, ts, countURL(qs, "&format=text"))
+	if status != http.StatusOK || strings.TrimSpace(raw) != want.String() {
+		t.Fatalf("text count: status %d body %q, want %s", status, raw, want)
+	}
+
+	status, body, _ = get(t, ts, "/v1/decide?q="+url.QueryEscape(qs))
+	if status != http.StatusOK || body["entailed"] != true {
+		t.Fatalf("decide: status %d body %v", status, body)
+	}
+
+	status, body, _ = get(t, ts, "/v1/total")
+	if status != http.StatusOK || body["total"] != c.Total().String() {
+		t.Fatalf("total: status %d body %v, want %s", status, body, c.Total())
+	}
+
+	status, body, _ = get(t, ts, "/v1/explain?q="+url.QueryEscape(qs))
+	if status != http.StatusOK || body["admission"] != "exact" {
+		t.Fatalf("explain: status %d body %v", status, body)
+	}
+
+	status, _, raw = get(t, ts, "/healthz")
+	if status != http.StatusOK || strings.TrimSpace(raw) != "ok" {
+		t.Fatalf("healthz: status %d body %q", status, raw)
+	}
+
+	// Typed 400s: missing and malformed queries.
+	status, body, _ = get(t, ts, "/v1/count")
+	if status != http.StatusBadRequest || errCode(t, body) != "bad_query" {
+		t.Fatalf("missing q: status %d body %v", status, body)
+	}
+	status, body, _ = get(t, ts, countURL("exists x . R(x", ""))
+	if status != http.StatusBadRequest || errCode(t, body) != "bad_query" {
+		t.Fatalf("malformed q: status %d body %v", status, body)
+	}
+}
+
+// TestRank covers the ranked-answers probe against the offline ranking.
+func TestRank(t *testing.T) {
+	db, ks := workload.PairsDatabase(2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path})
+
+	status, body, _ := get(t, ts, "/v1/rank?q="+url.QueryEscape("exists x . R(x, y)"))
+	if status != http.StatusOK {
+		t.Fatalf("rank: status %d body %v", status, body)
+	}
+	answers, ok := body["answers"].([]any)
+	if !ok || len(answers) == 0 {
+		t.Fatalf("rank: no answers in %v", body)
+	}
+
+	// A Boolean query cannot be ranked.
+	status, body, _ = get(t, ts, "/v1/rank?q="+url.QueryEscape("exists x . R(x, 'a')"))
+	if status != http.StatusBadRequest || errCode(t, body) != "bad_query" {
+		t.Fatalf("boolean rank: status %d body %v", status, body)
+	}
+}
+
+// multiComponentQuery rebuilds the MultiComponent disjunction as text so
+// probes can be sent over HTTP.
+func multiComponentQuery(nComponents int) string {
+	var parts []string
+	for c := 0; c < nComponents; c++ {
+		parts = append(parts, fmt.Sprintf("(exists x, y . (C%d(x, 'v0') & C%d(y, 'v1')))", c, c))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// TestAdmissionLadder drives one query through all three rungs by moving
+// the budgets: exact under the default ceiling, degraded to the FPRAS
+// with reported (eps, delta) under a tiny exact budget, and a structured
+// 429 when the sample cap is also tiny. Non-EP queries get the
+// no-FPRAS refusal.
+func TestAdmissionLadder(t *testing.T) {
+	db, ks, qf := workload.MultiComponent(3, 2, 2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+	qs := multiComponentQuery(3)
+
+	c, err := repaircount.NewCounter(db, ks, qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan before counting: a count memoizes the factorization and the
+	// next plan prices at zero.
+	plan, err := c.ExplainPlan(repaircount.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Budget <= 1 {
+		t.Fatalf("fixture too cheap to price: planned budget %d", plan.Budget)
+	}
+	want, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rung 1: the plan fits the default exact budget.
+	_, ts := start(t, server.Config{SnapshotPath: path})
+	status, body, _ := get(t, ts, countURL(qs, ""))
+	if status != http.StatusOK || body["mode"] != "exact" || body["count"] != want.String() {
+		t.Fatalf("exact rung: status %d body %v, want %s", status, body, want)
+	}
+
+	// Rung 2: an exact budget of 1 degrades the same probe to the FPRAS,
+	// which must report its accuracy.
+	_, ts2 := start(t, server.Config{SnapshotPath: path, ExactBudget: 1, Seed: 7})
+	status, body, _ = get(t, ts2, countURL(qs, ""))
+	if status != http.StatusOK || body["mode"] != "approx" {
+		t.Fatalf("approx rung: status %d body %v", status, body)
+	}
+	if body["eps"] == nil || body["delta"] == nil || body["samples"] == nil {
+		t.Fatalf("approx rung: accuracy not reported: %v", body)
+	}
+	status, body, _ = get(t, ts2, "/v1/explain?q="+url.QueryEscape(qs))
+	if status != http.StatusOK || body["admission"] != "approx" || body["sample_bound"] == nil {
+		t.Fatalf("approx explain: status %d body %v", status, body)
+	}
+
+	// Rung 3: with the sample cap also at 1 the probe is refused with the
+	// numbers that justified the refusal.
+	_, ts3 := start(t, server.Config{SnapshotPath: path, ExactBudget: 1, MaxSamples: 1})
+	status, body, _ = get(t, ts3, countURL(qs, ""))
+	if status != http.StatusTooManyRequests || errCode(t, body) != "budget_exceeded" {
+		t.Fatalf("reject rung: status %d body %v", status, body)
+	}
+	e := body["error"].(map[string]any)
+	if e["planned_cost"] == nil || e["sample_bound"] == nil {
+		t.Fatalf("reject rung: pricing not reported: %v", e)
+	}
+
+	// Non-EP: cheap enough to enumerate under the default budget...
+	nonEP := "!C0('k0', 'v0')"
+	status, body, _ = get(t, ts, countURL(nonEP, ""))
+	if status != http.StatusOK || body["mode"] != "exact" {
+		t.Fatalf("non-EP exact: status %d body %v", status, body)
+	}
+	// ...but refused (no FPRAS rung exists) when it is not.
+	status, body, _ = get(t, ts3, countURL(nonEP, ""))
+	if status != http.StatusTooManyRequests || errCode(t, body) != "budget_exceeded" {
+		t.Fatalf("non-EP reject: status %d body %v", status, body)
+	}
+}
+
+// TestProbeStreamContract pins workloadgen's probe-stream generator to
+// the real admission ladder: every emitted probe must land on exactly the
+// rung its line promises when the daemon runs with the stream's budget.
+func TestProbeStreamContract(t *testing.T) {
+	db, ks, budget, probes := workload.ProbeStream(3, 2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path, ExactBudget: budget})
+	for _, p := range probes {
+		status, body, _ := get(t, ts, countURL(p.Query, ""))
+		switch p.Expect {
+		case "exact", "approx":
+			if status != http.StatusOK || body["mode"] != p.Expect {
+				t.Errorf("probe %q: status %d body %v, want mode %s", p.Query, status, body, p.Expect)
+			}
+		case "reject":
+			if status != http.StatusTooManyRequests || errCode(t, body) != "budget_exceeded" {
+				t.Errorf("probe %q: status %d body %v, want budget_exceeded", p.Query, status, body)
+			}
+		default:
+			t.Fatalf("probe %q: unknown expectation %q", p.Query, p.Expect)
+		}
+	}
+}
+
+// waitStats polls /v1/stats until pred holds or the deadline expires.
+func waitStats(t *testing.T, ts *httptest.Server, what string, pred func(map[string]any) bool) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, body, _ := get(t, ts, "/v1/stats")
+		if pred(body) {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats: %v", what, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestUpdateStreamJournal covers the write path end to end: ops tailed
+// from the stream are applied, journaled durably, idempotent across a
+// restart, and visible to probes at the right counts.
+func TestUpdateStreamJournal(t *testing.T) {
+	db, ks := workload.PairsDatabase(2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+	opsPath := filepath.Join(dir, "ops.txt")
+
+	ops := []workload.Update{
+		{Fact: relational.NewFact("R", "k9", "a")},
+		{Fact: relational.NewFact("R", "k9", "b")},
+		{Del: true, Fact: relational.NewFact("R", "k0", "b")},
+	}
+	var sb strings.Builder
+	sb.WriteString("# probe stream\n")
+	if err := workload.FormatUpdates(&sb, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opsPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline expectation: the same deltas through a fresh counter.
+	const qs = "exists x . R(x, 'a')"
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repaircount.NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []repaircount.Delta
+	for _, op := range ops {
+		if op.Del {
+			deltas = append(deltas, repaircount.Delete(op.Fact))
+		} else {
+			deltas = append(deltas, repaircount.Insert(op.Fact))
+		}
+	}
+	if _, err := c.Apply(deltas...); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := server.Config{SnapshotPath: path, OpsPath: opsPath, Poll: 2 * time.Millisecond, CompactBytes: -1}
+	s, ts := start(t, cfg)
+	waitStats(t, ts, "ops applied", func(st map[string]any) bool {
+		return st["applied_ops"] == float64(len(ops))
+	})
+	status, body, _ := get(t, ts, countURL(qs, ""))
+	if status != http.StatusOK || body["count"] != want.String() {
+		t.Fatalf("post-update count: status %d body %v, want %s", status, body, want)
+	}
+	if body["version"] == float64(0) {
+		t.Fatalf("post-update count did not move the version: %v", body)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal made the updates durable: a cold offline open agrees.
+	snap, err := repaircount.OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumJournalOps() != len(ops) {
+		t.Fatalf("journal holds %d ops, want %d", snap.NumJournalOps(), len(ops))
+	}
+	oc, err := snap.Counter(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := oc.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("offline reopen counts %s, want %s", got, want)
+	}
+	snap.Close()
+	sizeAfter, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart convergence: a second daemon re-tails from offset zero; the
+	// already-journaled ops are in-memory no-ops, so nothing is journaled
+	// twice and the file does not grow.
+	_, ts2 := start(t, cfg)
+	st := waitStats(t, ts2, "restart re-apply", func(st map[string]any) bool {
+		return st["applied_ops"] == float64(len(ops))
+	})
+	if st["journaled_ops"] != float64(0) {
+		t.Fatalf("restart re-journaled ops: %v", st)
+	}
+	status, body, _ = get(t, ts2, countURL(qs, ""))
+	if status != http.StatusOK || body["count"] != want.String() {
+		t.Fatalf("restarted count: status %d body %v, want %s", status, body, want)
+	}
+	size2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size2.Size() != sizeAfter.Size() {
+		t.Fatalf("restart grew the snapshot: %d -> %d bytes", sizeAfter.Size(), size2.Size())
+	}
+}
+
+// TestCompaction forces a compaction on every journal append and checks
+// the remapped snapshot keeps answering correctly with a bumped epoch and
+// an empty journal region.
+func TestCompaction(t *testing.T) {
+	db, ks := workload.PairsDatabase(2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+	opsPath := filepath.Join(dir, "ops.txt")
+	ops := []workload.Update{
+		{Fact: relational.NewFact("R", "k9", "a")},
+		{Del: true, Fact: relational.NewFact("R", "k1", "b")},
+	}
+	var sb strings.Builder
+	if err := workload.FormatUpdates(&sb, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opsPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const qs = "exists x . R(x, 'a')"
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repaircount.NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(repaircount.Insert(ops[0].Fact), repaircount.Delete(ops[1].Fact)); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := start(t, server.Config{
+		SnapshotPath: path, OpsPath: opsPath,
+		Poll: 2 * time.Millisecond, CompactBytes: 1,
+	})
+	st := waitStats(t, ts, "compaction", func(st map[string]any) bool {
+		return st["applied_ops"] == float64(len(ops)) && st["epoch"].(float64) >= 1
+	})
+	if st["journal_bytes"] != float64(0) {
+		t.Fatalf("journal region survived compaction: %v", st)
+	}
+	status, body, _ := get(t, ts, countURL(qs, ""))
+	if status != http.StatusOK || body["count"] != want.String() {
+		t.Fatalf("post-compaction count: status %d body %v, want %s", status, body, want)
+	}
+
+	// The compacted file is sealed: no journal ops on a cold open.
+	snap, err := repaircount.OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if snap.NumJournalOps() != 0 {
+		t.Fatalf("compacted snapshot still carries %d journal ops", snap.NumJournalOps())
+	}
+}
+
+// TestDegradeOnBadOps pins the fail-loud side of the write path: a
+// poisoned ops line flips the daemon read-only, /healthz fails, and
+// probes keep answering the last applied state.
+func TestDegradeOnBadOps(t *testing.T) {
+	db, ks := workload.PairsDatabase(2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+	opsPath := filepath.Join(dir, "ops.txt")
+	if err := os.WriteFile(opsPath, []byte("+ R(k9, 'a')\n+ garbage here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := start(t, server.Config{SnapshotPath: path, OpsPath: opsPath, Poll: 2 * time.Millisecond})
+	waitStats(t, ts, "degrade", func(st map[string]any) bool {
+		deg, _ := st["degraded"].(string)
+		return deg != ""
+	})
+	status, _, _ := get(t, ts, "/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz: status %d", status)
+	}
+	status, body, _ := get(t, ts, countURL("exists x . R(x, 'a')", ""))
+	if status != http.StatusOK || body["mode"] != "exact" {
+		t.Fatalf("degraded probe: status %d body %v", status, body)
+	}
+}

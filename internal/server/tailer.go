@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/workload"
+)
+
+// The tailer is the daemon's only write path. It polls the ops file for
+// new complete lines ("+ Fact" / "- Fact", # comments), applies them to
+// the live instance under the write lock, journals the ops that changed
+// the instance with an fsync'd append, and compacts the snapshot
+// atomically once the journal region outgrows CompactBytes.
+//
+// Crash safety is a consequence of layering, not tailer bookkeeping: the
+// ops file is the source of truth and its byte offset is only tracked in
+// memory. After any crash — including kill -9 between apply and journal —
+// the restarted daemon recovers the snapshot's torn tail, re-tails the
+// ops file from offset zero, and re-applies everything: ops are absolute
+// set-membership assignments, so replaying a prefix that is already
+// journaled is a no-op that journals nothing, and the daemon converges to
+// exactly the committed-plus-pending state.
+//
+// Any write-path failure (unparseable ops line, failed apply, failed
+// journal append or compaction) degrades the daemon to read-only: probes
+// keep answering against the last applied state, /healthz fails, and the
+// reason is reported in /v1/stats.
+
+// tailLoop polls until Close.
+func (s *Server) tailLoop() {
+	defer close(s.tailDone)
+	var off int64
+	t := time.NewTicker(s.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if s.degraded() != "" {
+			return
+		}
+		n, err := s.tailOnce(off)
+		if err != nil {
+			s.degrade(err)
+			return
+		}
+		off = n
+	}
+}
+
+// tailOnce reads any new complete lines past off, applies and journals
+// them, and returns the new offset.
+func (s *Server) tailOnce(off int64) (int64, error) {
+	f, err := os.Open(s.cfg.OpsPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return off, nil // the stream has not started yet
+		}
+		return off, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return off, err
+	}
+	if st.Size() < off {
+		return off, fmt.Errorf("server: ops file %s shrank from %d to %d bytes", s.cfg.OpsPath, off, st.Size())
+	}
+	if st.Size() == off {
+		return off, nil
+	}
+	buf := make([]byte, st.Size()-off)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return off, err
+	}
+	// Only complete lines are parsed; a partially written tail waits for
+	// the next poll.
+	nl := bytes.LastIndexByte(buf, '\n')
+	if nl < 0 {
+		return off, nil
+	}
+	ops, err := workload.ParseUpdates(bytes.NewReader(buf[:nl+1]))
+	if err != nil {
+		return off, fmt.Errorf("server: ops file %s at offset %d: %w", s.cfg.OpsPath, off, err)
+	}
+	if len(ops) > 0 {
+		if err := s.applyBatch(ops); err != nil {
+			return off, err
+		}
+	}
+	return off + int64(nl+1), nil
+}
+
+// applyBatch applies one parsed batch under the write lock, journals the
+// ops that changed the instance, and triggers compaction when due.
+func (s *Server) applyBatch(ops []workload.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var changed []repaircount.Delta
+	for _, op := range ops {
+		d := repaircount.Insert(op.Fact)
+		if op.Del {
+			d = repaircount.Delete(op.Fact)
+		}
+		n, err := s.snap.Apply(d)
+		if err != nil {
+			return fmt.Errorf("server: applying %s: %w", op.Fact, err)
+		}
+		if n > 0 {
+			changed = append(changed, d)
+		}
+	}
+	s.appliedOps.Add(int64(len(ops)))
+	if len(changed) > 0 {
+		if err := repaircount.AppendJournal(s.cfg.SnapshotPath, changed...); err != nil {
+			return fmt.Errorf("server: journaling %d ops: %w", len(changed), err)
+		}
+		s.journaled.Add(int64(len(changed)))
+	}
+	if s.cfg.CompactBytes > 0 {
+		// The mapped length is fixed at open, so the live journal size
+		// comes from the file, not the snapshot.
+		st, err := os.Stat(s.cfg.SnapshotPath)
+		if err == nil && st.Size()-s.baseLen >= s.cfg.CompactBytes {
+			if err := s.compactLocked(); err != nil {
+				return fmt.Errorf("server: compacting: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the snapshot without its journal (atomic
+// temp+rename), remaps it, and bumps the epoch so worker caches rebuild
+// over the new substrate. Caller holds the write lock.
+func (s *Server) compactLocked() error {
+	if err := repaircount.CompactSnapshot(s.cfg.SnapshotPath, s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	snap, err := repaircount.OpenSnapshot(s.cfg.SnapshotPath)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(s.cfg.SnapshotPath)
+	if err != nil {
+		snap.Close()
+		return err
+	}
+	old := s.snap
+	s.snap = snap
+	s.baseLen = st.Size() - snap.JournalBytes()
+	s.epoch++
+	return old.Close()
+}

@@ -133,7 +133,7 @@ func decode(data []byte, verify bool) (*Snapshot, error) {
 		return u32View(raw(id)), nil
 	}
 
-	s := &Snapshot{data: data, journal: journal, baseCRC: le.Uint64(data[base-trailerLen : base])}
+	s := &Snapshot{data: data, journal: journal, baseCRC: le.Uint64(data[base-trailerLen : base]), baseLen: base}
 	if s.constOffs, err = u32(secConstOffs); err != nil {
 		return nil, err
 	}

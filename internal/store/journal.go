@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 
+	"repaircount/internal/faultfs"
 	"repaircount/internal/relational"
 )
 
@@ -69,67 +70,104 @@ func EncodeJournal(ops []JournalOp) ([]byte, error) {
 
 // parseJournal decodes the journal region of a snapshot (every byte after
 // the sealed base) into the op sequence, validating each block's framing,
-// checksum and op structure.
+// checksum and op structure. It is strict: a torn tail is an error here
+// (RecoverFile is the repair path).
 func parseJournal(data []byte) ([]JournalOp, error) {
-	var ops []JournalOp
-	for blockNo := 0; len(data) > 0; blockNo++ {
-		if len(data) < journalHeaderSize+journalTrailerLen {
-			return nil, corrupt("journal block %d: %d trailing bytes are shorter than a block frame", blockNo, len(data))
+	ops, valid, err := scanJournal(data)
+	if err != nil {
+		return nil, err
+	}
+	if valid != len(data) {
+		return nil, corrupt("torn journal tail: %d bytes after the last complete block (recover the file first)", len(data)-valid)
+	}
+	return ops, nil
+}
+
+// scanJournal decodes the longest valid prefix of a journal region. It
+// returns the ops of every complete, checksummed block and the byte
+// length of that prefix. A trailing region explainable by a torn append —
+// a partial block frame, a payload overrunning the file, or a final
+// full-length block failing its checksum (pages can persist out of
+// order) — is not an error: the scan stops before it and valid <
+// len(data). Damage that truncation cannot explain — garbage where a
+// block must start, a checksum failure before the final block, or a
+// checksummed block whose ops are malformed — is corruption and fails
+// loudly: recovery must never silently drop a committed block.
+func scanJournal(data []byte) (ops []JournalOp, valid int, err error) {
+	off := 0
+	for blockNo := 0; off < len(data); blockNo++ {
+		rest := data[off:]
+		if len(rest) >= len(journalMagic) && string(rest[:len(journalMagic)]) != journalMagic {
+			return nil, 0, corrupt("journal block %d: bad magic %q", blockNo, rest[:len(journalMagic)])
 		}
-		if string(data[:4]) != journalMagic {
-			return nil, corrupt("journal block %d: bad magic %q", blockNo, data[:4])
+		if len(rest) < journalHeaderSize+journalTrailerLen {
+			return ops, off, nil // torn: partial block frame
 		}
-		count := le.Uint32(data[4:])
-		if count == 0 {
-			return nil, corrupt("journal block %d: zero ops", blockNo)
-		}
-		plen := le.Uint64(data[8:])
+		count := le.Uint32(rest[4:])
+		plen := le.Uint64(rest[8:])
 		total := uint64(journalHeaderSize) + plen + journalTrailerLen
-		if plen > uint64(len(data)) || total > uint64(len(data)) {
-			return nil, corrupt("journal block %d: payload of %d bytes overruns the file", blockNo, plen)
+		if plen > uint64(len(rest)) || total > uint64(len(rest)) {
+			return ops, off, nil // torn: payload overruns the file
 		}
-		body := data[:journalHeaderSize+plen]
-		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(data[journalHeaderSize+plen:]); got != want {
-			return nil, corrupt("journal block %d: checksum mismatch: block says %#x, content hashes to %#x", blockNo, want, got)
+		body := rest[:journalHeaderSize+plen]
+		if got, want := uint64(crc32.Checksum(body, crcTable)), le.Uint64(rest[journalHeaderSize+plen:]); got != want {
+			if total == uint64(len(rest)) {
+				return ops, off, nil // torn: final block, checksum incomplete
+			}
+			return nil, 0, corrupt("journal block %d: checksum mismatch: block says %#x, content hashes to %#x", blockNo, want, got)
+		}
+		if count == 0 {
+			return nil, 0, corrupt("journal block %d: zero ops", blockNo)
 		}
 		p := body[journalHeaderSize:]
-		for i := uint32(0); i < count; i++ {
-			if len(p) < 3 {
-				return nil, corrupt("journal block %d: op %d is truncated", blockNo, i)
-			}
-			kind := p[0]
-			if kind != opInsert && kind != opDelete {
-				return nil, corrupt("journal block %d: op %d has unknown kind %d", blockNo, i, kind)
-			}
-			predLen := int(le.Uint16(p[1:]))
-			p = p[3:]
-			if predLen == 0 {
-				return nil, corrupt("journal block %d: op %d has an empty predicate", blockNo, i)
-			}
-			if len(p) < predLen+2 {
-				return nil, corrupt("journal block %d: op %d predicate overruns the payload", blockNo, i)
-			}
-			pred := string(p[:predLen])
-			nargs := int(le.Uint16(p[predLen:]))
-			p = p[predLen+2:]
-			args := make([]relational.Const, nargs)
-			for a := 0; a < nargs; a++ {
-				if len(p) < 4 {
-					return nil, corrupt("journal block %d: op %d argument %d is truncated", blockNo, i, a)
-				}
-				alen := le.Uint32(p)
-				if uint64(alen) > uint64(len(p)-4) {
-					return nil, corrupt("journal block %d: op %d argument %d overruns the payload", blockNo, i, a)
-				}
-				args[a] = relational.Const(p[4 : 4+alen])
-				p = p[4+alen:]
-			}
-			ops = append(ops, JournalOp{Del: kind == opDelete, Fact: relational.Fact{Pred: pred, Args: args}})
+		blockOps, err := parseJournalOps(p, blockNo, count)
+		if err != nil {
+			return nil, 0, err
 		}
-		if len(p) != 0 {
-			return nil, corrupt("journal block %d: %d payload bytes left after %d ops", blockNo, len(p), count)
+		ops = append(ops, blockOps...)
+		off += int(total)
+	}
+	return ops, off, nil
+}
+
+// parseJournalOps decodes the op records of one checksummed block payload.
+func parseJournalOps(p []byte, blockNo int, count uint32) ([]JournalOp, error) {
+	ops := make([]JournalOp, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 3 {
+			return nil, corrupt("journal block %d: op %d is truncated", blockNo, i)
 		}
-		data = data[total:]
+		kind := p[0]
+		if kind != opInsert && kind != opDelete {
+			return nil, corrupt("journal block %d: op %d has unknown kind %d", blockNo, i, kind)
+		}
+		predLen := int(le.Uint16(p[1:]))
+		p = p[3:]
+		if predLen == 0 {
+			return nil, corrupt("journal block %d: op %d has an empty predicate", blockNo, i)
+		}
+		if len(p) < predLen+2 {
+			return nil, corrupt("journal block %d: op %d predicate overruns the payload", blockNo, i)
+		}
+		pred := string(p[:predLen])
+		nargs := int(le.Uint16(p[predLen:]))
+		p = p[predLen+2:]
+		args := make([]relational.Const, nargs)
+		for a := 0; a < nargs; a++ {
+			if len(p) < 4 {
+				return nil, corrupt("journal block %d: op %d argument %d is truncated", blockNo, i, a)
+			}
+			alen := le.Uint32(p)
+			if uint64(alen) > uint64(len(p)-4) {
+				return nil, corrupt("journal block %d: op %d argument %d overruns the payload", blockNo, i, a)
+			}
+			args[a] = relational.Const(p[4 : 4+alen])
+			p = p[4+alen:]
+		}
+		ops = append(ops, JournalOp{Del: kind == opDelete, Fact: relational.Fact{Pred: pred, Args: args}})
+	}
+	if len(p) != 0 {
+		return nil, corrupt("journal block %d: %d payload bytes left after %d ops", blockNo, len(p), count)
 	}
 	return ops, nil
 }
@@ -168,19 +206,84 @@ func AppendJournal(path string, ops []JournalOp) error {
 		return err
 	}
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	st, err := os.Stat(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	st, err := f.Stat()
+	f, err := faultfs.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
 	if _, err := f.WriteAt(block, st.Size()); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RecoverFile repairs a snapshot whose last journal append was torn by a
+// crash: it validates the sealed base, scans the journal region for its
+// longest valid block prefix, proves the file truncated to that prefix
+// loads cleanly, and truncates (with an fsync) — the recovered snapshot
+// is bit-identical to the last committed state. It returns the number of
+// torn bytes dropped (0 for an already-clean file). Damage beyond a torn
+// tail — a base failing its checksum, garbage between blocks, a
+// checksummed block that does not decode — is an error: RecoverFile never
+// invents a state, so a recovered file either matches a state that was
+// committed or the call fails loudly.
+func RecoverFile(path string) (dropped int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < headerSize+trailerLen {
+		return 0, corrupt("%d bytes is shorter than header plus trailer", len(data))
+	}
+	if string(data[:4]) != magic {
+		return 0, corrupt("bad magic %q", data[:4])
+	}
+	base := le.Uint64(data[16:])
+	if base < headerSize+trailerLen || base > uint64(len(data)) {
+		// The base is written atomically (temp file + rename), so a header
+		// claiming more bytes than the file holds is not a torn append.
+		return 0, corrupt("header says %d bytes, have %d", base, len(data))
+	}
+	if _, err := Decode(data[:base]); err != nil {
+		return 0, err
+	}
+	_, valid, err := scanJournal(data[base:])
+	if err != nil {
+		return 0, err
+	}
+	keep := int64(base) + int64(valid)
+	dropped = int64(len(data)) - keep
+	if dropped == 0 {
+		return 0, nil
+	}
+	// Prove the truncated image loads before committing the truncation.
+	if _, err := Decode(data[:keep]); err != nil {
+		return 0, fmt.Errorf("store: recovered prefix of %s does not load: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return dropped, nil
 }
 
 // CompactFile reseals the snapshot at src — base plus any appended journal

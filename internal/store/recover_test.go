@@ -1,0 +1,269 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repaircount/internal/faultfs"
+	"repaircount/internal/query"
+	"repaircount/internal/relational"
+	"repaircount/internal/store"
+	"repaircount/internal/workload"
+)
+
+// writeBytes drops a byte image at path.
+func writeBytes(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverTornJournalTail is the exhaustive torn-tail table: a snapshot
+// with one committed journal block is truncated at every byte offset of a
+// second appended block, and every truncation must either load as the
+// committed pre-append state after recovery (bit-identical bytes) or fail
+// loudly — never panic, never load to any other state.
+func TestRecoverTornJournalTail(t *testing.T) {
+	db, ks := workload.PairsDatabase(3)
+	q := query.MustParse("exists x . R(x, 'a')")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	ops1 := []store.JournalOp{{Fact: relational.NewFact("R", "k9", "a")}}
+	if err := store.AppendJournal(path, ops1); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops2 := []store.JournalOp{
+		{Fact: relational.NewFact("R", "k8", "b")},
+		{Del: true, Fact: relational.NewFact("R", "k0", "a")},
+	}
+	if err := store.AppendJournal(path, ops2); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(committed) {
+		t.Fatalf("append did not grow the file: %d -> %d", len(committed), len(full))
+	}
+	_, wantCount, wantDec := snapshotCounts(t, path, q)
+
+	// Reference counts of the committed (pre-append) state.
+	writeBytes(t, path, committed)
+	preTotal, preCount, preDec := snapshotCounts(t, path, q)
+
+	torn := filepath.Join(dir, "torn.cqs")
+	for cut := len(committed); cut < len(full); cut++ {
+		writeBytes(t, torn, full[:cut])
+		if cut > len(committed) {
+			// The strict loader must reject the torn file outright.
+			if _, err := store.Decode(append([]byte(nil), full[:cut]...)); err == nil {
+				t.Fatalf("cut=%d: torn file decoded cleanly", cut)
+			}
+		}
+		dropped, err := store.RecoverFile(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: recover failed: %v", cut, err)
+		}
+		if want := int64(cut - len(committed)); dropped != want {
+			t.Fatalf("cut=%d: dropped %d bytes, want %d", cut, dropped, want)
+		}
+		got, err := os.ReadFile(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, committed) {
+			t.Fatalf("cut=%d: recovered bytes differ from the committed state", cut)
+		}
+		gt, gc, gd := snapshotCounts(t, torn, q)
+		if gt.Cmp(preTotal) != 0 || gc.Cmp(preCount) != 0 || gd != preDec {
+			t.Fatalf("cut=%d: recovered counts (%s, %s, %v) differ from committed (%s, %s, %v)",
+				cut, gt, gc, gd, preTotal, preCount, preDec)
+		}
+	}
+
+	// The complete file recovers to itself.
+	writeBytes(t, torn, full)
+	if dropped, err := store.RecoverFile(torn); err != nil || dropped != 0 {
+		t.Fatalf("clean file: dropped=%d err=%v", dropped, err)
+	}
+	gt, gc, gd := snapshotCounts(t, torn, q)
+	if gc.Cmp(wantCount) != 0 || gd != wantDec {
+		t.Fatalf("clean recover changed counts: (%s, %s, %v)", gt, gc, gd)
+	}
+}
+
+// TestRecoverRejectsDamage pins the loud-failure side: damage that a torn
+// append cannot explain must fail recovery, not silently truncate.
+func TestRecoverRejectsDamage(t *testing.T) {
+	db, ks := workload.PairsDatabase(2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AppendJournal(path, []store.JournalOp{{Fact: relational.NewFact("R", "k7", "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AppendJournal(path, []store.JournalOp{{Fact: relational.NewFact("R", "k6", "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Decode(append([]byte(nil), full...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalLen := int(snap.JournalBytes())
+	baseLen := len(full) - journalLen
+
+	check := func(name string, mut func([]byte) []byte) {
+		t.Helper()
+		bad := filepath.Join(dir, "bad.cqs")
+		writeBytes(t, bad, mut(append([]byte(nil), full...)))
+		if _, err := store.RecoverFile(bad); err == nil {
+			t.Errorf("%s: recovery silently succeeded", name)
+		}
+	}
+	// A bit flip in the sealed base fails its checksum.
+	check("base bit flip", func(b []byte) []byte { b[baseLen/2] ^= 1; return b })
+	// Garbage where the first journal block's magic must be.
+	check("journal bad magic", func(b []byte) []byte { b[baseLen] ^= 0xff; return b })
+	// A checksum failure before the final block is corruption, not a tear.
+	check("non-final crc flip", func(b []byte) []byte { b[baseLen+20] ^= 1; return b })
+	// A file shorter than its header's base size lost sealed bytes.
+	check("truncated base", func(b []byte) []byte { return b[:baseLen-1] })
+}
+
+// TestAppendJournalFaultSweep drives AppendJournal through every injected
+// crash point: for each fault budget, the interrupted file must recover to
+// a state bit-identical to either the pre-append or the post-append
+// snapshot — never a third state, never a miscount.
+func TestAppendJournalFaultSweep(t *testing.T) {
+	db, ks := workload.PairsDatabase(3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []store.JournalOp{
+		{Fact: relational.NewFact("R", "k9", "a")},
+		{Del: true, Fact: relational.NewFact("R", "k0", "a")},
+	}
+	// Reference post-append image, written without faults.
+	if err := store.AppendJournal(path, ops); err != nil {
+		t.Fatal(err)
+	}
+	post, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer faultfs.Clear()
+	for budget := int64(0); ; budget++ {
+		writeBytes(t, path, pre)
+		h := faultfs.Inject(budget)
+		err := store.AppendJournal(path, ops)
+		faultfs.Clear()
+		if !h.Tripped() {
+			if err != nil {
+				t.Fatalf("budget=%d: untripped append failed: %v", budget, err)
+			}
+			break // the whole append fit the budget: sweep is exhaustive
+		}
+		if err == nil {
+			t.Fatalf("budget=%d: tripped append reported success", budget)
+		}
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("budget=%d: fault surfaced as %v", budget, err)
+		}
+		if _, err := store.RecoverFile(path); err != nil {
+			t.Fatalf("budget=%d: recovery failed: %v", budget, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pre) && !bytes.Equal(got, post) {
+			t.Fatalf("budget=%d: recovered file matches neither committed state", budget)
+		}
+		if _, err := store.Decode(append([]byte(nil), got...)); err != nil {
+			t.Fatalf("budget=%d: recovered file does not load: %v", budget, err)
+		}
+	}
+}
+
+// TestWriteFileFaultSweep drives the atomic snapshot writer through every
+// injected crash point: the destination must hold either the old complete
+// snapshot or the new one after every fault, and no temp litter survives.
+func TestWriteFileFaultSweep(t *testing.T) {
+	oldDB, oldKS := workload.PairsDatabase(2)
+	newDB, newKS := workload.PairsDatabase(4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.cqs")
+	if err := store.WriteFile(path, oldDB, oldKS); err != nil {
+		t.Fatal(err)
+	}
+	oldBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteFile(path, newDB, newKS); err != nil {
+		t.Fatal(err)
+	}
+	newBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer faultfs.Clear()
+	for budget := int64(0); ; budget++ {
+		writeBytes(t, path, oldBytes)
+		h := faultfs.Inject(budget)
+		err := store.WriteFile(path, newDB, newKS)
+		faultfs.Clear()
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("budget=%d: destination vanished: %v", budget, rerr)
+		}
+		if !bytes.Equal(got, oldBytes) && !bytes.Equal(got, newBytes) {
+			t.Fatalf("budget=%d: destination is neither the old nor the new snapshot", budget)
+		}
+		if _, derr := store.Decode(append([]byte(nil), got...)); derr != nil {
+			t.Fatalf("budget=%d: destination does not load: %v", budget, derr)
+		}
+		ents, derr := os.ReadDir(dir)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if len(ents) != 1 {
+			t.Fatalf("budget=%d: temp litter left behind: %v", budget, ents)
+		}
+		if !h.Tripped() {
+			if err != nil {
+				t.Fatalf("budget=%d: untripped write failed: %v", budget, err)
+			}
+			break
+		}
+		if err == nil {
+			t.Fatalf("budget=%d: tripped write reported success", budget)
+		}
+	}
+}

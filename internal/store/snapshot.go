@@ -48,6 +48,10 @@ type Snapshot struct {
 	// identify shard snapshots by this value.
 	baseCRC uint64
 
+	// baseLen is the sealed base's byte length (the header's size field);
+	// data beyond it is the journal region.
+	baseLen uint64
+
 	matOnce sync.Once
 	matErr  error
 	in      *relational.Interner
@@ -74,6 +78,10 @@ func (s *Snapshot) HasPostings() bool { return s.post != nil }
 // reported when the base was written. Appended journal blocks do not change
 // it.
 func (s *Snapshot) BaseCRC() uint64 { return s.baseCRC }
+
+// JournalBytes returns the size of the journal region appended after the
+// sealed base — the growth a compaction would reclaim.
+func (s *Snapshot) JournalBytes() int64 { return int64(uint64(len(s.data)) - s.baseLen) }
 
 // Close releases the backing mapping (a no-op for in-memory snapshots).
 // No structure obtained from the snapshot may be used afterwards.

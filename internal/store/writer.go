@@ -7,8 +7,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
+	"repaircount/internal/faultfs"
 	"repaircount/internal/relational"
 )
 
@@ -49,22 +51,42 @@ func WriteCRC(w io.Writer, db *relational.Database, ks *relational.KeySet, opts 
 }
 
 // WriteFile writes the instance to path with DefaultOptions (all
-// precomputed sections).
+// precomputed sections). The write is atomic and durable: the snapshot is
+// streamed to a temporary file in the destination directory, fsynced,
+// renamed over path and the directory fsynced — a crash at any point
+// leaves either the old file intact or the new one complete, never a
+// half-written snapshot under the final name.
 func WriteFile(path string, db *relational.Database, ks *relational.KeySet) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := faultfs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	if err := Write(bw, db, ks, DefaultOptions); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := faultfs.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return faultfs.SyncDir(dir)
 }
 
 // image is the fully-columnar in-memory form of a snapshot, ready to

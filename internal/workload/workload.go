@@ -471,6 +471,61 @@ func pickConflictBase(rng *rand.Rand, live []relational.Fact, ks *relational.Key
 	return relational.Fact{}, false
 }
 
+// Probe is one admission probe for the serve daemon: a query text and the
+// outcome the admission ladder must choose for it under the stream's
+// stated exact budget — "exact", "approx" or "reject".
+type Probe struct {
+	Expect string
+	Query  string
+}
+
+// ProbeStream builds a MultiComponent base instance (nComponents
+// components, blocksPer size-2 blocks each) plus a probe stream covering
+// every rung of the serve admission ladder, with the exact budget the
+// outcomes are guaranteed under:
+//
+//   - exact — ground atoms, closed-form under the safe plan at zero
+//     priced work, admitted under any budget;
+//   - approx — the full cross-component disjunction, whose planned exact
+//     work is at least 2^blocksPer per component and therefore exceeds
+//     the returned budget of nComponents, degrading to the FPRAS;
+//   - reject — a negation, outside existential positive FO: no FPRAS
+//     exists, and with 2^(nComponents·blocksPer) repairs the enumeration
+//     fallback also exceeds the budget, so the probe must be refused.
+func ProbeStream(nComponents, blocksPer int) (*relational.Database, *relational.KeySet, int64, []Probe) {
+	if nComponents < 1 || blocksPer < 2 {
+		panic("workload: ProbeStream needs nComponents >= 1 and blocksPer >= 2")
+	}
+	db, ks, _ := MultiComponent(nComponents, blocksPer, 2)
+	budget := int64(nComponents)
+	var probes []Probe
+	for c := 0; c < nComponents; c++ {
+		probes = append(probes, Probe{Expect: "exact", Query: fmt.Sprintf("C%d('k0', 'v0')", c)})
+	}
+	var parts []string
+	for c := 0; c < nComponents; c++ {
+		parts = append(parts, fmt.Sprintf("(exists x, y . (C%d(x, 'v0') & C%d(y, 'v1')))", c, c))
+	}
+	probes = append(probes, Probe{Expect: "approx", Query: strings.Join(parts, " | ")})
+	probes = append(probes, Probe{Expect: "reject", Query: "!C0('k0', 'v0')"})
+	return db, ks, budget, probes
+}
+
+// FormatProbes writes a probe stream: an "# exact-budget: N" header the
+// consumer must configure the daemon with, then one "expect<TAB>query"
+// line per probe.
+func FormatProbes(w io.Writer, exactBudget int64, probes []Probe) error {
+	if _, err := fmt.Fprintf(w, "# exact-budget: %d\n", exactBudget); err != nil {
+		return err
+	}
+	for _, p := range probes {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", p.Expect, p.Query); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FormatUpdates writes an update stream in the text op format consumed by
 // repairctl apply: one op per line, "+ Fact" for inserts and "- Fact" for
 // deletes, facts in the codec syntax.

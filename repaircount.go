@@ -206,9 +206,43 @@
 // assignments are fixed, the total hit count — and hence the estimate —
 // is bit-for-bit identical for every worker count and scheduling, while
 // still scaling across cores.
+//
+// # Serving: the repairctl daemon
+//
+// internal/server wraps the whole stack as a long-lived HTTP/JSON daemon
+// (`repairctl serve`): one mmapped snapshot, a bounded worker pool
+// answering /v1/count, /v1/decide, /v1/explain, /v1/rank and /v1/total
+// probes, with per-worker matcher and counter reuse over the shared live
+// substrate. Three robustness layers make it safe to leave running:
+//
+//   - Admission ladder. Every count probe is priced before it runs, using
+//     the same planner report ExplainPlan exposes. Plans within the exact
+//     budget run the exact engines; plans beyond it degrade to the FPRAS
+//     with the response reporting the (ε, δ) actually served — but only
+//     when the Theorem 6.2 sample bound itself fits the sample budget;
+//     anything costlier (including non-∃FO⁺ queries, which have no FPRAS
+//     unless RP = NP) is refused with a structured budget_exceeded error
+//     rather than wedging a worker. The ladder is exact → approximate →
+//     typed refusal, never silence.
+//   - Cooperative cancellation. Deadlines and client disconnects thread a
+//     stop flag (core.Stop) through every enumeration kernel — the
+//     Gray/masked walkers, the IE subset DFS, the enumeration fallback and
+//     the sampling loops poll it at a coarse stride — so an abandoned
+//     probe frees its workers within a bounded number of states.
+//     CountCtx / ApproximateParallelCtx expose the same plumbing here.
+//   - Crash safety. The daemon tails an append-only ops file, applies
+//     deltas through the live substrate, journals them with fsync'd
+//     AppendJournal, and compacts by atomic temp-file-plus-rename
+//     (WriteSnapshot's file path does the same). On startup,
+//     RecoverSnapshot truncates a torn journal tail back to the last
+//     committed block — a kill -9 at any byte of the write path leaves a
+//     file that recovers to a committed state bit-identically or fails
+//     loudly, never one that miscounts (internal/faultfs sweeps every
+//     crash point in the tests).
 package repaircount
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -349,6 +383,48 @@ func (c *Counter) CountWorkers(workers int) (*big.Int, EngineKind, error) {
 	return c.inst.CountExactWorkers(workers)
 }
 
+// ErrBudget is returned when an exact engine's enumeration budget is
+// exceeded; callers can degrade to Approximate or refuse the probe.
+var ErrBudget = repairs.ErrBudget
+
+// ErrStopped is returned by the Ctx entry points' internals when a count
+// is canceled mid-enumeration; CountCtx and ApproximateParallelCtx
+// translate it to the context's own error.
+var ErrStopped = core.ErrStopped
+
+// stopForCtx bridges a context to the cooperative stop flag the counting
+// kernels poll. The returned release must be called when the count
+// finishes to free the watcher goroutine.
+func stopForCtx(ctx context.Context) (*core.Stop, func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	stop := &core.Stop{}
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Trigger()
+		case <-finished:
+		}
+	}()
+	return stop, func() { close(finished) }
+}
+
+// CountCtx is CountWorkers with cooperative cancellation: when ctx is
+// canceled (deadline, client disconnect), the enumeration kernels observe
+// the stop flag within a bounded number of states and the call returns
+// ctx.Err(). The count, when it completes, is identical to Count.
+func (c *Counter) CountCtx(ctx context.Context, workers int) (*big.Int, EngineKind, error) {
+	stop, release := stopForCtx(ctx)
+	defer release()
+	n, engine, err := c.inst.CountExactStop(workers, stop)
+	if err == core.ErrStopped {
+		return nil, engine, ctx.Err()
+	}
+	return n, engine, err
+}
+
 // CountWith computes #CQA(Q,Σ)(D) exactly with a pinned engine:
 // EngineFactorized (planner-selected per-component engines), EngineGray
 // (every component forced onto the Gray-delta walk), EngineCompIE (every
@@ -454,6 +530,27 @@ func (c *Counter) ApproximateWithSamples(samples int, seed uint64) (Estimate, er
 // is identical across runs and worker counts.
 func (c *Counter) ApproximateParallel(eps, delta float64, workers int, seed uint64) (Estimate, error) {
 	return c.inst.ApxParallel(eps, delta, workers, seed)
+}
+
+// ApproximateParallelCtx is ApproximateParallel with cooperative
+// cancellation: a canceled ctx stops the sampling loops within a bounded
+// number of draws and the call returns ctx.Err().
+func (c *Counter) ApproximateParallelCtx(ctx context.Context, eps, delta float64, workers int, seed uint64) (Estimate, error) {
+	stop, release := stopForCtx(ctx)
+	defer release()
+	est, err := c.inst.ApxParallelStop(eps, delta, workers, seed, stop)
+	if err == core.ErrStopped {
+		return Estimate{}, ctx.Err()
+	}
+	return est, err
+}
+
+// ApproxSampleBound reports the Theorem 6.2 sample count the FPRAS would
+// run at the given accuracy, without drawing a sample — how a serving
+// layer prices an approximate probe before admitting it. It fails for
+// queries without an FPRAS (non-∃FO⁺, or an unbounded compactor).
+func (c *Counter) ApproxSampleBound(eps, delta float64) (*big.Int, error) {
+	return c.inst.ApxSampleBound(eps, delta)
 }
 
 // Keywidth returns kw(Q,Σ), the paper's covering function: #CQA(Q,Σ) is
@@ -658,8 +755,20 @@ func AppendJournal(path string, deltas ...Delta) error {
 
 // CompactSnapshot reseals the snapshot at src — base plus any appended
 // journal — as a clean, journal-free snapshot at dst with all precomputed
-// sections and identical counts.
+// sections and identical counts. The write is atomic (temp file plus
+// rename in the destination directory), so src == dst compacts in place
+// safely.
 func CompactSnapshot(src, dst string) error { return store.CompactFile(src, dst) }
+
+// RecoverSnapshot repairs a snapshot file whose last journal append was
+// interrupted by a crash: a torn trailing journal block is truncated away
+// (with an fsync), leaving the file bit-identical to its last committed
+// state. It returns the number of torn bytes dropped — 0 for a clean
+// file. Damage a torn append cannot explain (a corrupt base, a damaged
+// committed block) is an error: recovery never invents a state.
+func RecoverSnapshot(path string) (dropped int64, err error) {
+	return store.RecoverFile(path)
+}
 
 // ShardPlan is a cost-balanced partition of an instance's query-graph
 // components into K shards; see Counter.PlanShards.
@@ -777,6 +886,11 @@ func (s *Snapshot) Digest() uint64 { return s.s.BaseCRC() }
 // carried at load. A snapshot with journal ops no longer equals its sealed
 // base, so sharding and shard counting refuse it until compacted.
 func (s *Snapshot) NumJournalOps() int { return s.s.NumJournalOps() }
+
+// JournalBytes returns the size of the journal region appended after the
+// snapshot's sealed base — the growth a compaction would reclaim. The
+// serving daemon compacts when this crosses its threshold.
+func (s *Snapshot) JournalBytes() int64 { return s.s.JournalBytes() }
 
 // MergePartialFiles reads a CQSM manifest and a complete set of CQSP
 // partial files and recombines them into the exact global count,
