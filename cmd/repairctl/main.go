@@ -69,6 +69,26 @@
 //	    -shard shards/manifest.cqsm -partial shards/p0.cqsp
 //	repairctl merge -manifest shards/manifest.cqsm shards/p*.cqsp
 //
+// Distributed serving runs the sharded pipeline as a live fleet: worker
+// serves one shard snapshot over HTTP (assigned by the coordinator, and
+// remembered across restarts in its -dir sidecar), while coordinate owns
+// the full snapshot, cuts epoch shard sets into -shard-dir, assigns the
+// -peers fleet, tails -ops and streams each delta to the shards it
+// touches, and serves the probe API by fanning the partition -query out
+// to the fleet — every partial digest-, epoch- and version-verified
+// before the merge, so answers are bit-identical to the single-node
+// daemon or a structured error, never a miscount. A down worker degrades
+// probes to exact local counting until the maintenance loop heals it.
+//
+//	repairctl worker -dir w0/ -addr :9101
+//	repairctl worker -dir w1/ -addr :9102
+//	repairctl coordinate -db employees.cqs -query "exists i,n . Employee(i,n,'IT')" \
+//	    -peers http://localhost:9101,http://localhost:9102 \
+//	    -shard-dir shards/ -ops stream.ops -addr :8347
+//	curl 'http://localhost:8347/v1/count?q=exists+i,n+.+Employee(i,n,%27IT%27)'
+//	curl 'http://localhost:8347/v1/stats'   # fleet state: epoch, acks, pending
+//	curl 'http://localhost:9101/v1/stats'   # one shard's view
+//
 // count also takes -workers N to size the worker pool of the parallel
 // exact engines (0 means GOMAXPROCS, uniformly across every -exact
 // engine).
@@ -97,6 +117,7 @@ import (
 	"time"
 
 	"repaircount"
+	"repaircount/internal/cluster"
 	"repaircount/internal/core"
 	"repaircount/internal/faultfs"
 	"repaircount/internal/relational"
@@ -250,6 +271,13 @@ func run(args []string, stdout io.Writer) error {
 		maxSamples   = fs.Int64("max-samples", 0, "serve admission ceiling on the FPRAS sample bound (0 = the sampler cap)")
 		compactBytes = fs.Int64("compact-bytes", 0, "journal bytes that trigger serve's compaction (0 = 1MiB, negative disables)")
 		serveWorkers = fs.Int("serve-workers", 0, "probe worker slots for serve (0 = GOMAXPROCS)")
+
+		workerDir    = fs.String("dir", "", "worker state directory (required for worker; holds the assignment sidecar)")
+		peers        = fs.String("peers", "", "comma-separated worker base URLs for coordinate")
+		shardDir     = fs.String("shard-dir", "", "directory receiving one epoch-N shard set per re-shard (required for coordinate)")
+		retries      = fs.Int("retries", 0, "fetch attempts per shard for coordinate (0 = 3)")
+		retryBackoff = fs.Duration("retry-backoff", 0, "initial inter-attempt backoff for coordinate, doubling per retry (0 = 50ms)")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "per-attempt timeout before a slow shard fetch is abandoned and re-fired (0 = 2s)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -271,12 +299,31 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	// worker holds no data until a coordinator assigns it a shard, so it
+	// takes no -db at all — only a state directory.
+	if cmd == "worker" {
+		if *workerDir == "" {
+			return fmt.Errorf("worker: -dir is required")
+		}
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Dir:          *workerDir,
+			Workers:      *serveWorkers,
+			CountWorkers: *workers,
+			Deadline:     *deadline,
+		})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		return serveHandler(stdout, *addr, w.Handler())
+	}
+
 	if *dbPath == "" {
 		return fmt.Errorf("-db is required")
 	}
 
-	// apply, compact and serve operate on the snapshot file itself, not a
-	// loaded instance.
+	// apply, compact, serve and coordinate operate on the snapshot file
+	// itself, not a loaded instance.
 	switch cmd {
 	case "apply":
 		return applyOps(stdout, *dbPath, *opsPath)
@@ -303,6 +350,45 @@ func run(args []string, stdout io.Writer) error {
 			Poll:         *poll,
 			CompactBytes: *compactBytes,
 		})
+	case "coordinate":
+		if *queryStr == "" {
+			return fmt.Errorf("coordinate: -query is required")
+		}
+		if *peers == "" {
+			return fmt.Errorf("coordinate: -peers is required")
+		}
+		if *shardDir == "" {
+			return fmt.Errorf("coordinate: -shard-dir is required")
+		}
+		ops := *opsPath
+		if ops == "-" {
+			ops = ""
+		}
+		co, err := cluster.New(cluster.Config{
+			SnapshotPath: *dbPath,
+			Query:        *queryStr,
+			Peers:        strings.Split(*peers, ","),
+			ShardDir:     *shardDir,
+			OpsPath:      ops,
+			Workers:      *serveWorkers,
+			CountWorkers: *workers,
+			Deadline:     *deadline,
+			ExactBudget:  *exactBudget,
+			MaxSamples:   *maxSamples,
+			Eps:          *eps,
+			Delta:        *delta,
+			Seed:         *seed,
+			Poll:         *poll,
+			CompactBytes: *compactBytes,
+			Retries:      *retries,
+			RetryBackoff: *retryBackoff,
+			HedgeAfter:   *hedgeAfter,
+		})
+		if err != nil {
+			return err
+		}
+		defer co.Close()
+		return serveHandler(stdout, *addr, co.Handler())
 	}
 
 	src, err := openInstance(*dbPath)
@@ -681,7 +767,23 @@ func serve(stdout io.Writer, addr string, cfg server.Config) error {
 	if dropped := s.Recovered(); dropped > 0 {
 		fmt.Fprintf(stdout, "recovered %s: dropped %d torn journal bytes\n", cfg.SnapshotPath, dropped)
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	return serveUntilSignal(ln, s.Handler())
+}
+
+// serveHandler is the listen half of serve for the cluster roles, which
+// build their own handler: print the bound address, then serve until
+// SIGINT/SIGTERM.
+func serveHandler(stdout io.Writer, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	return serveUntilSignal(ln, h)
+}
+
+func serveUntilSignal(ln net.Listener, h http.Handler) error {
+	httpSrv := &http.Server{Handler: h}
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
 	go func() {
@@ -697,5 +799,5 @@ func serve(stdout io.Writer, addr string, cfg server.Config) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: repairctl <build|apply|compact|serve|total|blocks|count|decide|freq|approx|rank|analyze|shard|merge> -db FILE|- [-query Q] [flags]")
+	return fmt.Errorf("usage: repairctl <build|apply|compact|serve|worker|coordinate|total|blocks|count|decide|freq|approx|rank|analyze|shard|merge> -db FILE|- [-query Q] [flags]")
 }

@@ -14,6 +14,8 @@
 //	    -updates-out stream.ops > employees.db
 //	workloadgen -kind probe-stream -components 3 -n 2 \
 //	    -probes-out probes.txt > probes.db
+//	workloadgen -kind cluster-stream -components 8 -n 6 -updates 60 \
+//	    -updates-out stream.ops > cluster.db
 //
 // probe-stream emits a base instance plus an admission probe stream for
 // the serve daemon (repairctl serve): cheap queries the daemon must answer
@@ -27,6 +29,14 @@
 // disjuncts), where Gray enumeration blows the budget and component-local
 // inclusion–exclusion counts in microseconds; the matching query is printed
 // as a "# query:" comment for use with repairctl count -query.
+//
+// cluster-stream emits the distributed-serving regime: -components
+// independent conflicting components of -n size-2 blocks each, whose
+// partition query (printed as "# query:") the shard-fleet coordinator
+// (repairctl coordinate) can fan out across workers, plus the -updates
+// delta stream it re-routes to the affected shards. The corpus is
+// conflict-dense on purpose, so a healthy fraction of stream inserts
+// land inside existing blocks and exercise the delta-streaming path.
 //
 // skewed-components emits -components independent components whose block
 // counts follow a power law b_i = max(2, ⌊n/(i+1)^skew⌋) — the unbalanced
@@ -53,8 +63,8 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components | probe-stream")
-		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy; max blocks per component for skewed-components)")
+		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components | cluster-stream | probe-stream")
+		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy and cluster-stream; max blocks per component for skewed-components)")
 		conflict   = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
 		depts      = flag.Int("depts", 4, "number of departments (employee kind)")
 		maxSize    = flag.Int("blocksize-max", 3, "maximum block size (random kind)")
@@ -96,6 +106,12 @@ func main() {
 			break
 		}
 		db, ks, q = workload.SkewedComponents(*components, *n, *skew)
+	case "cluster-stream":
+		if *components < 1 || *n < 1 {
+			err = fmt.Errorf("cluster-stream needs -components >= 1 and -n >= 1 (have -components %d -n %d)", *components, *n)
+			break
+		}
+		db, ks, q = workload.MultiComponent(*components, *n, 2)
 	case "probe-stream":
 		if *components < 1 || *n < 2 {
 			err = fmt.Errorf("probe-stream needs -components >= 1 and -n >= 2 (have -components %d -n %d)", *components, *n)

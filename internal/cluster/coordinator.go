@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/core"
+	"repaircount/internal/repairs"
+	"repaircount/internal/server"
+	"repaircount/internal/workload"
+)
+
+// Config parameterizes a Coordinator. Zero values select the documented
+// defaults.
+type Config struct {
+	// SnapshotPath is the full .cqs snapshot the coordinator owns
+	// (required). It is recovered and, when journaled, compacted before
+	// the first shard cut.
+	SnapshotPath string
+	// Query is the partition query (required): the one query whose counts
+	// fan out to the fleet. Other probes are served locally.
+	Query string
+	// Peers are the worker base URLs; the shard count K is their number
+	// (required, at least one).
+	Peers []string
+	// ShardDir receives one epoch-N directory of shard snapshots plus
+	// manifest per re-shard (required).
+	ShardDir string
+	// OpsPath, when set, is the append-only update stream to tail; the
+	// consumed offset persists in OpsPath + ".offset".
+	OpsPath string
+	// Workers, CountWorkers, QueueDepth, Deadline, ExactBudget,
+	// MaxSamples, Eps, Delta, Seed, Poll and CompactBytes behave exactly
+	// as in the single-node daemon (internal/server.Config); CompactBytes
+	// here triggers a full re-shard, not just a compaction.
+	Workers      int
+	CountWorkers int
+	QueueDepth   int
+	Deadline     time.Duration
+	ExactBudget  int64
+	MaxSamples   int64
+	Eps, Delta   float64
+	Seed         uint64
+	Poll         time.Duration
+	CompactBytes int64
+	// Retries is the attempt count per shard fetch (default 3).
+	Retries int
+	// RetryBackoff is the initial inter-attempt backoff, doubling each
+	// retry (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter is the per-attempt timeout: a slow attempt is abandoned
+	// and re-fired after this long (default 2s). This is
+	// abandon-and-refire hedging — the slow request is canceled, not
+	// raced.
+	HedgeAfter time.Duration
+}
+
+func (cfg *Config) fill() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CountWorkers <= 0 {
+		cfg.CountWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 30 * time.Second
+	}
+	if cfg.ExactBudget <= 0 {
+		cfg.ExactBudget = int64(repairs.DefaultEnumBudget)
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = core.MaxApxSamples
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.1
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 0.05
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.CompactBytes == 0 {
+		cfg.CompactBytes = 1 << 20
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = 2 * time.Second
+	}
+}
+
+// workerState is the coordinator's book on one fleet member. Guarded by
+// Coordinator.fmu.
+type workerState struct {
+	url string
+	// down: the worker failed an availability check (refused, timed out);
+	// probes fall back to local counting, the maintenance loop re-pings.
+	down bool
+	// stale: the worker returned an integrity violation (wrong digest,
+	// epoch or applied stamp); it needs a reload before it is trusted
+	// again.
+	stale bool
+	// lastAck is the instance version the worker acknowledged after its
+	// last delta batch (or reload); a partial must carry exactly this.
+	lastAck uint64
+	// pending holds routed-but-unacked ops, in stream order.
+	pending []workload.Update
+}
+
+// Coordinator owns the full snapshot, the manifest of the current epoch
+// and the ops tail, and serves the probe API by fanning the partition
+// query out to the worker fleet. Probes take the read side of mu; the
+// ops applier and the re-sharder take the write side, so in-flight
+// probes drain before any epoch swing.
+type Coordinator struct {
+	cfg    Config
+	ladder server.Ladder
+	client *http.Client
+	pool   *server.Pool
+
+	mu      sync.RWMutex
+	snap    *repaircount.Snapshot
+	query   repaircount.Formula
+	qs      string // canonical partition-query text
+	baseLen int64
+
+	// fmu guards the fleet book and the shard-set identity. The epoch and
+	// shard set only move under mu's write side AND fmu, so holders of
+	// either read a consistent epoch.
+	fmu      sync.Mutex
+	epoch    uint64
+	shards   *repaircount.ShardSet
+	plac     map[string]int32 // block key → worker, shardShared or shardExcluded
+	fleet    []*workerState
+	pcounter *repaircount.Counter // dedicated planning counter; rebuilt per epoch
+	fan      *fanPlan             // cached validation for (epoch, version)
+
+	degradedReason atomic.Pointer[string]
+
+	appliedOps atomic.Int64
+	journaled  atomic.Int64
+	recovered  int64
+
+	stats struct {
+		probes, exact, approx, rejected, overloaded, deadline atomic.Int64
+		fanouts, localFallback, integrity, reshards           atomic.Int64
+	}
+
+	tailer    *server.Tailer
+	flushCh   chan struct{}
+	stop      chan struct{}
+	stopOnce  sync.Once
+	tailDone  chan struct{}
+	flushDone chan struct{}
+	maintDone chan struct{}
+}
+
+const (
+	shardShared   = repairs.ShardShared
+	shardExcluded = repairs.ShardExcluded
+)
+
+// New recovers and maps the snapshot, cuts the first epoch's shard set,
+// assigns the fleet (workers that are down are marked and healed later —
+// probes degrade to local counting, they never fail), and starts the ops
+// tail, the delta flusher and the maintenance loop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fill()
+	if cfg.SnapshotPath == "" || cfg.Query == "" || cfg.ShardDir == "" {
+		return nil, fmt.Errorf("cluster: SnapshotPath, Query and ShardDir are required")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: at least one worker peer is required")
+	}
+	q, err := repaircount.ParseQuery(cfg.Query)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partition query: %w", err)
+	}
+	recovered, err := repaircount.RecoverSnapshot(cfg.SnapshotPath)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: recovering %s: %w", cfg.SnapshotPath, err)
+	}
+	snap, err := repaircount.OpenSnapshot(cfg.SnapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		ladder:    server.Ladder{ExactBudget: cfg.ExactBudget, MaxSamples: cfg.MaxSamples, Eps: cfg.Eps, Delta: cfg.Delta},
+		client:    &http.Client{},
+		pool:      server.NewPool(cfg.Workers, cfg.QueueDepth),
+		snap:      snap,
+		query:     q,
+		qs:        fmt.Sprintf("%s", q),
+		recovered: recovered,
+		flushCh:   make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		tailDone:  make(chan struct{}),
+		flushDone: make(chan struct{}),
+		maintDone: make(chan struct{}),
+	}
+	c.fleet = make([]*workerState, len(cfg.Peers))
+	for i, u := range cfg.Peers {
+		c.fleet[i] = &workerState{url: u}
+	}
+	c.mu.Lock()
+	err = c.reshardLocked()
+	c.mu.Unlock()
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	if cfg.OpsPath != "" {
+		c.tailer = &server.Tailer{
+			OpsPath:    cfg.OpsPath,
+			OffsetPath: cfg.OpsPath + ".offset",
+			Poll:       cfg.Poll,
+			Apply:      c.applyBatch,
+		}
+		go c.tailLoop()
+	} else {
+		close(c.tailDone)
+	}
+	go c.flushLoop()
+	go c.maintainLoop()
+	return c, nil
+}
+
+// Close stops the tail, flusher and maintenance loops and unmaps the
+// snapshot. In-flight probes must have drained first. Safe to call twice.
+func (c *Coordinator) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.tailDone
+	<-c.flushDone
+	<-c.maintDone
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.snap == nil {
+		return nil
+	}
+	err := c.snap.Close()
+	c.snap = nil
+	return err
+}
+
+func (c *Coordinator) degrade(err error) {
+	msg := err.Error()
+	c.degradedReason.CompareAndSwap(nil, &msg)
+}
+
+func (c *Coordinator) degraded() string {
+	if p := c.degradedReason.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// reshardLocked cuts a new epoch: compact the journal into the sealed
+// base if one accrued, re-plan the partition at the current version,
+// write fresh shard snapshots plus manifest under ShardDir/epoch-N/,
+// swing the fleet book (placement, acks, pending) to the new epoch, and
+// reload every worker. Caller holds c.mu's write side, so in-flight
+// probes have drained against the old epoch. Worker reload failures mark
+// the worker down — they never fail the re-shard, because the
+// coordinator can always count locally.
+func (c *Coordinator) reshardLocked() error {
+	if c.snap.JournalBytes() > 0 {
+		if err := repaircount.CompactSnapshot(c.cfg.SnapshotPath, c.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("cluster: compacting %s: %w", c.cfg.SnapshotPath, err)
+		}
+		snap, err := repaircount.OpenSnapshot(c.cfg.SnapshotPath)
+		if err != nil {
+			return err
+		}
+		old := c.snap
+		c.snap = snap
+		old.Close()
+	}
+	st, err := os.Stat(c.cfg.SnapshotPath)
+	if err != nil {
+		return err
+	}
+	c.baseLen = st.Size() - c.snap.JournalBytes()
+
+	counter, err := c.snap.Counter(c.query)
+	if err != nil {
+		return err
+	}
+	plan, err := counter.PlanShards(len(c.fleet))
+	if err != nil {
+		return err
+	}
+	epoch := c.epoch + 1
+	dir := filepath.Join(c.cfg.ShardDir, fmt.Sprintf("epoch-%06d", epoch))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	set, err := counter.WriteShards(dir, plan, c.snap.Digest())
+	if err != nil {
+		return fmt.Errorf("cluster: writing shard set for epoch %d: %w", epoch, err)
+	}
+	plac := make(map[string]int32, len(counter.Instance().Blocks))
+	for pos, b := range counter.Instance().Blocks {
+		plac[b.Key.Canonical()] = plan.ShardOf[pos]
+	}
+
+	c.fmu.Lock()
+	c.epoch = epoch
+	c.shards = set
+	c.plac = plac
+	c.pcounter = counter
+	c.fan = nil
+	for _, ws := range c.fleet {
+		ws.lastAck = 0
+		ws.pending = nil
+		ws.stale = false
+	}
+	c.fmu.Unlock()
+	c.stats.reshards.Add(1)
+
+	// Fan the reloads concurrently; the epoch swing above already
+	// happened, so a worker that misses its reload is simply down until
+	// the maintenance loop heals it.
+	var wg sync.WaitGroup
+	for s := range c.fleet {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			applied, err := c.sendReload(s)
+			c.fmu.Lock()
+			ws := c.fleet[s]
+			if err != nil {
+				ws.down = true
+			} else {
+				ws.down = false
+				ws.lastAck = applied
+			}
+			c.fmu.Unlock()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: reload of worker %d (%s) failed: %v\n", s, c.fleet[s].url, err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	return nil
+}
+
+// sendReload assigns shard s of the current epoch to worker s and
+// returns the applied version the worker acknowledged.
+func (c *Coordinator) sendReload(s int) (uint64, error) {
+	c.fmu.Lock()
+	req := reloadRequest{
+		Epoch:        c.epoch,
+		Shard:        s,
+		K:            len(c.fleet),
+		ManifestPath: c.shards.ManifestPath,
+		ShardPath:    c.shards.Paths[s],
+		ManifestCRC:  fmt.Sprintf("%016x", c.shards.ManifestCRC),
+	}
+	url := c.fleet[s].url
+	c.fmu.Unlock()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HedgeAfter)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/reload", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if !statusOK(resp.StatusCode) {
+		return 0, decodeError(resp.StatusCode, data)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return 0, fmt.Errorf("cluster: malformed reload ack: %w", err)
+	}
+	if rr.Epoch != req.Epoch || rr.Shard != s {
+		return 0, fmt.Errorf("cluster: worker %d acked epoch %d shard %d, assigned epoch %d shard %d",
+			s, rr.Epoch, rr.Shard, req.Epoch, s)
+	}
+	return rr.Applied, nil
+}
+
+// maintainLoop periodically heals down and stale workers: reload them
+// onto the current epoch and kick the flusher so their pending deltas
+// replay. Healthy fleets cost one mutex peek per tick.
+func (c *Coordinator) maintainLoop() {
+	defer close(c.maintDone)
+	tick := time.NewTicker(c.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		c.fmu.Lock()
+		var heal []int
+		for s, ws := range c.fleet {
+			if ws.down || ws.stale {
+				heal = append(heal, s)
+			}
+		}
+		c.fmu.Unlock()
+		for _, s := range heal {
+			applied, err := c.sendReload(s)
+			if err != nil {
+				continue // still down; next tick retries
+			}
+			c.fmu.Lock()
+			ws := c.fleet[s]
+			ws.lastAck = applied
+			ws.down = false
+			ws.stale = false
+			c.fmu.Unlock()
+		}
+		if len(heal) > 0 {
+			c.kickFlusher()
+		}
+	}
+}
+
+func (c *Coordinator) kickFlusher() {
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// tailLoop runs the ops tailer until Close or a write-path failure.
+func (c *Coordinator) tailLoop() {
+	defer close(c.tailDone)
+	if err := c.tailer.Run(c.stop); err != nil {
+		c.degrade(err)
+	}
+}

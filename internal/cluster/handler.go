@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repaircount"
+	"repaircount/internal/server"
+)
+
+// The coordinator's probe API mirrors the single-node daemon
+// (internal/server) exactly — same endpoints, same admission ladder,
+// same structured errors — with one addition: a /v1/count probe for the
+// partition query fans out to the worker fleet when the fan-out is
+// sound, and its exact rung is admitted on the FLEET CRITICAL PATH (the
+// max over workers of their components' summed planned cost) instead of
+// the local plan total, because shards count in parallel. Every other
+// query, and every probe the fleet cannot soundly serve, runs on the
+// coordinator's own snapshot — the cluster never answers worse than a
+// single node.
+
+// Handler routes the coordinator probe API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/count", c.handleCount)
+	mux.HandleFunc("/v1/decide", c.handleDecide)
+	mux.HandleFunc("/v1/explain", c.handleExplain)
+	mux.HandleFunc("/v1/total", c.handleTotal)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/healthz", c.handleHealth)
+	return mux
+}
+
+// withProbe runs fn on an acquired slot under the read lock, handling
+// slot acquisition, queue overload and the probe deadline uniformly.
+func (c *Coordinator) withProbe(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, sl *server.Slot)) {
+	c.stats.probes.Add(1)
+	ctx, cancel := contextWithTimeout(r, c.cfg.Deadline)
+	defer cancel()
+	sl, err := c.pool.Acquire(ctx)
+	if err != nil {
+		if err == server.ErrOverloaded {
+			c.stats.overloaded.Add(1)
+			server.WriteErr(w, http.StatusServiceUnavailable, server.APIError{Code: "overloaded",
+				Message: fmt.Sprintf("%d probes already queued", c.cfg.QueueDepth)})
+			return
+		}
+		c.writeCtxErr(w, ctx)
+		return
+	}
+	defer c.pool.Release(sl)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(ctx, sl)
+}
+
+func (c *Coordinator) writeCtxErr(w http.ResponseWriter, ctx context.Context) {
+	if ctx.Err() == context.DeadlineExceeded {
+		c.stats.deadline.Add(1)
+		server.WriteErr(w, http.StatusGatewayTimeout, server.APIError{Code: "deadline_exceeded",
+			Message: fmt.Sprintf("probe exceeded the %s deadline", c.cfg.Deadline)})
+		return
+	}
+	server.WriteErr(w, 499, server.APIError{Code: "canceled", Message: "client canceled the probe"})
+}
+
+// counterFor returns the slot's cached local counter for the query text.
+// Caller holds c.mu.RLock.
+func (c *Coordinator) counterFor(sl *server.Slot, qs string) (*repaircount.Counter, error) {
+	c.fmu.Lock()
+	epoch := c.epoch
+	c.fmu.Unlock()
+	return sl.Counter(epoch, qs, func(qs string) (*repaircount.Counter, error) {
+		q, err := repaircount.ParseQuery(qs)
+		if err != nil {
+			return nil, err
+		}
+		return c.snap.Counter(q)
+	})
+}
+
+// isPartitionQuery reports whether a probe's query is the fleet's
+// partition query, by canonical rendering.
+func (c *Coordinator) isPartitionQuery(qs string) bool {
+	if qs == c.cfg.Query || qs == c.qs {
+		return true
+	}
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		return false
+	}
+	return fmt.Sprintf("%s", q) == c.qs
+}
+
+func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
+	qs, err := server.ProbeQuery(r)
+	if err != nil {
+		server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	asText := r.URL.Query().Get("format") == "text"
+	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
+		cnt, err := c.counterFor(sl, qs)
+		if err != nil {
+			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		version := c.snap.Version()
+
+		// Decide the serving path: fleet fan-out needs the partition
+		// query, a sound fan plan, and a synced, healthy fleet.
+		var (
+			fanable  bool
+			fallback string
+			fp       *fanPlan
+			fv       *fleetView
+		)
+		if c.isPartitionQuery(qs) {
+			fp = c.currentFanPlan()
+			if !fp.ok {
+				fallback = fp.reason
+			} else if fv, fallback = c.fleetReady(); fallback == "" {
+				fanable = true
+			}
+		}
+
+		// Admission: the fleet serves the exact rung on its critical path;
+		// everything else is priced like a single node.
+		var adm server.Admission
+		if fanable {
+			adm = c.ladder.PriceCost(cnt, fp.maxCost)
+		} else {
+			adm = c.ladder.Price(cnt)
+		}
+
+		if adm.Mode == server.AdmitExact && fanable {
+			n, err := c.fanOut(ctx, fv, fp.effOuter)
+			var ie *integrityError
+			switch {
+			case err == nil:
+				c.stats.fanouts.Add(1)
+				c.stats.exact.Add(1)
+				if asText {
+					w.Header().Set("Content-Type", "text/plain")
+					fmt.Fprintf(w, "%s\n", n)
+					return
+				}
+				server.WriteJSON(w, http.StatusOK, map[string]any{
+					"mode": "exact", "count": n.String(), "engine": "fanout",
+					"k": len(c.fleet), "version": version, "epoch": fv.epoch,
+				})
+				return
+			case ctx.Err() != nil:
+				c.writeCtxErr(w, ctx)
+				return
+			case errors.As(err, &ie):
+				// A verified-stale or foreign partial: refusing loudly is
+				// the contract — merging it could miscount.
+				server.WriteErr(w, http.StatusBadGateway,
+					server.APIError{Code: ie.code, Message: ie.err.Error()})
+				return
+			default:
+				// Availability: a worker stayed down through the retry
+				// budget. Degrade to local counting — still exact.
+				fanable = false
+				fallback = err.Error()
+				fmt.Fprintf(os.Stderr, "cluster: fan-out failed, serving locally: %v\n", err)
+			}
+		}
+
+		if adm.Mode == server.AdmitExact {
+			c.stats.localFallback.Add(1)
+			n, err := cnt.CountShardedCtx(ctx, len(c.fleet), c.cfg.CountWorkers)
+			switch {
+			case err == nil:
+				c.stats.exact.Add(1)
+				if asText {
+					w.Header().Set("Content-Type", "text/plain")
+					fmt.Fprintf(w, "%s\n", n)
+					return
+				}
+				resp := map[string]any{
+					"mode": "exact", "count": n.String(), "engine": "local",
+					"version": version,
+				}
+				c.fmu.Lock()
+				resp["epoch"] = c.epoch
+				c.fmu.Unlock()
+				if fallback != "" {
+					resp["fallback_reason"] = fallback
+				}
+				server.WriteJSON(w, http.StatusOK, resp)
+				return
+			case ctx.Err() != nil:
+				c.writeCtxErr(w, ctx)
+				return
+			case errors.Is(err, repaircount.ErrBudget):
+				adm = c.ladder.PriceApprox(cnt, adm)
+			default:
+				server.WriteErr(w, http.StatusInternalServerError, server.APIError{Code: "internal", Message: err.Error()})
+				return
+			}
+		}
+
+		if adm.Mode == server.AdmitApprox {
+			est, err := cnt.ApproximateParallelCtx(ctx, c.cfg.Eps, c.cfg.Delta, c.cfg.CountWorkers, c.cfg.Seed)
+			if err != nil {
+				if ctx.Err() != nil {
+					c.writeCtxErr(w, ctx)
+					return
+				}
+				server.WriteErr(w, http.StatusInternalServerError, server.APIError{Code: "internal", Message: err.Error()})
+				return
+			}
+			c.stats.approx.Add(1)
+			if asText {
+				w.Header().Set("Content-Type", "text/plain")
+				fmt.Fprintf(w, "%s\n", est.Value.Text('f', 2))
+				return
+			}
+			server.WriteJSON(w, http.StatusOK, map[string]any{
+				"mode": "approx", "estimate": est.Value.Text('f', 2),
+				"eps": c.cfg.Eps, "delta": c.cfg.Delta,
+				"samples": est.Samples, "hits": est.Hits,
+				"version": version,
+			})
+			return
+		}
+
+		c.stats.rejected.Add(1)
+		server.WriteErr(w, http.StatusTooManyRequests, c.ladder.BudgetError(adm))
+	})
+}
+
+func (c *Coordinator) handleDecide(w http.ResponseWriter, r *http.Request) {
+	qs, err := server.ProbeQuery(r)
+	if err != nil {
+		server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
+		cnt, err := c.counterFor(sl, qs)
+		if err != nil {
+			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, map[string]any{
+			"entailed": cnt.Decide(), "version": c.snap.Version(),
+		})
+	})
+}
+
+// handleExplain prices a probe without running it; for the partition
+// query it additionally reports whether a fan-out would be sound and the
+// fleet critical-path cost that would price its exact rung.
+func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
+	qs, err := server.ProbeQuery(r)
+	if err != nil {
+		server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
+		cnt, err := c.counterFor(sl, qs)
+		if err != nil {
+			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+			return
+		}
+		resp := map[string]any{"version": c.snap.Version()}
+		var adm server.Admission
+		if c.isPartitionQuery(qs) {
+			fp := c.currentFanPlan()
+			_, notReady := c.fleetReady()
+			fanable := fp.ok && notReady == ""
+			resp["fanout"] = fanable
+			if fp.ok {
+				resp["fleet_cost"] = fp.maxCost
+			}
+			switch {
+			case !fp.ok:
+				resp["fanout_reason"] = fp.reason
+			case notReady != "":
+				resp["fanout_reason"] = notReady
+			}
+			if fanable {
+				adm = c.ladder.PriceCost(cnt, fp.maxCost)
+			} else {
+				adm = c.ladder.Price(cnt)
+			}
+		} else {
+			resp["fanout"] = false
+			adm = c.ladder.Price(cnt)
+		}
+		resp["admission"] = adm.Mode
+		resp["engine"] = adm.Engine.String()
+		if adm.PlannedCost != nil {
+			resp["planned_cost"] = adm.PlannedCost.String()
+		}
+		if adm.SampleBound != nil {
+			resp["sample_bound"] = adm.SampleBound.String()
+			resp["eps"], resp["delta"] = c.cfg.Eps, c.cfg.Delta
+		}
+		if adm.Mode == server.AdmitReject {
+			resp["reason"] = adm.Reason
+		}
+		server.WriteJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (c *Coordinator) handleTotal(w http.ResponseWriter, r *http.Request) {
+	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
+		total := c.snap.TotalRepairs()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintf(w, "%s\n", total)
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, map[string]any{
+			"total": total.String(), "version": c.snap.Version(),
+		})
+	})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	c.mu.RLock()
+	version := c.snap.Version()
+	journalBytes := int64(0)
+	if st, err := os.Stat(c.cfg.SnapshotPath); err == nil {
+		journalBytes = st.Size() - c.baseLen
+	}
+	c.mu.RUnlock()
+	opsOffset := int64(0)
+	if c.tailer != nil {
+		opsOffset = c.tailer.Offset()
+	}
+	c.fmu.Lock()
+	workers := make([]map[string]any, len(c.fleet))
+	for s, ws := range c.fleet {
+		workers[s] = map[string]any{
+			"url": ws.url, "down": ws.down, "stale": ws.stale,
+			"last_ack": ws.lastAck, "pending": len(ws.pending),
+		}
+	}
+	epoch := c.epoch
+	mcrc := fmt.Sprintf("%016x", c.shards.ManifestCRC)
+	c.fmu.Unlock()
+	server.WriteJSON(w, http.StatusOK, map[string]any{
+		"epoch":            epoch,
+		"manifest":         mcrc,
+		"k":                len(c.fleet),
+		"version":          version,
+		"workers":          workers,
+		"journal_bytes":    journalBytes,
+		"applied_ops":      c.appliedOps.Load(),
+		"journaled_ops":    c.journaled.Load(),
+		"ops_offset":       opsOffset,
+		"recovered_bytes":  c.recovered,
+		"degraded":         c.degraded(),
+		"probes":           c.stats.probes.Load(),
+		"exact_probes":     c.stats.exact.Load(),
+		"approx_probes":    c.stats.approx.Load(),
+		"rejected_probes":  c.stats.rejected.Load(),
+		"overloaded":       c.stats.overloaded.Load(),
+		"deadline_expired": c.stats.deadline.Load(),
+		"fanout_probes":    c.stats.fanouts.Load(),
+		"local_fallback":   c.stats.localFallback.Load(),
+		"integrity_errors": c.stats.integrity.Load(),
+		"reshards":         c.stats.reshards.Load(),
+	})
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if reason := c.degraded(); reason != "" {
+		http.Error(w, "degraded: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

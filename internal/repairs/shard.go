@@ -59,6 +59,13 @@ type ShardPlan struct {
 	CompShard  []int32
 	Components []ComponentPlan
 
+	// CompOf maps each canonical block position to the query-graph
+	// component owning it, or -1 for positions not in any component
+	// (shared, excluded and box-free blocks). A distributed coordinator
+	// uses it to check that no component's blocks straddle two physical
+	// shards after deltas moved the factorization.
+	CompOf []int32
+
 	// Cost and Blocks aggregate planned cost and exclusive conflicting
 	// blocks per shard; Inner is the per-shard Π of exclusive block sizes.
 	Cost   []int64
@@ -154,13 +161,16 @@ func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
 	// wholesale on an always-true instance (no engine ever runs; any shard
 	// detects the truth from its shared facts alone).
 	confShard := make([]int32, len(f.conf))
+	confComp := make([]int32, len(f.conf))
 	for i := range confShard {
 		confShard[i] = ShardExcluded
+		confComp[i] = -1
 	}
 	if !f.alwaysTrue {
 		for i := range f.comps {
 			for _, ci := range f.comps[i].blocks {
 				confShard[ci] = p.CompShard[i]
+				confComp[ci] = int32(i)
 			}
 		}
 	}
@@ -171,8 +181,10 @@ func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
 		pred[q] = true
 	}
 	p.ShardOf = make([]int32, len(in.Blocks))
+	p.CompOf = make([]int32, len(in.Blocks))
 	ci := 0
 	for pos, b := range in.Blocks {
+		p.CompOf[pos] = -1
 		switch {
 		case !pred[b.Key.Pred]:
 			p.ShardOf[pos] = ShardExcluded
@@ -180,6 +192,7 @@ func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
 			p.ShardOf[pos] = ShardShared
 		default:
 			p.ShardOf[pos] = confShard[ci]
+			p.CompOf[pos] = confComp[ci]
 			ci++
 		}
 		if s := p.ShardOf[pos]; s >= 0 {
@@ -246,7 +259,14 @@ type Partial struct {
 // factorized engine. budget and workers behave as in
 // CountFactorizedParallel. On an always-true instance NonEnt is zero.
 func (in *Instance) CountNonEntailment(budget, workers int) (*Partial, error) {
-	f, nonent, err := in.nonEntailment(budget, workers, 0, EngineAuto, nil)
+	return in.CountNonEntailmentStop(budget, workers, nil)
+}
+
+// CountNonEntailmentStop is CountNonEntailment with cooperative
+// cancellation: the enumeration kernels poll stop at a coarse stride and
+// the call returns core.ErrStopped once it fires. A nil stop never fires.
+func (in *Instance) CountNonEntailmentStop(budget, workers int, stop *core.Stop) (*Partial, error) {
+	f, nonent, err := in.nonEntailment(budget, workers, 0, EngineAuto, stop)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +303,15 @@ func CombinePartials(outer *big.Int, parts []*Partial) *big.Int {
 // intra-process analogue of the repairctl shard/count/merge pipeline). The
 // result is bit-identical to CountFactorized for every k.
 func (in *Instance) CountSharded(k, workers int) (*big.Int, error) {
+	return in.CountShardedStop(k, workers, nil)
+}
+
+// CountShardedStop is CountSharded with cooperative cancellation threaded
+// through every per-shard job: workers poll stop between shards and each
+// shard's enumeration kernels poll it at a coarse stride, so a fired stop
+// frees the whole fleet within a bounded number of states and the call
+// returns core.ErrStopped. A nil stop never fires.
+func (in *Instance) CountShardedStop(k, workers int, stop *core.Stop) (*big.Int, error) {
 	plan, err := in.PlanShards(k)
 	if err != nil {
 		return nil, err
@@ -307,11 +336,14 @@ func (in *Instance) CountSharded(k, workers int) (*big.Int, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Stopped() {
+					return
+				}
 				s, ok := queue.Next()
 				if !ok {
 					return
 				}
-				p, err := subs[s].CountNonEntailment(0, 1)
+				p, err := subs[s].CountNonEntailmentStop(0, 1, stop)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -325,6 +357,9 @@ func (in *Instance) CountSharded(k, workers int) (*big.Int, error) {
 		}()
 	}
 	wg.Wait()
+	if stop.Stopped() {
+		return nil, core.ErrStopped
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -14,74 +14,114 @@ import (
 // have no FPRAS at all (Theorem 6.1) — get a structured budget error
 // instead of an unbounded computation.
 const (
-	admitExact  = "exact"
-	admitApprox = "approx"
-	admitReject = "reject"
+	AdmitExact  = "exact"
+	AdmitApprox = "approx"
+	AdmitReject = "reject"
 )
 
-// admission is a priced probe: the mode the ladder chose and the numbers
+// Admission is a priced probe: the mode the ladder chose and the numbers
 // that justified it, reported back to the client either way.
-type admission struct {
+type Admission struct {
 	Mode        string
 	Engine      repaircount.EngineKind
 	PlannedCost *big.Int // planner-priced exact work (repair count for non-EP)
 	SampleBound *big.Int // Theorem 6.2 bound, when the FPRAS rung was priced
-	Reason      string   // human-readable refusal, when Mode == admitReject
+	Reason      string   // human-readable refusal, when Mode == AdmitReject
 }
 
-// price runs the admission ladder for one counter. Caller holds the read
-// lock; the plan is computed against the current instance version.
-func (s *Server) price(c *repaircount.Counter) admission {
+// Ladder is the admission policy, shared by the single-node daemon and
+// the cluster coordinator: the budgets the rungs are priced against and
+// the accuracy served on the FPRAS rung.
+type Ladder struct {
+	ExactBudget int64
+	MaxSamples  int64
+	Eps, Delta  float64
+}
+
+// Price runs the admission ladder for one counter against the current
+// instance version.
+func (l Ladder) Price(c *repaircount.Counter) Admission {
 	plan, err := c.ExplainPlan(repaircount.EngineAuto)
 	if err != nil {
-		return admission{Mode: admitReject, Reason: err.Error()}
+		return Admission{Mode: AdmitReject, Reason: err.Error()}
 	}
-	adm := admission{Engine: plan.Engine}
+	adm := Admission{Engine: plan.Engine}
 	if plan.Engine == repaircount.EngineEnumFO {
 		// Outside ∃FO⁺ the only engine enumerates every repair, and
 		// Theorem 6.1 rules out an FPRAS, so the ladder has exactly one
 		// rung: the repair count itself must fit the exact budget.
 		total := c.Total()
 		adm.PlannedCost = new(big.Int).Set(total)
-		if total.IsInt64() && total.Int64() <= s.cfg.ExactBudget {
-			adm.Mode = admitExact
+		if total.IsInt64() && total.Int64() <= l.ExactBudget {
+			adm.Mode = AdmitExact
 			return adm
 		}
-		adm.Mode = admitReject
+		adm.Mode = AdmitReject
 		adm.Reason = fmt.Sprintf(
 			"non-EP query needs %s full-repair evaluations (exact budget %d) and no FPRAS exists outside existential positive FO",
-			total, s.cfg.ExactBudget)
+			total, l.ExactBudget)
 		return adm
 	}
 	// Planned exact work Σ_c min(2^{n_c}, IE_c); closed-form engines
 	// (always-true, safe plan, Λ[1]) price at zero.
 	adm.PlannedCost = big.NewInt(plan.Budget)
-	if plan.AlwaysTrue || plan.Budget <= s.cfg.ExactBudget {
-		adm.Mode = admitExact
+	if plan.AlwaysTrue || plan.Budget <= l.ExactBudget {
+		adm.Mode = AdmitExact
 		return adm
 	}
-	return s.priceApprox(c, adm)
+	return l.PriceApprox(c, adm)
 }
 
-// priceApprox prices the FPRAS rung: admit when the Theorem 6.2 sample
+// PriceCost prices an externally computed exact cost against the ladder,
+// for topologies where the planned work is not the local plan's total —
+// the cluster coordinator admits the exact rung on the fleet critical
+// path (the max over workers of their components' summed cost), since
+// shards count in parallel.
+func (l Ladder) PriceCost(c *repaircount.Counter, cost int64) Admission {
+	adm := Admission{Engine: repaircount.EngineAuto, PlannedCost: big.NewInt(cost)}
+	if cost <= l.ExactBudget {
+		adm.Mode = AdmitExact
+		return adm
+	}
+	return l.PriceApprox(c, adm)
+}
+
+// PriceApprox prices the FPRAS rung: admit when the Theorem 6.2 sample
 // bound for the served (ε, δ) fits MaxSamples, else reject with both
 // numbers. Also used to re-price a probe whose exact run hit a runtime
 // ErrBudget despite its plan.
-func (s *Server) priceApprox(c *repaircount.Counter, adm admission) admission {
-	bound, err := c.ApproxSampleBound(s.cfg.Eps, s.cfg.Delta)
+func (l Ladder) PriceApprox(c *repaircount.Counter, adm Admission) Admission {
+	bound, err := c.ApproxSampleBound(l.Eps, l.Delta)
 	if err != nil {
-		adm.Mode = admitReject
-		adm.Reason = fmt.Sprintf("exact work exceeds budget %d and the sampler is unavailable: %v", s.cfg.ExactBudget, err)
+		adm.Mode = AdmitReject
+		adm.Reason = fmt.Sprintf("exact work exceeds budget %d and the sampler is unavailable: %v", l.ExactBudget, err)
 		return adm
 	}
 	adm.SampleBound = bound
-	if bound.IsInt64() && bound.Int64() <= s.cfg.MaxSamples {
-		adm.Mode = admitApprox
+	if bound.IsInt64() && bound.Int64() <= l.MaxSamples {
+		adm.Mode = AdmitApprox
 		return adm
 	}
-	adm.Mode = admitReject
+	adm.Mode = AdmitReject
 	adm.Reason = fmt.Sprintf(
 		"planned exact work exceeds budget %d and the (eps=%g, delta=%g) sample bound %s exceeds the cap %d",
-		s.cfg.ExactBudget, s.cfg.Eps, s.cfg.Delta, bound, s.cfg.MaxSamples)
+		l.ExactBudget, l.Eps, l.Delta, bound, l.MaxSamples)
 	return adm
+}
+
+// BudgetError renders a rejected admission as the structured 429 body.
+func (l Ladder) BudgetError(adm Admission) APIError {
+	e := APIError{
+		Code:        "budget_exceeded",
+		Message:     adm.Reason,
+		ExactBudget: l.ExactBudget,
+		MaxSamples:  l.MaxSamples,
+	}
+	if adm.PlannedCost != nil {
+		e.PlannedCost = adm.PlannedCost.String()
+	}
+	if adm.SampleBound != nil {
+		e.SampleBound = adm.SampleBound.String()
+	}
+	return e
 }

@@ -7,12 +7,17 @@
 // enumeration kernel, and a crash-safe write path: an append-only ops
 // file is tailed, applied through the live instance, journaled with
 // fsync'd appends and compacted atomically, with torn-tail recovery at
-// startup.
+// startup and the consumed ops offset persisted in a sidecar so
+// restarts resume the tail instead of replaying from zero.
+//
+// The probe plumbing (Pool/Slot), admission policy (Ladder), structured
+// errors (APIError) and ops tail (Tailer) are exported so the
+// distributed topology in internal/cluster serves with byte-identical
+// semantics.
 package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -35,7 +40,8 @@ type Config struct {
 	SnapshotPath string
 	// OpsPath, when set, is an append-only update-stream file ("+ Fact" /
 	// "- Fact" lines) the daemon tails: new complete lines are applied to
-	// the live instance and journaled to the snapshot.
+	// the live instance and journaled to the snapshot. The consumed byte
+	// offset persists in the OpsPath + ".offset" sidecar.
 	OpsPath string
 	// Workers bounds concurrently running probes (default GOMAXPROCS).
 	Workers int
@@ -104,19 +110,24 @@ func (cfg *Config) fill() {
 	}
 }
 
+// Ladder returns the admission policy the config describes.
+func (cfg Config) Ladder() Ladder {
+	return Ladder{ExactBudget: cfg.ExactBudget, MaxSamples: cfg.MaxSamples, Eps: cfg.Eps, Delta: cfg.Delta}
+}
+
 // Server is one serving daemon instance. Probes take the read side of mu;
 // the ops applier and compactor take the write side, so counts always see
 // a consistent instance version.
 type Server struct {
-	cfg Config
+	cfg    Config
+	ladder Ladder
 
 	mu      sync.RWMutex
 	snap    *repaircount.Snapshot
 	epoch   uint64 // bumped when the snapshot file is re-mapped (compaction)
 	baseLen int64  // sealed-base bytes of the served file
 
-	slots   chan *worker
-	waiting atomic.Int64
+	pool *Pool
 
 	degradedReason atomic.Pointer[string]
 
@@ -128,17 +139,10 @@ type Server struct {
 		probes, exact, approx, rejected, overloaded, deadline atomic.Int64
 	}
 
+	tailer   *Tailer
 	stop     chan struct{}
 	stopOnce sync.Once
 	tailDone chan struct{}
-}
-
-// worker carries one probe slot's reusable state: counters (and their
-// compiled matchers, factorizations and memos) cached per query text,
-// invalidated when the snapshot epoch moves.
-type worker struct {
-	epoch    uint64
-	counters map[string]*repaircount.Counter
 }
 
 // New recovers, maps and starts serving the snapshot in cfg. The returned
@@ -164,17 +168,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:       cfg,
+		ladder:    cfg.Ladder(),
 		snap:      snap,
 		baseLen:   st.Size() - snap.JournalBytes(),
-		slots:     make(chan *worker, cfg.Workers),
+		pool:      NewPool(cfg.Workers, cfg.QueueDepth),
 		recovered: recovered,
 		stop:      make(chan struct{}),
 		tailDone:  make(chan struct{}),
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.slots <- &worker{counters: map[string]*repaircount.Counter{}}
-	}
 	if cfg.OpsPath != "" {
+		s.tailer = &Tailer{
+			OpsPath:    cfg.OpsPath,
+			OffsetPath: cfg.OpsPath + ".offset",
+			Poll:       cfg.Poll,
+			Apply:      s.applyBatch,
+		}
 		go s.tailLoop()
 	} else {
 		close(s.tailDone)
@@ -210,94 +218,29 @@ func (s *Server) degraded() string {
 	return ""
 }
 
-// acquire takes a probe slot, answering overloaded when QueueDepth
-// probes already wait, and ctx.Err() when the deadline expires first.
-func (s *Server) acquire(ctx context.Context) (*worker, error) {
-	select {
-	case w := <-s.slots:
-		return w, nil
-	default:
-	}
-	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
-		s.waiting.Add(-1)
-		return nil, errOverloaded
-	}
-	defer s.waiting.Add(-1)
-	select {
-	case w := <-s.slots:
-		return w, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (s *Server) release(w *worker) { s.slots <- w }
-
-// counterFor returns the worker's cached counter for the query text,
+// counterFor returns the slot's cached counter for the query text,
 // rebuilding it when absent or when the epoch moved (compaction replaced
 // the substrate). Caller holds s.mu.RLock.
-func (s *Server) counterFor(w *worker, qs string) (*repaircount.Counter, error) {
-	if w.epoch != s.epoch {
-		w.counters = map[string]*repaircount.Counter{}
-		w.epoch = s.epoch
-	}
-	if c, ok := w.counters[qs]; ok {
-		return c, nil
-	}
-	q, err := repaircount.ParseQuery(qs)
-	if err != nil {
-		return nil, err
-	}
-	c, err := s.snap.Counter(q)
-	if err != nil {
-		return nil, err
-	}
-	if len(w.counters) >= 256 {
-		w.counters = map[string]*repaircount.Counter{}
-	}
-	w.counters[qs] = c
-	return c, nil
-}
-
-var errOverloaded = errors.New("server: probe queue full")
-
-// apiError is the structured error body: {"error": {"code": ..., ...}}.
-type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	// Admission details on budget_exceeded.
-	PlannedCost string `json:"planned_cost,omitempty"`
-	ExactBudget int64  `json:"exact_budget,omitempty"`
-	SampleBound string `json:"sample_bound,omitempty"`
-	MaxSamples  int64  `json:"max_samples,omitempty"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
-	if err != nil {
-		http.Error(w, `{"error":{"code":"internal","message":"encoding failed"}}`, http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(body)
-	w.Write([]byte("\n"))
-}
-
-func writeErr(w http.ResponseWriter, status int, e apiError) {
-	writeJSON(w, status, map[string]apiError{"error": e})
+func (s *Server) counterFor(sl *Slot, qs string) (*repaircount.Counter, error) {
+	return sl.Counter(s.epoch, qs, func(qs string) (*repaircount.Counter, error) {
+		q, err := repaircount.ParseQuery(qs)
+		if err != nil {
+			return nil, err
+		}
+		return s.snap.Counter(q)
+	})
 }
 
 // writeCtxErr maps a canceled probe context to its transport answer.
 func (s *Server) writeCtxErr(w http.ResponseWriter, ctx context.Context) {
 	if ctx.Err() == context.DeadlineExceeded {
 		s.stats.deadline.Add(1)
-		writeErr(w, http.StatusGatewayTimeout, apiError{Code: "deadline_exceeded",
+		WriteErr(w, http.StatusGatewayTimeout, APIError{Code: "deadline_exceeded",
 			Message: fmt.Sprintf("probe exceeded the %s deadline", s.cfg.Deadline)})
 		return
 	}
 	// Client went away; the status is never seen.
-	writeErr(w, 499, apiError{Code: "canceled", Message: "client canceled the probe"})
+	WriteErr(w, 499, APIError{Code: "canceled", Message: "client canceled the probe"})
 }
 
 // Handler routes the probe API.
@@ -313,62 +256,45 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// probeQuery extracts the query text from ?q= or a JSON {"query": ...}
-// body.
-func probeQuery(r *http.Request) (string, error) {
-	if q := r.URL.Query().Get("q"); q != "" {
-		return q, nil
-	}
-	if r.Body != nil && r.Method == http.MethodPost {
-		var body struct {
-			Query string `json:"query"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err == nil && body.Query != "" {
-			return body.Query, nil
-		}
-	}
-	return "", fmt.Errorf("missing query: pass ?q= or a JSON body {\"query\": ...}")
-}
-
-// withProbe runs fn on an acquired worker under the read lock, handling
+// withProbe runs fn on an acquired slot under the read lock, handling
 // slot acquisition, queue overload and the probe deadline uniformly.
-func (s *Server) withProbe(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, wk *worker)) {
+func (s *Server) withProbe(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context, sl *Slot)) {
 	s.stats.probes.Add(1)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Deadline)
 	defer cancel()
-	wk, err := s.acquire(ctx)
+	sl, err := s.pool.Acquire(ctx)
 	if err != nil {
-		if err == errOverloaded {
+		if err == ErrOverloaded {
 			s.stats.overloaded.Add(1)
-			writeErr(w, http.StatusServiceUnavailable, apiError{Code: "overloaded",
+			WriteErr(w, http.StatusServiceUnavailable, APIError{Code: "overloaded",
 				Message: fmt.Sprintf("%d probes already queued", s.cfg.QueueDepth)})
 			return
 		}
 		s.writeCtxErr(w, ctx)
 		return
 	}
-	defer s.release(wk)
+	defer s.pool.Release(sl)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	fn(ctx, wk)
+	fn(ctx, sl)
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	qs, err := probeQuery(r)
+	qs, err := ProbeQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
 	asText := r.URL.Query().Get("format") == "text"
-	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
-		c, err := s.counterFor(wk, qs)
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
+		c, err := s.counterFor(sl, qs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 			return
 		}
 		version := s.snap.Version()
-		adm := s.price(c)
-		if adm.Mode == admitExact {
+		adm := s.ladder.Price(c)
+		if adm.Mode == AdmitExact {
 			n, engine, err := c.CountCtx(ctx, s.cfg.CountWorkers)
 			switch {
 			case err == nil:
@@ -378,7 +304,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 					fmt.Fprintf(w, "%s\n", n)
 					return
 				}
-				writeJSON(w, http.StatusOK, map[string]any{
+				WriteJSON(w, http.StatusOK, map[string]any{
 					"mode": "exact", "count": n.String(),
 					"engine": engine.String(), "version": version, "epoch": s.epoch,
 				})
@@ -389,20 +315,20 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(err, repaircount.ErrBudget):
 				// The runtime fallback chain ran out of budget despite the
 				// plan's price: degrade to the FPRAS rung below.
-				adm = s.priceApprox(c, adm)
+				adm = s.ladder.PriceApprox(c, adm)
 			default:
-				writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+				WriteErr(w, http.StatusInternalServerError, APIError{Code: "internal", Message: err.Error()})
 				return
 			}
 		}
-		if adm.Mode == admitApprox {
+		if adm.Mode == AdmitApprox {
 			est, err := c.ApproximateParallelCtx(ctx, s.cfg.Eps, s.cfg.Delta, s.cfg.CountWorkers, s.cfg.Seed)
 			if err != nil {
 				if ctx.Err() != nil {
 					s.writeCtxErr(w, ctx)
 					return
 				}
-				writeErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+				WriteErr(w, http.StatusInternalServerError, APIError{Code: "internal", Message: err.Error()})
 				return
 			}
 			s.stats.approx.Add(1)
@@ -411,7 +337,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "%s\n", est.Value.Text('f', 2))
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]any{
+			WriteJSON(w, http.StatusOK, map[string]any{
 				"mode": "approx", "estimate": est.Value.Text('f', 2),
 				"eps": s.cfg.Eps, "delta": s.cfg.Delta,
 				"samples": est.Samples, "hits": est.Hits,
@@ -420,57 +346,41 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.stats.rejected.Add(1)
-		writeErr(w, http.StatusTooManyRequests, s.budgetError(adm))
+		WriteErr(w, http.StatusTooManyRequests, s.ladder.BudgetError(adm))
 	})
 }
 
-func (s *Server) budgetError(adm admission) apiError {
-	e := apiError{
-		Code:        "budget_exceeded",
-		Message:     adm.Reason,
-		ExactBudget: s.cfg.ExactBudget,
-		MaxSamples:  s.cfg.MaxSamples,
-	}
-	if adm.PlannedCost != nil {
-		e.PlannedCost = adm.PlannedCost.String()
-	}
-	if adm.SampleBound != nil {
-		e.SampleBound = adm.SampleBound.String()
-	}
-	return e
-}
-
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	qs, err := probeQuery(r)
+	qs, err := ProbeQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
-	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
-		c, err := s.counterFor(wk, qs)
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
+		c, err := s.counterFor(sl, qs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		WriteJSON(w, http.StatusOK, map[string]any{
 			"entailed": c.Decide(), "version": s.snap.Version(), "epoch": s.epoch,
 		})
 	})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	qs, err := probeQuery(r)
+	qs, err := ProbeQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
-	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
-		c, err := s.counterFor(wk, qs)
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
+		c, err := s.counterFor(sl, qs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 			return
 		}
-		adm := s.price(c)
+		adm := s.ladder.Price(c)
 		resp := map[string]any{
 			"admission": adm.Mode,
 			"engine":    adm.Engine.String(),
@@ -480,39 +390,39 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if adm.PlannedCost != nil {
 			resp["planned_cost"] = adm.PlannedCost.String()
 		}
-		if adm.Mode == admitApprox || adm.SampleBound != nil {
+		if adm.Mode == AdmitApprox || adm.SampleBound != nil {
 			if adm.SampleBound != nil {
 				resp["sample_bound"] = adm.SampleBound.String()
 			}
 			resp["eps"], resp["delta"] = s.cfg.Eps, s.cfg.Delta
 		}
-		if adm.Mode == admitReject {
+		if adm.Mode == AdmitReject {
 			resp["reason"] = adm.Reason
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	qs, err := probeQuery(r)
+	qs, err := ProbeQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
-	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
 		q, err := repaircount.ParseQuery(qs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 			return
 		}
 		ranked, err := s.snap.RankAnswers(q)
 		if err != nil {
 			if errors.Is(err, repaircount.ErrBudget) {
 				s.stats.rejected.Add(1)
-				writeErr(w, http.StatusTooManyRequests, apiError{Code: "budget_exceeded", Message: err.Error()})
+				WriteErr(w, http.StatusTooManyRequests, APIError{Code: "budget_exceeded", Message: err.Error()})
 				return
 			}
-			writeErr(w, http.StatusBadRequest, apiError{Code: "bad_query", Message: err.Error()})
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 			return
 		}
 		type answer struct {
@@ -528,21 +438,21 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			}
 			out[i] = answer{Tuple: tuple, Count: a.Count.String(), Frequency: a.Frequency.RatString()}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		WriteJSON(w, http.StatusOK, map[string]any{
 			"answers": out, "version": s.snap.Version(), "epoch": s.epoch,
 		})
 	})
 }
 
 func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
-	s.withProbe(w, r, func(ctx context.Context, wk *worker) {
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
 		total := s.snap.TotalRepairs()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain")
 			fmt.Fprintf(w, "%s\n", total)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		WriteJSON(w, http.StatusOK, map[string]any{
 			"total": total.String(), "version": s.snap.Version(), "epoch": s.epoch,
 		})
 	})
@@ -554,12 +464,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, err := os.Stat(s.cfg.SnapshotPath); err == nil {
 		journalBytes = st.Size() - s.baseLen
 	}
+	opsOffset := int64(0)
+	if s.tailer != nil {
+		opsOffset = s.tailer.Offset()
+	}
 	resp := map[string]any{
 		"epoch":            s.epoch,
 		"version":          s.snap.Version(),
 		"journal_bytes":    journalBytes,
 		"applied_ops":      s.appliedOps.Load(),
 		"journaled_ops":    s.journaled.Load(),
+		"ops_offset":       opsOffset,
 		"recovered_bytes":  s.recovered,
 		"degraded":         s.degraded(),
 		"probes":           s.stats.probes.Load(),
@@ -570,7 +485,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"deadline_expired": s.stats.deadline.Load(),
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -387,17 +387,43 @@ func TestUpdateStreamJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Restart convergence: a second daemon re-tails from offset zero; the
-	// already-journaled ops are in-memory no-ops, so nothing is journaled
-	// twice and the file does not grow.
-	_, ts2 := start(t, cfg)
-	st := waitStats(t, ts2, "restart re-apply", func(st map[string]any) bool {
+	// Restart with the offset sidecar intact: the tail resumes where it
+	// left off instead of replaying the stream, so nothing is re-applied
+	// or re-journaled and the file does not grow.
+	opsSt, err := os.Stat(opsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := start(t, cfg)
+	st := waitStats(t, ts2, "restart resume", func(st map[string]any) bool {
+		return st["ops_offset"] == float64(opsSt.Size())
+	})
+	if st["applied_ops"] != float64(0) || st["journaled_ops"] != float64(0) {
+		t.Fatalf("restart replayed the stream despite the offset sidecar: %v", st)
+	}
+	status, body, _ = get(t, ts2, countURL(qs, ""))
+	if status != http.StatusOK || body["count"] != want.String() {
+		t.Fatalf("restarted count: status %d body %v, want %s", status, body, want)
+	}
+	ts2.Close()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the sidecar the daemon falls back to re-tailing from offset
+	// zero; the already-journaled ops are in-memory no-ops, so nothing is
+	// journaled twice and the file does not grow.
+	if err := os.Remove(opsPath + ".offset"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := start(t, cfg)
+	st = waitStats(t, ts3, "restart re-apply", func(st map[string]any) bool {
 		return st["applied_ops"] == float64(len(ops))
 	})
 	if st["journaled_ops"] != float64(0) {
 		t.Fatalf("restart re-journaled ops: %v", st)
 	}
-	status, body, _ = get(t, ts2, countURL(qs, ""))
+	status, body, _ = get(t, ts3, countURL(qs, ""))
 	if status != http.StatusOK || body["count"] != want.String() {
 		t.Fatalf("restarted count: status %d body %v, want %s", status, body, want)
 	}

@@ -261,6 +261,15 @@ type PartialFile struct {
 	SnapshotCRC uint64
 	Inner       *big.Int
 	NonEnt      *big.Int
+
+	// Epoch and Applied stamp the distributed-serving provenance of the
+	// partial: the coordinator epoch the worker believed it was serving
+	// and the number of delta ops the worker had applied to its shard
+	// when it counted. Both zero for offline (repairctl count -shard)
+	// partials, which encode as version 1; a nonzero value upgrades the
+	// encoding to CQSP 2 with two extra lines.
+	Epoch   uint64
+	Applied uint64
 }
 
 // EncodePartial renders the partial in the CQSP text form (see store.go).
@@ -277,25 +286,41 @@ func EncodePartial(p *PartialFile) ([]byte, error) {
 	}
 	it, _ := inner.MarshalText()
 	nt, _ := nonent.MarshalText()
+	ver := partialVersion
+	if p.Epoch != 0 || p.Applied != 0 {
+		ver = partialVersion2
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "CQSP %d\n", partialVersion)
+	fmt.Fprintf(&sb, "CQSP %d\n", ver)
 	fmt.Fprintf(&sb, "manifest %016x\n", p.ManifestCRC)
 	fmt.Fprintf(&sb, "shard %d of %d\n", p.Shard, p.K)
 	fmt.Fprintf(&sb, "snapshot %016x\n", p.SnapshotCRC)
 	fmt.Fprintf(&sb, "inner %s\n", it)
 	fmt.Fprintf(&sb, "nonent %s\n", nt)
+	if ver == partialVersion2 {
+		fmt.Fprintf(&sb, "epoch %d\n", p.Epoch)
+		fmt.Fprintf(&sb, "applied %d\n", p.Applied)
+	}
 	return []byte(sb.String()), nil
 }
 
 // DecodePartial parses a CQSP file, rejecting any structural deviation.
 func DecodePartial(data []byte) (*PartialFile, error) {
 	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
-	if len(lines) != 6 {
-		return nil, corrupt("partial: %d lines (want 6)", len(lines))
-	}
 	var ver int
-	if _, err := fmt.Sscanf(lines[0], "CQSP %d", &ver); err != nil || ver != partialVersion {
+	if len(lines) < 1 {
+		return nil, corrupt("partial: empty file")
+	}
+	if _, err := fmt.Sscanf(lines[0], "CQSP %d", &ver); err != nil ||
+		(ver != partialVersion && ver != partialVersion2) {
 		return nil, corrupt("partial: bad header %q", lines[0])
+	}
+	wantLines := 6
+	if ver == partialVersion2 {
+		wantLines = 8
+	}
+	if len(lines) != wantLines {
+		return nil, corrupt("partial: %d lines (want %d for version %d)", len(lines), wantLines, ver)
 	}
 	p := &PartialFile{}
 	if _, err := fmt.Sscanf(lines[1], "manifest %x", &p.ManifestCRC); err != nil {
@@ -325,6 +350,14 @@ func DecodePartial(data []byte) (*PartialFile, error) {
 	}
 	p.Inner = inner.Big()
 	p.NonEnt = nonent.Big()
+	if ver == partialVersion2 {
+		if _, err := fmt.Sscanf(lines[6], "epoch %d", &p.Epoch); err != nil {
+			return nil, corrupt("partial: bad epoch line %q", lines[6])
+		}
+		if _, err := fmt.Sscanf(lines[7], "applied %d", &p.Applied); err != nil {
+			return nil, corrupt("partial: bad applied line %q", lines[7])
+		}
+	}
 	return p, nil
 }
 
@@ -350,6 +383,28 @@ func ReadPartialFile(path string) (*PartialFile, error) {
 	return p, nil
 }
 
+// CheckPartial verifies one partial's identity against the manifest it is
+// about to be merged under: the manifest digest it echoes, the shard count,
+// the shard index range and the shard snapshot digest the manifest records.
+// It is the single gate both the offline merge and the cluster coordinator
+// pass every partial through before trusting its totals.
+func CheckPartial(m *Manifest, manifestCRC uint64, p *PartialFile) error {
+	k := len(m.Shards)
+	if p.ManifestCRC != manifestCRC {
+		return fmt.Errorf("store: partial for shard %d was produced under manifest %016x, merging under %016x", p.Shard, p.ManifestCRC, manifestCRC)
+	}
+	if p.K != k {
+		return fmt.Errorf("store: partial says %d shards, manifest has %d", p.K, k)
+	}
+	if p.Shard < 0 || p.Shard >= k {
+		return fmt.Errorf("store: partial names shard %d of %d", p.Shard, k)
+	}
+	if want := m.Shards[p.Shard].CRC; p.SnapshotCRC != want {
+		return fmt.Errorf("store: partial for shard %d counted snapshot %016x, manifest records %016x", p.Shard, p.SnapshotCRC, want)
+	}
+	return nil
+}
+
 // MergePartials recombines a complete shard set's partials under the
 // manifest:
 //
@@ -368,19 +423,13 @@ func MergePartials(m *Manifest, manifestCRC uint64, parts []*PartialFile) (*big.
 	inner := big.NewInt(1)
 	nonent := big.NewInt(1)
 	for _, p := range parts {
-		if p.ManifestCRC != manifestCRC {
-			return nil, fmt.Errorf("store: partial for shard %d was produced under manifest %016x, merging under %016x", p.Shard, p.ManifestCRC, manifestCRC)
-		}
-		if p.K != k {
-			return nil, fmt.Errorf("store: partial says %d shards, manifest has %d", p.K, k)
+		if err := CheckPartial(m, manifestCRC, p); err != nil {
+			return nil, err
 		}
 		if seen[p.Shard] {
 			return nil, fmt.Errorf("store: two partials for shard %d", p.Shard)
 		}
 		seen[p.Shard] = true
-		if want := m.Shards[p.Shard].CRC; p.SnapshotCRC != want {
-			return nil, fmt.Errorf("store: partial for shard %d counted snapshot %016x, manifest records %016x", p.Shard, p.SnapshotCRC, want)
-		}
 		inner.Mul(inner, p.Inner)
 		nonent.Mul(nonent, p.NonEnt)
 	}

@@ -128,7 +128,11 @@
 // snapshot digest, and the decimal Inner/NonEnt totals; see shard.go) —
 // and MergePartials recombines a complete, digest-verified set as
 // (Π Inner − Π NonEnt) × Outer. Any stale, mixed, duplicated or missing
-// piece fails the merge; a wrong count is never produced.
+// piece fails the merge; a wrong count is never produced. A "CQSP 2"
+// partial appends two lines — "epoch N" and "applied N" — stamping the
+// coordinator epoch and the worker's applied-ops version for the
+// distributed path (internal/cluster); version-1 readers reject them,
+// version-2 readers accept both forms.
 package store
 
 import (
@@ -169,7 +173,8 @@ const (
 	manifestHeaderSize = 28 // magic, version, K, query len, base digest, outer len
 	manifestTrailerLen = 8  // crc32c, zero-extended
 
-	partialVersion = 1
+	partialVersion  = 1
+	partialVersion2 = 2
 )
 
 // Section identifiers.

@@ -229,7 +229,8 @@
 //     Gray/masked walkers, the IE subset DFS, the enumeration fallback and
 //     the sampling loops poll it at a coarse stride — so an abandoned
 //     probe frees its workers within a bounded number of states.
-//     CountCtx / ApproximateParallelCtx expose the same plumbing here.
+//     CountCtx / ApproximateParallelCtx / CountShardedCtx / CountPartialCtx
+//     expose the same plumbing here.
 //   - Crash safety. The daemon tails an append-only ops file, applies
 //     deltas through the live substrate, journals them with fsync'd
 //     AppendJournal, and compacts by atomic temp-file-plus-rename
@@ -239,6 +240,46 @@
 //     file that recovers to a committed state bit-identically or fails
 //     loudly, never one that miscounts (internal/faultfs sweeps every
 //     crash point in the tests).
+//
+// # Distributed serving: the shard-fleet coordinator
+//
+// internal/cluster scales the daemon out across the shard pipeline.
+// A worker (repairctl worker) maps exactly one shard .cqs and answers
+// /v1/partial with a digest-stamped CQSP-equivalent partial; a
+// coordinator (repairctl coordinate) owns the CQSM manifest and the
+// ops tail, prices every probe once with ExplainPlan (the admission
+// ladder is cluster-aware: the fleet critical path — the max over
+// workers of their components' summed planned cost — is what is
+// compared against the exact budget), and fans the partition query out
+// concurrently with core.Stop cancellation propagated on client
+// disconnect.
+//
+// The distributed path is bit-exact or loudly refused, never
+// approximately merged:
+//
+//   - Every returned partial carries the shard digest, manifest CRC,
+//     epoch and applied-ops version; the coordinator verifies all four
+//     against its manifest and its per-worker ack state before
+//     CombinePartials. A stale or foreign partial is a structured 502,
+//     never a miscount.
+//   - Deltas are classified by ShardPlan.ShardOf and streamed only to
+//     the affected shards (shared blocks broadcast); the coordinator
+//     tracks the physical placement of every block and, before each
+//     fan-out, revalidates that the *fresh* factorization still
+//     respects it — each fresh component entirely on one worker, every
+//     shared block on all. If deltas have moved the factorization off
+//     the placement, the coordinator counts locally (still exact)
+//     until the next re-shard.
+//   - On journal compaction the coordinator re-shards, distributes
+//     fresh shard snapshots, and swings the manifest atomically: the
+//     epoch bumps, in-flight probes drain against the old epoch, and a
+//     worker that missed the swing is healed by a reload rather than
+//     trusted.
+//
+// Worker failures degrade availability, not integrity: slow shards are
+// retried with bounded backoff, and if a worker stays down the
+// coordinator falls back to single-node local counting over its own
+// snapshot.
 package repaircount
 
 import (
@@ -798,6 +839,21 @@ func (c *Counter) CountSharded(k, workers int) (*big.Int, error) {
 	return c.inst.CountSharded(k, workers)
 }
 
+// CountShardedCtx is CountSharded with cooperative cancellation threaded
+// through every per-shard job: when ctx is canceled the fleet's workers
+// observe the stop flag within a bounded number of states and the call
+// returns ctx.Err(). The count, when it completes, is identical to
+// CountSharded.
+func (c *Counter) CountShardedCtx(ctx context.Context, k, workers int) (*big.Int, error) {
+	stop, release := stopForCtx(ctx)
+	defer release()
+	n, err := c.inst.CountShardedStop(k, workers, stop)
+	if err == core.ErrStopped {
+		return nil, ctx.Err()
+	}
+	return n, err
+}
+
 // CountPartial computes this instance's shard partial — Inner = Π|B_i|
 // over its blocks and NonEnt = its repairs not entailing the query — with
 // the planned factorized engine (workers ≤ 0 selects GOMAXPROCS). It is
@@ -806,6 +862,20 @@ func (c *Counter) CountSharded(k, workers int) (*big.Int, error) {
 // set.
 func (c *Counter) CountPartial(workers int) (*Partial, error) {
 	return c.inst.CountNonEntailment(0, workers)
+}
+
+// CountPartialCtx is CountPartial with cooperative cancellation: a shard
+// worker serving partials over HTTP threads the request context here so a
+// canceled or abandoned probe frees the counting kernels within a bounded
+// number of states. Returns ctx.Err() when canceled.
+func (c *Counter) CountPartialCtx(ctx context.Context, workers int) (*Partial, error) {
+	stop, release := stopForCtx(ctx)
+	defer release()
+	p, err := c.inst.CountNonEntailmentStop(0, workers, stop)
+	if err == core.ErrStopped {
+		return nil, ctx.Err()
+	}
+	return p, err
 }
 
 // ShardSet describes shard snapshots written by WriteShards: the manifest
