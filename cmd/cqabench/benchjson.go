@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repaircount/internal/query"
 	"repaircount/internal/relational"
 	"repaircount/internal/repairs"
+	"repaircount/internal/server"
 	"repaircount/internal/store"
 	"repaircount/internal/workload"
 )
@@ -32,11 +34,12 @@ import (
 // trajectory of the interned-ID substrate is tracked across PRs.
 
 type benchRecord struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 type benchReport struct {
@@ -46,6 +49,60 @@ type benchReport struct {
 	GOARCH     string        `json:"goarch"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// newServeBench writes the MultiComponent(512, 16, 4) snapshot and starts
+// a real probe daemon over it behind httptest, returning the base URL and
+// the workload's partition disjunction. The instance is deliberately wide
+// (512 components of 16 blocks, 4^8192 total repairs): every uncached
+// probe re-prices admission over all components and re-renders the
+// ~5000-digit count string, the fixed per-probe costs the shared probe
+// cache elides.
+// cacheEntries follows server.Config: 0 selects the default bound, < 0
+// disables the shared cache (the ProbeColdRepeat side of the ProbeCache
+// gate). Workers is pinned to 1 so both sides measure one warm slot's
+// steady state rather than rotating probes across cold per-slot caches.
+func newServeBench(b *testing.B, cacheEntries int) (string, string) {
+	db, ks, q := workload.MultiComponent(512, 16, 4)
+	dir, err := os.MkdirTemp("", "cqabench-serve")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "serve.cqs")
+	if err := store.WriteFile(path, db, ks); err != nil {
+		b.Fatal(err)
+	}
+	s, err := server.New(server.Config{
+		SnapshotPath: path,
+		Workers:      1,
+		ExactBudget:  1 << 44,
+		CacheEntries: cacheEntries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() { ts.Close(); s.Close() })
+	return ts.URL, q.String()
+}
+
+// serveGet fetches one probe URL and fails the benchmark unless the
+// daemon answered 200 with the expected serving mode.
+func serveGet(b *testing.B, probe string, mode []byte) []byte {
+	resp, err := http.Get(probe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("probe: status %d err %v: %s", resp.StatusCode, err, body)
+	}
+	if !bytes.Contains(body, mode) {
+		b.Fatalf("probe: want %s, got %s", mode, body)
+	}
+	return body
 }
 
 func kernelBenchmarks() []struct {
@@ -467,6 +524,83 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"ProbeThroughput", func(b *testing.B) {
+			// The hot serve path: one exact count probe repeated against a
+			// daemon with the shared probe cache on. After the warm-up
+			// probe the compiled counter, the priced admission and the
+			// rendered result are all memoized under (query, epoch,
+			// version), so each iteration is HTTP plus a cache hit. This
+			// is the fast side of the ProbeCache gate.
+			base, _ := newServeBench(b, 0)
+			probe := base + "/v1/count?format=json&q=" + url.QueryEscape("C0('k0','v0')")
+			exact := []byte(`"mode":"exact"`)
+			serveGet(b, probe, exact)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serveGet(b, probe, exact)
+			}
+		}},
+		{"ProbeColdRepeat", func(b *testing.B) {
+			// The identical probe loop with the shared cache disabled
+			// (-cache-entries 0 in repairctl terms): the slot still keeps
+			// its compiled counter, but every probe re-prices admission
+			// over all 256 components and re-renders the thousand-digit
+			// count string. The slow side of the ProbeCache gate.
+			base, _ := newServeBench(b, -1)
+			probe := base + "/v1/count?format=json&q=" + url.QueryEscape("C0('k0','v0')")
+			exact := []byte(`"mode":"exact"`)
+			serveGet(b, probe, exact)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serveGet(b, probe, exact)
+			}
+		}},
+		{"ProbeMixed", func(b *testing.B) {
+			// A probe stream over a 16-query working set, round-robin,
+			// cache on: the steady state of a daemon serving a small hot
+			// set, every query a cache hit after its first probe. Reports
+			// per-probe latency quantiles as p50-ns/op and p99-ns/op.
+			base, _ := newServeBench(b, 0)
+			probes := make([]string, 16)
+			exact := []byte(`"mode":"exact"`)
+			for i := range probes {
+				qs := fmt.Sprintf("C%d('k%d','v0')", i%8, i/8)
+				probes[i] = base + "/v1/count?format=json&q=" + url.QueryEscape(qs)
+			}
+			for _, p := range probes {
+				serveGet(b, p, exact)
+			}
+			lat := make([]time.Duration, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				serveGet(b, probes[i%len(probes)], exact)
+				lat = append(lat, time.Since(t0))
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[(len(lat)-1)*50/100].Nanoseconds()), "p50-ns/op")
+			b.ReportMetric(float64(lat[(len(lat)-1)*99/100].Nanoseconds()), "p99-ns/op")
+		}},
+		{"AdmissionOverhead", func(b *testing.B) {
+			// The admission ladder alone: /v1/explain prices the full
+			// partition disjunction (256 components through the plan cost
+			// model) without running the count. With the cache on, the
+			// priced admission is memoized per (query, epoch, version), so
+			// this measures the floor a probe pays before any counting.
+			base, q := newServeBench(b, 0)
+			probe := base + "/v1/explain?q=" + url.QueryEscape(q)
+			mode := []byte(`"admission":"exact"`)
+			serveGet(b, probe, mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serveGet(b, probe, mode)
+			}
+		}},
 		{"RecountRebuildMultiComp", func(b *testing.B) {
 			// Rebuild-from-scratch baseline for RecountAfterDelta: parse the
 			// text instance, decompose blocks, build the index and count —
@@ -512,7 +646,10 @@ type speedupGate struct {
 // overhead (one coordinator probe over a real HTTP fleet must stay within
 // 2× of the in-process 8-shard critical path, i.e. ShardCount8 /
 // ClusterCount8 ≥ 0.5 — the fan-out, wire codec and verification ladder
-// must not dominate the counting).
+// must not dominate the counting), and the serve-path probe cache (a hot
+// repeated probe against a cache-enabled daemon must beat the identical
+// loop with the shared cache disabled ≥ 10× — admission pricing and
+// result rendering must be memoized, not recomputed, on the hot path).
 var gates = []speedupGate{
 	{label: "ExactFactorized", slow: "ExactEnum", fast: "ExactFactorized", floor: 10},
 	{label: "PlannedIE", slow: "ExactGrayIEHeavy", fast: "ExactPlannedIE", floor: 10},
@@ -520,6 +657,7 @@ var gates = []speedupGate{
 	{label: "IncrementalRecount", slow: "RecountRebuildMultiComp", fast: "RecountAfterDelta", floor: 10},
 	{label: "ShardScaling", slow: "ShardCount1", fast: "ShardCount8", floor: 4},
 	{label: "ClusterOverhead", slow: "ShardCount8", fast: "ClusterCount8", floor: 0.5},
+	{label: "ProbeCache", slow: "ProbeColdRepeat", fast: "ProbeThroughput", floor: 10},
 }
 
 // checkBaseline guards the hot engines against performance regressions
@@ -587,13 +725,20 @@ func runKernels() benchReport {
 	}
 	for _, k := range kernelBenchmarks() {
 		r := testing.Benchmark(k.fn)
-		report.Benchmarks = append(report.Benchmarks, benchRecord{
+		rec := benchRecord{
 			Name:        k.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for name, v := range r.Extra {
+				rec.Extra[name] = v
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, rec)
 	}
 	return report
 }

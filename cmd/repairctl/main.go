@@ -49,6 +49,19 @@
 //	curl 'http://localhost:8347/v1/count?q=exists+i,n+.+Employee(i,n,%27IT%27)'
 //	curl 'http://localhost:8347/v1/stats'
 //
+// The daemon splits the cores between two kinds of parallelism:
+// -serve-workers slots run probes concurrently (throughput under many
+// clients), while -workers goroutines parallelize the enumeration
+// inside ONE exact count or sampling loop (latency of a single
+// expensive probe). More of one is less of the other under load; serve
+// and coordinate default -serve-workers to GOMAXPROCS and -workers to a
+// quarter of it, so many cheap probes run wide while a lone hot count
+// still gets a few cores. Hot repeated probes bypass counting entirely:
+// a shared cache (bounded by -cache-entries, default 512; 0 disables)
+// keeps compiled counters, admission prices and finished exact results
+// keyed by (query, epoch, version), and /v1/stats reports its
+// hit/miss/eviction counters.
+//
 //	repairctl decide -db employees.db -query "..."
 //	repairctl freq   -db employees.db -query "..."
 //	repairctl approx -db employees.db -query "..." -eps 0.1 -delta 0.05 -seed 1
@@ -112,6 +125,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -239,6 +253,27 @@ func openInstance(path string) (*instance, error) {
 	return &instance{db: db, keys: keys}, nil
 }
 
+// serveCountWorkers resolves the -workers flag for the serving daemons.
+// The daemons favor probe-level parallelism (one slot per core), but a
+// lone expensive probe should not be stuck single-threaded on an
+// otherwise idle machine, so unset defaults to a small fraction of the
+// cores instead of the library default of 1.
+func serveCountWorkers(flagged int) int {
+	if flagged > 0 {
+		return flagged
+	}
+	return max(1, runtime.GOMAXPROCS(0)/4)
+}
+
+// configCacheEntries maps the -cache-entries flag (0 disables) onto the
+// Config field (negative disables, 0 selects the default).
+func configCacheEntries(flagged int) int {
+	if flagged <= 0 {
+		return -1
+	}
+	return flagged
+}
+
 // run executes one repairctl invocation; it is the testable core of main.
 func run(args []string, stdout io.Writer) error {
 	if len(args) < 1 {
@@ -271,6 +306,8 @@ func run(args []string, stdout io.Writer) error {
 		maxSamples   = fs.Int64("max-samples", 0, "serve admission ceiling on the FPRAS sample bound (0 = the sampler cap)")
 		compactBytes = fs.Int64("compact-bytes", 0, "journal bytes that trigger serve's compaction (0 = 1MiB, negative disables)")
 		serveWorkers = fs.Int("serve-workers", 0, "probe worker slots for serve (0 = GOMAXPROCS)")
+		cacheEntries = fs.Int("cache-entries", server.DefaultCacheEntries,
+			"bound on the serve/coordinate probe cache (compiled counters, admissions, results); 0 disables it")
 
 		workerDir    = fs.String("dir", "", "worker state directory (required for worker; holds the assignment sidecar)")
 		peers        = fs.String("peers", "", "comma-separated worker base URLs for coordinate")
@@ -340,7 +377,7 @@ func run(args []string, stdout io.Writer) error {
 			SnapshotPath: *dbPath,
 			OpsPath:      ops,
 			Workers:      *serveWorkers,
-			CountWorkers: *workers,
+			CountWorkers: serveCountWorkers(*workers),
 			Deadline:     *deadline,
 			ExactBudget:  *exactBudget,
 			MaxSamples:   *maxSamples,
@@ -349,6 +386,7 @@ func run(args []string, stdout io.Writer) error {
 			Seed:         *seed,
 			Poll:         *poll,
 			CompactBytes: *compactBytes,
+			CacheEntries: configCacheEntries(*cacheEntries),
 		})
 	case "coordinate":
 		if *queryStr == "" {
@@ -371,7 +409,7 @@ func run(args []string, stdout io.Writer) error {
 			ShardDir:     *shardDir,
 			OpsPath:      ops,
 			Workers:      *serveWorkers,
-			CountWorkers: *workers,
+			CountWorkers: serveCountWorkers(*workers),
 			Deadline:     *deadline,
 			ExactBudget:  *exactBudget,
 			MaxSamples:   *maxSamples,
@@ -383,6 +421,7 @@ func run(args []string, stdout io.Writer) error {
 			Retries:      *retries,
 			RetryBackoff: *retryBackoff,
 			HedgeAfter:   *hedgeAfter,
+			CacheEntries: configCacheEntries(*cacheEntries),
 		})
 		if err != nil {
 			return err

@@ -22,7 +22,10 @@
 // exactly, expensive ones it must degrade to the FPRAS, and pathological
 // (non-∃FO⁺) ones it must refuse with a budget error, one
 // "expect<TAB>query" line each, under the exact budget stated in the
-// file's "# exact-budget:" header.
+// file's "# exact-budget:" header. -distinct N replaces the default
+// exact probes with N distinct ground atoms, shaping the query
+// working-set size (and therefore a serving cache's hit rate)
+// deterministically.
 //
 // ie-heavy emits the few-boxes/large-component regime of the exact-counting
 // planner (n blocks of size 2 per component, coupled by -boxes ground
@@ -78,6 +81,7 @@ func main() {
 		updConf    = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
 		updStream  = flag.String("updates-out", "", "path for the update stream (required with -updates)")
 		probesOut  = flag.String("probes-out", "", "path for the admission probe stream (required with -kind probe-stream)")
+		distinct   = flag.Int("distinct", 0, "probe-stream query working-set size: emit this many distinct exact ground-atom probes (0 = one per component)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewPCG(*seed, 99))
@@ -121,7 +125,11 @@ func main() {
 			err = fmt.Errorf("-probes-out is required with -kind probe-stream (the probes cannot share stdout with the instance)")
 			break
 		}
-		db, ks, probeBudget, probes = workload.ProbeStream(*components, *n)
+		if *distinct < 0 || *distinct > *components**n*2 {
+			err = fmt.Errorf("probe-stream shapes at most -components*-n*2 = %d distinct probes (have -distinct %d)", *components**n*2, *distinct)
+			break
+		}
+		db, ks, probeBudget, probes = workload.ProbeStreamDistinct(*components, *n, *distinct)
 	case "random":
 		var dist workload.Dist = workload.Uniform{Lo: 1, Hi: *maxSize}
 		if *zipf {

@@ -64,6 +64,11 @@ type Config struct {
 	// abandon-and-refire hedging — the slow request is canceled, not
 	// raced.
 	HedgeAfter time.Duration
+	// CacheEntries bounds the shared probe cache, exactly as in
+	// internal/server.Config: 0 selects the default, < 0 disables it. It
+	// also gates the per-worker partial cache that lets an unchanged
+	// shard skip its re-count on fan-out.
+	CacheEntries int
 }
 
 func (cfg *Config) fill() {
@@ -139,6 +144,7 @@ type Coordinator struct {
 	ladder server.Ladder
 	client *http.Client
 	pool   *server.Pool
+	cache  *server.ProbeCache // nil when CacheEntries < 0
 
 	mu      sync.RWMutex
 	snap    *repaircount.Snapshot
@@ -156,6 +162,7 @@ type Coordinator struct {
 	fleet    []*workerState
 	pcounter *repaircount.Counter // dedicated planning counter; rebuilt per epoch
 	fan      *fanPlan             // cached validation for (epoch, version)
+	parts    []partialMemo        // per-worker verified-partial cache, keyed (epoch, ack)
 
 	degradedReason atomic.Pointer[string]
 
@@ -166,6 +173,7 @@ type Coordinator struct {
 	stats struct {
 		probes, exact, approx, rejected, overloaded, deadline atomic.Int64
 		fanouts, localFallback, integrity, reshards           atomic.Int64
+		partialHits                                           atomic.Int64
 	}
 
 	tailer    *server.Tailer
@@ -221,7 +229,11 @@ func New(cfg Config) (*Coordinator, error) {
 		flushDone: make(chan struct{}),
 		maintDone: make(chan struct{}),
 	}
+	if cfg.CacheEntries >= 0 {
+		c.cache = server.NewProbeCache(cfg.CacheEntries)
+	}
 	c.fleet = make([]*workerState, len(cfg.Peers))
+	c.parts = make([]partialMemo, len(cfg.Peers))
 	for i, u := range cfg.Peers {
 		c.fleet[i] = &workerState{url: u}
 	}
@@ -332,6 +344,9 @@ func (c *Coordinator) reshardLocked() error {
 	c.plac = plac
 	c.pcounter = counter
 	c.fan = nil
+	for i := range c.parts {
+		c.parts[i] = partialMemo{}
+	}
 	for _, ws := range c.fleet {
 		ws.lastAck = 0
 		ws.pending = nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repaircount/internal/repairs"
+	"repaircount/internal/server"
 	"repaircount/internal/store"
 )
 
@@ -184,6 +185,50 @@ func (c *Coordinator) fleetReady() (*fleetView, string) {
 	return fv, ""
 }
 
+// partialMemo caches one worker's last verified CQSP partial, keyed by
+// the same (epoch, acked-version) stamps the merge safety ladder
+// checks. The memo never skips the worker round trip — every fan-out
+// still contacts every worker, which is how a dead worker is discovered
+// and the probe degrades to local counting — it skips the RECOUNT: the
+// coordinator sends the memoized stamps as a conditional fetch and the
+// worker answers 204 when its shard hasn't moved, instead of running
+// CountPartial and shipping the partial again. Guarded by
+// Coordinator.fmu; reset on re-shard.
+type partialMemo struct {
+	ok    bool
+	epoch uint64
+	ack   uint64
+	p     *store.PartialFile
+}
+
+// cachedPartial returns worker s's memoized partial when its stamps
+// match the frozen fleet view, nil otherwise.
+func (c *Coordinator) cachedPartial(s int, fv *fleetView) *store.PartialFile {
+	if c.cache == nil {
+		return nil
+	}
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	m := c.parts[s]
+	if m.ok && m.epoch == fv.epoch && m.ack == fv.acks[s] {
+		return m.p
+	}
+	return nil
+}
+
+// storePartials memoizes a fully verified partial set under the fleet
+// view's stamps. Only called after every partial passed the ladder.
+func (c *Coordinator) storePartials(fv *fleetView, parts []*store.PartialFile) {
+	if c.cache == nil {
+		return
+	}
+	c.fmu.Lock()
+	for s, p := range parts {
+		c.parts[s] = partialMemo{ok: true, epoch: fv.epoch, ack: fv.acks[s], p: p}
+	}
+	c.fmu.Unlock()
+}
+
 // integrityError is a merge-safety violation: a partial that must not be
 // merged. It is never retried — the worker is marked stale and the probe
 // answers a structured 502.
@@ -194,41 +239,73 @@ type integrityError struct {
 
 func (e *integrityError) Error() string { return e.err.Error() }
 
-// fanOut fetches, verifies and merges one partial per worker. It returns
-// the exact count; an *integrityError when a verified-stale or foreign
-// partial surfaced (502, never merged); or an availability error when a
-// worker stayed unreachable through the retry budget (the caller falls
-// back to local counting).
-func (c *Coordinator) fanOut(ctx context.Context, fv *fleetView, effOuter *big.Int) (*big.Int, error) {
+// fanOut fetches, verifies and merges one partial per worker, returning
+// the rendered exact count; an *integrityError when a verified-stale or
+// foreign partial surfaced (502, never merged); or an availability
+// error when a worker stayed unreachable through the retry budget (the
+// caller falls back to local counting). Workers whose shard hasn't
+// moved since the memoized partial answer the conditional fetch with a
+// cheap 204 instead of re-counting; when a cache entry is held and the
+// merged result is memoized for (epoch, version), the merge itself is
+// skipped too — but never the per-worker round trips, which are the
+// fleet's failure detector.
+func (c *Coordinator) fanOut(ctx context.Context, fv *fleetView, effOuter *big.Int, ent *server.CacheEntry, version uint64) (string, error) {
 	parts := make([]*store.PartialFile, len(fv.urls))
 	errs := make([]error, len(fv.urls))
 	var wg sync.WaitGroup
 	for s := range fv.urls {
+		cached := c.cachedPartial(s, fv)
+		have := ""
+		if cached != nil {
+			have = fmt.Sprintf("%d-%d", cached.Epoch, cached.Applied)
+		}
 		wg.Add(1)
-		go func(s int) {
+		go func(s int, cached *store.PartialFile, have string) {
 			defer wg.Done()
-			parts[s], errs[s] = c.fetchPartial(ctx, fv.urls[s])
-		}(s)
+			p, unchanged, err := c.fetchPartial(ctx, fv.urls[s], have)
+			if unchanged {
+				c.stats.partialHits.Add(1)
+				p = cached
+			}
+			parts[s], errs[s] = p, err
+		}(s, cached, have)
 	}
 	wg.Wait()
 	for s, err := range errs {
 		if err != nil {
 			c.markDown(s)
-			return nil, fmt.Errorf("worker %d (%s): %w", s, fv.urls[s], err)
+			return "", fmt.Errorf("worker %d (%s): %w", s, fv.urls[s], err)
 		}
 	}
+	// Memoized partials run the ladder again too: the stamps are cheap
+	// comparisons, and keeping every merged partial ladder-verified at
+	// merge time is what makes the memo safe to trust.
 	for s, p := range parts {
 		if err := c.verifyPartial(fv, s, p); err != nil {
 			c.stats.integrity.Add(1)
 			c.markStale(s)
-			return nil, err
+			return "", err
+		}
+	}
+	c.storePartials(fv, parts)
+	// Partials at matching stamps are deterministic, so a memoized merge
+	// for this (epoch, version) is the same product — skip recombining
+	// and re-rendering it.
+	if ent != nil {
+		if res, ok := ent.Result(server.ResultFan, fv.epoch, version); ok {
+			return res.Str, nil
 		}
 	}
 	rp := make([]*repairs.Partial, len(parts))
 	for s, p := range parts {
 		rp[s] = &repairs.Partial{Inner: p.Inner, NonEnt: p.NonEnt}
 	}
-	return repairs.CombinePartials(effOuter, rp), nil
+	n := repairs.CombinePartials(effOuter, rp)
+	str := n.String()
+	if ent != nil {
+		ent.StoreResult(server.ResultFan, fv.epoch, version, server.CachedResult{N: n, Str: str})
+	}
+	return str, nil
 }
 
 // verifyPartial runs the merge safety ladder on one fetched partial:
@@ -254,51 +331,62 @@ func (c *Coordinator) verifyPartial(fv *fleetView, s int, p *store.PartialFile) 
 
 // fetchPartial GETs one worker's partial with bounded retries: doubling
 // backoff between attempts, and a per-attempt timeout that abandons a
-// slow attempt and re-fires (abandon-and-refire hedging).
-func (c *Coordinator) fetchPartial(ctx context.Context, url string) (*store.PartialFile, error) {
+// slow attempt and re-fires (abandon-and-refire hedging). A non-empty
+// have carries the memoized partial's "epoch-applied" stamps as a
+// conditional fetch; unchanged reports the worker's 204 answer (shard
+// state still at those stamps, no partial body shipped).
+func (c *Coordinator) fetchPartial(ctx context.Context, url, have string) (*store.PartialFile, bool, error) {
 	backoff := c.cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, false, ctx.Err()
 			case <-time.After(backoff):
 			}
 			backoff *= 2
 		}
 		actx, cancel := context.WithTimeout(ctx, c.cfg.HedgeAfter)
-		p, err := c.getPartial(actx, url)
+		p, unchanged, err := c.getPartial(actx, url, have)
 		cancel()
 		if err == nil {
-			return p, nil
+			return p, unchanged, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 	}
-	return nil, lastErr
+	return nil, false, lastErr
 }
 
-func (c *Coordinator) getPartial(ctx context.Context, url string) (*store.PartialFile, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/partial", nil)
+func (c *Coordinator) getPartial(ctx context.Context, url, have string) (*store.PartialFile, bool, error) {
+	target := url + "/v1/partial"
+	if have != "" {
+		target += "?have=" + have
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, true, nil
 	}
 	if !statusOK(resp.StatusCode) {
-		return nil, decodeError(resp.StatusCode, body)
+		return nil, false, decodeError(resp.StatusCode, body)
 	}
-	return store.DecodePartial(body)
+	p, err := store.DecodePartial(body)
+	return p, false, err
 }
 
 func (c *Coordinator) markDown(s int) {

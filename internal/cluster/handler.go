@@ -67,19 +67,61 @@ func (c *Coordinator) writeCtxErr(w http.ResponseWriter, ctx context.Context) {
 	server.WriteErr(w, 499, server.APIError{Code: "canceled", Message: "client canceled the probe"})
 }
 
-// counterFor returns the slot's cached local counter for the query text.
-// Caller holds c.mu.RLock.
-func (c *Coordinator) counterFor(sl *server.Slot, qs string) (*repaircount.Counter, error) {
+// curEpoch reads the shard-set epoch. The caller holds c.mu.RLock, so
+// the epoch cannot swing while the probe runs.
+func (c *Coordinator) curEpoch() uint64 {
 	c.fmu.Lock()
-	epoch := c.epoch
-	c.fmu.Unlock()
-	return sl.Counter(epoch, qs, func(qs string) (*repaircount.Counter, error) {
-		q, err := repaircount.ParseQuery(qs)
-		if err != nil {
-			return nil, err
+	defer c.fmu.Unlock()
+	return c.epoch
+}
+
+// buildCounter parses and compiles one query against the coordinator's
+// own snapshot. Caller holds c.mu.RLock.
+func (c *Coordinator) buildCounter(qs string) (*repaircount.Counter, error) {
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		return nil, err
+	}
+	return c.snap.Counter(q)
+}
+
+// counterFor returns the slot's cached local counter for the query text.
+// This is the cache-disabled fallback; with the shared cache on, probes
+// go through acquireEntry. Caller holds c.mu.RLock.
+func (c *Coordinator) counterFor(sl *server.Slot, qs string) (*repaircount.Counter, error) {
+	return sl.Counter(c.curEpoch(), qs, c.buildCounter)
+}
+
+// acquireEntry locks the shared cache entry for qs, writing the
+// transport answer on failure. Caller holds c.mu.RLock and must Release
+// the entry when non-nil.
+func (c *Coordinator) acquireEntry(w http.ResponseWriter, ctx context.Context, epoch uint64, qs string) *server.CacheEntry {
+	ent, err := c.cache.Acquire(ctx, epoch, qs, c.buildCounter)
+	if err != nil {
+		if ctx.Err() != nil {
+			c.writeCtxErr(w, ctx)
+		} else {
+			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
 		}
-		return c.snap.Counter(q)
-	})
+		return nil
+	}
+	return ent
+}
+
+// price runs the single-node admission ladder, memoized per (epoch,
+// version) when a cache entry is present. Fleet critical-path pricing
+// (PriceCost) is never memoized: it depends on fleet health, not just
+// the instance state — and it is a constant-time comparison anyway.
+func (c *Coordinator) price(ent *server.CacheEntry, cnt *repaircount.Counter, epoch, version uint64) server.Admission {
+	if ent == nil {
+		return c.ladder.Price(cnt)
+	}
+	if adm, ok := ent.Admission(epoch, version); ok {
+		return adm
+	}
+	adm := c.ladder.Price(cnt)
+	ent.StoreAdmission(epoch, version, adm)
+	return adm
 }
 
 // isPartitionQuery reports whether a probe's query is the fleet's
@@ -101,14 +143,24 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 		server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
-	asText := r.URL.Query().Get("format") == "text"
 	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
-		cnt, err := c.counterFor(sl, qs)
-		if err != nil {
-			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
-			return
-		}
 		version := c.snap.Version()
+		epoch := c.curEpoch()
+		var ent *server.CacheEntry
+		var cnt *repaircount.Counter
+		if c.cache != nil {
+			if ent = c.acquireEntry(w, ctx, epoch, qs); ent == nil {
+				return
+			}
+			defer c.cache.Release(ent)
+			cnt = ent.Counter()
+		} else {
+			var err error
+			if cnt, err = c.counterFor(sl, qs); err != nil {
+				server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+		}
 
 		// Decide the serving path: fleet fan-out needs the partition
 		// query, a sound fan plan, and a synced, healthy fleet.
@@ -133,23 +185,18 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 		if fanable {
 			adm = c.ladder.PriceCost(cnt, fp.maxCost)
 		} else {
-			adm = c.ladder.Price(cnt)
+			adm = c.price(ent, cnt, epoch, version)
 		}
 
 		if adm.Mode == server.AdmitExact && fanable {
-			n, err := c.fanOut(ctx, fv, fp.effOuter)
+			str, err := c.fanOut(ctx, fv, fp.effOuter, ent, version)
 			var ie *integrityError
 			switch {
 			case err == nil:
 				c.stats.fanouts.Add(1)
 				c.stats.exact.Add(1)
-				if asText {
-					w.Header().Set("Content-Type", "text/plain")
-					fmt.Fprintf(w, "%s\n", n)
-					return
-				}
-				server.WriteJSON(w, http.StatusOK, map[string]any{
-					"mode": "exact", "count": n.String(), "engine": "fanout",
+				server.WriteResult(w, r, str, map[string]any{
+					"mode": "exact", "count": str, "engine": "fanout",
 					"k": len(c.fleet), "version": version, "epoch": fv.epoch,
 				})
 				return
@@ -173,26 +220,32 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 
 		if adm.Mode == server.AdmitExact {
 			c.stats.localFallback.Add(1)
+			localResp := func(str string) map[string]any {
+				resp := map[string]any{
+					"mode": "exact", "count": str, "engine": "local",
+					"version": version, "epoch": epoch,
+				}
+				if fallback != "" {
+					resp["fallback_reason"] = fallback
+				}
+				return resp
+			}
+			if ent != nil {
+				if res, ok := ent.Result(server.ResultCount, epoch, version); ok {
+					c.stats.exact.Add(1)
+					server.WriteResult(w, r, res.Str, localResp(res.Str))
+					return
+				}
+			}
 			n, err := cnt.CountShardedCtx(ctx, len(c.fleet), c.cfg.CountWorkers)
 			switch {
 			case err == nil:
 				c.stats.exact.Add(1)
-				if asText {
-					w.Header().Set("Content-Type", "text/plain")
-					fmt.Fprintf(w, "%s\n", n)
-					return
+				str := n.String()
+				if ent != nil {
+					ent.StoreResult(server.ResultCount, epoch, version, server.CachedResult{N: n, Str: str})
 				}
-				resp := map[string]any{
-					"mode": "exact", "count": n.String(), "engine": "local",
-					"version": version,
-				}
-				c.fmu.Lock()
-				resp["epoch"] = c.epoch
-				c.fmu.Unlock()
-				if fallback != "" {
-					resp["fallback_reason"] = fallback
-				}
-				server.WriteJSON(w, http.StatusOK, resp)
+				server.WriteResult(w, r, str, localResp(str))
 				return
 			case ctx.Err() != nil:
 				c.writeCtxErr(w, ctx)
@@ -216,12 +269,7 @@ func (c *Coordinator) handleCount(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c.stats.approx.Add(1)
-			if asText {
-				w.Header().Set("Content-Type", "text/plain")
-				fmt.Fprintf(w, "%s\n", est.Value.Text('f', 2))
-				return
-			}
-			server.WriteJSON(w, http.StatusOK, map[string]any{
+			server.WriteResult(w, r, est.Value.Text('f', 2), map[string]any{
 				"mode": "approx", "estimate": est.Value.Text('f', 2),
 				"eps": c.cfg.Eps, "delta": c.cfg.Delta,
 				"samples": est.Samples, "hits": est.Hits,
@@ -242,13 +290,32 @@ func (c *Coordinator) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
-		cnt, err := c.counterFor(sl, qs)
-		if err != nil {
-			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
-			return
+		version := c.snap.Version()
+		var entailed bool
+		if c.cache != nil {
+			epoch := c.curEpoch()
+			ent := c.acquireEntry(w, ctx, epoch, qs)
+			if ent == nil {
+				return
+			}
+			defer c.cache.Release(ent)
+			res, ok := ent.Result(server.ResultDecide, epoch, version)
+			if !ok {
+				res = server.CachedResult{Entailed: ent.Counter().Decide()}
+				res.Str = fmt.Sprintf("%v", res.Entailed)
+				ent.StoreResult(server.ResultDecide, epoch, version, res)
+			}
+			entailed = res.Entailed
+		} else {
+			cnt, err := c.counterFor(sl, qs)
+			if err != nil {
+				server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+			entailed = cnt.Decide()
 		}
-		server.WriteJSON(w, http.StatusOK, map[string]any{
-			"entailed": cnt.Decide(), "version": c.snap.Version(),
+		server.WriteResult(w, r, fmt.Sprintf("%v", entailed), map[string]any{
+			"entailed": entailed, "version": version,
 		})
 	})
 }
@@ -263,12 +330,24 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
-		cnt, err := c.counterFor(sl, qs)
-		if err != nil {
-			server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
-			return
+		version := c.snap.Version()
+		epoch := c.curEpoch()
+		var ent *server.CacheEntry
+		var cnt *repaircount.Counter
+		if c.cache != nil {
+			if ent = c.acquireEntry(w, ctx, epoch, qs); ent == nil {
+				return
+			}
+			defer c.cache.Release(ent)
+			cnt = ent.Counter()
+		} else {
+			var err error
+			if cnt, err = c.counterFor(sl, qs); err != nil {
+				server.WriteErr(w, http.StatusBadRequest, server.APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
 		}
-		resp := map[string]any{"version": c.snap.Version()}
+		resp := map[string]any{"version": version}
 		var adm server.Admission
 		if c.isPartitionQuery(qs) {
 			fp := c.currentFanPlan()
@@ -287,11 +366,11 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 			if fanable {
 				adm = c.ladder.PriceCost(cnt, fp.maxCost)
 			} else {
-				adm = c.ladder.Price(cnt)
+				adm = c.price(ent, cnt, epoch, version)
 			}
 		} else {
 			resp["fanout"] = false
-			adm = c.ladder.Price(cnt)
+			adm = c.price(ent, cnt, epoch, version)
 		}
 		resp["admission"] = adm.Mode
 		resp["engine"] = adm.Engine.String()
@@ -311,14 +390,15 @@ func (c *Coordinator) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleTotal(w http.ResponseWriter, r *http.Request) {
 	c.withProbe(w, r, func(ctx context.Context, sl *server.Slot) {
-		total := c.snap.TotalRepairs()
-		if r.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain")
-			fmt.Fprintf(w, "%s\n", total)
-			return
+		version := c.snap.Version()
+		var str string
+		if c.cache != nil {
+			_, str = c.cache.Total(c.curEpoch(), version, c.snap.TotalRepairs)
+		} else {
+			str = c.snap.TotalRepairs().String()
 		}
-		server.WriteJSON(w, http.StatusOK, map[string]any{
-			"total": total.String(), "version": c.snap.Version(),
+		server.WriteResult(w, r, str, map[string]any{
+			"total": str, "version": version,
 		})
 	})
 }
@@ -346,6 +426,10 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	epoch := c.epoch
 	mcrc := fmt.Sprintf("%016x", c.shards.ManifestCRC)
 	c.fmu.Unlock()
+	var cs server.CacheStats
+	if c.cache != nil {
+		cs = c.cache.Stats()
+	}
 	server.WriteJSON(w, http.StatusOK, map[string]any{
 		"epoch":            epoch,
 		"manifest":         mcrc,
@@ -368,6 +452,11 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"local_fallback":   c.stats.localFallback.Load(),
 		"integrity_errors": c.stats.integrity.Load(),
 		"reshards":         c.stats.reshards.Load(),
+		"cache_hits":       cs.Hits,
+		"cache_misses":     cs.Misses,
+		"cache_evictions":  cs.Evictions,
+		"cache_entries":    cs.Entries,
+		"partial_hits":     c.stats.partialHits.Load(),
 	})
 }
 

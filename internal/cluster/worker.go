@@ -82,7 +82,7 @@ type Worker struct {
 	degradedReason atomic.Pointer[string]
 
 	stats struct {
-		partials, applies, reloads atomic.Int64
+		partials, applies, reloads, skips atomic.Int64
 	}
 }
 
@@ -263,6 +263,15 @@ func (w *Worker) handlePartial(rw http.ResponseWriter, r *http.Request) {
 		writeUnassigned(rw)
 		return
 	}
+	// A conditional fetch: the coordinator already holds the verified
+	// partial for these stamps, so an unmoved shard answers 204 instead
+	// of re-counting and re-shipping it.
+	if have := r.URL.Query().Get("have"); have != "" &&
+		have == fmt.Sprintf("%d-%d", w.asn.Epoch, w.snap.Version()) {
+		w.stats.skips.Add(1)
+		rw.WriteHeader(http.StatusNoContent)
+		return
+	}
 	c, err := sl.Counter(w.asn.Epoch, w.manifest.Query, func(qs string) (*repaircount.Counter, error) {
 		q, err := repaircount.ParseQuery(qs)
 		if err != nil {
@@ -428,11 +437,12 @@ func (w *Worker) handleReload(rw http.ResponseWriter, r *http.Request) {
 func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 	w.mu.RLock()
 	resp := map[string]any{
-		"assigned": w.asn != nil,
-		"degraded": w.degraded(),
-		"partials": w.stats.partials.Load(),
-		"applies":  w.stats.applies.Load(),
-		"reloads":  w.stats.reloads.Load(),
+		"assigned":      w.asn != nil,
+		"degraded":      w.degraded(),
+		"partials":      w.stats.partials.Load(),
+		"partial_skips": w.stats.skips.Load(),
+		"applies":       w.stats.applies.Load(),
+		"reloads":       w.stats.reloads.Load(),
 	}
 	if w.asn != nil {
 		resp["epoch"] = w.asn.Epoch

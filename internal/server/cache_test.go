@@ -1,0 +1,294 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repaircount"
+	"repaircount/internal/relational"
+	"repaircount/internal/server"
+	"repaircount/internal/workload"
+)
+
+// appendOp appends one update line to an ops stream file.
+func appendOp(t *testing.T, path string, op workload.Update) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.FormatUpdates(f, []workload.Update{op}); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheDifferential pins the shared probe cache to the uncached
+// daemon, byte for byte: two servers over identical snapshot and ops
+// copies — one with the cache, one with CacheEntries < 0 — evolve in
+// lockstep one op at a time under an aggressive compaction budget (so
+// epochs move too), and after every step the raw bodies of every probe
+// shape must be identical, including the second (memoized) probe of the
+// cached daemon.
+func TestCacheDifferential(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(4, 2, 2)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	pathA := writeSnapshot(t, dirA, db, ks)
+	pathB := writeSnapshot(t, dirB, db, ks)
+	opsA := filepath.Join(dirA, "ops.txt")
+	opsB := filepath.Join(dirB, "ops.txt")
+	for _, p := range []string{opsA, opsB} {
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mk := func(path, ops string, entries int) *httptest.Server {
+		_, ts := start(t, server.Config{
+			SnapshotPath: path, OpsPath: ops,
+			Poll: 2 * time.Millisecond, CompactBytes: 1,
+			CacheEntries: entries,
+		})
+		return ts
+	}
+	cached := mk(pathA, opsA, 0)
+	plain := mk(pathB, opsB, -1)
+
+	atom := "C0('k0', 'v0')"
+	disj := multiComponentQuery(4)
+	// Explain goes first: admission pricing depends on the counter's
+	// component-memo warmth (a count prices the next plan at zero), so
+	// the shapes only line up byte-for-byte when both daemons price the
+	// epoch's cold counter — which the cache then pins for the epoch.
+	probes := []string{
+		"/v1/explain?q=" + url.QueryEscape(disj),
+		countURL(atom, ""),
+		countURL(atom, "&format=text"),
+		countURL(disj, ""),
+		"/v1/decide?q=" + url.QueryEscape(atom),
+		"/v1/decide?q=" + url.QueryEscape(atom) + "&format=text",
+		"/v1/total",
+		"/v1/total?format=text",
+	}
+	compare := func(step int) {
+		t.Helper()
+		for _, p := range probes {
+			sc, _, want := get(t, plain, p)
+			sc2, _, got := get(t, cached, p)
+			if sc != http.StatusOK || sc2 != http.StatusOK {
+				t.Fatalf("step %d probe %s: status %d vs %d", step, p, sc, sc2)
+			}
+			if got != want {
+				t.Fatalf("step %d probe %s: cached %q, uncached %q", step, p, got, want)
+			}
+			// The second probe is a memo hit; it must serve the same bytes.
+			_, _, hit := get(t, cached, p)
+			if hit != want {
+				t.Fatalf("step %d probe %s: cache hit %q, uncached %q", step, p, hit, want)
+			}
+		}
+	}
+
+	compare(0)
+	ops := []workload.Update{
+		{Fact: relational.NewFact("C0", "k0", "z0")},
+		{Fact: relational.NewFact("C1", "k1", "z1")},
+		{Del: true, Fact: relational.NewFact("C0", "k0", "z0")},
+		{Fact: relational.NewFact("C2", "k0", "z2")},
+		{Del: true, Fact: relational.NewFact("C2", "k0", "v0")},
+	}
+	for i, op := range ops {
+		// Lockstep: one op lands and journals on BOTH daemons before the
+		// next is written, so the two sides see identical batch sequences
+		// and therefore identical version and epoch trajectories.
+		appendOp(t, opsA, op)
+		appendOp(t, opsB, op)
+		for _, ts := range []*httptest.Server{cached, plain} {
+			waitStats(t, ts, fmt.Sprintf("op %d applied", i+1), func(st map[string]any) bool {
+				return st["applied_ops"] == float64(i+1)
+			})
+		}
+		compare(i + 1)
+	}
+
+	// The cache did real work during all of that.
+	st := waitStats(t, cached, "cache counters", func(st map[string]any) bool {
+		return st["cache_hits"].(float64) > 0 && st["cache_misses"].(float64) > 0
+	})
+	if st["cache_entries"].(float64) == 0 {
+		t.Fatalf("cache holds no entries after the differential run: %v", st)
+	}
+}
+
+// TestCacheEviction proves the cache is bounded: a working set wider
+// than CacheEntries must evict (LRU), never grow the entry table.
+func TestCacheEviction(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(8, 2, 2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path, CacheEntries: 2})
+
+	for c := 0; c < 6; c++ {
+		qs := fmt.Sprintf("C%d('k0', 'v0')", c)
+		status, body, _ := get(t, ts, countURL(qs, ""))
+		if status != http.StatusOK || body["mode"] != "exact" {
+			t.Fatalf("probe %s: status %d body %v", qs, status, body)
+		}
+	}
+	_, st, _ := get(t, ts, "/v1/stats")
+	if n := st["cache_entries"].(float64); n > 2 {
+		t.Fatalf("cache grew past its bound: %v entries, want <= 2", n)
+	}
+	if ev := st["cache_evictions"].(float64); ev < 4 {
+		t.Fatalf("expected >= 4 evictions over a 6-query set with 2 slots, got %v", ev)
+	}
+}
+
+// TestCacheSingleflight sends concurrent identical probes at a fresh
+// daemon: the per-entry lock must collapse them onto one computation —
+// exactly one result-memo miss, every other probe a hit.
+func TestCacheSingleflight(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(4, 2, 2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path, Workers: 8, QueueDepth: 64})
+
+	const n = 8
+	qs := countURL("C0('k0', 'v0')", "")
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + qs)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent probe failed: %s", e)
+	}
+	_, st, _ := get(t, ts, "/v1/stats")
+	if st["cache_misses"].(float64) != 1 || st["cache_hits"].(float64) != float64(n-1) {
+		t.Fatalf("singleflight did not collapse %d identical probes: %v", n, st)
+	}
+}
+
+// TestCacheRaceStress runs hot probes, cold probes and a live delta
+// stream concurrently (the CI -race build makes this a memory-model
+// check on the shared cache), then pins the settled count to an offline
+// replay of the full stream.
+func TestCacheRaceStress(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(4, 4, 2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+	opsPath := filepath.Join(dir, "ops.txt")
+	if err := os.WriteFile(opsPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := start(t, server.Config{
+		SnapshotPath: path, OpsPath: opsPath,
+		Poll: 2 * time.Millisecond, CompactBytes: 1,
+		Workers: 4, QueueDepth: 256,
+	})
+
+	const nOps = 50
+	ops := make([]workload.Update, nOps)
+	for i := range ops {
+		ops[i] = workload.Update{Fact: relational.NewFact(fmt.Sprintf("C%d", i%4), "k0", relational.Const(fmt.Sprintf("w%d", i)))}
+	}
+
+	hot := "C0('k0', 'v0')"
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	probe := func(qs string) {
+		resp, err := http.Get(ts.URL + countURL(qs, ""))
+		if err != nil {
+			select {
+			case errs <- err.Error():
+			default:
+			}
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			select {
+			case errs <- fmt.Sprintf("probe %s: status %d", qs, resp.StatusCode):
+			default:
+			}
+		}
+	}
+	wg.Add(1)
+	go func() { // the write side: one op per millisecond
+		defer wg.Done()
+		for _, op := range ops {
+			appendOp(t, opsPath, op)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if g%2 == 0 {
+					probe(hot) // hot: always the same entry
+				} else {
+					probe(fmt.Sprintf("C%d('k%d', 'v0')", (g+i)%4, i%4)) // cold-ish rotation
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("stress probe failed: %s", e)
+	}
+
+	waitStats(t, ts, "stream drained", func(st map[string]any) bool {
+		return st["applied_ops"] == float64(nOps)
+	})
+
+	// Offline replay of the same stream gives the settled expectation.
+	q, err := repaircount.ParseQuery(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repaircount.NewCounter(db, ks, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []repaircount.Delta
+	for _, op := range ops {
+		deltas = append(deltas, repaircount.Insert(op.Fact))
+	}
+	if _, err := c.Apply(deltas...); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, raw := get(t, ts, countURL(hot, "&format=text"))
+	if status != http.StatusOK || strings.TrimSpace(raw) != want.String() {
+		t.Fatalf("settled count: status %d body %q, want %s", status, raw, want)
+	}
+}

@@ -125,6 +125,21 @@ func WriteErr(w http.ResponseWriter, status int, e APIError) {
 	WriteJSON(w, status, map[string]APIError{"error": e})
 }
 
+// WriteResult writes one successful probe result: the bare rendered
+// value as text/plain when the request asked for format=text, the JSON
+// body otherwise. An empty text form means the endpoint has no text
+// rendering and always answers JSON. Every handler tail in the
+// single-node daemon and the cluster coordinator funnels through here
+// so the two response shapes cannot drift.
+func WriteResult(w http.ResponseWriter, r *http.Request, text string, body map[string]any) {
+	if text != "" && r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "%s\n", text)
+		return
+	}
+	WriteJSON(w, http.StatusOK, body)
+}
+
 // ProbeQuery extracts the query text from ?q= or a JSON {"query": ...}
 // body.
 func ProbeQuery(r *http.Request) (string, error) {

@@ -10,6 +10,13 @@
 // startup and the consumed ops offset persisted in a sidecar so
 // restarts resume the tail instead of replaying from zero.
 //
+// The hot serve path runs through a shared, bounded probe cache
+// (ProbeCache): compiled counters, priced admissions and completed
+// exact/total/decide results are memoized per query and keyed by the
+// substrate epoch and instance version, with per-entry locks collapsing
+// a thundering herd of identical probes into one count. See the
+// "Serve-path performance" section of the root package docs.
+//
 // The probe plumbing (Pool/Slot), admission policy (Ladder), structured
 // errors (APIError) and ops tail (Tailer) are exported so the
 // distributed topology in internal/cluster serves with byte-identical
@@ -72,6 +79,12 @@ type Config struct {
 	// CompactBytes triggers an atomic in-place compaction when the
 	// snapshot's journal region exceeds it (default 1 MiB; < 0 disables).
 	CompactBytes int64
+	// CacheEntries bounds the shared probe cache holding compiled
+	// counters, priced admissions and completed exact/total/decide
+	// results keyed by (query, epoch, version). 0 selects
+	// DefaultCacheEntries; < 0 disables the shared cache (probe slots
+	// keep their private per-slot counter caches either way).
+	CacheEntries int
 }
 
 func (cfg *Config) fill() {
@@ -127,7 +140,8 @@ type Server struct {
 	epoch   uint64 // bumped when the snapshot file is re-mapped (compaction)
 	baseLen int64  // sealed-base bytes of the served file
 
-	pool *Pool
+	pool  *Pool
+	cache *ProbeCache // nil when CacheEntries < 0
 
 	degradedReason atomic.Pointer[string]
 
@@ -176,6 +190,9 @@ func New(cfg Config) (*Server, error) {
 		stop:      make(chan struct{}),
 		tailDone:  make(chan struct{}),
 	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = NewProbeCache(cfg.CacheEntries)
+	}
 	if cfg.OpsPath != "" {
 		s.tailer = &Tailer{
 			OpsPath:    cfg.OpsPath,
@@ -218,17 +235,55 @@ func (s *Server) degraded() string {
 	return ""
 }
 
+// buildCounter parses and compiles one query against the current
+// snapshot. Caller holds s.mu.RLock.
+func (s *Server) buildCounter(qs string) (*repaircount.Counter, error) {
+	q, err := repaircount.ParseQuery(qs)
+	if err != nil {
+		return nil, err
+	}
+	return s.snap.Counter(q)
+}
+
 // counterFor returns the slot's cached counter for the query text,
 // rebuilding it when absent or when the epoch moved (compaction replaced
-// the substrate). Caller holds s.mu.RLock.
+// the substrate). This is the cache-disabled fallback path; with the
+// shared cache on, probes go through acquireEntry instead. Caller holds
+// s.mu.RLock.
 func (s *Server) counterFor(sl *Slot, qs string) (*repaircount.Counter, error) {
-	return sl.Counter(s.epoch, qs, func(qs string) (*repaircount.Counter, error) {
-		q, err := repaircount.ParseQuery(qs)
-		if err != nil {
-			return nil, err
+	return sl.Counter(s.epoch, qs, s.buildCounter)
+}
+
+// acquireEntry locks the shared cache entry for qs, writing the
+// transport answer on failure. Caller holds s.mu.RLock and must Release
+// the entry when non-nil.
+func (s *Server) acquireEntry(w http.ResponseWriter, ctx context.Context, qs string) *CacheEntry {
+	ent, err := s.cache.Acquire(ctx, s.epoch, qs, s.buildCounter)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.writeCtxErr(w, ctx)
+		} else {
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		}
-		return s.snap.Counter(q)
-	})
+		return nil
+	}
+	return ent
+}
+
+// price returns the probe's admission, memoized per (epoch, version)
+// when a cache entry is present. A later ErrBudget re-price is never
+// stored: the memo keeps the plan-level admission, exactly mirroring
+// what the uncached ladder would decide on every probe.
+func (s *Server) price(ent *CacheEntry, c *repaircount.Counter, version uint64) Admission {
+	if ent == nil {
+		return s.ladder.Price(c)
+	}
+	if adm, ok := ent.Admission(s.epoch, version); ok {
+		return adm
+	}
+	adm := s.ladder.Price(c)
+	ent.StoreAdmission(s.epoch, version, adm)
+	return adm
 }
 
 // writeCtxErr maps a canceled probe context to its transport answer.
@@ -285,27 +340,43 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
 		return
 	}
-	asText := r.URL.Query().Get("format") == "text"
 	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
-		c, err := s.counterFor(sl, qs)
-		if err != nil {
-			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
-			return
-		}
 		version := s.snap.Version()
-		adm := s.ladder.Price(c)
+		var ent *CacheEntry
+		var c *repaircount.Counter
+		if s.cache != nil {
+			if ent = s.acquireEntry(w, ctx, qs); ent == nil {
+				return
+			}
+			defer s.cache.Release(ent)
+			if res, ok := ent.Result(ResultCount, s.epoch, version); ok {
+				s.stats.exact.Add(1)
+				WriteResult(w, r, res.Str, map[string]any{
+					"mode": "exact", "count": res.Str,
+					"engine": res.Engine.String(), "version": version, "epoch": s.epoch,
+				})
+				return
+			}
+			c = ent.Counter()
+		} else {
+			var err error
+			if c, err = s.counterFor(sl, qs); err != nil {
+				WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+		}
+		adm := s.price(ent, c, version)
 		if adm.Mode == AdmitExact {
 			n, engine, err := c.CountCtx(ctx, s.cfg.CountWorkers)
 			switch {
 			case err == nil:
 				s.stats.exact.Add(1)
-				if asText {
-					w.Header().Set("Content-Type", "text/plain")
-					fmt.Fprintf(w, "%s\n", n)
-					return
+				str := n.String()
+				if ent != nil {
+					ent.StoreResult(ResultCount, s.epoch, version, CachedResult{N: n, Str: str, Engine: engine})
 				}
-				WriteJSON(w, http.StatusOK, map[string]any{
-					"mode": "exact", "count": n.String(),
+				WriteResult(w, r, str, map[string]any{
+					"mode": "exact", "count": str,
 					"engine": engine.String(), "version": version, "epoch": s.epoch,
 				})
 				return
@@ -332,12 +403,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			s.stats.approx.Add(1)
-			if asText {
-				w.Header().Set("Content-Type", "text/plain")
-				fmt.Fprintf(w, "%s\n", est.Value.Text('f', 2))
-				return
-			}
-			WriteJSON(w, http.StatusOK, map[string]any{
+			WriteResult(w, r, est.Value.Text('f', 2), map[string]any{
 				"mode": "approx", "estimate": est.Value.Text('f', 2),
 				"eps": s.cfg.Eps, "delta": s.cfg.Delta,
 				"samples": est.Samples, "hits": est.Hits,
@@ -357,13 +423,31 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
-		c, err := s.counterFor(sl, qs)
-		if err != nil {
-			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
-			return
+		version := s.snap.Version()
+		var entailed bool
+		if s.cache != nil {
+			ent := s.acquireEntry(w, ctx, qs)
+			if ent == nil {
+				return
+			}
+			defer s.cache.Release(ent)
+			res, ok := ent.Result(ResultDecide, s.epoch, version)
+			if !ok {
+				res = CachedResult{Entailed: ent.Counter().Decide()}
+				res.Str = fmt.Sprintf("%v", res.Entailed)
+				ent.StoreResult(ResultDecide, s.epoch, version, res)
+			}
+			entailed = res.Entailed
+		} else {
+			c, err := s.counterFor(sl, qs)
+			if err != nil {
+				WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+			entailed = c.Decide()
 		}
-		WriteJSON(w, http.StatusOK, map[string]any{
-			"entailed": c.Decide(), "version": s.snap.Version(), "epoch": s.epoch,
+		WriteResult(w, r, fmt.Sprintf("%v", entailed), map[string]any{
+			"entailed": entailed, "version": version, "epoch": s.epoch,
 		})
 	})
 }
@@ -375,16 +459,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
-		c, err := s.counterFor(sl, qs)
-		if err != nil {
-			WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
-			return
+		version := s.snap.Version()
+		var adm Admission
+		if s.cache != nil {
+			ent := s.acquireEntry(w, ctx, qs)
+			if ent == nil {
+				return
+			}
+			defer s.cache.Release(ent)
+			adm = s.price(ent, ent.Counter(), version)
+		} else {
+			c, err := s.counterFor(sl, qs)
+			if err != nil {
+				WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+			adm = s.ladder.Price(c)
 		}
-		adm := s.ladder.Price(c)
 		resp := map[string]any{
 			"admission": adm.Mode,
 			"engine":    adm.Engine.String(),
-			"version":   s.snap.Version(),
+			"version":   version,
 			"epoch":     s.epoch,
 		}
 		if adm.PlannedCost != nil {
@@ -438,7 +533,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			}
 			out[i] = answer{Tuple: tuple, Count: a.Count.String(), Frequency: a.Frequency.RatString()}
 		}
-		WriteJSON(w, http.StatusOK, map[string]any{
+		WriteResult(w, r, "", map[string]any{
 			"answers": out, "version": s.snap.Version(), "epoch": s.epoch,
 		})
 	})
@@ -446,14 +541,15 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
 	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
-		total := s.snap.TotalRepairs()
-		if r.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain")
-			fmt.Fprintf(w, "%s\n", total)
-			return
+		version := s.snap.Version()
+		var str string
+		if s.cache != nil {
+			_, str = s.cache.Total(s.epoch, version, s.snap.TotalRepairs)
+		} else {
+			str = s.snap.TotalRepairs().String()
 		}
-		WriteJSON(w, http.StatusOK, map[string]any{
-			"total": total.String(), "version": s.snap.Version(), "epoch": s.epoch,
+		WriteResult(w, r, str, map[string]any{
+			"total": str, "version": version, "epoch": s.epoch,
 		})
 	})
 }
@@ -484,6 +580,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"overloaded":       s.stats.overloaded.Load(),
 		"deadline_expired": s.stats.deadline.Load(),
 	}
+	var cs CacheStats
+	if s.cache != nil {
+		cs = s.cache.Stats()
+	}
+	resp["cache_hits"] = cs.Hits
+	resp["cache_misses"] = cs.Misses
+	resp["cache_evictions"] = cs.Evictions
+	resp["cache_entries"] = cs.Entries
 	s.mu.RUnlock()
 	WriteJSON(w, http.StatusOK, resp)
 }

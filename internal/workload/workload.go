@@ -493,14 +493,38 @@ type Probe struct {
 //     exists, and with 2^(nComponents·blocksPer) repairs the enumeration
 //     fallback also exceeds the budget, so the probe must be refused.
 func ProbeStream(nComponents, blocksPer int) (*relational.Database, *relational.KeySet, int64, []Probe) {
+	return ProbeStreamDistinct(nComponents, blocksPer, 0)
+}
+
+// ProbeStreamDistinct is ProbeStream with a query working-set knob:
+// distinct > 0 replaces the default one-exact-probe-per-component set
+// with exactly `distinct` DISTINCT ground-atom exact probes, cycling
+// through components, keys and values — so cache hit rates under a
+// mixed probe stream are shaped deterministically. The instance has
+// nComponents·blocksPer·2 distinct ground atoms; asking for more
+// panics. distinct == 0 keeps the default set.
+func ProbeStreamDistinct(nComponents, blocksPer, distinct int) (*relational.Database, *relational.KeySet, int64, []Probe) {
 	if nComponents < 1 || blocksPer < 2 {
 		panic("workload: ProbeStream needs nComponents >= 1 and blocksPer >= 2")
+	}
+	if distinct > nComponents*blocksPer*2 {
+		panic(fmt.Sprintf("workload: ProbeStreamDistinct can shape at most %d distinct ground-atom probes (nComponents*blocksPer*2), asked for %d",
+			nComponents*blocksPer*2, distinct))
 	}
 	db, ks, _ := MultiComponent(nComponents, blocksPer, 2)
 	budget := int64(nComponents)
 	var probes []Probe
-	for c := 0; c < nComponents; c++ {
-		probes = append(probes, Probe{Expect: "exact", Query: fmt.Sprintf("C%d('k0', 'v0')", c)})
+	if distinct > 0 {
+		for i := 0; i < distinct; i++ {
+			c := i % nComponents
+			b := (i / nComponents) % blocksPer
+			v := i / (nComponents * blocksPer)
+			probes = append(probes, Probe{Expect: "exact", Query: fmt.Sprintf("C%d('k%d', 'v%d')", c, b, v)})
+		}
+	} else {
+		for c := 0; c < nComponents; c++ {
+			probes = append(probes, Probe{Expect: "exact", Query: fmt.Sprintf("C%d('k0', 'v0')", c)})
+		}
 	}
 	var parts []string
 	for c := 0; c < nComponents; c++ {

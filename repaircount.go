@@ -280,6 +280,51 @@
 // retried with bounded backoff, and if a worker stays down the
 // coordinator falls back to single-node local counting over its own
 // snapshot.
+//
+// # Serve-path performance: the shared probe cache
+//
+// Both daemons put a bounded, concurrency-safe probe cache
+// (internal/server.ProbeCache) in front of the counting substrate, so
+// the hot path of a serving workload — the same queries probed again
+// and again between deltas — stops re-paying per-probe fixed costs
+// (query compile, admission pricing, big-int rendering) that dwarf the
+// memoized count itself. Three layers share one entry per canonical
+// query text:
+//
+//   - The compiled Counter is keyed by query and compaction epoch.
+//     Compaction swaps the snapshot mapping, so an entry built at an
+//     old epoch is rebuilt, never reused, when the epoch has moved.
+//   - The priced Admission is memoized per (epoch, version): the
+//     ladder's verdict cannot go stale because any delta moves the
+//     version and any compaction moves the epoch, and both are frozen
+//     for the duration of a probe by the server's reader lock.
+//   - Completed exact, decide and total results — including their
+//     rendered digit strings — are memoized under the same
+//     (epoch, version) stamp, making a stale serve structurally
+//     impossible rather than merely unlikely: the stamp is the key,
+//     so an outdated result is unreachable, not just invalidated.
+//
+// Concurrent identical probes are collapsed by a per-entry lock
+// acquired with context cancellation (hand-rolled singleflight): the
+// first probe computes and stores, waiters acquire after it and hit
+// the memo. Distinct queries proceed in parallel; a bounded LRU sweep
+// keeps the entry table at its configured size (repairctl
+// -cache-entries). /v1/stats exposes hit/miss/evict counters.
+//
+// The coordinator reuses the same cache for its local rungs and adds
+// two fleet-level layers: merged fan-out results memoized per cut
+// (epoch, version), and per-worker partials remembered alongside.
+// Caching must not mask worker death, so fan-outs always contact every
+// worker — a probe sends the remembered (epoch, applied) stamp as
+// ?have=, the worker answers 204 No Content when its shard is
+// unchanged (skipping the recount and the wire transfer), and the
+// coordinator substitutes the memoized partial, which still passes the
+// full digest/epoch/applied verification ladder before any merge. The
+// merged-result memo is consulted only after that contact phase, so
+// fleet-health discovery behaves identically with and without the
+// cache. cmd/cqabench gates the payoff: a hot repeated probe must run
+// ≥ 10x faster against a cache-enabled daemon than with the cache
+// disabled (the ProbeCache gate).
 package repaircount
 
 import (
