@@ -375,6 +375,85 @@ func kernelBenchmarks() []struct {
 				}
 			}
 		}},
+		{"CompileRecount", func(b *testing.B) {
+			// Post-delta recount on the circuit engine. Each op grows one
+			// block of a fresh warm instance by six facts whose values sort
+			// after every query constant, recounting after each insert: the
+			// d-DNNF circuit of a component depends only on its box tables,
+			// not its block sizes, so every recount reuses the one cached
+			// circuit and pays a single circuit-linear evaluation. Both
+			// structural memos (the per-component count memo and the circuit
+			// memo) see exactly the same delta stream as the Gray side — the
+			// circuit survives size growth, the Gray walk cannot. The fast
+			// side of the CompileReuse gate.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, ks, q := workload.MultiComponent(2, 10, 4)
+				in := repairs.MustInstance(db, ks, q)
+				if _, err := in.CountCompile(0, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for k := 0; k < 6; k++ {
+					f := relational.Fact{Pred: "C0", Args: []relational.Const{"k0", relational.Const(fmt.Sprintf("z%03d", k))}}
+					if _, err := in.Apply(repairs.Insert(f)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := in.CountCompile(0, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"CompileRecountGray", func(b *testing.B) {
+			// The identical growth stream on the Gray walk: each size-only
+			// insert yields a component shape (block-size vector) the
+			// structural count memo has never seen, so every recount
+			// re-enumerates the touched component's grown 4^9*(4+k)-state
+			// choice space instead of evaluating a cached circuit. The slow
+			// side of the CompileReuse gate.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, ks, q := workload.MultiComponent(2, 10, 4)
+				in := repairs.MustInstance(db, ks, q)
+				if _, err := in.CountGray(0, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for k := 0; k < 6; k++ {
+					f := relational.Fact{Pred: "C0", Args: []relational.Const{"k0", relational.Const(fmt.Sprintf("z%03d", k))}}
+					if _, err := in.Apply(repairs.Insert(f)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := in.CountGray(0, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"WeightedCount", func(b *testing.B) {
+			// Repeated weighted counting over warm circuits: each iteration
+			// is one interval-arithmetic bottom-up pass per component plus
+			// the factorized assembly — the /v1/prob steady state.
+			db, ks, q := workload.MultiComponent(8, 8, 4)
+			in := repairs.MustInstance(db, ks, q)
+			w := make([]float64, in.Idx.NumFacts())
+			for i := range w {
+				w[i] = float64(1+i%16) / 16
+			}
+			if _, err := in.CountWeighted(w); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.CountWeighted(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"ShardCount1", func(b *testing.B) {
 			// Single-shard baseline of the ShardScaling gate: the whole
 			// instance is one shard, so one worker's partial recompute is the
@@ -646,10 +725,14 @@ type speedupGate struct {
 // overhead (one coordinator probe over a real HTTP fleet must stay within
 // 2× of the in-process 8-shard critical path, i.e. ShardCount8 /
 // ClusterCount8 ≥ 0.5 — the fan-out, wire codec and verification ladder
-// must not dominate the counting), and the serve-path probe cache (a hot
+// must not dominate the counting), the serve-path probe cache (a hot
 // repeated probe against a cache-enabled daemon must beat the identical
 // loop with the shared cache disabled ≥ 10× — admission pricing and
-// result rendering must be memoized, not recomputed, on the hot path).
+// result rendering must be memoized, not recomputed, on the hot path),
+// and circuit reuse (a post-delta recount through the cached d-DNNF
+// circuits must beat the same delta stream on the Gray walk ≥ 10× —
+// size-only deltas must re-evaluate circuits, never re-enumerate the
+// choice space).
 var gates = []speedupGate{
 	{label: "ExactFactorized", slow: "ExactEnum", fast: "ExactFactorized", floor: 10},
 	{label: "PlannedIE", slow: "ExactGrayIEHeavy", fast: "ExactPlannedIE", floor: 10},
@@ -658,6 +741,7 @@ var gates = []speedupGate{
 	{label: "ShardScaling", slow: "ShardCount1", fast: "ShardCount8", floor: 4},
 	{label: "ClusterOverhead", slow: "ShardCount8", fast: "ClusterCount8", floor: 0.5},
 	{label: "ProbeCache", slow: "ProbeColdRepeat", fast: "ProbeThroughput", floor: 10},
+	{label: "CompileReuse", slow: "CompileRecountGray", fast: "CompileRecount", floor: 10},
 }
 
 // checkBaseline guards the hot engines against performance regressions

@@ -16,17 +16,19 @@
 //	repairctl build  -db employees.db -o employees.cqs
 //	repairctl total  -db employees.db
 //	repairctl count  -db employees.cqs -query "exists x,y,z . (Employee(1,x,y) & Employee(2,z,y))"
-//	repairctl count  -db employees.db -query "..." -exact gray     # or: factorized, ie, enum
+//	repairctl count  -db employees.db -query "..." -exact gray     # or: factorized, ie, compile, enum
 //	repairctl count  -db employees.db -query "..." -explain
 //
 // build converts a text instance into a mmap-able columnar snapshot that
 // loads with zero parsing; count picks the best algorithm by default, and
 // -exact pins one engine — factorized (planner-selected per-component
 // engines), gray (every component forced onto the Gray-delta walk), ie
-// (whole-instance inclusion–exclusion) or enum (plain enumeration) — so
-// the engines are comparable. -explain prints the exact-counting plan (one
+// (whole-instance inclusion–exclusion), compile (per-component d-DNNF
+// circuits, reused across recounts) or enum (plain enumeration) — so the
+// engines are comparable. -explain prints the exact-counting plan (one
 // line per connected component: block and box counts, the cost of the Gray
-// walk and of component-local inclusion–exclusion, the chosen engine)
+// walk, of component-local inclusion–exclusion and of the circuit engine,
+// plus the node count of an already-cached circuit, and the chosen engine)
 // before counting.
 //
 // Snapshots are mutable without rewriting: apply appends a checksummed
@@ -48,6 +50,17 @@
 //	repairctl serve -db employees.cqs -addr :8347 -ops stream.ops
 //	curl 'http://localhost:8347/v1/count?q=exists+i,n+.+Employee(i,n,%27IT%27)'
 //	curl 'http://localhost:8347/v1/stats'
+//
+// With -probs FILE (per-fact "weight<TAB>Fact" annotations, e.g. from
+// workloadgen -kind prob-stream), /v1/prob serves the probability that a
+// random repair entails the query, evaluated on the compiled d-DNNF
+// circuits as an outward-rounded interval; unannotated facts weigh 1, and
+// without -probs the endpoint serves the uniform ratio count/total. There
+// is no approximate rung for weighted counting: probes past the exact
+// budget get a structured 429.
+//
+//	repairctl serve -db prob.cqs -probs weights.probs
+//	curl 'http://localhost:8347/v1/prob?q=...'
 //
 // The daemon splits the cores between two kinds of parallelism:
 // -serve-workers slots run probes concurrently (throughput under many
@@ -290,7 +303,7 @@ func run(args []string, stdout io.Writer) error {
 		eps      = fs.Float64("eps", 0.1, "FPRAS relative error ε")
 		delta    = fs.Float64("delta", 0.05, "FPRAS failure probability δ")
 		seed     = fs.Uint64("seed", 1, "FPRAS random seed")
-		exact    = fs.String("exact", "auto", "exact engine for count: auto, factorized, gray, ie or enum")
+		exact    = fs.String("exact", "auto", "exact engine for count: auto, factorized, gray, ie, compile or enum")
 		explain  = fs.Bool("explain", false, "print the exact-counting plan (per-component engine and cost) before the count")
 		opsPath  = fs.String("ops", "-", "path to the update-op stream for apply ('-' reads stdin)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the parallel exact engines (0 = GOMAXPROCS)")
@@ -308,6 +321,7 @@ func run(args []string, stdout io.Writer) error {
 		serveWorkers = fs.Int("serve-workers", 0, "probe worker slots for serve (0 = GOMAXPROCS)")
 		cacheEntries = fs.Int("cache-entries", server.DefaultCacheEntries,
 			"bound on the serve/coordinate probe cache (compiled counters, admissions, results); 0 disables it")
+		probsPath = fs.String("probs", "", "per-fact probability annotation file for serve's /v1/prob endpoint (weight<TAB>Fact lines, e.g. from workloadgen -kind prob-stream)")
 
 		workerDir    = fs.String("dir", "", "worker state directory (required for worker; holds the assignment sidecar)")
 		peers        = fs.String("peers", "", "comma-separated worker base URLs for coordinate")
@@ -387,6 +401,7 @@ func run(args []string, stdout io.Writer) error {
 			Poll:         *poll,
 			CompactBytes: *compactBytes,
 			CacheEntries: configCacheEntries(*cacheEntries),
+			ProbsPath:    *probsPath,
 		})
 	case "coordinate":
 		if *queryStr == "" {
@@ -730,12 +745,17 @@ func explainPlan(stdout io.Writer, counter *repaircount.Counter, engine repairco
 		if c.Memoized {
 			memo = ", memoized"
 		}
+		if c.CircuitNodes > 0 {
+			// A cached d-DNNF circuit reprices the compile engine at its
+			// node count (one bottom-up evaluation), not a fresh compile.
+			memo += fmt.Sprintf(", circuit=%d nodes", c.CircuitNodes)
+		}
 		ie := cost(c.IECost)
 		if c.Boxes == 0 {
 			ie = "n/a"
 		}
-		fmt.Fprintf(stdout, "  component %d: blocks=%d boxes=%d gray-cost=%s ie-cost=%s -> %s (cost %s%s)\n",
-			i, c.Blocks, c.Boxes, cost(c.GrayCost), ie, c.Engine, cost(c.Cost), memo)
+		fmt.Fprintf(stdout, "  component %d: blocks=%d boxes=%d gray-cost=%s ie-cost=%s compile-cost=%s -> %s (cost %s%s)\n",
+			i, c.Blocks, c.Boxes, cost(c.GrayCost), ie, cost(c.CompileCost), c.Engine, cost(c.Cost), memo)
 	}
 	return nil
 }

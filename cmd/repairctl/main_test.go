@@ -83,6 +83,10 @@ func TestCountExactFlag(t *testing.T) {
 	if !strings.HasPrefix(ie, "2\t") || !strings.Contains(ie, "algorithm: inclusion-exclusion") {
 		t.Fatalf("ie count output wrong: %q", ie)
 	}
+	compile := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "compile")
+	if !strings.HasPrefix(compile, "2\t") || !strings.Contains(compile, "algorithm: compile") {
+		t.Fatalf("compile count output wrong: %q", compile)
+	}
 	var sb strings.Builder
 	err := run([]string{"count", "-db", db, "-query", exampleQuery, "-exact", "bogus"}, &sb)
 	if err == nil {
@@ -126,6 +130,10 @@ func TestCountExplain(t *testing.T) {
 	ie := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "ie", "-explain")
 	if !strings.Contains(ie, "plan: engine=inclusion-exclusion") {
 		t.Fatalf("ie explain output wrong: %q", ie)
+	}
+	compile := runCmd(t, "count", "-db", db, "-query", exampleQuery, "-exact", "compile", "-explain")
+	if !strings.Contains(compile, "-> compile") || !strings.Contains(compile, "compile-cost=") {
+		t.Fatalf("forced-compile explain does not pin the engine: %q", compile)
 	}
 }
 

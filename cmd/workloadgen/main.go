@@ -14,6 +14,8 @@
 //	    -updates-out stream.ops > employees.db
 //	workloadgen -kind probe-stream -components 3 -n 2 \
 //	    -probes-out probes.txt > probes.db
+//	workloadgen -kind prob-stream -components 4 -n 3 \
+//	    -probs-out weights.probs > prob.db
 //	workloadgen -kind cluster-stream -components 8 -n 6 -updates 60 \
 //	    -updates-out stream.ops > cluster.db
 //
@@ -26,6 +28,13 @@
 // exact probes with N distinct ground atoms, shaping the query
 // working-set size (and therefore a serving cache's hit rate)
 // deterministically.
+//
+// prob-stream emits a MultiComponent base instance plus a per-fact
+// probability-annotation file ("weight<TAB>Fact" lines, deterministic
+// dyadic weights) for the weighted-counting path: feed the instance to
+// repairctl build and the annotations to repairctl serve -probs, and the
+// daemon's /v1/prob endpoint answers probability probes over the
+// annotated instance. The partition query is printed as "# query:".
 //
 // ie-heavy emits the few-boxes/large-component regime of the exact-counting
 // planner (n blocks of size 2 per component, coupled by -boxes ground
@@ -66,7 +75,7 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components | cluster-stream | probe-stream")
+		kind       = flag.String("kind", "employee", "workload kind: employee | pairs | random | ie-heavy | skewed-components | cluster-stream | probe-stream | prob-stream")
 		n          = flag.Int("n", 100, "scale (employees / blocks; blocks per component for ie-heavy and cluster-stream; max blocks per component for skewed-components)")
 		conflict   = flag.Float64("conflict", 0.3, "fraction of conflicting entities (employee kind)")
 		depts      = flag.Int("depts", 4, "number of departments (employee kind)")
@@ -81,6 +90,7 @@ func main() {
 		updConf    = flag.Float64("update-conflict", 0.5, "fraction of stream inserts landing in an existing conflict block")
 		updStream  = flag.String("updates-out", "", "path for the update stream (required with -updates)")
 		probesOut  = flag.String("probes-out", "", "path for the admission probe stream (required with -kind probe-stream)")
+		probsOut   = flag.String("probs-out", "", "path for the per-fact probability annotations (required with -kind prob-stream)")
 		distinct   = flag.Int("distinct", 0, "probe-stream query working-set size: emit this many distinct exact ground-atom probes (0 = one per component)")
 	)
 	flag.Parse()
@@ -91,6 +101,7 @@ func main() {
 		q           query.Formula
 		probes      []workload.Probe
 		probeBudget int64
+		anns        []workload.ProbAnnotation
 		err         error
 	)
 	switch *kind {
@@ -116,6 +127,17 @@ func main() {
 			break
 		}
 		db, ks, q = workload.MultiComponent(*components, *n, 2)
+	case "prob-stream":
+		if *components < 1 || *n < 1 {
+			err = fmt.Errorf("prob-stream needs -components >= 1 and -n >= 1 (have -components %d -n %d)", *components, *n)
+			break
+		}
+		if *probsOut == "" {
+			err = fmt.Errorf("-probs-out is required with -kind prob-stream (the annotations cannot share stdout with the instance)")
+			break
+		}
+		db, ks, q = workload.MultiComponent(*components, *n, 2)
+		anns = workload.ProbStream(rng, db)
 	case "probe-stream":
 		if *components < 1 || *n < 2 {
 			err = fmt.Errorf("probe-stream needs -components >= 1 and -n >= 2 (have -components %d -n %d)", *components, *n)
@@ -168,6 +190,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "workloadgen: wrote %d probes (exact-budget %d) to %s\n", len(probes), probeBudget, *probesOut)
+	}
+	if len(anns) > 0 {
+		f, err := os.Create(*probsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.FormatProbAnnotations(f, anns); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "workloadgen: wrote %d fact annotations to %s\n", len(anns), *probsOut)
 	}
 	if *updates > 0 {
 		if *updStream == "" {

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/big"
+	"sync"
+)
+
+// BigArena is a reusable arena of big.Int accumulators for bottom-up
+// circuit evaluation: a compiled d-DNNF is counted by assigning every node
+// one big-int value in topological order, and a fresh []big.Int per count
+// would allocate a slice plus one limb array per node on every recount —
+// exactly the O(|circuit|) hot path the circuits exist to make cheap. An
+// arena keeps the slice and the grown limb arrays alive between counts;
+// big.Int.Set-style writes into the recycled values reuse their storage.
+//
+// Arenas are not safe for concurrent use; grab one per evaluation from
+// GetBigArena and return it with PutBigArena (a sync.Pool, so parallel
+// component evaluations each get their own).
+type BigArena struct {
+	vals []big.Int
+}
+
+// Vals returns n zero-valued accumulators, growing the arena as needed.
+// The returned slice is valid until the next Vals call; values keep their
+// previously grown limb storage (SetInt64(0) on reuse, not reallocation).
+func (a *BigArena) Vals(n int) []big.Int {
+	if cap(a.vals) < n {
+		grown := make([]big.Int, n)
+		copy(grown, a.vals[:cap(a.vals)])
+		a.vals = grown
+	}
+	vals := a.vals[:n]
+	for i := range vals {
+		vals[i].SetInt64(0)
+	}
+	return vals
+}
+
+var bigArenaPool = sync.Pool{New: func() any { return new(BigArena) }}
+
+// GetBigArena fetches a warm arena from the shared pool.
+func GetBigArena() *BigArena { return bigArenaPool.Get().(*BigArena) }
+
+// PutBigArena returns an arena to the pool. The caller must not retain
+// slices obtained from Vals past this point.
+func PutBigArena(a *BigArena) { bigArenaPool.Put(a) }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements outward-rounded float64 interval arithmetic, the
+// numeric substrate of the weighted circuit evaluation: hardware floats
+// round to nearest, so a bottom-up evaluation of a compiled circuit under
+// per-fact probabilities accumulates rounding error that a single float64
+// silently hides. An Interval instead carries a lower and an upper bound
+// and widens every operation by one ulp in each direction, so the true
+// real-valued result is guaranteed to lie inside [Lo, Hi] — the caller
+// sees exactly how much precision the evaluation lost instead of a
+// plausible-looking wrong digit.
+
+// Interval is a closed float64 interval [Lo, Hi] guaranteed to contain the
+// exact real result of the computation that produced it.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// ExactInterval returns the degenerate interval [x, x].
+func ExactInterval(x float64) Interval { return Interval{Lo: x, Hi: x} }
+
+// down widens a lower bound by one ulp (the directed-rounding surrogate:
+// round-to-nearest is within one ulp of round-toward-−∞).
+func down(x float64) float64 {
+	if math.IsInf(x, -1) {
+		return x
+	}
+	return math.Nextafter(x, math.Inf(-1))
+}
+
+// up widens an upper bound by one ulp.
+func up(x float64) float64 {
+	if math.IsInf(x, 1) {
+		return x
+	}
+	return math.Nextafter(x, math.Inf(1))
+}
+
+// Add returns a + b, outward-rounded.
+func (a Interval) Add(b Interval) Interval {
+	return Interval{Lo: down(a.Lo + b.Lo), Hi: up(a.Hi + b.Hi)}
+}
+
+// Sub returns a − b, outward-rounded.
+func (a Interval) Sub(b Interval) Interval {
+	return Interval{Lo: down(a.Lo - b.Hi), Hi: up(a.Hi - b.Lo)}
+}
+
+// Mul returns a × b, outward-rounded. All four endpoint products are
+// considered, so negative endpoints are handled correctly even though the
+// weighted counters only ever multiply non-negative values.
+func (a Interval) Mul(b Interval) Interval {
+	p1, p2, p3, p4 := a.Lo*b.Lo, a.Lo*b.Hi, a.Hi*b.Lo, a.Hi*b.Hi
+	return Interval{
+		Lo: down(min(min(p1, p2), min(p3, p4))),
+		Hi: up(max(max(p1, p2), max(p3, p4))),
+	}
+}
+
+// Div returns a / b, outward-rounded. b must not contain zero.
+func (a Interval) Div(b Interval) (Interval, error) {
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return Interval{}, fmt.Errorf("core: interval division by %v, which contains zero", b)
+	}
+	q1, q2, q3, q4 := a.Lo/b.Lo, a.Lo/b.Hi, a.Hi/b.Lo, a.Hi/b.Hi
+	return Interval{
+		Lo: down(min(min(q1, q2), min(q3, q4))),
+		Hi: up(max(max(q1, q2), max(q3, q4))),
+	}, nil
+}
+
+// Clamp intersects the interval with [lo, hi] — used to restore invariants
+// the arithmetic cannot see (probabilities lie in [0, 1]; weighted counts
+// are non-negative). Clamping never loses the true value when the invariant
+// genuinely holds.
+func (a Interval) Clamp(lo, hi float64) Interval {
+	return Interval{Lo: math.Max(lo, math.Min(a.Lo, hi)), Hi: math.Min(hi, math.Max(a.Hi, lo))}
+}
+
+// Width returns Hi − Lo, the accumulated uncertainty.
+func (a Interval) Width() float64 { return a.Hi - a.Lo }
+
+// Mid returns the midpoint, the natural point estimate.
+func (a Interval) Mid() float64 { return a.Lo + (a.Hi-a.Lo)/2 }
+
+// Contains reports whether x lies in [Lo, Hi].
+func (a Interval) Contains(x float64) bool { return a.Lo <= x && x <= a.Hi }
+
+// String renders the interval as [lo, hi].
+func (a Interval) String() string { return fmt.Sprintf("[%.17g, %.17g]", a.Lo, a.Hi) }

@@ -178,6 +178,39 @@ func FromRepairInstance(db *relational.Database, ks *relational.KeySet) *ProbDat
 	return &out
 }
 
+// FromWeights renders a keyed database under per-fact weights (keyed by
+// fact canonical string; missing annotations weigh 1) as the
+// disjoint-independent probabilistic database of the weighted-repair
+// semantics: each block picks one of its facts with probability
+// proportional to its weight, leaving no residual mass. Weights are exact
+// rationals so the world enumeration stays an exact ground truth — this is
+// the reference the interval-arithmetic circuit evaluation of
+// internal/repairs is differentially pinned against.
+func FromWeights(db *relational.Database, ks *relational.KeySet, w map[string]*big.Rat) (*ProbDatabase, error) {
+	var out ProbDatabase
+	for _, b := range relational.Blocks(db, ks) {
+		pb := Block{Name: b.Key.Canonical()}
+		total := new(big.Rat)
+		ws := make([]*big.Rat, len(b.Facts))
+		for i, f := range b.Facts {
+			wi, ok := w[f.Canonical()]
+			if !ok {
+				wi = big.NewRat(1, 1)
+			}
+			if wi.Sign() <= 0 {
+				return nil, fmt.Errorf("probdb: fact %s has non-positive weight %s", f, wi)
+			}
+			ws[i] = wi
+			total.Add(total, wi)
+		}
+		for i, f := range b.Facts {
+			pb.Choices = append(pb.Choices, Choice{F: f, P: new(big.Rat).Quo(ws[i], total)})
+		}
+		out.Blocks = append(out.Blocks, pb)
+	}
+	return &out, nil
+}
+
 // KarpLubyUCQ estimates P(Q) for a UCQ with t samples over the complex
 // sample space of (certificate, world) pairs, where a certificate is a
 // consistent homomorphism image of some disjunct with positive

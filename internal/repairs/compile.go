@@ -1,0 +1,776 @@
+package repairs
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+	"sort"
+
+	"repaircount/internal/core"
+)
+
+// This file implements the knowledge-compilation engine EngineCompile: each
+// component of the query-interaction graph is compiled once into a smooth
+// deterministic decomposable circuit (a decision-DNNF) over its block-choice
+// variables, representing the non-entailment predicate ¬Q_c, and every
+// count thereafter is one bottom-up pass over the circuit instead of a walk
+// over the component's choice space — the compile-once/count-many trade of
+// the Calautti–Livshits–Pieris exact counting line.
+//
+// # Circuit format
+//
+// Variables are the component's digits (conflict blocks); digit d ranges
+// over the block's |B_d| choices. Nodes come in two kinds plus two
+// sentinels (id 0 = ⊥, id 1 = ⊤):
+//
+//   - decision node on digit d: one child per CONSTRAINED choice (a choice
+//     some box requirement pins) plus exactly one residual child shared by
+//     every unconstrained choice — the choices no box distinguishes are
+//     symmetric, so the circuit collapses them and the evaluator weighs the
+//     residual child by |B_d| − #constrained. Children are exhaustive and
+//     mutually exclusive over the digit's choices (a deterministic,
+//     smooth-by-weighting decision node).
+//   - AND node: the conjunction of digit-disjoint sub-circuits
+//     (decomposable by construction — conjuncts never share a variable),
+//     times a free factor: `free` lists digits no live box constrains below
+//     this point, each contributing |B_d| models (weight Σ_j w_dj).
+//
+// The compiler decides digits recursively, tracking the state
+// (undecided-digit set, live-box set): a box dies when a decided digit
+// violates one of its requirements, completes (⊥ branch — the repair
+// entails Q) when its last requirement is satisfied, and the state is
+// memoized on exactly that pair, so shared suffixes across branches
+// compile once. When the live boxes split into groups touching disjoint
+// undecided digits, the compiler emits an AND of independently compiled
+// groups (the box-interaction structure drives the decomposition). The
+// digit decided next is the one the most live boxes constrain, which kills
+// or completes boxes fastest and keeps the reachable state set small.
+//
+// Crucially the circuit never reads block SIZES — only the box tables
+// (which requirement pins which digit to which choice index). Sizes enter
+// at evaluation time, in the residual weights and free factors. A delta
+// that grows or shrinks blocks without disturbing any requirement (the
+// common update-stream case: inserted facts with fresh values join no
+// homomorphic image) therefore leaves the circuit valid: the instance
+// caches circuits under circuitFingerprint (box structure only, no sizes,
+// no engine) and a post-delta recount of a changed component is one
+// O(|circuit|) evaluation instead of an O(Π|B_d|) re-enumeration. The same
+// circuit evaluates under per-fact probabilities (CountWeighted /
+// ProbabilityOf): decision nodes sum weight×child products, AND nodes
+// multiply, in outward-rounded float64 interval arithmetic — the
+// subtraction-free evaluation d-DNNFs exist for.
+//
+// # Cost model
+//
+// Reachable states are bounded by the decided-choice prefixes (never more
+// than the Gray walk) and every state materializes at least one node, so a
+// cold compile is priced at min(grayCost, compileNodeBudget) — the node
+// budget aborts anything larger, making the price a true work bound. What
+// makes the engine win is amortization, which the planner observes rather
+// than guesses:
+//
+//   - a component whose circuit is already cached is priced at the
+//     circuit's node count (the true evaluation cost), which beats
+//     Gray/IE whenever the circuit is small — so EngineAuto routes
+//     recounts through cached circuits with no configuration;
+//   - a cold compile is chosen by EngineAuto only once the instance has
+//     observed memo reuse (memoReuse ≥ compileReuseThreshold counts served
+//     from the structural memos), i.e. when the workload demonstrably
+//     recounts, and never when it prices above the engine it displaces. A
+//     compilation that defies the price hits compileNodeBudget, fails with
+//     ErrBudget, and CountExact falls back down its usual ladder.
+
+// compileNodeBudget caps the circuit size a single compilation may
+// materialize (nodes are ~100 bytes; the cap bounds memory, and a
+// component needing more nodes than this has no business being compiled).
+const compileNodeBudget = 1 << 20
+
+// compileReuseThreshold is how many memo-served component counts the
+// instance must observe before EngineAuto considers a cold compile.
+const compileReuseThreshold = 2
+
+// Sentinel node ids: every circuit's nodes[0] is ⊥ (0 models) and nodes[1]
+// is ⊤ (1 model); real nodes start at id 2 and children always precede
+// parents, so node order is a topological order for bottom-up evaluation.
+const (
+	circFalse = int32(0)
+	circTrue  = int32(1)
+)
+
+// circAnd marks an AND node in circNode.digit.
+const circAnd = int32(-1)
+
+// circNode is one circuit node. digit ≥ 0 is a decision node on that
+// digit: kids holds one child per constrained choice (choices, ascending)
+// plus the shared residual child last. digit == circAnd is an AND node:
+// kids are digit-disjoint conjuncts and free lists the digits whose full
+// choice range multiplies in as a free factor.
+type circNode struct {
+	digit   int32
+	choices []int32
+	kids    []int32
+	free    []int32
+}
+
+// circuit is the compiled d-DNNF of one component's ¬Q_c.
+type circuit struct {
+	fp       compFP // circuitFingerprint the circuit was compiled from
+	digits   int
+	numBoxes int
+	root     int32
+	nodes    []circNode
+
+	// stats for ExplainPlan / repairctl -explain
+	decisions int
+	ands      int
+	states    int // distinct (undecided, live) states compiled
+}
+
+// circuitFingerprint hashes the component structure the circuit depends
+// on: digit count and the box requirement tables — NOT the block sizes
+// (evaluation inputs) and NOT an engine kind (circuits back every engine's
+// weighted evaluation). Two FNV-1a streams as in compFP.
+func (c *component) circuitFingerprint() compFP {
+	const (
+		off1  = uint64(14695981039346656037)
+		off2  = uint64(0x9e3779b97f4a7c15)
+		prime = uint64(1099511628211)
+	)
+	h1, h2 := off1^uint64(0xc1c), off2^uint64(0xc1c)
+	mix := func(v uint64) {
+		h1 = (h1 ^ v) * prime
+		h2 = (h2 ^ (v + 0x9e3779b97f4a7c15)) * prime
+	}
+	mix(uint64(len(c.sizes)))
+	cols := [][]int32{c.boxOff, c.reqDigit, c.reqChoice}
+	for _, col := range cols {
+		mix(uint64(len(col)))
+		for _, v := range col {
+			mix(uint64(uint32(v)))
+		}
+	}
+	return compFP{h1, h2}
+}
+
+// circuitCompiler is the transient state of one compilation.
+type circuitCompiler struct {
+	c      *component
+	stop   *core.Stop
+	budget int
+
+	uWords, bWords int
+	nodes          []circNode
+	memo           map[string]int32
+	states         int
+	keyBuf         []byte
+}
+
+func bitHas(s []uint64, i int32) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(s []uint64, i int32)      { s[i>>6] |= 1 << (uint(i) & 63) }
+
+func bitEmpty(s []uint64) bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compileComponent builds the component's circuit, failing with ErrBudget
+// when the node budget is exceeded and core.ErrStopped on cancellation.
+// Compilation is deterministic: the same box tables always yield the same
+// circuit, node for node.
+func compileComponent(c *component, nodeBudget int, stop *core.Stop) (*circuit, error) {
+	m := len(c.sizes)
+	if c.numBoxes == 0 {
+		return nil, fmt.Errorf("repairs: circuit compilation needs materialized boxes (masked fallback has none)")
+	}
+	cc := &circuitCompiler{
+		c:      c,
+		stop:   stop,
+		budget: nodeBudget,
+		uWords: (m + 63) / 64,
+		bWords: (c.numBoxes + 63) / 64,
+		memo:   map[string]int32{},
+		// ⊥ and ⊤ sentinels; evaluators special-case ids 0 and 1.
+		nodes: []circNode{{digit: circAnd}, {digit: circAnd}},
+	}
+	// The root state: all boxes live, undecided = the digits some box
+	// requires; box-free digits multiply in as a root free factor.
+	u := make([]uint64, cc.uWords)
+	b := make([]uint64, cc.bWords)
+	for _, d := range c.reqDigit {
+		bitSet(u, d)
+	}
+	for bx := 0; bx < c.numBoxes; bx++ {
+		bitSet(b, int32(bx))
+	}
+	var rootFree []int32
+	for d := int32(0); d < int32(m); d++ {
+		if !bitHas(u, d) {
+			rootFree = append(rootFree, d)
+		}
+	}
+	root, err := cc.compileState(u, b)
+	if err != nil {
+		return nil, err
+	}
+	root, err = cc.wrap(root, rootFree)
+	if err != nil {
+		return nil, err
+	}
+	circ := &circuit{
+		fp:       c.circuitFingerprint(),
+		digits:   m,
+		numBoxes: c.numBoxes,
+		root:     root,
+		nodes:    cc.nodes,
+		states:   cc.states,
+	}
+	for _, n := range circ.nodes[2:] {
+		if n.digit >= 0 {
+			circ.decisions++
+		} else {
+			circ.ands++
+		}
+	}
+	return circ, nil
+}
+
+func (cc *circuitCompiler) addNode(n circNode) (int32, error) {
+	if len(cc.nodes) >= cc.budget {
+		return 0, ErrBudget
+	}
+	cc.nodes = append(cc.nodes, n)
+	return int32(len(cc.nodes) - 1), nil
+}
+
+// key encodes the (undecided, live) state for the memo.
+func (cc *circuitCompiler) key(u, b []uint64) string {
+	buf := cc.keyBuf[:0]
+	for _, w := range u {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	for _, w := range b {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	cc.keyBuf = buf
+	return string(buf)
+}
+
+// boxReqs returns box bx's requirement range.
+func (cc *circuitCompiler) boxReqs(bx int32) (digits, choices []int32) {
+	c := cc.c
+	return c.reqDigit[c.boxOff[bx]:c.boxOff[bx+1]], c.reqChoice[c.boxOff[bx]:c.boxOff[bx+1]]
+}
+
+// wrap multiplies freed digits into a sub-circuit: an AND node carrying the
+// free factor, elided when nothing was freed or the child is ⊥.
+func (cc *circuitCompiler) wrap(sub int32, freed []int32) (int32, error) {
+	if len(freed) == 0 || sub == circFalse {
+		return sub, nil
+	}
+	n := circNode{digit: circAnd, free: freed}
+	if sub != circTrue {
+		n.kids = []int32{sub}
+	}
+	return cc.addNode(n)
+}
+
+// compileState compiles the sub-formula of the (undecided u, live b) state
+// and returns its node id, memoizing on the state. Invariant: u is exactly
+// the set of digits some live box requires.
+func (cc *circuitCompiler) compileState(u, b []uint64) (int32, error) {
+	if bitEmpty(b) {
+		return circTrue, nil
+	}
+	key := cc.key(u, b)
+	if id, ok := cc.memo[key]; ok {
+		return id, nil
+	}
+	if cc.stop.Stopped() {
+		return 0, core.ErrStopped
+	}
+	cc.states++
+
+	live := cc.liveList(b)
+
+	// AND-decomposition: boxes touching disjoint undecided digits are
+	// independent sub-problems.
+	groups := cc.splitGroups(u, live)
+	var id int32
+	var err error
+	if len(groups) > 1 {
+		kids := make([]int32, 0, len(groups))
+		for _, g := range groups {
+			gu := make([]uint64, cc.uWords)
+			gb := make([]uint64, cc.bWords)
+			for _, bx := range g {
+				bitSet(gb, bx)
+				digs, _ := cc.boxReqs(bx)
+				for _, d := range digs {
+					if bitHas(u, d) {
+						bitSet(gu, d)
+					}
+				}
+			}
+			kid, kerr := cc.compileState(gu, gb)
+			if kerr != nil {
+				return 0, kerr
+			}
+			kids = append(kids, kid)
+		}
+		id, err = cc.addNode(circNode{digit: circAnd, kids: kids})
+	} else {
+		id, err = cc.decide(u, b, live)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Re-derive the key: recursion reused keyBuf.
+	cc.memo[cc.key(u, b)] = id
+	return id, nil
+}
+
+// liveList lists the live box ids of b in ascending order.
+func (cc *circuitCompiler) liveList(b []uint64) []int32 {
+	var live []int32
+	for w, word := range b {
+		for word != 0 {
+			bit := word & (-word)
+			live = append(live, int32(w<<6)+int32(bits.TrailingZeros64(bit)))
+			word &^= bit
+		}
+	}
+	return live
+}
+
+// splitGroups partitions the live boxes into groups connected through
+// shared undecided digits (union-find over the live list).
+func (cc *circuitCompiler) splitGroups(u []uint64, live []int32) [][]int32 {
+	parent := make([]int, len(live))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	digOwner := make(map[int32]int, len(live))
+	for i, bx := range live {
+		digs, _ := cc.boxReqs(bx)
+		for _, d := range digs {
+			if !bitHas(u, d) {
+				continue
+			}
+			if o, ok := digOwner[d]; ok {
+				ri, ro := find(i), find(o)
+				if ri != ro {
+					parent[ri] = ro
+				}
+			} else {
+				digOwner[d] = i
+			}
+		}
+	}
+	groupOf := map[int]int{}
+	var groups [][]int32
+	for i, bx := range live {
+		r := find(i)
+		gi, ok := groupOf[r]
+		if !ok {
+			gi = len(groups)
+			groupOf[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], bx)
+	}
+	return groups
+}
+
+// decide emits the decision node of a connected state: the digit the most
+// live boxes constrain is decided, with one child per constrained choice
+// plus the shared residual child.
+func (cc *circuitCompiler) decide(u, b []uint64, live []int32) (int32, error) {
+	// Pick the most-constrained digit (ties: lowest index).
+	count := map[int32]int{}
+	for _, bx := range live {
+		digs, _ := cc.boxReqs(bx)
+		for _, d := range digs {
+			if bitHas(u, d) {
+				count[d]++
+			}
+		}
+	}
+	best, bestN := int32(-1), 0
+	for d, n := range count {
+		if n > bestN || (n == bestN && (best < 0 || d < best)) {
+			best, bestN = d, n
+		}
+	}
+	d := best
+
+	// Constrained choices of d among the live boxes.
+	chSet := map[int32]bool{}
+	for _, bx := range live {
+		digs, chs := cc.boxReqs(bx)
+		for i, bd := range digs {
+			if bd == d {
+				chSet[chs[i]] = true
+			}
+		}
+	}
+	choices := make([]int32, 0, len(chSet))
+	for j := range chSet {
+		choices = append(choices, j)
+	}
+	sort.Slice(choices, func(i, j int) bool { return choices[i] < choices[j] })
+
+	kids := make([]int32, 0, len(choices)+1)
+	for _, j := range choices {
+		kid, err := cc.child(u, live, d, j, false)
+		if err != nil {
+			return 0, err
+		}
+		kids = append(kids, kid)
+	}
+	resid, err := cc.child(u, live, d, -1, true)
+	if err != nil {
+		return 0, err
+	}
+	kids = append(kids, resid)
+	return cc.addNode(circNode{digit: d, choices: choices, kids: kids})
+}
+
+// child compiles the successor state after deciding digit d to constrained
+// choice j (residual=false) or to any unconstrained choice (residual=true):
+// boxes requiring another choice of d die, a box whose last undecided
+// requirement was (d, j) completes the branch to ⊥, and digits no surviving
+// box requires are freed as a multiplier on the edge.
+func (cc *circuitCompiler) child(u []uint64, live []int32, d, j int32, residual bool) (int32, error) {
+	nb := make([]uint64, cc.bWords)
+	survivors := false
+	for _, bx := range live {
+		digs, chs := cc.boxReqs(bx)
+		onD := int32(-1)
+		for i, bd := range digs {
+			if bd == d {
+				onD = chs[i]
+				break
+			}
+		}
+		if onD >= 0 {
+			if residual || onD != j {
+				continue // requirement violated: the box dies
+			}
+			// Requirement satisfied; does the box still pin an undecided digit?
+			remaining := false
+			for _, bd := range digs {
+				if bd != d && bitHas(u, bd) {
+					remaining = true
+					break
+				}
+			}
+			if !remaining {
+				// The box is fully satisfied: every repair of this branch
+				// entails the query, so it contributes nothing to ¬Q_c.
+				return circFalse, nil
+			}
+		}
+		bitSet(nb, bx)
+		survivors = true
+	}
+	if !survivors {
+		// All boxes died: the rest of the digits are free.
+		var freed []int32
+		for dd := int32(0); dd < int32(len(cc.c.sizes)); dd++ {
+			if dd != d && bitHas(u, dd) {
+				freed = append(freed, dd)
+			}
+		}
+		return cc.wrap(circTrue, freed)
+	}
+	nu := make([]uint64, cc.uWords)
+	for w, word := range nb {
+		for word != 0 {
+			bit := word & (-word)
+			bx := int32(w<<6) + int32(bits.TrailingZeros64(bit))
+			word &^= bit
+			digs, _ := cc.boxReqs(bx)
+			for _, bd := range digs {
+				if bd != d && bitHas(u, bd) {
+					bitSet(nu, bd)
+				}
+			}
+		}
+	}
+	var freed []int32
+	for dd := int32(0); dd < int32(len(cc.c.sizes)); dd++ {
+		if dd != d && bitHas(u, dd) && !bitHas(nu, dd) {
+			freed = append(freed, dd)
+		}
+	}
+	sub, err := cc.compileState(nu, nb)
+	if err != nil {
+		return 0, err
+	}
+	return cc.wrap(sub, freed)
+}
+
+// count evaluates #¬Q_c bottom-up under the component's CURRENT block
+// sizes — the circuit is size-independent, so any component with the same
+// circuitFingerprint (same box tables, possibly resized blocks) evaluates
+// against the same circuit in O(|circuit|) big-int operations.
+func (ci *circuit) count(c *component) *big.Int {
+	arena := core.GetBigArena()
+	defer core.PutBigArena(arena)
+	vals := arena.Vals(len(ci.nodes))
+	vals[circTrue].SetInt64(1)
+	var tmp big.Int
+	for id := 2; id < len(ci.nodes); id++ {
+		n := &ci.nodes[id]
+		v := &vals[id]
+		if n.digit >= 0 {
+			v.SetInt64(0)
+			for _, k := range n.kids[:len(n.kids)-1] {
+				v.Add(v, &vals[k])
+			}
+			if resid := int64(c.sizes[n.digit]) - int64(len(n.choices)); resid > 0 {
+				tmp.SetInt64(resid)
+				tmp.Mul(&tmp, &vals[n.kids[len(n.kids)-1]])
+				v.Add(v, &tmp)
+			}
+		} else {
+			v.SetInt64(1)
+			for _, k := range n.kids {
+				v.Mul(v, &vals[k])
+			}
+			for _, d := range n.free {
+				tmp.SetInt64(int64(c.sizes[d]))
+				v.Mul(v, &tmp)
+			}
+		}
+	}
+	return new(big.Int).Set(&vals[ci.root])
+}
+
+// weighted evaluates the circuit under per-slot weights (slot =
+// c.slotOff[d] + choice) in outward-rounded interval arithmetic. The
+// result is the weighted model count of ¬Q_c: Σ over non-entailing choice
+// vectors of Π_d w[slot(d, vector_d)]. Subtraction-free by construction.
+func (ci *circuit) weighted(c *component, w []core.Interval) core.Interval {
+	vals := make([]core.Interval, len(ci.nodes))
+	vals[circTrue] = core.ExactInterval(1)
+	for id := 2; id < len(ci.nodes); id++ {
+		n := &ci.nodes[id]
+		if n.digit >= 0 {
+			d := n.digit
+			v := core.ExactInterval(0)
+			for i, j := range n.choices {
+				v = v.Add(w[c.slotOff[d]+j].Mul(vals[n.kids[i]]))
+			}
+			// The residual child covers every unconstrained choice: weigh it
+			// by their summed weight (the unweighted |B_d| − #constrained).
+			residW := core.ExactInterval(0)
+			ptr := 0
+			for j := int32(0); j < c.sizes[d]; j++ {
+				if ptr < len(n.choices) && n.choices[ptr] == j {
+					ptr++
+					continue
+				}
+				residW = residW.Add(w[c.slotOff[d]+j])
+			}
+			vals[id] = v.Add(residW.Mul(vals[n.kids[len(n.kids)-1]]))
+		} else {
+			v := core.ExactInterval(1)
+			for _, k := range n.kids {
+				v = v.Mul(vals[k])
+			}
+			for _, d := range n.free {
+				s := core.ExactInterval(0)
+				for j := int32(0); j < c.sizes[d]; j++ {
+					s = s.Add(w[c.slotOff[d]+j])
+				}
+				v = v.Mul(s)
+			}
+			vals[id] = v
+		}
+	}
+	return vals[ci.root]
+}
+
+// storeCircuit caches a compiled circuit under its structural fingerprint,
+// bounding the cache like the count memo.
+func (in *Instance) storeCircuit(circ *circuit) {
+	if len(in.circMemo) > 1<<10 {
+		in.circMemo = nil // bound the cache; it refills structurally
+	}
+	if in.circMemo == nil {
+		in.circMemo = map[compFP]*circuit{}
+	}
+	in.circMemo[circ.fp] = circ
+}
+
+// circuitFor returns the component's circuit, compiling and caching on
+// first use. Sequential-path helper (the parallel executor compiles in its
+// workers and publishes through runPlanned's barrier instead).
+func (in *Instance) circuitFor(c *component, stop *core.Stop) (*circuit, error) {
+	if circ, ok := in.circMemo[c.circuitFingerprint()]; ok {
+		in.memoReuse++
+		return circ, nil
+	}
+	circ, err := compileComponent(c, compileNodeBudget, stop)
+	if err != nil {
+		return nil, err
+	}
+	in.storeCircuit(circ)
+	return circ, nil
+}
+
+// weightedFactors evaluates one component under per-fact weights: the
+// weighted non-entailment count and the component's weighted choice space
+// Π_d (Σ_j w_dj).
+func (in *Instance) weightedFactors(c *component, w []float64, stop *core.Stop) (nonent, space core.Interval, err error) {
+	circ, err := in.circuitFor(c, stop)
+	if err != nil {
+		return core.Interval{}, core.Interval{}, err
+	}
+	slotW := make([]core.Interval, len(c.ords))
+	for s, ord := range c.ords {
+		slotW[s] = core.ExactInterval(w[ord])
+	}
+	space = core.ExactInterval(1)
+	for d := range c.sizes {
+		sum := core.ExactInterval(0)
+		for s := c.slotOff[d]; s < c.slotOff[d+1]; s++ {
+			sum = sum.Add(slotW[s])
+		}
+		space = space.Mul(sum)
+	}
+	return circ.weighted(c, slotW), space, nil
+}
+
+// checkWeights validates a per-fact weight vector against the instance.
+func (in *Instance) checkWeights(w []float64) error {
+	if len(w) != in.Idx.NumFacts() {
+		return fmt.Errorf("repairs: weight vector has %d entries, instance has %d facts", len(w), in.Idx.NumFacts())
+	}
+	for i, x := range w {
+		if !(x >= 0) { // also rejects NaN
+			return fmt.Errorf("repairs: fact %d has invalid weight %v (want ≥ 0)", i, x)
+		}
+	}
+	return nil
+}
+
+// ProbabilityOf computes the probability that a random repair entails the
+// query when every block independently picks one of its facts with odds
+// proportional to the per-fact weights w (indexed by fact ordinal; a
+// uniform vector recovers #Q/|rep|, the relative frequency of §1.1 — and
+// the disjoint-independent probabilistic-database semantics of
+// internal/probdb with zero residual mass). The result is an outward-
+// rounded interval guaranteed to contain the exact probability:
+//
+//	P(Q) = 1 − Π_c ( W¬_c / Π_d Σ_j w_dj ),
+//
+// every W¬_c one subtraction-free evaluation of the component's compiled
+// circuit. Blocks outside every component (irrelevant, non-conflicting, or
+// untouched by any box) cancel from the ratio exactly. Circuits are cached
+// across calls and deltas (circuitFingerprint), so repeated probability
+// probes are circuit-linear. Requires the box path (existential positive
+// query, materialized boxes).
+func (in *Instance) ProbabilityOf(w []float64) (core.Interval, error) {
+	in.refresh()
+	if !in.IsEP {
+		return core.Interval{}, fmt.Errorf("repairs: ProbabilityOf needs an existential positive query, have %s", in.Q)
+	}
+	if err := in.checkWeights(w); err != nil {
+		return core.Interval{}, err
+	}
+	f := in.factorization(0)
+	if f.alwaysTrue {
+		return core.ExactInterval(1), nil
+	}
+	if f.masked {
+		return core.Interval{}, fmt.Errorf("repairs: ProbabilityOf unavailable: homomorphism space exceeded the box budget (masked fallback)")
+	}
+	ratio := core.ExactInterval(1)
+	for i := range f.comps {
+		nonent, space, err := in.weightedFactors(&f.comps[i], w, nil)
+		if err != nil {
+			return core.Interval{}, err
+		}
+		q, err := nonent.Div(space)
+		if err != nil {
+			return core.Interval{}, fmt.Errorf("repairs: component %d has zero total weight: %w", i, err)
+		}
+		ratio = ratio.Mul(q)
+	}
+	return core.ExactInterval(1).Sub(ratio).Clamp(0, 1), nil
+}
+
+// CountWeighted computes the weighted model count of the entailing
+// repairs: Σ over repairs r entailing Q of Π_{fact ∈ r} w[fact], the
+// unnormalized form of ProbabilityOf (uniform weight 1 everywhere recovers
+// the exact count #Q as an interval). Same engine, same requirements.
+func (in *Instance) CountWeighted(w []float64) (core.Interval, error) {
+	in.refresh()
+	if !in.IsEP {
+		return core.Interval{}, fmt.Errorf("repairs: CountWeighted needs an existential positive query, have %s", in.Q)
+	}
+	if err := in.checkWeights(w); err != nil {
+		return core.Interval{}, err
+	}
+	f := in.factorization(0)
+	if f.masked {
+		return core.Interval{}, fmt.Errorf("repairs: CountWeighted unavailable: homomorphism space exceeded the box budget (masked fallback)")
+	}
+	// outer = Π Σ-weights over every block NOT inside a component; the
+	// component blocks contribute Π_c space_c − Π_c W¬_c.
+	member := map[string]bool{}
+	for i := range f.comps {
+		for _, ci := range f.comps[i].blocks {
+			member[f.conf[ci].Key.Canonical()] = true
+		}
+	}
+	outer := core.ExactInterval(1)
+	for _, b := range in.Blocks {
+		if member[b.Key.Canonical()] {
+			continue
+		}
+		sum := core.ExactInterval(0)
+		for _, fact := range b.Facts {
+			ord, ok := in.Idx.OrdinalOf(fact)
+			if !ok {
+				return core.Interval{}, fmt.Errorf("repairs: block fact %s missing from instance index", fact)
+			}
+			sum = sum.Add(core.ExactInterval(w[ord]))
+		}
+		outer = outer.Mul(sum)
+	}
+	spaces := core.ExactInterval(1)
+	nonents := core.ExactInterval(1)
+	for i := range f.comps {
+		nonent, space, err := in.weightedFactors(&f.comps[i], w, nil)
+		if err != nil {
+			return core.Interval{}, err
+		}
+		spaces = spaces.Mul(space)
+		nonents = nonents.Mul(nonent)
+	}
+	if f.alwaysTrue {
+		nonents = core.ExactInterval(0)
+	}
+	total := spaces.Sub(nonents)
+	if total.Lo < 0 {
+		total.Lo = 0
+	}
+	return outer.Mul(total), nil
+}

@@ -1,0 +1,398 @@
+package repairs
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repaircount/internal/probdb"
+	"repaircount/internal/relational"
+	"repaircount/internal/workload"
+)
+
+func mustFact(t *testing.T, src string) relational.Fact {
+	t.Helper()
+	f, err := relational.ParseFact(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// Differential suite for the knowledge-compilation engine: EngineCompile
+// must be bit-identical to enumeration, the planner, the Gray walk and
+// component-local IE on every instance it accepts — cold, warm, after
+// randomized update streams (the circuit-reuse path), and across worker
+// counts — and its weighted evaluation must bracket the exact
+// repair-probability sums of internal/probdb.
+
+func TestCompileDifferentialCorpus(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for ii, in := range randomInstances(t, seed) {
+			want := bruteCount(in)
+			for _, workers := range []int{1, 4} {
+				got, err := in.CountCompile(0, workers)
+				if err != nil {
+					t.Fatalf("seed %d instance %d workers %d: CountCompile: %v", seed, ii, workers, err)
+				}
+				if got.Int64() != want {
+					t.Fatalf("seed %d instance %d workers %d: CountCompile = %s, brute = %d", seed, ii, workers, got, want)
+				}
+			}
+			// Warm path: the second count must serve the cached circuits and
+			// still agree.
+			again, err := in.CountCompile(0, 1)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: warm CountCompile: %v", seed, ii, err)
+			}
+			if again.Int64() != want {
+				t.Fatalf("seed %d instance %d: warm CountCompile = %s, brute = %d", seed, ii, again, want)
+			}
+		}
+	}
+}
+
+func TestCompileStructuredWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		db   func() (*Instance, *big.Int)
+	}{
+		{"MultiComponent", func() (*Instance, *big.Int) {
+			db, ks, q := workload.MultiComponent(3, 3, 3)
+			in := MustInstance(db, ks, q)
+			want, err := in.CountGray(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return in, want
+		}},
+		{"IEHeavy", func() (*Instance, *big.Int) {
+			db, ks, q := workload.IEHeavy(2, 10, 3)
+			return MustInstance(db, ks, q), workload.IEHeavyCount(2, 10, 3)
+		}},
+		{"SkewedComponents", func() (*Instance, *big.Int) {
+			db, ks, q := workload.SkewedComponents(4, 8, 1.2)
+			return MustInstance(db, ks, q), workload.SkewedComponentsCount(4, 8, 1.2)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, want := tc.db()
+			for _, workers := range []int{1, 4} {
+				got, err := in.CountCompile(0, workers)
+				if err != nil {
+					t.Fatalf("workers %d: CountCompile: %v", workers, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Fatalf("workers %d: CountCompile = %s, want %s", workers, got, want)
+				}
+			}
+			// Forced component-IE corroborates where it fits its budget (the
+			// skewed head component's 56 boxes legitimately price it out).
+			if ie, err := in.CountCompIE(0, 1); err == nil {
+				if ie.Cmp(want) != 0 {
+					t.Fatalf("CountCompIE = %s, want %s", ie, want)
+				}
+			} else if err != ErrBudget {
+				t.Fatalf("CountCompIE: %v", err)
+			}
+		})
+	}
+}
+
+// IEHeavy at 40 blocks per component has a 2^40 choice space — the Gray
+// walk is priced out — yet its circuit is tiny (the boxes AND-split into
+// per-segment chains after block 0 is decided). The compile engine must
+// count it exactly without tripping any budget: node budgets are enforced
+// during compilation, never derived from the choice space a priori.
+func TestCompileHugeSpaceTinyCircuit(t *testing.T) {
+	db, ks, q := workload.IEHeavy(1, 40, 4)
+	in := MustInstance(db, ks, q)
+	got, err := in.CountCompile(0, 1)
+	if err != nil {
+		t.Fatalf("CountCompile: %v", err)
+	}
+	want := workload.IEHeavyCount(1, 40, 4)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("CountCompile = %s, want %s", got, want)
+	}
+	plan, err := in.ExplainPlan(EngineCompile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range plan.Components {
+		if cp.CircuitNodes == 0 {
+			t.Fatalf("component %d: no cached circuit after CountCompile", i)
+		}
+		if cp.CircuitNodes > 4096 {
+			t.Fatalf("component %d: circuit has %d nodes; expected a tiny circuit for the segment-chain structure", i, cp.CircuitNodes)
+		}
+		if cp.CompileCost != int64(cp.CircuitNodes) {
+			t.Fatalf("component %d: cached CompileCost = %d, want node count %d", i, cp.CompileCost, cp.CircuitNodes)
+		}
+	}
+}
+
+// Post-delta recounts through cached circuits must stay bit-identical to a
+// forced Gray recount across a randomized update stream, and size-only
+// deltas (fresh-value conflict inserts) must actually reuse the cached
+// circuit (same circuitFingerprint, no recompilation).
+func TestCompileDeltaReuse(t *testing.T) {
+	db, ks, q := workload.MultiComponent(4, 3, 3)
+	in := MustInstance(db, ks, q)
+	if _, err := in.CountCompile(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	circuits := len(in.circMemo)
+	if circuits == 0 {
+		t.Fatal("no circuits cached after CountCompile")
+	}
+
+	rng := rand.New(rand.NewPCG(42, 7))
+	stream := workload.UpdateStream(rng, db, ks, 40, 0.7)
+	for i, op := range stream {
+		if _, err := in.Apply(Delta{Del: op.Del, Fact: op.Fact}); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i%5 != 4 {
+			continue
+		}
+		got, err := in.CountCompile(0, 2)
+		if err != nil {
+			t.Fatalf("op %d: CountCompile: %v", i, err)
+		}
+		want, err := in.CountGray(0, 1)
+		if err != nil {
+			t.Fatalf("op %d: CountGray: %v", i, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("op %d: CountCompile = %s, CountGray = %s", i, got, want)
+		}
+	}
+	if len(in.circMemo) < circuits {
+		t.Fatalf("circuit cache shrank: %d -> %d", circuits, len(in.circMemo))
+	}
+}
+
+// A fresh-value insert grows a block without touching the box tables: the
+// component's circuitFingerprint must not move, so the cached circuit
+// serves the recount; a value that joins the homomorphic images must move
+// it.
+func TestCircuitFingerprintSizeInvariance(t *testing.T) {
+	db, ks, q := workload.MultiComponent(1, 3, 3)
+	in := MustInstance(db, ks, q)
+	f := in.factorization(0)
+	if len(f.comps) != 1 {
+		t.Fatalf("expected 1 component, got %d", len(f.comps))
+	}
+	before := f.comps[0].circuitFingerprint()
+
+	if _, err := in.Apply(Insert(mustFact(t, "C0('k0', 'zz')"))); err != nil {
+		t.Fatal(err)
+	}
+	f2 := in.factorization(0)
+	if got := f2.comps[0].circuitFingerprint(); got != before {
+		t.Fatalf("size-only delta moved the circuit fingerprint: %v -> %v", before, got)
+	}
+	// The count fingerprint (sizes included) must move: the counts differ.
+	if f.comps[0].fingerprint(EngineCompile) == f2.comps[0].fingerprint(EngineCompile) {
+		t.Fatal("size-only delta did not move the count fingerprint")
+	}
+
+	// Inserting a fact with value 'v0' under a fresh key adds a block and
+	// new homomorphic images: the structure, and the fingerprint, change.
+	if _, err := in.Apply(Insert(mustFact(t, "C0('q9', 'v0')")), Insert(mustFact(t, "C0('q9', 'zz')"))); err != nil {
+		t.Fatal(err)
+	}
+	f3 := in.factorization(0)
+	if got := f3.comps[0].circuitFingerprint(); got == before {
+		t.Fatal("structural delta did not move the circuit fingerprint")
+	}
+}
+
+// After the instance observes memo reuse, EngineAuto adopts compilation
+// for changed components on its own: a recount following a delta both
+// stays exact and leaves a compiled circuit behind.
+func TestCompileAutoAdoption(t *testing.T) {
+	db, ks, q := workload.MultiComponent(3, 3, 3)
+	in := MustInstance(db, ks, q)
+	for i := 0; i < 3; i++ {
+		if _, _, err := in.CountExact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.memoReuse < compileReuseThreshold {
+		t.Fatalf("memoReuse = %d after repeated counts, want >= %d", in.memoReuse, compileReuseThreshold)
+	}
+	if _, err := in.Apply(Insert(mustFact(t, "C0('k0', 'fresh')"))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.CountFactorized(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := in.CountGray(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("auto recount = %s, CountGray = %s", got, want)
+	}
+	if len(in.circMemo) == 0 {
+		t.Fatal("auto planner did not compile the changed component despite observed reuse")
+	}
+}
+
+// CountCompile must refuse the masked path (no box tables to compile).
+func TestCompileMaskedUnavailable(t *testing.T) {
+	db, ks, q := workload.MultiComponent(2, 2, 2)
+	in := MustInstance(db, ks, q)
+	if _, err := in.countFactorized(0, 1, -1, EngineCompile, nil); err == nil {
+		t.Fatal("forced compile on the masked path succeeded; want an error")
+	}
+}
+
+// The weighted evaluation must bracket the exact ground truth: the
+// interval from ProbabilityOf contains probdb's world-enumeration
+// probability, and CountWeighted under all-ones weights contains #Q.
+func TestWeightedAgainstProbDB(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		for ii, in := range randomInstances(t, seed) {
+			// Dyadic weights (k/8) are exact in float64 AND as rationals, so
+			// the two pipelines see literally the same numbers.
+			rng := rand.New(rand.NewPCG(seed, 99))
+			w := make([]float64, in.Idx.NumFacts())
+			wr := map[string]*big.Rat{}
+			for _, b := range in.Blocks {
+				for _, f := range b.Facts {
+					num := int64(1 + rng.IntN(8))
+					ord, ok := in.Idx.OrdinalOf(f)
+					if !ok {
+						t.Fatalf("fact %s missing from index", f)
+					}
+					w[ord] = float64(num) / 8
+					wr[f.Canonical()] = big.NewRat(num, 8)
+				}
+			}
+			got, err := in.ProbabilityOf(w)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: ProbabilityOf: %v", seed, ii, err)
+			}
+			pd, err := probdb.FromWeights(in.DB, in.Keys, wr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := pd.QueryProbability(in.Q)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: QueryProbability: %v", seed, ii, err)
+			}
+			wantF, _ := want.Float64()
+			const slack = 1e-12 // want.Float64 itself rounds once
+			if wantF < got.Lo-slack || wantF > got.Hi+slack {
+				t.Fatalf("seed %d instance %d: ProbabilityOf = %v does not bracket exact %v", seed, ii, got, wantF)
+			}
+			if got.Width() > 1e-9 {
+				t.Fatalf("seed %d instance %d: interval too wide: %v", seed, ii, got)
+			}
+
+			// All-ones weights: the weighted count is the exact count.
+			ones := make([]float64, in.Idx.NumFacts())
+			for i := range ones {
+				ones[i] = 1
+			}
+			wc, err := in.CountWeighted(ones)
+			if err != nil {
+				t.Fatalf("seed %d instance %d: CountWeighted: %v", seed, ii, err)
+			}
+			exact := float64(bruteCount(in))
+			if !wc.Contains(exact) {
+				t.Fatalf("seed %d instance %d: CountWeighted(1..1) = %v does not contain #Q = %g", seed, ii, wc, exact)
+			}
+
+			// Uniform probability = relative frequency.
+			up, err := in.ProbabilityOf(ones)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := in.RelativeFrequency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rfF, _ := rf.Float64()
+			if rfF < up.Lo-slack || rfF > up.Hi+slack {
+				t.Fatalf("seed %d instance %d: uniform ProbabilityOf = %v vs relative frequency %v", seed, ii, up, rfF)
+			}
+		}
+	}
+}
+
+// Weighted evaluation must survive deltas: the circuits recompile or
+// reuse transparently and keep bracketing the ground truth.
+func TestWeightedAfterDeltas(t *testing.T) {
+	db, ks, q := workload.MultiComponent(2, 2, 3)
+	in := MustInstance(db, ks, q)
+	step := func() {
+		w := make([]float64, in.Idx.NumFacts())
+		wr := map[string]*big.Rat{}
+		for i := range w {
+			num := int64(1 + i%4)
+			w[i] = float64(num) / 4
+		}
+		for _, b := range in.Blocks {
+			for _, f := range b.Facts {
+				ord, _ := in.Idx.OrdinalOf(f)
+				wr[f.Canonical()] = big.NewRat(int64(1+int(ord)%4), 4)
+			}
+		}
+		got, err := in.ProbabilityOf(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := probdb.FromWeights(in.DB, in.Keys, wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pd.QueryProbability(in.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantF, _ := want.Float64()
+		if wantF < got.Lo-1e-12 || wantF > got.Hi+1e-12 {
+			t.Fatalf("ProbabilityOf = %v does not bracket exact %v", got, wantF)
+		}
+	}
+	step()
+	if _, err := in.Apply(Insert(mustFact(t, "C0('k0', 'w0')"))); err != nil {
+		t.Fatal(err)
+	}
+	step()
+	if _, err := in.Apply(Delete(mustFact(t, "C1('k1', 'v2')"))); err != nil {
+		t.Fatal(err)
+	}
+	step()
+}
+
+func TestCompileEngineParsing(t *testing.T) {
+	k, err := ParseEngine("compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != EngineCompile {
+		t.Fatalf("ParseEngine(compile) = %v", k)
+	}
+	if EngineCompile.String() != "compile" {
+		t.Fatalf("EngineCompile.String() = %q", EngineCompile)
+	}
+	db := relational.MustDatabase(
+		mustFact(t, "C0('k0', 'v0')"), mustFact(t, "C0('k0', 'v1')"))
+	ks := relational.Keys(map[string]int{"C0": 1})
+	plan, err := MustInstance(db, ks, mustQuery(t, "C0('k0', 'v0')")).ExplainPlan(EngineCompile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range plan.Components {
+		if cp.Engine != EngineCompile {
+			t.Fatalf("forced compile plan assigned %v", cp.Engine)
+		}
+	}
+}

@@ -242,6 +242,16 @@ func (in *Instance) CountCompIE(budget, workers int) (*big.Int, error) {
 	return in.countFactorized(budget, workers, 0, EngineCompIE, nil)
 }
 
+// CountCompile is CountFactorizedParallel with every component forced onto
+// the knowledge-compilation engine (compile.go): each component is compiled
+// into a d-DNNF circuit — cached under its structural fingerprint, so
+// repeated counts and post-delta recounts reuse it — and counted in one
+// bottom-up pass. It fails on the masked path (no box tables to compile)
+// and with ErrBudget when a compilation exceeds its node budget.
+func (in *Instance) CountCompile(budget, workers int) (*big.Int, error) {
+	return in.countFactorized(budget, workers, 0, EngineCompile, nil)
+}
+
 func (in *Instance) countFactorized(budget, workers, homBudget int, force EngineKind, stop *core.Stop) (*big.Int, error) {
 	f, nonent, err := in.nonEntailment(budget, workers, homBudget, force, stop)
 	if err != nil {
@@ -272,7 +282,7 @@ func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKi
 	if f.alwaysTrue {
 		return f, big.NewInt(0), nil
 	}
-	engines, err := planEngines(f, force)
+	engines, err := in.planEngines(f, force)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -289,10 +299,24 @@ func (in *Instance) nonEntailment(budget, workers, homBudget int, force EngineKi
 	if a.budget > int64(budget) {
 		return nil, nil, ErrBudget
 	}
+	// Observed-reuse signal for the compile arbitration (plan.go): every
+	// component count served from the structural memo — and every compiled
+	// circuit reused — is evidence the workload recounts, which is what
+	// makes a cold compile worth its price.
+	for i := range f.comps {
+		if a.known[i] != nil || (a.circs != nil && a.circs[i] != nil) {
+			in.memoReuse++
+		}
+	}
 
-	perComp, bigRes, err := in.runPlanned(f, engines, a.known, workers, homBudget, stop)
+	perComp, bigRes, newCircs, err := in.runPlanned(f, engines, a.known, a.circs, workers, homBudget, stop)
 	if err != nil {
 		return nil, nil, err
+	}
+	for _, circ := range newCircs {
+		if circ != nil {
+			in.storeCircuit(circ)
+		}
 	}
 
 	nonent := new(big.Int).Set(f.untouched)

@@ -1,0 +1,141 @@
+package repairs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/big"
+	"sort"
+)
+
+// This file derives instance-level structural fingerprints from the
+// factorization and the planner report, for serving layers that want to
+// recognize "the same counting problem" across different query texts
+// (result sharing in the probe cache) and "the same plan" across instance
+// versions (admission re-pricing). Both are one-way soundness contracts:
+// equal fingerprints imply equal counts (respectively equal plans); unequal
+// fingerprints imply nothing, so a consumer that misses merely recomputes.
+
+// writeBig mixes a big.Int into the hash, length-prefixed so adjacent
+// values cannot alias.
+func writeBig(h interface{ Write([]byte) (int, error) }, x *big.Int) {
+	b := x.Bytes()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+	h.Write(n[:])
+	h.Write(b)
+}
+
+// writeU64 mixes one machine word into the hash.
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	h.Write(n[:])
+}
+
+// CountFingerprint returns a digest that determines the exact count: two
+// instances (even built from different query texts, or the same query at
+// different versions) with equal fingerprints have equal #CQA values. It
+// digests everything the factorized assembly
+//
+//	#Q = outer × (inner − Π_c #¬Q_c × untouched)
+//
+// consumes: the relevant/irrelevant space split, the untouched-block
+// factor, the always-true flag, and every component's structural
+// fingerprint (sizes and box tables — the exact inputs the per-component
+// engines count from, independent of fact identities). Component
+// fingerprints are sorted before mixing, so two factorizations that
+// enumerate the same components in different orders still agree.
+//
+// ok is false when no sound structure-only fingerprint exists: non-∃FO⁺
+// queries, and the masked fallback (a masked component's count depends on
+// facts outside the component, so its structure alone does not determine
+// it — the same reason the structural memo skips it).
+func (in *Instance) CountFingerprint() (fp string, ok bool) {
+	in.refresh()
+	if !in.IsEP {
+		return "", false
+	}
+	f := in.factorization(0)
+	if f.masked {
+		return "", false
+	}
+	h := fnv.New128a()
+	writeBig(h, f.split.inner)
+	writeBig(h, f.split.outer)
+	writeBig(h, f.untouched)
+	if f.alwaysTrue {
+		writeU64(h, 1)
+		return fmt.Sprintf("c%x", h.Sum(nil)), true
+	}
+	writeU64(h, 0)
+	fps := make([]compFP, len(f.comps))
+	for i := range f.comps {
+		// EngineAuto is a neutral salt here: no concrete engine ever keys
+		// the memo with it, and #¬Q_c does not depend on which engine
+		// counts it.
+		fps[i] = f.comps[i].fingerprint(EngineAuto)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		if fps[i][0] != fps[j][0] {
+			return fps[i][0] < fps[j][0]
+		}
+		return fps[i][1] < fps[j][1]
+	})
+	for _, c := range fps {
+		writeU64(h, c[0])
+		writeU64(h, c[1])
+	}
+	return fmt.Sprintf("c%x", h.Sum(nil)), true
+}
+
+// PlanFingerprint returns a digest of the EngineAuto planner report — the
+// overall engine, the flags, the budget, and every component's costs and
+// assignment. Equal fingerprints mean the planner would hand a serving
+// layer the identical ExplainPlan report, so anything priced purely from
+// that report (the exact admission rung: AlwaysTrue or Budget against the
+// exact budget) is reusable across instance versions without re-planning.
+// The approximate rung is NOT covered: its Theorem 6.2 sample bound
+// depends on the active domain, which this fingerprint deliberately does
+// not digest — consumers must re-price non-exact admissions.
+//
+// ok is false for non-∃FO⁺ queries, whose single-rung admission is priced
+// from the repair total rather than a plan.
+func (in *Instance) PlanFingerprint() (fp string, ok bool) {
+	in.refresh()
+	if !in.IsEP {
+		return "", false
+	}
+	p, err := in.ExplainPlan(EngineAuto)
+	if err != nil || p == nil || p.Engine == EngineEnumFO {
+		return "", false
+	}
+	h := fnv.New128a()
+	writeU64(h, uint64(p.Engine))
+	flags := uint64(0)
+	if p.AlwaysTrue {
+		flags |= 1
+	}
+	if p.Masked {
+		flags |= 2
+	}
+	writeU64(h, flags)
+	writeU64(h, uint64(p.Budget))
+	writeU64(h, uint64(len(p.Components)))
+	for _, c := range p.Components {
+		writeU64(h, uint64(c.Blocks))
+		writeU64(h, uint64(c.Boxes))
+		writeU64(h, uint64(c.GrayCost))
+		writeU64(h, uint64(c.IECost))
+		writeU64(h, uint64(c.CompileCost))
+		writeU64(h, uint64(c.CircuitNodes))
+		writeU64(h, uint64(c.Engine))
+		writeU64(h, uint64(c.Cost))
+		if c.Memoized {
+			writeU64(h, 1)
+		} else {
+			writeU64(h, 0)
+		}
+	}
+	return fmt.Sprintf("p%x", h.Sum(nil)), true
+}

@@ -53,11 +53,16 @@ func (in *Instance) Apply(deltas ...Delta) (int, error) {
 // substrate (the number of successful mutations since construction).
 func (in *Instance) Version() uint64 { return in.live.Version() }
 
-// ResetComponentMemo drops the structural per-component count memo. The
-// memo is sound across deltas (it is keyed by component structure, not
-// version), so the only reasons to drop it are bounding memory and
-// benchmarking cold enumeration.
-func (in *Instance) ResetComponentMemo() { in.compMemo = nil }
+// ResetComponentMemo drops the structural per-component memos — counts and
+// compiled circuits — and the observed-reuse signal. The memos are sound
+// across deltas (they are keyed by component structure, not version), so
+// the only reasons to drop them are bounding memory and benchmarking cold
+// enumeration.
+func (in *Instance) ResetComponentMemo() {
+	in.compMemo = nil
+	in.circMemo = nil
+	in.memoReuse = 0
+}
 
 // refresh resynchronizes the instance with the live substrate: when the
 // version moved, the block-sequence view is re-read and every memoized or

@@ -19,20 +19,23 @@ import (
 // runPlanned executes a planned factorization: every component not already
 // known from the memo contributes jobs to one flattened (component, shard)
 // job space — prefix shards for the Gray and masked walks, exactly one job
-// for a component-local inclusion–exclusion pass — and workers steal jobs
-// from an atomic queue, so a heterogeneous mix of engines load-balances the
-// same way a homogeneous one does. Walk results accumulate in per-component
-// machine-word accumulators; IE results land in bigRes (IE counts the
-// complement against the big-int choice space, so it is not bounded by a
-// machine word). Exactly one worker runs a given IE job, so the bigRes
-// slot needs no lock; the WaitGroup barrier publishes it.
+// for a component-local inclusion–exclusion pass or a circuit
+// compile-and-count — and workers steal jobs from an atomic queue, so a
+// heterogeneous mix of engines load-balances the same way a homogeneous one
+// does. Walk results accumulate in per-component machine-word accumulators;
+// IE and circuit results land in bigRes (both count against the big-int
+// choice space, so they are not bounded by a machine word). Exactly one
+// worker runs a given IE or circuit job, so the bigRes and newCircs slots
+// need no lock; the WaitGroup barrier publishes them. circs supplies cached
+// circuits per component (nil entries compile cold); circuits compiled by
+// workers come back in newCircs for the caller to cache after the barrier.
 //
 // stop is the run's cooperative cancellation flag (nil never fires): it is
 // polled between jobs and, at a coarse stride, inside the Gray/masked
-// walkers and the IE DFS; a fired stop stops the queue, winds every worker
-// down and fails the run with core.ErrStopped — partial accumulators are
-// discarded by the caller.
-func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*big.Int, workers, homBudget int, stop *core.Stop) ([]core.Accum, []*big.Int, error) {
+// walkers, the IE DFS and the circuit compiler; a fired stop stops the
+// queue, winds every worker down and fails the run with core.ErrStopped —
+// partial accumulators are discarded by the caller.
+func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*big.Int, circs []*circuit, workers, homBudget int, stop *core.Stop) ([]core.Accum, []*big.Int, []*circuit, error) {
 	plans := make([]struct {
 		prefixDigits int
 		shards       int64
@@ -44,7 +47,7 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 			jobOff[i+1] = jobOff[i]
 			continue
 		}
-		if engines[i] == EngineCompIE {
+		if engines[i] == EngineCompIE || engines[i] == EngineCompile {
 			jobOff[i+1] = jobOff[i] + 1
 			continue
 		}
@@ -59,8 +62,16 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 
 	perComp := make([]core.Accum, len(f.comps))
 	bigRes := make([]*big.Int, len(f.comps))
+	newCircs := make([]*circuit, len(f.comps))
 	var errMu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	runWorker := func(sc *deltaScratch, q *core.ShardQueue, acc []core.Accum) {
 		for {
 			if stop.Stopped() {
@@ -81,14 +92,30 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 					// Reachable only on cancellation: the node budget passed
 					// to the IE pass is the worst-case bound the planner
 					// priced, so ErrBudget cannot fire here.
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+					fail(err)
 					continue
 				}
 				bigRes[ci] = v
+			case EngineCompile:
+				circ := (*circuit)(nil)
+				if circs != nil {
+					circ = circs[ci]
+				}
+				if circ == nil {
+					var err error
+					circ, err = compileComponent(c, compileNodeBudget, stop)
+					if err != nil {
+						// Cancellation, or a compilation that exceeded its
+						// node budget (ErrBudget): the planner prices cold
+						// compiles by a bound, not the actual circuit size,
+						// so — unlike IE — the budget CAN fire here; the
+						// caller falls down the usual CountExact ladder.
+						fail(err)
+						continue
+					}
+					newCircs[ci] = circ
+				}
+				bigRes[ci] = circ.count(c)
 			case EngineMasked:
 				acc[ci].Add(runMaskShard(c, plans[ci].prefixDigits, shard, sc, stop))
 			default: // EngineGray
@@ -140,7 +167,7 @@ func (in *Instance) runPlanned(f *factorization, engines []EngineKind, known []*
 	if stop.Stopped() && firstErr == nil {
 		firstErr = core.ErrStopped
 	}
-	return perComp, bigRes, firstErr
+	return perComp, bigRes, newCircs, firstErr
 }
 
 // CountEnumUCQParallel is CountEnumUCQ with the enumeration fanned out

@@ -78,6 +78,11 @@ const (
 	// EngineCompIE is component-local inclusion–exclusion over the
 	// component's boxes.
 	EngineCompIE
+	// EngineCompile is the knowledge-compilation engine: the component is
+	// compiled once into a d-DNNF circuit (compile.go) and every count —
+	// first, repeated, post-delta, weighted — is one bottom-up pass over
+	// the cached circuit.
+	EngineCompile
 	// EngineIE is whole-instance inclusion–exclusion over the global
 	// certificate boxes.
 	EngineIE
@@ -105,6 +110,8 @@ func (k EngineKind) String() string {
 		return "masked"
 	case EngineCompIE:
 		return "component-ie"
+	case EngineCompile:
+		return "compile"
 	case EngineIE:
 		return "inclusion-exclusion"
 	case EngineEnum:
@@ -117,7 +124,7 @@ func (k EngineKind) String() string {
 
 // EngineNames lists the engine names ParseEngine accepts, in display order.
 func EngineNames() []string {
-	return []string{"auto", "factorized", "gray", "ie", "enum"}
+	return []string{"auto", "factorized", "gray", "ie", "compile", "enum"}
 }
 
 // ParseEngine maps a user-facing engine name (the -exact values of
@@ -132,6 +139,8 @@ func ParseEngine(name string) (EngineKind, error) {
 		return EngineGray, nil
 	case "ie":
 		return EngineIE, nil
+	case "compile":
+		return EngineCompile, nil
 	case "enum":
 		return EngineEnum, nil
 	}
@@ -156,7 +165,16 @@ type ComponentPlan struct {
 	// IECost is the component-local IE cost (2^Boxes − 1) · ieNodeCost,
 	// saturated; MaxInt64 when IE is unavailable (masked path).
 	IECost int64
-	// Engine is the chosen engine: EngineGray, EngineMasked or EngineCompIE.
+	// CompileCost is the knowledge-compilation cost: the cached circuit's
+	// node count when one exists (a single bottom-up evaluation), the Gray
+	// cost for a cold compile, MaxInt64 when compilation is unavailable
+	// (masked path).
+	CompileCost int64
+	// CircuitNodes is the cached circuit's size (0 when no circuit is
+	// cached for this component's structure).
+	CircuitNodes int
+	// Engine is the chosen engine: EngineGray, EngineMasked, EngineCompIE
+	// or EngineCompile.
 	Engine EngineKind
 	// Cost is the work the chosen engine charges against the enumeration
 	// budget (0 when Memoized).
@@ -192,7 +210,7 @@ func (p *Plan) String() string {
 		counts[c.Engine]++
 	}
 	var parts []string
-	for _, k := range []EngineKind{EngineGray, EngineMasked, EngineCompIE} {
+	for _, k := range []EngineKind{EngineGray, EngineMasked, EngineCompIE, EngineCompile} {
 		if counts[k] > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
 		}
@@ -226,10 +244,38 @@ func ieNodeBudget(c *component) int {
 	return int((int64(1) << c.numBoxes) - 1)
 }
 
-// planEngines assigns an engine to every component: the cheaper one under
+// compileCost prices EngineCompile for a component: a circuit cached under
+// the component's structural fingerprint costs its node count (one
+// bottom-up evaluation, the engine's whole point), and a cold compile is
+// priced at min(Gray walk, node budget) — reachable compile states are
+// bounded by the decided-choice prefixes of the choice space (never worse
+// than the walk), every state materializes at least one node, and the
+// compiler aborts with ErrBudget past compileNodeBudget nodes, so the work
+// a compilation can possibly do is genuinely capped by the smaller bound.
+// This is what lets a forced compile accept components whose choice space
+// is astronomical but whose circuit is small (the IEHeavy shape): the
+// budget check prices the attempt, the node budget polices the outcome.
+// Compilation is unavailable without box tables. The cached circuit, if
+// any, rides along so callers avoid a second lookup.
+func (in *Instance) compileCost(c *component) (int64, *circuit) {
+	if c.numBoxes == 0 {
+		return math.MaxInt64, nil
+	}
+	if circ, ok := in.circMemo[c.circuitFingerprint()]; ok {
+		return int64(len(circ.nodes)), circ
+	}
+	return min(grayCost(c), int64(compileNodeBudget)), nil
+}
+
+// planEngines assigns an engine to every component: the cheapest one under
 // the cost model for EngineAuto, or the forced engine. Forcing EngineCompIE
-// on the masked path is an error (there are no boxes to include–exclude).
-func planEngines(f *factorization, force EngineKind) ([]EngineKind, error) {
+// or EngineCompile on the masked path is an error (no box tables there).
+// Under EngineAuto a cached circuit competes on its evaluation cost; a cold
+// compile is only preferred once the instance has observed memo reuse
+// (memoReuse ≥ compileReuseThreshold) and never charges more than the Gray
+// walk it replaces — the amortization bet the cost-model notes in
+// compile.go spell out.
+func (in *Instance) planEngines(f *factorization, force EngineKind) ([]EngineKind, error) {
 	engines := make([]EngineKind, len(f.comps))
 	for i := range f.comps {
 		c := &f.comps[i]
@@ -238,16 +284,31 @@ func planEngines(f *factorization, force EngineKind) ([]EngineKind, error) {
 			if force == EngineCompIE {
 				return nil, fmt.Errorf("repairs: component-local inclusion–exclusion unavailable: homomorphism space exceeded the box budget (masked fallback)")
 			}
+			if force == EngineCompile {
+				return nil, fmt.Errorf("repairs: circuit compilation unavailable: homomorphism space exceeded the box budget (masked fallback)")
+			}
 			engines[i] = EngineMasked
 		case force == EngineGray:
 			engines[i] = EngineGray
 		case force == EngineCompIE:
 			engines[i] = EngineCompIE
-		default: // EngineAuto / EngineFactorized: pick the cheaper engine
-			if ieCost(c) < grayCost(c) {
-				engines[i] = EngineCompIE
-			} else {
-				engines[i] = EngineGray
+		case force == EngineCompile:
+			engines[i] = EngineCompile
+		default: // EngineAuto / EngineFactorized: pick the cheapest engine
+			engines[i] = EngineGray
+			best := grayCost(c)
+			if ie := ieCost(c); ie < best {
+				engines[i], best = EngineCompIE, ie
+			}
+			ccost, circ := in.compileCost(c)
+			switch {
+			case circ != nil && ccost < best:
+				engines[i] = EngineCompile
+			case circ == nil && in.memoReuse >= compileReuseThreshold && ccost <= best:
+				// No circuit yet, but the workload demonstrably recounts:
+				// compile now (charged no more than the engine it displaces)
+				// so the next recount is circuit-linear.
+				engines[i] = EngineCompile
 			}
 		}
 	}
@@ -256,11 +317,16 @@ func planEngines(f *factorization, force EngineKind) ([]EngineKind, error) {
 
 // engineCost returns the budget charge of running the component under the
 // given engine.
-func engineCost(c *component, engine EngineKind) int64 {
-	if engine == EngineCompIE {
+func (in *Instance) engineCost(c *component, engine EngineKind) int64 {
+	switch engine {
+	case EngineCompIE:
 		return ieCost(c)
+	case EngineCompile:
+		cost, _ := in.compileCost(c)
+		return cost
+	default:
+		return grayCost(c)
 	}
-	return grayCost(c)
 }
 
 // compDomains renders the component's blocks as core solution domains:
@@ -322,6 +388,7 @@ type compAssessment struct {
 	budget int64
 	fps    []compFP   // nil on the masked path (no memoization)
 	known  []*big.Int // memoized #¬Q_c per component, nil when unknown
+	circs  []*circuit // cached circuit per component, nil when none/masked
 }
 
 // assessComponents runs the costing pass for a factorization under the
@@ -333,6 +400,7 @@ func (in *Instance) assessComponents(f *factorization, engines []EngineKind) com
 	}
 	if !f.masked {
 		a.fps = make([]compFP, len(f.comps))
+		a.circs = make([]*circuit, len(f.comps))
 	}
 	for i := range f.comps {
 		c := &f.comps[i]
@@ -343,6 +411,14 @@ func (in *Instance) assessComponents(f *factorization, engines []EngineKind) com
 			IECost:   ieCost(c),
 			Engine:   engines[i],
 		}
+		ccost, circ := in.compileCost(c)
+		cp.CompileCost = ccost
+		if circ != nil {
+			cp.CircuitNodes = len(circ.nodes)
+			if a.circs != nil {
+				a.circs[i] = circ
+			}
+		}
 		if a.fps != nil {
 			a.fps[i] = c.fingerprint(engines[i])
 			if v, ok := in.compMemo[a.fps[i]]; ok {
@@ -351,7 +427,7 @@ func (in *Instance) assessComponents(f *factorization, engines []EngineKind) com
 			}
 		}
 		if !cp.Memoized {
-			cp.Cost = engineCost(c, engines[i])
+			cp.Cost = in.engineCost(c, engines[i])
 			a.budget = addSat(a.budget, cp.Cost)
 		}
 		a.plans[i] = cp
@@ -390,7 +466,7 @@ func (in *Instance) planExact() (*Plan, *big.Int) {
 	if f.alwaysTrue {
 		return &Plan{Engine: EngineFactorized, AlwaysTrue: true}, in.TotalRepairs()
 	}
-	engines, err := planEngines(f, EngineAuto)
+	engines, err := in.planEngines(f, EngineAuto)
 	if err != nil {
 		// Unreachable: EngineAuto never fails planEngines.
 		panic(err)
@@ -416,8 +492,8 @@ func (in *Instance) planExact() (*Plan, *big.Int) {
 // deciding applicability; the exponential work is what planning avoids.)
 // force selects whose plan to explain: EngineAuto for the planner's own
 // arbitration (what CountExact does), EngineFactorized/EngineGray/
-// EngineCompIE for a forced per-component assignment, EngineIE/EngineEnum
-// for the trivial whole-instance plans.
+// EngineCompIE/EngineCompile for a forced per-component assignment,
+// EngineIE/EngineEnum for the trivial whole-instance plans.
 func (in *Instance) ExplainPlan(force EngineKind) (*Plan, error) {
 	in.refresh()
 	if !in.IsEP {
@@ -431,9 +507,9 @@ func (in *Instance) ExplainPlan(force EngineKind) (*Plan, error) {
 		return &Plan{Engine: EngineIE}, nil
 	case EngineEnum:
 		return &Plan{Engine: EngineEnum}, nil
-	case EngineFactorized, EngineGray, EngineCompIE:
+	case EngineFactorized, EngineGray, EngineCompIE, EngineCompile:
 	default:
-		return nil, fmt.Errorf("repairs: no plan for engine %s (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE or EngineEnum)", force)
+		return nil, fmt.Errorf("repairs: no plan for engine %s (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineCompile, EngineIE or EngineEnum)", force)
 	}
 	f := in.factorization(0)
 	if f.alwaysTrue {
@@ -443,7 +519,7 @@ func (in *Instance) ExplainPlan(force EngineKind) (*Plan, error) {
 	if fc == EngineFactorized {
 		fc = EngineAuto
 	}
-	engines, err := planEngines(f, fc)
+	engines, err := in.planEngines(f, fc)
 	if err != nil {
 		return nil, err
 	}

@@ -73,6 +73,15 @@ type Instance struct {
 	// re-derived factorization hit the memo and skip their work entirely,
 	// while forced-engine runs never serve each other's entries.
 	compMemo map[compFP]*big.Int
+
+	// circMemo caches compiled d-DNNF circuits (compile.go) across deltas,
+	// keyed by circuitFingerprint — the box tables WITHOUT block sizes — so
+	// a component whose blocks merely grew or shrank re-counts its cached
+	// circuit in O(|circuit|) instead of re-enumerating. memoReuse counts
+	// component results served from either structural memo: the planner's
+	// observed-reuse signal for pricing cold compiles.
+	circMemo  map[compFP]*circuit
+	memoReuse int64
 }
 
 // NewInstance prepares an instance. Boolean queries only; substitute the

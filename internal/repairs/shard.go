@@ -105,7 +105,7 @@ func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
 		return nil, fmt.Errorf("repairs: need at least 1 shard, got %d", k)
 	}
 	f := in.factorization(0)
-	engines, err := planEngines(f, EngineAuto)
+	engines, err := in.planEngines(f, EngineAuto)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +138,7 @@ func (in *Instance) PlanShards(k int) (*ShardPlan, error) {
 			GrayCost: grayCost(c),
 			IECost:   ieCost(c),
 			Engine:   engines[i],
-			Cost:     engineCost(c, engines[i]),
+			Cost:     in.engineCost(c, engines[i]),
 		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {

@@ -72,6 +72,41 @@ func (l Ladder) Price(c *repaircount.Counter) Admission {
 	return l.PriceApprox(c, adm)
 }
 
+// PriceEntry prices a probe through a cache entry's admission memo with
+// cross-version reuse. The ladder's rungs are consulted in order:
+//
+//  1. the (epoch, version) memo serves exact repeats;
+//  2. across a version bump, a memoized AdmitExact admission whose plan
+//     fingerprint (Counter.PlanFingerprint) is unchanged is reused and
+//     re-pinned to the new version — the exact rung is priced purely from
+//     the ExplainPlan report the fingerprint digests, so re-running the
+//     ladder cannot change the verdict;
+//  3. everything else re-prices from scratch.
+//
+// Only exact admissions travel across versions: the FPRAS rung's sample
+// bound depends on the active domain, which the plan fingerprint does not
+// digest, so approx and reject verdicts are always re-priced. The caller
+// holds the entry lock.
+func (l Ladder) PriceEntry(ent *CacheEntry, c *repaircount.Counter, epoch, version uint64) Admission {
+	if adm, ok := ent.Admission(epoch, version); ok {
+		return adm
+	}
+	fp, fpOK := c.PlanFingerprint()
+	if fpOK {
+		if adm, ok := ent.AdmissionForPlan(epoch, fp); ok && adm.Mode == AdmitExact {
+			ent.StoreAdmissionPlan(epoch, version, fp, adm)
+			return adm
+		}
+	}
+	adm := l.Price(c)
+	if fpOK {
+		ent.StoreAdmissionPlan(epoch, version, fp, adm)
+	} else {
+		ent.StoreAdmission(epoch, version, adm)
+	}
+	return adm
+}
+
 // PriceCost prices an externally computed exact cost against the ladder,
 // for topologies where the planned work is not the local plan's total —
 // the cluster coordinator admits the exact rung on the fleet critical

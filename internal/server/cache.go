@@ -30,34 +30,40 @@ const DefaultCacheEntries = 512
 
 // ResultKind names the per-query result memos. Fan is the cluster
 // coordinator's merged fan-out result; the single-node daemon uses
-// Count and Decide. Approximate and rank results are never cached.
+// Count, Decide and Prob. Approximate and rank results are never cached.
 type ResultKind uint8
 
 const (
 	ResultCount ResultKind = iota
 	ResultDecide
 	ResultFan
+	ResultProb
 	numResultKinds
 )
 
 // CachedResult is one completed probe result pinned to an (epoch,
 // version) pair. N and Str are never mutated after StoreResult.
 type CachedResult struct {
-	N        *big.Int // exact count (nil for decide)
+	N        *big.Int // exact count (nil for decide/prob)
 	Str      string   // rendered response value: count text, or "true"/"false"
 	Engine   repaircount.EngineKind
-	Entailed bool // decide verdict
+	Entailed bool    // decide verdict
+	Lo, Hi   float64 // probability interval bounds (prob results)
 }
 
 // CacheStats is a point-in-time counter snapshot for /v1/stats.
+// FPMerges counts results served across query texts through the
+// count-fingerprint alias map: a probe whose own text had no memoized
+// result but whose structural fingerprint matched another query's.
 type CacheStats struct {
-	Hits, Misses, Evictions int64
-	Entries                 int
+	Hits, Misses, Evictions, FPMerges int64
+	Entries                           int
 }
 
 type admissionMemo struct {
 	ok             bool
 	epoch, version uint64
+	planFP         string // fingerprint the admission was priced under ("" = none)
 	adm            Admission
 }
 
@@ -91,7 +97,16 @@ type ProbeCache struct {
 	clock   int64
 	entries map[string]*CacheEntry
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, fpMerges atomic.Int64
+
+	// fpResults aliases completed results across query texts: entries are
+	// keyed by the structural count fingerprint (Counter.CountFingerprint)
+	// instead of the text, so two structurally identical queries — equal
+	// fingerprints imply equal counts — share one computed result. The
+	// per-text memos above remain the fast path (and the only path for
+	// queries without a fingerprint); this map is consulted on a per-text
+	// miss and written through on every store. Guarded by mu.
+	fpResults map[fpResKey]resultMemo
 
 	// TotalRepairs is query-independent, so its memo lives on the cache
 	// itself. totMu serializes recomputation (total singleflight).
@@ -102,13 +117,58 @@ type ProbeCache struct {
 	totStr           string
 }
 
+// fpResKey keys the cross-query result alias map: one result kind under
+// one structural count fingerprint.
+type fpResKey struct {
+	kind ResultKind
+	fp   string
+}
+
 // NewProbeCache builds a cache bounded to at most `entries` queries
 // (DefaultCacheEntries when <= 0).
 func NewProbeCache(entries int) *ProbeCache {
 	if entries <= 0 {
 		entries = DefaultCacheEntries
 	}
-	return &ProbeCache{cap: entries, entries: make(map[string]*CacheEntry)}
+	return &ProbeCache{
+		cap:       entries,
+		entries:   make(map[string]*CacheEntry),
+		fpResults: make(map[fpResKey]resultMemo),
+	}
+}
+
+// ResultByFP returns a completed result memoized under the structural
+// count fingerprint fp for (epoch, version) — the cross-query alias rung
+// consulted after the per-text memo misses. A hit counts as a
+// fingerprint merge (the result crossed query texts).
+func (pc *ProbeCache) ResultByFP(kind ResultKind, fp string, epoch, version uint64) (CachedResult, bool) {
+	if fp == "" {
+		return CachedResult{}, false
+	}
+	pc.mu.Lock()
+	m, ok := pc.fpResults[fpResKey{kind, fp}]
+	pc.mu.Unlock()
+	if ok && m.ok && m.epoch == epoch && m.version == version {
+		pc.fpMerges.Add(1)
+		return m.res, true
+	}
+	return CachedResult{}, false
+}
+
+// StoreResultByFP memoizes a completed result under the structural count
+// fingerprint for (epoch, version). The alias map is bounded like the
+// entry map: past the cap it is dropped wholesale and refills — aliasing
+// is a throughput lever, never required for correctness.
+func (pc *ProbeCache) StoreResultByFP(kind ResultKind, fp string, epoch, version uint64, res CachedResult) {
+	if fp == "" {
+		return
+	}
+	pc.mu.Lock()
+	if len(pc.fpResults) >= pc.cap {
+		pc.fpResults = make(map[fpResKey]resultMemo)
+	}
+	pc.fpResults[fpResKey{kind, fp}] = resultMemo{ok: true, epoch: epoch, version: version, res: res}
+	pc.mu.Unlock()
 }
 
 // Acquire returns the locked entry for qs with a counter valid for the
@@ -188,6 +248,7 @@ func (pc *ProbeCache) Stats() CacheStats {
 		Hits:      pc.hits.Load(),
 		Misses:    pc.misses.Load(),
 		Evictions: pc.evictions.Load(),
+		FPMerges:  pc.fpMerges.Load(),
 		Entries:   n,
 	}
 }
@@ -204,9 +265,29 @@ func (e *CacheEntry) Admission(epoch, version uint64) (Admission, bool) {
 	return Admission{}, false
 }
 
-// StoreAdmission memoizes the priced admission for (epoch, version).
+// StoreAdmission memoizes the priced admission for (epoch, version),
+// without a plan fingerprint (it will not survive a version bump).
 func (e *CacheEntry) StoreAdmission(epoch, version uint64, adm Admission) {
 	e.adm = admissionMemo{ok: true, epoch: epoch, version: version, adm: adm}
+}
+
+// StoreAdmissionPlan memoizes the priced admission for (epoch, version)
+// together with the plan fingerprint it was priced under, making it
+// eligible for cross-version reuse via AdmissionForPlan.
+func (e *CacheEntry) StoreAdmissionPlan(epoch, version uint64, planFP string, adm Admission) {
+	e.adm = admissionMemo{ok: true, epoch: epoch, version: version, planFP: planFP, adm: adm}
+}
+
+// AdmissionForPlan returns the memoized admission when it was priced in
+// the same epoch under an identical, non-empty plan fingerprint — the
+// keyed check that carries a priced admission across version bumps whose
+// deltas did not move the plan. The version is deliberately ignored;
+// Ladder.PriceEntry restricts which admissions may travel this way.
+func (e *CacheEntry) AdmissionForPlan(epoch uint64, planFP string) (Admission, bool) {
+	if e.adm.ok && e.adm.epoch == epoch && planFP != "" && e.adm.planFP == planFP {
+		return e.adm.adm, true
+	}
+	return Admission{}, false
 }
 
 // Result returns the completed result of the given kind memoized for

@@ -1,0 +1,236 @@
+package server_test
+
+import (
+	"context"
+	"math/big"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repaircount"
+	"repaircount/internal/relational"
+	"repaircount/internal/server"
+	"repaircount/internal/workload"
+)
+
+// probURL builds /v1/prob?q=...
+func probURL(q string) string { return "/v1/prob?q=" + url.QueryEscape(q) }
+
+// TestProbEndpoint covers /v1/prob end to end: the uniform-weight
+// probability must bracket the exact count/total ratio and match the
+// offline weighted counter bit for bit, the memo must serve identical
+// bytes, and the two refusal shapes (non-∃FO⁺, budget) must land as
+// structured 429s.
+func TestProbEndpoint(t *testing.T) {
+	db, ks, qf := workload.MultiComponent(2, 2, 2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path})
+	qs := multiComponentQuery(2)
+
+	// Offline expectation: the same interval through the library.
+	c, err := repaircount.NewCounter(db, ks, qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ProbabilityOf(c.FactWeights(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _, err := c.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := new(big.Rat).SetFrac(count, c.Total())
+
+	status, body, raw := get(t, ts, probURL(qs))
+	if status != http.StatusOK {
+		t.Fatalf("prob: status %d body %v", status, body)
+	}
+	lo, ok1 := body["prob_lo"].(float64)
+	hi, ok2 := body["prob_hi"].(float64)
+	if !ok1 || !ok2 {
+		t.Fatalf("prob: interval bounds missing in %v", body)
+	}
+	if lo != want.Lo || hi != want.Hi {
+		t.Fatalf("prob: served [%v, %v], offline [%v, %v]", lo, hi, want.Lo, want.Hi)
+	}
+	// Soundness: the served interval brackets the exact rational ratio.
+	if new(big.Rat).SetFloat64(lo).Cmp(exact) > 0 || new(big.Rat).SetFloat64(hi).Cmp(exact) < 0 {
+		t.Fatalf("prob: interval [%v, %v] does not bracket exact %s", lo, hi, exact.RatString())
+	}
+
+	// The second probe is a memo hit and must serve the same bytes.
+	_, _, hit := get(t, ts, probURL(qs))
+	if hit != raw {
+		t.Fatalf("prob memo hit served %q, first answer %q", hit, raw)
+	}
+	_, st, _ := get(t, ts, "/v1/stats")
+	if st["prob_probes"].(float64) < 2 {
+		t.Fatalf("prob probes not counted: %v", st)
+	}
+
+	// Non-∃FO⁺ queries have no circuit and are refused, not estimated.
+	status, body, _ = get(t, ts, probURL("!C0('k0', 'v0')"))
+	if status != http.StatusTooManyRequests || errCode(t, body) != "budget_exceeded" {
+		t.Fatalf("non-EP prob: status %d body %v", status, body)
+	}
+
+	// A circuit plan beyond the exact budget is refused with its price;
+	// there is deliberately no FPRAS rung for weighted counting.
+	_, tiny := start(t, server.Config{SnapshotPath: path, ExactBudget: 1})
+	status, body, _ = get(t, tiny, probURL(qs))
+	if status != http.StatusTooManyRequests || errCode(t, body) != "budget_exceeded" {
+		t.Fatalf("budget prob: status %d body %v", status, body)
+	}
+}
+
+// TestProbAnnotated serves a prob-stream workload through -probs
+// plumbing: the daemon loads the per-fact annotation file and its
+// /v1/prob answer must equal the offline weighted counter over the
+// parsed annotations bit for bit.
+func TestProbAnnotated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 99))
+	db, ks, qf := workload.MultiComponent(3, 2, 2)
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, db, ks)
+
+	anns := workload.ProbStream(rng, db)
+	probsPath := filepath.Join(dir, "weights.probs")
+	f, err := os.Create(probsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.FormatProbAnnotations(f, anns); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := repaircount.NewCounter(db, ks, qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.ProbabilityOf(c.FactWeights(workload.AnnotationMap(anns)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := start(t, server.Config{SnapshotPath: path, ProbsPath: probsPath})
+	status, body, _ := get(t, ts, probURL(multiComponentQuery(3)))
+	if status != http.StatusOK {
+		t.Fatalf("annotated prob: status %d body %v", status, body)
+	}
+	if body["prob_lo"].(float64) != want.Lo || body["prob_hi"].(float64) != want.Hi {
+		t.Fatalf("annotated prob: served [%v, %v], offline [%v, %v]",
+			body["prob_lo"], body["prob_hi"], want.Lo, want.Hi)
+	}
+
+	// A missing annotation file must fail the boot, not serve uniform.
+	if _, err := server.New(server.Config{SnapshotPath: path, ProbsPath: filepath.Join(dir, "absent.probs")}); err == nil {
+		t.Fatal("server booted with a missing -probs file")
+	}
+}
+
+// TestCountFingerprintMerge sends two text-distinct but structurally
+// identical queries (the same disjunction with its disjuncts reordered):
+// the second must be served through the count-fingerprint alias instead
+// of recounting, observable as cache_fp_merges in /v1/stats, and both
+// must serve identical counts.
+func TestCountFingerprintMerge(t *testing.T) {
+	db, ks, _ := workload.MultiComponent(2, 2, 2)
+	path := writeSnapshot(t, t.TempDir(), db, ks)
+	_, ts := start(t, server.Config{SnapshotPath: path})
+
+	a := "(exists x, y . (C0(x, 'v0') & C0(y, 'v1'))) | (exists x, y . (C1(x, 'v0') & C1(y, 'v1')))"
+	b := "(exists x, y . (C1(x, 'v0') & C1(y, 'v1'))) | (exists x, y . (C0(x, 'v0') & C0(y, 'v1')))"
+
+	status, bodyA, _ := get(t, ts, countURL(a, ""))
+	if status != http.StatusOK || bodyA["mode"] != "exact" {
+		t.Fatalf("first text: status %d body %v", status, bodyA)
+	}
+	status, bodyB, _ := get(t, ts, countURL(b, ""))
+	if status != http.StatusOK || bodyB["mode"] != "exact" {
+		t.Fatalf("second text: status %d body %v", status, bodyB)
+	}
+	if bodyA["count"] != bodyB["count"] {
+		t.Fatalf("aliased texts disagree: %v vs %v", bodyA["count"], bodyB["count"])
+	}
+	_, st, _ := get(t, ts, "/v1/stats")
+	if st["cache_fp_merges"].(float64) < 1 {
+		t.Fatalf("structurally identical texts did not merge: %v", st)
+	}
+}
+
+// TestAdmissionPlanReuse pins Ladder.PriceEntry: across a version bump
+// whose deltas leave the plan fingerprint unchanged, a memoized exact
+// admission is reused without re-running the ladder (observable as
+// pointer identity of the priced cost), while a plan-moving delta, an
+// epoch move, and non-exact verdicts all force a fresh pricing.
+func TestAdmissionPlanReuse(t *testing.T) {
+	db, ks, qf := workload.MultiComponent(2, 2, 2)
+	c, err := repaircount.NewCounter(db, ks, qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := server.NewProbeCache(4)
+	build := func(string) (*repaircount.Counter, error) { return c, nil }
+	ent, err := pc.Acquire(context.Background(), 0, "q", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Release(ent)
+	l := server.Ladder{ExactBudget: 1 << 20, MaxSamples: 1 << 20, Eps: 0.5, Delta: 0.1}
+
+	adm1 := l.PriceEntry(ent, c, 0, 1)
+	if adm1.Mode != server.AdmitExact {
+		t.Fatalf("fixture not exact-admissible: %+v", adm1)
+	}
+	// Same version: the (epoch, version) memo serves.
+	if adm := l.PriceEntry(ent, c, 0, 1); adm.PlannedCost != adm1.PlannedCost {
+		t.Fatal("same-version admission was re-priced")
+	}
+	// Version bump without a plan move: a cancelling insert/delete pair
+	// leaves the instance — and therefore the plan report — exactly where
+	// it was, so the admission travels instead of re-pricing.
+	if _, err := c.Apply(repaircount.Insert(relational.NewFact("C0", "k0", "w0"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(repaircount.Delete(relational.NewFact("C0", "k0", "w0"))); err != nil {
+		t.Fatal(err)
+	}
+	if adm := l.PriceEntry(ent, c, 0, 2); adm.PlannedCost != adm1.PlannedCost {
+		t.Fatal("unchanged plan fingerprint did not carry the admission across the version bump")
+	}
+	// A plan-moving delta (a fresh block) must force a re-price.
+	if _, err := c.Apply(repaircount.Insert(relational.NewFact("C0", "k9", "v0"))); err != nil {
+		t.Fatal(err)
+	}
+	adm3 := l.PriceEntry(ent, c, 0, 3)
+	if adm3.PlannedCost == adm1.PlannedCost {
+		t.Fatal("plan-moving delta reused the stale admission")
+	}
+	// An epoch move invalidates the memo wholesale.
+	if adm := l.PriceEntry(ent, c, 1, 3); adm.PlannedCost == adm3.PlannedCost {
+		t.Fatal("admission crossed an epoch move")
+	}
+
+	// Non-exact verdicts never travel: under a tiny budget the approx
+	// admission is re-priced on every version.
+	tiny := server.Ladder{ExactBudget: 1, MaxSamples: 1 << 40, Eps: 0.5, Delta: 0.1}
+	ent2, err := pc.Acquire(context.Background(), 0, "q2", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Release(ent2)
+	admA := tiny.PriceEntry(ent2, c, 0, 3)
+	if admA.Mode != server.AdmitApprox {
+		t.Fatalf("fixture not approx under budget 1: %+v", admA)
+	}
+	if admB := tiny.PriceEntry(ent2, c, 0, 4); admB.SampleBound == admA.SampleBound {
+		t.Fatal("approx admission crossed a version bump")
+	}
+}

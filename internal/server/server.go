@@ -37,6 +37,7 @@ import (
 	"repaircount"
 	"repaircount/internal/core"
 	"repaircount/internal/repairs"
+	"repaircount/internal/workload"
 )
 
 // Config parameterizes a Server. Zero values select the documented
@@ -85,6 +86,14 @@ type Config struct {
 	// DefaultCacheEntries; < 0 disables the shared cache (probe slots
 	// keep their private per-slot counter caches either way).
 	CacheEntries int
+	// ProbsPath, when set, is a per-fact probability-annotation file in
+	// the workload prob-stream format ("weight<TAB>Fact" lines); /v1/prob
+	// probes evaluate query probabilities under these weights through the
+	// compiled-circuit weighted counters. Absent, /v1/prob serves the
+	// uniform distribution (every repair equally likely — the relative
+	// frequency). Annotations naming facts not in the instance are kept
+	// and simply never used, so one file outlives the ops stream.
+	ProbsPath string
 }
 
 func (cfg *Config) fill() {
@@ -141,7 +150,8 @@ type Server struct {
 	baseLen int64  // sealed-base bytes of the served file
 
 	pool  *Pool
-	cache *ProbeCache // nil when CacheEntries < 0
+	cache *ProbeCache        // nil when CacheEntries < 0
+	probs map[string]float64 // per-fact weights for /v1/prob (nil = uniform)
 
 	degradedReason atomic.Pointer[string]
 
@@ -150,7 +160,7 @@ type Server struct {
 	recovered  int64 // torn bytes dropped at startup
 
 	stats struct {
-		probes, exact, approx, rejected, overloaded, deadline atomic.Int64
+		probes, exact, approx, prob, rejected, overloaded, deadline atomic.Int64
 	}
 
 	tailer   *Tailer
@@ -192,6 +202,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CacheEntries >= 0 {
 		s.cache = NewProbeCache(cfg.CacheEntries)
+	}
+	if cfg.ProbsPath != "" {
+		pf, err := os.Open(cfg.ProbsPath)
+		if err != nil {
+			snap.Close()
+			return nil, fmt.Errorf("server: opening probs %s: %w", cfg.ProbsPath, err)
+		}
+		anns, err := workload.ParseProbAnnotations(pf)
+		pf.Close()
+		if err != nil {
+			snap.Close()
+			return nil, fmt.Errorf("server: parsing probs %s: %w", cfg.ProbsPath, err)
+		}
+		s.probs = workload.AnnotationMap(anns)
 	}
 	if cfg.OpsPath != "" {
 		s.tailer = &Tailer{
@@ -271,19 +295,16 @@ func (s *Server) acquireEntry(w http.ResponseWriter, ctx context.Context, qs str
 }
 
 // price returns the probe's admission, memoized per (epoch, version)
-// when a cache entry is present. A later ErrBudget re-price is never
-// stored: the memo keeps the plan-level admission, exactly mirroring
-// what the uncached ladder would decide on every probe.
+// when a cache entry is present — and, across version bumps that did not
+// move the plan fingerprint, a memoized exact admission is reused without
+// re-running the ladder (Ladder.PriceEntry). A later ErrBudget re-price
+// is never stored: the memo keeps the plan-level admission, exactly
+// mirroring what the uncached ladder would decide on every probe.
 func (s *Server) price(ent *CacheEntry, c *repaircount.Counter, version uint64) Admission {
 	if ent == nil {
 		return s.ladder.Price(c)
 	}
-	if adm, ok := ent.Admission(s.epoch, version); ok {
-		return adm
-	}
-	adm := s.ladder.Price(c)
-	ent.StoreAdmission(s.epoch, version, adm)
-	return adm
+	return s.ladder.PriceEntry(ent, c, s.epoch, version)
 }
 
 // writeCtxErr maps a canceled probe context to its transport answer.
@@ -302,6 +323,7 @@ func (s *Server) writeCtxErr(w http.ResponseWriter, ctx context.Context) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/count", s.handleCount)
+	mux.HandleFunc("/v1/prob", s.handleProb)
 	mux.HandleFunc("/v1/decide", s.handleDecide)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/v1/rank", s.handleRank)
@@ -358,6 +380,21 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c = ent.Counter()
+			// The per-text memo missed; a structurally identical query may
+			// already have computed this count. Equal count fingerprints
+			// imply equal counts, so the aliased result is served as-is
+			// (and copied into this text's memo for the fast path).
+			if fp, ok := c.CountFingerprint(); ok {
+				if res, ok := s.cache.ResultByFP(ResultCount, fp, s.epoch, version); ok {
+					s.stats.exact.Add(1)
+					ent.StoreResult(ResultCount, s.epoch, version, res)
+					WriteResult(w, r, res.Str, map[string]any{
+						"mode": "exact", "count": res.Str,
+						"engine": res.Engine.String(), "version": version, "epoch": s.epoch,
+					})
+					return
+				}
+			}
 		} else {
 			var err error
 			if c, err = s.counterFor(sl, qs); err != nil {
@@ -373,7 +410,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 				s.stats.exact.Add(1)
 				str := n.String()
 				if ent != nil {
-					ent.StoreResult(ResultCount, s.epoch, version, CachedResult{N: n, Str: str, Engine: engine})
+					res := CachedResult{N: n, Str: str, Engine: engine}
+					ent.StoreResult(ResultCount, s.epoch, version, res)
+					if fp, ok := c.CountFingerprint(); ok {
+						s.cache.StoreResultByFP(ResultCount, fp, s.epoch, version, res)
+					}
 				}
 				WriteResult(w, r, str, map[string]any{
 					"mode": "exact", "count": str,
@@ -413,6 +454,93 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		}
 		s.stats.rejected.Add(1)
 		WriteErr(w, http.StatusTooManyRequests, s.ladder.BudgetError(adm))
+	})
+}
+
+// probResponse renders a served probability interval.
+func probResponse(res CachedResult, version, epoch uint64) (string, map[string]any) {
+	return res.Str, map[string]any{
+		"prob_lo": res.Lo, "prob_hi": res.Hi, "prob": res.Str,
+		"version": version, "epoch": epoch,
+	}
+}
+
+// handleProb answers /v1/prob: the probability that a random repair
+// entails the query under the daemon's per-fact weight annotations
+// (-probs; uniform without one), evaluated through the compiled-circuit
+// weighted counters as an outward-rounded interval bracketing the exact
+// value. The probe is admission-priced by circuit size — the budget of
+// the forced-compile plan, i.e. cached circuits at their node count and
+// cold compiles at their capped bound — and there is no approximate rung:
+// a plan beyond the exact budget (or a query the circuit engine cannot
+// serve: non-∃FO⁺, masked factorization) is refused with a structured
+// budget error, never silently estimated.
+func (s *Server) handleProb(w http.ResponseWriter, r *http.Request) {
+	qs, err := ProbeQuery(r)
+	if err != nil {
+		WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	s.withProbe(w, r, func(ctx context.Context, sl *Slot) {
+		version := s.snap.Version()
+		var ent *CacheEntry
+		var c *repaircount.Counter
+		if s.cache != nil {
+			if ent = s.acquireEntry(w, ctx, qs); ent == nil {
+				return
+			}
+			defer s.cache.Release(ent)
+			if res, ok := ent.Result(ResultProb, s.epoch, version); ok {
+				s.stats.prob.Add(1)
+				str, resp := probResponse(res, version, s.epoch)
+				WriteResult(w, r, str, resp)
+				return
+			}
+			c = ent.Counter()
+		} else {
+			if c, err = s.counterFor(sl, qs); err != nil {
+				WriteErr(w, http.StatusBadRequest, APIError{Code: "bad_query", Message: err.Error()})
+				return
+			}
+		}
+		plan, err := c.ExplainPlan(repaircount.EngineCompile)
+		if err != nil {
+			s.stats.rejected.Add(1)
+			WriteErr(w, http.StatusTooManyRequests, APIError{Code: "budget_exceeded",
+				Message: fmt.Sprintf("probability probe needs the circuit engine: %v", err), ExactBudget: s.cfg.ExactBudget})
+			return
+		}
+		if plan.Engine == repaircount.EngineEnumFO {
+			s.stats.rejected.Add(1)
+			WriteErr(w, http.StatusTooManyRequests, APIError{Code: "budget_exceeded",
+				Message:     "no circuit (and no weighted counter) exists outside existential positive FO",
+				ExactBudget: s.cfg.ExactBudget})
+			return
+		}
+		if !plan.AlwaysTrue && plan.Budget > s.cfg.ExactBudget {
+			s.stats.rejected.Add(1)
+			WriteErr(w, http.StatusTooManyRequests, APIError{Code: "budget_exceeded",
+				Message:     fmt.Sprintf("planned circuit work %d exceeds the exact budget (no approximate rung for weighted counting)", plan.Budget),
+				ExactBudget: s.cfg.ExactBudget, PlannedCost: fmt.Sprint(plan.Budget)})
+			return
+		}
+		iv, err := c.ProbabilityOf(c.FactWeights(s.probs))
+		if err != nil {
+			if errors.Is(err, repaircount.ErrBudget) {
+				s.stats.rejected.Add(1)
+				WriteErr(w, http.StatusTooManyRequests, APIError{Code: "budget_exceeded", Message: err.Error(), ExactBudget: s.cfg.ExactBudget})
+				return
+			}
+			WriteErr(w, http.StatusBadRequest, APIError{Code: "prob_unavailable", Message: err.Error()})
+			return
+		}
+		s.stats.prob.Add(1)
+		res := CachedResult{Lo: iv.Lo, Hi: iv.Hi, Str: iv.String()}
+		if ent != nil {
+			ent.StoreResult(ResultProb, s.epoch, version, res)
+		}
+		str, resp := probResponse(res, version, s.epoch)
+		WriteResult(w, r, str, resp)
 	})
 }
 
@@ -576,6 +704,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"probes":           s.stats.probes.Load(),
 		"exact_probes":     s.stats.exact.Load(),
 		"approx_probes":    s.stats.approx.Load(),
+		"prob_probes":      s.stats.prob.Load(),
 		"rejected_probes":  s.stats.rejected.Load(),
 		"overloaded":       s.stats.overloaded.Load(),
 		"deadline_expired": s.stats.deadline.Load(),
@@ -588,6 +717,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp["cache_misses"] = cs.Misses
 	resp["cache_evictions"] = cs.Evictions
 	resp["cache_entries"] = cs.Entries
+	resp["cache_fp_merges"] = cs.FPMerges
 	s.mu.RUnlock()
 	WriteJSON(w, http.StatusOK, resp)
 }

@@ -599,6 +599,98 @@ func ParseUpdates(r io.Reader) ([]Update, error) {
 	return ops, nil
 }
 
+// ProbAnnotation is one per-fact probability annotation of a prob stream:
+// the fact and its non-negative weight. Within one conflict block the
+// weights normalize to the block's choice distribution (the disjoint-
+// independent probabilistic-database reading; see internal/probdb and the
+// weighted counters of internal/repairs).
+type ProbAnnotation struct {
+	Fact   relational.Fact
+	Weight float64
+}
+
+// ProbStream annotates every fact of db with a deterministic pseudo-random
+// dyadic weight k/16, k ∈ 1..16. Dyadic weights are exact in float64 AND
+// in big.Rat, so a stream round-trips through its text form bit-exactly
+// and the interval-arithmetic weighted counters can be pinned against
+// exact rational ground truth without representation slack. Facts are
+// visited in canonical order, so the stream is deterministic for a fixed
+// rng.
+func ProbStream(rng *rand.Rand, db *relational.Database) []ProbAnnotation {
+	facts := db.Facts()
+	out := make([]ProbAnnotation, len(facts))
+	for i, f := range facts {
+		out[i] = ProbAnnotation{Fact: f, Weight: float64(1+rng.IntN(16)) / 16}
+	}
+	return out
+}
+
+// FormatProbAnnotations writes a prob stream in the text format consumed
+// by `repairctl serve -probs`: one "weight<TAB>fact" line per annotation,
+// the weight rendered with strconv 'g'/-1 so parsing recovers the exact
+// float64.
+func FormatProbAnnotations(w io.Writer, anns []ProbAnnotation) error {
+	for _, a := range anns {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", strconv.FormatFloat(a.Weight, 'g', -1, 64), a.Fact.Canonical()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseProbAnnotations reads the prob-stream text format back (blank
+// lines and # comments are skipped). Weights must be finite and ≥ 0; a
+// duplicate annotation for one fact is an error rather than a silent
+// last-writer-wins.
+func ParseProbAnnotations(r io.Reader) ([]ProbAnnotation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var anns []ProbAnnotation
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		weight, fact, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: want 'weight<TAB>Fact', got %q", lineNo, line)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad weight: %w", lineNo, err)
+		}
+		if math.IsInf(x, 0) || math.IsNaN(x) || x < 0 {
+			return nil, fmt.Errorf("workload: line %d: weight %v out of range (want finite ≥ 0)", lineNo, x)
+		}
+		f, err := relational.ParseFact(strings.TrimSpace(fact))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		if seen[f.Canonical()] {
+			return nil, fmt.Errorf("workload: line %d: duplicate annotation for %s", lineNo, f)
+		}
+		seen[f.Canonical()] = true
+		anns = append(anns, ProbAnnotation{Fact: f, Weight: x})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read: %w", err)
+	}
+	return anns, nil
+}
+
+// AnnotationMap renders a prob stream as the canonical-fact-text → weight
+// map the Counter.FactWeights facade consumes.
+func AnnotationMap(anns []ProbAnnotation) map[string]float64 {
+	m := make(map[string]float64, len(anns))
+	for _, a := range anns {
+		m[a.Fact.Canonical()] = a.Weight
+	}
+	return m
+}
+
 // RandomCNF builds a random 3CNF formula.
 func RandomCNF(rng *rand.Rand, nVars, nClauses int) sat.CNF {
 	f := sat.CNF{NumVars: nVars}

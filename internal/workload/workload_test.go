@@ -256,3 +256,57 @@ func TestUpdateStreamRoundTrip(t *testing.T) {
 		t.Fatal("bad op sign accepted")
 	}
 }
+
+// TestProbStreamRoundTrip pins the prob-annotation text codec: weights
+// round-trip bit-exactly, comments are skipped, malformed lines error.
+func TestProbStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 4))
+	db, _ := Employee(rng, 6, 3, 0.5)
+	anns := ProbStream(rng, db)
+	if len(anns) != db.Len() {
+		t.Fatalf("ProbStream annotated %d facts, db has %d", len(anns), db.Len())
+	}
+	for i, a := range anns {
+		if a.Weight <= 0 || a.Weight > 1 || a.Weight != float64(int(a.Weight*16))/16 {
+			t.Fatalf("annotation %d: weight %v is not dyadic in (0, 1]", i, a.Weight)
+		}
+	}
+	var buf strings.Builder
+	buf.WriteString("# prob stream\n\n")
+	if err := FormatProbAnnotations(&buf, anns); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProbAnnotations(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(anns) {
+		t.Fatalf("round trip: %d annotations, want %d", len(back), len(anns))
+	}
+	for i := range anns {
+		if back[i].Weight != anns[i].Weight || !back[i].Fact.Equal(anns[i].Fact) {
+			t.Fatalf("annotation %d: %+v round-trips to %+v", i, anns[i], back[i])
+		}
+	}
+	m := AnnotationMap(back)
+	if len(m) != len(back) {
+		t.Fatalf("AnnotationMap has %d entries, want %d", len(m), len(back))
+	}
+	for _, a := range back {
+		if m[a.Fact.Canonical()] != a.Weight {
+			t.Fatalf("AnnotationMap[%s] = %v, want %v", a.Fact, m[a.Fact.Canonical()], a.Weight)
+		}
+	}
+	for _, bad := range []string{
+		"0.5 R('a')\n",                // space, not tab
+		"x\tR('a')\n",                 // unparseable weight
+		"-1\tR('a')\n",                // negative weight
+		"NaN\tR('a')\n",               // NaN weight
+		"0.5\tR('a'\n",                // malformed fact
+		"0.5\tR('a')\n0.25\tR('a')\n", // duplicate fact
+	} {
+		if _, err := ParseProbAnnotations(strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed stream %q accepted", bad)
+		}
+	}
+}

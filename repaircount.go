@@ -325,6 +325,48 @@
 // cache. cmd/cqabench gates the payoff: a hot repeated probe must run
 // ≥ 10x faster against a cache-enabled daemon than with the cache
 // disabled (the ProbeCache gate).
+//
+// # Knowledge compilation: per-component d-DNNF circuits
+//
+// The planner's per-component engine menu has a fourth entry,
+// EngineCompile (internal/repairs/compile.go): instead of re-walking a
+// component's choice space on every count, the component's non-entailment
+// predicate ¬Q_c is compiled once into a smooth deterministic
+// decomposable circuit over its block-choice variables — exhaustive
+// decision nodes over one block's choices, AND nodes where the remaining
+// boxes split into independent groups — and every count thereafter is one
+// subtraction-free bottom-up pass over the circuit. Decision nodes
+// collapse all box-unconstrained choices of a block into one shared
+// residual child weighted by the block's residual size at evaluation
+// time, so the circuit's shape depends only on the box tables, not on
+// block sizes: a delta that merely grows or shrinks blocks re-counts the
+// cached circuit (keyed by a size-free structural fingerprint) in
+// O(|circuit|), and a component whose choice space is astronomical but
+// whose interaction structure is shallow compiles into a tiny circuit
+// where both the Gray walk and IE are infeasible. The planner prices a
+// cached circuit at its node count and a cold compile at
+// min(gray, node budget) — the compiler aborts past its node budget, so
+// the attempt is genuinely capped — and adopts cold compilation under
+// EngineAuto only once the instance has observed memo reuse (the
+// workload demonstrably recounts, which is what amortizes compilation).
+//
+// The same circuits answer weighted questions: CountWeighted and
+// ProbabilityOf evaluate them under per-fact weights in outward-rounded
+// float64 interval arithmetic (the returned Interval is guaranteed to
+// bracket the exact value), turning the exact counter into a disjoint-
+// independent probabilistic-database engine — a uniform weight vector
+// recovers the exact count and the relative frequency, and internal/probdb
+// pins the semantics with exact rational world enumeration. The serving
+// daemon exposes this as /v1/prob with per-fact annotations loaded from a
+// workload-format file (`repairctl serve -probs`).
+//
+// Structural fingerprints round the subsystem out: CountFingerprint
+// digests everything that determines the exact count (the space split and
+// the per-component structures), letting the probe cache serve one
+// query's count to a structurally identical other; PlanFingerprint
+// digests the planner report, letting the admission layer carry a priced
+// exact admission across instance versions whose deltas did not move the
+// plan.
 package repaircount
 
 import (
@@ -438,6 +480,10 @@ const (
 	EngineMasked = repairs.EngineMasked
 	// EngineCompIE forces component-local inclusion–exclusion.
 	EngineCompIE = repairs.EngineCompIE
+	// EngineCompile forces the knowledge-compilation engine: each
+	// component compiled into a cached d-DNNF circuit, counted in one
+	// bottom-up pass.
+	EngineCompile = repairs.EngineCompile
 	// EngineIE is whole-instance inclusion–exclusion over certificate boxes.
 	EngineIE = repairs.EngineIE
 	// EngineEnum is plain enumeration of the relevant choice space.
@@ -454,7 +500,7 @@ type Plan = repairs.Plan
 type ComponentPlan = repairs.ComponentPlan
 
 // ParseEngine maps an engine name ("auto", "factorized", "gray", "ie",
-// "enum") to its kind; the error lists the valid names.
+// "compile", "enum") to its kind; the error lists the valid names.
 func ParseEngine(name string) (EngineKind, error) { return repairs.ParseEngine(name) }
 
 // Count computes #CQA(Q,Σ)(D) exactly with the planner-selected engine and
@@ -514,9 +560,10 @@ func (c *Counter) CountCtx(ctx context.Context, workers int) (*big.Int, EngineKi
 // CountWith computes #CQA(Q,Σ)(D) exactly with a pinned engine:
 // EngineFactorized (planner-selected per-component engines), EngineGray
 // (every component forced onto the Gray-delta walk), EngineCompIE (every
-// component forced onto component-local inclusion–exclusion), EngineIE
-// (whole-instance inclusion–exclusion) or EngineEnum (plain enumeration).
-// EngineAuto is Count without the engine report.
+// component forced onto component-local inclusion–exclusion),
+// EngineCompile (every component compiled into a cached d-DNNF circuit),
+// EngineIE (whole-instance inclusion–exclusion) or EngineEnum (plain
+// enumeration). EngineAuto is Count without the engine report.
 func (c *Counter) CountWith(engine EngineKind) (*big.Int, error) {
 	return c.CountWithWorkers(engine, 0)
 }
@@ -538,6 +585,8 @@ func (c *Counter) CountWithWorkers(engine EngineKind, workers int) (*big.Int, er
 		return c.inst.CountGray(0, workers)
 	case EngineCompIE:
 		return c.inst.CountCompIE(0, workers)
+	case EngineCompile:
+		return c.inst.CountCompile(0, workers)
 	case EngineIE:
 		return c.inst.CountIE(0)
 	case EngineEnum:
@@ -548,7 +597,7 @@ func (c *Counter) CountWithWorkers(engine EngineKind, workers int) (*big.Int, er
 	case EngineEnumFO:
 		return c.inst.CountEnumFO(0)
 	}
-	return nil, fmt.Errorf("repaircount: engine %s cannot be pinned (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE, EngineEnum or EngineEnumFO)", engine)
+	return nil, fmt.Errorf("repaircount: engine %s cannot be pinned (want EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineCompile, EngineIE, EngineEnum or EngineEnumFO)", engine)
 }
 
 // ExplainPlan reports how the exact engines would answer without running
@@ -585,6 +634,69 @@ func (c *Counter) CountEnum() (*big.Int, error) {
 	}
 	return c.inst.CountEnumFO(0)
 }
+
+// Interval is a closed float64 interval [Lo, Hi] guaranteed to contain an
+// exact real value; the weighted counters return their answers as
+// outward-rounded intervals (see internal/core).
+type Interval = core.Interval
+
+// FactWeights renders a per-fact annotation map — canonical fact text
+// (Fact.Canonical / Fact.String) to weight — as the ordinal-indexed weight
+// vector CountWeighted and ProbabilityOf consume. Unannotated facts weigh
+// 1 (so an empty map is the uniform vector), and annotations naming facts
+// absent from the instance are ignored, which lets one annotation file
+// outlive deltas. Weight validity (finite, ≥ 0) is checked by the
+// consumers, not here.
+func (c *Counter) FactWeights(ann map[string]float64) []float64 {
+	w := make([]float64, c.inst.Idx.NumFacts())
+	for i := range w {
+		w[i] = 1
+	}
+	if len(ann) == 0 {
+		return w
+	}
+	for _, f := range c.inst.DB.Facts() {
+		if x, ok := ann[f.Canonical()]; ok {
+			if ord, ok := c.inst.Idx.OrdinalOf(f); ok {
+				w[ord] = x
+			}
+		}
+	}
+	return w
+}
+
+// CountWeighted computes the weighted model count of the entailing
+// repairs — Σ over repairs r entailing Q of Π_{fact ∈ r} w[fact] — by
+// evaluating each component's cached d-DNNF circuit under the weights in
+// outward-rounded interval arithmetic: the returned Interval brackets the
+// exact value. The weight vector is indexed by fact ordinal (build it with
+// FactWeights); uniform weight 1 recovers the exact count. Existential
+// positive queries with materialized boxes only.
+func (c *Counter) CountWeighted(w []float64) (Interval, error) { return c.inst.CountWeighted(w) }
+
+// ProbabilityOf computes the probability that a random repair entails the
+// query when every conflict block independently picks one of its facts
+// with odds proportional to the per-fact weights — the disjoint-
+// independent probabilistic-database semantics (internal/probdb pins it
+// with exact rationals). The interval brackets the exact probability; a
+// uniform vector recovers the relative frequency. Circuits are cached
+// across calls and deltas, so repeated probes are circuit-linear.
+func (c *Counter) ProbabilityOf(w []float64) (Interval, error) { return c.inst.ProbabilityOf(w) }
+
+// CountFingerprint digests everything that determines the exact count:
+// equal fingerprints (even across different query texts) mean equal
+// counts, so a cache may serve one query's result to the other. ok is
+// false when no sound structural fingerprint exists (non-∃FO⁺ queries,
+// masked factorizations) — fall back to keying by query text.
+func (c *Counter) CountFingerprint() (fp string, ok bool) { return c.inst.CountFingerprint() }
+
+// PlanFingerprint digests the EngineAuto planner report: equal
+// fingerprints across instance versions mean the plan did not move, so an
+// admission priced purely from the plan (the exact rung) may be carried
+// across the version bump. Non-exact admissions must be re-priced (the
+// FPRAS sample bound is not plan-determined). ok is false for non-∃FO⁺
+// queries.
+func (c *Counter) PlanFingerprint() (fp string, ok bool) { return c.inst.PlanFingerprint() }
 
 // Decide answers #CQA>0: does some repair entail Q?
 func (c *Counter) Decide() bool { return c.inst.HasRepairEntailing() }

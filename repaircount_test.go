@@ -178,7 +178,7 @@ func TestCountWithAndExplainPlan(t *testing.T) {
 	if algo != EngineFactorized {
 		t.Fatalf("example instance counted by %s, want factorized", algo)
 	}
-	for _, engine := range []EngineKind{EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineIE, EngineEnum} {
+	for _, engine := range []EngineKind{EngineAuto, EngineFactorized, EngineGray, EngineCompIE, EngineCompile, EngineIE, EngineEnum} {
 		n, err := c.CountWith(engine)
 		if err != nil {
 			t.Fatalf("CountWith(%s): %v", engine, err)
@@ -198,7 +198,7 @@ func TestCountWithAndExplainPlan(t *testing.T) {
 		t.Fatalf("plan = %s, want factorized with components", p)
 	}
 	for i, cp := range p.Components {
-		if cp.Engine != EngineGray && cp.Engine != EngineCompIE {
+		if cp.Engine != EngineGray && cp.Engine != EngineCompIE && cp.Engine != EngineCompile {
 			t.Fatalf("component %d engine = %s", i, cp.Engine)
 		}
 	}
